@@ -1,0 +1,222 @@
+//! Resource budgets and the proportional resource allocator.
+//!
+//! The synthesis layer of the paper (Section III ➌) allocates the global
+//! PE and bandwidth budget across the sub-accelerators.  The controller
+//! proposes raw per-sub-accelerator allocations; [`ResourceBudget::fit`]
+//! is the "Resource Allocator" box of Fig. 2 that scales a proposal so the
+//! hard constraints `sum(pe_i) <= NP` and `sum(bw_i) <= BW` always hold,
+//! quantised to the granularity seen in the paper's tables (PE counts in
+//! multiples of 32, bandwidth in multiples of 8 GB/s).
+
+use crate::accelerator::Accelerator;
+use crate::subaccel::SubAccelerator;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// PE allocation granularity used when fitting proposals to the budget.
+pub const PE_QUANTUM: usize = 32;
+/// Bandwidth allocation granularity (GB/s).
+pub const BW_QUANTUM: usize = 8;
+
+/// The global hardware resource budget shared by all sub-accelerators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ResourceBudget {
+    /// Maximum total number of PEs (`NP`).
+    pub max_pes: usize,
+    /// Maximum total NoC bandwidth in GB/s (`BW`).
+    pub max_bandwidth_gbps: usize,
+}
+
+impl ResourceBudget {
+    /// Create a budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either limit is zero.
+    pub fn new(max_pes: usize, max_bandwidth_gbps: usize) -> Self {
+        assert!(max_pes > 0, "budget must allow at least one PE");
+        assert!(max_bandwidth_gbps > 0, "budget must allow some bandwidth");
+        Self {
+            max_pes,
+            max_bandwidth_gbps,
+        }
+    }
+
+    /// The paper's budget: 4096 PEs and 64 GB/s (following HERALD [22]).
+    pub fn paper() -> Self {
+        Self::new(4096, 64)
+    }
+
+    /// A budget scaled by a factor (used by the single / homogeneous
+    /// accelerator studies of Table II, which halve constraints).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not in `(0, 1]`.
+    pub fn scaled(&self, factor: f64) -> Self {
+        assert!(factor > 0.0 && factor <= 1.0, "scale factor must be in (0, 1]");
+        Self::new(
+            ((self.max_pes as f64 * factor) as usize).max(PE_QUANTUM),
+            ((self.max_bandwidth_gbps as f64 * factor) as usize).max(BW_QUANTUM),
+        )
+    }
+
+    /// `true` when the accelerator respects both limits.
+    pub fn admits(&self, accelerator: &Accelerator) -> bool {
+        accelerator.total_pes() <= self.max_pes
+            && accelerator.total_bandwidth_gbps() <= self.max_bandwidth_gbps
+    }
+
+    /// Fit a raw proposal to the budget (the paper's resource allocator).
+    ///
+    /// If the proposal already satisfies both constraints it is only
+    /// quantised; otherwise each resource is scaled down proportionally so
+    /// the totals land inside the budget, then quantised to
+    /// [`PE_QUANTUM`] / [`BW_QUANTUM`].  Sub-accelerators that end up with
+    /// zero PEs also lose their bandwidth (they are inactive).
+    pub fn fit(&self, proposal: &[SubAccelerator]) -> Accelerator {
+        let total_pes: usize = proposal.iter().map(|s| s.num_pes).sum();
+        let total_bw: usize = proposal.iter().map(|s| s.bandwidth_gbps).sum();
+        let pe_scale = if total_pes > self.max_pes {
+            self.max_pes as f64 / total_pes as f64
+        } else {
+            1.0
+        };
+        let bw_scale = if total_bw > self.max_bandwidth_gbps {
+            self.max_bandwidth_gbps as f64 / total_bw as f64
+        } else {
+            1.0
+        };
+        let subs: Vec<SubAccelerator> = proposal
+            .iter()
+            .map(|s| {
+                let pes = quantize_down((s.num_pes as f64 * pe_scale) as usize, PE_QUANTUM);
+                let mut bw =
+                    quantize_down((s.bandwidth_gbps as f64 * bw_scale) as usize, BW_QUANTUM);
+                if pes == 0 {
+                    bw = 0;
+                }
+                SubAccelerator::new(s.dataflow, pes, bw)
+            })
+            .collect();
+        Accelerator::new(subs)
+    }
+}
+
+impl Default for ResourceBudget {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+impl fmt::Display for ResourceBudget {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "budget(max {} PEs, {} GB/s)",
+            self.max_pes, self.max_bandwidth_gbps
+        )
+    }
+}
+
+fn quantize_down(value: usize, quantum: usize) -> usize {
+    (value / quantum) * quantum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataflow::Dataflow;
+
+    #[test]
+    fn paper_budget_values() {
+        let b = ResourceBudget::paper();
+        assert_eq!(b.max_pes, 4096);
+        assert_eq!(b.max_bandwidth_gbps, 64);
+        assert_eq!(ResourceBudget::default(), b);
+    }
+
+    #[test]
+    fn admits_checks_both_limits() {
+        let b = ResourceBudget::paper();
+        let ok = Accelerator::new(vec![
+            SubAccelerator::new(Dataflow::Nvdla, 2112, 48),
+            SubAccelerator::new(Dataflow::Shidiannao, 1984, 16),
+        ]);
+        assert!(b.admits(&ok));
+        let too_many_pes = Accelerator::new(vec![
+            SubAccelerator::new(Dataflow::Nvdla, 4000, 8),
+            SubAccelerator::new(Dataflow::Shidiannao, 1000, 8),
+        ]);
+        assert!(!b.admits(&too_many_pes));
+        let too_much_bw = Accelerator::new(vec![
+            SubAccelerator::new(Dataflow::Nvdla, 64, 60),
+            SubAccelerator::new(Dataflow::Shidiannao, 64, 60),
+        ]);
+        assert!(!b.admits(&too_much_bw));
+    }
+
+    #[test]
+    fn fit_preserves_feasible_proposals_up_to_quantisation() {
+        let b = ResourceBudget::paper();
+        let proposal = vec![
+            SubAccelerator::new(Dataflow::Nvdla, 576, 56),
+            SubAccelerator::new(Dataflow::Shidiannao, 1792, 8),
+        ];
+        let fitted = b.fit(&proposal);
+        assert_eq!(fitted.sub_accelerators()[0].num_pes, 576);
+        assert_eq!(fitted.sub_accelerators()[1].bandwidth_gbps, 8);
+        assert!(b.admits(&fitted));
+    }
+
+    #[test]
+    fn fit_scales_down_infeasible_proposals() {
+        let b = ResourceBudget::paper();
+        let proposal = vec![
+            SubAccelerator::new(Dataflow::Nvdla, 4096, 64),
+            SubAccelerator::new(Dataflow::Shidiannao, 4096, 64),
+        ];
+        let fitted = b.fit(&proposal);
+        assert!(b.admits(&fitted));
+        assert!(fitted.total_pes() <= 4096);
+        assert!(fitted.total_bandwidth_gbps() <= 64);
+        // The split stays roughly proportional (equal here).
+        assert_eq!(
+            fitted.sub_accelerators()[0].num_pes,
+            fitted.sub_accelerators()[1].num_pes
+        );
+    }
+
+    #[test]
+    fn fit_quantises_to_table_granularity() {
+        let b = ResourceBudget::paper();
+        let fitted = b.fit(&[SubAccelerator::new(Dataflow::RowStationary, 1000, 13)]);
+        assert_eq!(fitted.sub_accelerators()[0].num_pes % PE_QUANTUM, 0);
+        assert_eq!(fitted.sub_accelerators()[0].bandwidth_gbps % BW_QUANTUM, 0);
+    }
+
+    #[test]
+    fn fit_deactivates_zero_pe_subs() {
+        let b = ResourceBudget::paper();
+        let fitted = b.fit(&[
+            SubAccelerator::new(Dataflow::Nvdla, 10, 32),
+            SubAccelerator::new(Dataflow::Shidiannao, 4096, 32),
+        ]);
+        assert_eq!(fitted.sub_accelerators()[0].num_pes, 0);
+        assert_eq!(fitted.sub_accelerators()[0].bandwidth_gbps, 0);
+        assert!(!fitted.sub_accelerators()[0].is_active());
+    }
+
+    #[test]
+    fn scaled_budget_halves_limits() {
+        let half = ResourceBudget::paper().scaled(0.5);
+        assert_eq!(half.max_pes, 2048);
+        assert_eq!(half.max_bandwidth_gbps, 32);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_budget_rejected() {
+        ResourceBudget::new(0, 64);
+    }
+}

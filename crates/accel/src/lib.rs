@@ -1,0 +1,51 @@
+//! ASIC accelerator templates and the hardware design space for the NASAIC
+//! reproduction.
+//!
+//! The paper's accelerator layer (Section III ➋) narrows the enormous ASIC
+//! design space down to a **template set**: each template is one of the
+//! dataflow styles of an existing, successful accelerator design
+//! (Shidiannao, NVDLA, Eyeriss row-stationary).  A heterogeneous
+//! accelerator is then a set of *sub-accelerators*, each one a template
+//! instantiated with a PE count and a share of the NoC bandwidth, connected
+//! through network interface controllers (NICs) to a global interconnect
+//! and a shared global buffer.
+//!
+//! This crate provides:
+//!
+//! * [`dataflow`] — the [`Dataflow`](dataflow::Dataflow) template set;
+//! * [`subaccel`] — a single [`SubAccelerator`](subaccel::SubAccelerator)
+//!   (dataflow, PEs, bandwidth);
+//! * [`accelerator`] — the heterogeneous
+//!   [`Accelerator`](accelerator::Accelerator) built from sub-accelerators;
+//! * [`budget`] — the resource budget (max PEs, max bandwidth) and the
+//!   proportional resource-allocator that fits a proposal to the budget;
+//! * [`space`] — the hardware allocation search space the controller
+//!   samples from.
+//!
+//! # Example
+//!
+//! ```
+//! use nasaic_accel::{Accelerator, Dataflow, ResourceBudget, SubAccelerator};
+//!
+//! // The NASAIC W1 design from Table I: <dla, 576, 56> + <shi, 1792, 8>.
+//! let accelerator = Accelerator::new(vec![
+//!     SubAccelerator::new(Dataflow::Nvdla, 576, 56),
+//!     SubAccelerator::new(Dataflow::Shidiannao, 1792, 8),
+//! ]);
+//! assert!(accelerator.is_within(&ResourceBudget::paper()));
+//! assert!(accelerator.is_heterogeneous());
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod accelerator;
+pub mod budget;
+pub mod dataflow;
+pub mod space;
+pub mod subaccel;
+
+pub use accelerator::Accelerator;
+pub use budget::ResourceBudget;
+pub use dataflow::Dataflow;
+pub use space::HardwareSpace;
+pub use subaccel::SubAccelerator;

@@ -1,0 +1,310 @@
+//! The hardware allocation search space sampled by the NASAIC controller.
+//!
+//! Each sub-accelerator contributes one controller *segment* with three
+//! decisions: the dataflow template, a PE allocation level and a bandwidth
+//! allocation level.  The discrete option lists reuse the generic
+//! [`SearchSpace`] machinery of `nasaic-nn`, so the controller treats
+//! architecture and hardware segments uniformly (which is exactly the
+//! paper's Fig. 5 controller layout).
+
+use crate::budget::ResourceBudget;
+use crate::dataflow::Dataflow;
+use crate::subaccel::SubAccelerator;
+use crate::Accelerator;
+use nasaic_nn::space::{ChoicePoint, DecodeError, SearchSpace};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Number of PE allocation levels offered to the controller (0..=4096 in
+/// steps of 256).
+pub const PE_LEVELS: usize = 17;
+/// Number of bandwidth allocation levels offered to the controller
+/// (0..=64 GB/s in steps of 8).
+pub const BW_LEVELS: usize = 9;
+
+/// The hardware design space for `k` sub-accelerators under a resource
+/// budget.
+///
+/// # Example
+///
+/// ```
+/// use nasaic_accel::{HardwareSpace, ResourceBudget};
+///
+/// let space = HardwareSpace::paper_default(2);
+/// let search_space = space.search_space();
+/// assert_eq!(search_space.num_choices(), 6); // 3 decisions per sub-accelerator
+/// let accelerator = space.decode(&search_space.smallest()).unwrap();
+/// assert!(ResourceBudget::paper().admits(&accelerator));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HardwareSpace {
+    budget: ResourceBudget,
+    num_sub_accelerators: usize,
+    allowed_dataflows: Vec<Dataflow>,
+}
+
+impl HardwareSpace {
+    /// Create a hardware space.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_sub_accelerators` is zero or `allowed_dataflows` is
+    /// empty.
+    pub fn new(
+        budget: ResourceBudget,
+        num_sub_accelerators: usize,
+        allowed_dataflows: Vec<Dataflow>,
+    ) -> Self {
+        assert!(num_sub_accelerators > 0, "need at least one sub-accelerator");
+        assert!(!allowed_dataflows.is_empty(), "need at least one dataflow");
+        Self {
+            budget,
+            num_sub_accelerators,
+            allowed_dataflows,
+        }
+    }
+
+    /// The paper's configuration: the given number of sub-accelerators,
+    /// all three dataflow templates, and the 4096-PE / 64-GB/s budget.
+    pub fn paper_default(num_sub_accelerators: usize) -> Self {
+        Self::new(
+            ResourceBudget::paper(),
+            num_sub_accelerators,
+            Dataflow::all().to_vec(),
+        )
+    }
+
+    /// Restrict the space to a single dataflow (used for the homogeneous /
+    /// single-accelerator studies of Table II).
+    pub fn with_dataflows(mut self, dataflows: Vec<Dataflow>) -> Self {
+        assert!(!dataflows.is_empty(), "need at least one dataflow");
+        self.allowed_dataflows = dataflows;
+        self
+    }
+
+    /// Replace the resource budget.
+    pub fn with_budget(mut self, budget: ResourceBudget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// The resource budget of this space.
+    pub fn budget(&self) -> &ResourceBudget {
+        &self.budget
+    }
+
+    /// Number of sub-accelerators configured.
+    pub fn num_sub_accelerators(&self) -> usize {
+        self.num_sub_accelerators
+    }
+
+    /// The dataflows the controller may select.
+    pub fn allowed_dataflows(&self) -> &[Dataflow] {
+        &self.allowed_dataflows
+    }
+
+    /// PE count corresponding to a PE level index.
+    pub fn pe_level_value(&self, level: usize) -> usize {
+        let step = self.budget.max_pes / (PE_LEVELS - 1);
+        (level * step).min(self.budget.max_pes)
+    }
+
+    /// Bandwidth corresponding to a bandwidth level index.
+    pub fn bw_level_value(&self, level: usize) -> usize {
+        let step = self.budget.max_bandwidth_gbps / (BW_LEVELS - 1);
+        (level * step).min(self.budget.max_bandwidth_gbps)
+    }
+
+    /// The discrete search space presented to the controller: per
+    /// sub-accelerator, a dataflow choice, a PE level and a bandwidth
+    /// level.
+    pub fn search_space(&self) -> SearchSpace {
+        let mut choices = Vec::new();
+        for i in 0..self.num_sub_accelerators {
+            choices.push(ChoicePoint::new(
+                &format!("aic{i}_df"),
+                (0..self.allowed_dataflows.len()).collect(),
+            ));
+            choices.push(ChoicePoint::new(
+                &format!("aic{i}_pe"),
+                (0..PE_LEVELS).map(|l| self.pe_level_value(l)).collect(),
+            ));
+            choices.push(ChoicePoint::new(
+                &format!("aic{i}_bw"),
+                (0..BW_LEVELS).map(|l| self.bw_level_value(l)).collect(),
+            ));
+        }
+        SearchSpace::new("hardware-allocation", choices)
+    }
+
+    /// Decode a controller index vector into an accelerator, applying the
+    /// resource allocator so the result always respects the budget.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] if the index vector does not fit the search
+    /// space.
+    pub fn decode(&self, indices: &[usize]) -> Result<Accelerator, DecodeError> {
+        let space = self.search_space();
+        let values = space.decode(indices)?;
+        let proposal: Vec<SubAccelerator> = values
+            .chunks(3)
+            .map(|chunk| {
+                let dataflow = self.allowed_dataflows[chunk[0]];
+                SubAccelerator::new(dataflow, chunk[1], chunk[2])
+            })
+            .collect();
+        Ok(self.budget.fit(&proposal))
+    }
+
+    /// Encode an accelerator back into (approximate) controller indices —
+    /// the nearest level at or below each resource amount.  Useful for
+    /// seeding searches from a known design.
+    pub fn encode(&self, accelerator: &Accelerator) -> Vec<usize> {
+        let mut indices = Vec::new();
+        for (i, sub) in accelerator.sub_accelerators().iter().enumerate() {
+            if i >= self.num_sub_accelerators {
+                break;
+            }
+            let df_index = self
+                .allowed_dataflows
+                .iter()
+                .position(|&d| d == sub.dataflow)
+                .unwrap_or(0);
+            let pe_step = self.budget.max_pes / (PE_LEVELS - 1);
+            let bw_step = self.budget.max_bandwidth_gbps / (BW_LEVELS - 1);
+            indices.push(df_index);
+            indices.push((sub.num_pes / pe_step.max(1)).min(PE_LEVELS - 1));
+            indices.push((sub.bandwidth_gbps / bw_step.max(1)).min(BW_LEVELS - 1));
+        }
+        while indices.len() < 3 * self.num_sub_accelerators {
+            indices.push(0);
+        }
+        indices
+    }
+
+    /// Sample a uniformly random accelerator design (used by the
+    /// Monte-Carlo baseline).
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> Accelerator {
+        let space = self.search_space();
+        let indices = space.sample(rng);
+        self.decode(&indices)
+            .expect("sampled indices are always valid")
+    }
+
+    /// Sample a random *fully allocated* design: dataflows are random but
+    /// the entire PE and bandwidth budget is split randomly across the
+    /// sub-accelerators.  This matches how the paper's NAS→ASIC baseline
+    /// explores hardware by brute force.
+    pub fn sample_fully_allocated<R: Rng>(&self, rng: &mut R) -> Accelerator {
+        let k = self.num_sub_accelerators;
+        let mut pe_split = vec![0usize; k];
+        let mut bw_split = vec![0usize; k];
+        // Random split of the budget in quanta.
+        let pe_quanta = self.budget.max_pes / crate::budget::PE_QUANTUM;
+        let bw_quanta = self.budget.max_bandwidth_gbps / crate::budget::BW_QUANTUM;
+        for _ in 0..pe_quanta {
+            pe_split[rng.gen_range(0..k)] += crate::budget::PE_QUANTUM;
+        }
+        for _ in 0..bw_quanta {
+            bw_split[rng.gen_range(0..k)] += crate::budget::BW_QUANTUM;
+        }
+        let subs: Vec<SubAccelerator> = (0..k)
+            .map(|i| {
+                let df = self.allowed_dataflows[rng.gen_range(0..self.allowed_dataflows.len())];
+                SubAccelerator::new(df, pe_split[i], bw_split[i])
+            })
+            .collect();
+        self.budget.fit(&subs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn search_space_has_three_choices_per_sub() {
+        let space = HardwareSpace::paper_default(2);
+        let ss = space.search_space();
+        assert_eq!(ss.num_choices(), 6);
+        assert_eq!(ss.cardinalities(), vec![3, 17, 9, 3, 17, 9]);
+    }
+
+    #[test]
+    fn level_values_cover_the_budget() {
+        let space = HardwareSpace::paper_default(2);
+        assert_eq!(space.pe_level_value(0), 0);
+        assert_eq!(space.pe_level_value(PE_LEVELS - 1), 4096);
+        assert_eq!(space.bw_level_value(0), 0);
+        assert_eq!(space.bw_level_value(BW_LEVELS - 1), 64);
+    }
+
+    #[test]
+    fn decode_always_respects_budget() {
+        let space = HardwareSpace::paper_default(2);
+        let ss = space.search_space();
+        let budget = ResourceBudget::paper();
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..200 {
+            let indices = ss.sample(&mut rng);
+            let acc = space.decode(&indices).unwrap();
+            assert!(budget.admits(&acc), "{}", acc);
+        }
+    }
+
+    #[test]
+    fn decode_maximal_allocation_is_scaled_to_fit() {
+        let space = HardwareSpace::paper_default(2);
+        let ss = space.search_space();
+        let acc = space.decode(&ss.largest()).unwrap();
+        assert!(ResourceBudget::paper().admits(&acc));
+        assert!(acc.total_pes() > 0);
+    }
+
+    #[test]
+    fn encode_decode_round_trip_is_close() {
+        let space = HardwareSpace::paper_default(2);
+        let acc = Accelerator::new(vec![
+            SubAccelerator::new(Dataflow::Nvdla, 2048, 32),
+            SubAccelerator::new(Dataflow::Shidiannao, 1024, 16),
+        ]);
+        let decoded = space.decode(&space.encode(&acc)).unwrap();
+        assert_eq!(decoded.sub_accelerators()[0].dataflow, Dataflow::Nvdla);
+        assert_eq!(decoded.sub_accelerators()[0].num_pes, 2048);
+        assert_eq!(decoded.sub_accelerators()[1].num_pes, 1024);
+    }
+
+    #[test]
+    fn restricted_dataflow_space_only_uses_that_dataflow() {
+        let space = HardwareSpace::paper_default(2).with_dataflows(vec![Dataflow::Nvdla]);
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..50 {
+            let acc = space.sample(&mut rng);
+            for sub in acc.active_subs() {
+                assert_eq!(sub.dataflow, Dataflow::Nvdla);
+            }
+        }
+    }
+
+    #[test]
+    fn fully_allocated_samples_use_whole_budget() {
+        let space = HardwareSpace::paper_default(2);
+        let mut rng = StdRng::seed_from_u64(3);
+        let acc = space.sample_fully_allocated(&mut rng);
+        assert!(ResourceBudget::paper().admits(&acc));
+        // All quanta were distributed, so the totals equal the budget
+        // unless a sub-accelerator was deactivated by quantisation.
+        assert!(acc.total_pes() >= 4096 - 64);
+    }
+
+    #[test]
+    fn scaled_budget_space_produces_smaller_designs() {
+        let half = HardwareSpace::paper_default(1).with_budget(ResourceBudget::paper().scaled(0.5));
+        let ss = half.search_space();
+        let acc = half.decode(&ss.largest()).unwrap();
+        assert!(acc.total_pes() <= 2048);
+    }
+}

@@ -1,0 +1,52 @@
+//! Accuracy models for the NASAIC reproduction.
+//!
+//! The paper trains every sampled DNN from scratch on its dataset
+//! (CIFAR-10, STL-10 or Nuclei) and reads the validation accuracy/IOU.
+//! Training real CNNs is outside the scope of a pure-Rust reproduction
+//! (the calibration band flags exactly this gate), so this crate provides
+//! two substitutes:
+//!
+//! 1. [`surrogate`] — a **calibrated analytical surrogate** per dataset.
+//!    Accuracy follows a diminishing-returns curve in the network's
+//!    capacity (log-MACs/parameters), whose endpoints are pinned to the
+//!    numbers reported in the paper (e.g. CIFAR-10: 78.93 % for the
+//!    smallest ResNet-9 and ~94.2 % for the largest), plus a deterministic
+//!    architecture-specific residual so the search landscape is not
+//!    perfectly smooth.  This is the default accuracy oracle of the
+//!    framework; it preserves the *ordering* information the co-search
+//!    needs at a tiny fraction of the cost.
+//! 2. [`proxy`] — a real train/validate pipeline on synthetic data: a small
+//!    MLP (built on `nasaic-tensor`) whose width scales with the sampled
+//!    architecture, trained on a generated Gaussian-cluster classification
+//!    task.  It exercises the full "train from scratch, hold out a
+//!    validation split, report accuracy" code path for tests, examples and
+//!    users who want an end-to-end demonstration.
+//!
+//! [`weighted`] implements Eq. 2 of the paper (the weighted multi-task
+//! accuracy used in the reward).
+//!
+//! # Example
+//!
+//! ```
+//! use nasaic_accuracy::{AccuracyModel, SurrogateModel};
+//! use nasaic_nn::backbone::Backbone;
+//!
+//! let model = SurrogateModel::paper_calibrated();
+//! let small = Backbone::ResNet9Cifar10.smallest_architecture();
+//! let large = Backbone::ResNet9Cifar10.largest_architecture();
+//! let acc_small = model.evaluate(Backbone::ResNet9Cifar10, &small);
+//! let acc_large = model.evaluate(Backbone::ResNet9Cifar10, &large);
+//! assert!(acc_large > acc_small);
+//! assert!((acc_small - 0.7893).abs() < 0.01);
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod calibration;
+pub mod proxy;
+pub mod surrogate;
+pub mod weighted;
+
+pub use calibration::CalibrationCurve;
+pub use surrogate::{AccuracyModel, SurrogateModel};
+pub use weighted::AccuracyCombiner;

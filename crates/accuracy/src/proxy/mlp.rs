@@ -1,0 +1,194 @@
+//! A small multi-layer perceptron with manual backpropagation, built on
+//! `nasaic-tensor`.
+
+use nasaic_tensor::activation::{relu, relu_derivative, softmax};
+use nasaic_tensor::{init, Adam, Matrix, Optimizer};
+use rand::Rng;
+
+/// A two-hidden-layer MLP classifier trained with cross-entropy loss.
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    w1: Matrix,
+    b1: Matrix,
+    w2: Matrix,
+    b2: Matrix,
+    opt_w1: Adam,
+    opt_b1: Adam,
+    opt_w2: Adam,
+    opt_b2: Adam,
+}
+
+impl Mlp {
+    /// Create an MLP with the given layer sizes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any size is zero or the learning rate is non-positive.
+    pub fn new<R: Rng>(
+        rng: &mut R,
+        num_features: usize,
+        hidden: usize,
+        num_classes: usize,
+        learning_rate: f64,
+    ) -> Self {
+        assert!(num_features > 0 && hidden > 0 && num_classes > 0);
+        Self {
+            w1: init::he_uniform(rng, hidden, num_features),
+            b1: Matrix::zeros(hidden, 1),
+            w2: init::xavier_uniform(rng, num_classes, hidden),
+            b2: Matrix::zeros(num_classes, 1),
+            opt_w1: Adam::new(learning_rate),
+            opt_b1: Adam::new(learning_rate),
+            opt_w2: Adam::new(learning_rate),
+            opt_b2: Adam::new(learning_rate),
+        }
+    }
+
+    /// Hidden-layer width.
+    pub fn hidden_size(&self) -> usize {
+        self.w1.rows()
+    }
+
+    fn forward(&self, features: &[f64]) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
+        let x = Matrix::col_vector(features);
+        let pre_hidden = &self.w1.matmul(&x) + &self.b1;
+        let hidden: Vec<f64> = pre_hidden.as_slice().iter().map(|&v| relu(v)).collect();
+        let h = Matrix::col_vector(&hidden);
+        let logits_m = &self.w2.matmul(&h) + &self.b2;
+        let logits = logits_m.as_slice().to_vec();
+        (pre_hidden.into_vec(), hidden, logits)
+    }
+
+    /// Class probabilities for one example.
+    pub fn predict_proba(&self, features: &[f64]) -> Vec<f64> {
+        let (_, _, logits) = self.forward(features);
+        softmax(&logits)
+    }
+
+    /// Most likely class for one example.
+    pub fn predict(&self, features: &[f64]) -> usize {
+        let probabilities = self.predict_proba(features);
+        probabilities
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+
+    /// One stochastic-gradient step on a single example; returns the
+    /// cross-entropy loss before the update.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `label` is out of range for the output layer.
+    pub fn train_step(&mut self, features: &[f64], label: usize) -> f64 {
+        assert!(label < self.w2.rows(), "label out of range");
+        let (pre_hidden, hidden, logits) = self.forward(features);
+        let probabilities = softmax(&logits);
+        let loss = -(probabilities[label].max(1e-300)).ln();
+
+        // dL/dlogits = p - onehot(label)
+        let mut dlogits = probabilities;
+        dlogits[label] -= 1.0;
+        let dlogits_m = Matrix::col_vector(&dlogits);
+        let hidden_m = Matrix::col_vector(&hidden);
+
+        let dw2 = dlogits_m.matmul(&hidden_m.transpose());
+        let db2 = dlogits_m.clone();
+
+        // Backprop into the hidden layer.
+        let dhidden = self.w2.transpose().matmul(&dlogits_m);
+        let dpre: Vec<f64> = dhidden
+            .as_slice()
+            .iter()
+            .zip(pre_hidden.iter())
+            .map(|(&g, &z)| g * relu_derivative(z))
+            .collect();
+        let dpre_m = Matrix::col_vector(&dpre);
+        let x = Matrix::col_vector(features);
+        let dw1 = dpre_m.matmul(&x.transpose());
+        let db1 = dpre_m;
+
+        self.opt_w2.step(&mut self.w2, &dw2);
+        self.opt_b2.step(&mut self.b2, &db2);
+        self.opt_w1.step(&mut self.w1, &dw1);
+        self.opt_b1.step(&mut self.b1, &db1);
+        loss
+    }
+
+    /// Classification accuracy over a labelled set.
+    ///
+    /// Returns 0 for an empty set.
+    pub fn accuracy(&self, features: &[Vec<f64>], labels: &[usize]) -> f64 {
+        if features.is_empty() {
+            return 0.0;
+        }
+        let correct = features
+            .iter()
+            .zip(labels)
+            .filter(|(x, &y)| self.predict(x) == y)
+            .count();
+        correct as f64 / features.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proxy::data::SyntheticDataset;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn predictions_are_valid_probabilities() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mlp = Mlp::new(&mut rng, 4, 8, 3, 0.01);
+        let p = mlp.predict_proba(&[0.1, -0.5, 0.3, 0.9]);
+        assert_eq!(p.len(), 3);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(mlp.predict(&[0.1, -0.5, 0.3, 0.9]) < 3);
+    }
+
+    #[test]
+    fn training_reduces_loss_on_a_fixed_example() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut mlp = Mlp::new(&mut rng, 4, 16, 2, 0.02);
+        let x = [1.0, -1.0, 0.5, 0.2];
+        let first = mlp.train_step(&x, 1);
+        let mut last = first;
+        for _ in 0..100 {
+            last = mlp.train_step(&x, 1);
+        }
+        assert!(last < first * 0.5, "loss {first} -> {last}");
+    }
+
+    #[test]
+    fn mlp_learns_separable_clusters() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let ds = SyntheticDataset::gaussian_clusters(&mut rng, 3, 6, 60, 0.15);
+        let mut mlp = Mlp::new(&mut rng, 6, 24, 3, 0.01);
+        for _ in 0..8 {
+            for (x, &y) in ds.train_features.iter().zip(&ds.train_labels) {
+                mlp.train_step(x, y);
+            }
+        }
+        let acc = mlp.accuracy(&ds.val_features, &ds.val_labels);
+        assert!(acc > 0.9, "validation accuracy {acc}");
+    }
+
+    #[test]
+    fn accuracy_of_empty_set_is_zero() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mlp = Mlp::new(&mut rng, 2, 4, 2, 0.01);
+        assert_eq!(mlp.accuracy(&[], &[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_label_panics() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut mlp = Mlp::new(&mut rng, 2, 4, 2, 0.01);
+        mlp.train_step(&[0.0, 0.0], 5);
+    }
+}

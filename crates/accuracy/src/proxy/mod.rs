@@ -1,0 +1,16 @@
+//! Proxy training path: a real train/validate pipeline on synthetic data.
+//!
+//! The paper's evaluator trains every sampled DNN from scratch and reports
+//! validation accuracy.  This module reproduces that *code path* — dataset
+//! split, mini-batch gradient descent, held-out validation — with a small
+//! MLP on a synthetic Gaussian-cluster classification task, sized according
+//! to the sampled architecture.  It is deliberately cheap enough to run in
+//! unit tests while exercising the full `nasaic-tensor` training stack.
+
+pub mod data;
+pub mod mlp;
+pub mod train;
+
+pub use data::SyntheticDataset;
+pub use mlp::Mlp;
+pub use train::{ProxyAccuracyModel, ProxyTrainer, TrainReport};

@@ -1,0 +1,172 @@
+//! The proxy trainer: turn a sampled architecture into a trained MLP and a
+//! held-out validation accuracy.
+
+use crate::proxy::data::SyntheticDataset;
+use crate::proxy::mlp::Mlp;
+use crate::surrogate::AccuracyModel;
+use nasaic_nn::backbone::Backbone;
+use nasaic_nn::layer::Architecture;
+use nasaic_nn::stats::NetworkStats;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the proxy training run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProxyTrainer {
+    /// Number of classes of the synthetic task.
+    pub num_classes: usize,
+    /// Feature dimensionality of the synthetic task.
+    pub num_features: usize,
+    /// Samples generated per class.
+    pub samples_per_class: usize,
+    /// Cluster spread (larger = harder task).
+    pub spread: f64,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Learning rate of the Adam optimizer.
+    pub learning_rate: f64,
+    /// RNG seed for dataset generation and weight initialisation.
+    pub seed: u64,
+}
+
+impl ProxyTrainer {
+    /// A configuration small enough for unit tests (a few milliseconds).
+    pub fn fast() -> Self {
+        Self {
+            num_classes: 6,
+            num_features: 6,
+            samples_per_class: 40,
+            spread: 0.75,
+            epochs: 3,
+            learning_rate: 0.01,
+            seed: 42,
+        }
+    }
+
+    /// Hidden width derived from the architecture's capacity: larger
+    /// sampled networks get proportionally wider proxies (between 4 and 64
+    /// hidden units), so the proxy preserves the capacity ordering.
+    pub fn hidden_size_for(&self, architecture: &Architecture) -> usize {
+        let stats = NetworkStats::of(architecture);
+        let capacity = (stats.total_macs.max(1) as f64).log10();
+        // Map capacity roughly in [6.5, 10] to [4, 64].
+        let scaled = ((capacity - 6.5) / 3.5).clamp(0.0, 1.0);
+        (4.0 + scaled * 60.0).round() as usize
+    }
+
+    /// Train a proxy for an architecture and return the detailed report.
+    pub fn train(&self, architecture: &Architecture) -> TrainReport {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let dataset = SyntheticDataset::gaussian_clusters(
+            &mut rng,
+            self.num_classes,
+            self.num_features,
+            self.samples_per_class,
+            self.spread,
+        );
+        let hidden = self.hidden_size_for(architecture);
+        let mut mlp = Mlp::new(
+            &mut rng,
+            self.num_features,
+            hidden,
+            self.num_classes,
+            self.learning_rate,
+        );
+        let mut final_train_loss = f64::INFINITY;
+        for _ in 0..self.epochs {
+            let mut epoch_loss = 0.0;
+            for (x, &y) in dataset.train_features.iter().zip(&dataset.train_labels) {
+                epoch_loss += mlp.train_step(x, y);
+            }
+            final_train_loss = epoch_loss / dataset.train_len() as f64;
+        }
+        TrainReport {
+            hidden_size: hidden,
+            train_loss: final_train_loss,
+            train_accuracy: mlp.accuracy(&dataset.train_features, &dataset.train_labels),
+            validation_accuracy: mlp.accuracy(&dataset.val_features, &dataset.val_labels),
+        }
+    }
+}
+
+impl Default for ProxyTrainer {
+    fn default() -> Self {
+        Self::fast()
+    }
+}
+
+/// Outcome of one proxy training run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrainReport {
+    /// Hidden width used for the proxy MLP.
+    pub hidden_size: usize,
+    /// Final average training loss.
+    pub train_loss: f64,
+    /// Accuracy on the training split.
+    pub train_accuracy: f64,
+    /// Accuracy on the held-out validation split (the number reported to
+    /// the reward).
+    pub validation_accuracy: f64,
+}
+
+/// [`AccuracyModel`] adapter around the proxy trainer, so the NASAIC
+/// evaluator can swap the surrogate for actual training.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct ProxyAccuracyModel {
+    /// Training configuration.
+    pub trainer: ProxyTrainer,
+}
+
+impl AccuracyModel for ProxyAccuracyModel {
+    fn evaluate(&self, _backbone: Backbone, architecture: &Architecture) -> f64 {
+        self.trainer.train(architecture).validation_accuracy
+    }
+
+    fn name(&self) -> &str {
+        "proxy-trainer"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn proxy_training_produces_sensible_accuracy() {
+        let trainer = ProxyTrainer::fast();
+        let arch = Backbone::ResNet9Cifar10.materialize_values(&[16, 64, 1, 128, 1, 128, 1]);
+        let report = trainer.train(&arch);
+        assert!(report.validation_accuracy > 0.5, "accuracy {}", report.validation_accuracy);
+        assert!(report.train_accuracy >= report.validation_accuracy - 0.2);
+        assert!(report.train_loss.is_finite());
+    }
+
+    #[test]
+    fn hidden_size_scales_with_architecture_capacity() {
+        let trainer = ProxyTrainer::fast();
+        let small = Backbone::ResNet9Cifar10.smallest_architecture();
+        let large = Backbone::ResNet9Cifar10.largest_architecture();
+        assert!(trainer.hidden_size_for(&large) > trainer.hidden_size_for(&small));
+        assert!(trainer.hidden_size_for(&small) >= 4);
+        assert!(trainer.hidden_size_for(&large) <= 64);
+    }
+
+    #[test]
+    fn proxy_training_is_deterministic_for_a_seed() {
+        let trainer = ProxyTrainer::fast();
+        let arch = Backbone::UNetNuclei.materialize_values(&[2, 8, 16, 16, 32, 64]);
+        let a = trainer.train(&arch);
+        let b = trainer.train(&arch);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn accuracy_model_adapter_reports_name() {
+        let model = ProxyAccuracyModel::default();
+        assert_eq!(model.name(), "proxy-trainer");
+        let arch = Backbone::ResNet9Cifar10.smallest_architecture();
+        let acc = model.evaluate(Backbone::ResNet9Cifar10, &arch);
+        assert!((0.0..=1.0).contains(&acc));
+    }
+}

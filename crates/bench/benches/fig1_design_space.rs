@@ -1,0 +1,41 @@
+//! Regenerates Fig. 1 (the motivation design-space exploration) and
+//! benchmarks the candidate-evaluation primitive behind every point of the
+//! figure.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nasaic_bench::{scale_from_env, seed_from_env};
+use nasaic_core::experiments::fig1;
+use nasaic_core::prelude::*;
+use std::hint::black_box;
+
+fn regenerate_and_bench(c: &mut Criterion) {
+    let scale = scale_from_env();
+    let seed = seed_from_env();
+    println!("\n=== Fig. 1 regeneration (scale: {scale}) ===");
+    let result = fig1::run(scale, seed);
+    println!("{result}");
+
+    // The figure is built from thousands of candidate evaluations; time one.
+    let (workload, specs) = fig1::fig1_setting();
+    let evaluator = Evaluator::new(&workload, specs, AccuracyOracle::default());
+    let architectures: Vec<_> = workload
+        .tasks
+        .iter()
+        .map(|t| t.backbone.materialize_values(&[32, 128, 2, 256, 2, 256, 2]))
+        .collect();
+    let accelerator = Accelerator::new(vec![
+        SubAccelerator::new(Dataflow::Nvdla, 2048, 32),
+        SubAccelerator::new(Dataflow::Shidiannao, 1024, 24),
+    ]);
+    let candidate = Candidate::from_parts(architectures, accelerator);
+
+    let mut group = c.benchmark_group("fig1");
+    group.sample_size(30);
+    group.bench_function("evaluate_candidate_cifar10", |b| {
+        b.iter(|| black_box(evaluator.evaluate(black_box(&candidate))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, regenerate_and_bench);
+criterion_main!(benches);

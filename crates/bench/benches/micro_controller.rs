@@ -1,0 +1,40 @@
+//! Micro-benchmarks of the RL controller: sampling a multi-segment
+//! candidate and applying one REINFORCE update.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nasaic_accel::HardwareSpace;
+use nasaic_core::prelude::*;
+use nasaic_rl::{Controller, ControllerConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_controller(c: &mut Criterion) {
+    let workload = Workload::w1();
+    let hardware = HardwareSpace::paper_default(2);
+    let segments = workload.controller_segments(&hardware);
+    let controller = Controller::new(segments.clone(), ControllerConfig::default(), 1);
+    let mut rng = StdRng::seed_from_u64(3);
+
+    let mut group = c.benchmark_group("controller");
+    group.bench_function("sample_w1_candidate", |b| {
+        b.iter(|| black_box(controller.sample(&mut rng)))
+    });
+    group.bench_function("sample_and_feedback", |b| {
+        let mut trainable = Controller::new(segments.clone(), ControllerConfig::default(), 2);
+        b.iter(|| {
+            let sample = trainable.sample(&mut rng);
+            black_box(trainable.feedback(&sample, 0.8));
+        })
+    });
+    group.bench_function("decode_candidate", |b| {
+        let sample = controller.sample(&mut rng);
+        b.iter(|| {
+            black_box(Candidate::from_segments(&workload, &hardware, black_box(&sample.segments)))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_controller);
+criterion_main!(benches);

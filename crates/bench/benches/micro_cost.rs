@@ -1,0 +1,54 @@
+//! Micro-benchmarks of the analytical cost model (the MAESTRO substitute):
+//! per-layer cost queries, whole-network cost tables and accelerator area.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nasaic_accel::{Accelerator, Dataflow, SubAccelerator};
+use nasaic_cost::{CostModel, WorkloadCosts};
+use nasaic_nn::backbone::Backbone;
+use nasaic_nn::layer::LayerShape;
+use std::hint::black_box;
+
+fn bench_layer_cost(c: &mut Criterion) {
+    let model = CostModel::paper_calibrated();
+    let layers = [
+        ("early_conv", LayerShape::conv2d("early", 3, 64, 3, 128, 1)),
+        ("mid_conv", LayerShape::conv2d("mid", 128, 128, 3, 16, 1)),
+        ("late_conv", LayerShape::conv2d("late", 256, 256, 3, 4, 1)),
+        ("dense", LayerShape::dense("fc", 256, 10)),
+    ];
+    let mut group = c.benchmark_group("cost/layer");
+    for dataflow in Dataflow::all() {
+        let sub = SubAccelerator::new(dataflow, 1024, 32);
+        for (name, layer) in &layers {
+            group.bench_with_input(
+                BenchmarkId::new(dataflow.abbreviation(), name),
+                layer,
+                |b, layer| b.iter(|| black_box(model.layer_cost(black_box(layer), &sub))),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_workload_costs(c: &mut Criterion) {
+    let model = CostModel::paper_calibrated();
+    let archs = vec![
+        Backbone::ResNet9Cifar10.materialize_values(&[32, 128, 2, 256, 2, 256, 2]),
+        Backbone::UNetNuclei.materialize_values(&[4, 16, 32, 64, 128, 256]),
+    ];
+    let acc = Accelerator::new(vec![
+        SubAccelerator::new(Dataflow::Nvdla, 2048, 32),
+        SubAccelerator::new(Dataflow::Shidiannao, 2048, 32),
+    ]);
+    let mut group = c.benchmark_group("cost/workload");
+    group.bench_function("build_w1_cost_table", |b| {
+        b.iter(|| black_box(WorkloadCosts::build(&model, black_box(&archs), &acc)))
+    });
+    group.bench_function("accelerator_area", |b| {
+        b.iter(|| black_box(model.area_um2(black_box(&acc))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_layer_cost, bench_workload_costs);
+criterion_main!(benches);

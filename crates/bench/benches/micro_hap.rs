@@ -1,0 +1,55 @@
+//! Micro-benchmarks of the mapping/scheduling stack: the list scheduler,
+//! the ratio heuristic and (on a small instance) the exact solver.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nasaic_accel::{Accelerator, Dataflow, SubAccelerator};
+use nasaic_cost::{CostModel, WorkloadCosts};
+use nasaic_nn::backbone::Backbone;
+use nasaic_sched::problem::Assignment;
+use nasaic_sched::schedule::simulate;
+use nasaic_sched::{solve_exact, solve_heuristic, HapProblem};
+use std::hint::black_box;
+
+fn w1_problem() -> HapProblem {
+    let model = CostModel::paper_calibrated();
+    let archs = vec![
+        Backbone::ResNet9Cifar10.materialize_values(&[32, 128, 2, 256, 2, 256, 2]),
+        Backbone::UNetNuclei.materialize_values(&[4, 16, 32, 64, 128, 256]),
+    ];
+    let acc = Accelerator::new(vec![
+        SubAccelerator::new(Dataflow::Nvdla, 2048, 32),
+        SubAccelerator::new(Dataflow::Shidiannao, 2048, 32),
+    ]);
+    HapProblem::new(WorkloadCosts::build(&model, &archs, &acc), 8.0e5)
+}
+
+fn tiny_problem() -> HapProblem {
+    let model = CostModel::paper_calibrated();
+    let archs = vec![Backbone::ResNet9Cifar10.materialize_values(&[8, 32, 0, 32, 0, 32, 0])];
+    let acc = Accelerator::new(vec![
+        SubAccelerator::new(Dataflow::Nvdla, 1024, 16),
+        SubAccelerator::new(Dataflow::Shidiannao, 1024, 16),
+    ]);
+    HapProblem::new(WorkloadCosts::build(&model, &archs, &acc), 1.0e6)
+}
+
+fn bench_scheduler(c: &mut Criterion) {
+    let problem = w1_problem();
+    let assignment = Assignment::uniform(&problem.costs, 0);
+    let mut group = c.benchmark_group("hap");
+    group.bench_function("list_schedule_w1", |b| {
+        b.iter(|| black_box(simulate(black_box(&problem), black_box(&assignment))))
+    });
+    group.bench_function("heuristic_w1", |b| {
+        b.iter(|| black_box(solve_heuristic(black_box(&problem))))
+    });
+    group.sample_size(10);
+    group.bench_function("exact_tiny", |b| {
+        let tiny = tiny_problem();
+        b.iter(|| black_box(solve_exact(black_box(&tiny))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_scheduler);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Regenerates Table I (NAS→ASIC vs ASIC→HW-NAS vs NASAIC on W1 and W2),
+//! prints the derived headline claims, and benchmarks the hardware-metrics
+//! evaluation that dominates every row.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nasaic_bench::{scale_from_env, seed_from_env};
+use nasaic_core::experiments::headline::HeadlineClaims;
+use nasaic_core::experiments::table1;
+use nasaic_core::prelude::*;
+use std::hint::black_box;
+
+fn regenerate_and_bench(c: &mut Criterion) {
+    let scale = scale_from_env();
+    let seed = seed_from_env();
+    println!("\n=== Table I regeneration (scale: {scale}) ===");
+    let result = table1::run(scale, seed);
+    print!("{result}");
+    for workload in [WorkloadId::W1, WorkloadId::W2] {
+        if let Some(claims) = HeadlineClaims::derive(&result, workload) {
+            print!("{claims}");
+        }
+    }
+
+    // Benchmark: hardware metrics (cost model + HAP) of a W1 candidate.
+    let workload = Workload::w1();
+    let specs = DesignSpecs::for_workload(WorkloadId::W1);
+    let evaluator = Evaluator::new(&workload, specs, AccuracyOracle::default());
+    let architectures: Vec<_> = workload
+        .tasks
+        .iter()
+        .map(|t| t.backbone.largest_architecture())
+        .collect();
+    let accelerator = Accelerator::new(vec![
+        SubAccelerator::new(Dataflow::Nvdla, 2048, 40),
+        SubAccelerator::new(Dataflow::Shidiannao, 1536, 24),
+    ]);
+
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(20);
+    group.bench_function("hardware_metrics_w1", |b| {
+        b.iter(|| {
+            black_box(evaluator.hardware_metrics(black_box(&architectures), black_box(&accelerator)))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, regenerate_and_bench);
+criterion_main!(benches);

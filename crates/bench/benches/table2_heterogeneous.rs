@@ -1,0 +1,39 @@
+//! Regenerates Table II (single vs homogeneous vs heterogeneous
+//! accelerators on W3) and benchmarks the accuracy surrogate used by every
+//! study.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nasaic_accuracy::AccuracyModel;
+use nasaic_bench::{scale_from_env, seed_from_env};
+use nasaic_core::experiments::table2;
+use nasaic_core::prelude::*;
+use std::hint::black_box;
+
+fn regenerate_and_bench(c: &mut Criterion) {
+    let scale = scale_from_env();
+    let seed = seed_from_env();
+    println!("\n=== Table II regeneration (scale: {scale}) ===");
+    let result = table2::run(scale, seed);
+    print!("{result}");
+
+    // Benchmark: the per-architecture accuracy oracle (the "training"
+    // stand-in each study calls once per episode).
+    let surrogate = SurrogateModel::paper_calibrated();
+    let arch = Backbone::ResNet9Cifar10.materialize_values(&[32, 128, 2, 256, 2, 256, 2]);
+
+    let mut group = c.benchmark_group("table2");
+    group.bench_function("surrogate_accuracy_cifar10", |b| {
+        b.iter(|| black_box(surrogate.evaluate(Backbone::ResNet9Cifar10, black_box(&arch))))
+    });
+    group.bench_function("materialize_resnet9", |b| {
+        b.iter(|| {
+            black_box(
+                Backbone::ResNet9Cifar10.materialize_values(black_box(&[32, 128, 2, 256, 2, 256, 2])),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, regenerate_and_bench);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Shared helpers for the NASAIC benchmark harness.
+//!
+//! Every bench target regenerates one table or figure of the paper and
+//! prints it before running its Criterion measurements, so `cargo bench`
+//! doubles as the experiment-reproduction entry point.  The regeneration
+//! effort is controlled by the `NASAIC_BENCH_SCALE` environment variable:
+//!
+//! * `quick` (default) — seconds per artefact;
+//! * `benchmark` — tens of seconds, the scale used for EXPERIMENTS.md;
+//! * `paper` — the paper's full effort (500 episodes, 10,000 Monte-Carlo
+//!   runs).
+
+use nasaic_core::experiments::ExperimentScale;
+
+/// Scale selected through the `NASAIC_BENCH_SCALE` environment variable.
+pub fn scale_from_env() -> ExperimentScale {
+    match std::env::var("NASAIC_BENCH_SCALE")
+        .unwrap_or_default()
+        .to_ascii_lowercase()
+        .as_str()
+    {
+        "paper" => ExperimentScale::Paper,
+        "benchmark" | "bench" => ExperimentScale::Benchmark,
+        _ => ExperimentScale::Quick,
+    }
+}
+
+/// Seed shared by all benchmark regenerations (override with
+/// `NASAIC_BENCH_SEED`).
+pub fn seed_from_env() -> u64 {
+    std::env::var("NASAIC_BENCH_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2020)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_scale_is_quick() {
+        // The variable is unlikely to be set during unit tests; accept any
+        // valid parse but require a deterministic default when unset.
+        if std::env::var("NASAIC_BENCH_SCALE").is_err() {
+            assert_eq!(scale_from_env(), ExperimentScale::Quick);
+        }
+    }
+
+    #[test]
+    fn default_seed_is_stable() {
+        if std::env::var("NASAIC_BENCH_SEED").is_err() {
+            assert_eq!(seed_from_env(), 2020);
+        }
+    }
+}

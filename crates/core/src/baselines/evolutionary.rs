@@ -1,0 +1,263 @@
+//! Evolutionary co-search over the joint (architecture, hardware) space.
+//!
+//! Section IV of the paper notes that, given the formulated reward, "other
+//! optimization approaches, such as evolution algorithms, can also be
+//! applied" in place of the reinforcement-learning controller.  This module
+//! provides that alternative optimizer: a steady-state genetic algorithm
+//! whose genome is the concatenation of the per-task architecture choice
+//! indices and the per-sub-accelerator hardware choice indices, and whose
+//! fitness is exactly the Eq. 4 reward.
+
+use crate::bounds::PenaltyBounds;
+use crate::candidate::Candidate;
+use crate::evaluator::Evaluator;
+use crate::log::{ExploredSolution, SearchOutcome};
+use crate::penalty::Penalty;
+use crate::reward::Reward;
+use crate::spec::DesignSpecs;
+use crate::workload::Workload;
+use nasaic_accel::HardwareSpace;
+use nasaic_nn::space::SearchSpace;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the evolutionary co-search.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EvolutionarySearch {
+    /// Population size.
+    pub population: usize,
+    /// Number of generations.
+    pub generations: usize,
+    /// Tournament size for parent selection.
+    pub tournament: usize,
+    /// Per-gene mutation probability.
+    pub mutation_rate: f64,
+    /// Penalty scaling of the fitness (Eq. 4's `rho`).
+    pub rho: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl EvolutionarySearch {
+    /// A configuration with roughly the same evaluation budget as the
+    /// paper's RL run (500 episodes x 11 designs).
+    pub fn paper(seed: u64) -> Self {
+        Self {
+            population: 50,
+            generations: 100,
+            tournament: 3,
+            mutation_rate: 0.15,
+            rho: 10.0,
+            seed,
+        }
+    }
+
+    /// A configuration small enough for tests.
+    pub fn fast(seed: u64) -> Self {
+        Self {
+            population: 24,
+            generations: 12,
+            tournament: 3,
+            mutation_rate: 0.2,
+            rho: 10.0,
+            seed,
+        }
+    }
+
+    /// Run the evolutionary co-search.
+    pub fn run(
+        &self,
+        workload: &Workload,
+        specs: DesignSpecs,
+        hardware: &HardwareSpace,
+        evaluator: &Evaluator,
+    ) -> SearchOutcome {
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0x5eed_5eed);
+        let bounds = PenaltyBounds::from_specs(&specs, 3.0);
+        let arch_spaces: Vec<SearchSpace> = workload
+            .tasks
+            .iter()
+            .map(|t| t.backbone.search_space())
+            .collect();
+        let hw_space = hardware.search_space();
+
+        // Genome layout: per-task architecture indices followed by the flat
+        // hardware indices.
+        let genome_layout: Vec<usize> = arch_spaces
+            .iter()
+            .map(SearchSpace::num_choices)
+            .chain(std::iter::once(hw_space.num_choices()))
+            .collect();
+        let genome_length: usize = genome_layout.iter().sum();
+        let cardinalities: Vec<usize> = arch_spaces
+            .iter()
+            .flat_map(|s| s.cardinalities())
+            .chain(hw_space.cardinalities())
+            .collect();
+        debug_assert_eq!(cardinalities.len(), genome_length);
+
+        let decode = |genome: &[usize]| -> Option<Candidate> {
+            let mut segments = Vec::with_capacity(workload.num_tasks() + 1);
+            let mut offset = 0;
+            for space in &arch_spaces {
+                segments.push(genome[offset..offset + space.num_choices()].to_vec());
+                offset += space.num_choices();
+            }
+            // Hardware indices are consumed 3 per sub-accelerator by
+            // `Candidate::from_segments`.
+            let hw = genome[offset..].to_vec();
+            for chunk in hw.chunks(3) {
+                segments.push(chunk.to_vec());
+            }
+            Candidate::from_segments(workload, hardware, &segments).ok()
+        };
+
+        let mut outcome = SearchOutcome::empty();
+        let mut evaluations = 0usize;
+        let mut fitness_of = |genome: &[usize], outcome: &mut SearchOutcome| -> f64 {
+            let Some(candidate) = decode(genome) else {
+                return -self.rho * 10.0;
+            };
+            let evaluation = evaluator.evaluate(&candidate);
+            let penalty = Penalty::compute(&evaluation.metrics, &specs, &bounds);
+            let reward = Reward::new(evaluation.weighted_accuracy, &penalty, self.rho).value();
+            outcome.record(ExploredSolution {
+                episode: evaluations,
+                candidate,
+                evaluation,
+                reward,
+            });
+            evaluations += 1;
+            reward
+        };
+
+        // Initial population.
+        let mut population: Vec<Vec<usize>> = (0..self.population.max(2))
+            .map(|_| {
+                cardinalities
+                    .iter()
+                    .map(|&c| rng.gen_range(0..c))
+                    .collect()
+            })
+            .collect();
+        let mut fitness: Vec<f64> = population
+            .iter()
+            .map(|g| fitness_of(g, &mut outcome))
+            .collect();
+
+        for _generation in 0..self.generations {
+            let mut next_population = Vec::with_capacity(population.len());
+            // Elitism: carry the best individual over unchanged.
+            let best_index = argmax(&fitness);
+            next_population.push(population[best_index].clone());
+            while next_population.len() < population.len() {
+                let parent_a = tournament_select(&population, &fitness, self.tournament, &mut rng);
+                let parent_b = tournament_select(&population, &fitness, self.tournament, &mut rng);
+                let mut child: Vec<usize> = parent_a
+                    .iter()
+                    .zip(parent_b)
+                    .map(|(&a, &b)| if rng.gen_bool(0.5) { a } else { b })
+                    .collect();
+                for (gene, &card) in child.iter_mut().zip(&cardinalities) {
+                    if rng.gen_bool(self.mutation_rate) {
+                        *gene = rng.gen_range(0..card);
+                    }
+                }
+                next_population.push(child);
+            }
+            population = next_population;
+            fitness = population
+                .iter()
+                .map(|g| fitness_of(g, &mut outcome))
+                .collect();
+        }
+
+        outcome.episodes = self.generations;
+        outcome
+    }
+}
+
+fn argmax(values: &[f64]) -> usize {
+    values
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.total_cmp(b.1))
+        .map(|(i, _)| i)
+        .unwrap_or(0)
+}
+
+fn tournament_select<'a, R: Rng>(
+    population: &'a [Vec<usize>],
+    fitness: &[f64],
+    tournament: usize,
+    rng: &mut R,
+) -> &'a Vec<usize> {
+    let mut best = rng.gen_range(0..population.len());
+    for _ in 1..tournament.max(1) {
+        let challenger = rng.gen_range(0..population.len());
+        if fitness[challenger] > fitness[best] {
+            best = challenger;
+        }
+    }
+    &population[best]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluator::AccuracyOracle;
+    use crate::spec::WorkloadId;
+
+    #[test]
+    fn evolutionary_search_finds_compliant_w3_solutions() {
+        let workload = Workload::w3();
+        let specs = DesignSpecs::for_workload(WorkloadId::W3);
+        let evaluator = Evaluator::new(&workload, specs, AccuracyOracle::default());
+        let hardware = HardwareSpace::paper_default(2);
+        let outcome = EvolutionarySearch::fast(3).run(&workload, specs, &hardware, &evaluator);
+        assert!(outcome.best.is_some(), "no compliant solution found");
+        assert!(outcome.best_weighted_accuracy().unwrap() > 0.80);
+        for s in &outcome.spec_compliant {
+            assert!(s.evaluation.meets_specs());
+        }
+    }
+
+    #[test]
+    fn later_generations_do_not_regress_the_best_reward() {
+        let workload = Workload::w3();
+        let specs = DesignSpecs::for_workload(WorkloadId::W3);
+        let evaluator = Evaluator::new(&workload, specs, AccuracyOracle::default());
+        let hardware = HardwareSpace::paper_default(2);
+        let config = EvolutionarySearch::fast(7);
+        let outcome = config.run(&workload, specs, &hardware, &evaluator);
+        // Best-so-far reward over evaluation order must be non-decreasing by
+        // construction (elitism); check the recorded rewards are consistent.
+        let mut best = f64::NEG_INFINITY;
+        let mut best_curve = Vec::new();
+        for s in &outcome.explored {
+            best = best.max(s.reward);
+            best_curve.push(best);
+        }
+        let first_quarter = best_curve[best_curve.len() / 4];
+        let last = *best_curve.last().unwrap();
+        assert!(last >= first_quarter);
+    }
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let workload = Workload::w1();
+        let specs = DesignSpecs::for_workload(WorkloadId::W1);
+        let evaluator = Evaluator::new(&workload, specs, AccuracyOracle::default());
+        let hardware = HardwareSpace::paper_default(2);
+        let config = EvolutionarySearch {
+            population: 8,
+            generations: 3,
+            ..EvolutionarySearch::fast(11)
+        };
+        let a = config.run(&workload, specs, &hardware, &evaluator);
+        let b = config.run(&workload, specs, &hardware, &evaluator);
+        assert_eq!(a.best_weighted_accuracy(), b.best_weighted_accuracy());
+        assert_eq!(a.explored.len(), b.explored.len());
+    }
+}

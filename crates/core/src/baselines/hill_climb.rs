@@ -1,0 +1,168 @@
+//! Greedy hill-climbing over the joint (architecture, hardware) space.
+//!
+//! Not part of the paper's evaluation — included as an ablation of the RL
+//! controller: a purely local searcher that starts from the smallest
+//! architectures on a balanced accelerator and greedily accepts single-step
+//! moves that improve the Eq. 4 reward.
+
+use crate::bounds::PenaltyBounds;
+use crate::candidate::Candidate;
+use crate::evaluator::Evaluator;
+use crate::log::{ExploredSolution, SearchOutcome};
+use crate::penalty::Penalty;
+use crate::reward::Reward;
+use crate::spec::DesignSpecs;
+use crate::workload::Workload;
+use nasaic_accel::HardwareSpace;
+use serde::{Deserialize, Serialize};
+
+/// A candidate move of the local search: the architecture indices per task,
+/// the hardware indices, the decoded candidate and its reward.
+type Move = (Vec<Vec<usize>>, Vec<usize>, Candidate, f64);
+
+/// Configuration of the hill-climbing baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HillClimb {
+    /// Maximum number of accepted moves.
+    pub max_steps: usize,
+    /// Penalty scaling of the reward.
+    pub rho: f64,
+}
+
+impl HillClimb {
+    /// Default configuration.
+    pub fn new(max_steps: usize) -> Self {
+        Self {
+            max_steps,
+            rho: 10.0,
+        }
+    }
+
+    /// Run the local search.
+    pub fn run(
+        &self,
+        workload: &Workload,
+        specs: DesignSpecs,
+        hardware: &HardwareSpace,
+        evaluator: &Evaluator,
+    ) -> SearchOutcome {
+        let bounds = PenaltyBounds::from_specs(&specs, 3.0);
+        let reward_of = |candidate: &Candidate| {
+            let evaluation = evaluator.evaluate(candidate);
+            let penalty = Penalty::compute(&evaluation.metrics, &specs, &bounds);
+            let reward = Reward::new(evaluation.weighted_accuracy, &penalty, self.rho).value();
+            (evaluation, reward)
+        };
+
+        // Starting point: smallest architectures, balanced mid-size design.
+        let mut arch_indices: Vec<Vec<usize>> = workload
+            .tasks
+            .iter()
+            .map(|t| t.backbone.search_space().smallest())
+            .collect();
+        let hw_space_search = hardware.search_space();
+        let mut hw_indices: Vec<usize> = hw_space_search
+            .cardinalities()
+            .iter()
+            .map(|&c| c / 2)
+            .collect();
+
+        let build = |arch_indices: &[Vec<usize>], hw_indices: &[usize]| -> Candidate {
+            let architectures = workload
+                .tasks
+                .iter()
+                .zip(arch_indices)
+                .map(|(t, idx)| t.backbone.materialize(idx).expect("valid indices"))
+                .collect();
+            let accelerator = hardware.decode(hw_indices).expect("valid hardware indices");
+            Candidate::from_parts(architectures, accelerator)
+        };
+
+        let mut outcome = SearchOutcome::empty();
+        let mut current = build(&arch_indices, &hw_indices);
+        let (mut current_eval, mut current_reward) = reward_of(&current);
+        outcome.record(ExploredSolution {
+            episode: 0,
+            candidate: current.clone(),
+            evaluation: current_eval.clone(),
+            reward: current_reward,
+        });
+
+        for step in 1..=self.max_steps {
+            let mut best_move: Option<Move> = None;
+            // Architecture neighbours.
+            for (task_index, task) in workload.tasks.iter().enumerate() {
+                let space = task.backbone.search_space();
+                for neighbour in space.neighbours(&arch_indices[task_index]) {
+                    let mut trial_arch = arch_indices.clone();
+                    trial_arch[task_index] = neighbour;
+                    let candidate = build(&trial_arch, &hw_indices);
+                    let (_, reward) = reward_of(&candidate);
+                    if best_move.as_ref().is_none_or(|(_, _, _, r)| reward > *r) {
+                        best_move = Some((trial_arch, hw_indices.clone(), candidate, reward));
+                    }
+                }
+            }
+            // Hardware neighbours.
+            for neighbour in hw_space_search.neighbours(&hw_indices) {
+                let candidate = build(&arch_indices, &neighbour);
+                let (_, reward) = reward_of(&candidate);
+                if best_move.as_ref().is_none_or(|(_, _, _, r)| reward > *r) {
+                    best_move = Some((arch_indices.clone(), neighbour, candidate, reward));
+                }
+            }
+            let Some((next_arch, next_hw, candidate, reward)) = best_move else {
+                break;
+            };
+            if reward <= current_reward {
+                break; // local optimum
+            }
+            arch_indices = next_arch;
+            hw_indices = next_hw;
+            current = candidate;
+            let (evaluation, r) = reward_of(&current);
+            current_eval = evaluation;
+            current_reward = r;
+            outcome.record(ExploredSolution {
+                episode: step,
+                candidate: current.clone(),
+                evaluation: current_eval.clone(),
+                reward: current_reward,
+            });
+            outcome.episodes = step;
+        }
+        outcome
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluator::AccuracyOracle;
+    use crate::spec::WorkloadId;
+
+    #[test]
+    fn hill_climbing_improves_over_its_starting_point() {
+        let workload = Workload::w3();
+        let specs = DesignSpecs::for_workload(WorkloadId::W3);
+        let evaluator = Evaluator::new(&workload, specs, AccuracyOracle::default());
+        let hardware = HardwareSpace::paper_default(2);
+        let outcome = HillClimb::new(12).run(&workload, specs, &hardware, &evaluator);
+        assert!(outcome.explored.len() >= 2, "no move was accepted");
+        let first = outcome.explored.first().unwrap().reward;
+        let last = outcome.explored.last().unwrap().reward;
+        assert!(last > first, "reward did not improve: {first} -> {last}");
+    }
+
+    #[test]
+    fn rewards_are_monotonically_non_decreasing() {
+        let workload = Workload::w1();
+        let specs = DesignSpecs::for_workload(WorkloadId::W1);
+        let evaluator = Evaluator::new(&workload, specs, AccuracyOracle::default());
+        let hardware = HardwareSpace::paper_default(2);
+        let outcome = HillClimb::new(8).run(&workload, specs, &hardware, &evaluator);
+        for pair in outcome.explored.windows(2) {
+            assert!(pair[1].reward >= pair[0].reward);
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! Baseline approaches the paper compares NASAIC against.
+//!
+//! * [`nas_then_asic`] — successive optimisation: accuracy-only NAS first,
+//!   then a brute-force sweep of accelerator designs ("NAS→ASIC" in
+//!   Table I);
+//! * [`asic_then_hwnas`] — a Monte-Carlo hardware search for the design
+//!   closest to the specs, followed by hardware-aware NAS on that fixed
+//!   design ("ASIC→HW-NAS" in Table I);
+//! * [`monte_carlo`] — joint random search over architectures and hardware
+//!   (the 10,000-run baseline that produces the "optimal" star of Fig. 1);
+//! * [`hill_climb`] — a greedy local-search baseline over the joint space
+//!   (not in the paper; used for ablations of the RL controller);
+//! * [`evolutionary`] — the evolutionary-algorithm alternative optimizer the
+//!   paper mentions can replace the RL controller on the same reward.
+
+pub mod asic_then_hwnas;
+pub mod evolutionary;
+pub mod hill_climb;
+pub mod monte_carlo;
+pub mod nas_then_asic;
+
+pub use asic_then_hwnas::AsicThenHwNas;
+pub use evolutionary::EvolutionarySearch;
+pub use hill_climb::HillClimb;
+pub use monte_carlo::MonteCarloSearch;
+pub use nas_then_asic::NasThenAsic;

@@ -1,0 +1,124 @@
+//! Joint Monte-Carlo search over architectures and hardware designs.
+//!
+//! Fig. 1 of the paper uses 10,000 Monte-Carlo runs of the joint space to
+//! locate the "optimal" solution (the star) that successive optimisation
+//! misses.  This baseline reproduces that experiment and doubles as a
+//! sanity check for NASAIC: with enough samples, random search finds
+//! spec-compliant solutions, but needs far more evaluations than the
+//! guided search to reach the same accuracy.
+
+use crate::candidate::Candidate;
+use crate::evaluator::Evaluator;
+use crate::log::{ExploredSolution, SearchOutcome};
+use crate::workload::Workload;
+use nasaic_accel::HardwareSpace;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the joint Monte-Carlo baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MonteCarloSearch {
+    /// Number of random (architecture, hardware) samples.
+    pub runs: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl MonteCarloSearch {
+    /// The paper's scale: 10,000 runs.
+    pub fn paper(seed: u64) -> Self {
+        Self { runs: 10_000, seed }
+    }
+
+    /// A configuration small enough for tests.
+    pub fn fast(seed: u64) -> Self {
+        Self { runs: 200, seed }
+    }
+
+    /// Run the search.
+    pub fn run(
+        &self,
+        workload: &Workload,
+        hardware: &HardwareSpace,
+        evaluator: &Evaluator,
+    ) -> SearchOutcome {
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0x1111_2222);
+        let mut outcome = SearchOutcome::empty();
+        for episode in 0..self.runs {
+            let architectures: Vec<_> = workload
+                .tasks
+                .iter()
+                .map(|task| {
+                    let space = task.backbone.search_space();
+                    let indices = space.sample(&mut rng);
+                    task.backbone
+                        .materialize(&indices)
+                        .expect("sampled indices are always valid")
+                })
+                .collect();
+            // Alternate between arbitrary allocations and fully allocated
+            // designs so the sweep covers both the interior and the boundary
+            // of the hardware space.
+            let accelerator = if episode % 2 == 0 {
+                hardware.sample(&mut rng)
+            } else {
+                hardware.sample_fully_allocated(&mut rng)
+            };
+            let candidate = Candidate::from_parts(architectures, accelerator);
+            let evaluation = evaluator.evaluate(&candidate);
+            outcome.record(ExploredSolution {
+                episode,
+                candidate,
+                evaluation,
+                reward: 0.0,
+            });
+        }
+        outcome.episodes = self.runs;
+        outcome
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluator::AccuracyOracle;
+    use crate::spec::{DesignSpecs, WorkloadId};
+
+    #[test]
+    fn monte_carlo_explores_the_requested_number_of_samples() {
+        let workload = Workload::w3();
+        let specs = DesignSpecs::for_workload(WorkloadId::W3);
+        let evaluator = Evaluator::new(&workload, specs, AccuracyOracle::default());
+        let hardware = HardwareSpace::paper_default(2);
+        let outcome = MonteCarloSearch::fast(1).run(&workload, &hardware, &evaluator);
+        assert_eq!(outcome.explored.len(), 200);
+        assert_eq!(outcome.episodes, 200);
+    }
+
+    #[test]
+    fn monte_carlo_finds_compliant_solutions_on_w1() {
+        let workload = Workload::w1();
+        let specs = DesignSpecs::for_workload(WorkloadId::W1);
+        let evaluator = Evaluator::new(&workload, specs, AccuracyOracle::default());
+        let hardware = HardwareSpace::paper_default(2);
+        let outcome = MonteCarloSearch::fast(3).run(&workload, &hardware, &evaluator);
+        assert!(outcome.best.is_some(), "random search found no compliant design");
+        let best = outcome.best.unwrap();
+        assert!(best.evaluation.meets_specs());
+        assert!(best.evaluation.weighted_accuracy > 0.715);
+    }
+
+    #[test]
+    fn runs_with_same_seed_are_identical() {
+        let workload = Workload::w3();
+        let specs = DesignSpecs::for_workload(WorkloadId::W3);
+        let evaluator = Evaluator::new(&workload, specs, AccuracyOracle::default());
+        let hardware = HardwareSpace::paper_default(2);
+        let mc = MonteCarloSearch { runs: 30, seed: 9 };
+        let a = mc.run(&workload, &hardware, &evaluator);
+        let b = mc.run(&workload, &hardware, &evaluator);
+        assert_eq!(a.best_weighted_accuracy(), b.best_weighted_accuracy());
+        assert_eq!(a.spec_compliant.len(), b.spec_compliant.len());
+    }
+}

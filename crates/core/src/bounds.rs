@@ -1,0 +1,136 @@
+//! Upper bounds used to normalise the penalty (Eq. 3).
+//!
+//! The paper obtains `bl`, `be`, `ba` — the upper bounds of latency, energy
+//! and area — "by exploring the hardware design space using the neural
+//! architecture identified by NAS" (the circles of Fig. 1).
+//! [`PenaltyBounds::estimate`] reproduces that procedure: it evaluates the
+//! accuracy-optimal (largest-capacity) architectures of the workload on a
+//! set of randomly sampled hardware designs and records the worst metric
+//! values observed.
+
+use crate::evaluator::Evaluator;
+use crate::spec::DesignSpecs;
+use crate::workload::Workload;
+use nasaic_accel::HardwareSpace;
+use nasaic_nn::layer::Architecture;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Normalisation bounds for the penalty terms.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PenaltyBounds {
+    /// Upper bound of latency (`bl`), cycles.
+    pub latency_cycles: f64,
+    /// Upper bound of energy (`be`), nJ.
+    pub energy_nj: f64,
+    /// Upper bound of area (`ba`), µm².
+    pub area_um2: f64,
+}
+
+impl PenaltyBounds {
+    /// Estimate the bounds by evaluating the largest architectures of the
+    /// workload on `samples` random hardware designs (the paper's
+    /// NAS-architecture hardware sweep).  The returned bounds are never
+    /// smaller than twice the corresponding spec, so the penalty
+    /// normalisation is always well defined.
+    pub fn estimate(
+        workload: &Workload,
+        hardware: &HardwareSpace,
+        evaluator: &Evaluator,
+        specs: &DesignSpecs,
+        samples: usize,
+        seed: u64,
+    ) -> Self {
+        let architectures: Vec<Architecture> = workload
+            .tasks
+            .iter()
+            .map(|t| t.backbone.largest_architecture())
+            .collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut worst_latency: f64 = 0.0;
+        let mut worst_energy: f64 = 0.0;
+        let mut worst_area: f64 = 0.0;
+        for _ in 0..samples.max(1) {
+            let accelerator = hardware.sample_fully_allocated(&mut rng);
+            let metrics = evaluator.hardware_metrics(&architectures, &accelerator);
+            if metrics.latency_cycles.is_finite() {
+                worst_latency = worst_latency.max(metrics.latency_cycles);
+            }
+            if metrics.energy_nj.is_finite() {
+                worst_energy = worst_energy.max(metrics.energy_nj);
+            }
+            if metrics.area_um2.is_finite() {
+                worst_area = worst_area.max(metrics.area_um2);
+            }
+        }
+        // Clamp the bounds into [2x, 5x] of the specs: the lower clamp keeps
+        // the normalisation well defined, the upper clamp keeps the penalty
+        // slope meaningful even when the accuracy-optimal architectures are
+        // orders of magnitude over the specs (e.g. the largest STL-10
+        // networks of W2), which would otherwise flatten the reward signal.
+        Self {
+            latency_cycles: worst_latency
+                .clamp(2.0 * specs.latency_cycles, 5.0 * specs.latency_cycles),
+            energy_nj: worst_energy.clamp(2.0 * specs.energy_nj, 5.0 * specs.energy_nj),
+            area_um2: worst_area.clamp(2.0 * specs.area_um2, 5.0 * specs.area_um2),
+        }
+    }
+
+    /// Fixed bounds at a multiple of the specs (cheap alternative to
+    /// [`estimate`](Self::estimate) for quick demos).
+    pub fn from_specs(specs: &DesignSpecs, factor: f64) -> Self {
+        assert!(factor > 1.0, "bounds must exceed the specs");
+        Self {
+            latency_cycles: specs.latency_cycles * factor,
+            energy_nj: specs.energy_nj * factor,
+            area_um2: specs.area_um2 * factor,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluator::{AccuracyOracle, Evaluator};
+    use crate::spec::WorkloadId;
+
+    #[test]
+    fn from_specs_scales_each_bound() {
+        let specs = DesignSpecs::for_workload(WorkloadId::W1);
+        let bounds = PenaltyBounds::from_specs(&specs, 3.0);
+        assert_eq!(bounds.latency_cycles, 3.0 * specs.latency_cycles);
+        assert_eq!(bounds.energy_nj, 3.0 * specs.energy_nj);
+        assert_eq!(bounds.area_um2, 3.0 * specs.area_um2);
+    }
+
+    #[test]
+    fn estimated_bounds_exceed_specs() {
+        let workload = Workload::w1();
+        let specs = DesignSpecs::for_workload(WorkloadId::W1);
+        let hardware = HardwareSpace::paper_default(2);
+        let evaluator = Evaluator::new(&workload, specs, AccuracyOracle::default());
+        let bounds = PenaltyBounds::estimate(&workload, &hardware, &evaluator, &specs, 8, 42);
+        assert!(bounds.latency_cycles >= 2.0 * specs.latency_cycles);
+        assert!(bounds.energy_nj >= 2.0 * specs.energy_nj);
+        assert!(bounds.area_um2 >= 2.0 * specs.area_um2);
+    }
+
+    #[test]
+    fn estimation_is_deterministic_for_a_seed() {
+        let workload = Workload::w3();
+        let specs = DesignSpecs::for_workload(WorkloadId::W3);
+        let hardware = HardwareSpace::paper_default(2);
+        let evaluator = Evaluator::new(&workload, specs, AccuracyOracle::default());
+        let a = PenaltyBounds::estimate(&workload, &hardware, &evaluator, &specs, 5, 7);
+        let b = PenaltyBounds::estimate(&workload, &hardware, &evaluator, &specs, 5, 7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic]
+    fn from_specs_rejects_factor_below_one() {
+        let specs = DesignSpecs::for_workload(WorkloadId::W1);
+        PenaltyBounds::from_specs(&specs, 0.5);
+    }
+}

@@ -1,0 +1,342 @@
+//! The NASAIC evaluator (paper Fig. 4, component ③).
+//!
+//! The evaluator has two paths:
+//!
+//! * **training / validating** — obtain every sampled architecture's
+//!   accuracy (here: the calibrated surrogate or the proxy trainer) and
+//!   combine them into the weighted accuracy of Eq. 2;
+//! * **mapping / scheduling** — build the (layer × sub-accelerator) cost
+//!   table with the cost model, solve the heterogeneous assignment problem
+//!   under the latency spec, and read latency, energy and area.
+
+use crate::candidate::Candidate;
+use crate::spec::{DesignSpecs, SpecCheck};
+use crate::workload::Workload;
+use nasaic_accel::Accelerator;
+use nasaic_accuracy::proxy::ProxyAccuracyModel;
+use nasaic_accuracy::{AccuracyCombiner, AccuracyModel, SurrogateModel};
+use nasaic_cost::{CostModel, HardwareMetrics, WorkloadCosts};
+use nasaic_nn::layer::Architecture;
+use nasaic_sched::{solve_heuristic, HapProblem};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The accuracy oracle used by the evaluator.
+///
+/// The calibrated surrogate is the default; the proxy trainer exercises a
+/// real train/validate loop on synthetic data (slower, used in examples
+/// and tests of the full pipeline).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum AccuracyOracle {
+    /// Calibrated analytical surrogate (fast, default).
+    Surrogate(SurrogateModel),
+    /// Proxy MLP training on synthetic data.
+    Proxy(ProxyAccuracyModel),
+}
+
+impl AccuracyOracle {
+    /// Evaluate one architecture's accuracy.
+    pub fn evaluate(&self, backbone: nasaic_nn::backbone::Backbone, arch: &Architecture) -> f64 {
+        match self {
+            AccuracyOracle::Surrogate(m) => m.evaluate(backbone, arch),
+            AccuracyOracle::Proxy(m) => m.evaluate(backbone, arch),
+        }
+    }
+
+    /// Name of the oracle.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AccuracyOracle::Surrogate(_) => "calibrated-surrogate",
+            AccuracyOracle::Proxy(_) => "proxy-trainer",
+        }
+    }
+}
+
+impl Default for AccuracyOracle {
+    fn default() -> Self {
+        AccuracyOracle::Surrogate(SurrogateModel::paper_calibrated())
+    }
+}
+
+/// The result of evaluating one candidate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Evaluation {
+    /// Per-task accuracy (or IOU), in workload order.
+    pub accuracies: Vec<f64>,
+    /// Weighted accuracy of Eq. 2.
+    pub weighted_accuracy: f64,
+    /// Hardware metrics (latency of the best mapping found under the
+    /// latency spec, its energy, and the accelerator area).
+    pub metrics: HardwareMetrics,
+    /// Per-spec satisfaction.
+    pub spec_check: SpecCheck,
+    /// `true` when the mapper found a schedule within the latency spec.
+    pub mapping_feasible: bool,
+}
+
+impl Evaluation {
+    /// `true` when all three design specs are met.
+    pub fn meets_specs(&self) -> bool {
+        self.spec_check.all()
+    }
+}
+
+impl fmt::Display for Evaluation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "acc {:?} (weighted {:.4}), {}, specs {}",
+            self.accuracies
+                .iter()
+                .map(|a| (a * 1e4).round() / 1e4)
+                .collect::<Vec<_>>(),
+            self.weighted_accuracy,
+            self.metrics,
+            self.spec_check.symbol()
+        )
+    }
+}
+
+/// The evaluator: accuracy path + hardware path for a fixed workload and
+/// spec set.
+#[derive(Debug, Clone)]
+pub struct Evaluator {
+    workload: Workload,
+    specs: DesignSpecs,
+    cost_model: CostModel,
+    oracle: AccuracyOracle,
+    combiner: AccuracyCombiner,
+}
+
+impl Evaluator {
+    /// Create an evaluator with the paper-calibrated cost model and the
+    /// workload's own task weights.
+    pub fn new(workload: &Workload, specs: DesignSpecs, oracle: AccuracyOracle) -> Self {
+        Self {
+            workload: workload.clone(),
+            specs,
+            cost_model: CostModel::paper_calibrated(),
+            oracle,
+            combiner: workload.combiner(),
+        }
+    }
+
+    /// Replace the cost model (e.g. for a re-calibrated technology).
+    pub fn with_cost_model(mut self, cost_model: CostModel) -> Self {
+        self.cost_model = cost_model;
+        self
+    }
+
+    /// Replace the accuracy combiner.
+    pub fn with_combiner(mut self, combiner: AccuracyCombiner) -> Self {
+        self.combiner = combiner;
+        self
+    }
+
+    /// The design specs the evaluator checks against.
+    pub fn specs(&self) -> &DesignSpecs {
+        &self.specs
+    }
+
+    /// The workload being evaluated.
+    pub fn workload(&self) -> &Workload {
+        &self.workload
+    }
+
+    /// The cost model in use.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost_model
+    }
+
+    /// Accuracy of every architecture (training/validation path).
+    pub fn accuracies(&self, architectures: &[Architecture]) -> Vec<f64> {
+        self.workload
+            .tasks
+            .iter()
+            .zip(architectures)
+            .map(|(task, arch)| self.oracle.evaluate(task.backbone, arch))
+            .collect()
+    }
+
+    /// The weighted accuracy of Eq. 2.
+    pub fn weighted_accuracy(&self, accuracies: &[f64]) -> f64 {
+        self.combiner.combine(accuracies)
+    }
+
+    /// Hardware metrics of a set of architectures on an accelerator
+    /// (mapping/scheduling path): solve the HAP under the latency spec and
+    /// combine with the accelerator area.
+    pub fn hardware_metrics(
+        &self,
+        architectures: &[Architecture],
+        accelerator: &Accelerator,
+    ) -> HardwareMetrics {
+        if !accelerator.has_capacity() {
+            return HardwareMetrics::infeasible();
+        }
+        let costs = WorkloadCosts::build(&self.cost_model, architectures, accelerator);
+        if !costs.is_schedulable() {
+            return HardwareMetrics::infeasible();
+        }
+        let problem = HapProblem::new(costs, self.specs.latency_cycles);
+        let solution = solve_heuristic(&problem);
+        HardwareMetrics::new(
+            solution.latency_cycles,
+            solution.energy_nj,
+            self.cost_model.area_um2(accelerator),
+        )
+    }
+
+    /// Full evaluation of a candidate: both paths plus the spec check.
+    pub fn evaluate(&self, candidate: &Candidate) -> Evaluation {
+        let accuracies = self.accuracies(&candidate.architectures);
+        let weighted_accuracy = self.weighted_accuracy(&accuracies);
+        let metrics = self.hardware_metrics(&candidate.architectures, &candidate.accelerator);
+        let spec_check = self.specs.check(&metrics);
+        Evaluation {
+            accuracies,
+            weighted_accuracy,
+            mapping_feasible: metrics.latency_cycles <= self.specs.latency_cycles,
+            metrics,
+            spec_check,
+        }
+    }
+
+    /// Hardware-only evaluation (used by the optimizer selector when the
+    /// architecture switch is closed): metrics plus spec check, no
+    /// accuracy.
+    pub fn evaluate_hardware(
+        &self,
+        architectures: &[Architecture],
+        accelerator: &Accelerator,
+    ) -> (HardwareMetrics, SpecCheck) {
+        let metrics = self.hardware_metrics(architectures, accelerator);
+        (metrics, self.specs.check(&metrics))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::WorkloadId;
+    use nasaic_accel::{Dataflow, SubAccelerator};
+    use nasaic_nn::backbone::Backbone;
+
+    fn small_architectures(workload: &Workload) -> Vec<Architecture> {
+        workload
+            .tasks
+            .iter()
+            .map(|t| t.backbone.smallest_architecture())
+            .collect()
+    }
+
+    fn two_sub_accelerator() -> Accelerator {
+        // A moderate design comparable to the paper's NASAIC W1/W3 results
+        // (<dla, 1760, 56> + <shi, 1152, 8> in Table II).
+        Accelerator::new(vec![
+            SubAccelerator::new(Dataflow::Nvdla, 1760, 40),
+            SubAccelerator::new(Dataflow::Shidiannao, 1152, 24),
+        ])
+    }
+
+    #[test]
+    fn accuracy_path_matches_surrogate_directly() {
+        let workload = Workload::w1();
+        let specs = DesignSpecs::for_workload(WorkloadId::W1);
+        let evaluator = Evaluator::new(&workload, specs, AccuracyOracle::default());
+        let archs = small_architectures(&workload);
+        let accs = evaluator.accuracies(&archs);
+        assert_eq!(accs.len(), 2);
+        let direct = SurrogateModel::paper_calibrated()
+            .evaluate(Backbone::ResNet9Cifar10, &archs[0]);
+        assert_eq!(accs[0], direct);
+        let weighted = evaluator.weighted_accuracy(&accs);
+        assert!((weighted - (accs[0] + accs[1]) / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hardware_metrics_are_finite_for_active_designs() {
+        let workload = Workload::w1();
+        let specs = DesignSpecs::for_workload(WorkloadId::W1);
+        let evaluator = Evaluator::new(&workload, specs, AccuracyOracle::default());
+        let metrics =
+            evaluator.hardware_metrics(&small_architectures(&workload), &two_sub_accelerator());
+        assert!(metrics.is_feasible());
+        assert!(metrics.latency_cycles > 0.0);
+        assert!(metrics.area_um2 > 1e8);
+    }
+
+    #[test]
+    fn empty_accelerator_is_infeasible() {
+        let workload = Workload::w3();
+        let specs = DesignSpecs::for_workload(WorkloadId::W3);
+        let evaluator = Evaluator::new(&workload, specs, AccuracyOracle::default());
+        let acc = Accelerator::new(vec![SubAccelerator::inactive(Dataflow::Nvdla)]);
+        let metrics = evaluator.hardware_metrics(&small_architectures(&workload), &acc);
+        assert!(!metrics.is_feasible());
+    }
+
+    #[test]
+    fn small_architectures_meet_w1_specs_on_a_balanced_design() {
+        // The paper's lower-bound solutions (blue crosses in Fig. 6) always
+        // sit inside the spec region; verify the smallest architectures fit
+        // W1's specs on a reasonable design.
+        let workload = Workload::w1();
+        let specs = DesignSpecs::for_workload(WorkloadId::W1);
+        let evaluator = Evaluator::new(&workload, specs, AccuracyOracle::default());
+        let candidate =
+            Candidate::from_parts(small_architectures(&workload), two_sub_accelerator());
+        let evaluation = evaluator.evaluate(&candidate);
+        assert!(
+            evaluation.meets_specs(),
+            "smallest architectures should satisfy W1 specs, got {}",
+            evaluation
+        );
+    }
+
+    #[test]
+    fn largest_architectures_violate_w1_specs_even_with_full_resources() {
+        // The paper's key observation (Fig. 1, Table I): the architectures
+        // NAS picks for accuracy alone cannot meet the specs no matter how
+        // the hardware budget is spent.
+        let workload = Workload::w1();
+        let specs = DesignSpecs::for_workload(WorkloadId::W1);
+        let evaluator = Evaluator::new(&workload, specs, AccuracyOracle::default());
+        let architectures: Vec<Architecture> = workload
+            .tasks
+            .iter()
+            .map(|t| t.backbone.largest_architecture())
+            .collect();
+        let full = Accelerator::new(vec![
+            SubAccelerator::new(Dataflow::Nvdla, 2048, 32),
+            SubAccelerator::new(Dataflow::Shidiannao, 2048, 32),
+        ]);
+        let candidate = Candidate::from_parts(architectures, full);
+        let evaluation = evaluator.evaluate(&candidate);
+        assert!(
+            !evaluation.meets_specs(),
+            "largest architectures unexpectedly met the specs: {}",
+            evaluation
+        );
+    }
+
+    #[test]
+    fn evaluation_display_is_informative() {
+        let workload = Workload::w3();
+        let specs = DesignSpecs::for_workload(WorkloadId::W3);
+        let evaluator = Evaluator::new(&workload, specs, AccuracyOracle::default());
+        let candidate =
+            Candidate::from_parts(small_architectures(&workload), two_sub_accelerator());
+        let text = evaluator.evaluate(&candidate).to_string();
+        assert!(text.contains("weighted") && text.contains("specs"));
+    }
+
+    #[test]
+    fn oracle_names() {
+        assert_eq!(AccuracyOracle::default().name(), "calibrated-surrogate");
+        assert_eq!(
+            AccuracyOracle::Proxy(ProxyAccuracyModel::default()).name(),
+            "proxy-trainer"
+        );
+    }
+}

@@ -1,0 +1,70 @@
+//! NASAIC — the neural-architecture / ASIC-accelerator co-exploration
+//! framework of Yang et al. (DAC 2020), reproduced in Rust.
+//!
+//! This crate is the paper's primary contribution: it wires the substrate
+//! crates (architecture search spaces, accelerator templates, cost model,
+//! mapper/scheduler, accuracy oracle, RL controller) into the NASAIC search
+//! loop and provides the baselines and experiment harness that regenerate
+//! every figure and table of the paper's evaluation.
+//!
+//! # Architecture of the framework (paper Fig. 4)
+//!
+//! 1. **Controller** ([`nasaic_rl::Controller`]) — a recurrent policy with
+//!    one segment per DNN and one per sub-accelerator, predicting
+//!    architecture hyperparameters and hardware allocations.
+//! 2. **Optimizer selector** ([`selector`]) — interleaves one joint
+//!    (architecture + hardware) step with `phi` hardware-only steps and
+//!    early-prunes architectures for which no feasible hardware design was
+//!    found, skipping the expensive accuracy evaluation.
+//! 3. **Evaluator** ([`evaluator`]) — the accuracy path (training /
+//!    surrogate) and the hardware path (cost model + HAP mapping and
+//!    scheduling), combined into the reward of Eq. 4.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use nasaic_core::prelude::*;
+//!
+//! let workload = Workload::w1();
+//! let specs = DesignSpecs::for_workload(WorkloadId::W1);
+//! let outcome = Nasaic::new(workload, specs, NasaicConfig::fast_demo(7)).run();
+//! // Every solution NASAIC reports satisfies the design specs.
+//! for solution in &outcome.spec_compliant {
+//!     assert!(solution.evaluation.meets_specs());
+//! }
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod baselines;
+pub mod bounds;
+pub mod candidate;
+pub mod evaluator;
+pub mod experiments;
+pub mod log;
+pub mod penalty;
+pub mod reward;
+pub mod search;
+pub mod selector;
+pub mod spec;
+pub mod studies;
+pub mod workload;
+
+/// Convenience re-exports for downstream users and examples.
+pub mod prelude {
+    pub use crate::bounds::PenaltyBounds;
+    pub use crate::candidate::Candidate;
+    pub use crate::evaluator::{AccuracyOracle, Evaluation, Evaluator};
+    pub use crate::log::{ExploredSolution, SearchOutcome};
+    pub use crate::penalty::Penalty;
+    pub use crate::reward::Reward;
+    pub use crate::search::{Nasaic, NasaicConfig};
+    pub use crate::spec::{DesignSpecs, WorkloadId};
+    pub use crate::workload::{Task, Workload};
+    pub use nasaic_accel::{Accelerator, Dataflow, HardwareSpace, ResourceBudget, SubAccelerator};
+    pub use nasaic_accuracy::{AccuracyCombiner, SurrogateModel};
+    pub use nasaic_cost::{CostModel, HardwareMetrics};
+    pub use nasaic_nn::backbone::Backbone;
+}
+
+pub use prelude::*;

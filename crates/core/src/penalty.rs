@@ -1,0 +1,155 @@
+//! The design-spec penalty of Eq. 3.
+
+use crate::bounds::PenaltyBounds;
+use crate::spec::DesignSpecs;
+use nasaic_cost::HardwareMetrics;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The penalty `P` of Eq. 3: for each metric, the amount by which the
+/// solution exceeds its spec, normalised by the gap between the metric's
+/// upper bound and the spec; zero when every spec is met.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Penalty {
+    /// Normalised latency excess.
+    pub latency: f64,
+    /// Normalised energy excess.
+    pub energy: f64,
+    /// Normalised area excess.
+    pub area: f64,
+}
+
+impl Penalty {
+    /// Compute the penalty of a solution's metrics under given specs and
+    /// normalisation bounds.
+    ///
+    /// Infeasible (infinite) metrics are clamped to the corresponding upper
+    /// bound, yielding a penalty contribution of 1 per metric — the maximum
+    /// the normalisation allows — so completely broken designs are strictly
+    /// worse than merely spec-violating ones but the reward stays finite.
+    pub fn compute(metrics: &HardwareMetrics, specs: &DesignSpecs, bounds: &PenaltyBounds) -> Self {
+        Self {
+            latency: normalised_excess(
+                metrics.latency_cycles,
+                specs.latency_cycles,
+                bounds.latency_cycles,
+            ),
+            energy: normalised_excess(metrics.energy_nj, specs.energy_nj, bounds.energy_nj),
+            area: normalised_excess(metrics.area_um2, specs.area_um2, bounds.area_um2),
+        }
+    }
+
+    /// The scalar penalty `P` (sum of the three terms).
+    pub fn total(&self) -> f64 {
+        self.latency + self.energy + self.area
+    }
+
+    /// `true` when the penalty is exactly zero, i.e. all specs are met.
+    pub fn is_zero(&self) -> bool {
+        self.total() == 0.0
+    }
+}
+
+impl fmt::Display for Penalty {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "P = {:.4} (L {:.4}, E {:.4}, A {:.4})",
+            self.total(),
+            self.latency,
+            self.energy,
+            self.area
+        )
+    }
+}
+
+/// Cap applied to each normalised penalty component: beyond twice the
+/// normalisation range, a worse metric no longer increases the penalty.
+/// This keeps Eq. 4 rewards in a bounded range even for candidates that are
+/// orders of magnitude over the specs (e.g. the largest STL-10 networks).
+const COMPONENT_CAP: f64 = 2.0;
+
+fn normalised_excess(value: f64, spec: f64, bound: f64) -> f64 {
+    let clamped = if value.is_finite() { value } else { bound.max(spec) };
+    let excess = (clamped - spec).max(0.0);
+    if excess == 0.0 {
+        return 0.0;
+    }
+    let denominator = (bound - spec).max(spec * 1e-3);
+    (excess / denominator).min(COMPONENT_CAP)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn specs() -> DesignSpecs {
+        DesignSpecs::new(100.0, 1000.0, 10_000.0)
+    }
+
+    fn bounds() -> PenaltyBounds {
+        PenaltyBounds {
+            latency_cycles: 200.0,
+            energy_nj: 3000.0,
+            area_um2: 20_000.0,
+        }
+    }
+
+    #[test]
+    fn meeting_all_specs_gives_zero_penalty() {
+        let p = Penalty::compute(&HardwareMetrics::new(90.0, 900.0, 9000.0), &specs(), &bounds());
+        assert!(p.is_zero());
+        assert_eq!(p.total(), 0.0);
+    }
+
+    #[test]
+    fn exceeding_one_spec_penalises_only_that_metric() {
+        let p = Penalty::compute(&HardwareMetrics::new(150.0, 900.0, 9000.0), &specs(), &bounds());
+        assert!((p.latency - 0.5).abs() < 1e-12);
+        assert_eq!(p.energy, 0.0);
+        assert_eq!(p.area, 0.0);
+        assert!((p.total() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hitting_the_upper_bound_gives_unit_penalty() {
+        let p = Penalty::compute(
+            &HardwareMetrics::new(200.0, 3000.0, 20_000.0),
+            &specs(),
+            &bounds(),
+        );
+        assert!((p.latency - 1.0).abs() < 1e-12);
+        assert!((p.energy - 1.0).abs() < 1e-12);
+        assert!((p.area - 1.0).abs() < 1e-12);
+        assert!((p.total() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn infinite_metrics_are_clamped_to_bound() {
+        let p = Penalty::compute(&HardwareMetrics::infeasible(), &specs(), &bounds());
+        assert!(p.total().is_finite());
+        assert!((p.total() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exceeding_the_bound_scales_beyond_one() {
+        let p = Penalty::compute(&HardwareMetrics::new(300.0, 900.0, 9000.0), &specs(), &bounds());
+        assert!((p.latency - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn boundary_value_is_not_penalised() {
+        let p = Penalty::compute(
+            &HardwareMetrics::new(100.0, 1000.0, 10_000.0),
+            &specs(),
+            &bounds(),
+        );
+        assert!(p.is_zero());
+    }
+
+    #[test]
+    fn display_contains_components() {
+        let p = Penalty::compute(&HardwareMetrics::new(150.0, 900.0, 9000.0), &specs(), &bounds());
+        assert!(p.to_string().contains("P ="));
+    }
+}

@@ -1,0 +1,108 @@
+//! The controller reward of Eq. 4.
+
+use crate::penalty::Penalty;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The reward `R(D, P) = weighted(D) - rho * P` fed back to the controller.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Reward {
+    /// Combined (weighted) accuracy of the sampled architectures.
+    pub weighted_accuracy: f64,
+    /// Design-spec penalty.
+    pub penalty: f64,
+    /// Penalty scaling factor `rho`.
+    pub rho: f64,
+}
+
+impl Reward {
+    /// Compose a reward from a weighted accuracy and a penalty (Eq. 4).
+    pub fn new(weighted_accuracy: f64, penalty: &Penalty, rho: f64) -> Self {
+        Self {
+            weighted_accuracy,
+            penalty: penalty.total(),
+            rho,
+        }
+    }
+
+    /// A reward for hardware-only exploration steps: the paper ignores the
+    /// accuracy term when only the hardware switch is open, so the reward
+    /// is simply `-rho * P`.
+    pub fn hardware_only(penalty: &Penalty, rho: f64) -> Self {
+        Self {
+            weighted_accuracy: 0.0,
+            penalty: penalty.total(),
+            rho,
+        }
+    }
+
+    /// The scalar reward value.
+    pub fn value(&self) -> f64 {
+        self.weighted_accuracy - self.rho * self.penalty
+    }
+}
+
+impl fmt::Display for Reward {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "R = {:.4} (acc {:.4}, rho*P {:.4})",
+            self.value(),
+            self.weighted_accuracy,
+            self.rho * self.penalty
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bounds::PenaltyBounds;
+    use crate::spec::DesignSpecs;
+    use nasaic_cost::HardwareMetrics;
+
+    fn penalty(metrics: HardwareMetrics) -> Penalty {
+        let specs = DesignSpecs::new(100.0, 100.0, 100.0);
+        let bounds = PenaltyBounds::from_specs(&specs, 2.0);
+        Penalty::compute(&metrics, &specs, &bounds)
+    }
+
+    #[test]
+    fn zero_penalty_reward_equals_accuracy() {
+        let p = penalty(HardwareMetrics::new(50.0, 50.0, 50.0));
+        let r = Reward::new(0.93, &p, 10.0);
+        assert_eq!(r.value(), 0.93);
+    }
+
+    #[test]
+    fn violations_reduce_reward_by_rho_times_penalty() {
+        let p = penalty(HardwareMetrics::new(150.0, 50.0, 50.0));
+        let r = Reward::new(0.93, &p, 10.0);
+        assert!((r.value() - (0.93 - 10.0 * 0.5)).abs() < 1e-12);
+        assert!(r.value() < 0.0);
+    }
+
+    #[test]
+    fn hardware_only_reward_ignores_accuracy() {
+        let p = penalty(HardwareMetrics::new(150.0, 50.0, 50.0));
+        let r = Reward::hardware_only(&p, 10.0);
+        assert_eq!(r.weighted_accuracy, 0.0);
+        assert!((r.value() + 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spec_compliant_solutions_always_outrank_violating_ones() {
+        // With rho = 10 and accuracy in [0, 1], any violation of at least
+        // 10% of the normalised range drops the reward below the worst
+        // possible compliant reward.
+        let compliant = Reward::new(0.0, &penalty(HardwareMetrics::new(1.0, 1.0, 1.0)), 10.0);
+        let violating = Reward::new(1.0, &penalty(HardwareMetrics::new(150.0, 50.0, 50.0)), 10.0);
+        assert!(compliant.value() > violating.value());
+    }
+
+    #[test]
+    fn display_mentions_components() {
+        let p = penalty(HardwareMetrics::new(50.0, 50.0, 50.0));
+        assert!(Reward::new(0.9, &p, 10.0).to_string().contains("R ="));
+    }
+}

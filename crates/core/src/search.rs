@@ -1,0 +1,399 @@
+//! The NASAIC search loop.
+//!
+//! Ties together the controller (component ①), the optimizer selector
+//! (component ②) and the evaluator (component ③) exactly as in Fig. 4 of
+//! the paper: the controller predicts architectures and hardware
+//! allocations, the selector interleaves joint and hardware-only steps with
+//! early pruning, the evaluator produces accuracy and hardware cost, and
+//! the reward of Eq. 4 updates the controller.
+
+use crate::bounds::PenaltyBounds;
+use crate::candidate::Candidate;
+use crate::evaluator::{AccuracyOracle, Evaluator};
+use crate::log::{ExploredSolution, SearchOutcome};
+use crate::penalty::Penalty;
+use crate::reward::Reward;
+use crate::selector::OptimizerSelector;
+use crate::spec::DesignSpecs;
+use crate::workload::Workload;
+use nasaic_accel::HardwareSpace;
+use nasaic_rl::{Controller, ControllerConfig, ControllerSample};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of a NASAIC run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NasaicConfig {
+    /// Number of episodes `beta`.
+    pub episodes: usize,
+    /// Hardware-only exploration steps per episode `phi`.
+    pub hardware_trials: usize,
+    /// Penalty scaling `rho` of Eq. 4.
+    pub rho: f64,
+    /// Number of sub-accelerators in the design.
+    pub num_sub_accelerators: usize,
+    /// When `true`, the controller predicts a single sub-accelerator
+    /// configuration that is replicated across all sub-accelerators
+    /// (the homogeneous study of Table II).
+    pub homogeneous: bool,
+    /// When `true` (default), hardware-only exploration steps keep the
+    /// weighted accuracy of the episode's (fixed) architectures in their
+    /// reward, so the joint and hardware-only rewards share one scale and
+    /// the shared REINFORCE baseline stays meaningful.  Set to `false` for
+    /// the literal paper behaviour (hardware-only steps ignore accuracy).
+    pub accuracy_in_hardware_reward: bool,
+    /// Random hardware samples used to estimate the penalty bounds.
+    pub bound_samples: usize,
+    /// RNG seed (controller initialisation and sampling).
+    pub seed: u64,
+    /// Controller hyperparameters.
+    pub controller: ControllerConfig,
+    /// Accuracy oracle (surrogate or proxy trainer).
+    pub oracle: AccuracyOracle,
+}
+
+impl NasaicConfig {
+    /// The paper's configuration: `beta = 500` episodes, `phi = 10`
+    /// hardware designs per episode, `rho = 10`, two sub-accelerators.
+    pub fn paper(seed: u64) -> Self {
+        Self {
+            episodes: 500,
+            hardware_trials: 10,
+            rho: 10.0,
+            num_sub_accelerators: 2,
+            homogeneous: false,
+            accuracy_in_hardware_reward: true,
+            bound_samples: 50,
+            seed,
+            controller: ControllerConfig::default(),
+            oracle: AccuracyOracle::default(),
+        }
+    }
+
+    /// A configuration small enough for unit tests and doc examples
+    /// (a couple of seconds), with the same structure as the paper run.
+    pub fn fast_demo(seed: u64) -> Self {
+        Self {
+            episodes: 40,
+            hardware_trials: 4,
+            bound_samples: 10,
+            ..Self::paper(seed)
+        }
+    }
+
+    /// A mid-sized configuration used by the benchmark harness: large
+    /// enough for the search to converge on every workload, small enough to
+    /// finish in seconds.
+    pub fn benchmark(seed: u64) -> Self {
+        Self {
+            episodes: 120,
+            hardware_trials: 6,
+            bound_samples: 30,
+            ..Self::paper(seed)
+        }
+    }
+}
+
+/// The NASAIC co-exploration engine.
+#[derive(Debug, Clone)]
+pub struct Nasaic {
+    workload: Workload,
+    specs: DesignSpecs,
+    config: NasaicConfig,
+    hardware: HardwareSpace,
+    evaluator: Evaluator,
+}
+
+impl Nasaic {
+    /// Create a search for a workload under design specs.
+    pub fn new(workload: Workload, specs: DesignSpecs, config: NasaicConfig) -> Self {
+        let hardware = HardwareSpace::paper_default(config.num_sub_accelerators);
+        let evaluator = Evaluator::new(&workload, specs, config.oracle);
+        Self {
+            workload,
+            specs,
+            config,
+            hardware,
+            evaluator,
+        }
+    }
+
+    /// Replace the hardware space (restricted dataflows, different budget,
+    /// fewer sub-accelerators — used by the Table II studies).
+    pub fn with_hardware_space(mut self, hardware: HardwareSpace) -> Self {
+        self.hardware = hardware;
+        self.evaluator = Evaluator::new(&self.workload, self.specs, self.config.oracle);
+        self
+    }
+
+    /// Replace the evaluator (custom cost model or combiner).
+    pub fn with_evaluator(mut self, evaluator: Evaluator) -> Self {
+        self.evaluator = evaluator;
+        self
+    }
+
+    /// The workload being searched.
+    pub fn workload(&self) -> &Workload {
+        &self.workload
+    }
+
+    /// The design specs.
+    pub fn specs(&self) -> &DesignSpecs {
+        &self.specs
+    }
+
+    /// The hardware space.
+    pub fn hardware_space(&self) -> &HardwareSpace {
+        &self.hardware
+    }
+
+    /// The evaluator.
+    pub fn evaluator(&self) -> &Evaluator {
+        &self.evaluator
+    }
+
+    fn controller_segments(&self) -> Vec<nasaic_rl::Segment> {
+        if self.config.homogeneous {
+            // One architecture segment per task + a single hardware segment
+            // that is replicated over all sub-accelerators at decode time.
+            let single_sub = HardwareSpace::paper_default(1)
+                .with_budget(*self.hardware.budget())
+                .with_dataflows(self.hardware.allowed_dataflows().to_vec());
+            self.workload.controller_segments(&single_sub)
+        } else {
+            self.workload.controller_segments(&self.hardware)
+        }
+    }
+
+    fn decode_candidate(
+        &self,
+        sample: &ControllerSample,
+    ) -> Result<Candidate, nasaic_nn::space::DecodeError> {
+        let m = self.workload.num_tasks();
+        if self.config.homogeneous {
+            // Duplicate the single hardware segment across the
+            // sub-accelerators.
+            let mut segments: Vec<Vec<usize>> = sample.segments[..m].to_vec();
+            let hw_segment = sample.segments[m].clone();
+            for _ in 0..self.hardware.num_sub_accelerators() {
+                segments.push(hw_segment.clone());
+            }
+            Candidate::from_segments(&self.workload, &self.hardware, &segments)
+        } else {
+            Candidate::from_segments(&self.workload, &self.hardware, &sample.segments)
+        }
+    }
+
+    /// Run the search and return the exploration outcome.
+    pub fn run(&self) -> SearchOutcome {
+        let mut rng = StdRng::seed_from_u64(self.config.seed ^ 0x00c0_ffee);
+        let bounds = PenaltyBounds::estimate(
+            &self.workload,
+            &self.hardware,
+            &self.evaluator,
+            &self.specs,
+            self.config.bound_samples,
+            self.config.seed,
+        );
+        let selector = OptimizerSelector::new(self.config.hardware_trials);
+        let mut controller = Controller::new(
+            self.controller_segments(),
+            self.config.controller,
+            self.config.seed,
+        );
+        let mut outcome = SearchOutcome::empty();
+        let m = self.workload.num_tasks();
+
+        for episode in 0..self.config.episodes {
+            // Step 1: joint architecture + hardware prediction.
+            let joint_sample = controller.sample(&mut rng);
+            // Steps 2..: hardware-only predictions for the same architectures.
+            let plan = selector.plan_episode();
+            let mut episode_samples: Vec<ControllerSample> = vec![joint_sample.clone()];
+            for _ in 1..plan.len() {
+                let mut hw_sample = controller.sample(&mut rng);
+                // Architecture switch open: reuse the joint step's
+                // architecture decisions.
+                let arch_len: usize = joint_sample.segments[..m].iter().map(Vec::len).sum();
+                hw_sample.actions[..arch_len].copy_from_slice(&joint_sample.actions[..arch_len]);
+                for (segment, joint_segment) in hw_sample.segments[..m]
+                    .iter_mut()
+                    .zip(&joint_sample.segments[..m])
+                {
+                    segment.clone_from(joint_segment);
+                }
+                episode_samples.push(hw_sample);
+            }
+
+            // Decode and evaluate the hardware of every step.
+            let mut candidates = Vec::with_capacity(episode_samples.len());
+            for sample in &episode_samples {
+                match self.decode_candidate(sample) {
+                    Ok(candidate) => candidates.push(Some(candidate)),
+                    Err(_) => candidates.push(None),
+                }
+            }
+            let architectures = candidates
+                .iter()
+                .flatten()
+                .next()
+                .map(|c| c.architectures.clone());
+            let hardware_evaluations: Vec<_> = candidates
+                .iter()
+                .map(|candidate| {
+                    candidate.as_ref().map(|c| {
+                        self.evaluator
+                            .evaluate_hardware(&c.architectures, &c.accelerator)
+                    })
+                })
+                .collect();
+            let any_meets_specs = hardware_evaluations
+                .iter()
+                .flatten()
+                .any(|(_, check)| check.all());
+
+            // Early pruning: skip the accuracy evaluation when no hardware
+            // design of the episode can satisfy the specs.
+            let accuracies = if selector.should_train(any_meets_specs) {
+                architectures
+                    .as_ref()
+                    .map(|archs| self.evaluator.accuracies(archs))
+            } else {
+                None
+            };
+            if accuracies.is_none() {
+                outcome.pruned_episodes += 1;
+            }
+            let weighted = accuracies
+                .as_ref()
+                .map(|a| self.evaluator.weighted_accuracy(a));
+
+            for (step, (sample, candidate)) in episode_samples
+                .iter()
+                .zip(candidates)
+                .enumerate()
+            {
+                let Some(candidate) = candidate else {
+                    // Undecodable sample: strongly discourage it.
+                    controller.feedback(sample, -self.config.rho);
+                    continue;
+                };
+                let (metrics, check) = hardware_evaluations[step]
+                    .expect("hardware evaluation exists for decodable candidates");
+                let penalty = Penalty::compute(&metrics, &self.specs, &bounds);
+                let reward = match (step, &weighted) {
+                    // Joint step with accuracy available: full Eq. 4 reward.
+                    (0, Some(w)) => Reward::new(*w, &penalty, self.config.rho),
+                    // Hardware-only steps: the paper ignores accuracy here;
+                    // by default we keep the (fixed) architectures' accuracy
+                    // in the reward so both step kinds share one scale.
+                    (_, Some(w)) if self.config.accuracy_in_hardware_reward => {
+                        Reward::new(*w, &penalty, self.config.rho)
+                    }
+                    (_, Some(_)) => Reward::hardware_only(&penalty, self.config.rho),
+                    // Pruned episode: penalty-only signal for every step.
+                    (_, None) => Reward::hardware_only(&penalty, self.config.rho),
+                };
+                controller.feedback(sample, reward.value());
+
+                if let (Some(accs), Some(w)) = (&accuracies, &weighted) {
+                    let evaluation = crate::evaluator::Evaluation {
+                        accuracies: accs.clone(),
+                        weighted_accuracy: *w,
+                        metrics,
+                        spec_check: check,
+                        mapping_feasible: metrics.latency_cycles <= self.specs.latency_cycles,
+                    };
+                    outcome.record(ExploredSolution {
+                        episode,
+                        candidate,
+                        evaluation,
+                        reward: reward.value(),
+                    });
+                }
+            }
+            outcome.episodes = episode + 1;
+        }
+        outcome.reward_history = controller.reward_history().to_vec();
+        outcome
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::WorkloadId;
+
+    fn run_fast(workload: Workload, id: WorkloadId, seed: u64) -> SearchOutcome {
+        let specs = DesignSpecs::for_workload(id);
+        Nasaic::new(workload, specs, NasaicConfig::fast_demo(seed)).run()
+    }
+
+    #[test]
+    fn w1_search_finds_spec_compliant_solutions() {
+        let outcome = run_fast(Workload::w1(), WorkloadId::W1, 11);
+        assert!(outcome.best.is_some(), "no compliant solution found");
+        assert!(!outcome.spec_compliant.is_empty());
+        for solution in &outcome.spec_compliant {
+            assert!(solution.evaluation.meets_specs());
+        }
+        assert_eq!(outcome.episodes, 40);
+    }
+
+    #[test]
+    fn w3_search_finds_spec_compliant_solutions() {
+        // W3's energy spec is the tightest of the three workloads, so give
+        // this check a slightly larger episode budget than fast_demo.
+        let specs = DesignSpecs::for_workload(WorkloadId::W3);
+        let config = NasaicConfig {
+            episodes: 60,
+            ..NasaicConfig::fast_demo(13)
+        };
+        let outcome = Nasaic::new(Workload::w3(), specs, config).run();
+        assert!(outcome.best.is_some());
+        let best = outcome.best.as_ref().unwrap();
+        // Accuracy of compliant solutions must beat the smallest-network
+        // lower bound of 78.93%.
+        assert!(best.evaluation.weighted_accuracy > 0.7893);
+    }
+
+    #[test]
+    fn best_solution_accuracy_is_above_lower_bound_and_below_nas_best() {
+        let outcome = run_fast(Workload::w1(), WorkloadId::W1, 17);
+        let best = outcome.best.as_ref().expect("a compliant solution exists");
+        // Lower bound: (78.93% + 0.642) / 2; NAS upper bound: (94.2% + 0.84) / 2.
+        assert!(best.evaluation.weighted_accuracy > 0.715);
+        assert!(best.evaluation.weighted_accuracy < 0.895);
+    }
+
+    #[test]
+    fn search_is_deterministic_for_a_seed() {
+        let a = run_fast(Workload::w3(), WorkloadId::W3, 5);
+        let b = run_fast(Workload::w3(), WorkloadId::W3, 5);
+        assert_eq!(a.best_weighted_accuracy(), b.best_weighted_accuracy());
+        assert_eq!(a.explored.len(), b.explored.len());
+    }
+
+    #[test]
+    fn homogeneous_mode_produces_identical_sub_accelerators() {
+        let specs = DesignSpecs::for_workload(WorkloadId::W3);
+        let config = NasaicConfig {
+            homogeneous: true,
+            ..NasaicConfig::fast_demo(3)
+        };
+        let outcome = Nasaic::new(Workload::w3(), specs, config).run();
+        for solution in &outcome.explored {
+            let subs = solution.candidate.accelerator.sub_accelerators();
+            assert_eq!(subs.len(), 2);
+            assert_eq!(subs[0], subs[1], "homogeneous design must replicate the sub-accelerator");
+        }
+    }
+
+    #[test]
+    fn reward_history_length_matches_feedback_count() {
+        let outcome = run_fast(Workload::w3(), WorkloadId::W3, 19);
+        // Every episode gives (1 + hardware_trials) feedbacks.
+        assert_eq!(outcome.reward_history.len(), 40 * (1 + 4));
+    }
+}

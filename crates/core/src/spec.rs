@@ -1,0 +1,206 @@
+//! Design specifications (latency, energy, area upper bounds).
+
+use nasaic_cost::HardwareMetrics;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of the paper's three application workloads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum WorkloadId {
+    /// W1: CIFAR-10 classification + Nuclei segmentation.
+    W1,
+    /// W2: CIFAR-10 + STL-10 classification.
+    W2,
+    /// W3: two CIFAR-10 classification tasks.
+    W3,
+}
+
+impl fmt::Display for WorkloadId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkloadId::W1 => f.write_str("W1"),
+            WorkloadId::W2 => f.write_str("W2"),
+            WorkloadId::W3 => f.write_str("W3"),
+        }
+    }
+}
+
+/// User-given design specs: upper bounds on latency `LS`, energy `ES` and
+/// area `AS`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DesignSpecs {
+    /// Latency spec `LS` in cycles.
+    pub latency_cycles: f64,
+    /// Energy spec `ES` in nJ.
+    pub energy_nj: f64,
+    /// Area spec `AS` in µm².
+    pub area_um2: f64,
+}
+
+impl DesignSpecs {
+    /// Create specs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any bound is not strictly positive.
+    pub fn new(latency_cycles: f64, energy_nj: f64, area_um2: f64) -> Self {
+        assert!(latency_cycles > 0.0, "latency spec must be positive");
+        assert!(energy_nj > 0.0, "energy spec must be positive");
+        assert!(area_um2 > 0.0, "area spec must be positive");
+        Self {
+            latency_cycles,
+            energy_nj,
+            area_um2,
+        }
+    }
+
+    /// The paper's specs for each workload (Section V-A):
+    /// `<8e5, 2e9, 4e9>` for W1, `<1e6, 3.5e9, 4e9>` for W2,
+    /// `<4e5, 1e9, 4e9>` for W3.
+    pub fn for_workload(id: WorkloadId) -> Self {
+        match id {
+            WorkloadId::W1 => Self::new(8.0e5, 2.0e9, 4.0e9),
+            WorkloadId::W2 => Self::new(1.0e6, 3.5e9, 4.0e9),
+            WorkloadId::W3 => Self::new(4.0e5, 1.0e9, 4.0e9),
+        }
+    }
+
+    /// Scale every bound by a factor (Table II halves latency/energy or
+    /// energy/area constraints for the single / homogeneous studies).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not strictly positive.
+    pub fn scaled(&self, latency_factor: f64, energy_factor: f64, area_factor: f64) -> Self {
+        assert!(
+            latency_factor > 0.0 && energy_factor > 0.0 && area_factor > 0.0,
+            "scale factors must be positive"
+        );
+        Self::new(
+            self.latency_cycles * latency_factor,
+            self.energy_nj * energy_factor,
+            self.area_um2 * area_factor,
+        )
+    }
+
+    /// Per-metric satisfaction of the specs by a set of hardware metrics.
+    pub fn check(&self, metrics: &HardwareMetrics) -> SpecCheck {
+        SpecCheck {
+            latency: metrics.latency_cycles <= self.latency_cycles,
+            energy: metrics.energy_nj <= self.energy_nj,
+            area: metrics.area_um2 <= self.area_um2,
+        }
+    }
+
+    /// `true` when all three specs are satisfied.
+    pub fn admits(&self, metrics: &HardwareMetrics) -> bool {
+        self.check(metrics).all()
+    }
+}
+
+impl fmt::Display for DesignSpecs {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "specs <{:.2e} cycles, {:.2e} nJ, {:.2e} um^2>",
+            self.latency_cycles, self.energy_nj, self.area_um2
+        )
+    }
+}
+
+/// Per-metric spec satisfaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpecCheck {
+    /// Latency within spec.
+    pub latency: bool,
+    /// Energy within spec.
+    pub energy: bool,
+    /// Area within spec.
+    pub area: bool,
+}
+
+impl SpecCheck {
+    /// `true` when every metric is within spec.
+    pub fn all(&self) -> bool {
+        self.latency && self.energy && self.area
+    }
+
+    /// Number of violated specs (0..=3).
+    pub fn violations(&self) -> usize {
+        [self.latency, self.energy, self.area]
+            .iter()
+            .filter(|ok| !**ok)
+            .count()
+    }
+
+    /// The paper's table notation: a check mark when all specs are met, a
+    /// cross otherwise.
+    pub fn symbol(&self) -> &'static str {
+        if self.all() {
+            "satisfied"
+        } else {
+            "violated"
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_specs_match_section_v() {
+        let w1 = DesignSpecs::for_workload(WorkloadId::W1);
+        assert_eq!(w1.latency_cycles, 8.0e5);
+        assert_eq!(w1.energy_nj, 2.0e9);
+        assert_eq!(w1.area_um2, 4.0e9);
+        let w2 = DesignSpecs::for_workload(WorkloadId::W2);
+        assert_eq!(w2.latency_cycles, 1.0e6);
+        assert_eq!(w2.energy_nj, 3.5e9);
+        let w3 = DesignSpecs::for_workload(WorkloadId::W3);
+        assert_eq!(w3.latency_cycles, 4.0e5);
+        assert_eq!(w3.energy_nj, 1.0e9);
+    }
+
+    #[test]
+    fn check_flags_each_violation_independently() {
+        let specs = DesignSpecs::new(100.0, 100.0, 100.0);
+        let check = specs.check(&HardwareMetrics::new(150.0, 50.0, 100.0));
+        assert!(!check.latency);
+        assert!(check.energy);
+        assert!(check.area);
+        assert!(!check.all());
+        assert_eq!(check.violations(), 1);
+        assert_eq!(check.symbol(), "violated");
+    }
+
+    #[test]
+    fn admits_requires_all_metrics() {
+        let specs = DesignSpecs::new(100.0, 100.0, 100.0);
+        assert!(specs.admits(&HardwareMetrics::new(100.0, 99.0, 1.0)));
+        assert!(!specs.admits(&HardwareMetrics::new(100.1, 99.0, 1.0)));
+        assert!(!specs.admits(&HardwareMetrics::infeasible()));
+    }
+
+    #[test]
+    fn scaled_specs_multiply_each_bound() {
+        let specs = DesignSpecs::for_workload(WorkloadId::W3).scaled(0.5, 0.5, 1.0);
+        assert_eq!(specs.latency_cycles, 2.0e5);
+        assert_eq!(specs.energy_nj, 5.0e8);
+        assert_eq!(specs.area_um2, 4.0e9);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(WorkloadId::W2.to_string(), "W2");
+        assert!(DesignSpecs::for_workload(WorkloadId::W1)
+            .to_string()
+            .contains("specs"));
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_spec_rejected() {
+        DesignSpecs::new(0.0, 1.0, 1.0);
+    }
+}

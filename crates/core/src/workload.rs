@@ -1,0 +1,220 @@
+//! Multi-task application workloads.
+
+use crate::spec::WorkloadId;
+use nasaic_accel::space::{BW_LEVELS, PE_LEVELS};
+use nasaic_accel::HardwareSpace;
+use nasaic_accuracy::AccuracyCombiner;
+use nasaic_nn::backbone::Backbone;
+use nasaic_rl::Segment;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One AI task `T_i` of a workload: a backbone (which fixes the dataset and
+/// the search space) plus the weight `alpha_i` it receives in the combined
+/// accuracy (Eq. 2).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Task {
+    /// Task name used in logs and controller segment names.
+    pub name: String,
+    /// The backbone searched for this task.
+    pub backbone: Backbone,
+    /// Weight `alpha_i` in the combined accuracy.
+    pub weight: f64,
+}
+
+impl Task {
+    /// Create a task.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the weight is not in `(0, 1]`.
+    pub fn new(name: &str, backbone: Backbone, weight: f64) -> Self {
+        assert!(weight > 0.0 && weight <= 1.0, "task weight must be in (0, 1]");
+        Self {
+            name: name.to_string(),
+            backbone,
+            weight,
+        }
+    }
+}
+
+impl fmt::Display for Task {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({}, alpha={})", self.name, self.backbone, self.weight)
+    }
+}
+
+/// A multi-task workload `W = <T_1, ..., T_m>`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Workload {
+    /// Optional paper workload identifier (`W1`/`W2`/`W3`).
+    pub id: Option<WorkloadId>,
+    /// The tasks, in order.
+    pub tasks: Vec<Task>,
+}
+
+impl Workload {
+    /// Create a workload from tasks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tasks` is empty.
+    pub fn new(tasks: Vec<Task>) -> Self {
+        assert!(!tasks.is_empty(), "workload needs at least one task");
+        Self { id: None, tasks }
+    }
+
+    /// W1: CIFAR-10 classification + Nuclei segmentation, equal weights.
+    pub fn w1() -> Self {
+        Self {
+            id: Some(WorkloadId::W1),
+            tasks: vec![
+                Task::new("classification-cifar10", Backbone::ResNet9Cifar10, 0.5),
+                Task::new("segmentation-nuclei", Backbone::UNetNuclei, 0.5),
+            ],
+        }
+    }
+
+    /// W2: CIFAR-10 + STL-10 classification, equal weights.
+    pub fn w2() -> Self {
+        Self {
+            id: Some(WorkloadId::W2),
+            tasks: vec![
+                Task::new("classification-cifar10", Backbone::ResNet9Cifar10, 0.5),
+                Task::new("classification-stl10", Backbone::ResNet9Stl10, 0.5),
+            ],
+        }
+    }
+
+    /// W3: two CIFAR-10 classification tasks, equal weights.
+    pub fn w3() -> Self {
+        Self {
+            id: Some(WorkloadId::W3),
+            tasks: vec![
+                Task::new("classification-cifar10-a", Backbone::ResNet9Cifar10, 0.5),
+                Task::new("classification-cifar10-b", Backbone::ResNet9Cifar10, 0.5),
+            ],
+        }
+    }
+
+    /// The workload for a paper identifier.
+    pub fn for_id(id: WorkloadId) -> Self {
+        match id {
+            WorkloadId::W1 => Self::w1(),
+            WorkloadId::W2 => Self::w2(),
+            WorkloadId::W3 => Self::w3(),
+        }
+    }
+
+    /// Number of tasks `m`.
+    pub fn num_tasks(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Task weights as an [`AccuracyCombiner`].
+    pub fn combiner(&self) -> AccuracyCombiner {
+        let total: f64 = self.tasks.iter().map(|t| t.weight).sum();
+        AccuracyCombiner::Weighted(self.tasks.iter().map(|t| t.weight / total).collect())
+    }
+
+    /// The controller segments of this workload combined with a hardware
+    /// space (Fig. 5): first one segment per DNN, then one per
+    /// sub-accelerator.
+    pub fn controller_segments(&self, hardware: &HardwareSpace) -> Vec<Segment> {
+        let mut segments: Vec<Segment> = self
+            .tasks
+            .iter()
+            .enumerate()
+            .map(|(i, task)| {
+                Segment::new(
+                    &format!("dnn{i}-{}", task.name),
+                    task.backbone.search_space().cardinalities(),
+                )
+            })
+            .collect();
+        for i in 0..hardware.num_sub_accelerators() {
+            segments.push(Segment::new(
+                &format!("aic{i}"),
+                vec![hardware.allowed_dataflows().len(), PE_LEVELS, BW_LEVELS],
+            ));
+        }
+        segments
+    }
+}
+
+impl fmt::Display for Workload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.id {
+            Some(id) => write!(f, "{id} ({} tasks)", self.num_tasks()),
+            None => write!(f, "custom workload ({} tasks)", self.num_tasks()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_workloads_have_two_tasks_each() {
+        assert_eq!(Workload::w1().num_tasks(), 2);
+        assert_eq!(Workload::w2().num_tasks(), 2);
+        assert_eq!(Workload::w3().num_tasks(), 2);
+    }
+
+    #[test]
+    fn w1_mixes_classification_and_segmentation() {
+        let w1 = Workload::w1();
+        assert_eq!(w1.tasks[0].backbone, Backbone::ResNet9Cifar10);
+        assert_eq!(w1.tasks[1].backbone, Backbone::UNetNuclei);
+        assert_eq!(w1.id, Some(WorkloadId::W1));
+    }
+
+    #[test]
+    fn combiner_normalises_weights() {
+        let workload = Workload::new(vec![
+            Task::new("a", Backbone::ResNet9Cifar10, 1.0),
+            Task::new("b", Backbone::ResNet9Cifar10, 1.0),
+        ]);
+        let combined = workload.combiner().combine(&[0.9, 0.7]);
+        assert!((combined - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn controller_segments_cover_tasks_and_subs() {
+        let workload = Workload::w1();
+        let hardware = HardwareSpace::paper_default(2);
+        let segments = workload.controller_segments(&hardware);
+        assert_eq!(segments.len(), 4);
+        assert_eq!(segments[0].len(), 7); // CIFAR ResNet-9 choice points
+        assert_eq!(segments[1].len(), 6); // Nuclei U-Net choice points
+        assert_eq!(segments[2].cardinalities, vec![3, PE_LEVELS, BW_LEVELS]);
+        assert!(segments[3].name.starts_with("aic"));
+    }
+
+    #[test]
+    fn for_id_round_trips() {
+        for id in [WorkloadId::W1, WorkloadId::W2, WorkloadId::W3] {
+            assert_eq!(Workload::for_id(id).id, Some(id));
+        }
+    }
+
+    #[test]
+    fn display_mentions_workload_id() {
+        assert!(Workload::w3().to_string().contains("W3"));
+        let custom = Workload::new(vec![Task::new("x", Backbone::UNetNuclei, 1.0)]);
+        assert!(custom.to_string().contains("custom"));
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_workload_rejected() {
+        Workload::new(vec![]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_weight_task_rejected() {
+        Task::new("bad", Backbone::ResNet9Cifar10, 0.0);
+    }
+}

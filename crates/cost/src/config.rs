@@ -1,0 +1,91 @@
+//! Calibration constants of the analytical cost model.
+
+use serde::{Deserialize, Serialize};
+
+/// Technology and energy constants used by the cost model.
+///
+/// The default ([`CostConfig::paper_calibrated`]) is tuned so that the
+/// paper's workloads land in the same order of magnitude as the MAESTRO
+/// numbers reported in the paper (latency `1e5`–`1e6` cycles, energy
+/// `1e9`–`4e9` nJ, area `1e9`–`5e9` µm²).  Only relative behaviour matters
+/// for reproducing the paper's conclusions; the constants are exposed so
+/// users can re-calibrate against their own technology library.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostConfig {
+    /// Bytes per tensor element (int8 inference → 1).
+    pub bytes_per_element: f64,
+    /// Energy of one MAC operation (nJ).
+    pub mac_energy_nj: f64,
+    /// Energy of the local-buffer traffic associated with one MAC (nJ),
+    /// before the dataflow's buffer-pressure multiplier.
+    pub buffer_energy_nj: f64,
+    /// Energy per byte moved to/from DRAM (nJ).
+    pub dram_energy_per_byte_nj: f64,
+    /// Energy per byte moved across the NoC (nJ).
+    pub noc_energy_per_byte_nj: f64,
+    /// Silicon area of one PE including its local scratchpad (µm²), before
+    /// the dataflow's buffer-pressure multiplier.
+    pub pe_area_um2: f64,
+    /// Area coefficient of the intra-sub-accelerator interconnect; applied
+    /// to `num_pes^1.5` to model the super-linear wiring cost of larger
+    /// arrays (µm²).
+    pub intra_noc_area_um2: f64,
+    /// Area per GB/s of NoC/NIC bandwidth (µm²).
+    pub nic_area_per_gbps_um2: f64,
+    /// Area of the shared global buffer and DRAM interface (µm²), paid once
+    /// per accelerator.
+    pub global_buffer_area_um2: f64,
+    /// Local buffer capacity per PE (bytes); determines whether weights must
+    /// be re-fetched from DRAM for every output tile.
+    pub per_pe_buffer_bytes: f64,
+    /// Fixed pipeline-fill overhead added to every layer (cycles).
+    pub layer_overhead_cycles: f64,
+    /// NoC bytes transferred per cycle per GB/s of allocated bandwidth
+    /// (1.0 corresponds to a 1 GHz clock).
+    pub bytes_per_cycle_per_gbps: f64,
+}
+
+impl CostConfig {
+    /// The calibration used throughout the reproduction.
+    pub fn paper_calibrated() -> Self {
+        Self {
+            bytes_per_element: 1.0,
+            mac_energy_nj: 1.6,
+            buffer_energy_nj: 1.0,
+            dram_energy_per_byte_nj: 12.0,
+            noc_energy_per_byte_nj: 1.0,
+            pe_area_um2: 6.0e5,
+            intra_noc_area_um2: 1.0e4,
+            nic_area_per_gbps_um2: 4.0e6,
+            global_buffer_area_um2: 1.0e8,
+            per_pe_buffer_bytes: 512.0,
+            layer_overhead_cycles: 64.0,
+            bytes_per_cycle_per_gbps: 1.0,
+        }
+    }
+}
+
+impl Default for CostConfig {
+    fn default() -> Self {
+        Self::paper_calibrated()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_paper_calibrated() {
+        assert_eq!(CostConfig::default(), CostConfig::paper_calibrated());
+    }
+
+    #[test]
+    fn constants_are_positive() {
+        let c = CostConfig::paper_calibrated();
+        assert!(c.mac_energy_nj > 0.0);
+        assert!(c.dram_energy_per_byte_nj > c.noc_energy_per_byte_nj);
+        assert!(c.pe_area_um2 > 0.0);
+        assert!(c.per_pe_buffer_bytes > 0.0);
+    }
+}

@@ -1,0 +1,51 @@
+//! Analytical dataflow cost model — the MAESTRO substitute of the NASAIC
+//! reproduction.
+//!
+//! The paper evaluates hardware cost (latency, energy, area) of a
+//! (layer, sub-accelerator) pair with the MAESTRO cost model [Kwon 2019].
+//! MAESTRO is not available as a Rust library, so this crate implements a
+//! data-centric analytical model from scratch that preserves the
+//! *behavioural properties* the co-exploration relies on:
+//!
+//! * each dataflow template exploits a different spatial dimension, so
+//!   **NVDLA-style** designs are efficient on channel-heavy / low-resolution
+//!   layers (late ResNet blocks) while **Shidiannao-style** designs are
+//!   efficient on high-resolution / channel-light layers (U-Net levels,
+//!   early convolutions), with **row-stationary** in between — exactly the
+//!   affinity the paper uses to motivate heterogeneity;
+//! * latency falls with allocated PEs until the layer's parallelism or the
+//!   NoC bandwidth saturates; energy and area grow with allocated
+//!   resources;
+//! * absolute magnitudes are calibrated to land in the paper's reported
+//!   ranges (latency around `1e5`–`1e6` cycles, energy around `1e9` nJ,
+//!   area around `1e9`–`5e9` µm²) so the design-spec constants of the
+//!   paper are directly usable.
+//!
+//! # Example
+//!
+//! ```
+//! use nasaic_accel::{Dataflow, SubAccelerator};
+//! use nasaic_cost::CostModel;
+//! use nasaic_nn::layer::LayerShape;
+//!
+//! let model = CostModel::paper_calibrated();
+//! let layer = LayerShape::conv2d("conv", 128, 256, 3, 8, 1);
+//! let dla = SubAccelerator::new(Dataflow::Nvdla, 1024, 32);
+//! let shi = SubAccelerator::new(Dataflow::Shidiannao, 1024, 32);
+//! // A channel-heavy, low-resolution layer prefers the NVDLA template.
+//! assert!(model.layer_cost(&layer, &dla).latency_cycles
+//!     < model.layer_cost(&layer, &shi).latency_cycles);
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod area;
+pub mod config;
+pub mod mapping;
+pub mod model;
+pub mod table;
+
+pub use config::CostConfig;
+pub use mapping::MappingAnalysis;
+pub use model::{CostModel, HardwareMetrics, LayerCost};
+pub use table::{LayerCostRow, NetworkCosts, WorkloadCosts};

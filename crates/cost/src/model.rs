@@ -1,0 +1,225 @@
+//! The cost-model facade: per-layer latency/energy and per-accelerator
+//! area.
+
+use crate::area::accelerator_area_um2;
+use crate::config::CostConfig;
+use crate::mapping::MappingAnalysis;
+use nasaic_accel::{Accelerator, SubAccelerator};
+use nasaic_nn::layer::LayerShape;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Latency and energy of one layer on one sub-accelerator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LayerCost {
+    /// Latency in cycles.
+    pub latency_cycles: f64,
+    /// Energy in nanojoules.
+    pub energy_nj: f64,
+}
+
+impl LayerCost {
+    /// A cost marking an infeasible mapping (inactive sub-accelerator).
+    pub fn infeasible() -> Self {
+        Self {
+            latency_cycles: f64::INFINITY,
+            energy_nj: f64::INFINITY,
+        }
+    }
+
+    /// `true` when the mapping is usable.
+    pub fn is_feasible(&self) -> bool {
+        self.latency_cycles.is_finite() && self.energy_nj.is_finite()
+    }
+}
+
+/// Aggregate hardware metrics of a complete solution, matching the axes of
+/// the paper's figures: latency (cycles), energy (nJ), area (µm²).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HardwareMetrics {
+    /// End-to-end workload latency (makespan) in cycles.
+    pub latency_cycles: f64,
+    /// Total energy in nJ.
+    pub energy_nj: f64,
+    /// Accelerator area in µm².
+    pub area_um2: f64,
+}
+
+impl HardwareMetrics {
+    /// Construct metrics.
+    pub fn new(latency_cycles: f64, energy_nj: f64, area_um2: f64) -> Self {
+        Self {
+            latency_cycles,
+            energy_nj,
+            area_um2,
+        }
+    }
+
+    /// Metrics of an infeasible solution.
+    pub fn infeasible() -> Self {
+        Self::new(f64::INFINITY, f64::INFINITY, f64::INFINITY)
+    }
+
+    /// `true` when all three metrics are finite.
+    pub fn is_feasible(&self) -> bool {
+        self.latency_cycles.is_finite() && self.energy_nj.is_finite() && self.area_um2.is_finite()
+    }
+}
+
+impl fmt::Display for HardwareMetrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "L={:.3e} cycles, E={:.3e} nJ, A={:.3e} um^2",
+            self.latency_cycles, self.energy_nj, self.area_um2
+        )
+    }
+}
+
+/// The analytical cost model (MAESTRO substitute).
+///
+/// # Example
+///
+/// ```
+/// use nasaic_accel::{Accelerator, Dataflow, SubAccelerator};
+/// use nasaic_cost::CostModel;
+///
+/// let model = CostModel::paper_calibrated();
+/// let acc = Accelerator::new(vec![SubAccelerator::new(Dataflow::Nvdla, 2048, 32)]);
+/// assert!(model.area_um2(&acc) > 0.0);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    config: CostConfig,
+}
+
+impl CostModel {
+    /// Create a cost model with an explicit configuration.
+    pub fn new(config: CostConfig) -> Self {
+        Self { config }
+    }
+
+    /// The calibration used throughout the reproduction.
+    pub fn paper_calibrated() -> Self {
+        Self::new(CostConfig::paper_calibrated())
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &CostConfig {
+        &self.config
+    }
+
+    /// Mapping analysis of a layer on a sub-accelerator.
+    pub fn mapping(&self, layer: &LayerShape, sub: &SubAccelerator) -> MappingAnalysis {
+        MappingAnalysis::analyze(layer, sub, &self.config)
+    }
+
+    /// Latency and energy of one layer on one sub-accelerator.
+    pub fn layer_cost(&self, layer: &LayerShape, sub: &SubAccelerator) -> LayerCost {
+        if !sub.is_active() {
+            return LayerCost::infeasible();
+        }
+        let mapping = self.mapping(layer, sub);
+        let macs = layer.macs() as f64;
+        let compute_energy = macs
+            * (self.config.mac_energy_nj
+                + self.config.buffer_energy_nj * sub.dataflow.buffer_pressure());
+        let dram_energy = mapping.dram_traffic_bytes * self.config.dram_energy_per_byte_nj;
+        let noc_energy = mapping.dram_traffic_bytes * self.config.noc_energy_per_byte_nj;
+        LayerCost {
+            latency_cycles: mapping.latency_cycles(),
+            energy_nj: compute_energy + dram_energy + noc_energy,
+        }
+    }
+
+    /// Area of an accelerator (independent of the mapped networks, as in
+    /// MAESTRO).
+    pub fn area_um2(&self, accelerator: &Accelerator) -> f64 {
+        accelerator_area_um2(accelerator, &self.config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nasaic_accel::Dataflow;
+    use nasaic_nn::backbone::Backbone;
+
+    fn model() -> CostModel {
+        CostModel::paper_calibrated()
+    }
+
+    #[test]
+    fn layer_cost_is_finite_for_active_subs() {
+        let layer = LayerShape::conv2d("c", 64, 64, 3, 16, 1);
+        let cost = model().layer_cost(&layer, &SubAccelerator::new(Dataflow::Nvdla, 1024, 32));
+        assert!(cost.is_feasible());
+        assert!(cost.latency_cycles > 0.0);
+        assert!(cost.energy_nj > 0.0);
+    }
+
+    #[test]
+    fn inactive_sub_gives_infeasible_cost() {
+        let layer = LayerShape::conv2d("c", 64, 64, 3, 16, 1);
+        let cost = model().layer_cost(&layer, &SubAccelerator::inactive(Dataflow::Nvdla));
+        assert!(!cost.is_feasible());
+    }
+
+    #[test]
+    fn bigger_layers_cost_more_energy() {
+        let m = model();
+        let sub = SubAccelerator::new(Dataflow::Nvdla, 1024, 32);
+        let small = m.layer_cost(&LayerShape::conv2d("s", 32, 32, 3, 16, 1), &sub);
+        let big = m.layer_cost(&LayerShape::conv2d("b", 128, 128, 3, 16, 1), &sub);
+        assert!(big.energy_nj > small.energy_nj);
+        assert!(big.latency_cycles > small.latency_cycles);
+    }
+
+    #[test]
+    fn energy_depends_on_dataflow_buffer_pressure() {
+        let m = model();
+        let layer = LayerShape::conv2d("c", 128, 128, 3, 16, 1);
+        // Same resources, fully compute-bound utilisation difference aside,
+        // row-stationary pays more buffer energy per MAC.
+        let rs = m.layer_cost(&layer, &SubAccelerator::new(Dataflow::RowStationary, 4096, 64));
+        let shi = m.layer_cost(&layer, &SubAccelerator::new(Dataflow::Shidiannao, 4096, 64));
+        assert!(rs.energy_nj > shi.energy_nj);
+    }
+
+    #[test]
+    fn whole_resnet_latency_lands_in_paper_range() {
+        // A mid-sized CIFAR-10 ResNet-9 on a 2048-PE NVDLA-style accelerator
+        // should take on the order of 1e5..1e6 cycles, the range of the
+        // paper's design specs.
+        let m = model();
+        let arch = Backbone::ResNet9Cifar10.materialize_values(&[32, 128, 2, 256, 2, 256, 2]);
+        let sub = SubAccelerator::new(Dataflow::Nvdla, 2048, 32);
+        let total: f64 = arch
+            .layers
+            .iter()
+            .map(|l| m.layer_cost(l, &sub).latency_cycles)
+            .sum();
+        assert!(total > 5.0e4 && total < 5.0e6, "total latency {total}");
+    }
+
+    #[test]
+    fn whole_resnet_energy_lands_in_paper_range() {
+        let m = model();
+        let arch = Backbone::ResNet9Cifar10.materialize_values(&[32, 128, 2, 256, 2, 256, 2]);
+        let sub = SubAccelerator::new(Dataflow::Nvdla, 2048, 32);
+        let total: f64 = arch
+            .layers
+            .iter()
+            .map(|l| m.layer_cost(l, &sub).energy_nj)
+            .sum();
+        assert!(total > 1.0e8 && total < 1.0e10, "total energy {total}");
+    }
+
+    #[test]
+    fn hardware_metrics_feasibility() {
+        assert!(!HardwareMetrics::infeasible().is_feasible());
+        assert!(HardwareMetrics::new(1.0, 1.0, 1.0).is_feasible());
+        let s = HardwareMetrics::new(7.77e5, 1.43e9, 2.03e9).to_string();
+        assert!(s.contains("cycles") && s.contains("nJ"));
+    }
+}

@@ -1,0 +1,234 @@
+//! Pre-computed cost tables over (layer, sub-accelerator) pairs.
+//!
+//! The paper's mapper/scheduler consumes, for every network layer `l_i` and
+//! every sub-accelerator `aic_j`, the latency `l_{i,j}` and energy
+//! `e_{i,j}` reported by the cost model.  [`WorkloadCosts`] materialises
+//! exactly that table for a multi-DNN workload, preserving per-network
+//! layer order (the dependency chains the scheduler must respect).
+
+use crate::model::{CostModel, LayerCost};
+use nasaic_accel::Accelerator;
+use nasaic_nn::layer::Architecture;
+use serde::{Deserialize, Serialize};
+
+/// Cost of one layer on every sub-accelerator of the evaluated design.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayerCostRow {
+    /// Layer name (unique within its network).
+    pub layer_name: String,
+    /// MAC count of the layer (used by load-balancing heuristics).
+    pub macs: u64,
+    /// Cost per sub-accelerator, indexed like
+    /// [`Accelerator::sub_accelerators`].
+    pub per_sub: Vec<LayerCost>,
+}
+
+impl LayerCostRow {
+    /// Index of the sub-accelerator with the lowest latency for this layer.
+    ///
+    /// Returns `None` if no sub-accelerator can execute the layer.
+    pub fn fastest_sub(&self) -> Option<usize> {
+        self.per_sub
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.is_feasible())
+            .min_by(|a, b| a.1.latency_cycles.total_cmp(&b.1.latency_cycles))
+            .map(|(i, _)| i)
+    }
+
+    /// Index of the sub-accelerator with the lowest energy for this layer.
+    pub fn cheapest_sub(&self) -> Option<usize> {
+        self.per_sub
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.is_feasible())
+            .min_by(|a, b| a.1.energy_nj.total_cmp(&b.1.energy_nj))
+            .map(|(i, _)| i)
+    }
+}
+
+/// Costs of every layer of one network, in execution (dependency) order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NetworkCosts {
+    /// Network name.
+    pub name: String,
+    /// Per-layer cost rows in execution order.
+    pub layers: Vec<LayerCostRow>,
+}
+
+impl NetworkCosts {
+    /// Sum of the best-case (fastest mapping) latencies — a lower bound on
+    /// the network's serial latency.
+    pub fn serial_latency_lower_bound(&self) -> f64 {
+        self.layers
+            .iter()
+            .filter_map(|row| {
+                row.fastest_sub()
+                    .map(|i| row.per_sub[i].latency_cycles)
+            })
+            .sum()
+    }
+
+    /// Sum of the best-case (cheapest mapping) energies — a lower bound on
+    /// the network's energy.
+    pub fn energy_lower_bound(&self) -> f64 {
+        self.layers
+            .iter()
+            .filter_map(|row| row.cheapest_sub().map(|i| row.per_sub[i].energy_nj))
+            .sum()
+    }
+}
+
+/// The full cost table of a multi-DNN workload on one accelerator design.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadCosts {
+    /// One entry per DNN, in workload order.
+    pub networks: Vec<NetworkCosts>,
+    /// Number of sub-accelerators in the evaluated design (columns of every
+    /// cost row).
+    pub num_subs: usize,
+}
+
+impl WorkloadCosts {
+    /// Build the cost table for a set of architectures on an accelerator.
+    pub fn build(
+        model: &CostModel,
+        architectures: &[Architecture],
+        accelerator: &Accelerator,
+    ) -> Self {
+        let subs = accelerator.sub_accelerators();
+        let networks = architectures
+            .iter()
+            .map(|arch| NetworkCosts {
+                name: arch.name.clone(),
+                layers: arch
+                    .layers
+                    .iter()
+                    .map(|layer| LayerCostRow {
+                        layer_name: layer.name.clone(),
+                        macs: layer.macs(),
+                        per_sub: subs.iter().map(|sub| model.layer_cost(layer, sub)).collect(),
+                    })
+                    .collect(),
+            })
+            .collect();
+        Self {
+            networks,
+            num_subs: subs.len(),
+        }
+    }
+
+    /// Total number of layers across all networks.
+    pub fn total_layers(&self) -> usize {
+        self.networks.iter().map(|n| n.layers.len()).sum()
+    }
+
+    /// `true` when every layer has at least one feasible mapping.
+    pub fn is_schedulable(&self) -> bool {
+        self.networks.iter().all(|n| {
+            n.layers
+                .iter()
+                .all(|row| row.per_sub.iter().any(LayerCost::is_feasible))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nasaic_accel::{Dataflow, SubAccelerator};
+    use nasaic_nn::backbone::Backbone;
+
+    fn two_sub_accelerator() -> Accelerator {
+        Accelerator::new(vec![
+            SubAccelerator::new(Dataflow::Nvdla, 2048, 32),
+            SubAccelerator::new(Dataflow::Shidiannao, 2048, 32),
+        ])
+    }
+
+    fn workload() -> Vec<Architecture> {
+        vec![
+            Backbone::ResNet9Cifar10.materialize_values(&[32, 128, 2, 256, 2, 256, 2]),
+            Backbone::UNetNuclei.materialize_values(&[3, 16, 32, 64, 128, 256]),
+        ]
+    }
+
+    #[test]
+    fn table_has_one_row_per_layer_and_one_column_per_sub() {
+        let model = CostModel::paper_calibrated();
+        let archs = workload();
+        let costs = WorkloadCosts::build(&model, &archs, &two_sub_accelerator());
+        assert_eq!(costs.networks.len(), 2);
+        assert_eq!(costs.num_subs, 2);
+        assert_eq!(
+            costs.total_layers(),
+            archs[0].num_layers() + archs[1].num_layers()
+        );
+        for network in &costs.networks {
+            for row in &network.layers {
+                assert_eq!(row.per_sub.len(), 2);
+            }
+        }
+        assert!(costs.is_schedulable());
+    }
+
+    #[test]
+    fn resnet_late_layers_prefer_nvdla_and_unet_layers_prefer_shidiannao() {
+        let model = CostModel::paper_calibrated();
+        let archs = workload();
+        let costs = WorkloadCosts::build(&model, &archs, &two_sub_accelerator());
+        // Column 0 is NVDLA, column 1 is Shidiannao.
+        let resnet = &costs.networks[0];
+        let late_row = resnet
+            .layers
+            .iter()
+            .find(|r| r.layer_name == "block3_res0")
+            .unwrap();
+        assert_eq!(late_row.fastest_sub(), Some(0), "late ResNet layer should prefer NVDLA");
+        let unet = &costs.networks[1];
+        let early_row = unet
+            .layers
+            .iter()
+            .find(|r| r.layer_name == "enc0_conv1")
+            .unwrap();
+        assert_eq!(early_row.fastest_sub(), Some(1), "early U-Net layer should prefer Shidiannao");
+    }
+
+    #[test]
+    fn lower_bounds_are_positive_and_consistent() {
+        let model = CostModel::paper_calibrated();
+        let archs = workload();
+        let costs = WorkloadCosts::build(&model, &archs, &two_sub_accelerator());
+        for network in &costs.networks {
+            let lat = network.serial_latency_lower_bound();
+            let energy = network.energy_lower_bound();
+            assert!(lat > 0.0 && lat.is_finite());
+            assert!(energy > 0.0 && energy.is_finite());
+        }
+    }
+
+    #[test]
+    fn inactive_sub_makes_column_infeasible_but_table_schedulable() {
+        let model = CostModel::paper_calibrated();
+        let acc = Accelerator::new(vec![
+            SubAccelerator::new(Dataflow::Nvdla, 4096, 64),
+            SubAccelerator::inactive(Dataflow::Shidiannao),
+        ]);
+        let costs = WorkloadCosts::build(&model, &workload(), &acc);
+        assert!(costs.is_schedulable());
+        for network in &costs.networks {
+            for row in &network.layers {
+                assert!(!row.per_sub[1].is_feasible());
+                assert_eq!(row.fastest_sub(), Some(0));
+            }
+        }
+    }
+
+    #[test]
+    fn all_inactive_accelerator_is_not_schedulable() {
+        let model = CostModel::paper_calibrated();
+        let acc = Accelerator::new(vec![SubAccelerator::inactive(Dataflow::Nvdla)]);
+        let costs = WorkloadCosts::build(&model, &workload(), &acc);
+        assert!(!costs.is_schedulable());
+    }
+}

@@ -1,0 +1,493 @@
+//! Layer-shape intermediate representation.
+//!
+//! Every network the co-exploration touches is lowered to a flat list of
+//! [`LayerShape`]s.  The cost model in `nasaic-cost` consumes exactly the
+//! dimensions MAESTRO uses: output channels `K`, input channels `C`,
+//! kernel `R x S`, and input feature map `Y x X`, plus a stride.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The operator class of a layer.
+///
+/// Only the operator classes that appear in ResNet-9 and U-Net are
+/// modelled; they are the ones whose cost the paper's evaluation needs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LayerKind {
+    /// Standard 2-D convolution.
+    Conv2d,
+    /// Transposed convolution (used by the U-Net decoder for upsampling).
+    TransposedConv2d,
+    /// Max pooling (modelled as a cheap, memory-bound layer).
+    MaxPool,
+    /// Global average pooling before the classifier.
+    GlobalAvgPool,
+    /// Fully connected layer.
+    Dense,
+    /// Element-wise addition of a residual branch.
+    ElementwiseAdd,
+}
+
+impl LayerKind {
+    /// `true` when the layer performs multiply-accumulate work on a weight
+    /// tensor (convolutions and dense layers).
+    pub fn has_weights(&self) -> bool {
+        matches!(
+            self,
+            LayerKind::Conv2d | LayerKind::TransposedConv2d | LayerKind::Dense
+        )
+    }
+}
+
+impl fmt::Display for LayerKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            LayerKind::Conv2d => "conv2d",
+            LayerKind::TransposedConv2d => "tconv2d",
+            LayerKind::MaxPool => "maxpool",
+            LayerKind::GlobalAvgPool => "gavgpool",
+            LayerKind::Dense => "dense",
+            LayerKind::ElementwiseAdd => "add",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Shape and operator of one network layer.
+///
+/// Dimensions follow the MAESTRO convention:
+/// `K` output channels, `C` input channels, `R x S` kernel,
+/// `Y x X` input feature map, and a stride.
+///
+/// # Example
+///
+/// ```
+/// use nasaic_nn::layer::LayerShape;
+/// let conv = LayerShape::conv2d("conv0", 3, 64, 3, 32, 1);
+/// assert_eq!(conv.output_height(), 32);
+/// assert_eq!(conv.macs(), 64 * 3 * 3 * 3 * 32 * 32);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct LayerShape {
+    /// Human-readable layer name (unique within an architecture).
+    pub name: String,
+    /// Operator class.
+    pub kind: LayerKind,
+    /// Input channels `C`.
+    pub input_channels: usize,
+    /// Output channels `K`.
+    pub output_channels: usize,
+    /// Kernel height `R` (= width `S`; all kernels in the paper are square).
+    pub kernel: usize,
+    /// Input feature-map height `Y` (= width `X`; all maps are square).
+    pub input_size: usize,
+    /// Stride (1 for most layers, 2 for pooling / strided upsample).
+    pub stride: usize,
+}
+
+impl LayerShape {
+    /// Construct a square 2-D convolution layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn conv2d(
+        name: &str,
+        input_channels: usize,
+        output_channels: usize,
+        kernel: usize,
+        input_size: usize,
+        stride: usize,
+    ) -> Self {
+        Self::new(
+            name,
+            LayerKind::Conv2d,
+            input_channels,
+            output_channels,
+            kernel,
+            input_size,
+            stride,
+        )
+    }
+
+    /// Construct a transposed convolution (decoder upsampling) layer.  The
+    /// output feature map is `stride` times larger than the input.
+    pub fn transposed_conv2d(
+        name: &str,
+        input_channels: usize,
+        output_channels: usize,
+        kernel: usize,
+        input_size: usize,
+        stride: usize,
+    ) -> Self {
+        Self::new(
+            name,
+            LayerKind::TransposedConv2d,
+            input_channels,
+            output_channels,
+            kernel,
+            input_size,
+            stride,
+        )
+    }
+
+    /// Construct a max-pooling layer (channel preserving).
+    pub fn max_pool(name: &str, channels: usize, window: usize, input_size: usize) -> Self {
+        Self::new(
+            name,
+            LayerKind::MaxPool,
+            channels,
+            channels,
+            window,
+            input_size,
+            window,
+        )
+    }
+
+    /// Construct a global average pooling layer.
+    pub fn global_avg_pool(name: &str, channels: usize, input_size: usize) -> Self {
+        Self::new(
+            name,
+            LayerKind::GlobalAvgPool,
+            channels,
+            channels,
+            input_size,
+            input_size,
+            input_size,
+        )
+    }
+
+    /// Construct a dense (fully connected) layer.
+    pub fn dense(name: &str, input_features: usize, output_features: usize) -> Self {
+        Self::new(
+            name,
+            LayerKind::Dense,
+            input_features,
+            output_features,
+            1,
+            1,
+            1,
+        )
+    }
+
+    /// Construct an element-wise addition layer (residual join).
+    pub fn elementwise_add(name: &str, channels: usize, input_size: usize) -> Self {
+        Self::new(
+            name,
+            LayerKind::ElementwiseAdd,
+            channels,
+            channels,
+            1,
+            input_size,
+            1,
+        )
+    }
+
+    fn new(
+        name: &str,
+        kind: LayerKind,
+        input_channels: usize,
+        output_channels: usize,
+        kernel: usize,
+        input_size: usize,
+        stride: usize,
+    ) -> Self {
+        assert!(input_channels > 0, "layer {name}: input channels must be > 0");
+        assert!(output_channels > 0, "layer {name}: output channels must be > 0");
+        assert!(kernel > 0, "layer {name}: kernel must be > 0");
+        assert!(input_size > 0, "layer {name}: input size must be > 0");
+        assert!(stride > 0, "layer {name}: stride must be > 0");
+        Self {
+            name: name.to_string(),
+            kind,
+            input_channels,
+            output_channels,
+            kernel,
+            input_size,
+            stride,
+        }
+    }
+
+    /// Output feature-map height (= width).
+    pub fn output_height(&self) -> usize {
+        match self.kind {
+            LayerKind::Conv2d => (self.input_size / self.stride).max(1),
+            LayerKind::TransposedConv2d => self.input_size * self.stride,
+            LayerKind::MaxPool => (self.input_size / self.stride).max(1),
+            LayerKind::GlobalAvgPool => 1,
+            LayerKind::Dense => 1,
+            LayerKind::ElementwiseAdd => self.input_size,
+        }
+    }
+
+    /// Multiply-accumulate operations performed by this layer.
+    pub fn macs(&self) -> u64 {
+        let oh = self.output_height() as u64;
+        let k = self.output_channels as u64;
+        let c = self.input_channels as u64;
+        let r = self.kernel as u64;
+        match self.kind {
+            LayerKind::Conv2d | LayerKind::TransposedConv2d => k * c * r * r * oh * oh,
+            LayerKind::Dense => k * c,
+            // Pooling and element-wise layers do comparisons/additions, not
+            // MACs; we count one op per output element so they are cheap but
+            // not free for the cost model.
+            LayerKind::MaxPool | LayerKind::GlobalAvgPool => {
+                c * (self.input_size as u64) * (self.input_size as u64)
+            }
+            LayerKind::ElementwiseAdd => c * oh * oh,
+        }
+    }
+
+    /// Number of trainable parameters (weights, ignoring biases).
+    pub fn params(&self) -> u64 {
+        if !self.kind.has_weights() {
+            return 0;
+        }
+        let k = self.output_channels as u64;
+        let c = self.input_channels as u64;
+        let r = self.kernel as u64;
+        match self.kind {
+            LayerKind::Dense => k * c,
+            _ => k * c * r * r,
+        }
+    }
+
+    /// Number of input activation elements.
+    pub fn input_activations(&self) -> u64 {
+        self.input_channels as u64 * (self.input_size as u64).pow(2)
+    }
+
+    /// Number of output activation elements.
+    pub fn output_activations(&self) -> u64 {
+        self.output_channels as u64 * (self.output_height() as u64).pow(2)
+    }
+
+    /// Ratio of output channels to output spatial resolution; the cost model
+    /// uses this to decide which dataflow "likes" the layer (NVDLA favours
+    /// channel-heavy layers, Shidiannao favours resolution-heavy layers).
+    pub fn channel_to_resolution_ratio(&self) -> f64 {
+        self.output_channels as f64 / self.output_height().max(1) as f64
+    }
+}
+
+impl fmt::Display for LayerShape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {} C={} K={} {}x{} in={}x{} s={}",
+            self.name,
+            self.kind,
+            self.input_channels,
+            self.output_channels,
+            self.kernel,
+            self.kernel,
+            self.input_size,
+            self.input_size,
+            self.stride
+        )
+    }
+}
+
+/// A concrete neural architecture: an ordered list of layers plus the
+/// hyperparameter assignment that produced it.
+///
+/// Layers execute in order; layer `i` consumes the output of layer `i - 1`
+/// (residual adds are modelled as explicit [`LayerKind::ElementwiseAdd`]
+/// layers so the dependency chain stays linear, which matches how the
+/// paper's mapper treats per-network layer dependencies).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Architecture {
+    /// Human-readable architecture name, e.g. `"resnet9-cifar10"`.
+    pub name: String,
+    /// Ordered layer list.
+    pub layers: Vec<LayerShape>,
+    /// The hyperparameter values (paper notation, e.g.
+    /// `<FN0, FN1, SK1, FN2, SK2, FN3, SK3>`) that generated this network.
+    pub hyperparameters: Vec<usize>,
+}
+
+impl Architecture {
+    /// Create an architecture from parts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layers` is empty or layer names are not unique.
+    pub fn new(name: &str, layers: Vec<LayerShape>, hyperparameters: Vec<usize>) -> Self {
+        assert!(!layers.is_empty(), "architecture {name} has no layers");
+        let mut names: Vec<&str> = layers.iter().map(|l| l.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(
+            names.len(),
+            layers.len(),
+            "architecture {name} has duplicate layer names"
+        );
+        Self {
+            name: name.to_string(),
+            layers,
+            hyperparameters,
+        }
+    }
+
+    /// Number of layers.
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Total multiply-accumulate operations over all layers.
+    pub fn total_macs(&self) -> u64 {
+        self.layers.iter().map(LayerShape::macs).sum()
+    }
+
+    /// Total trainable parameters over all layers.
+    pub fn total_params(&self) -> u64 {
+        self.layers.iter().map(LayerShape::params).sum()
+    }
+
+    /// Layers that carry weights (the ones the mapper actually assigns to
+    /// sub-accelerators; cheap glue layers ride along with their producer).
+    pub fn compute_layers(&self) -> impl Iterator<Item = &LayerShape> {
+        self.layers.iter().filter(|l| l.kind.has_weights())
+    }
+
+    /// Number of weight-carrying layers.
+    pub fn num_compute_layers(&self) -> usize {
+        self.compute_layers().count()
+    }
+
+    /// The paper's compact hyperparameter vector notation, e.g.
+    /// `<32, 128, 2, 256, 2, 256, 2>`.
+    pub fn hyperparameter_string(&self) -> String {
+        let inner: Vec<String> = self.hyperparameters.iter().map(|v| v.to_string()).collect();
+        format!("<{}>", inner.join(", "))
+    }
+}
+
+impl fmt::Display for Architecture {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {} ({} layers, {:.1}M MACs, {:.2}M params)",
+            self.name,
+            self.hyperparameter_string(),
+            self.num_layers(),
+            self.total_macs() as f64 / 1e6,
+            self.total_params() as f64 / 1e6
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_macs_and_params_match_formula() {
+        let l = LayerShape::conv2d("c", 16, 32, 3, 8, 1);
+        assert_eq!(l.macs(), 32 * 16 * 9 * 64);
+        assert_eq!(l.params(), 32 * 16 * 9);
+        assert_eq!(l.output_height(), 8);
+    }
+
+    #[test]
+    fn strided_conv_halves_resolution() {
+        let l = LayerShape::conv2d("c", 3, 8, 3, 32, 2);
+        assert_eq!(l.output_height(), 16);
+    }
+
+    #[test]
+    fn transposed_conv_doubles_resolution() {
+        let l = LayerShape::transposed_conv2d("up", 64, 32, 2, 16, 2);
+        assert_eq!(l.output_height(), 32);
+        assert!(l.macs() > 0);
+        assert_eq!(l.params(), 32 * 64 * 4);
+    }
+
+    #[test]
+    fn pooling_has_no_params() {
+        let l = LayerShape::max_pool("p", 32, 2, 16);
+        assert_eq!(l.params(), 0);
+        assert_eq!(l.output_height(), 8);
+        assert!(!l.kind.has_weights());
+    }
+
+    #[test]
+    fn global_pool_collapses_to_one() {
+        let l = LayerShape::global_avg_pool("g", 256, 4);
+        assert_eq!(l.output_height(), 1);
+        assert_eq!(l.output_activations(), 256);
+    }
+
+    #[test]
+    fn dense_macs_equal_params() {
+        let l = LayerShape::dense("fc", 256, 10);
+        assert_eq!(l.macs(), 2560);
+        assert_eq!(l.params(), 2560);
+    }
+
+    #[test]
+    fn elementwise_add_preserves_shape() {
+        let l = LayerShape::elementwise_add("add", 64, 16);
+        assert_eq!(l.output_height(), 16);
+        assert_eq!(l.params(), 0);
+        assert_eq!(l.macs(), 64 * 256);
+    }
+
+    #[test]
+    fn channel_to_resolution_ratio_orders_layers() {
+        let early = LayerShape::conv2d("early", 3, 32, 3, 32, 1); // 32 ch / 32 px = 1
+        let late = LayerShape::conv2d("late", 256, 256, 3, 4, 1); // 256 ch / 4 px = 64
+        assert!(late.channel_to_resolution_ratio() > early.channel_to_resolution_ratio());
+    }
+
+    #[test]
+    fn architecture_aggregates_layer_stats() {
+        let arch = Architecture::new(
+            "tiny",
+            vec![
+                LayerShape::conv2d("c0", 3, 8, 3, 8, 1),
+                LayerShape::max_pool("p0", 8, 2, 8),
+                LayerShape::dense("fc", 8 * 16, 10),
+            ],
+            vec![8],
+        );
+        assert_eq!(arch.num_layers(), 3);
+        assert_eq!(arch.num_compute_layers(), 2);
+        assert_eq!(
+            arch.total_macs(),
+            LayerShape::conv2d("c0", 3, 8, 3, 8, 1).macs()
+                + LayerShape::max_pool("p0", 8, 2, 8).macs()
+                + 1280
+        );
+        assert_eq!(arch.hyperparameter_string(), "<8>");
+    }
+
+    #[test]
+    #[should_panic]
+    fn duplicate_layer_names_rejected() {
+        Architecture::new(
+            "dup",
+            vec![
+                LayerShape::conv2d("c", 3, 8, 3, 8, 1),
+                LayerShape::conv2d("c", 8, 8, 3, 8, 1),
+            ],
+            vec![],
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_channel_layer_rejected() {
+        LayerShape::conv2d("bad", 0, 8, 3, 8, 1);
+    }
+
+    #[test]
+    fn display_formats_are_informative() {
+        let l = LayerShape::conv2d("c0", 3, 8, 3, 8, 1);
+        let s = format!("{l}");
+        assert!(s.contains("conv2d") && s.contains("C=3") && s.contains("K=8"));
+        let a = Architecture::new("net", vec![l], vec![1, 2]);
+        assert!(format!("{a}").contains("<1, 2>"));
+    }
+}

@@ -1,0 +1,52 @@
+//! Neural-architecture intermediate representation and search spaces for
+//! the NASAIC reproduction.
+//!
+//! The paper's application layer (Section III ➊) defines, per task, a
+//! backbone architecture with searchable hyperparameters:
+//!
+//! * **ResNet-9** for classification (CIFAR-10 with 3 residual blocks,
+//!   STL-10 with 5 deeper blocks), searching the filter count `FN_i` and
+//!   the number of extra convolution ("skip") layers `SK_i` per block;
+//! * **U-Net** for segmentation (Nuclei), searching the network height and
+//!   the filter count per level.
+//!
+//! This crate provides:
+//!
+//! * [`layer`] — a layer-shape IR (`K, C, R, S, Y, X`, stride) with MAC /
+//!   parameter / activation accounting, the currency consumed by the
+//!   cost model in `nasaic-cost`;
+//! * [`resnet`] / [`unet`] — backbone generators that turn hyperparameter
+//!   assignments into concrete [`Architecture`]s;
+//! * [`space`] — generic discrete search spaces over hyperparameters;
+//! * [`backbone`] — the per-task backbones of the paper tying a search
+//!   space to a generator;
+//! * [`dataset`] — the datasets used in the evaluation (CIFAR-10, STL-10,
+//!   Nuclei) with their input geometry;
+//! * [`stats`] — whole-network statistics used by surrogates and reports.
+//!
+//! # Example
+//!
+//! ```
+//! use nasaic_nn::backbone::Backbone;
+//!
+//! let backbone = Backbone::ResNet9Cifar10;
+//! let space = backbone.search_space();
+//! // The paper's best W3 architecture: <32, 128, 2, 256, 2, 256, 2>.
+//! let arch = backbone.materialize(&space.indices_of(&[32, 128, 2, 256, 2, 256, 2]).unwrap()).unwrap();
+//! assert!(arch.total_macs() > 0);
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod backbone;
+pub mod dataset;
+pub mod layer;
+pub mod resnet;
+pub mod space;
+pub mod stats;
+pub mod unet;
+
+pub use backbone::Backbone;
+pub use dataset::{Dataset, TaskKind};
+pub use layer::{Architecture, LayerKind, LayerShape};
+pub use space::{ChoicePoint, DecodeError, SearchSpace};

@@ -1,0 +1,439 @@
+//! Discrete hyperparameter search spaces.
+//!
+//! A [`SearchSpace`] is an ordered list of [`ChoicePoint`]s; a candidate is
+//! an index vector selecting one option per choice point.  The controller
+//! in `nasaic-rl` emits exactly one action (index) per choice point, so the
+//! search space doubles as the contract between the application layer and
+//! the controller.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One searchable hyperparameter with a finite list of options.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChoicePoint {
+    /// Name of the hyperparameter, e.g. `"FN1"` or `"SK2"`.
+    pub name: String,
+    /// The allowed values.
+    pub options: Vec<usize>,
+}
+
+impl ChoicePoint {
+    /// Create a choice point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `options` is empty.
+    pub fn new(name: &str, options: Vec<usize>) -> Self {
+        assert!(!options.is_empty(), "choice point {name} has no options");
+        Self {
+            name: name.to_string(),
+            options,
+        }
+    }
+
+    /// Number of options.
+    pub fn cardinality(&self) -> usize {
+        self.options.len()
+    }
+
+    /// Index of a concrete value in the options list.
+    pub fn index_of(&self, value: usize) -> Option<usize> {
+        self.options.iter().position(|&v| v == value)
+    }
+}
+
+impl fmt::Display for ChoicePoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {:?}", self.name, self.options)
+    }
+}
+
+/// Error returned when an index vector does not fit a search space.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The index vector has the wrong number of entries.
+    WrongLength {
+        /// Number of entries expected (one per choice point).
+        expected: usize,
+        /// Number of entries provided.
+        found: usize,
+    },
+    /// An index exceeds the cardinality of its choice point.
+    IndexOutOfRange {
+        /// Position of the offending choice point.
+        position: usize,
+        /// Name of the offending choice point.
+        name: String,
+        /// The offending index.
+        index: usize,
+        /// Number of options at that choice point.
+        cardinality: usize,
+    },
+    /// A requested concrete value is not among the options.
+    ValueNotInOptions {
+        /// Position of the offending choice point.
+        position: usize,
+        /// Name of the offending choice point.
+        name: String,
+        /// The value that was requested.
+        value: usize,
+    },
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::WrongLength { expected, found } => {
+                write!(f, "expected {expected} choices, found {found}")
+            }
+            DecodeError::IndexOutOfRange {
+                position,
+                name,
+                index,
+                cardinality,
+            } => write!(
+                f,
+                "choice {position} ({name}): index {index} out of range for {cardinality} options"
+            ),
+            DecodeError::ValueNotInOptions {
+                position,
+                name,
+                value,
+            } => write!(f, "choice {position} ({name}): value {value} is not an option"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// An ordered collection of choice points.
+///
+/// # Example
+///
+/// ```
+/// use nasaic_nn::space::{ChoicePoint, SearchSpace};
+/// let space = SearchSpace::new(
+///     "demo",
+///     vec![
+///         ChoicePoint::new("FN", vec![32, 64, 128, 256]),
+///         ChoicePoint::new("SK", vec![0, 1, 2]),
+///     ],
+/// );
+/// assert_eq!(space.cardinality(), 12);
+/// assert_eq!(space.decode(&[3, 1]).unwrap(), vec![256, 1]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SearchSpace {
+    /// Name of the search space (usually the backbone it parameterises).
+    pub name: String,
+    choices: Vec<ChoicePoint>,
+}
+
+impl SearchSpace {
+    /// Create a search space from its choice points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `choices` is empty.
+    pub fn new(name: &str, choices: Vec<ChoicePoint>) -> Self {
+        assert!(!choices.is_empty(), "search space {name} has no choice points");
+        Self {
+            name: name.to_string(),
+            choices,
+        }
+    }
+
+    /// The choice points, in order.
+    pub fn choices(&self) -> &[ChoicePoint] {
+        &self.choices
+    }
+
+    /// Number of choice points (= length of a candidate index vector).
+    pub fn num_choices(&self) -> usize {
+        self.choices.len()
+    }
+
+    /// Total number of candidates in the space.
+    pub fn cardinality(&self) -> u64 {
+        self.choices
+            .iter()
+            .map(|c| c.cardinality() as u64)
+            .product()
+    }
+
+    /// Cardinality of each choice point (the action-head sizes the
+    /// controller needs).
+    pub fn cardinalities(&self) -> Vec<usize> {
+        self.choices.iter().map(ChoicePoint::cardinality).collect()
+    }
+
+    /// Validate an index vector against this space.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] if the vector has the wrong length or an
+    /// index is out of range.
+    pub fn validate(&self, indices: &[usize]) -> Result<(), DecodeError> {
+        if indices.len() != self.choices.len() {
+            return Err(DecodeError::WrongLength {
+                expected: self.choices.len(),
+                found: indices.len(),
+            });
+        }
+        for (position, (&index, choice)) in indices.iter().zip(&self.choices).enumerate() {
+            if index >= choice.cardinality() {
+                return Err(DecodeError::IndexOutOfRange {
+                    position,
+                    name: choice.name.clone(),
+                    index,
+                    cardinality: choice.cardinality(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Decode an index vector into concrete hyperparameter values.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] if the vector does not fit the space.
+    pub fn decode(&self, indices: &[usize]) -> Result<Vec<usize>, DecodeError> {
+        self.validate(indices)?;
+        Ok(indices
+            .iter()
+            .zip(&self.choices)
+            .map(|(&i, c)| c.options[i])
+            .collect())
+    }
+
+    /// Inverse of [`decode`](Self::decode): turn concrete values back into
+    /// option indices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] if the length is wrong or a value is not
+    /// among the options of its choice point.
+    pub fn indices_of(&self, values: &[usize]) -> Result<Vec<usize>, DecodeError> {
+        if values.len() != self.choices.len() {
+            return Err(DecodeError::WrongLength {
+                expected: self.choices.len(),
+                found: values.len(),
+            });
+        }
+        values
+            .iter()
+            .zip(&self.choices)
+            .enumerate()
+            .map(|(position, (&value, choice))| {
+                choice
+                    .index_of(value)
+                    .ok_or_else(|| DecodeError::ValueNotInOptions {
+                        position,
+                        name: choice.name.clone(),
+                        value,
+                    })
+            })
+            .collect()
+    }
+
+    /// The candidate selecting the first (smallest) option everywhere.
+    pub fn smallest(&self) -> Vec<usize> {
+        vec![0; self.choices.len()]
+    }
+
+    /// The candidate selecting the last (largest) option everywhere.
+    pub fn largest(&self) -> Vec<usize> {
+        self.choices.iter().map(|c| c.cardinality() - 1).collect()
+    }
+
+    /// Sample a uniformly random candidate.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> Vec<usize> {
+        self.choices
+            .iter()
+            .map(|c| rng.gen_range(0..c.cardinality()))
+            .collect()
+    }
+
+    /// Enumerate every candidate in the space (use only for small spaces;
+    /// intended for exhaustive baselines and tests).
+    pub fn enumerate(&self) -> Enumerate<'_> {
+        Enumerate {
+            space: self,
+            current: Some(self.smallest()),
+        }
+    }
+
+    /// Iterate the neighbours of a candidate: all candidates that differ in
+    /// exactly one choice point by one option step (used by the
+    /// hill-climbing baseline).
+    pub fn neighbours(&self, indices: &[usize]) -> Vec<Vec<usize>> {
+        let mut out = Vec::new();
+        if self.validate(indices).is_err() {
+            return out;
+        }
+        for (pos, choice) in self.choices.iter().enumerate() {
+            if indices[pos] > 0 {
+                let mut n = indices.to_vec();
+                n[pos] -= 1;
+                out.push(n);
+            }
+            if indices[pos] + 1 < choice.cardinality() {
+                let mut n = indices.to_vec();
+                n[pos] += 1;
+                out.push(n);
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for SearchSpace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({} choice points, {} candidates)",
+            self.name,
+            self.num_choices(),
+            self.cardinality()
+        )
+    }
+}
+
+/// Iterator over all candidates of a [`SearchSpace`] in lexicographic order.
+#[derive(Debug)]
+pub struct Enumerate<'a> {
+    space: &'a SearchSpace,
+    current: Option<Vec<usize>>,
+}
+
+impl<'a> Iterator for Enumerate<'a> {
+    type Item = Vec<usize>;
+
+    fn next(&mut self) -> Option<Vec<usize>> {
+        let current = self.current.clone()?;
+        // Advance like an odometer.
+        let mut next = current.clone();
+        let mut pos = next.len();
+        loop {
+            if pos == 0 {
+                self.current = None;
+                break;
+            }
+            pos -= 1;
+            if next[pos] + 1 < self.space.choices[pos].cardinality() {
+                next[pos] += 1;
+                for later in next.iter_mut().skip(pos + 1) {
+                    *later = 0;
+                }
+                self.current = Some(next);
+                break;
+            }
+        }
+        Some(current)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn demo_space() -> SearchSpace {
+        SearchSpace::new(
+            "demo",
+            vec![
+                ChoicePoint::new("FN", vec![32, 64, 128, 256]),
+                ChoicePoint::new("SK", vec![0, 1, 2]),
+            ],
+        )
+    }
+
+    #[test]
+    fn cardinality_is_product_of_options() {
+        assert_eq!(demo_space().cardinality(), 12);
+        assert_eq!(demo_space().cardinalities(), vec![4, 3]);
+    }
+
+    #[test]
+    fn decode_and_indices_of_round_trip() {
+        let space = demo_space();
+        let values = space.decode(&[2, 1]).unwrap();
+        assert_eq!(values, vec![128, 1]);
+        assert_eq!(space.indices_of(&values).unwrap(), vec![2, 1]);
+    }
+
+    #[test]
+    fn decode_rejects_wrong_length() {
+        let err = demo_space().decode(&[1]).unwrap_err();
+        assert!(matches!(err, DecodeError::WrongLength { expected: 2, found: 1 }));
+        assert!(err.to_string().contains("expected 2"));
+    }
+
+    #[test]
+    fn decode_rejects_out_of_range_index() {
+        let err = demo_space().decode(&[4, 0]).unwrap_err();
+        assert!(matches!(err, DecodeError::IndexOutOfRange { index: 4, .. }));
+    }
+
+    #[test]
+    fn indices_of_rejects_unknown_value() {
+        let err = demo_space().indices_of(&[48, 0]).unwrap_err();
+        assert!(matches!(err, DecodeError::ValueNotInOptions { value: 48, .. }));
+    }
+
+    #[test]
+    fn smallest_and_largest_are_valid() {
+        let space = demo_space();
+        assert_eq!(space.decode(&space.smallest()).unwrap(), vec![32, 0]);
+        assert_eq!(space.decode(&space.largest()).unwrap(), vec![256, 2]);
+    }
+
+    #[test]
+    fn sampling_stays_in_range() {
+        let space = demo_space();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let candidate = space.sample(&mut rng);
+            assert!(space.validate(&candidate).is_ok());
+        }
+    }
+
+    #[test]
+    fn enumerate_visits_every_candidate_exactly_once() {
+        let space = demo_space();
+        let all: Vec<Vec<usize>> = space.enumerate().collect();
+        assert_eq!(all.len(), 12);
+        let mut dedup = all.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 12);
+        assert_eq!(all[0], vec![0, 0]);
+        assert_eq!(all[11], vec![3, 2]);
+    }
+
+    #[test]
+    fn neighbours_differ_in_one_position() {
+        let space = demo_space();
+        let neighbours = space.neighbours(&[1, 1]);
+        assert_eq!(neighbours.len(), 4);
+        for n in &neighbours {
+            let diff: usize = n
+                .iter()
+                .zip([1, 1].iter())
+                .filter(|(a, b)| a != b)
+                .count();
+            assert_eq!(diff, 1);
+        }
+        // Corner candidate has fewer neighbours.
+        assert_eq!(space.neighbours(&[0, 0]).len(), 2);
+    }
+
+    #[test]
+    fn display_mentions_cardinality() {
+        assert!(demo_space().to_string().contains("12 candidates"));
+    }
+}

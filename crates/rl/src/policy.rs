@@ -1,0 +1,491 @@
+//! The recurrent policy network: a shared recurrent core with one softmax
+//! head per decision step, plus REINFORCE gradients computed by manual
+//! backpropagation-through-time.
+
+use crate::rnn::{RnnCell, RnnGradients, RnnStepCache};
+use nasaic_tensor::activation::{entropy, softmax};
+use nasaic_tensor::{init, Matrix, Optimizer, RmsProp};
+use rand::Rng;
+
+/// One sampled episode: the chosen action index for every decision step and
+/// the log-probability of the whole trajectory under the sampling policy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpisodeSample {
+    /// Chosen option index per decision step.
+    pub actions: Vec<usize>,
+    /// `sum_t log pi(a_t | a_{t-1..1})`.
+    pub log_prob: f64,
+    /// Mean per-step entropy of the sampling distributions (exploration
+    /// diagnostic).
+    pub mean_entropy: f64,
+}
+
+/// Parameter gradients of the policy network.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PolicyGradients {
+    cell: RnnGradients,
+    heads: Vec<(Matrix, Matrix)>,
+}
+
+/// Hyperparameters of one REINFORCE update.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UpdateConfig {
+    /// Learning rate for this update.
+    pub learning_rate: f64,
+    /// Entropy-bonus coefficient (0 disables the bonus).
+    pub entropy_beta: f64,
+    /// Gradient clipping threshold (absolute value per element).
+    pub gradient_clip: f64,
+}
+
+impl Default for UpdateConfig {
+    fn default() -> Self {
+        Self {
+            learning_rate: 0.05,
+            entropy_beta: 0.01,
+            gradient_clip: 5.0,
+        }
+    }
+}
+
+/// The recurrent policy network of the NASAIC controller.
+///
+/// The network emits `T` decisions; decision `t` has
+/// `cardinalities[t]` options.  The input of step `t` is a one-hot encoding
+/// of the previous step's chosen option (a dedicated start token for step
+/// 0), exactly the autoregressive scheme of NAS controllers.
+#[derive(Debug, Clone)]
+pub struct PolicyNetwork {
+    cell: RnnCell,
+    heads: Vec<(Matrix, Matrix)>,
+    cardinalities: Vec<usize>,
+    input_size: usize,
+    // Per-parameter RMSProp state (the paper trains the controller with
+    // RMSProp).
+    opt_w_x: RmsProp,
+    opt_w_h: RmsProp,
+    opt_b: RmsProp,
+    opt_heads: Vec<(RmsProp, RmsProp)>,
+}
+
+impl PolicyNetwork {
+    /// Create a policy network for the given per-step option counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cardinalities` is empty or contains a zero, or
+    /// `hidden_size` is zero.
+    pub fn new<R: Rng>(rng: &mut R, cardinalities: Vec<usize>, hidden_size: usize) -> Self {
+        assert!(!cardinalities.is_empty(), "policy needs at least one decision");
+        assert!(
+            cardinalities.iter().all(|&c| c > 0),
+            "every decision needs at least one option"
+        );
+        assert!(hidden_size > 0, "hidden size must be positive");
+        let max_card = *cardinalities.iter().max().expect("non-empty");
+        let input_size = max_card + 1; // +1 for the start token
+        let cell = RnnCell::new(rng, input_size, hidden_size);
+        let heads = cardinalities
+            .iter()
+            .map(|&c| {
+                (
+                    init::xavier_uniform(rng, c, hidden_size),
+                    Matrix::zeros(c, 1),
+                )
+            })
+            .collect::<Vec<_>>();
+        let opt_heads = cardinalities
+            .iter()
+            .map(|_| (RmsProp::new(0.05, 0.9), RmsProp::new(0.05, 0.9)))
+            .collect();
+        Self {
+            cell,
+            heads,
+            cardinalities,
+            input_size,
+            opt_w_x: RmsProp::new(0.05, 0.9),
+            opt_w_h: RmsProp::new(0.05, 0.9),
+            opt_b: RmsProp::new(0.05, 0.9),
+            opt_heads,
+        }
+    }
+
+    /// Number of decision steps.
+    pub fn num_steps(&self) -> usize {
+        self.cardinalities.len()
+    }
+
+    /// Option count per decision step.
+    pub fn cardinalities(&self) -> &[usize] {
+        &self.cardinalities
+    }
+
+    fn input_for(&self, step: usize, previous_action: Option<usize>) -> Matrix {
+        let mut x = Matrix::zeros(self.input_size, 1);
+        match previous_action {
+            None => x[(self.input_size - 1, 0)] = 1.0, // start token
+            Some(a) => {
+                debug_assert!(step > 0);
+                x[(a.min(self.input_size - 2), 0)] = 1.0;
+            }
+        }
+        x
+    }
+
+    /// Run the network forward for a fixed action trajectory, returning per
+    /// step (probabilities, cache).
+    fn replay(&self, actions: &[usize]) -> Vec<(Vec<f64>, RnnStepCache)> {
+        assert_eq!(actions.len(), self.num_steps(), "trajectory length mismatch");
+        let mut out = Vec::with_capacity(actions.len());
+        let mut h = self.cell.initial_state();
+        let mut prev = None;
+        for (t, &action) in actions.iter().enumerate() {
+            let x = self.input_for(t, prev);
+            let (h_new, cache) = self.cell.forward(&x, &h);
+            let (u, c) = &self.heads[t];
+            let logits = &u.matmul(&h_new) + c;
+            let probabilities = softmax(logits.as_slice());
+            out.push((probabilities, cache));
+            h = h_new;
+            prev = Some(action);
+        }
+        out
+    }
+
+    /// Sample an episode with a softmax temperature (1.0 = on-policy).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `temperature` is not strictly positive.
+    pub fn sample_episode<R: Rng>(&self, rng: &mut R, temperature: f64) -> EpisodeSample {
+        assert!(temperature > 0.0, "temperature must be positive");
+        let mut actions = Vec::with_capacity(self.num_steps());
+        let mut log_prob = 0.0;
+        let mut entropy_sum = 0.0;
+        let mut h = self.cell.initial_state();
+        let mut prev = None;
+        for t in 0..self.num_steps() {
+            let x = self.input_for(t, prev);
+            let (h_new, _) = self.cell.forward(&x, &h);
+            let (u, c) = &self.heads[t];
+            let logits = &u.matmul(&h_new) + c;
+            let scaled: Vec<f64> = logits.as_slice().iter().map(|v| v / temperature).collect();
+            let probabilities = softmax(&scaled);
+            let action = sample_categorical(rng, &probabilities);
+            log_prob += probabilities[action].max(1e-300).ln();
+            entropy_sum += entropy(&probabilities);
+            actions.push(action);
+            h = h_new;
+            prev = Some(action);
+        }
+        EpisodeSample {
+            actions,
+            log_prob,
+            mean_entropy: entropy_sum / self.num_steps() as f64,
+        }
+    }
+
+    /// Greedy (argmax) trajectory of the current policy.
+    pub fn greedy_episode(&self) -> Vec<usize> {
+        let mut actions = Vec::with_capacity(self.num_steps());
+        let mut h = self.cell.initial_state();
+        let mut prev = None;
+        for t in 0..self.num_steps() {
+            let x = self.input_for(t, prev);
+            let (h_new, _) = self.cell.forward(&x, &h);
+            let (u, c) = &self.heads[t];
+            let logits = &u.matmul(&h_new) + c;
+            let action = logits
+                .as_slice()
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.total_cmp(b.1))
+                .map(|(i, _)| i)
+                .unwrap_or(0);
+            actions.push(action);
+            h = h_new;
+            prev = Some(action);
+        }
+        actions
+    }
+
+    /// The REINFORCE objective for a trajectory:
+    /// `advantage * sum_t log pi(a_t) + entropy_beta * sum_t H(pi_t)`.
+    pub fn objective(&self, actions: &[usize], advantage: f64, entropy_beta: f64) -> f64 {
+        let steps = self.replay(actions);
+        let mut value = 0.0;
+        for ((probabilities, _), &action) in steps.iter().zip(actions) {
+            value += advantage * probabilities[action].max(1e-300).ln();
+            value += entropy_beta * entropy(probabilities);
+        }
+        value
+    }
+
+    /// Gradients of the REINFORCE objective (for *ascent*).
+    pub fn compute_gradients(
+        &self,
+        actions: &[usize],
+        advantage: f64,
+        entropy_beta: f64,
+    ) -> PolicyGradients {
+        let steps = self.replay(actions);
+        let mut cell_grads = self.cell.zero_gradients();
+        let mut head_grads: Vec<(Matrix, Matrix)> = self
+            .heads
+            .iter()
+            .map(|(u, c)| (Matrix::zeros(u.rows(), u.cols()), Matrix::zeros(c.rows(), c.cols())))
+            .collect();
+
+        // Backward sweep over time.
+        let mut dh_next = Matrix::zeros(self.cell.hidden_size(), 1);
+        for t in (0..actions.len()).rev() {
+            let (probabilities, cache) = &steps[t];
+            let action = actions[t];
+            let step_entropy = entropy(probabilities);
+            // d(objective)/dlogits for ascent:
+            //   advantage * (onehot - p)  - entropy_beta * p * (ln p + H)
+            let dlogits_data: Vec<f64> = probabilities
+                .iter()
+                .enumerate()
+                .map(|(i, &p)| {
+                    let onehot = if i == action { 1.0 } else { 0.0 };
+                    let policy_term = advantage * (onehot - p);
+                    let entropy_term = -entropy_beta * p * (p.max(1e-300).ln() + step_entropy);
+                    policy_term + entropy_term
+                })
+                .collect();
+            let dlogits = Matrix::col_vector(&dlogits_data);
+            let (u, _) = &self.heads[t];
+            head_grads[t].0 += &dlogits.matmul(&cache.h.transpose());
+            head_grads[t].1 += &dlogits;
+            let dh = &u.transpose().matmul(&dlogits) + &dh_next;
+            dh_next = self.cell.backward(cache, &dh, &mut cell_grads);
+        }
+
+        PolicyGradients {
+            cell: cell_grads,
+            heads: head_grads,
+        }
+    }
+
+    /// Apply one REINFORCE update for a trajectory and its advantage.
+    ///
+    /// Gradients are clipped element-wise and applied with RMSProp (gradient
+    /// *ascent* on the objective, implemented by negating before the
+    /// optimizer step).
+    pub fn reinforce_update(&mut self, actions: &[usize], advantage: f64, config: &UpdateConfig) {
+        let mut grads = self.compute_gradients(actions, advantage, config.entropy_beta);
+        // Clip and negate (optimizers minimise).
+        let clip = config.gradient_clip;
+        for g in [&mut grads.cell.w_x, &mut grads.cell.w_h, &mut grads.cell.b] {
+            g.clip_inplace(clip);
+            g.map_inplace(|v| -v);
+        }
+        for (gu, gc) in &mut grads.heads {
+            gu.clip_inplace(clip);
+            gu.map_inplace(|v| -v);
+            gc.clip_inplace(clip);
+            gc.map_inplace(|v| -v);
+        }
+        self.opt_w_x.set_learning_rate(config.learning_rate);
+        self.opt_w_h.set_learning_rate(config.learning_rate);
+        self.opt_b.set_learning_rate(config.learning_rate);
+        self.opt_w_x.step(&mut self.cell.w_x, &grads.cell.w_x);
+        self.opt_w_h.step(&mut self.cell.w_h, &grads.cell.w_h);
+        self.opt_b.step(&mut self.cell.b, &grads.cell.b);
+        for (((u, c), (gu, gc)), (opt_u, opt_c)) in self
+            .heads
+            .iter_mut()
+            .zip(grads.heads.iter())
+            .zip(self.opt_heads.iter_mut())
+        {
+            opt_u.set_learning_rate(config.learning_rate);
+            opt_c.set_learning_rate(config.learning_rate);
+            opt_u.step(u, gu);
+            opt_c.step(c, gc);
+        }
+    }
+
+    /// Direct access to a head's weight matrix (used by gradient-check
+    /// tests).
+    #[doc(hidden)]
+    pub fn head_weights_mut(&mut self, step: usize) -> &mut Matrix {
+        &mut self.heads[step].0
+    }
+
+    /// Direct access to the recurrent cell (used by gradient-check tests).
+    #[doc(hidden)]
+    pub fn cell_mut(&mut self) -> &mut RnnCell {
+        &mut self.cell
+    }
+
+    /// Gradient accessors used by tests.
+    #[doc(hidden)]
+    pub fn gradients_parts(grads: &PolicyGradients) -> (&RnnGradients, &[(Matrix, Matrix)]) {
+        (&grads.cell, &grads.heads)
+    }
+}
+
+fn sample_categorical<R: Rng>(rng: &mut R, probabilities: &[f64]) -> usize {
+    let mut threshold: f64 = rng.gen_range(0.0..1.0);
+    for (i, &p) in probabilities.iter().enumerate() {
+        if threshold < p {
+            return i;
+        }
+        threshold -= p;
+    }
+    probabilities.len() - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn network(seed: u64) -> PolicyNetwork {
+        let mut rng = StdRng::seed_from_u64(seed);
+        PolicyNetwork::new(&mut rng, vec![4, 3, 17, 9], 16)
+    }
+
+    #[test]
+    fn sampled_actions_respect_cardinalities() {
+        let net = network(1);
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..50 {
+            let sample = net.sample_episode(&mut rng, 1.0);
+            assert_eq!(sample.actions.len(), 4);
+            for (a, &card) in sample.actions.iter().zip(net.cardinalities()) {
+                assert!(*a < card);
+            }
+            assert!(sample.log_prob <= 0.0);
+            assert!(sample.mean_entropy >= 0.0);
+        }
+    }
+
+    #[test]
+    fn greedy_episode_is_deterministic_and_valid() {
+        let net = network(3);
+        let a = net.greedy_episode();
+        let b = net.greedy_episode();
+        assert_eq!(a, b);
+        for (x, &card) in a.iter().zip(net.cardinalities()) {
+            assert!(*x < card);
+        }
+    }
+
+    #[test]
+    fn head_gradient_matches_finite_difference() {
+        let net = network(4);
+        let actions = vec![1, 2, 10, 5];
+        let grads = net.compute_gradients(&actions, 1.0, 0.0);
+        let (_, head_grads) = PolicyNetwork::gradients_parts(&grads);
+        // Finite-difference the objective w.r.t. head 2's weights.
+        let mut probe = net.clone();
+        let param = probe.head_weights_mut(2).clone();
+        let report = nasaic_tensor::gradcheck::check_gradient(
+            &param,
+            &head_grads[2].0,
+            1e-5,
+            |w| {
+                let mut trial = net.clone();
+                *trial.head_weights_mut(2) = w.clone();
+                trial.objective(&actions, 1.0, 0.0)
+            },
+        );
+        assert!(report.passes(1e-4), "{report:?}");
+    }
+
+    #[test]
+    fn recurrent_gradient_matches_finite_difference() {
+        let net = network(5);
+        let actions = vec![0, 1, 3, 8];
+        let grads = net.compute_gradients(&actions, 0.7, 0.0);
+        let (cell_grads, _) = PolicyNetwork::gradients_parts(&grads);
+        let param = net.clone().cell_mut().w_h.clone();
+        let report = nasaic_tensor::gradcheck::check_gradient(
+            &param,
+            &cell_grads.w_h,
+            1e-5,
+            |w| {
+                let mut trial = net.clone();
+                trial.cell_mut().w_h = w.clone();
+                trial.objective(&actions, 0.7, 0.0)
+            },
+        );
+        assert!(report.passes(1e-4), "{report:?}");
+    }
+
+    #[test]
+    fn entropy_gradient_matches_finite_difference() {
+        let net = network(6);
+        let actions = vec![2, 0, 5, 1];
+        let grads = net.compute_gradients(&actions, 0.0, 0.5);
+        let (_, head_grads) = PolicyNetwork::gradients_parts(&grads);
+        let param = net.heads[0].0.clone();
+        let report = nasaic_tensor::gradcheck::check_gradient(
+            &param,
+            &head_grads[0].0,
+            1e-5,
+            |w| {
+                let mut trial = net.clone();
+                *trial.head_weights_mut(0) = w.clone();
+                trial.objective(&actions, 0.0, 0.5)
+            },
+        );
+        assert!(report.passes(1e-4), "{report:?}");
+    }
+
+    #[test]
+    fn positive_advantage_increases_trajectory_probability() {
+        let mut net = network(7);
+        let actions = vec![3, 2, 11, 4];
+        let before = net.objective(&actions, 1.0, 0.0);
+        for _ in 0..20 {
+            net.reinforce_update(&actions, 1.0, &UpdateConfig::default());
+        }
+        let after = net.objective(&actions, 1.0, 0.0);
+        assert!(after > before, "log-prob did not increase: {before} -> {after}");
+    }
+
+    #[test]
+    fn negative_advantage_decreases_trajectory_probability() {
+        let mut net = network(8);
+        let actions = vec![0, 0, 0, 0];
+        let before = net.objective(&actions, 1.0, 0.0);
+        for _ in 0..20 {
+            net.reinforce_update(&actions, -1.0, &UpdateConfig::default());
+        }
+        let after = net.objective(&actions, 1.0, 0.0);
+        assert!(after < before, "log-prob did not decrease: {before} -> {after}");
+    }
+
+    #[test]
+    fn reinforced_policy_converges_to_target_actions() {
+        // A tiny bandit-style check: reward 1 for one specific trajectory,
+        // 0 otherwise.  After training, greedy decoding should recover it.
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut net = PolicyNetwork::new(&mut rng, vec![3, 3, 3], 12);
+        let target = vec![2, 0, 1];
+        let config = UpdateConfig {
+            learning_rate: 0.05,
+            entropy_beta: 0.0,
+            gradient_clip: 5.0,
+        };
+        let mut baseline = 0.0;
+        for _ in 0..400 {
+            let sample = net.sample_episode(&mut rng, 1.0);
+            let reward = if sample.actions == target { 1.0 } else { 0.0 };
+            baseline = 0.9 * baseline + 0.1 * reward;
+            net.reinforce_update(&sample.actions, reward - baseline, &config);
+        }
+        assert_eq!(net.greedy_episode(), target);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_cardinality_rejected() {
+        let mut rng = StdRng::seed_from_u64(1);
+        PolicyNetwork::new(&mut rng, vec![3, 0], 8);
+    }
+}

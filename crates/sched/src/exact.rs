@@ -1,0 +1,187 @@
+//! Exact branch-and-bound solver for small HAP instances.
+//!
+//! The paper mentions that the optimal mapping could be obtained with an
+//! ILP formulation; this module plays that role for the reproduction.  It
+//! enumerates layer-to-sub-accelerator assignments depth-first, pruning
+//! branches whose energy already exceeds the incumbent, and evaluates the
+//! latency of complete assignments with the same list scheduler used by the
+//! heuristic.  Complexity is `O(num_subs^total_layers)`, so it is only
+//! intended for validating the heuristic on small instances (tests cap the
+//! instance size).
+
+use crate::problem::{Assignment, HapProblem, MappingSolution};
+use crate::schedule::simulate;
+
+/// Maximum number of layers accepted by [`solve_exact`]; larger instances
+/// return `None` immediately instead of running for an unreasonable time.
+pub const EXACT_LAYER_LIMIT: usize = 24;
+
+/// Solve a HAP instance exactly.
+///
+/// Returns `None` when the instance exceeds [`EXACT_LAYER_LIMIT`] layers.
+/// Otherwise returns the energy-optimal feasible solution, or an infeasible
+/// sentinel when no assignment meets the latency constraint.
+pub fn solve_exact(problem: &HapProblem) -> Option<MappingSolution> {
+    let total_layers = problem.costs.total_layers();
+    if total_layers > EXACT_LAYER_LIMIT {
+        return None;
+    }
+    // Flatten (network, layer) pairs for depth-first enumeration.
+    let mut positions = Vec::with_capacity(total_layers);
+    for (n, network) in problem.costs.networks.iter().enumerate() {
+        for l in 0..network.layers.len() {
+            positions.push((n, l));
+        }
+    }
+
+    let mut assignment = Assignment::new(
+        problem
+            .costs
+            .networks
+            .iter()
+            .map(|n| vec![0usize; n.layers.len()])
+            .collect(),
+    );
+    let mut best: Option<MappingSolution> = None;
+
+    fn recurse(
+        problem: &HapProblem,
+        positions: &[(usize, usize)],
+        depth: usize,
+        partial_energy: f64,
+        assignment: &mut Assignment,
+        best: &mut Option<MappingSolution>,
+    ) {
+        // Bound: partial energy already worse than the incumbent.
+        if let Some(incumbent) = best {
+            if incumbent.feasible && partial_energy >= incumbent.energy_nj {
+                return;
+            }
+        }
+        if depth == positions.len() {
+            let schedule = simulate(problem, assignment);
+            if schedule.makespan <= problem.latency_constraint {
+                let energy = problem.energy_of(assignment);
+                let better = match best {
+                    None => true,
+                    Some(b) => !b.feasible || energy < b.energy_nj,
+                };
+                if better {
+                    *best = Some(MappingSolution {
+                        assignment: assignment.clone(),
+                        latency_cycles: schedule.makespan,
+                        energy_nj: energy,
+                        feasible: true,
+                    });
+                }
+            }
+            return;
+        }
+        let (n, l) = positions[depth];
+        for sub in 0..problem.num_subs() {
+            let cost = &problem.costs.networks[n].layers[l].per_sub[sub];
+            if !cost.is_feasible() {
+                continue;
+            }
+            assignment.set(n, l, sub);
+            recurse(
+                problem,
+                positions,
+                depth + 1,
+                partial_energy + cost.energy_nj,
+                assignment,
+                best,
+            );
+        }
+    }
+
+    recurse(problem, &positions, 0, 0.0, &mut assignment, &mut best);
+
+    Some(best.unwrap_or_else(|| {
+        MappingSolution::infeasible(Assignment::uniform(&problem.costs, 0))
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::heuristic::solve_heuristic;
+    use nasaic_accel::{Accelerator, Dataflow, SubAccelerator};
+    use nasaic_cost::{CostModel, WorkloadCosts};
+    use nasaic_nn::backbone::Backbone;
+
+    fn tiny_problem(latency_constraint: f64) -> HapProblem {
+        let model = CostModel::paper_calibrated();
+        // The smallest ResNet-9 (no residual convolutions): 9 layers.
+        let archs = vec![Backbone::ResNet9Cifar10.materialize_values(&[8, 32, 0, 32, 0, 32, 0])];
+        let acc = Accelerator::new(vec![
+            SubAccelerator::new(Dataflow::Nvdla, 1024, 16),
+            SubAccelerator::new(Dataflow::Shidiannao, 1024, 16),
+        ]);
+        let costs = WorkloadCosts::build(&model, &archs, &acc);
+        HapProblem::new(costs, latency_constraint)
+    }
+
+    #[test]
+    fn exact_solver_rejects_large_instances() {
+        let model = CostModel::paper_calibrated();
+        let archs = vec![
+            Backbone::ResNet9Cifar10.materialize_values(&[32, 128, 2, 256, 2, 256, 2]),
+            Backbone::UNetNuclei.materialize_values(&[5, 16, 32, 64, 128, 256]),
+        ];
+        let acc = Accelerator::new(vec![SubAccelerator::new(Dataflow::Nvdla, 1024, 16)]);
+        let costs = WorkloadCosts::build(&model, &archs, &acc);
+        assert!(solve_exact(&HapProblem::new(costs, 1e9)).is_none());
+    }
+
+    #[test]
+    fn exact_finds_feasible_solution_under_relaxed_constraint() {
+        let solution = solve_exact(&tiny_problem(1e9)).unwrap();
+        assert!(solution.feasible);
+        assert!(solution.energy_nj.is_finite());
+    }
+
+    #[test]
+    fn exact_reports_infeasible_under_impossible_constraint() {
+        let solution = solve_exact(&tiny_problem(1.0)).unwrap();
+        assert!(!solution.feasible);
+    }
+
+    #[test]
+    fn heuristic_is_never_better_than_exact() {
+        for constraint in [2.0e6_f64, 5.0e6, 1.0e9] {
+            let problem = tiny_problem(constraint);
+            let exact = solve_exact(&problem).unwrap();
+            let heuristic = solve_heuristic(&problem);
+            if exact.feasible {
+                assert!(heuristic.feasible, "heuristic must find a solution when one exists (constraint {constraint})");
+                assert!(
+                    heuristic.energy_nj + 1e-6 >= exact.energy_nj,
+                    "heuristic energy {} beats exact {} at constraint {constraint}",
+                    heuristic.energy_nj,
+                    exact.energy_nj
+                );
+                // The heuristic should also stay within a reasonable factor
+                // of the optimum on these small instances.
+                assert!(
+                    heuristic.energy_nj <= exact.energy_nj * 1.5,
+                    "heuristic too far from optimal: {} vs {}",
+                    heuristic.energy_nj,
+                    exact.energy_nj
+                );
+            } else {
+                assert!(!heuristic.feasible);
+            }
+        }
+    }
+
+    #[test]
+    fn exact_solution_respects_latency_constraint() {
+        let problem = tiny_problem(5.0e6);
+        if let Some(solution) = solve_exact(&problem) {
+            if solution.feasible {
+                assert!(solution.latency_cycles <= problem.latency_constraint);
+            }
+        }
+    }
+}

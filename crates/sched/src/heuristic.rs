@@ -1,0 +1,227 @@
+//! Ratio heuristic for the heterogeneous assignment problem.
+//!
+//! The paper notes that the optimal HAP solution could be obtained with an
+//! ILP but that ILP is too slow inside a search loop, and instead applies
+//! the efficient heuristic of Shao et al. (TPDS 2005).  The heuristic
+//! implemented here follows the same idea:
+//!
+//! 1. start from the **latency-optimal** assignment (every layer on its
+//!    fastest feasible sub-accelerator); if even this violates the latency
+//!    constraint the instance is infeasible;
+//! 2. repeatedly pick the single-layer re-assignment with the best
+//!    *energy-saved per latency-added* ratio that keeps the schedule within
+//!    the latency constraint, and apply it;
+//! 3. stop when no improving move remains.
+
+use crate::problem::{Assignment, HapProblem, MappingSolution};
+use crate::schedule::simulate;
+
+/// Solve a HAP instance with the ratio heuristic.
+///
+/// Always returns a solution; `solution.feasible` is `false` when even the
+/// latency-optimal assignment violates the constraint (the paper's early
+/// pruning relies on this signal).
+pub fn solve_heuristic(problem: &HapProblem) -> MappingSolution {
+    let Some(mut assignment) = latency_optimal_assignment(problem) else {
+        // Some layer has no feasible mapping at all.
+        let fallback = Assignment::uniform(&problem.costs, 0);
+        return MappingSolution::infeasible(fallback);
+    };
+
+    let mut schedule = simulate(problem, &assignment);
+    let mut energy = problem.energy_of(&assignment);
+    if schedule.makespan > problem.latency_constraint {
+        return MappingSolution {
+            assignment,
+            latency_cycles: schedule.makespan,
+            energy_nj: energy,
+            feasible: false,
+        };
+    }
+
+    // Greedy energy-reduction moves.
+    loop {
+        let mut best_move: Option<(usize, usize, usize, f64, f64, f64)> = None;
+        for (n, network) in problem.costs.networks.iter().enumerate() {
+            for (l, row) in network.layers.iter().enumerate() {
+                let current_sub = assignment.sub_for(n, l);
+                let current_cost = &row.per_sub[current_sub];
+                for (candidate_sub, candidate_cost) in row.per_sub.iter().enumerate() {
+                    if candidate_sub == current_sub || !candidate_cost.is_feasible() {
+                        continue;
+                    }
+                    let energy_saving = current_cost.energy_nj - candidate_cost.energy_nj;
+                    if energy_saving <= 0.0 {
+                        continue;
+                    }
+                    let mut trial = assignment.clone();
+                    trial.set(n, l, candidate_sub);
+                    let trial_schedule = simulate(problem, &trial);
+                    if trial_schedule.makespan > problem.latency_constraint {
+                        continue;
+                    }
+                    let latency_increase =
+                        (trial_schedule.makespan - schedule.makespan).max(1e-9);
+                    let ratio = energy_saving / latency_increase;
+                    let better = match best_move {
+                        None => true,
+                        Some((_, _, _, best_ratio, _, _)) => ratio > best_ratio,
+                    };
+                    if better {
+                        best_move = Some((
+                            n,
+                            l,
+                            candidate_sub,
+                            ratio,
+                            energy_saving,
+                            trial_schedule.makespan,
+                        ));
+                    }
+                }
+            }
+        }
+        match best_move {
+            Some((n, l, sub, _, saving, new_makespan)) => {
+                assignment.set(n, l, sub);
+                energy -= saving;
+                schedule = simulate(problem, &assignment);
+                debug_assert!((schedule.makespan - new_makespan).abs() < 1e-6);
+            }
+            None => break,
+        }
+    }
+
+    let feasible = schedule.makespan <= problem.latency_constraint;
+    MappingSolution {
+        assignment,
+        latency_cycles: schedule.makespan,
+        energy_nj: energy,
+        feasible,
+    }
+}
+
+/// The latency-optimal starting assignment: each layer on its fastest
+/// feasible sub-accelerator, with ties broken toward keeping the previous
+/// layer's sub-accelerator (to avoid gratuitous switch penalties).
+/// Returns `None` when some layer has no feasible mapping.
+pub fn latency_optimal_assignment(problem: &HapProblem) -> Option<Assignment> {
+    let mut per_network = Vec::with_capacity(problem.num_networks());
+    for network in &problem.costs.networks {
+        let mut layers = Vec::with_capacity(network.layers.len());
+        let mut prev: Option<usize> = None;
+        for row in &network.layers {
+            let mut best: Option<(usize, f64)> = None;
+            for (sub, cost) in row.per_sub.iter().enumerate() {
+                if !cost.is_feasible() {
+                    continue;
+                }
+                // Slight preference for staying on the same sub-accelerator.
+                let bias = if Some(sub) == prev {
+                    0.0
+                } else {
+                    problem.switch_penalty_cycles
+                };
+                let score = cost.latency_cycles + bias;
+                if best.is_none_or(|(_, s)| score < s) {
+                    best = Some((sub, score));
+                }
+            }
+            let (sub, _) = best?;
+            layers.push(sub);
+            prev = Some(sub);
+        }
+        per_network.push(layers);
+    }
+    Some(Assignment::new(per_network))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nasaic_accel::{Accelerator, Dataflow, SubAccelerator};
+    use nasaic_cost::{CostModel, WorkloadCosts};
+    use nasaic_nn::backbone::Backbone;
+
+    fn build_problem(latency_constraint: f64) -> HapProblem {
+        let model = CostModel::paper_calibrated();
+        let archs = vec![
+            Backbone::ResNet9Cifar10.materialize_values(&[8, 64, 1, 128, 1, 128, 1]),
+            Backbone::UNetNuclei.materialize_values(&[2, 8, 16, 16, 32, 64]),
+        ];
+        let acc = Accelerator::new(vec![
+            SubAccelerator::new(Dataflow::Nvdla, 2048, 32),
+            SubAccelerator::new(Dataflow::Shidiannao, 2048, 32),
+        ]);
+        let costs = WorkloadCosts::build(&model, &archs, &acc);
+        HapProblem::new(costs, latency_constraint)
+    }
+
+    #[test]
+    fn relaxed_constraint_is_feasible() {
+        let solution = solve_heuristic(&build_problem(1e9));
+        assert!(solution.feasible);
+        assert!(solution.energy_nj.is_finite());
+        assert!(solution.latency_cycles < 1e9);
+    }
+
+    #[test]
+    fn impossible_constraint_is_reported_infeasible() {
+        let solution = solve_heuristic(&build_problem(10.0));
+        assert!(!solution.feasible);
+        assert!(solution.latency_cycles > 10.0);
+    }
+
+    #[test]
+    fn relaxing_the_constraint_never_increases_energy() {
+        let tight = solve_heuristic(&build_problem(2.0e6));
+        let loose = solve_heuristic(&build_problem(1.0e9));
+        if tight.feasible {
+            assert!(loose.energy_nj <= tight.energy_nj + 1e-6);
+        }
+    }
+
+    #[test]
+    fn solution_latency_respects_constraint_when_feasible() {
+        for constraint in [1.5e6, 3e6, 1e7, 1e9] {
+            let solution = solve_heuristic(&build_problem(constraint));
+            if solution.feasible {
+                assert!(solution.latency_cycles <= constraint);
+            }
+        }
+    }
+
+    #[test]
+    fn latency_optimal_assignment_uses_both_subs_for_mixed_workload() {
+        let problem = build_problem(1e9);
+        let assignment = latency_optimal_assignment(&problem).unwrap();
+        let mut used = [false, false];
+        for layers in assignment.per_network() {
+            for &s in layers {
+                used[s] = true;
+            }
+        }
+        assert!(used[0] && used[1], "mixed workload should exercise both dataflows");
+    }
+
+    #[test]
+    fn no_feasible_mapping_returns_infeasible() {
+        let model = CostModel::paper_calibrated();
+        let archs = vec![Backbone::ResNet9Cifar10.materialize_values(&[8, 32, 0, 32, 0, 32, 0])];
+        let acc = Accelerator::new(vec![
+            SubAccelerator::inactive(Dataflow::Nvdla),
+            SubAccelerator::inactive(Dataflow::Shidiannao),
+        ]);
+        let costs = WorkloadCosts::build(&model, &archs, &acc);
+        let problem = HapProblem::new(costs, 1e9);
+        let solution = solve_heuristic(&problem);
+        assert!(!solution.feasible);
+    }
+
+    #[test]
+    fn energy_matches_recomputation_from_assignment() {
+        let problem = build_problem(1e9);
+        let solution = solve_heuristic(&problem);
+        let recomputed = problem.energy_of(&solution.assignment);
+        assert!((recomputed - solution.energy_nj).abs() / recomputed < 1e-9);
+    }
+}

@@ -1,0 +1,58 @@
+//! Mapping and scheduling of DNN layers onto heterogeneous
+//! sub-accelerators.
+//!
+//! The paper's synthesis layer (Section III ➌, "Mapper and scheduler")
+//! assigns every network layer to a sub-accelerator (`map(l_{i,j})`) and
+//! orders the layers on each sub-accelerator (`sch(aic_k)`).  Section IV ③
+//! reduces the optimisation to the classical **heterogeneous assignment
+//! problem** (HAP): given per-layer, per-sub-accelerator latency and energy
+//! from the cost model, minimise energy subject to a latency constraint.
+//! The paper's theorem then states that the design specs are satisfiable
+//! iff `HAP(D, AIC, LS) <= ES`.
+//!
+//! This crate provides:
+//!
+//! * [`problem`] — the HAP instance ([`HapProblem`]) and assignment types;
+//! * [`schedule`] — an event-driven list scheduler that turns an assignment
+//!   into a concrete schedule (makespan + per-sub-accelerator timeline),
+//!   modelling both intra-network layer dependencies and contention between
+//!   networks sharing a sub-accelerator;
+//! * [`heuristic`] — the ratio heuristic in the spirit of Shao et al.
+//!   that the paper uses instead of ILP;
+//! * [`exact`] — an exhaustive/branch-and-bound solver for small instances,
+//!   used to validate the heuristic in tests;
+//! * [`verify`] — the feasibility theorem (`HAP <= ES`).
+//!
+//! # Example
+//!
+//! ```
+//! use nasaic_accel::{Accelerator, Dataflow, SubAccelerator};
+//! use nasaic_cost::{CostModel, WorkloadCosts};
+//! use nasaic_nn::backbone::Backbone;
+//! use nasaic_sched::{HapProblem, solve_heuristic};
+//!
+//! let model = CostModel::paper_calibrated();
+//! let archs = vec![Backbone::ResNet9Cifar10.materialize_values(&[8, 32, 0, 32, 0, 32, 0])];
+//! let acc = Accelerator::new(vec![
+//!     SubAccelerator::new(Dataflow::Nvdla, 2048, 32),
+//!     SubAccelerator::new(Dataflow::Shidiannao, 2048, 32),
+//! ]);
+//! let costs = WorkloadCosts::build(&model, &archs, &acc);
+//! let problem = HapProblem::new(costs, 1.0e7);
+//! let solution = solve_heuristic(&problem);
+//! assert!(solution.feasible);
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod exact;
+pub mod heuristic;
+pub mod problem;
+pub mod schedule;
+pub mod verify;
+
+pub use exact::solve_exact;
+pub use heuristic::solve_heuristic;
+pub use problem::{Assignment, HapProblem, MappingSolution};
+pub use schedule::{Schedule, ScheduledSlot};
+pub use verify::meets_design_specs;

@@ -1,0 +1,283 @@
+//! Event-driven list scheduler.
+//!
+//! Turns a layer-to-sub-accelerator assignment into a concrete schedule.
+//! Layers of one network form a dependency chain (layer `l` cannot start
+//! before layer `l - 1` finished); different networks are independent and
+//! compete for sub-accelerators, which execute one layer at a time.  The
+//! scheduler greedily dispatches, at every step, the ready layer that can
+//! start earliest — a standard list-scheduling policy that matches the
+//! paper's `sch(aic_k)` function.
+
+use crate::problem::{Assignment, HapProblem};
+use serde::{Deserialize, Serialize};
+
+/// One scheduled layer execution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScheduledSlot {
+    /// Network index within the workload.
+    pub network: usize,
+    /// Layer index within the network.
+    pub layer: usize,
+    /// Sub-accelerator executing the layer.
+    pub sub: usize,
+    /// Start time (cycles).
+    pub start: f64,
+    /// End time (cycles).
+    pub end: f64,
+}
+
+/// A complete schedule of the workload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Schedule {
+    /// Executed slots in dispatch order.
+    pub slots: Vec<ScheduledSlot>,
+    /// Completion time of each network.
+    pub network_finish: Vec<f64>,
+    /// Busy time accumulated on each sub-accelerator.
+    pub sub_busy: Vec<f64>,
+    /// Makespan of the whole workload (cycles).
+    pub makespan: f64,
+}
+
+impl Schedule {
+    /// Utilisation of a sub-accelerator: busy time over makespan.
+    /// Returns 0 for an unused sub-accelerator or an empty schedule.
+    pub fn sub_utilization(&self, sub: usize) -> f64 {
+        if self.makespan <= 0.0 || !self.makespan.is_finite() {
+            return 0.0;
+        }
+        self.sub_busy.get(sub).copied().unwrap_or(0.0) / self.makespan
+    }
+
+    /// `true` when the schedule was fully constructed (no infeasible
+    /// mapping was encountered).
+    pub fn is_complete(&self) -> bool {
+        self.makespan.is_finite()
+    }
+}
+
+/// Simulate the execution of `assignment` for `problem` and return the
+/// resulting schedule.
+///
+/// If any layer is assigned to a sub-accelerator that cannot execute it
+/// (infeasible cost), the returned schedule has an infinite makespan.
+pub fn simulate(problem: &HapProblem, assignment: &Assignment) -> Schedule {
+    let num_networks = problem.num_networks();
+    let num_subs = problem.num_subs();
+    let mut next_layer = vec![0usize; num_networks];
+    let mut network_ready = vec![0.0f64; num_networks];
+    let mut network_prev_sub: Vec<Option<usize>> = vec![None; num_networks];
+    let mut sub_free = vec![0.0f64; num_subs];
+    let mut sub_busy = vec![0.0f64; num_subs];
+    let mut slots = Vec::with_capacity(problem.costs.total_layers());
+    let mut network_finish = vec![0.0f64; num_networks];
+
+    let total_layers = problem.costs.total_layers();
+    for _ in 0..total_layers {
+        // Pick the ready layer with the earliest possible start time.
+        let mut best: Option<(usize, f64)> = None;
+        for n in 0..num_networks {
+            let l = next_layer[n];
+            if l >= problem.costs.networks[n].layers.len() {
+                continue;
+            }
+            let sub = assignment.sub_for(n, l);
+            let mut ready = network_ready[n];
+            if let Some(prev) = network_prev_sub[n] {
+                if prev != sub {
+                    ready += problem.switch_penalty_cycles;
+                }
+            }
+            let start = ready.max(sub_free[sub]);
+            match best {
+                Some((_, best_start)) if best_start <= start => {}
+                _ => best = Some((n, start)),
+            }
+        }
+        let (n, start) = best.expect("at least one network has a pending layer");
+        let l = next_layer[n];
+        let sub = assignment.sub_for(n, l);
+        let cost = &problem.costs.networks[n].layers[l].per_sub[sub];
+        if !cost.is_feasible() {
+            return Schedule {
+                slots,
+                network_finish,
+                sub_busy,
+                makespan: f64::INFINITY,
+            };
+        }
+        let end = start + cost.latency_cycles;
+        slots.push(ScheduledSlot {
+            network: n,
+            layer: l,
+            sub,
+            start,
+            end,
+        });
+        sub_busy[sub] += cost.latency_cycles;
+        sub_free[sub] = end;
+        network_ready[n] = end;
+        network_prev_sub[n] = Some(sub);
+        network_finish[n] = end;
+        next_layer[n] += 1;
+    }
+
+    let makespan = network_finish.iter().cloned().fold(0.0f64, f64::max);
+    Schedule {
+        slots,
+        network_finish,
+        sub_busy,
+        makespan,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nasaic_accel::{Accelerator, Dataflow, SubAccelerator};
+    use nasaic_cost::{CostModel, WorkloadCosts};
+    use nasaic_nn::backbone::Backbone;
+
+    fn problem_two_networks() -> HapProblem {
+        let model = CostModel::paper_calibrated();
+        let archs = vec![
+            Backbone::ResNet9Cifar10.materialize_values(&[8, 32, 0, 32, 0, 32, 0]),
+            Backbone::ResNet9Cifar10.materialize_values(&[8, 32, 1, 64, 1, 64, 1]),
+        ];
+        let acc = Accelerator::new(vec![
+            SubAccelerator::new(Dataflow::Nvdla, 2048, 32),
+            SubAccelerator::new(Dataflow::Shidiannao, 2048, 32),
+        ]);
+        let costs = WorkloadCosts::build(&model, &archs, &acc);
+        HapProblem::new(costs, 1e9)
+    }
+
+    #[test]
+    fn schedule_executes_every_layer_exactly_once() {
+        let problem = problem_two_networks();
+        let assignment = Assignment::uniform(&problem.costs, 0);
+        let schedule = simulate(&problem, &assignment);
+        assert_eq!(schedule.slots.len(), problem.costs.total_layers());
+        assert!(schedule.is_complete());
+    }
+
+    #[test]
+    fn chain_dependencies_are_respected() {
+        let problem = problem_two_networks();
+        let assignment = Assignment::uniform(&problem.costs, 0);
+        let schedule = simulate(&problem, &assignment);
+        for n in 0..problem.num_networks() {
+            let mut last_end = 0.0;
+            for slot in schedule.slots.iter().filter(|s| s.network == n) {
+                assert!(slot.start + 1e-9 >= last_end, "layer started before its predecessor finished");
+                last_end = slot.end;
+            }
+        }
+    }
+
+    #[test]
+    fn sub_accelerator_never_runs_two_layers_at_once() {
+        let problem = problem_two_networks();
+        // Alternate layers between subs to force contention.
+        let assignment = Assignment::new(
+            problem
+                .costs
+                .networks
+                .iter()
+                .map(|n| (0..n.layers.len()).map(|l| l % 2).collect())
+                .collect(),
+        );
+        let schedule = simulate(&problem, &assignment);
+        for sub in 0..problem.num_subs() {
+            let mut intervals: Vec<(f64, f64)> = schedule
+                .slots
+                .iter()
+                .filter(|s| s.sub == sub)
+                .map(|s| (s.start, s.end))
+                .collect();
+            intervals.sort_by(|a, b| a.0.total_cmp(&b.0));
+            for w in intervals.windows(2) {
+                assert!(w[1].0 + 1e-9 >= w[0].1, "overlapping execution on sub {sub}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_networks_on_separate_subs_overlap() {
+        // Two identical sub-accelerators so the comparison isolates
+        // task-level parallelism from dataflow affinity.
+        let model = CostModel::paper_calibrated();
+        let archs = vec![
+            Backbone::ResNet9Cifar10.materialize_values(&[8, 32, 0, 32, 0, 32, 0]),
+            Backbone::ResNet9Cifar10.materialize_values(&[8, 32, 1, 64, 1, 64, 1]),
+        ];
+        let acc = Accelerator::new(vec![
+            SubAccelerator::new(Dataflow::Nvdla, 2048, 32),
+            SubAccelerator::new(Dataflow::Nvdla, 2048, 32),
+        ]);
+        let costs = WorkloadCosts::build(&model, &archs, &acc);
+        let problem = HapProblem::new(costs, 1e9);
+        // Network 0 on sub 0, network 1 on sub 1: task-level parallelism.
+        let parallel = Assignment::new(vec![
+            vec![0; problem.costs.networks[0].layers.len()],
+            vec![1; problem.costs.networks[1].layers.len()],
+        ]);
+        let serial = Assignment::uniform(&problem.costs, 0);
+        let par_schedule = simulate(&problem, &parallel);
+        let ser_schedule = simulate(&problem, &serial);
+        assert!(par_schedule.makespan < ser_schedule.makespan);
+        // Makespan with parallel execution equals the slower network.
+        let expected = par_schedule
+            .network_finish
+            .iter()
+            .cloned()
+            .fold(0.0f64, f64::max);
+        assert!((par_schedule.makespan - expected).abs() < 1e-6);
+    }
+
+    #[test]
+    fn switch_penalty_increases_makespan() {
+        let problem = problem_two_networks();
+        let alternating = Assignment::new(
+            problem
+                .costs
+                .networks
+                .iter()
+                .map(|n| (0..n.layers.len()).map(|l| l % 2).collect())
+                .collect(),
+        );
+        let base = simulate(&problem, &alternating).makespan;
+        let penalised = simulate(
+            &problem.clone().with_switch_penalty(10_000.0),
+            &alternating,
+        )
+        .makespan;
+        assert!(penalised > base);
+    }
+
+    #[test]
+    fn infeasible_assignment_yields_infinite_makespan() {
+        let model = CostModel::paper_calibrated();
+        let archs = vec![Backbone::ResNet9Cifar10.materialize_values(&[8, 32, 0, 32, 0, 32, 0])];
+        let acc = Accelerator::new(vec![
+            SubAccelerator::new(Dataflow::Nvdla, 2048, 32),
+            SubAccelerator::inactive(Dataflow::Shidiannao),
+        ]);
+        let costs = WorkloadCosts::build(&model, &archs, &acc);
+        let problem = HapProblem::new(costs, 1e9);
+        let assignment = Assignment::uniform(&problem.costs, 1);
+        let schedule = simulate(&problem, &assignment);
+        assert!(!schedule.is_complete());
+    }
+
+    #[test]
+    fn utilization_is_bounded_by_one() {
+        let problem = problem_two_networks();
+        let assignment = Assignment::uniform(&problem.costs, 0);
+        let schedule = simulate(&problem, &assignment);
+        assert!(schedule.sub_utilization(0) > 0.0);
+        assert!(schedule.sub_utilization(0) <= 1.0 + 1e-9);
+        assert_eq!(schedule.sub_utilization(1), 0.0);
+        assert_eq!(schedule.sub_utilization(99), 0.0);
+    }
+}

@@ -1,0 +1,110 @@
+//! Finite-difference gradient checking helpers.
+//!
+//! The LSTM controller in `nasaic-rl` implements backpropagation by hand;
+//! these helpers let its tests compare analytic gradients against central
+//! finite differences.
+
+use crate::Matrix;
+
+/// Result of a gradient check: the largest relative error observed and the
+/// flat index at which it occurred.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GradCheckReport {
+    /// Largest relative error between analytic and numeric gradients.
+    pub max_relative_error: f64,
+    /// Flat (row-major) index where the largest error occurred.
+    pub worst_index: usize,
+}
+
+impl GradCheckReport {
+    /// `true` when the maximum relative error is below `tolerance`.
+    pub fn passes(&self, tolerance: f64) -> bool {
+        self.max_relative_error <= tolerance
+    }
+}
+
+/// Numerically estimate the gradient of `loss` with respect to `param` using
+/// central differences with step `h`, and compare it against `analytic`.
+///
+/// `loss` is called with candidate parameter values and must return the
+/// scalar loss for that value; it must not retain state between calls.
+///
+/// # Panics
+///
+/// Panics if shapes differ or `h` is not strictly positive.
+pub fn check_gradient<F>(param: &Matrix, analytic: &Matrix, h: f64, mut loss: F) -> GradCheckReport
+where
+    F: FnMut(&Matrix) -> f64,
+{
+    assert_eq!(param.shape(), analytic.shape(), "gradcheck shape mismatch");
+    assert!(h > 0.0, "finite-difference step must be positive");
+    let mut max_relative_error = 0.0_f64;
+    let mut worst_index = 0;
+    let mut perturbed = param.clone();
+    for idx in 0..param.len() {
+        let original = perturbed.as_slice()[idx];
+        perturbed.as_mut_slice()[idx] = original + h;
+        let plus = loss(&perturbed);
+        perturbed.as_mut_slice()[idx] = original - h;
+        let minus = loss(&perturbed);
+        perturbed.as_mut_slice()[idx] = original;
+        let numeric = (plus - minus) / (2.0 * h);
+        let reference = analytic.as_slice()[idx];
+        let scale = numeric.abs().max(reference.abs()).max(1e-8);
+        let rel = (numeric - reference).abs() / scale;
+        if rel > max_relative_error {
+            max_relative_error = rel;
+            worst_index = idx;
+        }
+    }
+    GradCheckReport {
+        max_relative_error,
+        worst_index,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quadratic_gradient_passes_check() {
+        // f(x) = sum(x_i^2), df/dx_i = 2 x_i
+        let param = Matrix::from_rows(&[&[1.0, -2.0][..], &[0.5, 3.0][..]]);
+        let analytic = param.scale(2.0);
+        let report = check_gradient(&param, &analytic, 1e-5, |p| {
+            p.as_slice().iter().map(|v| v * v).sum()
+        });
+        assert!(report.passes(1e-6), "report {report:?}");
+    }
+
+    #[test]
+    fn wrong_gradient_fails_check() {
+        let param = Matrix::from_rows(&[&[1.0, -2.0][..]]);
+        let wrong = param.scale(3.0); // should be 2x
+        let report = check_gradient(&param, &wrong, 1e-5, |p| {
+            p.as_slice().iter().map(|v| v * v).sum()
+        });
+        assert!(!report.passes(1e-3));
+        assert!(report.max_relative_error > 0.1);
+    }
+
+    #[test]
+    fn report_identifies_worst_index() {
+        let param = Matrix::from_rows(&[&[1.0, 1.0][..]]);
+        // Correct gradient for element 0, wrong for element 1.
+        let analytic = Matrix::from_rows(&[&[2.0, 10.0][..]]);
+        let report = check_gradient(&param, &analytic, 1e-5, |p| {
+            p.as_slice().iter().map(|v| v * v).sum()
+        });
+        assert_eq!(report.worst_index, 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_step_panics() {
+        let p = Matrix::zeros(1, 1);
+        let g = Matrix::zeros(1, 1);
+        check_gradient(&p, &g, 0.0, |_| 0.0);
+    }
+}

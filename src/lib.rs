@@ -1,0 +1,42 @@
+//! # NASAIC — Neural Architecture / ASIC Accelerator Co-Exploration
+//!
+//! This is the facade crate of the NASAIC reproduction (Yang et al.,
+//! "Co-Exploration of Neural Architectures and Heterogeneous ASIC
+//! Accelerator Designs Targeting Multiple Tasks", DAC 2020).  It re-exports
+//! every subsystem crate under a stable set of module names so downstream
+//! users can depend on a single crate:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`tensor`] | `nasaic-tensor` | dense matrices, activations, optimizers |
+//! | [`nn`] | `nasaic-nn` | architecture IR, ResNet-9 / U-Net backbones, search spaces |
+//! | [`accel`] | `nasaic-accel` | dataflow templates, sub-accelerators, hardware design space |
+//! | [`cost`] | `nasaic-cost` | MAESTRO-style analytical latency/energy/area model |
+//! | [`accuracy`] | `nasaic-accuracy` | calibrated accuracy surrogates and proxy training |
+//! | [`sched`] | `nasaic-sched` | layer-to-sub-accelerator mapping and HAP scheduling |
+//! | [`rl`] | `nasaic-rl` | LSTM policy network and REINFORCE machinery |
+//! | [`core`] | `nasaic-core` | the NASAIC framework, baselines and experiment harness |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use nasaic::core::prelude::*;
+//!
+//! // Workload W3 from the paper: two CIFAR-10 classification tasks.
+//! let workload = Workload::w3();
+//! let specs = DesignSpecs::for_workload(WorkloadId::W3);
+//! let config = NasaicConfig::fast_demo(7);
+//! let outcome = Nasaic::new(workload, specs, config).run();
+//! assert!(outcome.best.is_some());
+//! # let best = outcome.best.unwrap();
+//! # assert!(best.evaluation.meets_specs());
+//! ```
+
+pub use nasaic_accel as accel;
+pub use nasaic_accuracy as accuracy;
+pub use nasaic_core as core;
+pub use nasaic_cost as cost;
+pub use nasaic_nn as nn;
+pub use nasaic_rl as rl;
+pub use nasaic_sched as sched;
+pub use nasaic_tensor as tensor;

@@ -1,0 +1,165 @@
+//! Property-based tests over the core data structures and invariants of the
+//! co-exploration stack.
+
+use nasaic::accel::{Dataflow, ResourceBudget, SubAccelerator};
+use nasaic::accuracy::{AccuracyCombiner, SurrogateModel};
+use nasaic::cost::{CostModel, WorkloadCosts};
+use nasaic::nn::backbone::Backbone;
+use nasaic::sched::{solve_heuristic, HapProblem};
+use nasaic::tensor::activation::softmax;
+use nasaic_accuracy::AccuracyModel;
+use proptest::prelude::*;
+
+fn arb_backbone() -> impl Strategy<Value = Backbone> {
+    prop_oneof![
+        Just(Backbone::ResNet9Cifar10),
+        Just(Backbone::ResNet9Stl10),
+        Just(Backbone::UNetNuclei),
+    ]
+}
+
+fn arb_dataflow() -> impl Strategy<Value = Dataflow> {
+    prop_oneof![
+        Just(Dataflow::Shidiannao),
+        Just(Dataflow::Nvdla),
+        Just(Dataflow::RowStationary),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any index vector inside the search space decodes to an architecture,
+    /// and encoding the decoded values reproduces the indices.
+    #[test]
+    fn search_space_decode_encode_round_trip(
+        backbone in arb_backbone(),
+        seed in any::<u64>(),
+    ) {
+        let space = backbone.search_space();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        use rand::SeedableRng;
+        let indices = space.sample(&mut rng);
+        let values = space.decode(&indices).unwrap();
+        prop_assert_eq!(space.indices_of(&values).unwrap(), indices.clone());
+        let arch = backbone.materialize(&indices).unwrap();
+        prop_assert!(arch.total_macs() > 0);
+        prop_assert!(arch.num_layers() >= 3);
+    }
+
+    /// The surrogate accuracy always stays inside the calibrated range of
+    /// its dataset and is monotone from the smallest to the largest
+    /// architecture.
+    #[test]
+    fn surrogate_accuracy_stays_in_calibrated_range(
+        backbone in arb_backbone(),
+        seed in any::<u64>(),
+    ) {
+        let space = backbone.search_space();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        use rand::SeedableRng;
+        let arch = backbone.materialize(&space.sample(&mut rng)).unwrap();
+        let model = SurrogateModel::paper_calibrated();
+        let accuracy = model.evaluate(backbone, &arch);
+        let small = model.evaluate(backbone, &backbone.smallest_architecture());
+        let large = model.evaluate(backbone, &backbone.largest_architecture());
+        prop_assert!(accuracy >= small - 0.01, "accuracy {} below lower bound {}", accuracy, small);
+        prop_assert!(accuracy <= large + 0.01, "accuracy {} above upper bound {}", accuracy, large);
+        prop_assert!((0.0..=1.0).contains(&accuracy));
+    }
+
+    /// The resource allocator never produces a design that exceeds the
+    /// budget, regardless of the proposal.
+    #[test]
+    fn budget_fit_always_admits(
+        df1 in arb_dataflow(),
+        df2 in arb_dataflow(),
+        pes1 in 0usize..8192,
+        pes2 in 0usize..8192,
+        bw1 in 0usize..128,
+        bw2 in 0usize..128,
+    ) {
+        let budget = ResourceBudget::paper();
+        let fitted = budget.fit(&[
+            SubAccelerator::new(df1, pes1, bw1),
+            SubAccelerator::new(df2, pes2, bw2),
+        ]);
+        prop_assert!(budget.admits(&fitted));
+        prop_assert!(fitted.total_pes() <= 4096);
+        prop_assert!(fitted.total_bandwidth_gbps() <= 64);
+    }
+
+    /// The cost model is monotone in resources: adding PEs or bandwidth
+    /// never increases a layer's latency.
+    #[test]
+    fn layer_latency_is_monotone_in_resources(
+        df in arb_dataflow(),
+        pes in 64usize..2048,
+        bw in 8usize..32,
+        channels in 8usize..128,
+        resolution_exp in 3u32..7, // 8..64
+    ) {
+        let model = CostModel::paper_calibrated();
+        let resolution = 1usize << resolution_exp;
+        let layer = nasaic::nn::layer::LayerShape::conv2d("c", channels, channels, 3, resolution, 1);
+        let base = model.layer_cost(&layer, &SubAccelerator::new(df, pes, bw));
+        let more_pes = model.layer_cost(&layer, &SubAccelerator::new(df, pes * 2, bw));
+        let more_bw = model.layer_cost(&layer, &SubAccelerator::new(df, pes, bw * 2));
+        prop_assert!(more_pes.latency_cycles <= base.latency_cycles + 1e-6);
+        prop_assert!(more_bw.latency_cycles <= base.latency_cycles + 1e-6);
+        prop_assert!(base.energy_nj > 0.0);
+    }
+
+    /// The HAP heuristic never returns a solution that violates its latency
+    /// constraint while claiming feasibility, and relaxing the constraint
+    /// never increases the minimised energy.
+    #[test]
+    fn hap_heuristic_is_consistent(
+        constraint_scale in 1u32..50,
+        pes in 256usize..2048,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        use rand::SeedableRng;
+        let space = Backbone::ResNet9Cifar10.search_space();
+        let arch = Backbone::ResNet9Cifar10.materialize(&space.sample(&mut rng)).unwrap();
+        let acc = nasaic::accel::Accelerator::new(vec![
+            SubAccelerator::new(Dataflow::Nvdla, pes, 32),
+            SubAccelerator::new(Dataflow::Shidiannao, pes, 32),
+        ]);
+        let model = CostModel::paper_calibrated();
+        let costs = WorkloadCosts::build(&model, std::slice::from_ref(&arch), &acc);
+        let constraint = constraint_scale as f64 * 5.0e4;
+        let tight = solve_heuristic(&HapProblem::new(costs.clone(), constraint));
+        let loose = solve_heuristic(&HapProblem::new(costs, constraint * 10.0));
+        if tight.feasible {
+            prop_assert!(tight.latency_cycles <= constraint);
+            prop_assert!(loose.feasible);
+            prop_assert!(loose.energy_nj <= tight.energy_nj + 1e-6);
+        }
+    }
+
+    /// Softmax output is always a probability distribution.
+    #[test]
+    fn softmax_is_a_distribution(logits in proptest::collection::vec(-50.0f64..50.0, 1..20)) {
+        let p = softmax(&logits);
+        prop_assert_eq!(p.len(), logits.len());
+        prop_assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        prop_assert!(p.iter().all(|v| (0.0..=1.0).contains(v)));
+    }
+
+    /// Weighted accuracy combination is bounded by the extreme task
+    /// accuracies.
+    #[test]
+    fn combined_accuracy_is_bounded_by_extremes(
+        a in 0.0f64..1.0,
+        b in 0.0f64..1.0,
+        w in 0.01f64..0.99,
+    ) {
+        let combiner = AccuracyCombiner::Weighted(vec![w, 1.0 - w]);
+        let combined = combiner.combine(&[a, b]);
+        prop_assert!(combined <= a.max(b) + 1e-12);
+        prop_assert!(combined >= a.min(b) - 1e-12);
+        prop_assert!(AccuracyCombiner::Minimum.combine(&[a, b]) <= combined + 1e-12);
+    }
+}

@@ -1,0 +1,117 @@
+//! Cross-crate feasibility invariants: the evaluator, the HAP theorem and
+//! the penalty must agree about what "meeting the design specs" means.
+
+use nasaic::accel::HardwareSpace;
+use nasaic::core::bounds::PenaltyBounds;
+use nasaic::core::penalty::Penalty;
+use nasaic::core::prelude::*;
+use nasaic::cost::WorkloadCosts;
+use nasaic::sched::{meets_design_specs, solve_heuristic, HapProblem};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn random_candidates(seed: u64, count: usize) -> Vec<Candidate> {
+    let workload = Workload::w1();
+    let hardware = HardwareSpace::paper_default(2);
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|i| {
+            let architectures = workload
+                .tasks
+                .iter()
+                .map(|t| {
+                    let space = t.backbone.search_space();
+                    let indices = space.sample(&mut rng);
+                    t.backbone.materialize(&indices).expect("valid sample")
+                })
+                .collect();
+            let accelerator = if i % 2 == 0 {
+                hardware.sample(&mut rng)
+            } else {
+                hardware.sample_fully_allocated(&mut rng)
+            };
+            Candidate::from_parts(architectures, accelerator)
+        })
+        .collect()
+}
+
+#[test]
+fn penalty_is_zero_exactly_when_all_specs_are_met() {
+    let workload = Workload::w1();
+    let specs = DesignSpecs::for_workload(WorkloadId::W1);
+    let evaluator = Evaluator::new(&workload, specs, AccuracyOracle::default());
+    let bounds = PenaltyBounds::from_specs(&specs, 3.0);
+    for candidate in random_candidates(11, 30) {
+        let evaluation = evaluator.evaluate(&candidate);
+        let penalty = Penalty::compute(&evaluation.metrics, &specs, &bounds);
+        assert_eq!(
+            penalty.is_zero(),
+            evaluation.meets_specs(),
+            "penalty/spec mismatch for {}",
+            candidate.summary()
+        );
+        assert!(penalty.total() >= 0.0);
+        assert!(penalty.total().is_finite());
+    }
+}
+
+#[test]
+fn hap_theorem_matches_evaluator_latency_and_energy_checks() {
+    // Theorem (Section IV): the latency and energy specs can be met iff
+    // HAP(D, AIC, LS) <= ES.
+    let workload = Workload::w1();
+    let specs = DesignSpecs::for_workload(WorkloadId::W1);
+    let evaluator = Evaluator::new(&workload, specs, AccuracyOracle::default());
+    let model = evaluator.cost_model().clone();
+    for candidate in random_candidates(13, 20) {
+        if !candidate.accelerator.has_capacity() {
+            continue;
+        }
+        let costs = WorkloadCosts::build(&model, &candidate.architectures, &candidate.accelerator);
+        if !costs.is_schedulable() {
+            continue;
+        }
+        let problem = HapProblem::new(costs, specs.latency_cycles);
+        let solution = solve_heuristic(&problem);
+        let theorem_says_ok = meets_design_specs(&solution, specs.energy_nj);
+
+        let evaluation = evaluator.evaluate(&candidate);
+        let evaluator_says_ok = evaluation.spec_check.latency && evaluation.spec_check.energy;
+        assert_eq!(
+            theorem_says_ok,
+            evaluator_says_ok,
+            "theorem and evaluator disagree for {}",
+            candidate.summary()
+        );
+    }
+}
+
+#[test]
+fn hardware_metrics_never_report_negative_or_nan_values() {
+    let workload = Workload::w2();
+    let specs = DesignSpecs::for_workload(WorkloadId::W2);
+    let evaluator = Evaluator::new(&workload, specs, AccuracyOracle::default());
+    for candidate in random_candidates(17, 25) {
+        let evaluation = evaluator.evaluate(&candidate);
+        let m = &evaluation.metrics;
+        assert!(!m.latency_cycles.is_nan() && m.latency_cycles > 0.0);
+        assert!(!m.energy_nj.is_nan() && m.energy_nj > 0.0);
+        assert!(!m.area_um2.is_nan() && m.area_um2 >= 0.0);
+        for acc in &evaluation.accuracies {
+            assert!((0.0..=1.0).contains(acc));
+        }
+    }
+}
+
+#[test]
+fn accelerator_budget_is_always_respected_by_decoded_designs() {
+    let hardware = HardwareSpace::paper_default(2);
+    let budget = ResourceBudget::paper();
+    let mut rng = StdRng::seed_from_u64(23);
+    let space = hardware.search_space();
+    for _ in 0..200 {
+        let indices = space.sample(&mut rng);
+        let accelerator = hardware.decode(&indices).expect("valid indices");
+        assert!(budget.admits(&accelerator), "{accelerator}");
+    }
+}
