@@ -27,7 +27,10 @@ impl Accelerator {
     ///
     /// Panics if `subs` is empty.
     pub fn new(subs: Vec<SubAccelerator>) -> Self {
-        assert!(!subs.is_empty(), "accelerator needs at least one sub-accelerator");
+        assert!(
+            !subs.is_empty(),
+            "accelerator needs at least one sub-accelerator"
+        );
         Self { subs }
     }
 
@@ -184,7 +187,10 @@ mod tests {
 
     #[test]
     fn inactive_subs_do_not_count() {
-        let acc = Accelerator::new(vec![dla(2048, 32), SubAccelerator::inactive(Dataflow::Shidiannao)]);
+        let acc = Accelerator::new(vec![
+            dla(2048, 32),
+            SubAccelerator::inactive(Dataflow::Shidiannao),
+        ]);
         assert!(acc.is_single());
         assert!(acc.has_capacity());
         assert_eq!(acc.active_subs().len(), 1);

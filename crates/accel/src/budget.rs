@@ -54,7 +54,10 @@ impl ResourceBudget {
     ///
     /// Panics if `factor` is not in `(0, 1]`.
     pub fn scaled(&self, factor: f64) -> Self {
-        assert!(factor > 0.0 && factor <= 1.0, "scale factor must be in (0, 1]");
+        assert!(
+            factor > 0.0 && factor <= 1.0,
+            "scale factor must be in (0, 1]"
+        );
         Self::new(
             ((self.max_pes as f64 * factor) as usize).max(PE_QUANTUM),
             ((self.max_bandwidth_gbps as f64 * factor) as usize).max(BW_QUANTUM),

@@ -140,8 +140,14 @@ mod tests {
     #[test]
     fn parsing_accepts_full_names_and_abbreviations() {
         assert_eq!("dla".parse::<Dataflow>().unwrap(), Dataflow::Nvdla);
-        assert_eq!("Shidiannao".parse::<Dataflow>().unwrap(), Dataflow::Shidiannao);
-        assert_eq!("eyeriss".parse::<Dataflow>().unwrap(), Dataflow::RowStationary);
+        assert_eq!(
+            "Shidiannao".parse::<Dataflow>().unwrap(),
+            Dataflow::Shidiannao
+        );
+        assert_eq!(
+            "eyeriss".parse::<Dataflow>().unwrap(),
+            Dataflow::RowStationary
+        );
         let err = "tpu".parse::<Dataflow>().unwrap_err();
         assert!(err.to_string().contains("tpu"));
     }

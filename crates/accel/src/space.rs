@@ -55,7 +55,10 @@ impl HardwareSpace {
         num_sub_accelerators: usize,
         allowed_dataflows: Vec<Dataflow>,
     ) -> Self {
-        assert!(num_sub_accelerators > 0, "need at least one sub-accelerator");
+        assert!(
+            num_sub_accelerators > 0,
+            "need at least one sub-accelerator"
+        );
         assert!(!allowed_dataflows.is_empty(), "need at least one dataflow");
         Self {
             budget,

@@ -40,14 +40,23 @@ impl SyntheticDataset {
     ) -> Self {
         assert!(num_classes > 1, "need at least two classes");
         assert!(num_features > 0, "need at least one feature");
-        assert!(samples_per_class >= 5, "need at least five samples per class");
+        assert!(
+            samples_per_class >= 5,
+            "need at least five samples per class"
+        );
         assert!(spread >= 0.0, "spread must be non-negative");
 
         let mut centroids = Vec::with_capacity(num_classes);
         for _ in 0..num_classes {
-            let raw: Vec<f64> = (0..num_features).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let raw: Vec<f64> = (0..num_features)
+                .map(|_| rng.gen_range(-1.0..1.0))
+                .collect();
             let norm = raw.iter().map(|v| v * v).sum::<f64>().sqrt().max(1e-9);
-            centroids.push(raw.into_iter().map(|v| 2.0 * v / norm).collect::<Vec<f64>>());
+            centroids.push(
+                raw.into_iter()
+                    .map(|v| 2.0 * v / norm)
+                    .collect::<Vec<f64>>(),
+            );
         }
 
         let mut train_features = Vec::new();

@@ -137,7 +137,11 @@ mod tests {
         let trainer = ProxyTrainer::fast();
         let arch = Backbone::ResNet9Cifar10.materialize_values(&[16, 64, 1, 128, 1, 128, 1]);
         let report = trainer.train(&arch);
-        assert!(report.validation_accuracy > 0.5, "accuracy {}", report.validation_accuracy);
+        assert!(
+            report.validation_accuracy > 0.5,
+            "accuracy {}",
+            report.validation_accuracy
+        );
         assert!(report.train_accuracy >= report.validation_accuracy - 0.2);
         assert!(report.train_loss.is_finite());
     }

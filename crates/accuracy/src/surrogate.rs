@@ -61,14 +61,20 @@ impl SurrogateModel {
         self
     }
 
-    fn residual(&self, backbone: Backbone, architecture: &Architecture, curve: &CalibrationCurve) -> f64 {
+    fn residual(
+        &self,
+        backbone: Backbone,
+        architecture: &Architecture,
+        curve: &CalibrationCurve,
+    ) -> f64 {
         if self.noise_scale == 0.0 {
             return 0.0;
         }
         // Deterministic hash of the hyperparameter vector.
         let mut h: u64 = self.seed ^ (backbone as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
         for &v in &architecture.hyperparameters {
-            h ^= (v as u64).wrapping_add(0x9e37_79b9_7f4a_7c15)
+            h ^= (v as u64)
+                .wrapping_add(0x9e37_79b9_7f4a_7c15)
                 .wrapping_add(h << 6)
                 .wrapping_add(h >> 2);
         }

@@ -9,8 +9,7 @@ use std::fmt;
 /// The paper's `weighted(D) = sum_i alpha_i * acc_i` with
 /// `sum_i alpha_i = 1`; it also mentions `avg` and `min` as possible
 /// choices of the weighting function.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
 pub enum AccuracyCombiner {
     /// Explicit weights, one per task; must sum to 1.
     Weighted(Vec<f64>),
@@ -44,27 +43,14 @@ impl AccuracyCombiner {
                     "weight count does not match task count"
                 );
                 let sum: f64 = weights.iter().sum();
-                assert!(
-                    (sum - 1.0).abs() < 1e-6,
-                    "weights must sum to 1, got {sum}"
-                );
-                weights
-                    .iter()
-                    .zip(accuracies)
-                    .map(|(w, a)| w * a)
-                    .sum()
+                assert!((sum - 1.0).abs() < 1e-6, "weights must sum to 1, got {sum}");
+                weights.iter().zip(accuracies).map(|(w, a)| w * a).sum()
             }
-            AccuracyCombiner::Average => {
-                accuracies.iter().sum::<f64>() / accuracies.len() as f64
-            }
-            AccuracyCombiner::Minimum => accuracies
-                .iter()
-                .cloned()
-                .fold(f64::INFINITY, f64::min),
+            AccuracyCombiner::Average => accuracies.iter().sum::<f64>() / accuracies.len() as f64,
+            AccuracyCombiner::Minimum => accuracies.iter().cloned().fold(f64::INFINITY, f64::min),
         }
     }
 }
-
 
 impl fmt::Display for AccuracyCombiner {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {

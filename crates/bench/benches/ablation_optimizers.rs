@@ -114,7 +114,12 @@ fn regenerate_and_bench(c: &mut Criterion) {
                 generations: 1,
                 ..EvolutionarySearch::fast(seed)
             };
-            black_box(config.run(&workload, specs, &hardware, &evaluator).explored.len())
+            black_box(
+                config
+                    .run(&workload, specs, &hardware, &evaluator)
+                    .explored
+                    .len(),
+            )
         })
     });
     group.finish();

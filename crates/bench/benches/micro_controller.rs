@@ -30,7 +30,11 @@ fn bench_controller(c: &mut Criterion) {
     group.bench_function("decode_candidate", |b| {
         let sample = controller.sample(&mut rng);
         b.iter(|| {
-            black_box(Candidate::from_segments(&workload, &hardware, black_box(&sample.segments)))
+            black_box(Candidate::from_segments(
+                &workload,
+                &hardware,
+                black_box(&sample.segments),
+            ))
         })
     });
     group.finish();

@@ -1,0 +1,122 @@
+//! Micro-benchmark of the shared evaluation engine: serial `Evaluator`
+//! calls vs the cached/parallel `EvalEngine` on a replayed episode stream.
+//!
+//! The stream mimics what the NASAIC search actually sends to the
+//! evaluator: episodes of `1 + φ` candidates that share one architecture
+//! set per episode, with architecture sets and hardware designs revisited
+//! across episodes as the controller converges.  The engine's caches turn
+//! those revisits into hash-map lookups; on multi-core machines the batch
+//! path additionally fans each episode out over worker threads.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nasaic_accel::HardwareSpace;
+use nasaic_core::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// A converging search revisits earlier candidates: draw from a small pool
+/// of architecture sets and hardware designs so the stream repeats itself
+/// the way episode 300's samples repeat episode 200's.
+fn episode_stream(workload: &Workload, episodes: usize, phi: usize) -> Vec<Vec<Candidate>> {
+    let hardware = HardwareSpace::paper_default(2);
+    let mut rng = StdRng::seed_from_u64(0x7a7e);
+    let arch_pool: Vec<Vec<_>> = (0..8)
+        .map(|_| {
+            workload
+                .tasks
+                .iter()
+                .map(|t| {
+                    let space = t.backbone.search_space();
+                    t.backbone
+                        .materialize(&space.sample(&mut rng))
+                        .expect("valid sample")
+                })
+                .collect()
+        })
+        .collect();
+    let accel_pool: Vec<_> = (0..24).map(|_| hardware.sample(&mut rng)).collect();
+    (0..episodes)
+        .map(|_| {
+            let archs = &arch_pool[rng.gen_range(0..arch_pool.len())];
+            (0..=phi)
+                .map(|_| {
+                    let accel = accel_pool[rng.gen_range(0..accel_pool.len())].clone();
+                    Candidate::from_parts(archs.clone(), accel)
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn run_serial(evaluator: &Evaluator, stream: &[Vec<Candidate>]) -> f64 {
+    let mut acc = 0.0;
+    for episode in stream {
+        for candidate in episode {
+            acc += evaluator.evaluate(candidate).weighted_accuracy;
+        }
+    }
+    acc
+}
+
+fn run_engine(engine: &EvalEngine, stream: &[Vec<Candidate>]) -> f64 {
+    let mut acc = 0.0;
+    for episode in stream {
+        for evaluation in engine.evaluate_batch(episode) {
+            acc += evaluation.weighted_accuracy;
+        }
+    }
+    acc
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let workload = Workload::w1();
+    let specs = DesignSpecs::for_workload(WorkloadId::W1);
+    let evaluator = Evaluator::new(&workload, specs, AccuracyOracle::default());
+    let stream = episode_stream(&workload, 40, 5);
+    let evaluations: usize = stream.iter().map(Vec::len).sum();
+
+    // Headline number: one full pass over the replayed stream, serial
+    // evaluator vs a cold-start engine (its caches warm up inside the
+    // measured region, exactly as they would inside a search run).
+    let serial_start = Instant::now();
+    let serial_sum = run_serial(&evaluator, &stream);
+    let serial_time = serial_start.elapsed();
+    let engine = EvalEngine::new(evaluator.clone());
+    let engine_start = Instant::now();
+    let engine_sum = run_engine(&engine, &stream);
+    let engine_time = engine_start.elapsed();
+    assert_eq!(serial_sum, engine_sum, "engine diverged from evaluator");
+    let stats = engine.stats();
+    println!("\n=== micro_engine: replayed episode stream ({evaluations} evaluations) ===");
+    println!(
+        "  serial Evaluator: {serial_time:?}\n  EvalEngine:       {engine_time:?}  \
+         (hit rate {:.0}%, speedup {:.1}x)",
+        stats.hit_rate() * 100.0,
+        serial_time.as_secs_f64() / engine_time.as_secs_f64().max(1e-12),
+    );
+
+    let mut group = c.benchmark_group("engine");
+    group.sample_size(10);
+    group.bench_function("serial_evaluator_stream", |b| {
+        b.iter(|| black_box(run_serial(&evaluator, black_box(&stream))))
+    });
+    group.bench_function("eval_engine_stream_cold", |b| {
+        // A fresh engine per pass: caches warm up inside the measurement.
+        b.iter(|| {
+            let engine = EvalEngine::new(evaluator.clone());
+            black_box(run_engine(&engine, black_box(&stream)))
+        })
+    });
+    group.bench_function("eval_engine_stream_warm", |b| {
+        // Steady state of a long search: everything previously visited.
+        let engine = EvalEngine::new(evaluator.clone());
+        run_engine(&engine, &stream);
+        b.iter(|| black_box(run_engine(&engine, black_box(&stream))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

@@ -39,7 +39,9 @@ fn regenerate_and_bench(c: &mut Criterion) {
     group.sample_size(20);
     group.bench_function("hardware_metrics_w1", |b| {
         b.iter(|| {
-            black_box(evaluator.hardware_metrics(black_box(&architectures), black_box(&accelerator)))
+            black_box(
+                evaluator.hardware_metrics(black_box(&architectures), black_box(&accelerator)),
+            )
         })
     });
     group.finish();

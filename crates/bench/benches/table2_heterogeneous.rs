@@ -28,7 +28,8 @@ fn regenerate_and_bench(c: &mut Criterion) {
     group.bench_function("materialize_resnet9", |b| {
         b.iter(|| {
             black_box(
-                Backbone::ResNet9Cifar10.materialize_values(black_box(&[32, 128, 2, 256, 2, 256, 2])),
+                Backbone::ResNet9Cifar10
+                    .materialize_values(black_box(&[32, 128, 2, 256, 2, 256, 2])),
             )
         })
     });

@@ -9,10 +9,9 @@
 
 use crate::bounds::PenaltyBounds;
 use crate::candidate::Candidate;
+use crate::engine::EvalEngine;
 use crate::evaluator::Evaluator;
 use crate::log::{ExploredSolution, SearchOutcome};
-use crate::penalty::Penalty;
-use crate::reward::Reward;
 use crate::spec::DesignSpecs;
 use crate::workload::Workload;
 use nasaic_accel::{Accelerator, HardwareSpace};
@@ -69,31 +68,53 @@ impl AsicThenHwNas {
         hardware: &HardwareSpace,
         evaluator: &Evaluator,
     ) -> Accelerator {
+        self.run_monte_carlo_hardware_with_engine(
+            workload,
+            specs,
+            hardware,
+            &EvalEngine::from(evaluator),
+        )
+    }
+
+    /// [`run_monte_carlo_hardware`](Self::run_monte_carlo_hardware) through
+    /// a shared engine: the sampled designs are evaluated as one parallel
+    /// batch against the fixed reference architectures, and the distance
+    /// scan stays sequential in sample order.
+    pub fn run_monte_carlo_hardware_with_engine(
+        &self,
+        workload: &Workload,
+        specs: &DesignSpecs,
+        hardware: &HardwareSpace,
+        engine: &EvalEngine,
+    ) -> Accelerator {
         let reference: Vec<Architecture> = workload
             .tasks
             .iter()
             .map(|task| {
                 let space = task.backbone.search_space();
                 // Mid-point of every choice as the reference network.
-                let mid: Vec<usize> = space
-                    .cardinalities()
-                    .iter()
-                    .map(|&c| c / 2)
-                    .collect();
+                let mid: Vec<usize> = space.cardinalities().iter().map(|&c| c / 2).collect();
                 task.backbone
                     .materialize(&mid)
                     .expect("mid-point candidate is always valid")
             })
             .collect();
         let mut rng = StdRng::seed_from_u64(self.seed ^ 0xcccc);
+        let accelerators: Vec<Accelerator> = (0..self.monte_carlo_runs.max(1))
+            .map(|run| {
+                if run % 2 == 0 {
+                    hardware.sample(&mut rng)
+                } else {
+                    hardware.sample_fully_allocated(&mut rng)
+                }
+            })
+            .collect();
+        let metrics =
+            crate::engine::parallel_map(&accelerators, engine.config().threads, |accelerator| {
+                engine.hardware_metrics(&reference, accelerator)
+            });
         let mut best: Option<(f64, Accelerator)> = None;
-        for run in 0..self.monte_carlo_runs.max(1) {
-            let accelerator = if run % 2 == 0 {
-                hardware.sample(&mut rng)
-            } else {
-                hardware.sample_fully_allocated(&mut rng)
-            };
-            let metrics = evaluator.hardware_metrics(&reference, &accelerator);
+        for (accelerator, metrics) in accelerators.into_iter().zip(metrics) {
             if !metrics.is_feasible() {
                 continue;
             }
@@ -116,6 +137,25 @@ impl AsicThenHwNas {
         accelerator: &Accelerator,
         evaluator: &Evaluator,
     ) -> SearchOutcome {
+        self.run_hardware_aware_nas_with_engine(
+            workload,
+            specs,
+            accelerator,
+            &EvalEngine::from(evaluator),
+        )
+    }
+
+    /// [`run_hardware_aware_nas`](Self::run_hardware_aware_nas) through a
+    /// shared engine; revisited architectures hit both caches (the
+    /// accelerator is fixed, so the hardware key only varies with the
+    /// architectures).
+    pub fn run_hardware_aware_nas_with_engine(
+        &self,
+        workload: &Workload,
+        specs: DesignSpecs,
+        accelerator: &Accelerator,
+        engine: &EvalEngine,
+    ) -> SearchOutcome {
         let segments: Vec<Segment> = workload
             .tasks
             .iter()
@@ -127,9 +167,10 @@ impl AsicThenHwNas {
                 )
             })
             .collect();
-        let mut controller = Controller::new(segments, ControllerConfig::default(), self.seed ^ 0xdddd);
+        let mut controller =
+            Controller::new(segments, ControllerConfig::default(), self.seed ^ 0xdddd);
         let mut rng = StdRng::seed_from_u64(self.seed ^ 0xeeee);
-        let bounds = PenaltyBounds::from_specs(&specs, 3.0);
+        let scorer = engine.scorer(PenaltyBounds::from_specs(&specs, 3.0), self.rho);
         let mut outcome = SearchOutcome::empty();
         for episode in 0..self.nas_episodes {
             let sample = controller.sample(&mut rng);
@@ -144,15 +185,13 @@ impl AsicThenHwNas {
                 continue;
             };
             let candidate = Candidate::from_parts(architectures, accelerator.clone());
-            let evaluation = evaluator.evaluate(&candidate);
-            let penalty = Penalty::compute(&evaluation.metrics, &specs, &bounds);
-            let reward = Reward::new(evaluation.weighted_accuracy, &penalty, self.rho);
-            controller.feedback(&sample, reward.value());
+            let (evaluation, reward) = scorer.score(&candidate);
+            controller.feedback(&sample, reward);
             outcome.record(ExploredSolution {
                 episode,
                 candidate,
                 evaluation,
-                reward: reward.value(),
+                reward,
             });
         }
         outcome.episodes = self.nas_episodes;
@@ -168,8 +207,21 @@ impl AsicThenHwNas {
         hardware: &HardwareSpace,
         evaluator: &Evaluator,
     ) -> (Accelerator, SearchOutcome) {
-        let accelerator = self.run_monte_carlo_hardware(workload, &specs, hardware, evaluator);
-        let outcome = self.run_hardware_aware_nas(workload, specs, &accelerator, evaluator);
+        self.run_with_engine(workload, specs, hardware, &EvalEngine::from(evaluator))
+    }
+
+    /// [`run`](Self::run) through a shared engine.
+    pub fn run_with_engine(
+        &self,
+        workload: &Workload,
+        specs: DesignSpecs,
+        hardware: &HardwareSpace,
+        engine: &EvalEngine,
+    ) -> (Accelerator, SearchOutcome) {
+        let accelerator =
+            self.run_monte_carlo_hardware_with_engine(workload, &specs, hardware, engine);
+        let outcome =
+            self.run_hardware_aware_nas_with_engine(workload, specs, &accelerator, engine);
         (accelerator, outcome)
     }
 }
@@ -216,7 +268,9 @@ mod tests {
         let baseline = AsicThenHwNas::fast(7);
         let (accelerator, outcome) = baseline.run(&workload, specs, &hardware, &evaluator);
         assert!(accelerator.has_capacity());
-        let best = outcome.best.expect("hardware-aware NAS found a compliant solution");
+        let best = outcome
+            .best
+            .expect("hardware-aware NAS found a compliant solution");
         assert!(best.evaluation.meets_specs());
         // Accuracy must exceed the smallest-network lower bound.
         assert!(best.evaluation.weighted_accuracy > 0.715);

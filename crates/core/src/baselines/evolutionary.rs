@@ -10,10 +10,9 @@
 
 use crate::bounds::PenaltyBounds;
 use crate::candidate::Candidate;
+use crate::engine::EvalEngine;
 use crate::evaluator::Evaluator;
 use crate::log::{ExploredSolution, SearchOutcome};
-use crate::penalty::Penalty;
-use crate::reward::Reward;
 use crate::spec::DesignSpecs;
 use crate::workload::Workload;
 use nasaic_accel::HardwareSpace;
@@ -73,8 +72,21 @@ impl EvolutionarySearch {
         hardware: &HardwareSpace,
         evaluator: &Evaluator,
     ) -> SearchOutcome {
+        self.run_with_engine(workload, specs, hardware, &EvalEngine::from(evaluator))
+    }
+
+    /// [`run`](Self::run) through a shared engine: every generation's
+    /// population is scored as one parallel batch, with elitism's surviving
+    /// individuals re-scored from the caches for free.
+    pub fn run_with_engine(
+        &self,
+        workload: &Workload,
+        specs: DesignSpecs,
+        hardware: &HardwareSpace,
+        engine: &EvalEngine,
+    ) -> SearchOutcome {
         let mut rng = StdRng::seed_from_u64(self.seed ^ 0x5eed_5eed);
-        let bounds = PenaltyBounds::from_specs(&specs, 3.0);
+        let scorer = engine.scorer(PenaltyBounds::from_specs(&specs, 3.0), self.rho);
         let arch_spaces: Vec<SearchSpace> = workload
             .tasks
             .iter()
@@ -115,36 +127,40 @@ impl EvolutionarySearch {
 
         let mut outcome = SearchOutcome::empty();
         let mut evaluations = 0usize;
-        let mut fitness_of = |genome: &[usize], outcome: &mut SearchOutcome| -> f64 {
-            let Some(candidate) = decode(genome) else {
-                return -self.rho * 10.0;
-            };
-            let evaluation = evaluator.evaluate(&candidate);
-            let penalty = Penalty::compute(&evaluation.metrics, &specs, &bounds);
-            let reward = Reward::new(evaluation.weighted_accuracy, &penalty, self.rho).value();
-            outcome.record(ExploredSolution {
-                episode: evaluations,
-                candidate,
-                evaluation,
-                reward,
-            });
-            evaluations += 1;
-            reward
+        // Score one whole generation: decode every genome, evaluate the
+        // decodable ones as a parallel batch, and record them in genome
+        // order (identical bookkeeping to the old one-at-a-time loop).
+        let mut generation_fitness = |population: &[Vec<usize>],
+                                      outcome: &mut SearchOutcome|
+         -> Vec<f64> {
+            let decoded: Vec<Option<Candidate>> = population.iter().map(|g| decode(g)).collect();
+            let candidates: Vec<Candidate> = decoded.iter().flatten().cloned().collect();
+            let mut scored = scorer.score_batch(&candidates).into_iter();
+            decoded
+                .into_iter()
+                .map(|candidate| {
+                    let Some(candidate) = candidate else {
+                        return -self.rho * 10.0;
+                    };
+                    let (evaluation, reward) =
+                        scored.next().expect("one score per decoded candidate");
+                    outcome.record(ExploredSolution {
+                        episode: evaluations,
+                        candidate,
+                        evaluation,
+                        reward,
+                    });
+                    evaluations += 1;
+                    reward
+                })
+                .collect()
         };
 
         // Initial population.
         let mut population: Vec<Vec<usize>> = (0..self.population.max(2))
-            .map(|_| {
-                cardinalities
-                    .iter()
-                    .map(|&c| rng.gen_range(0..c))
-                    .collect()
-            })
+            .map(|_| cardinalities.iter().map(|&c| rng.gen_range(0..c)).collect())
             .collect();
-        let mut fitness: Vec<f64> = population
-            .iter()
-            .map(|g| fitness_of(g, &mut outcome))
-            .collect();
+        let mut fitness = generation_fitness(&population, &mut outcome);
 
         for _generation in 0..self.generations {
             let mut next_population = Vec::with_capacity(population.len());
@@ -167,10 +183,7 @@ impl EvolutionarySearch {
                 next_population.push(child);
             }
             population = next_population;
-            fitness = population
-                .iter()
-                .map(|g| fitness_of(g, &mut outcome))
-                .collect();
+            fitness = generation_fitness(&population, &mut outcome);
         }
 
         outcome.episodes = self.generations;

@@ -7,18 +7,17 @@
 
 use crate::bounds::PenaltyBounds;
 use crate::candidate::Candidate;
+use crate::engine::EvalEngine;
 use crate::evaluator::Evaluator;
 use crate::log::{ExploredSolution, SearchOutcome};
-use crate::penalty::Penalty;
-use crate::reward::Reward;
 use crate::spec::DesignSpecs;
 use crate::workload::Workload;
 use nasaic_accel::HardwareSpace;
 use serde::{Deserialize, Serialize};
 
 /// A candidate move of the local search: the architecture indices per task,
-/// the hardware indices, the decoded candidate and its reward.
-type Move = (Vec<Vec<usize>>, Vec<usize>, Candidate, f64);
+/// the hardware indices and the decoded candidate.
+type Move = (Vec<Vec<usize>>, Vec<usize>, Candidate);
 
 /// Configuration of the hill-climbing baseline.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -46,13 +45,20 @@ impl HillClimb {
         hardware: &HardwareSpace,
         evaluator: &Evaluator,
     ) -> SearchOutcome {
-        let bounds = PenaltyBounds::from_specs(&specs, 3.0);
-        let reward_of = |candidate: &Candidate| {
-            let evaluation = evaluator.evaluate(candidate);
-            let penalty = Penalty::compute(&evaluation.metrics, &specs, &bounds);
-            let reward = Reward::new(evaluation.weighted_accuracy, &penalty, self.rho).value();
-            (evaluation, reward)
-        };
+        self.run_with_engine(workload, specs, hardware, &EvalEngine::from(evaluator))
+    }
+
+    /// [`run`](Self::run) through a shared engine: each step's whole
+    /// neighbourhood is scored as one parallel batch, and re-visited
+    /// neighbours (common as the climb slows down) come from the caches.
+    pub fn run_with_engine(
+        &self,
+        workload: &Workload,
+        specs: DesignSpecs,
+        hardware: &HardwareSpace,
+        engine: &EvalEngine,
+    ) -> SearchOutcome {
+        let scorer = engine.scorer(PenaltyBounds::from_specs(&specs, 3.0), self.rho);
 
         // Starting point: smallest architectures, balanced mid-size design.
         let mut arch_indices: Vec<Vec<usize>> = workload
@@ -80,7 +86,7 @@ impl HillClimb {
 
         let mut outcome = SearchOutcome::empty();
         let mut current = build(&arch_indices, &hw_indices);
-        let (mut current_eval, mut current_reward) = reward_of(&current);
+        let (mut current_eval, mut current_reward) = scorer.score(&current);
         outcome.record(ExploredSolution {
             episode: 0,
             candidate: current.clone(),
@@ -89,29 +95,36 @@ impl HillClimb {
         });
 
         for step in 1..=self.max_steps {
-            let mut best_move: Option<Move> = None;
-            // Architecture neighbours.
+            // Enumerate the whole neighbourhood (architecture moves per
+            // task, then hardware moves — the scan order is the tie-break,
+            // so it must stay fixed), then score it as one batch.
+            let mut moves: Vec<Move> = Vec::new();
             for (task_index, task) in workload.tasks.iter().enumerate() {
                 let space = task.backbone.search_space();
                 for neighbour in space.neighbours(&arch_indices[task_index]) {
                     let mut trial_arch = arch_indices.clone();
                     trial_arch[task_index] = neighbour;
                     let candidate = build(&trial_arch, &hw_indices);
-                    let (_, reward) = reward_of(&candidate);
-                    if best_move.as_ref().is_none_or(|(_, _, _, r)| reward > *r) {
-                        best_move = Some((trial_arch, hw_indices.clone(), candidate, reward));
-                    }
+                    moves.push((trial_arch, hw_indices.clone(), candidate));
                 }
             }
-            // Hardware neighbours.
             for neighbour in hw_space_search.neighbours(&hw_indices) {
                 let candidate = build(&arch_indices, &neighbour);
-                let (_, reward) = reward_of(&candidate);
-                if best_move.as_ref().is_none_or(|(_, _, _, r)| reward > *r) {
-                    best_move = Some((arch_indices.clone(), neighbour, candidate, reward));
+                moves.push((arch_indices.clone(), neighbour, candidate));
+            }
+            let candidates: Vec<Candidate> = moves
+                .iter()
+                .map(|(_, _, candidate)| candidate.clone())
+                .collect();
+            let scored = scorer.score_batch(&candidates);
+
+            let mut best_move: Option<(Move, f64)> = None;
+            for (move_, (_, reward)) in moves.into_iter().zip(scored) {
+                if best_move.as_ref().is_none_or(|(_, r)| reward > *r) {
+                    best_move = Some((move_, reward));
                 }
             }
-            let Some((next_arch, next_hw, candidate, reward)) = best_move else {
+            let Some(((next_arch, next_hw, candidate), reward)) = best_move else {
                 break;
             };
             if reward <= current_reward {
@@ -120,7 +133,7 @@ impl HillClimb {
             arch_indices = next_arch;
             hw_indices = next_hw;
             current = candidate;
-            let (evaluation, r) = reward_of(&current);
+            let (evaluation, r) = scorer.score(&current);
             current_eval = evaluation;
             current_reward = r;
             outcome.record(ExploredSolution {

@@ -8,6 +8,7 @@
 //! guided search to reach the same accuracy.
 
 use crate::candidate::Candidate;
+use crate::engine::EvalEngine;
 use crate::evaluator::Evaluator;
 use crate::log::{ExploredSolution, SearchOutcome};
 use crate::workload::Workload;
@@ -36,37 +37,58 @@ impl MonteCarloSearch {
         Self { runs: 200, seed }
     }
 
-    /// Run the search.
+    /// Run the search through a borrowed evaluator (builds a transient
+    /// [`EvalEngine`]; prefer [`run_with_engine`](Self::run_with_engine)
+    /// when an engine is already available so caches are shared).
     pub fn run(
         &self,
         workload: &Workload,
         hardware: &HardwareSpace,
         evaluator: &Evaluator,
     ) -> SearchOutcome {
+        self.run_with_engine(workload, hardware, &EvalEngine::from(evaluator))
+    }
+
+    /// Run the search through a shared evaluation engine: candidates are
+    /// drawn sequentially (one RNG stream), evaluated as parallel cached
+    /// batches, and recorded in draw order, so the outcome is identical to
+    /// the serial loop.
+    pub fn run_with_engine(
+        &self,
+        workload: &Workload,
+        hardware: &HardwareSpace,
+        engine: &EvalEngine,
+    ) -> SearchOutcome {
         let mut rng = StdRng::seed_from_u64(self.seed ^ 0x1111_2222);
         let mut outcome = SearchOutcome::empty();
-        for episode in 0..self.runs {
-            let architectures: Vec<_> = workload
-                .tasks
-                .iter()
-                .map(|task| {
-                    let space = task.backbone.search_space();
-                    let indices = space.sample(&mut rng);
-                    task.backbone
-                        .materialize(&indices)
-                        .expect("sampled indices are always valid")
-                })
-                .collect();
-            // Alternate between arbitrary allocations and fully allocated
-            // designs so the sweep covers both the interior and the boundary
-            // of the hardware space.
-            let accelerator = if episode % 2 == 0 {
-                hardware.sample(&mut rng)
-            } else {
-                hardware.sample_fully_allocated(&mut rng)
-            };
-            let candidate = Candidate::from_parts(architectures, accelerator);
-            let evaluation = evaluator.evaluate(&candidate);
+        let candidates: Vec<Candidate> = (0..self.runs)
+            .map(|episode| {
+                let architectures: Vec<_> = workload
+                    .tasks
+                    .iter()
+                    .map(|task| {
+                        let space = task.backbone.search_space();
+                        let indices = space.sample(&mut rng);
+                        task.backbone
+                            .materialize(&indices)
+                            .expect("sampled indices are always valid")
+                    })
+                    .collect();
+                // Alternate between arbitrary allocations and fully
+                // allocated designs so the sweep covers both the interior
+                // and the boundary of the hardware space.
+                let accelerator = if episode % 2 == 0 {
+                    hardware.sample(&mut rng)
+                } else {
+                    hardware.sample_fully_allocated(&mut rng)
+                };
+                Candidate::from_parts(architectures, accelerator)
+            })
+            .collect();
+        let evaluations = engine.evaluate_batch(&candidates);
+        for (episode, (candidate, evaluation)) in
+            candidates.into_iter().zip(evaluations).enumerate()
+        {
             outcome.record(ExploredSolution {
                 episode,
                 candidate,
@@ -103,7 +125,10 @@ mod tests {
         let evaluator = Evaluator::new(&workload, specs, AccuracyOracle::default());
         let hardware = HardwareSpace::paper_default(2);
         let outcome = MonteCarloSearch::fast(3).run(&workload, &hardware, &evaluator);
-        assert!(outcome.best.is_some(), "random search found no compliant design");
+        assert!(
+            outcome.best.is_some(),
+            "random search found no compliant design"
+        );
         let best = outcome.best.unwrap();
         assert!(best.evaluation.meets_specs());
         assert!(best.evaluation.weighted_accuracy > 0.715);

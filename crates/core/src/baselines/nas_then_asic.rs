@@ -9,6 +9,7 @@
 //! workload.
 
 use crate::candidate::Candidate;
+use crate::engine::EvalEngine;
 use crate::evaluator::Evaluator;
 use crate::log::{ExploredSolution, SearchOutcome};
 use crate::spec::DesignSpecs;
@@ -53,6 +54,17 @@ impl NasThenAsic {
     /// Phase 1: accuracy-only NAS for every task of the workload.
     /// Returns one architecture per task.
     pub fn run_nas(&self, workload: &Workload, evaluator: &Evaluator) -> Vec<Architecture> {
+        self.run_nas_with_engine(workload, &EvalEngine::from(evaluator))
+    }
+
+    /// [`run_nas`](Self::run_nas) through a shared engine: repeat visits to
+    /// an architecture (common late in NAS convergence) hit the accuracy
+    /// cache instead of re-querying the oracle.
+    pub fn run_nas_with_engine(
+        &self,
+        workload: &Workload,
+        engine: &EvalEngine,
+    ) -> Vec<Architecture> {
         let mut rng = StdRng::seed_from_u64(self.seed ^ 0xaaaa);
         workload
             .tasks
@@ -61,8 +73,11 @@ impl NasThenAsic {
             .map(|(task_index, task)| {
                 let space = task.backbone.search_space();
                 let segments = vec![Segment::new(&task.name, space.cardinalities())];
-                let mut controller =
-                    Controller::new(segments, ControllerConfig::default(), self.seed + task_index as u64);
+                let mut controller = Controller::new(
+                    segments,
+                    ControllerConfig::default(),
+                    self.seed + task_index as u64,
+                );
                 let mut best: Option<(f64, Architecture)> = None;
                 for _ in 0..self.nas_episodes {
                     let sample = controller.sample(&mut rng);
@@ -70,19 +85,17 @@ impl NasThenAsic {
                         controller.feedback(&sample, 0.0);
                         continue;
                     };
-                    let accuracy = evaluator.accuracies(std::slice::from_ref(&arch))
-                        .first()
-                        .copied()
-                        .unwrap_or(0.0);
+                    // Evaluate against the task whose backbone generated the
+                    // architecture (a one-element `accuracies` slice would
+                    // zip against task 0 and score e.g. a U-Net with the
+                    // CIFAR-10 calibration curve).
+                    let accuracy = engine.accuracy_for_task(task_index, &arch);
                     // Mono-objective reward: accuracy only (paper's NAS [1]).
                     controller.feedback(&sample, accuracy);
                     if best.as_ref().is_none_or(|(a, _)| accuracy > *a) {
                         best = Some((accuracy, arch));
                     }
                 }
-                // NOTE: the accuracy evaluated here is computed against the
-                // task at position `task_index`, which is exactly the task
-                // whose backbone generated the architecture.
                 best.expect("NAS explored at least one architecture").1
             })
             .collect()
@@ -98,16 +111,38 @@ impl NasThenAsic {
         hardware: &HardwareSpace,
         evaluator: &Evaluator,
     ) -> SearchOutcome {
+        self.run_asic_sweep_with_engine(architectures, hardware, &EvalEngine::from(evaluator))
+    }
+
+    /// [`run_asic_sweep`](Self::run_asic_sweep) through a shared engine:
+    /// the fixed architectures make every sweep sample share one accuracy
+    /// query, and the hardware designs evaluate as one parallel batch.
+    pub fn run_asic_sweep_with_engine(
+        &self,
+        architectures: &[Architecture],
+        hardware: &HardwareSpace,
+        engine: &EvalEngine,
+    ) -> SearchOutcome {
+        // Warm the accuracy cache once up front: every sweep sample shares
+        // these fixed architectures, so the parallel batch below can never
+        // race duplicate oracle queries for them.
+        engine.accuracies(architectures);
         let mut rng = StdRng::seed_from_u64(self.seed ^ 0xbbbb);
         let mut outcome = SearchOutcome::empty();
-        for episode in 0..self.hardware_samples {
-            let accelerator = if episode % 2 == 0 {
-                hardware.sample_fully_allocated(&mut rng)
-            } else {
-                hardware.sample(&mut rng)
-            };
-            let candidate = Candidate::from_parts(architectures.to_vec(), accelerator);
-            let evaluation = evaluator.evaluate(&candidate);
+        let candidates: Vec<Candidate> = (0..self.hardware_samples)
+            .map(|episode| {
+                let accelerator = if episode % 2 == 0 {
+                    hardware.sample_fully_allocated(&mut rng)
+                } else {
+                    hardware.sample(&mut rng)
+                };
+                Candidate::from_parts(architectures.to_vec(), accelerator)
+            })
+            .collect();
+        let evaluations = engine.evaluate_batch(&candidates);
+        for (episode, (candidate, evaluation)) in
+            candidates.into_iter().zip(evaluations).enumerate()
+        {
             outcome.record(ExploredSolution {
                 episode,
                 candidate,
@@ -129,8 +164,19 @@ impl NasThenAsic {
         hardware: &HardwareSpace,
         evaluator: &Evaluator,
     ) -> (SearchOutcome, Option<ExploredSolution>) {
-        let architectures = self.run_nas(workload, evaluator);
-        let outcome = self.run_asic_sweep(&architectures, hardware, evaluator);
+        self.run_with_engine(workload, specs, hardware, &EvalEngine::from(evaluator))
+    }
+
+    /// [`run`](Self::run) through a shared engine.
+    pub fn run_with_engine(
+        &self,
+        workload: &Workload,
+        specs: DesignSpecs,
+        hardware: &HardwareSpace,
+        engine: &EvalEngine,
+    ) -> (SearchOutcome, Option<ExploredSolution>) {
+        let architectures = self.run_nas_with_engine(workload, engine);
+        let outcome = self.run_asic_sweep_with_engine(&architectures, hardware, engine);
         let representative = outcome
             .best
             .clone()
@@ -191,7 +237,10 @@ mod tests {
         let hardware = HardwareSpace::paper_default(2);
         let baseline = NasThenAsic::fast(2);
         let (outcome, representative) = baseline.run(&workload, specs, &hardware, &evaluator);
-        assert!(outcome.best.is_none(), "NAS->ASIC unexpectedly met the specs");
+        assert!(
+            outcome.best.is_none(),
+            "NAS->ASIC unexpectedly met the specs"
+        );
         let representative = representative.expect("sweep explored designs");
         assert!(!representative.evaluation.meets_specs());
         assert!(representative.evaluation.spec_check.violations() >= 1);

@@ -8,6 +8,7 @@
 //! set of randomly sampled hardware designs and records the worst metric
 //! values observed.
 
+use crate::engine::EvalEngine;
 use crate::evaluator::Evaluator;
 use crate::spec::DesignSpecs;
 use crate::workload::Workload;
@@ -42,18 +43,45 @@ impl PenaltyBounds {
         samples: usize,
         seed: u64,
     ) -> Self {
+        Self::estimate_with_engine(
+            workload,
+            hardware,
+            &EvalEngine::from(evaluator),
+            specs,
+            samples,
+            seed,
+        )
+    }
+
+    /// [`estimate`](Self::estimate) through a shared [`EvalEngine`]: the
+    /// hardware sweep is evaluated as one parallel batch and its metrics
+    /// land in the engine's cache, where the subsequent search can reuse
+    /// them.
+    pub fn estimate_with_engine(
+        workload: &Workload,
+        hardware: &HardwareSpace,
+        engine: &EvalEngine,
+        specs: &DesignSpecs,
+        samples: usize,
+        seed: u64,
+    ) -> Self {
         let architectures: Vec<Architecture> = workload
             .tasks
             .iter()
             .map(|t| t.backbone.largest_architecture())
             .collect();
         let mut rng = StdRng::seed_from_u64(seed);
+        let accelerators: Vec<_> = (0..samples.max(1))
+            .map(|_| hardware.sample_fully_allocated(&mut rng))
+            .collect();
+        let metrics =
+            crate::engine::parallel_map(&accelerators, engine.config().threads, |accelerator| {
+                engine.hardware_metrics(&architectures, accelerator)
+            });
         let mut worst_latency: f64 = 0.0;
         let mut worst_energy: f64 = 0.0;
         let mut worst_area: f64 = 0.0;
-        for _ in 0..samples.max(1) {
-            let accelerator = hardware.sample_fully_allocated(&mut rng);
-            let metrics = evaluator.hardware_metrics(&architectures, &accelerator);
+        for metrics in metrics {
             if metrics.latency_cycles.is_finite() {
                 worst_latency = worst_latency.max(metrics.latency_cycles);
             }

@@ -82,7 +82,11 @@ impl Candidate {
 
     /// Replace the accelerator while keeping the architectures (used by the
     /// hardware-only exploration steps of the optimizer selector).
-    pub fn with_accelerator(mut self, accelerator: Accelerator, hardware_indices: Vec<usize>) -> Self {
+    pub fn with_accelerator(
+        mut self,
+        accelerator: Accelerator,
+        hardware_indices: Vec<usize>,
+    ) -> Self {
         self.accelerator = accelerator;
         self.hardware_indices = hardware_indices;
         self
@@ -95,7 +99,11 @@ impl Candidate {
             .iter()
             .map(|a| a.hyperparameter_string())
             .collect();
-        format!("{} | {}", archs.join(" & "), self.accelerator.paper_notation())
+        format!(
+            "{} | {}",
+            archs.join(" & "),
+            self.accelerator.paper_notation()
+        )
     }
 }
 

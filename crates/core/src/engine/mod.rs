@@ -1,0 +1,527 @@
+//! The shared evaluation engine: memoised, batch-parallel candidate
+//! evaluation for the search loop, the baselines and the experiment
+//! harness.
+//!
+//! Profiling the NASAIC loop shows essentially all wall-clock time goes to
+//! the evaluator: every episode re-derives the (layer × sub-accelerator)
+//! cost table for `1 + φ` hardware designs and re-queries the accuracy
+//! oracle, and every baseline used to run its own serial evaluate-and-track
+//! loop.  [`EvalEngine`] wraps an [`Evaluator`] with:
+//!
+//! * an **accuracy cache** keyed by the decoded architecture (per task), so
+//!   an episode's `φ` hardware-only steps — and any later episode that
+//!   revisits the same architecture — pay for accuracy once;
+//! * a **hardware-metrics cache** keyed by `(architectures, accelerator)`,
+//!   so replayed or revisited designs skip the cost-table build and the
+//!   HAP solve;
+//! * a **batch evaluator** that fans the independent candidate evaluations
+//!   of an episode (or a baseline generation) out over scoped worker
+//!   threads while keeping results in input order, so the strictly
+//!   sequential controller feedback — and therefore
+//!   `search_is_deterministic_for_a_seed` — is unaffected.
+//!
+//! Cached values are produced by the same pure functions the direct
+//! [`Evaluator`] calls use, so engine results are **bit-identical** to
+//! uncached evaluation (asserted by the `engine_consistency` integration
+//! suite).
+
+pub mod pool;
+
+use crate::bounds::PenaltyBounds;
+use crate::candidate::Candidate;
+use crate::evaluator::{Evaluation, Evaluator};
+use crate::penalty::Penalty;
+use crate::reward::Reward;
+use crate::spec::SpecCheck;
+use nasaic_accel::Accelerator;
+use nasaic_cost::HardwareMetrics;
+use nasaic_nn::layer::Architecture;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::RwLock;
+
+pub use pool::parallel_map;
+
+/// Cache key for one task's accuracy query: the task position plus the
+/// decoded architecture's identity (backbone name + hyperparameter values,
+/// which fully determine the generated network).
+type AccuracyKey = (usize, String, Vec<usize>);
+
+/// Cache key for the hardware path: every architecture's identity plus the
+/// accelerator design (which is `Hash + Eq` by construction).
+type HardwareKey = (Vec<(String, Vec<usize>)>, Accelerator);
+
+fn architectures_key(architectures: &[Architecture]) -> Vec<(String, Vec<usize>)> {
+    architectures
+        .iter()
+        .map(|a| (a.name.clone(), a.hyperparameters.clone()))
+        .collect()
+}
+
+/// Engine tuning knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Worker-thread ceiling for batch evaluation; `0` uses the machine's
+    /// available parallelism.
+    pub threads: usize,
+    /// When `false`, every call recomputes (useful for measuring the cache
+    /// itself; the default is `true`).
+    pub caching: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            threads: 0,
+            caching: true,
+        }
+    }
+}
+
+/// Cache behaviour counters (aggregated over both caches' lifetimes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Accuracy-cache hits (per task query).
+    pub accuracy_hits: u64,
+    /// Accuracy-cache misses (per task query).
+    pub accuracy_misses: u64,
+    /// Hardware-metrics-cache hits.
+    pub hardware_hits: u64,
+    /// Hardware-metrics-cache misses.
+    pub hardware_misses: u64,
+}
+
+impl CacheStats {
+    /// Fraction of all queries served from a cache.
+    pub fn hit_rate(&self) -> f64 {
+        let hits = self.accuracy_hits + self.hardware_hits;
+        let total = hits + self.accuracy_misses + self.hardware_misses;
+        if total == 0 {
+            0.0
+        } else {
+            hits as f64 / total as f64
+        }
+    }
+}
+
+/// Memoised, batch-parallel wrapper around an [`Evaluator`].
+///
+/// The engine is `Sync`: one instance is shared by reference across the
+/// worker threads of a batch and across the stages of an experiment.
+/// Results are bit-identical to direct `Evaluator` calls — caching and
+/// parallelism change *when* a value is computed, never *what* it is.
+#[derive(Debug)]
+pub struct EvalEngine {
+    evaluator: Evaluator,
+    config: EngineConfig,
+    accuracy_cache: RwLock<HashMap<AccuracyKey, f64>>,
+    hardware_cache: RwLock<HashMap<HardwareKey, HardwareMetrics>>,
+    accuracy_hits: AtomicU64,
+    accuracy_misses: AtomicU64,
+    hardware_hits: AtomicU64,
+    hardware_misses: AtomicU64,
+}
+
+impl EvalEngine {
+    /// Wrap an evaluator with the default engine configuration.
+    pub fn new(evaluator: Evaluator) -> Self {
+        Self::with_config(evaluator, EngineConfig::default())
+    }
+
+    /// Wrap an evaluator with an explicit configuration.
+    pub fn with_config(evaluator: Evaluator, config: EngineConfig) -> Self {
+        Self {
+            evaluator,
+            config,
+            accuracy_cache: RwLock::new(HashMap::new()),
+            hardware_cache: RwLock::new(HashMap::new()),
+            accuracy_hits: AtomicU64::new(0),
+            accuracy_misses: AtomicU64::new(0),
+            hardware_hits: AtomicU64::new(0),
+            hardware_misses: AtomicU64::new(0),
+        }
+    }
+
+    /// The wrapped evaluator.
+    pub fn evaluator(&self) -> &Evaluator {
+        &self.evaluator
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Cache behaviour counters so far.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            accuracy_hits: self.accuracy_hits.load(Ordering::Relaxed),
+            accuracy_misses: self.accuracy_misses.load(Ordering::Relaxed),
+            hardware_hits: self.hardware_hits.load(Ordering::Relaxed),
+            hardware_misses: self.hardware_misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Drop all cached values (counters are kept).
+    pub fn clear_caches(&self) {
+        self.accuracy_cache
+            .write()
+            .expect("accuracy cache lock")
+            .clear();
+        self.hardware_cache
+            .write()
+            .expect("hardware cache lock")
+            .clear();
+    }
+
+    /// Accuracy of every architecture (training/validation path), memoised
+    /// per `(task, architecture)`.
+    pub fn accuracies(&self, architectures: &[Architecture]) -> Vec<f64> {
+        if !self.config.caching {
+            return self.evaluator.accuracies(architectures);
+        }
+        // The direct path zips tasks with architectures (truncating to the
+        // shorter of the two); mirror that exactly.
+        let num_tasks = self.evaluator.workload().num_tasks();
+        architectures
+            .iter()
+            .take(num_tasks)
+            .enumerate()
+            .map(|(task_index, arch)| self.accuracy_for_task(task_index, arch))
+            .collect()
+    }
+
+    /// Accuracy of `arch` evaluated as the workload's `task_index`-th task.
+    /// Accuracy of one architecture evaluated as the workload's
+    /// `task_index`-th task, memoised like [`accuracies`](Self::accuracies)
+    /// (same cache, same keys).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `task_index` is out of range for the workload.
+    pub fn accuracy_for_task(&self, task_index: usize, arch: &Architecture) -> f64 {
+        if !self.config.caching {
+            return self.evaluator.accuracy_for_task(task_index, arch);
+        }
+        let key: AccuracyKey = (task_index, arch.name.clone(), arch.hyperparameters.clone());
+        if let Some(&cached) = self
+            .accuracy_cache
+            .read()
+            .expect("accuracy cache lock")
+            .get(&key)
+        {
+            self.accuracy_hits.fetch_add(1, Ordering::Relaxed);
+            return cached;
+        }
+        // Compute outside the lock; concurrent workers racing on the same
+        // key all produce the identical pure value.  Only the worker whose
+        // insert lands counts as the miss, so the stats stay independent of
+        // thread scheduling (misses == distinct keys).
+        let accuracy = self.evaluator.accuracy_for_task(task_index, arch);
+        match self
+            .accuracy_cache
+            .write()
+            .expect("accuracy cache lock")
+            .entry(key)
+        {
+            std::collections::hash_map::Entry::Occupied(_) => {
+                self.accuracy_hits.fetch_add(1, Ordering::Relaxed);
+            }
+            std::collections::hash_map::Entry::Vacant(slot) => {
+                slot.insert(accuracy);
+                self.accuracy_misses.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        accuracy
+    }
+
+    /// The weighted accuracy of Eq. 2 (pass-through; no caching needed).
+    pub fn weighted_accuracy(&self, accuracies: &[f64]) -> f64 {
+        self.evaluator.weighted_accuracy(accuracies)
+    }
+
+    /// Hardware metrics of a set of architectures on an accelerator,
+    /// memoised by `(architectures, accelerator)`.
+    pub fn hardware_metrics(
+        &self,
+        architectures: &[Architecture],
+        accelerator: &Accelerator,
+    ) -> HardwareMetrics {
+        if !self.config.caching {
+            return self.evaluator.hardware_metrics(architectures, accelerator);
+        }
+        let key: HardwareKey = (architectures_key(architectures), accelerator.clone());
+        if let Some(&cached) = self
+            .hardware_cache
+            .read()
+            .expect("hardware cache lock")
+            .get(&key)
+        {
+            self.hardware_hits.fetch_add(1, Ordering::Relaxed);
+            return cached;
+        }
+        // See `accuracy_for_task`: racers compute the same pure value and
+        // only the landing insert counts as the miss.
+        let metrics = self.evaluator.hardware_metrics(architectures, accelerator);
+        match self
+            .hardware_cache
+            .write()
+            .expect("hardware cache lock")
+            .entry(key)
+        {
+            std::collections::hash_map::Entry::Occupied(_) => {
+                self.hardware_hits.fetch_add(1, Ordering::Relaxed);
+            }
+            std::collections::hash_map::Entry::Vacant(slot) => {
+                slot.insert(metrics);
+                self.hardware_misses.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        metrics
+    }
+
+    /// Hardware-only evaluation: metrics plus spec check.
+    pub fn evaluate_hardware(
+        &self,
+        architectures: &[Architecture],
+        accelerator: &Accelerator,
+    ) -> (HardwareMetrics, SpecCheck) {
+        let metrics = self.hardware_metrics(architectures, accelerator);
+        (metrics, self.evaluator.specs().check(&metrics))
+    }
+
+    /// Full evaluation of one candidate through the caches; bit-identical
+    /// to [`Evaluator::evaluate`] (both paths assemble the record through
+    /// [`Evaluator::assemble_evaluation`]).
+    pub fn evaluate(&self, candidate: &Candidate) -> Evaluation {
+        let accuracies = self.accuracies(&candidate.architectures);
+        let metrics = self.hardware_metrics(&candidate.architectures, &candidate.accelerator);
+        self.evaluator.assemble_evaluation(accuracies, metrics)
+    }
+
+    /// Evaluate a batch of independent candidates, fanning out over worker
+    /// threads; the result order matches the input order.
+    pub fn evaluate_batch(&self, candidates: &[Candidate]) -> Vec<Evaluation> {
+        parallel_map(candidates, self.config.threads, |candidate| {
+            self.evaluate(candidate)
+        })
+    }
+
+    /// Hardware-evaluate one episode's candidates (`None` marks a sample
+    /// that failed to decode), in parallel, preserving order.
+    pub fn evaluate_hardware_batch(
+        &self,
+        candidates: &[Option<Candidate>],
+    ) -> Vec<Option<(HardwareMetrics, SpecCheck)>> {
+        parallel_map(candidates, self.config.threads, |candidate| {
+            candidate
+                .as_ref()
+                .map(|c| self.evaluate_hardware(&c.architectures, &c.accelerator))
+        })
+    }
+
+    /// A scorer binding this engine to penalty bounds and a penalty scale,
+    /// replacing the per-baseline `reward_of` closures.
+    pub fn scorer(&self, bounds: PenaltyBounds, rho: f64) -> RewardScorer<'_> {
+        RewardScorer {
+            engine: self,
+            bounds,
+            rho,
+        }
+    }
+}
+
+impl From<&Evaluator> for EvalEngine {
+    fn from(evaluator: &Evaluator) -> Self {
+        Self::new(evaluator.clone())
+    }
+}
+
+impl Clone for EvalEngine {
+    /// Cloning keeps the evaluator and configuration but starts with cold
+    /// caches (cached values are an optimisation, not state).
+    fn clone(&self) -> Self {
+        Self::with_config(self.evaluator.clone(), self.config)
+    }
+}
+
+/// Eq. 4 scoring on top of the engine: evaluation plus scalar reward.
+///
+/// This is the evaluate-and-score plumbing that the hill-climbing,
+/// evolutionary and hardware-aware-NAS optimizers used to reimplement
+/// separately.
+#[derive(Debug, Clone, Copy)]
+pub struct RewardScorer<'a> {
+    engine: &'a EvalEngine,
+    bounds: PenaltyBounds,
+    rho: f64,
+}
+
+impl RewardScorer<'_> {
+    /// The engine behind the scorer.
+    pub fn engine(&self) -> &EvalEngine {
+        self.engine
+    }
+
+    /// Full evaluation plus the Eq. 4 reward of one candidate.
+    pub fn score(&self, candidate: &Candidate) -> (Evaluation, f64) {
+        let evaluation = self.engine.evaluate(candidate);
+        let penalty = Penalty::compute(
+            &evaluation.metrics,
+            self.engine.evaluator().specs(),
+            &self.bounds,
+        );
+        let reward = Reward::new(evaluation.weighted_accuracy, &penalty, self.rho).value();
+        (evaluation, reward)
+    }
+
+    /// Score a batch of candidates in parallel, preserving order.
+    pub fn score_batch(&self, candidates: &[Candidate]) -> Vec<(Evaluation, f64)> {
+        parallel_map(candidates, self.engine.config.threads, |candidate| {
+            self.score(candidate)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluator::AccuracyOracle;
+    use crate::spec::{DesignSpecs, WorkloadId};
+    use crate::workload::Workload;
+    use nasaic_accel::HardwareSpace;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn w1_engine() -> EvalEngine {
+        let workload = Workload::w1();
+        let specs = DesignSpecs::for_workload(WorkloadId::W1);
+        EvalEngine::new(Evaluator::new(&workload, specs, AccuracyOracle::default()))
+    }
+
+    fn random_candidates(count: usize, seed: u64) -> Vec<Candidate> {
+        let workload = Workload::w1();
+        let hardware = HardwareSpace::paper_default(2);
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..count)
+            .map(|_| {
+                let architectures = workload
+                    .tasks
+                    .iter()
+                    .map(|t| {
+                        let space = t.backbone.search_space();
+                        t.backbone
+                            .materialize(&space.sample(&mut rng))
+                            .expect("valid sample")
+                    })
+                    .collect();
+                Candidate::from_parts(architectures, hardware.sample(&mut rng))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn engine_matches_direct_evaluator_bit_for_bit() {
+        let engine = w1_engine();
+        for candidate in random_candidates(12, 7) {
+            let direct = engine.evaluator().evaluate(&candidate);
+            let cold = engine.evaluate(&candidate);
+            let warm = engine.evaluate(&candidate);
+            assert_eq!(direct, cold);
+            assert_eq!(direct, warm);
+        }
+    }
+
+    #[test]
+    fn repeated_candidates_hit_the_caches() {
+        let engine = w1_engine();
+        let candidates = random_candidates(6, 11);
+        engine.evaluate_batch(&candidates);
+        let cold = engine.stats();
+        assert_eq!(cold.hardware_hits, 0);
+        assert_eq!(cold.hardware_misses, 6);
+        engine.evaluate_batch(&candidates);
+        let warm = engine.stats();
+        assert_eq!(warm.hardware_hits, 6);
+        assert_eq!(warm.hardware_misses, 6);
+        assert_eq!(warm.accuracy_hits, 12);
+        assert!(warm.hit_rate() > 0.4);
+    }
+
+    #[test]
+    fn batch_results_preserve_input_order() {
+        let engine = w1_engine();
+        let candidates = random_candidates(9, 13);
+        let batch = engine.evaluate_batch(&candidates);
+        let serial: Vec<_> = candidates
+            .iter()
+            .map(|c| engine.evaluator().evaluate(c))
+            .collect();
+        assert_eq!(batch, serial);
+    }
+
+    #[test]
+    fn hardware_batch_keeps_undecodable_slots() {
+        let engine = w1_engine();
+        let mut slots: Vec<Option<Candidate>> =
+            random_candidates(3, 17).into_iter().map(Some).collect();
+        slots.insert(1, None);
+        let results = engine.evaluate_hardware_batch(&slots);
+        assert_eq!(results.len(), 4);
+        assert!(results[1].is_none());
+        assert!(results[0].is_some() && results[2].is_some() && results[3].is_some());
+    }
+
+    #[test]
+    fn disabling_caching_still_matches_direct_results() {
+        let workload = Workload::w1();
+        let specs = DesignSpecs::for_workload(WorkloadId::W1);
+        let evaluator = Evaluator::new(&workload, specs, AccuracyOracle::default());
+        let engine = EvalEngine::with_config(
+            evaluator.clone(),
+            EngineConfig {
+                caching: false,
+                ..EngineConfig::default()
+            },
+        );
+        for candidate in random_candidates(4, 23) {
+            assert_eq!(engine.evaluate(&candidate), evaluator.evaluate(&candidate));
+        }
+        let stats = engine.stats();
+        assert_eq!(stats.hardware_hits + stats.hardware_misses, 0);
+    }
+
+    #[test]
+    fn clearing_caches_keeps_results_identical() {
+        let engine = w1_engine();
+        let candidates = random_candidates(3, 29);
+        let before = engine.evaluate_batch(&candidates);
+        engine.clear_caches();
+        let after = engine.evaluate_batch(&candidates);
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn clone_starts_cold_but_agrees() {
+        let engine = w1_engine();
+        let candidates = random_candidates(2, 31);
+        let original = engine.evaluate_batch(&candidates);
+        let cloned = engine.clone();
+        assert_eq!(cloned.stats().hardware_misses, 0);
+        assert_eq!(cloned.evaluate_batch(&candidates), original);
+    }
+
+    #[test]
+    fn scorer_reward_matches_manual_composition() {
+        let engine = w1_engine();
+        let specs = *engine.evaluator().specs();
+        let bounds = PenaltyBounds::from_specs(&specs, 3.0);
+        let scorer = engine.scorer(bounds, 10.0);
+        for candidate in random_candidates(5, 37) {
+            let (evaluation, reward) = scorer.score(&candidate);
+            let penalty = Penalty::compute(&evaluation.metrics, &specs, &bounds);
+            let expected = Reward::new(evaluation.weighted_accuracy, &penalty, 10.0).value();
+            assert_eq!(reward, expected);
+        }
+    }
+}

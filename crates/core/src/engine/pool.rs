@@ -1,0 +1,126 @@
+//! Deterministic scoped-thread fan-out used by the evaluation engine and
+//! the experiment harness.
+//!
+//! [`parallel_map`] preserves input order in its output regardless of
+//! thread scheduling, so callers that evaluate in parallel and *consume*
+//! sequentially (the NASAIC episode loop, the baselines, the experiment
+//! fan-outs) stay bit-deterministic.  Work distribution is a shared atomic
+//! cursor, which balances uneven item costs (e.g. schedulable vs
+//! unschedulable candidates) better than static chunking.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Number of worker threads to use for `len` items under a configured
+/// ceiling (`0` = use the machine's available parallelism).
+pub fn worker_count(configured: usize, len: usize) -> usize {
+    let hardware = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let ceiling = if configured == 0 {
+        hardware
+    } else {
+        configured
+    };
+    ceiling.min(len).max(1)
+}
+
+/// Map `f` over `items`, fanning out over up to `threads` scoped threads.
+///
+/// The output vector's order matches `items`; with `threads <= 1` (or one
+/// item) the map runs inline with no thread machinery at all.
+pub fn parallel_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let workers = worker_count(threads, items.len());
+    if workers <= 1 {
+        return items.iter().map(f).collect();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(items.len());
+    slots.resize_with(items.len(), || None);
+
+    let drain = |produced: &mut Vec<(usize, R)>| loop {
+        let index = cursor.fetch_add(1, Ordering::Relaxed);
+        if index >= items.len() {
+            break;
+        }
+        produced.push((index, f(&items[index])));
+    };
+
+    // The calling thread is one of the workers, so a batch of `w` workers
+    // only pays `w - 1` thread spawns (and a 2-worker batch just one).
+    let mut local: Vec<(usize, R)> = Vec::new();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers - 1);
+        for _ in 0..workers - 1 {
+            let drain = &drain;
+            handles.push(scope.spawn(move || {
+                let mut produced: Vec<(usize, R)> = Vec::new();
+                drain(&mut produced);
+                produced
+            }));
+        }
+        drain(&mut local);
+        for handle in handles {
+            local.extend(handle.join().expect("engine worker panicked"));
+        }
+    });
+    for (index, result) in local {
+        slots[index] = Some(result);
+    }
+
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("every index was produced exactly once"))
+        .collect()
+}
+
+/// Split a thread budget across `branches` concurrent consumers (the
+/// experiment harness fans out searches whose engines are themselves
+/// parallel; giving each branch `available / branches` workers keeps the
+/// nest from oversubscribing the machine).
+pub fn divided_threads(branches: usize) -> usize {
+    let hardware = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    (hardware / branches.max(1)).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let items: Vec<usize> = (0..100).collect();
+        let doubled = parallel_map(&items, 4, |&x| x * 2);
+        assert_eq!(doubled, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sequential_and_parallel_agree() {
+        let items: Vec<u64> = (0..57).collect();
+        let a = parallel_map(&items, 1, |&x| x.wrapping_mul(0x9E37_79B9).rotate_left(7));
+        let b = parallel_map(&items, 8, |&x| x.wrapping_mul(0x9E37_79B9).rotate_left(7));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(parallel_map(&empty, 8, |&x| x).is_empty());
+        assert_eq!(parallel_map(&[41u32], 8, |&x| x + 1), vec![42]);
+    }
+
+    #[test]
+    fn worker_count_is_bounded_by_items_and_config() {
+        assert_eq!(worker_count(4, 2), 2);
+        assert_eq!(worker_count(2, 100), 2);
+        assert!(worker_count(0, 100) >= 1);
+        assert_eq!(worker_count(8, 0), 1);
+    }
+}

@@ -158,6 +158,18 @@ impl Evaluator {
             .collect()
     }
 
+    /// Accuracy of one architecture evaluated as the workload's
+    /// `task_index`-th task (a single oracle query — the per-task unit the
+    /// engine memoises).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `task_index` is out of range for the workload.
+    pub fn accuracy_for_task(&self, task_index: usize, arch: &Architecture) -> f64 {
+        self.oracle
+            .evaluate(self.workload.tasks[task_index].backbone, arch)
+    }
+
     /// The weighted accuracy of Eq. 2.
     pub fn weighted_accuracy(&self, accuracies: &[f64]) -> f64 {
         self.combiner.combine(accuracies)
@@ -190,8 +202,20 @@ impl Evaluator {
     /// Full evaluation of a candidate: both paths plus the spec check.
     pub fn evaluate(&self, candidate: &Candidate) -> Evaluation {
         let accuracies = self.accuracies(&candidate.architectures);
-        let weighted_accuracy = self.weighted_accuracy(&accuracies);
         let metrics = self.hardware_metrics(&candidate.architectures, &candidate.accelerator);
+        self.assemble_evaluation(accuracies, metrics)
+    }
+
+    /// Assemble an [`Evaluation`] from precomputed accuracy and hardware
+    /// results.  This is the single construction point shared with
+    /// [`crate::engine::EvalEngine`], so the cached path cannot drift from
+    /// the direct one.
+    pub fn assemble_evaluation(
+        &self,
+        accuracies: Vec<f64>,
+        metrics: HardwareMetrics,
+    ) -> Evaluation {
+        let weighted_accuracy = self.weighted_accuracy(&accuracies);
         let spec_check = self.specs.check(&metrics);
         Evaluation {
             accuracies,
@@ -247,8 +271,8 @@ mod tests {
         let archs = small_architectures(&workload);
         let accs = evaluator.accuracies(&archs);
         assert_eq!(accs.len(), 2);
-        let direct = SurrogateModel::paper_calibrated()
-            .evaluate(Backbone::ResNet9Cifar10, &archs[0]);
+        let direct =
+            SurrogateModel::paper_calibrated().evaluate(Backbone::ResNet9Cifar10, &archs[0]);
         assert_eq!(accs[0], direct);
         let weighted = evaluator.weighted_accuracy(&accs);
         assert!((weighted - (accs[0] + accs[1]) / 2.0).abs() < 1e-12);

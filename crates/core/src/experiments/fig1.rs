@@ -17,6 +17,7 @@
 //! instance (latency and energy halved), documented in DESIGN.md.
 
 use crate::baselines::{AsicThenHwNas, MonteCarloSearch, NasThenAsic};
+use crate::engine::EvalEngine;
 use crate::evaluator::{AccuracyOracle, Evaluator};
 use crate::experiments::{ExperimentScale, ScatterPoint};
 use crate::spec::{DesignSpecs, WorkloadId};
@@ -96,9 +97,13 @@ pub fn fig1_setting() -> (Workload, DesignSpecs) {
 }
 
 /// Run the Fig. 1 experiment at a given scale.
+///
+/// All four series evaluate through one shared [`EvalEngine`] — the
+/// Monte-Carlo sweep and the baselines revisit overlapping regions of the
+/// single-task design space, so the caches carry across series.
 pub fn run(scale: ExperimentScale, seed: u64) -> Fig1Result {
     let (workload, specs) = fig1_setting();
-    let evaluator = Evaluator::new(&workload, specs, AccuracyOracle::default());
+    let engine = EvalEngine::new(Evaluator::new(&workload, specs, AccuracyOracle::default()));
     let hardware = HardwareSpace::paper_default(2);
 
     // Circles: successive NAS then brute-force ASIC sweep.
@@ -107,7 +112,7 @@ pub fn run(scale: ExperimentScale, seed: u64) -> Fig1Result {
         hardware_samples: scale.hardware_samples(),
         seed,
     };
-    let (sweep, _) = nas_baseline.run(&workload, specs, &hardware, &evaluator);
+    let (sweep, _) = nas_baseline.run_with_engine(&workload, specs, &hardware, &engine);
     let nas_then_asic: Vec<ScatterPoint> = sweep
         .explored
         .iter()
@@ -127,7 +132,7 @@ pub fn run(scale: ExperimentScale, seed: u64) -> Fig1Result {
         rho: 10.0,
         seed: seed ^ 0x17,
     };
-    let (_, hwnas_outcome) = hwnas_baseline.run(&workload, specs, &hardware, &evaluator);
+    let (_, hwnas_outcome) = hwnas_baseline.run_with_engine(&workload, specs, &hardware, &engine);
     let hw_aware_nas = hwnas_outcome.best.as_ref().map(|s| ScatterPoint {
         latency_cycles: s.evaluation.metrics.latency_cycles,
         energy_nj: s.evaluation.metrics.energy_nj,
@@ -141,7 +146,7 @@ pub fn run(scale: ExperimentScale, seed: u64) -> Fig1Result {
         runs: scale.monte_carlo_runs(),
         seed: seed ^ 0x2a,
     };
-    let mc_outcome = mc.run(&workload, &hardware, &evaluator);
+    let mc_outcome = mc.run_with_engine(&workload, &hardware, &engine);
     let monte_carlo_optimal = mc_outcome.best.as_ref().map(|s| ScatterPoint {
         latency_cycles: s.evaluation.metrics.latency_cycles,
         energy_nj: s.evaluation.metrics.energy_nj,
@@ -195,7 +200,10 @@ mod tests {
         assert!(nas_acc > 0.93);
         // 3. The Monte-Carlo optimum is feasible and loses some accuracy
         //    relative to unconstrained NAS.
-        let star = result.monte_carlo_optimal.as_ref().expect("MC found a compliant design");
+        let star = result
+            .monte_carlo_optimal
+            .as_ref()
+            .expect("MC found a compliant design");
         let star_acc = star.accuracies[0];
         assert!(star_acc < nas_acc);
         assert!(star_acc > 0.80);

@@ -6,7 +6,7 @@
 //! random accelerator designs (blue crosses), and the best solution found
 //! (red star).
 
-use crate::evaluator::{AccuracyOracle, Evaluator};
+use crate::engine::{parallel_map, pool::divided_threads, EngineConfig};
 use crate::experiments::{ExperimentScale, ScatterPoint};
 use crate::search::{Nasaic, NasaicConfig};
 use crate::spec::{DesignSpecs, WorkloadId};
@@ -106,6 +106,21 @@ impl fmt::Display for Fig6Result {
 
 /// Run one panel of Fig. 6.
 pub fn run_panel(workload_id: WorkloadId, scale: ExperimentScale, seed: u64) -> Fig6Panel {
+    run_panel_with_threads(workload_id, scale, seed, 0)
+}
+
+/// [`run_panel`] with an explicit engine worker ceiling (`0` = all cores);
+/// the parallel figure fan-out passes each panel its share of the machine.
+pub fn run_panel_with_threads(
+    workload_id: WorkloadId,
+    scale: ExperimentScale,
+    seed: u64,
+    engine_threads: usize,
+) -> Fig6Panel {
+    let engine_config = EngineConfig {
+        threads: engine_threads,
+        ..EngineConfig::default()
+    };
     let workload = Workload::for_id(workload_id);
     let specs = DesignSpecs::for_workload(workload_id);
     let config = NasaicConfig {
@@ -113,7 +128,8 @@ pub fn run_panel(workload_id: WorkloadId, scale: ExperimentScale, seed: u64) -> 
         hardware_trials: scale.hardware_trials(),
         ..NasaicConfig::paper(seed)
     };
-    let outcome = Nasaic::new(workload.clone(), specs, config).run();
+    let search = Nasaic::new(workload.clone(), specs, config).with_engine_config(engine_config);
+    let outcome = search.run();
 
     let explored: Vec<ScatterPoint> = outcome
         .spec_compliant
@@ -134,24 +150,31 @@ pub fn run_panel(workload_id: WorkloadId, scale: ExperimentScale, seed: u64) -> 
         label: format!("best {}", s.candidate.accelerator.paper_notation()),
     });
 
-    // Lower bounds: smallest architectures on random accelerator designs.
-    let evaluator = Evaluator::new(&workload, specs, AccuracyOracle::default());
+    // Lower bounds: smallest architectures on random accelerator designs,
+    // drawn sequentially and metric-evaluated as one parallel batch through
+    // the search's own engine, so any designs the search already visited
+    // come straight from its caches.
+    let engine = search.engine();
     let smallest: Vec<Architecture> = workload
         .tasks
         .iter()
         .map(|t| t.backbone.smallest_architecture())
         .collect();
-    let lower_bound_accuracies = evaluator.accuracies(&smallest);
+    let lower_bound_accuracies = engine.accuracies(&smallest);
     let hardware = HardwareSpace::paper_default(2);
     let mut rng = StdRng::seed_from_u64(seed ^ 0x1b);
-    let lower_bounds: Vec<ScatterPoint> = (0..scale.hardware_samples() / 2)
+    let accelerators: Vec<_> = (0..scale.hardware_samples() / 2)
         .map(|i| {
-            let accelerator = if i % 2 == 0 {
+            if i % 2 == 0 {
                 hardware.sample(&mut rng)
             } else {
                 hardware.sample_fully_allocated(&mut rng)
-            };
-            let metrics = evaluator.hardware_metrics(&smallest, &accelerator);
+            }
+        })
+        .collect();
+    let lower_bounds: Vec<ScatterPoint> =
+        parallel_map(&accelerators, engine.config().threads, |accelerator| {
+            let metrics = engine.hardware_metrics(&smallest, accelerator);
             ScatterPoint {
                 latency_cycles: metrics.latency_cycles,
                 energy_nj: metrics.energy_nj,
@@ -159,8 +182,7 @@ pub fn run_panel(workload_id: WorkloadId, scale: ExperimentScale, seed: u64) -> 
                 accuracies: lower_bound_accuracies.clone(),
                 label: accelerator.paper_notation(),
             }
-        })
-        .collect();
+        });
 
     Fig6Panel {
         workload: workload_id,
@@ -174,13 +196,22 @@ pub fn run_panel(workload_id: WorkloadId, scale: ExperimentScale, seed: u64) -> 
 }
 
 /// Run the full figure (all three workloads).
+///
+/// The three panels are independent searches: they fan out in parallel and
+/// assemble in paper order (W1, W2, W3), identical to a serial run.
 pub fn run(scale: ExperimentScale, seed: u64) -> Fig6Result {
+    let panels = [
+        (WorkloadId::W1, seed),
+        (WorkloadId::W2, seed + 1),
+        (WorkloadId::W3, seed + 2),
+    ];
+    // Each panel's engine gets an equal share of the machine so the nest
+    // (panel fan-out x per-episode batches) does not oversubscribe it.
+    let engine_threads = divided_threads(panels.len());
     Fig6Result {
-        panels: vec![
-            run_panel(WorkloadId::W1, scale, seed),
-            run_panel(WorkloadId::W2, scale, seed + 1),
-            run_panel(WorkloadId::W3, scale, seed + 2),
-        ],
+        panels: parallel_map(&panels, panels.len(), |&(workload_id, panel_seed)| {
+            run_panel_with_threads(workload_id, scale, panel_seed, engine_threads)
+        }),
     }
 }
 
@@ -193,9 +224,14 @@ mod tests {
         let panel = run_panel(WorkloadId::W1, ExperimentScale::Quick, 31);
         // Every explored solution NASAIC reports satisfies the specs.
         assert!(panel.all_explored_meet_specs());
-        assert!(!panel.explored.is_empty(), "no compliant solutions explored");
+        assert!(
+            !panel.explored.is_empty(),
+            "no compliant solutions explored"
+        );
         // The best solution clearly beats the smallest-network lower bound.
-        let best = panel.best_weighted_accuracy().expect("a best solution exists");
+        let best = panel
+            .best_weighted_accuracy()
+            .expect("a best solution exists");
         assert!(best > panel.lower_bound_weighted_accuracy() + 0.02);
         // The paper's lower bounds: 78.93% CIFAR-10 and 0.642 IOU.
         assert!((panel.lower_bound_accuracies[0] - 0.7893).abs() < 0.015);

@@ -98,7 +98,7 @@ impl fmt::Display for HeadlineClaims {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::experiments::table1::{Table1Row, Table1Result};
+    use crate::experiments::table1::{Table1Result, Table1Row};
 
     fn paper_table() -> Table1Result {
         // The W1 numbers exactly as printed in Table I of the paper.

@@ -2,6 +2,7 @@
 //! workloads W1 and W2.
 
 use crate::baselines::{nas_then_asic::least_violating, AsicThenHwNas, NasThenAsic};
+use crate::engine::{parallel_map, pool::divided_threads, EngineConfig, EvalEngine};
 use crate::evaluator::{AccuracyOracle, Evaluator};
 use crate::experiments::ExperimentScale;
 use crate::log::ExploredSolution;
@@ -81,7 +82,11 @@ impl fmt::Display for Table1Row {
             self.latency_cycles,
             self.energy_nj,
             self.area_um2,
-            if self.satisfied { "meets specs" } else { "violates specs" }
+            if self.satisfied {
+                "meets specs"
+            } else {
+                "violates specs"
+            }
         )
     }
 }
@@ -141,10 +146,33 @@ fn row_from_solution(
 }
 
 /// Run Table I for one workload.
+///
+/// The three approaches share one [`EvalEngine`], so e.g. the hardware
+/// sweeps of NAS→ASIC and ASIC→HW-NAS reuse each other's cached cost
+/// tables where their samples overlap.
 pub fn run_workload(workload_id: WorkloadId, scale: ExperimentScale, seed: u64) -> Vec<Table1Row> {
+    run_workload_with_threads(workload_id, scale, seed, 0)
+}
+
+/// [`run_workload`] with an explicit engine worker ceiling (`0` = all
+/// cores); the parallel table fan-out passes each workload its share of
+/// the machine.
+pub fn run_workload_with_threads(
+    workload_id: WorkloadId,
+    scale: ExperimentScale,
+    seed: u64,
+    engine_threads: usize,
+) -> Vec<Table1Row> {
+    let engine_config = EngineConfig {
+        threads: engine_threads,
+        ..EngineConfig::default()
+    };
     let workload = Workload::for_id(workload_id);
     let specs = DesignSpecs::for_workload(workload_id);
-    let evaluator = Evaluator::new(&workload, specs, AccuracyOracle::default());
+    let engine = EvalEngine::with_config(
+        Evaluator::new(&workload, specs, AccuracyOracle::default()),
+        engine_config,
+    );
     let hardware = HardwareSpace::paper_default(2);
     let datasets = dataset_names(&workload);
     let mut rows = Vec::with_capacity(3);
@@ -155,7 +183,8 @@ pub fn run_workload(workload_id: WorkloadId, scale: ExperimentScale, seed: u64) 
         hardware_samples: scale.hardware_samples(),
         seed,
     };
-    let (sweep, representative) = nas_baseline.run(&workload, specs, &hardware, &evaluator);
+    let (sweep, representative) =
+        nas_baseline.run_with_engine(&workload, specs, &hardware, &engine);
     let representative = representative.or_else(|| least_violating(&sweep, &specs));
     if let Some(solution) = representative {
         rows.push(row_from_solution(
@@ -173,7 +202,7 @@ pub fn run_workload(workload_id: WorkloadId, scale: ExperimentScale, seed: u64) 
         rho: 10.0,
         seed: seed ^ 0x51,
     };
-    let (_, hwnas_outcome) = hwnas_baseline.run(&workload, specs, &hardware, &evaluator);
+    let (_, hwnas_outcome) = hwnas_baseline.run_with_engine(&workload, specs, &hardware, &engine);
     if let Some(best) = hwnas_outcome
         .best
         .clone()
@@ -193,7 +222,9 @@ pub fn run_workload(workload_id: WorkloadId, scale: ExperimentScale, seed: u64) 
         hardware_trials: scale.hardware_trials(),
         ..NasaicConfig::paper(seed ^ 0x99)
     };
-    let outcome = Nasaic::new(workload.clone(), specs, config).run();
+    let outcome = Nasaic::new(workload.clone(), specs, config)
+        .with_engine_config(engine_config)
+        .run();
     if let Some(best) = outcome.best {
         rows.push(row_from_solution(
             workload_id,
@@ -206,10 +237,19 @@ pub fn run_workload(workload_id: WorkloadId, scale: ExperimentScale, seed: u64) 
 }
 
 /// Run the full Table I (W1 and W2).
+///
+/// The two workloads are independent searches; they fan out in parallel
+/// and assemble in paper order, so the table is identical to a serial run.
 pub fn run(scale: ExperimentScale, seed: u64) -> Table1Result {
-    let mut rows = run_workload(WorkloadId::W1, scale, seed);
-    rows.extend(run_workload(WorkloadId::W2, scale, seed + 100));
-    Table1Result { rows }
+    let panels = [(WorkloadId::W1, seed), (WorkloadId::W2, seed + 100)];
+    // Split the machine between the two workloads' engines (see fig6).
+    let engine_threads = divided_threads(panels.len());
+    let rows = parallel_map(&panels, panels.len(), |&(workload_id, panel_seed)| {
+        run_workload_with_threads(workload_id, scale, panel_seed, engine_threads)
+    });
+    Table1Result {
+        rows: rows.into_iter().flatten().collect(),
+    }
 }
 
 #[cfg(test)]
@@ -220,8 +260,12 @@ mod tests {
     fn table1_w1_matches_paper_shape() {
         let rows = run_workload(WorkloadId::W1, ExperimentScale::Quick, 41);
         let result = Table1Result { rows };
-        let nas = result.row(WorkloadId::W1, Approach::NasThenAsic).expect("NAS row");
-        let nasaic = result.row(WorkloadId::W1, Approach::Nasaic).expect("NASAIC row");
+        let nas = result
+            .row(WorkloadId::W1, Approach::NasThenAsic)
+            .expect("NAS row");
+        let nasaic = result
+            .row(WorkloadId::W1, Approach::Nasaic)
+            .expect("NASAIC row");
         // NAS->ASIC violates the specs, NASAIC satisfies them.
         assert!(!nas.satisfied);
         assert!(nasaic.satisfied);

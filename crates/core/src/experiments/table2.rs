@@ -44,7 +44,7 @@ pub fn run(scale: ExperimentScale, seed: u64) -> Table2Result {
         ExperimentScale::Paper => StudyConfig {
             episodes: scale.episodes(),
             hardware_trials: scale.hardware_trials(),
-            seed,
+            ..StudyConfig::fast(seed)
         },
     };
     Table2Result {

@@ -20,6 +20,12 @@
 //!    surrogate) and the hardware path (cost model + HAP mapping and
 //!    scheduling), combined into the reward of Eq. 4.
 //!
+//! Every layer that evaluates candidates — the search loop, the
+//! [`baselines`], and the [`experiments`] harness — does so through the
+//! shared [`engine::EvalEngine`]: memoised accuracy and hardware-metrics
+//! caches plus order-preserving batch parallelism, bit-identical to
+//! direct [`evaluator::Evaluator`] calls.
+//!
 //! # Quickstart
 //!
 //! ```
@@ -39,6 +45,7 @@
 pub mod baselines;
 pub mod bounds;
 pub mod candidate;
+pub mod engine;
 pub mod evaluator;
 pub mod experiments;
 pub mod log;
@@ -54,6 +61,7 @@ pub mod workload;
 pub mod prelude {
     pub use crate::bounds::PenaltyBounds;
     pub use crate::candidate::Candidate;
+    pub use crate::engine::{CacheStats, EngineConfig, EvalEngine};
     pub use crate::evaluator::{AccuracyOracle, Evaluation, Evaluator};
     pub use crate::log::{ExploredSolution, SearchOutcome};
     pub use crate::penalty::Penalty;

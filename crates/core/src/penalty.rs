@@ -70,7 +70,11 @@ impl fmt::Display for Penalty {
 const COMPONENT_CAP: f64 = 2.0;
 
 fn normalised_excess(value: f64, spec: f64, bound: f64) -> f64 {
-    let clamped = if value.is_finite() { value } else { bound.max(spec) };
+    let clamped = if value.is_finite() {
+        value
+    } else {
+        bound.max(spec)
+    };
     let excess = (clamped - spec).max(0.0);
     if excess == 0.0 {
         return 0.0;
@@ -97,14 +101,22 @@ mod tests {
 
     #[test]
     fn meeting_all_specs_gives_zero_penalty() {
-        let p = Penalty::compute(&HardwareMetrics::new(90.0, 900.0, 9000.0), &specs(), &bounds());
+        let p = Penalty::compute(
+            &HardwareMetrics::new(90.0, 900.0, 9000.0),
+            &specs(),
+            &bounds(),
+        );
         assert!(p.is_zero());
         assert_eq!(p.total(), 0.0);
     }
 
     #[test]
     fn exceeding_one_spec_penalises_only_that_metric() {
-        let p = Penalty::compute(&HardwareMetrics::new(150.0, 900.0, 9000.0), &specs(), &bounds());
+        let p = Penalty::compute(
+            &HardwareMetrics::new(150.0, 900.0, 9000.0),
+            &specs(),
+            &bounds(),
+        );
         assert!((p.latency - 0.5).abs() < 1e-12);
         assert_eq!(p.energy, 0.0);
         assert_eq!(p.area, 0.0);
@@ -133,7 +145,11 @@ mod tests {
 
     #[test]
     fn exceeding_the_bound_scales_beyond_one() {
-        let p = Penalty::compute(&HardwareMetrics::new(300.0, 900.0, 9000.0), &specs(), &bounds());
+        let p = Penalty::compute(
+            &HardwareMetrics::new(300.0, 900.0, 9000.0),
+            &specs(),
+            &bounds(),
+        );
         assert!((p.latency - 2.0).abs() < 1e-12);
     }
 
@@ -149,7 +165,11 @@ mod tests {
 
     #[test]
     fn display_contains_components() {
-        let p = Penalty::compute(&HardwareMetrics::new(150.0, 900.0, 9000.0), &specs(), &bounds());
+        let p = Penalty::compute(
+            &HardwareMetrics::new(150.0, 900.0, 9000.0),
+            &specs(),
+            &bounds(),
+        );
         assert!(p.to_string().contains("P ="));
     }
 }

@@ -9,6 +9,7 @@
 
 use crate::bounds::PenaltyBounds;
 use crate::candidate::Candidate;
+use crate::engine::EvalEngine;
 use crate::evaluator::{AccuracyOracle, Evaluator};
 use crate::log::{ExploredSolution, SearchOutcome};
 use crate::penalty::Penalty;
@@ -95,41 +96,52 @@ impl NasaicConfig {
     }
 }
 
-/// The NASAIC co-exploration engine.
+/// The NASAIC co-exploration search.
 #[derive(Debug, Clone)]
 pub struct Nasaic {
     workload: Workload,
     specs: DesignSpecs,
     config: NasaicConfig,
     hardware: HardwareSpace,
-    evaluator: Evaluator,
+    engine: EvalEngine,
 }
 
 impl Nasaic {
     /// Create a search for a workload under design specs.
     pub fn new(workload: Workload, specs: DesignSpecs, config: NasaicConfig) -> Self {
         let hardware = HardwareSpace::paper_default(config.num_sub_accelerators);
-        let evaluator = Evaluator::new(&workload, specs, config.oracle);
+        let engine = EvalEngine::new(Evaluator::new(&workload, specs, config.oracle));
         Self {
             workload,
             specs,
             config,
             hardware,
-            evaluator,
+            engine,
         }
     }
 
     /// Replace the hardware space (restricted dataflows, different budget,
     /// fewer sub-accelerators — used by the Table II studies).
+    ///
+    /// The evaluator is untouched — it does not depend on the hardware
+    /// space — so this builder composes with [`with_evaluator`]
+    /// (Self::with_evaluator) in either order.
     pub fn with_hardware_space(mut self, hardware: HardwareSpace) -> Self {
         self.hardware = hardware;
-        self.evaluator = Evaluator::new(&self.workload, self.specs, self.config.oracle);
         self
     }
 
     /// Replace the evaluator (custom cost model or combiner).
     pub fn with_evaluator(mut self, evaluator: Evaluator) -> Self {
-        self.evaluator = evaluator;
+        let config = *self.engine.config();
+        self.engine = EvalEngine::with_config(evaluator, config);
+        self
+    }
+
+    /// Replace the engine configuration (worker-thread ceiling, caching).
+    /// Composes with the other builders in any order.
+    pub fn with_engine_config(mut self, config: crate::engine::EngineConfig) -> Self {
+        self.engine = EvalEngine::with_config(self.engine.evaluator().clone(), config);
         self
     }
 
@@ -150,7 +162,12 @@ impl Nasaic {
 
     /// The evaluator.
     pub fn evaluator(&self) -> &Evaluator {
-        &self.evaluator
+        self.engine.evaluator()
+    }
+
+    /// The shared evaluation engine (caches + batch parallelism).
+    pub fn engine(&self) -> &EvalEngine {
+        &self.engine
     }
 
     fn controller_segments(&self) -> Vec<nasaic_rl::Segment> {
@@ -186,12 +203,18 @@ impl Nasaic {
     }
 
     /// Run the search and return the exploration outcome.
+    ///
+    /// Each episode's `1 + φ` candidates are evaluated concurrently through
+    /// the [`EvalEngine`] (hardware metrics in one parallel batch, accuracy
+    /// memoised across the episode's shared architectures and across
+    /// episodes); controller feedback stays strictly sequential, so a run
+    /// is bit-deterministic for a seed regardless of thread count.
     pub fn run(&self) -> SearchOutcome {
         let mut rng = StdRng::seed_from_u64(self.config.seed ^ 0x00c0_ffee);
-        let bounds = PenaltyBounds::estimate(
+        let bounds = PenaltyBounds::estimate_with_engine(
             &self.workload,
             &self.hardware,
-            &self.evaluator,
+            &self.engine,
             &self.specs,
             self.config.bound_samples,
             self.config.seed,
@@ -239,15 +262,9 @@ impl Nasaic {
                 .flatten()
                 .next()
                 .map(|c| c.architectures.clone());
-            let hardware_evaluations: Vec<_> = candidates
-                .iter()
-                .map(|candidate| {
-                    candidate.as_ref().map(|c| {
-                        self.evaluator
-                            .evaluate_hardware(&c.architectures, &c.accelerator)
-                    })
-                })
-                .collect();
+            // All of the episode's hardware designs are independent:
+            // evaluate them as one parallel, cached batch.
+            let hardware_evaluations = self.engine.evaluate_hardware_batch(&candidates);
             let any_meets_specs = hardware_evaluations
                 .iter()
                 .flatten()
@@ -258,7 +275,7 @@ impl Nasaic {
             let accuracies = if selector.should_train(any_meets_specs) {
                 architectures
                     .as_ref()
-                    .map(|archs| self.evaluator.accuracies(archs))
+                    .map(|archs| self.engine.accuracies(archs))
             } else {
                 None
             };
@@ -267,13 +284,9 @@ impl Nasaic {
             }
             let weighted = accuracies
                 .as_ref()
-                .map(|a| self.evaluator.weighted_accuracy(a));
+                .map(|a| self.engine.weighted_accuracy(a));
 
-            for (step, (sample, candidate)) in episode_samples
-                .iter()
-                .zip(candidates)
-                .enumerate()
-            {
+            for (step, (sample, candidate)) in episode_samples.iter().zip(candidates).enumerate() {
                 let Some(candidate) = candidate else {
                     // Undecodable sample: strongly discourage it.
                     controller.feedback(sample, -self.config.rho);
@@ -386,8 +399,47 @@ mod tests {
         for solution in &outcome.explored {
             let subs = solution.candidate.accelerator.sub_accelerators();
             assert_eq!(subs.len(), 2);
-            assert_eq!(subs[0], subs[1], "homogeneous design must replicate the sub-accelerator");
+            assert_eq!(
+                subs[0], subs[1],
+                "homogeneous design must replicate the sub-accelerator"
+            );
         }
+    }
+
+    #[test]
+    fn builder_order_does_not_discard_a_custom_evaluator() {
+        // Regression: `with_hardware_space` used to rebuild the evaluator
+        // from the config, silently dropping a custom cost model/combiner
+        // installed by an earlier `with_evaluator` call.
+        use nasaic_accel::HardwareSpace;
+        use nasaic_accuracy::AccuracyCombiner;
+
+        let workload = Workload::w3();
+        let specs = DesignSpecs::for_workload(WorkloadId::W3);
+        let config = NasaicConfig::fast_demo(1);
+        let custom = Evaluator::new(&workload, specs, AccuracyOracle::default())
+            .with_combiner(AccuracyCombiner::Minimum);
+        let hardware = HardwareSpace::paper_default(1);
+
+        let evaluator_first = Nasaic::new(workload.clone(), specs, config)
+            .with_evaluator(custom.clone())
+            .with_hardware_space(hardware.clone());
+        let hardware_first = Nasaic::new(workload, specs, config)
+            .with_hardware_space(hardware)
+            .with_evaluator(custom);
+
+        // The Minimum combiner must survive in both orders.
+        let accuracies = [0.25, 0.75];
+        assert_eq!(
+            evaluator_first.evaluator().weighted_accuracy(&accuracies),
+            0.25
+        );
+        assert_eq!(
+            hardware_first.evaluator().weighted_accuracy(&accuracies),
+            0.25
+        );
+        assert_eq!(evaluator_first.hardware_space().num_sub_accelerators(), 1);
+        assert_eq!(hardware_first.hardware_space().num_sub_accelerators(), 1);
     }
 
     #[test]

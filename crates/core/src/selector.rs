@@ -96,7 +96,10 @@ impl OptimizerSelector {
     /// steps.
     pub fn plan_episode(&self) -> EpisodePlan {
         let mut steps = vec![SwitchState::joint()];
-        steps.extend(std::iter::repeat_n(SwitchState::hardware_only(), self.hardware_trials));
+        steps.extend(std::iter::repeat_n(
+            SwitchState::hardware_only(),
+            self.hardware_trials,
+        ));
         EpisodePlan { steps }
     }
 

@@ -15,6 +15,7 @@
 //!   heterogeneous sub-accelerators and two independently searched
 //!   networks.
 
+use crate::engine::{parallel_map, pool::divided_threads, EngineConfig, EvalEngine};
 use crate::evaluator::{AccuracyOracle, Evaluator};
 use crate::search::{Nasaic, NasaicConfig};
 use crate::spec::{DesignSpecs, WorkloadId};
@@ -84,7 +85,11 @@ impl fmt::Display for StudyRow {
             self.hardware,
             self.architectures.join(" / "),
             accs.join(" / "),
-            if self.satisfied { "meets specs" } else { "violates specs" }
+            if self.satisfied {
+                "meets specs"
+            } else {
+                "violates specs"
+            }
         )
     }
 }
@@ -98,6 +103,9 @@ pub struct StudyConfig {
     pub hardware_trials: usize,
     /// RNG seed.
     pub seed: u64,
+    /// Engine worker ceiling for the study's search (`0` = all cores; the
+    /// parallel [`run_all_studies`] fan-out sets each study's share).
+    pub engine_threads: usize,
 }
 
 impl StudyConfig {
@@ -107,6 +115,7 @@ impl StudyConfig {
             episodes: 60,
             hardware_trials: 4,
             seed,
+            engine_threads: 0,
         }
     }
 
@@ -116,6 +125,7 @@ impl StudyConfig {
             episodes: 120,
             hardware_trials: 6,
             seed,
+            engine_threads: 0,
         }
     }
 
@@ -124,6 +134,13 @@ impl StudyConfig {
             episodes: self.episodes,
             hardware_trials: self.hardware_trials,
             ..NasaicConfig::paper(self.seed)
+        }
+    }
+
+    fn engine_config(&self) -> EngineConfig {
+        EngineConfig {
+            threads: self.engine_threads,
+            ..EngineConfig::default()
         }
     }
 }
@@ -160,25 +177,39 @@ pub fn run_study(study: AcceleratorStudy, config: &StudyConfig) -> StudyRow {
 }
 
 /// Run all four studies in Table II order.
+///
+/// The studies are independent searches (their seeds are decorrelated by
+/// [`run_study`]), so they fan out in parallel and assemble in paper
+/// order, identical to a serial run.
 pub fn run_all_studies(config: &StudyConfig) -> Vec<StudyRow> {
-    vec![
-        run_study(AcceleratorStudy::NasUnconstrained, config),
-        run_study(AcceleratorStudy::SingleAccelerator, config),
-        run_study(AcceleratorStudy::Homogeneous, config),
-        run_study(AcceleratorStudy::Heterogeneous, config),
-    ]
+    let studies = [
+        AcceleratorStudy::NasUnconstrained,
+        AcceleratorStudy::SingleAccelerator,
+        AcceleratorStudy::Homogeneous,
+        AcceleratorStudy::Heterogeneous,
+    ];
+    // Split the machine between the four studies' engines unless the
+    // caller pinned an explicit ceiling.
+    let mut config = *config;
+    if config.engine_threads == 0 {
+        config.engine_threads = divided_threads(studies.len());
+    }
+    parallel_map(&studies, studies.len(), |&study| run_study(study, &config))
 }
 
 fn run_nas_unconstrained(specs: DesignSpecs, config: &StudyConfig) -> StudyRow {
     // Accuracy-only NAS on CIFAR-10, maximum hardware resources.
     let workload = single_cifar_workload();
-    let evaluator = Evaluator::new(&workload, specs, AccuracyOracle::default());
+    let engine = EvalEngine::with_config(
+        Evaluator::new(&workload, specs, AccuracyOracle::default()),
+        config.engine_config(),
+    );
     let baseline = crate::baselines::NasThenAsic {
         nas_episodes: (config.episodes * 2).max(60),
         hardware_samples: 1,
         seed: config.seed,
     };
-    let architectures = baseline.run_nas(&workload, &evaluator);
+    let architectures = baseline.run_nas_with_engine(&workload, &engine);
     let accelerator = Accelerator::single(SubAccelerator::new(Dataflow::Nvdla, 4096, 64));
     // The single network serves both W3 tasks; evaluate it twice (two
     // instances executing concurrently on the one accelerator).
@@ -186,7 +217,7 @@ fn run_nas_unconstrained(specs: DesignSpecs, config: &StudyConfig) -> StudyRow {
     let w3_evaluator = Evaluator::new(&w3_workload, specs, AccuracyOracle::default());
     let both = vec![architectures[0].clone(), architectures[0].clone()];
     let metrics = w3_evaluator.hardware_metrics(&both, &accelerator);
-    let accuracy = evaluator.accuracies(&architectures)[0];
+    let accuracy = engine.accuracies(&architectures)[0];
     StudyRow {
         study: AcceleratorStudy::NasUnconstrained,
         hardware: accelerator.paper_notation(),
@@ -205,7 +236,9 @@ fn run_single(specs: DesignSpecs, config: &StudyConfig) -> StudyRow {
         num_sub_accelerators: 1,
         ..config.nasaic_config()
     };
-    let outcome = Nasaic::new(workload, search_specs, nasaic_config).run();
+    let outcome = Nasaic::new(workload, search_specs, nasaic_config)
+        .with_engine_config(config.engine_config())
+        .run();
     match outcome.best {
         Some(best) => StudyRow {
             study: AcceleratorStudy::SingleAccelerator,
@@ -237,6 +270,7 @@ fn run_homogeneous(specs: DesignSpecs, config: &StudyConfig) -> StudyRow {
     };
     let outcome = Nasaic::new(workload, search_specs, nasaic_config)
         .with_hardware_space(hardware)
+        .with_engine_config(config.engine_config())
         .run();
     match outcome.best {
         Some(best) => {
@@ -263,7 +297,9 @@ fn run_homogeneous(specs: DesignSpecs, config: &StudyConfig) -> StudyRow {
 }
 
 fn run_heterogeneous(specs: DesignSpecs, config: &StudyConfig) -> StudyRow {
-    let outcome = Nasaic::new(Workload::w3(), specs, config.nasaic_config()).run();
+    let outcome = Nasaic::new(Workload::w3(), specs, config.nasaic_config())
+        .with_engine_config(config.engine_config())
+        .run();
     match outcome.best {
         Some(best) => StudyRow {
             study: AcceleratorStudy::Heterogeneous,
@@ -294,8 +330,15 @@ mod tests {
     #[test]
     fn nas_unconstrained_violates_specs_with_high_accuracy() {
         let row = run_study(AcceleratorStudy::NasUnconstrained, &StudyConfig::fast(1));
-        assert!(!row.satisfied, "unconstrained NAS should violate the W3 specs");
-        assert!(row.best_accuracy() > 0.93, "accuracy {}", row.best_accuracy());
+        assert!(
+            !row.satisfied,
+            "unconstrained NAS should violate the W3 specs"
+        );
+        assert!(
+            row.best_accuracy() > 0.93,
+            "accuracy {}",
+            row.best_accuracy()
+        );
     }
 
     #[test]

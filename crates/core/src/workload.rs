@@ -29,7 +29,10 @@ impl Task {
     ///
     /// Panics if the weight is not in `(0, 1]`.
     pub fn new(name: &str, backbone: Backbone, weight: f64) -> Self {
-        assert!(weight > 0.0 && weight <= 1.0, "task weight must be in (0, 1]");
+        assert!(
+            weight > 0.0 && weight <= 1.0,
+            "task weight must be in (0, 1]"
+        );
         Self {
             name: name.to_string(),
             backbone,
@@ -40,7 +43,11 @@ impl Task {
 
 impl fmt::Display for Task {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} ({}, alpha={})", self.name, self.backbone, self.weight)
+        write!(
+            f,
+            "{} ({}, alpha={})",
+            self.name, self.backbone, self.weight
+        )
     }
 }
 

@@ -181,7 +181,10 @@ mod tests {
         let layer = LayerShape::conv2d("c", 128, 128, 3, 16, 1);
         // Same resources, fully compute-bound utilisation difference aside,
         // row-stationary pays more buffer energy per MAC.
-        let rs = m.layer_cost(&layer, &SubAccelerator::new(Dataflow::RowStationary, 4096, 64));
+        let rs = m.layer_cost(
+            &layer,
+            &SubAccelerator::new(Dataflow::RowStationary, 4096, 64),
+        );
         let shi = m.layer_cost(&layer, &SubAccelerator::new(Dataflow::Shidiannao, 4096, 64));
         assert!(rs.energy_nj > shi.energy_nj);
     }

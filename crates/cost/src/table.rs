@@ -62,10 +62,7 @@ impl NetworkCosts {
     pub fn serial_latency_lower_bound(&self) -> f64 {
         self.layers
             .iter()
-            .filter_map(|row| {
-                row.fastest_sub()
-                    .map(|i| row.per_sub[i].latency_cycles)
-            })
+            .filter_map(|row| row.fastest_sub().map(|i| row.per_sub[i].latency_cycles))
             .sum()
     }
 
@@ -107,7 +104,10 @@ impl WorkloadCosts {
                     .map(|layer| LayerCostRow {
                         layer_name: layer.name.clone(),
                         macs: layer.macs(),
-                        per_sub: subs.iter().map(|sub| model.layer_cost(layer, sub)).collect(),
+                        per_sub: subs
+                            .iter()
+                            .map(|sub| model.layer_cost(layer, sub))
+                            .collect(),
                     })
                     .collect(),
             })
@@ -184,14 +184,22 @@ mod tests {
             .iter()
             .find(|r| r.layer_name == "block3_res0")
             .unwrap();
-        assert_eq!(late_row.fastest_sub(), Some(0), "late ResNet layer should prefer NVDLA");
+        assert_eq!(
+            late_row.fastest_sub(),
+            Some(0),
+            "late ResNet layer should prefer NVDLA"
+        );
         let unet = &costs.networks[1];
         let early_row = unet
             .layers
             .iter()
             .find(|r| r.layer_name == "enc0_conv1")
             .unwrap();
-        assert_eq!(early_row.fastest_sub(), Some(1), "early U-Net layer should prefer Shidiannao");
+        assert_eq!(
+            early_row.fastest_sub(),
+            Some(1),
+            "early U-Net layer should prefer Shidiannao"
+        );
     }
 
     #[test]

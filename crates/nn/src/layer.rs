@@ -192,8 +192,14 @@ impl LayerShape {
         input_size: usize,
         stride: usize,
     ) -> Self {
-        assert!(input_channels > 0, "layer {name}: input channels must be > 0");
-        assert!(output_channels > 0, "layer {name}: output channels must be > 0");
+        assert!(
+            input_channels > 0,
+            "layer {name}: input channels must be > 0"
+        );
+        assert!(
+            output_channels > 0,
+            "layer {name}: output channels must be > 0"
+        );
         assert!(kernel > 0, "layer {name}: kernel must be > 0");
         assert!(input_size > 0, "layer {name}: input size must be > 0");
         assert!(stride > 0, "layer {name}: stride must be > 0");

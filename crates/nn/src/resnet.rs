@@ -133,7 +133,11 @@ impl ResNetConfig {
             }
         }
 
-        layers.push(LayerShape::global_avg_pool("head_pool", channels, resolution));
+        layers.push(LayerShape::global_avg_pool(
+            "head_pool",
+            channels,
+            resolution,
+        ));
         layers.push(LayerShape::dense(
             "classifier",
             channels,

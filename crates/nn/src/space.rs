@@ -101,7 +101,10 @@ impl fmt::Display for DecodeError {
                 position,
                 name,
                 value,
-            } => write!(f, "choice {position} ({name}): value {value} is not an option"),
+            } => write!(
+                f,
+                "choice {position} ({name}): value {value} is not an option"
+            ),
         }
     }
 }
@@ -138,7 +141,10 @@ impl SearchSpace {
     ///
     /// Panics if `choices` is empty.
     pub fn new(name: &str, choices: Vec<ChoicePoint>) -> Self {
-        assert!(!choices.is_empty(), "search space {name} has no choice points");
+        assert!(
+            !choices.is_empty(),
+            "search space {name} has no choice points"
+        );
         Self {
             name: name.to_string(),
             choices,
@@ -369,7 +375,13 @@ mod tests {
     #[test]
     fn decode_rejects_wrong_length() {
         let err = demo_space().decode(&[1]).unwrap_err();
-        assert!(matches!(err, DecodeError::WrongLength { expected: 2, found: 1 }));
+        assert!(matches!(
+            err,
+            DecodeError::WrongLength {
+                expected: 2,
+                found: 1
+            }
+        ));
         assert!(err.to_string().contains("expected 2"));
     }
 
@@ -382,7 +394,10 @@ mod tests {
     #[test]
     fn indices_of_rejects_unknown_value() {
         let err = demo_space().indices_of(&[48, 0]).unwrap_err();
-        assert!(matches!(err, DecodeError::ValueNotInOptions { value: 48, .. }));
+        assert!(matches!(
+            err,
+            DecodeError::ValueNotInOptions { value: 48, .. }
+        ));
     }
 
     #[test]
@@ -421,11 +436,7 @@ mod tests {
         let neighbours = space.neighbours(&[1, 1]);
         assert_eq!(neighbours.len(), 4);
         for n in &neighbours {
-            let diff: usize = n
-                .iter()
-                .zip([1, 1].iter())
-                .filter(|(a, b)| a != b)
-                .count();
+            let diff: usize = n.iter().zip([1, 1].iter()).filter(|(a, b)| a != b).count();
             assert_eq!(diff, 1);
         }
         // Corner candidate has fewer neighbours.

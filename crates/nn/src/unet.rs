@@ -73,7 +73,11 @@ impl UNetConfig {
     ///
     /// Panics if `level >= self.height`.
     pub fn level_filters(&self, level: usize) -> usize {
-        assert!(level < self.height, "level {level} >= height {}", self.height);
+        assert!(
+            level < self.height,
+            "level {level} >= height {}",
+            self.height
+        );
         self.filters[level]
     }
 
@@ -232,11 +236,7 @@ mod tests {
     fn decoder_first_conv_sees_concatenated_channels() {
         let cfg = UNetConfig::from_hyperparameters(Dataset::Nuclei, &[2, 8, 16]);
         let arch = cfg.build();
-        let dec_conv = arch
-            .layers
-            .iter()
-            .find(|l| l.name == "dec0_conv0")
-            .unwrap();
+        let dec_conv = arch.layers.iter().find(|l| l.name == "dec0_conv0").unwrap();
         assert_eq!(dec_conv.input_channels, 16);
         assert_eq!(dec_conv.output_channels, 8);
     }

@@ -99,7 +99,10 @@ impl Controller {
     ///
     /// Panics if `segments` is empty.
     pub fn new(segments: Vec<Segment>, config: ControllerConfig, seed: u64) -> Self {
-        assert!(!segments.is_empty(), "controller needs at least one segment");
+        assert!(
+            !segments.is_empty(),
+            "controller needs at least one segment"
+        );
         let cardinalities: Vec<usize> = segments
             .iter()
             .flat_map(|s| s.cardinalities.iter().copied())
@@ -221,7 +224,10 @@ mod tests {
     #[test]
     fn feedback_shifts_policy_toward_rewarded_candidates() {
         // Reward candidates whose first decision is the largest option.
-        let segments = vec![Segment::new("dnn0", vec![4, 3]), Segment::new("aic0", vec![3])];
+        let segments = vec![
+            Segment::new("dnn0", vec![4, 3]),
+            Segment::new("aic0", vec![3]),
+        ];
         let mut controller = Controller::new(segments, ControllerConfig::default(), 3);
         let mut rng = StdRng::seed_from_u64(12);
         for _ in 0..300 {

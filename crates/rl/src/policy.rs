@@ -34,6 +34,9 @@ pub struct UpdateConfig {
     pub learning_rate: f64,
     /// Entropy-bonus coefficient (0 disables the bonus).
     pub entropy_beta: f64,
+    /// Mean per-step entropy (nats) below which `entropy_beta` is scaled
+    /// up by `floor / entropy` — the anti-collapse guard (0 disables it).
+    pub entropy_floor: f64,
     /// Gradient clipping threshold (absolute value per element).
     pub gradient_clip: f64,
 }
@@ -43,6 +46,7 @@ impl Default for UpdateConfig {
         Self {
             learning_rate: 0.05,
             entropy_beta: 0.01,
+            entropy_floor: 0.0,
             gradient_clip: 5.0,
         }
     }
@@ -76,7 +80,10 @@ impl PolicyNetwork {
     /// Panics if `cardinalities` is empty or contains a zero, or
     /// `hidden_size` is zero.
     pub fn new<R: Rng>(rng: &mut R, cardinalities: Vec<usize>, hidden_size: usize) -> Self {
-        assert!(!cardinalities.is_empty(), "policy needs at least one decision");
+        assert!(
+            !cardinalities.is_empty(),
+            "policy needs at least one decision"
+        );
         assert!(
             cardinalities.iter().all(|&c| c > 0),
             "every decision needs at least one option"
@@ -135,7 +142,11 @@ impl PolicyNetwork {
     /// Run the network forward for a fixed action trajectory, returning per
     /// step (probabilities, cache).
     fn replay(&self, actions: &[usize]) -> Vec<(Vec<f64>, RnnStepCache)> {
-        assert_eq!(actions.len(), self.num_steps(), "trajectory length mismatch");
+        assert_eq!(
+            actions.len(),
+            self.num_steps(),
+            "trajectory length mismatch"
+        );
         let mut out = Vec::with_capacity(actions.len());
         let mut h = self.cell.initial_state();
         let mut prev = None;
@@ -229,11 +240,30 @@ impl PolicyNetwork {
         entropy_beta: f64,
     ) -> PolicyGradients {
         let steps = self.replay(actions);
+        self.gradients_from_steps(&steps, actions, advantage, entropy_beta)
+    }
+
+    /// Backward sweep over an already-replayed trajectory (shared by
+    /// [`compute_gradients`](Self::compute_gradients) and
+    /// [`reinforce_update`](Self::reinforce_update), which also needs the
+    /// replayed probabilities for the entropy-floor guard).
+    fn gradients_from_steps(
+        &self,
+        steps: &[(Vec<f64>, RnnStepCache)],
+        actions: &[usize],
+        advantage: f64,
+        entropy_beta: f64,
+    ) -> PolicyGradients {
         let mut cell_grads = self.cell.zero_gradients();
         let mut head_grads: Vec<(Matrix, Matrix)> = self
             .heads
             .iter()
-            .map(|(u, c)| (Matrix::zeros(u.rows(), u.cols()), Matrix::zeros(c.rows(), c.cols())))
+            .map(|(u, c)| {
+                (
+                    Matrix::zeros(u.rows(), u.cols()),
+                    Matrix::zeros(c.rows(), c.cols()),
+                )
+            })
             .collect();
 
         // Backward sweep over time.
@@ -274,7 +304,24 @@ impl PolicyNetwork {
     /// *ascent* on the objective, implemented by negating before the
     /// optimizer step).
     pub fn reinforce_update(&mut self, actions: &[usize], advantage: f64, config: &UpdateConfig) {
-        let mut grads = self.compute_gradients(actions, advantage, config.entropy_beta);
+        let steps = self.replay(actions);
+        // Anti-collapse guard: when the replayed trajectory's mean entropy
+        // sits below the floor, scale the entropy bonus up in proportion.
+        // The scaled coefficient is a constant within this update, so the
+        // gradient is the exact gradient of the (rescaled) objective.
+        let mut entropy_beta = config.entropy_beta;
+        if config.entropy_floor > 0.0 {
+            let mean_entropy = (steps
+                .iter()
+                .map(|(probabilities, _)| entropy(probabilities))
+                .sum::<f64>()
+                / steps.len().max(1) as f64)
+                .max(1e-3);
+            if mean_entropy < config.entropy_floor {
+                entropy_beta *= config.entropy_floor / mean_entropy;
+            }
+        }
+        let mut grads = self.gradients_from_steps(&steps, actions, advantage, entropy_beta);
         // Clip and negate (optimizers minimise).
         let clip = config.gradient_clip;
         for g in [&mut grads.cell.w_x, &mut grads.cell.w_h, &mut grads.cell.b] {
@@ -383,16 +430,12 @@ mod tests {
         // Finite-difference the objective w.r.t. head 2's weights.
         let mut probe = net.clone();
         let param = probe.head_weights_mut(2).clone();
-        let report = nasaic_tensor::gradcheck::check_gradient(
-            &param,
-            &head_grads[2].0,
-            1e-5,
-            |w| {
+        let report =
+            nasaic_tensor::gradcheck::check_gradient(&param, &head_grads[2].0, 1e-5, |w| {
                 let mut trial = net.clone();
                 *trial.head_weights_mut(2) = w.clone();
                 trial.objective(&actions, 1.0, 0.0)
-            },
-        );
+            });
         assert!(report.passes(1e-4), "{report:?}");
     }
 
@@ -403,16 +446,11 @@ mod tests {
         let grads = net.compute_gradients(&actions, 0.7, 0.0);
         let (cell_grads, _) = PolicyNetwork::gradients_parts(&grads);
         let param = net.clone().cell_mut().w_h.clone();
-        let report = nasaic_tensor::gradcheck::check_gradient(
-            &param,
-            &cell_grads.w_h,
-            1e-5,
-            |w| {
-                let mut trial = net.clone();
-                trial.cell_mut().w_h = w.clone();
-                trial.objective(&actions, 0.7, 0.0)
-            },
-        );
+        let report = nasaic_tensor::gradcheck::check_gradient(&param, &cell_grads.w_h, 1e-5, |w| {
+            let mut trial = net.clone();
+            trial.cell_mut().w_h = w.clone();
+            trial.objective(&actions, 0.7, 0.0)
+        });
         assert!(report.passes(1e-4), "{report:?}");
     }
 
@@ -423,16 +461,12 @@ mod tests {
         let grads = net.compute_gradients(&actions, 0.0, 0.5);
         let (_, head_grads) = PolicyNetwork::gradients_parts(&grads);
         let param = net.heads[0].0.clone();
-        let report = nasaic_tensor::gradcheck::check_gradient(
-            &param,
-            &head_grads[0].0,
-            1e-5,
-            |w| {
+        let report =
+            nasaic_tensor::gradcheck::check_gradient(&param, &head_grads[0].0, 1e-5, |w| {
                 let mut trial = net.clone();
                 *trial.head_weights_mut(0) = w.clone();
                 trial.objective(&actions, 0.0, 0.5)
-            },
-        );
+            });
         assert!(report.passes(1e-4), "{report:?}");
     }
 
@@ -445,7 +479,10 @@ mod tests {
             net.reinforce_update(&actions, 1.0, &UpdateConfig::default());
         }
         let after = net.objective(&actions, 1.0, 0.0);
-        assert!(after > before, "log-prob did not increase: {before} -> {after}");
+        assert!(
+            after > before,
+            "log-prob did not increase: {before} -> {after}"
+        );
     }
 
     #[test]
@@ -457,7 +494,10 @@ mod tests {
             net.reinforce_update(&actions, -1.0, &UpdateConfig::default());
         }
         let after = net.objective(&actions, 1.0, 0.0);
-        assert!(after < before, "log-prob did not decrease: {before} -> {after}");
+        assert!(
+            after < before,
+            "log-prob did not decrease: {before} -> {after}"
+        );
     }
 
     #[test]
@@ -470,7 +510,7 @@ mod tests {
         let config = UpdateConfig {
             learning_rate: 0.05,
             entropy_beta: 0.0,
-            gradient_clip: 5.0,
+            ..UpdateConfig::default()
         };
         let mut baseline = 0.0;
         for _ in 0..400 {

@@ -28,6 +28,16 @@ pub struct ReinforceConfig {
     pub decay_period: u64,
     /// Entropy-bonus coefficient.
     pub entropy_beta: f64,
+    /// Mean per-step policy entropy (nats) below which the entropy bonus
+    /// is scaled up.  RMSProp's normalised steps can drive the softmax
+    /// heads to near-determinism within a handful of strongly penalised
+    /// episodes — before the search has seen a single feasible design —
+    /// after which every episode replays the same stuck trajectory.  When
+    /// the replayed trajectory's mean entropy drops below this floor, the
+    /// effective entropy coefficient grows as `beta * floor / entropy`,
+    /// which reopens exploration instead of letting the policy collapse.
+    /// Set to `0.0` to disable the guard (the literal paper behaviour).
+    pub entropy_floor: f64,
     /// Element-wise gradient clip.
     pub gradient_clip: f64,
     /// Clip applied to the advantage `(R - b)` before the policy-gradient
@@ -47,6 +57,7 @@ impl ReinforceConfig {
             learning_rate_decay: 0.5,
             decay_period: 50,
             entropy_beta: 0.01,
+            entropy_floor: 0.0,
             gradient_clip: 5.0,
             advantage_clip: 2.0,
         }
@@ -59,13 +70,19 @@ impl ReinforceConfig {
     /// The paper quotes an initial RMSProp learning rate of 0.99, which in
     /// practice makes near-unit-size parameter steps and can oscillate on
     /// small policies; this configuration keeps the same structure (EMA
-    /// baseline, step decay, entropy bonus) with a smaller step size and is
-    /// what [`crate::ControllerConfig::default`] uses.  The literal paper
-    /// settings remain available through [`ReinforceConfig::paper`].
+    /// baseline, step decay, entropy bonus) with a smaller step size, a
+    /// stronger entropy bonus and the entropy-floor guard, and is what
+    /// [`crate::ControllerConfig::default`] uses.  Without the guard, a
+    /// run whose first episodes are all spec-infeasible can collapse to a
+    /// deterministic penalised trajectory and stay there for the whole
+    /// search.  The literal paper settings remain available through
+    /// [`ReinforceConfig::paper`].
     pub fn stable() -> Self {
         Self {
-            initial_learning_rate: 0.08,
+            initial_learning_rate: 0.05,
             decay_period: 200,
+            entropy_beta: 0.2,
+            entropy_floor: 0.35,
             ..Self::paper()
         }
     }
@@ -153,6 +170,9 @@ impl ReinforceTrainer {
         let update_config = UpdateConfig {
             learning_rate,
             entropy_beta: self.config.entropy_beta,
+            // Anti-collapse guard, applied by the policy inside its own
+            // replay (see `PolicyNetwork::reinforce_update`).
+            entropy_floor: self.config.entropy_floor,
             gradient_clip: self.config.gradient_clip,
         };
         policy.reinforce_update(actions, advantage, &update_config);
@@ -238,7 +258,13 @@ mod tests {
         let greedy = policy.greedy_episode();
         assert_eq!(greedy[0], 2, "policy failed to find the rewarding arm");
         // The late reward history should be dominated by the good arm.
-        let tail: Vec<f64> = trainer.reward_history().iter().rev().take(50).cloned().collect();
+        let tail: Vec<f64> = trainer
+            .reward_history()
+            .iter()
+            .rev()
+            .take(50)
+            .cloned()
+            .collect();
         let mean_tail = tail.iter().sum::<f64>() / tail.len() as f64;
         assert!(mean_tail > 0.7, "late mean reward {mean_tail}");
     }

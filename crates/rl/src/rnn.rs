@@ -48,7 +48,10 @@ impl RnnCell {
     ///
     /// Panics if either size is zero.
     pub fn new<R: Rng>(rng: &mut R, input_size: usize, hidden_size: usize) -> Self {
-        assert!(input_size > 0 && hidden_size > 0, "cell sizes must be positive");
+        assert!(
+            input_size > 0 && hidden_size > 0,
+            "cell sizes must be positive"
+        );
         Self {
             w_x: init::xavier_uniform(rng, hidden_size, input_size),
             w_h: init::xavier_uniform(rng, hidden_size, hidden_size),

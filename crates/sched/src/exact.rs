@@ -97,9 +97,9 @@ pub fn solve_exact(problem: &HapProblem) -> Option<MappingSolution> {
 
     recurse(problem, &positions, 0, 0.0, &mut assignment, &mut best);
 
-    Some(best.unwrap_or_else(|| {
-        MappingSolution::infeasible(Assignment::uniform(&problem.costs, 0))
-    }))
+    Some(
+        best.unwrap_or_else(|| MappingSolution::infeasible(Assignment::uniform(&problem.costs, 0))),
+    )
 }
 
 #[cfg(test)]
@@ -154,7 +154,10 @@ mod tests {
             let exact = solve_exact(&problem).unwrap();
             let heuristic = solve_heuristic(&problem);
             if exact.feasible {
-                assert!(heuristic.feasible, "heuristic must find a solution when one exists (constraint {constraint})");
+                assert!(
+                    heuristic.feasible,
+                    "heuristic must find a solution when one exists (constraint {constraint})"
+                );
                 assert!(
                     heuristic.energy_nj + 1e-6 >= exact.energy_nj,
                     "heuristic energy {} beats exact {} at constraint {constraint}",

@@ -60,8 +60,7 @@ pub fn solve_heuristic(problem: &HapProblem) -> MappingSolution {
                     if trial_schedule.makespan > problem.latency_constraint {
                         continue;
                     }
-                    let latency_increase =
-                        (trial_schedule.makespan - schedule.makespan).max(1e-9);
+                    let latency_increase = (trial_schedule.makespan - schedule.makespan).max(1e-9);
                     let ratio = energy_saving / latency_increase;
                     let better = match best_move {
                         None => true,
@@ -200,7 +199,10 @@ mod tests {
                 used[s] = true;
             }
         }
-        assert!(used[0] && used[1], "mixed workload should exercise both dataflows");
+        assert!(
+            used[0] && used[1],
+            "mixed workload should exercise both dataflows"
+        );
     }
 
     #[test]

@@ -173,7 +173,11 @@ impl fmt::Display for MappingSolution {
             "mapping: L={:.3e} cycles, E={:.3e} nJ, {}",
             self.latency_cycles,
             self.energy_nj,
-            if self.feasible { "feasible" } else { "infeasible" }
+            if self.feasible {
+                "feasible"
+            } else {
+                "infeasible"
+            }
         )
     }
 }
@@ -233,7 +237,9 @@ mod tests {
         ]);
         let costs = WorkloadCosts::build(&model, &archs, &acc);
         let problem = HapProblem::new(costs.clone(), 1e9);
-        assert!(problem.energy_of(&Assignment::uniform(&costs, 1)).is_infinite());
+        assert!(problem
+            .energy_of(&Assignment::uniform(&costs, 1))
+            .is_infinite());
     }
 
     #[test]

@@ -169,7 +169,10 @@ mod tests {
         for n in 0..problem.num_networks() {
             let mut last_end = 0.0;
             for slot in schedule.slots.iter().filter(|s| s.network == n) {
-                assert!(slot.start + 1e-9 >= last_end, "layer started before its predecessor finished");
+                assert!(
+                    slot.start + 1e-9 >= last_end,
+                    "layer started before its predecessor finished"
+                );
                 last_end = slot.end;
             }
         }
@@ -197,7 +200,10 @@ mod tests {
                 .collect();
             intervals.sort_by(|a, b| a.0.total_cmp(&b.0));
             for w in intervals.windows(2) {
-                assert!(w[1].0 + 1e-9 >= w[0].1, "overlapping execution on sub {sub}");
+                assert!(
+                    w[1].0 + 1e-9 >= w[0].1,
+                    "overlapping execution on sub {sub}"
+                );
             }
         }
     }
@@ -247,11 +253,8 @@ mod tests {
                 .collect(),
         );
         let base = simulate(&problem, &alternating).makespan;
-        let penalised = simulate(
-            &problem.clone().with_switch_penalty(10_000.0),
-            &alternating,
-        )
-        .makespan;
+        let penalised =
+            simulate(&problem.clone().with_switch_penalty(10_000.0), &alternating).makespan;
         assert!(penalised > base);
     }
 

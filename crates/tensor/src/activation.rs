@@ -87,12 +87,7 @@ pub fn log_softmax_at(logits: &[f64], chosen: usize) -> f64 {
     assert!(!logits.is_empty(), "log_softmax_at on empty logits");
     assert!(chosen < logits.len(), "chosen index out of range");
     let max = logits.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-    let log_sum: f64 = logits
-        .iter()
-        .map(|&v| (v - max).exp())
-        .sum::<f64>()
-        .ln()
-        + max;
+    let log_sum: f64 = logits.iter().map(|&v| (v - max).exp()).sum::<f64>().ln() + max;
     logits[chosen] - log_sum
 }
 

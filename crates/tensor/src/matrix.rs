@@ -252,7 +252,11 @@ impl Matrix {
 
     /// Apply a function to every element, returning a new matrix.
     pub fn map<F: Fn(f64) -> f64>(&self, f: F) -> Matrix {
-        Matrix::from_vec(self.rows, self.cols, self.data.iter().map(|&v| f(v)).collect())
+        Matrix::from_vec(
+            self.rows,
+            self.cols,
+            self.data.iter().map(|&v| f(v)).collect(),
+        )
     }
 
     /// Apply a function to every element in place.
@@ -342,14 +346,20 @@ impl Index<(usize, usize)> for Matrix {
     type Output = f64;
 
     fn index(&self, (r, c): (usize, usize)) -> &f64 {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of range");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of range"
+        );
         &self.data[r * self.cols + c]
     }
 }
 
 impl IndexMut<(usize, usize)> for Matrix {
     fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of range");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of range"
+        );
         &mut self.data[r * self.cols + c]
     }
 }
@@ -421,7 +431,10 @@ mod tests {
         let a = Matrix::from_rows(&[&[1.0, 2.0][..], &[3.0, 4.0][..]]);
         let b = Matrix::from_rows(&[&[5.0, 6.0][..], &[7.0, 8.0][..]]);
         let c = a.matmul(&b);
-        assert_eq!(c, Matrix::from_rows(&[&[19.0, 22.0][..], &[43.0, 50.0][..]]));
+        assert_eq!(
+            c,
+            Matrix::from_rows(&[&[19.0, 22.0][..], &[43.0, 50.0][..]])
+        );
     }
 
     #[test]

@@ -32,7 +32,10 @@ fn main() {
     // 4. Inspect the best solution.
     match &outcome.best {
         Some(best) => {
-            println!("accelerator:  {}", best.candidate.accelerator.paper_notation());
+            println!(
+                "accelerator:  {}",
+                best.candidate.accelerator.paper_notation()
+            );
             for (arch, acc) in best
                 .candidate
                 .architectures

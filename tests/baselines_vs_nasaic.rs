@@ -73,7 +73,9 @@ fn hill_climbing_finds_a_compliant_solution_but_rl_matches_or_beats_it() {
     let nasaic = Nasaic::new(workload, specs, NasaicConfig::fast_demo(88)).run();
 
     let climb_best = climb.best_weighted_accuracy();
-    let nasaic_best = nasaic.best_weighted_accuracy().expect("NASAIC compliant solution");
+    let nasaic_best = nasaic
+        .best_weighted_accuracy()
+        .expect("NASAIC compliant solution");
     if let Some(c) = climb_best {
         assert!(
             nasaic_best >= c - 0.03,

@@ -1,0 +1,159 @@
+//! Engine-consistency suite: the cached, parallel [`EvalEngine`] must be an
+//! *observationally invisible* optimisation — bit-identical `Evaluation`s
+//! to direct `Evaluator` calls on every workload, cache hits on repeated
+//! candidate streams, and unchanged search outcomes.
+
+use nasaic::accel::HardwareSpace;
+use nasaic::core::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn random_candidates(workload: &Workload, count: usize, seed: u64) -> Vec<Candidate> {
+    let hardware = HardwareSpace::paper_default(2);
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|i| {
+            let architectures = workload
+                .tasks
+                .iter()
+                .map(|t| {
+                    let space = t.backbone.search_space();
+                    t.backbone
+                        .materialize(&space.sample(&mut rng))
+                        .expect("sampled indices are valid")
+                })
+                .collect();
+            let accelerator = if i % 2 == 0 {
+                hardware.sample(&mut rng)
+            } else {
+                hardware.sample_fully_allocated(&mut rng)
+            };
+            Candidate::from_parts(architectures, accelerator)
+        })
+        .collect()
+}
+
+#[test]
+fn engine_is_bit_identical_to_direct_evaluation_on_all_workloads() {
+    for (workload, id, seed) in [
+        (Workload::w1(), WorkloadId::W1, 101),
+        (Workload::w2(), WorkloadId::W2, 102),
+        (Workload::w3(), WorkloadId::W3, 103),
+    ] {
+        let specs = DesignSpecs::for_workload(id);
+        let evaluator = Evaluator::new(&workload, specs, AccuracyOracle::default());
+        let engine = EvalEngine::new(evaluator.clone());
+        let candidates = random_candidates(&workload, 20, seed);
+
+        // Serial direct evaluation vs cold engine batch vs warm engine
+        // batch: all three must agree to the bit (PartialEq on Evaluation
+        // compares every f64 exactly).
+        let direct: Vec<Evaluation> = candidates.iter().map(|c| evaluator.evaluate(c)).collect();
+        let cold = engine.evaluate_batch(&candidates);
+        let warm = engine.evaluate_batch(&candidates);
+        assert_eq!(direct, cold, "{id}: cold engine diverged from evaluator");
+        assert_eq!(direct, warm, "{id}: warm engine diverged from evaluator");
+
+        // Hardware-only path agrees too.
+        for candidate in &candidates {
+            let (direct_metrics, direct_check) =
+                evaluator.evaluate_hardware(&candidate.architectures, &candidate.accelerator);
+            let (engine_metrics, engine_check) =
+                engine.evaluate_hardware(&candidate.architectures, &candidate.accelerator);
+            assert_eq!(direct_metrics, engine_metrics);
+            assert_eq!(direct_check, engine_check);
+        }
+
+        // Accuracy path agrees element-wise.
+        for candidate in &candidates {
+            assert_eq!(
+                evaluator.accuracies(&candidate.architectures),
+                engine.accuracies(&candidate.architectures)
+            );
+        }
+    }
+}
+
+#[test]
+fn repeated_candidate_stream_hits_the_cache() {
+    let workload = Workload::w3();
+    let specs = DesignSpecs::for_workload(WorkloadId::W3);
+    let engine = EvalEngine::new(Evaluator::new(&workload, specs, AccuracyOracle::default()));
+
+    // An episode-like stream: 10 distinct candidates replayed 5 times.
+    let distinct = random_candidates(&workload, 10, 202);
+    for _ in 0..5 {
+        engine.evaluate_batch(&distinct);
+    }
+
+    let stats = engine.stats();
+    // 50 hardware queries, only 10 of them cold.
+    assert_eq!(stats.hardware_misses, 10);
+    assert_eq!(stats.hardware_hits, 40);
+    // Per-task accuracy queries: 2 tasks x 10 candidates cold, the rest hot.
+    assert_eq!(stats.accuracy_misses, 20);
+    assert_eq!(stats.accuracy_hits, 80);
+    // Overall hit rate of the replayed stream: 80%.
+    assert!(
+        stats.hit_rate() > 0.75,
+        "hit rate {:.2} too low for a replayed stream",
+        stats.hit_rate()
+    );
+}
+
+#[test]
+fn search_outcome_is_unchanged_by_engine_thread_count() {
+    // The engine parallelises within an episode but the controller feedback
+    // stays sequential, so the same seed must give the same outcome no
+    // matter how the batch is scheduled: pin one run to a single worker and
+    // one to many and compare everything.
+    let specs = DesignSpecs::for_workload(WorkloadId::W3);
+    let serial = Nasaic::new(Workload::w3(), specs, NasaicConfig::fast_demo(5))
+        .with_engine_config(EngineConfig {
+            threads: 1,
+            ..EngineConfig::default()
+        })
+        .run();
+    let parallel = Nasaic::new(Workload::w3(), specs, NasaicConfig::fast_demo(5))
+        .with_engine_config(EngineConfig {
+            threads: 8,
+            ..EngineConfig::default()
+        })
+        .run();
+    assert_eq!(
+        serial.best_weighted_accuracy(),
+        parallel.best_weighted_accuracy()
+    );
+    assert_eq!(serial.explored.len(), parallel.explored.len());
+    assert_eq!(serial.reward_history, parallel.reward_history);
+    // And against the auto-sized default.
+    let auto = Nasaic::new(Workload::w3(), specs, NasaicConfig::fast_demo(5)).run();
+    assert_eq!(auto.reward_history, serial.reward_history);
+}
+
+#[test]
+fn baseline_engine_entry_points_match_their_evaluator_wrappers() {
+    use nasaic::core::baselines::MonteCarloSearch;
+
+    let workload = Workload::w3();
+    let specs = DesignSpecs::for_workload(WorkloadId::W3);
+    let evaluator = Evaluator::new(&workload, specs, AccuracyOracle::default());
+    let hardware = HardwareSpace::paper_default(2);
+    let mc = MonteCarloSearch { runs: 40, seed: 9 };
+
+    let through_wrapper = mc.run(&workload, &hardware, &evaluator);
+    let engine = EvalEngine::new(evaluator);
+    let through_engine = mc.run_with_engine(&workload, &hardware, &engine);
+    assert_eq!(
+        through_wrapper.explored.len(),
+        through_engine.explored.len()
+    );
+    assert_eq!(
+        through_wrapper.best_weighted_accuracy(),
+        through_engine.best_weighted_accuracy()
+    );
+    assert_eq!(
+        through_wrapper.spec_compliant.len(),
+        through_engine.spec_compliant.len()
+    );
+}

@@ -35,14 +35,16 @@ fn nasaic_meets_specs_where_successive_optimisation_cannot() {
         !nas.satisfied,
         "the architectures found by accuracy-only NAS should not fit the specs"
     );
-    assert!(nasaic.satisfied, "NASAIC must deliver a spec-compliant solution");
+    assert!(
+        nasaic.satisfied,
+        "NASAIC must deliver a spec-compliant solution"
+    );
 }
 
 #[test]
 fn headline_shape_holds_on_w1() {
     let table = w1_table();
-    let claims =
-        HeadlineClaims::derive(table, WorkloadId::W1).expect("both rows present for W1");
+    let claims = HeadlineClaims::derive(table, WorkloadId::W1).expect("both rows present for W1");
     // Direction of every headline quantity matches the paper:
     //  - NASAIC feasible, NAS->ASIC not;
     //  - energy and area reduced (the paper reports 2.49x and 2.32x);

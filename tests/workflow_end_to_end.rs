@@ -12,7 +12,10 @@ fn w1_co_exploration_end_to_end() {
 
     // The search ran to completion and found compliant solutions.
     assert_eq!(outcome.episodes, NasaicConfig::fast_demo(2024).episodes);
-    let best = outcome.best.as_ref().expect("a spec-compliant solution exists");
+    let best = outcome
+        .best
+        .as_ref()
+        .expect("a spec-compliant solution exists");
 
     // The best solution is internally consistent.
     assert_eq!(best.candidate.architectures.len(), workload.num_tasks());
@@ -23,7 +26,10 @@ fn w1_co_exploration_end_to_end() {
     assert!(best.evaluation.metrics.area_um2 <= specs.area_um2);
 
     // The accelerator respects the resource budget of the paper.
-    assert!(best.candidate.accelerator.is_within(&ResourceBudget::paper()));
+    assert!(best
+        .candidate
+        .accelerator
+        .is_within(&ResourceBudget::paper()));
 
     // Re-evaluating the best candidate from scratch gives the same result
     // (the whole pipeline is deterministic given the candidate).
@@ -101,7 +107,8 @@ fn facade_reexports_are_usable_together() {
         SubAccelerator::new(Dataflow::Shidiannao, 1024, 16),
     ]);
     let model = CostModel::paper_calibrated();
-    let costs = nasaic::cost::WorkloadCosts::build(&model, std::slice::from_ref(&arch), &accelerator);
+    let costs =
+        nasaic::cost::WorkloadCosts::build(&model, std::slice::from_ref(&arch), &accelerator);
     let solution = solve_heuristic(&HapProblem::new(costs, 1.0e6));
     assert!(solution.feasible);
     assert!(solution.energy_nj > 0.0);

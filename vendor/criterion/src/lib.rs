@@ -1,0 +1,252 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! Implements the API subset the NASAIC bench targets use — `Criterion`,
+//! `BenchmarkGroup`, `BenchmarkId`, `Bencher::iter`, the
+//! `criterion_group!` / `criterion_main!` macros and `black_box` — with a
+//! simple wall-clock measurement loop (warm-up, then timed batches until a
+//! time budget is spent) instead of criterion's statistical machinery.
+//! Results are printed as `<group>/<name> ... time: <mean> ns/iter`.
+//!
+//! Filters passed on the command line (`cargo bench -- <substring>`) select
+//! benchmarks by substring match, like the real harness.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target measurement time per benchmark.
+const MEASUREMENT_BUDGET: Duration = Duration::from_millis(400);
+/// Warm-up time per benchmark.
+const WARMUP_BUDGET: Duration = Duration::from_millis(80);
+
+/// Identifier of a parameterised benchmark: `function/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    /// Build an id from a function name and a parameter display value.
+    pub fn new<F: std::fmt::Display, P: std::fmt::Display>(function: F, parameter: P) -> Self {
+        Self {
+            full: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// Build an id from a parameter alone.
+    pub fn from_parameter<P: std::fmt::Display>(parameter: P) -> Self {
+        Self {
+            full: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.full)
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    /// Mean nanoseconds per iteration of the measured closure.
+    mean_ns: f64,
+    iterations: u64,
+}
+
+impl Bencher {
+    /// Measure a closure: warm up, then run timed batches until the
+    /// measurement budget is exhausted.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up, also used to size the timed batches.
+        let warmup_start = Instant::now();
+        let mut warmup_iters: u64 = 0;
+        while warmup_start.elapsed() < WARMUP_BUDGET {
+            black_box(routine());
+            warmup_iters += 1;
+        }
+        let per_iter = warmup_start.elapsed().as_secs_f64() / warmup_iters.max(1) as f64;
+        let batch = ((0.05 / per_iter.max(1e-9)) as u64).clamp(1, 1 << 20);
+
+        let mut total = Duration::ZERO;
+        let mut iterations: u64 = 0;
+        while total < MEASUREMENT_BUDGET {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            total += start.elapsed();
+            iterations += batch;
+        }
+        self.mean_ns = total.as_secs_f64() * 1e9 / iterations as f64;
+        self.iterations = iterations;
+    }
+
+    /// Measure with per-iteration setup (`iter_batched` with small batches).
+    pub fn iter_batched<I, O, S: FnMut() -> I, F: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: F,
+        _size: BatchSize,
+    ) {
+        self.iter_custom(|iters| {
+            let mut total = Duration::ZERO;
+            for _ in 0..iters {
+                let input = setup();
+                let start = Instant::now();
+                black_box(routine(input));
+                total += start.elapsed();
+            }
+            total
+        });
+    }
+
+    /// Measure with a caller-controlled loop.
+    pub fn iter_custom<F: FnMut(u64) -> Duration>(&mut self, mut routine: F) {
+        let probe = routine(1);
+        let per_iter = probe.as_secs_f64().max(1e-9);
+        let iterations = ((MEASUREMENT_BUDGET.as_secs_f64() / per_iter) as u64).clamp(1, 1 << 20);
+        let total = routine(iterations);
+        self.mean_ns = total.as_secs_f64() * 1e9 / iterations as f64;
+        self.iterations = iterations;
+    }
+}
+
+/// Batch sizing hint (accepted for API compatibility, unused).
+#[derive(Debug, Clone, Copy, Default)]
+pub enum BatchSize {
+    /// Small input batches.
+    #[default]
+    SmallInput,
+    /// Large input batches.
+    LargeInput,
+}
+
+fn format_time(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(name: &str, filter: Option<&str>, mut f: F) {
+    if let Some(pattern) = filter {
+        if !name.contains(pattern) {
+            return;
+        }
+    }
+    let mut bencher = Bencher {
+        mean_ns: 0.0,
+        iterations: 0,
+    };
+    f(&mut bencher);
+    println!(
+        "{name:<48} time: {:>12}/iter  ({} iterations)",
+        format_time(bencher.mean_ns),
+        bencher.iterations
+    );
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stand-in is time-budgeted, not
+    /// sample-count-budgeted.
+    pub fn sample_size(&mut self, _samples: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn measurement_time(&mut self, _time: Duration) -> &mut Self {
+        self
+    }
+
+    /// Benchmark a closure under `group/name`.
+    pub fn bench_function<N: std::fmt::Display, F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: N,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, name);
+        run_benchmark(&full, self.criterion.filter.as_deref(), f);
+        self
+    }
+
+    /// Benchmark a closure that receives a borrowed input.
+    pub fn bench_with_input<I: ?Sized, N: std::fmt::Display, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        name: N,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, name);
+        run_benchmark(&full, self.criterion.filter.as_deref(), |b| f(b, input));
+        self
+    }
+
+    /// Finish the group (printing is immediate, so this is a no-op).
+    pub fn finish(self) {}
+}
+
+/// Benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Criterion {
+    /// Read the benchmark-name filter from the command line, skipping the
+    /// flags cargo-bench forwards (e.g. `--bench`).
+    pub fn configure_from_args(mut self) -> Self {
+        self.filter = std::env::args().skip(1).find(|arg| !arg.starts_with('-'));
+        self
+    }
+
+    /// Open a benchmark group.
+    pub fn benchmark_group<N: std::fmt::Display>(&mut self, name: N) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            criterion: self,
+        }
+    }
+
+    /// Benchmark a closure under a bare name.
+    pub fn bench_function<N: std::fmt::Display, F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: N,
+        f: F,
+    ) -> &mut Self {
+        run_benchmark(&name.to_string(), self.filter.as_deref(), f);
+        self
+    }
+}
+
+/// Bundle benchmark functions into a single runner, like criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Entry point running one or more benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,26 @@
+//! Collection strategies.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::Rng;
+use std::ops::Range;
+
+/// Strategy producing `Vec`s with lengths drawn from a range.
+pub struct VecStrategy<S> {
+    element: S,
+    length: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let length = rng.gen_range(self.length.clone());
+        (0..length).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// Build a strategy for `Vec`s of `element` values (`collection::vec`).
+pub fn vec<S: Strategy>(element: S, length: Range<usize>) -> VecStrategy<S> {
+    VecStrategy { element, length }
+}

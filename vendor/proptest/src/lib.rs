@@ -1,0 +1,95 @@
+//! Offline stand-in for the `proptest` property-testing crate.
+//!
+//! Implements the subset the NASAIC test-suite uses — the [`proptest!`]
+//! macro, [`strategy::Strategy`] over numeric ranges / [`strategy::Just`] /
+//! [`prop_oneof!`] unions / [`collection::vec`], `any::<T>()`, and the
+//! `prop_assert*` macros — as a deterministic random-case harness: each
+//! test runs `ProptestConfig::cases` cases with inputs drawn from a ChaCha
+//! RNG seeded from the test name, so failures are reproducible run to run.
+//!
+//! Shrinking is not implemented: a failing case panics with the regular
+//! assertion message (the generated inputs are deterministic, so the case
+//! can be replayed under a debugger by test name alone).
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The glob-import surface used by test files (`use proptest::prelude::*`).
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Run property-test functions over generated inputs.
+///
+/// Supports the same item grammar as the real macro for the forms used in
+/// this workspace: an optional `#![proptest_config(...)]` header followed
+/// by `#[test] fn name(arg in strategy, ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+/// Internal expansion of [`proptest!`] items.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($config:expr) $( $(#[$meta:meta])* fn $name:ident
+        ( $($arg:ident in $strategy:expr),* $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config = $config;
+                let __seed = $crate::test_runner::seed_for(stringify!($name));
+                for __case in 0..__config.cases {
+                    let mut __rng = $crate::test_runner::case_rng(__seed, __case);
+                    $(let $arg =
+                        $crate::strategy::Strategy::generate(&$strategy, &mut __rng);)*
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Choose uniformly among several strategies producing the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $({
+                let __strategy = $strategy;
+                Box::new(move |rng: &mut $crate::test_runner::TestRng| {
+                    $crate::strategy::Strategy::generate(&__strategy, rng)
+                }) as Box<dyn Fn(&mut $crate::test_runner::TestRng) -> _>
+            }),+
+        ])
+    };
+}
+
+/// Property assertion (panics like `assert!` — no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Property equality assertion.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Property inequality assertion.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}

@@ -1,0 +1,68 @@
+//! ChaCha12 block function with rand_chacha's state layout.
+
+/// "expand 32-byte k".
+const CONSTANTS: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+/// Raw ChaCha12 core: 256-bit key, 64-bit block counter, 64-bit stream id
+/// (always zero here, matching `ChaCha12Rng::from_seed`).
+#[derive(Debug, Clone)]
+pub struct ChaCha12Core {
+    key: [u32; 8],
+    counter: u64,
+}
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+impl ChaCha12Core {
+    /// Build the core from a 32-byte seed (key words little-endian).
+    pub fn from_seed(seed: [u8; 32]) -> Self {
+        let mut key = [0u32; 8];
+        for (word, chunk) in key.iter_mut().zip(seed.chunks_exact(4)) {
+            *word = u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
+        }
+        Self { key, counter: 0 }
+    }
+
+    /// Generate the next four 64-byte blocks (rand_chacha's `BlockRng`
+    /// buffer granularity), advancing the counter by four.
+    pub fn generate(&mut self, out: &mut [u32; 64]) {
+        for block in 0..4 {
+            let counter = self.counter.wrapping_add(block as u64);
+            let mut state = [0u32; 16];
+            state[..4].copy_from_slice(&CONSTANTS);
+            state[4..12].copy_from_slice(&self.key);
+            state[12] = counter as u32;
+            state[13] = (counter >> 32) as u32;
+            // state[14..16]: stream id, zero.
+            let initial = state;
+            for _ in 0..6 {
+                // One double round = column round + diagonal round.
+                quarter_round(&mut state, 0, 4, 8, 12);
+                quarter_round(&mut state, 1, 5, 9, 13);
+                quarter_round(&mut state, 2, 6, 10, 14);
+                quarter_round(&mut state, 3, 7, 11, 15);
+                quarter_round(&mut state, 0, 5, 10, 15);
+                quarter_round(&mut state, 1, 6, 11, 12);
+                quarter_round(&mut state, 2, 7, 8, 13);
+                quarter_round(&mut state, 3, 4, 9, 14);
+            }
+            for (slot, (word, init)) in out[block * 16..block * 16 + 16]
+                .iter_mut()
+                .zip(state.iter().zip(initial))
+            {
+                *slot = word.wrapping_add(init);
+            }
+        }
+        self.counter = self.counter.wrapping_add(4);
+    }
+}

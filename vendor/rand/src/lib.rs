@@ -1,0 +1,112 @@
+//! Offline stand-in for the `rand` crate (0.8 API surface used by NASAIC).
+//!
+//! The build environment has no registry access, so this crate reimplements
+//! the exact subset the workspace consumes — [`Rng::gen_range`] on integer
+//! and float ranges, [`Rng::gen_bool`], and [`rngs::StdRng`] seeded through
+//! [`SeedableRng::seed_from_u64`] — with **bit-compatible output streams**:
+//!
+//! * `StdRng` is ChaCha12 with rand_chacha's state layout (64-bit counter,
+//!   zero stream), buffered four blocks at a time like `BlockRng`;
+//! * `seed_from_u64` expands the seed with the PCG32 sequence exactly as
+//!   `rand_core` 0.6 does;
+//! * integer `gen_range` uses the widening-multiply rejection method of
+//!   rand 0.8's `UniformInt::sample_single`;
+//! * float `gen_range` uses the 52-bit `[1, 2)` mantissa trick of
+//!   `UniformFloat`;
+//! * `gen_bool` uses the fixed-point `u64` comparison of `Bernoulli`.
+//!
+//! A seeded run therefore reproduces the trajectories the test-suite
+//! thresholds were calibrated against, and swapping the real `rand` back in
+//! changes nothing but the `Cargo.toml` entry.
+
+pub mod rngs;
+
+mod chacha;
+mod uniform;
+
+pub use uniform::SampleRange;
+
+/// Core RNG interface: raw 32- and 64-bit output words.
+pub trait RngCore {
+    /// Next 32 bits of output.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 bits of output.
+    fn next_u64(&mut self) -> u64;
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        R::next_u32(self)
+    }
+
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        R::next_u64(self)
+    }
+}
+
+/// User-facing sampling interface, blanket-implemented for every
+/// [`RngCore`] like in rand 0.8.
+pub trait Rng: RngCore {
+    /// Sample a value uniformly from a `low..high` or `low..=high` range.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the range is empty.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Return `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `p` is outside `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p = {p} out of range");
+        if p == 1.0 {
+            // Bernoulli's ALWAYS_TRUE marker: no randomness consumed.
+            return true;
+        }
+        // Bernoulli::new: p_int = (p * 2^64) as u64.
+        let p_int = (p * (2.0 * (1u64 << 63) as f64)) as u64;
+        self.next_u64() < p_int
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Deterministic construction from seeds.
+pub trait SeedableRng: Sized {
+    /// Seed bytes consumed by [`SeedableRng::from_seed`].
+    type Seed: AsMut<[u8]> + Default;
+
+    /// Build the generator from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Expand a `u64` into a full seed with the PCG32 sequence rand_core
+    /// 0.6 uses for its default `seed_from_u64`, then build the generator.
+    fn seed_from_u64(mut state: u64) -> Self {
+        // rand_core's default impl: one PCG32 output (XSH-RR) per 4-byte
+        // chunk of the seed, state advanced before each output.
+        fn pcg32(state: &mut u64) -> [u8; 4] {
+            const MUL: u64 = 6_364_136_223_846_793_005;
+            const INC: u64 = 11_634_580_027_462_260_723;
+            *state = state.wrapping_mul(MUL).wrapping_add(INC);
+            let state = *state;
+            let xorshifted = (((state >> 18) ^ state) >> 27) as u32;
+            let rot = (state >> 59) as u32;
+            xorshifted.rotate_right(rot).to_le_bytes()
+        }
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(4) {
+            let bytes = pcg32(&mut state);
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}

@@ -1,0 +1,148 @@
+//! Standard generators.
+
+use crate::chacha::ChaCha12Core;
+use crate::{RngCore, SeedableRng};
+
+/// The standard RNG of rand 0.8: ChaCha12, buffered through a
+/// `BlockRng`-equivalent 64-word buffer so output order (including the
+/// word-straddling `next_u64` case) matches the real implementation.
+#[derive(Debug, Clone)]
+pub struct StdRng {
+    core: ChaCha12Core,
+    results: [u32; 64],
+    index: usize,
+}
+
+impl SeedableRng for StdRng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        Self {
+            core: ChaCha12Core::from_seed(seed),
+            results: [0; 64],
+            // Empty buffer: first use generates.
+            index: 64,
+        }
+    }
+}
+
+impl RngCore for StdRng {
+    fn next_u32(&mut self) -> u32 {
+        if self.index >= 64 {
+            self.core.generate(&mut self.results);
+            self.index = 0;
+        }
+        let value = self.results[self.index];
+        self.index += 1;
+        value
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        // BlockRng::next_u64 semantics from rand_core.
+        let index = self.index;
+        if index < 63 {
+            self.index += 2;
+            (u64::from(self.results[index + 1]) << 32) | u64::from(self.results[index])
+        } else if index >= 64 {
+            self.core.generate(&mut self.results);
+            self.index = 2;
+            (u64::from(self.results[1]) << 32) | u64::from(self.results[0])
+        } else {
+            let low = u64::from(self.results[63]);
+            self.core.generate(&mut self.results);
+            self.index = 1;
+            (u64::from(self.results[0]) << 32) | low
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Rng;
+
+    #[test]
+    fn chacha12_known_answer_zero_key() {
+        // draft-strombergson-chacha-test-vectors-01, ChaCha12, 256-bit
+        // all-zero key, zero IV: keystream block 0 begins
+        // 9b f4 9a 6a 07 55 f9 53 ... — pinned here so any edit to the
+        // block function, counter layout or BlockRng word pairing breaks
+        // loudly instead of silently voiding rand-0.8 stream compatibility.
+        let mut rng = StdRng::from_seed([0u8; 32]);
+        assert_eq!(rng.next_u64(), 0x53f9_5507_6a9a_f49b);
+    }
+
+    #[test]
+    fn seed_from_u64_stream_is_pinned() {
+        // Regression pins for the full seed_from_u64 pipeline (PCG32 seed
+        // expansion -> ChaCha12 -> BlockRng pairing).  Every calibrated
+        // threshold in the workspace test suite depends on these streams.
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(
+            [rng.next_u64(), rng.next_u64(), rng.next_u64()],
+            [
+                0xbb2a_3fb2_cd2c_6f7f,
+                0xc601_7c94_8e27_697b,
+                0x069d_c102_cf31_0a16
+            ]
+        );
+        let mut rng = StdRng::seed_from_u64(2020);
+        assert_eq!(
+            [rng.next_u64(), rng.next_u64(), rng.next_u64()],
+            [
+                0x6aa8_d140_ddbb_4b55,
+                0x44d8_9dce_5ef5_c4b7,
+                0xd256_4456_a9b7_d22f
+            ]
+        );
+    }
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn seeds_produce_distinct_streams() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = rng.gen_range(0..17usize);
+            assert!(v < 17);
+            let f = rng.gen_range(-1.0..1.0);
+            assert!((-1.0..1.0).contains(&f));
+            let g = rng.gen_range(0.25..=0.75);
+            assert!((0.25..=0.75).contains(&g));
+        }
+    }
+
+    #[test]
+    fn gen_bool_matches_probability_roughly() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "hits {hits}");
+        assert!(rng.gen_bool(1.0));
+        assert!(!rng.gen_bool(0.0));
+    }
+
+    #[test]
+    fn uniform_usize_covers_all_values() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut seen = [false; 5];
+        for _ in 0..200 {
+            seen[rng.gen_range(0..5usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

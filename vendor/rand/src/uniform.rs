@@ -1,0 +1,122 @@
+//! Uniform range sampling, mirroring rand 0.8's `UniformInt` /
+//! `UniformFloat` `sample_single` algorithms (same randomness consumption,
+//! same values).
+
+use crate::RngCore;
+use std::ops::{Range, RangeInclusive};
+
+/// A range usable with [`crate::Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draw one uniform sample from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Widening-multiply rejection sampling for 64-bit-wide integer types
+/// (`UniformInt::sample_single` for `u64`-sized `$u_large`).
+#[inline]
+fn sample_int_64<R: RngCore + ?Sized>(low: u64, range: u64, rng: &mut R) -> u64 {
+    if range == 0 {
+        // Full range: every output word is valid.
+        return rng.next_u64();
+    }
+    let zone = (range << range.leading_zeros()).wrapping_sub(1);
+    loop {
+        let v = rng.next_u64();
+        let wide = u128::from(v) * u128::from(range);
+        let (hi, lo) = ((wide >> 64) as u64, wide as u64);
+        if lo <= zone {
+            return low.wrapping_add(hi);
+        }
+    }
+}
+
+macro_rules! int_range_impls {
+    ($($ty:ty),* $(,)?) => {$(
+        impl SampleRange<$ty> for Range<$ty> {
+            #[inline]
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let range = (self.end as u64).wrapping_sub(self.start as u64);
+                sample_int_64(self.start as u64, range, rng) as $ty
+            }
+        }
+
+        impl SampleRange<$ty> for RangeInclusive<$ty> {
+            #[inline]
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "gen_range: empty range");
+                let range = (end as u64)
+                    .wrapping_sub(start as u64)
+                    .wrapping_add(1);
+                sample_int_64(start as u64, range, rng) as $ty
+            }
+        }
+    )*};
+}
+
+// The workspace samples usize/u64/u32/i64/i32 ranges; all are routed through
+// the 64-bit path.  (rand uses the native width for u32 — the only u32
+// ranges in this tree are inside the local proptest stand-in, which defines
+// its own consumption, so stream compatibility is unaffected.)
+int_range_impls!(usize, u64, u32, i64, i32);
+
+/// `UniformFloat<f64>`: 52 random mantissa bits mapped to `[1, 2)`.
+#[inline]
+fn value0_1<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    let value1_2 = f64::from_bits((rng.next_u64() >> 12) | (1023u64 << 52));
+    value1_2 - 1.0
+}
+
+impl SampleRange<f64> for Range<f64> {
+    #[inline]
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "gen_range: empty range");
+        let mut scale = self.end - self.start;
+        loop {
+            let res = value0_1(rng) * scale + self.start;
+            if res < self.end {
+                return res;
+            }
+            // Rounding produced `end` (probability ~2^-52): shrink the
+            // scale and resample, as rand does.
+            scale = f64::from_bits(scale.to_bits() - 1);
+        }
+    }
+}
+
+impl SampleRange<f64> for RangeInclusive<f64> {
+    #[inline]
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        let (start, end) = (*self.start(), *self.end());
+        assert!(start <= end, "gen_range: empty range");
+        // Stretch so the maximum mantissa value lands exactly on `end`.
+        let max_value0_1 = 1.0 - f64::EPSILON;
+        let scale = (end - start) / max_value0_1;
+        let res = value0_1(rng) * scale + start;
+        if res > end {
+            end
+        } else {
+            res
+        }
+    }
+}
+
+impl SampleRange<f32> for Range<f32> {
+    #[inline]
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f32 {
+        assert!(self.start < self.end, "gen_range: empty range");
+        let mut scale = self.end - self.start;
+        loop {
+            // 23 random mantissa bits mapped to [1, 2).
+            let value1_2 = f32::from_bits((rng.next_u32() >> 9) | (127u32 << 23));
+            let res = (value1_2 - 1.0) * scale + self.start;
+            if res < self.end {
+                return res;
+            }
+            // Rounding produced `end` (~2^-23 probability): shrink the
+            // scale and resample, as rand does.
+            scale = f32::from_bits(scale.to_bits() - 1);
+        }
+    }
+}

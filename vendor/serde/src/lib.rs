@@ -1,0 +1,60 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The NASAIC workspace only uses `#[derive(Serialize, Deserialize)]` as a
+//! forward-compatibility marker — nothing in the tree serializes data yet
+//! (there is no `serde_json` and no `T: Serialize` bound anywhere).  The
+//! build environment has no network access, so this crate provides the two
+//! marker traits and re-exports no-op derive macros with the same names.
+//! Swapping in the real `serde` later is a one-line `Cargo.toml` change.
+
+/// Marker trait mirroring `serde::Serialize`.
+///
+/// The no-op derive implements it for the annotated type; the trait has no
+/// required items so derived impls stay empty.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize`.
+///
+/// The lifetime parameter of the real trait is dropped — no call site in
+/// this workspace names it explicitly.
+pub trait Deserialize {}
+
+pub use serde_derive::{Deserialize, Serialize};
+
+macro_rules! impl_markers {
+    ($($ty:ty),* $(,)?) => {
+        $(impl Serialize for $ty {}
+          impl Deserialize for $ty {})*
+    };
+}
+
+impl_markers!(
+    (),
+    bool,
+    char,
+    u8,
+    u16,
+    u32,
+    u64,
+    u128,
+    usize,
+    i8,
+    i16,
+    i32,
+    i64,
+    i128,
+    isize,
+    f32,
+    f64,
+    String
+);
+
+impl<T: Serialize> Serialize for Vec<T> {}
+impl<T: Deserialize> Deserialize for Vec<T> {}
+impl<T: Serialize> Serialize for Option<T> {}
+impl<T: Deserialize> Deserialize for Option<T> {}
+impl<T: Serialize> Serialize for Box<T> {}
+impl<T: Deserialize> Deserialize for Box<T> {}
+impl<T: Serialize> Serialize for &T {}
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {}
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {}

@@ -1,0 +1,46 @@
+//! No-op `Serialize` / `Deserialize` derives for the offline serde stand-in.
+//!
+//! The real serde derives generate (de)serialization code; nothing in this
+//! workspace serializes yet, so these derives only implement the marker
+//! traits for the annotated type.  Implemented without `syn`/`quote` (the
+//! build environment has no registry access): the target's name is the
+//! identifier following the `struct`/`enum`/`union` keyword.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Find the type name in a derive input: the identifier right after the
+/// item keyword, skipping outer attributes and doc comments.
+fn type_name(input: TokenStream) -> Option<String> {
+    let mut saw_keyword = false;
+    for tree in input {
+        if let TokenTree::Ident(ident) = tree {
+            let text = ident.to_string();
+            if saw_keyword {
+                return Some(text);
+            }
+            if matches!(text.as_str(), "struct" | "enum" | "union") {
+                saw_keyword = true;
+            }
+        }
+    }
+    None
+}
+
+fn marker_impl(input: TokenStream, trait_path: &str) -> TokenStream {
+    let name = type_name(input).expect("derive target has a type name");
+    format!("impl {trait_path} for {name} {{}}")
+        .parse()
+        .expect("generated impl parses")
+}
+
+/// No-op stand-in for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "::serde::Serialize")
+}
+
+/// No-op stand-in for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "::serde::Deserialize")
+}
