@@ -42,7 +42,7 @@ impl ResourceBudget {
         }
     }
 
-    /// The paper's budget: 4096 PEs and 64 GB/s (following HERALD [22]).
+    /// The paper's budget: 4096 PEs and 64 GB/s (following HERALD \[22\]).
     pub fn paper() -> Self {
         Self::new(4096, 64)
     }

@@ -12,11 +12,11 @@
 //!
 //! This crate provides:
 //!
-//! * [`dataflow`] — the [`Dataflow`](dataflow::Dataflow) template set;
-//! * [`subaccel`] — a single [`SubAccelerator`](subaccel::SubAccelerator)
+//! * [`dataflow`] — the [`Dataflow`] template set;
+//! * [`subaccel`] — a single [`SubAccelerator`]
 //!   (dataflow, PEs, bandwidth);
 //! * [`accelerator`] — the heterogeneous
-//!   [`Accelerator`](accelerator::Accelerator) built from sub-accelerators;
+//!   [`Accelerator`] built from sub-accelerators;
 //! * [`budget`] — the resource budget (max PEs, max bandwidth) and the
 //!   proportional resource-allocator that fits a proposal to the budget;
 //! * [`space`] — the hardware allocation search space the controller

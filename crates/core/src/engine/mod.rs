@@ -102,6 +102,18 @@ impl CacheStats {
             hits as f64 / total as f64
         }
     }
+
+    /// The counter delta since an earlier snapshot — the cache behaviour
+    /// of just the work between the two [`EvalEngine::stats`] calls (used
+    /// to report per-run rates on a long-lived shared engine).
+    pub fn since(&self, earlier: &CacheStats) -> CacheStats {
+        CacheStats {
+            accuracy_hits: self.accuracy_hits - earlier.accuracy_hits,
+            accuracy_misses: self.accuracy_misses - earlier.accuracy_misses,
+            hardware_hits: self.hardware_hits - earlier.hardware_hits,
+            hardware_misses: self.hardware_misses - earlier.hardware_misses,
+        }
+    }
 }
 
 /// Memoised, batch-parallel wrapper around an [`Evaluator`].
@@ -110,6 +122,26 @@ impl CacheStats {
 /// worker threads of a batch and across the stages of an experiment.
 /// Results are bit-identical to direct `Evaluator` calls — caching and
 /// parallelism change *when* a value is computed, never *what* it is.
+///
+/// # Example
+///
+/// ```
+/// use nasaic_core::prelude::*;
+///
+/// let workload = Workload::w3();
+/// let specs = DesignSpecs::for_workload(WorkloadId::W3);
+/// let engine = EvalEngine::new(Evaluator::new(&workload, specs, AccuracyOracle::default()));
+///
+/// let architectures: Vec<_> = workload
+///     .tasks
+///     .iter()
+///     .map(|task| task.backbone.smallest_architecture())
+///     .collect();
+/// let first = engine.accuracies(&architectures);
+/// let again = engine.accuracies(&architectures);
+/// assert_eq!(first, again); // bit-identical: caching never changes values
+/// assert!(engine.stats().accuracy_hits > 0); // the second call was free
+/// ```
 #[derive(Debug)]
 pub struct EvalEngine {
     evaluator: Evaluator,

@@ -1,0 +1,155 @@
+//! Scenario-generic algorithm comparison: Table I for *any* scenario.
+//!
+//! The paper's Table I compares NASAIC against the successive baselines on
+//! the fixed workloads W1/W2.  This harness generalises that comparison to
+//! any [`Scenario`] (registry built-ins or user configs) and any algorithm
+//! subset, running every algorithm over **one shared
+//! [`EvalEngine`](crate::engine::EvalEngine)** so revisited architectures
+//! and hardware designs are paid for once across the whole comparison.
+
+use crate::scenario::report::RunReport;
+use crate::scenario::value::{self, ConfigValue};
+use crate::scenario::{Algorithm, Scenario};
+use std::fmt;
+
+/// The result of comparing several algorithms on one scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AlgorithmComparison {
+    /// The scenario every algorithm ran on.
+    pub scenario: Scenario,
+    /// One report per algorithm, in run order.
+    pub reports: Vec<RunReport>,
+}
+
+/// Run every algorithm in `algorithms` on the scenario, sharing one
+/// evaluation engine (results are bit-identical to isolated runs; only
+/// the wall-clock changes).
+pub fn run(scenario: &Scenario, algorithms: &[Algorithm]) -> AlgorithmComparison {
+    let engine = scenario.engine();
+    let reports = algorithms
+        .iter()
+        .map(|&algorithm| scenario.run_report_with_engine(algorithm, &engine))
+        .collect();
+    AlgorithmComparison {
+        scenario: scenario.clone(),
+        reports,
+    }
+}
+
+impl AlgorithmComparison {
+    /// The algorithm whose best spec-compliant solution has the highest
+    /// weighted accuracy, if any algorithm found one.
+    pub fn winner(&self) -> Option<&RunReport> {
+        self.reports
+            .iter()
+            .filter(|r| r.best.is_some())
+            .max_by(|a, b| {
+                let acc = |r: &RunReport| {
+                    r.best
+                        .as_ref()
+                        .map(|b| b.weighted_accuracy)
+                        .unwrap_or(f64::MIN)
+                };
+                acc(a).partial_cmp(&acc(b)).expect("accuracies are finite")
+            })
+    }
+
+    /// The comparison as CSV (header + one row per algorithm).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(RunReport::CSV_HEADER);
+        for report in &self.reports {
+            out.push('\n');
+            out.push_str(&report.to_csv_row());
+        }
+        out
+    }
+
+    /// The comparison as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        let mut root = ConfigValue::table();
+        root.insert("scenario", ConfigValue::Str(self.scenario.name.clone()));
+        root.insert(
+            "runs",
+            ConfigValue::Array(self.reports.iter().map(|r| r.to_value()).collect()),
+        );
+        value::to_json(&root)
+    }
+}
+
+impl fmt::Display for AlgorithmComparison {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "comparison on scenario `{}`:", self.scenario.name)?;
+        for report in &self.reports {
+            let best = match &report.best {
+                Some(b) => format!("best {:.4}", b.weighted_accuracy),
+                None => "no compliant solution".to_string(),
+            };
+            writeln!(
+                f,
+                "  {:<16} {:>6} explored, {:>4} compliant, {} ({} ms)",
+                report.algorithm.name(),
+                report.explored,
+                report.spec_compliant,
+                best,
+                report.wall_ms
+            )?;
+        }
+        match self.winner() {
+            Some(winner) => write!(f, "winner: {}", winner.algorithm),
+            None => write!(f, "winner: none (no algorithm met the specs)"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::registry;
+
+    #[test]
+    fn compares_algorithms_over_a_shared_engine() {
+        let mut scenario = registry::get("w3").unwrap();
+        scenario.search.episodes = 5;
+        scenario.search.hardware_trials = 3;
+        scenario.search.bound_samples = 5;
+        scenario.seed = 3;
+        let comparison = run(
+            &scenario,
+            &[
+                Algorithm::Nasaic,
+                Algorithm::MonteCarlo,
+                Algorithm::HillClimb,
+            ],
+        );
+        assert_eq!(comparison.reports.len(), 3);
+        assert_eq!(comparison.reports[0].algorithm, Algorithm::Nasaic);
+        // CSV has a header plus one row per algorithm.
+        assert_eq!(comparison.to_csv().lines().count(), 4);
+        // JSON parses back with one entry per run.
+        let parsed = value::parse_json(&comparison.to_json()).unwrap();
+        assert_eq!(parsed.get("runs").unwrap().as_array().unwrap().len(), 3);
+        let text = comparison.to_string();
+        assert!(text.contains("monte-carlo"), "{text}");
+    }
+
+    #[test]
+    fn shared_engine_results_match_isolated_runs() {
+        // The engine is observationally invisible: running Monte-Carlo
+        // after NASAIC on a warm shared cache must give the same outcome
+        // as running it alone.
+        let mut scenario = registry::get("w3").unwrap();
+        scenario.search.episodes = 4;
+        scenario.search.hardware_trials = 2;
+        scenario.search.bound_samples = 4;
+        scenario.seed = 9;
+        let comparison = run(&scenario, &[Algorithm::Nasaic, Algorithm::MonteCarlo]);
+        let isolated =
+            scenario.run_algorithm_with_engine(Algorithm::MonteCarlo, &scenario.engine());
+        let shared = &comparison.reports[1];
+        assert_eq!(
+            shared.best.as_ref().map(|b| b.weighted_accuracy),
+            isolated.best_weighted_accuracy()
+        );
+        assert_eq!(shared.explored, isolated.explored.len());
+    }
+}

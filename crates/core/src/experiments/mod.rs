@@ -8,11 +8,13 @@
 //! | [`table1`] | Table I — NAS→ASIC vs ASIC→HW-NAS vs NASAIC on the multi-dataset workloads W1 and W2 |
 //! | [`table2`] | Table II — single vs homogeneous vs heterogeneous accelerators on W3 |
 //! | [`headline`] | the headline claims derived from Table I (latency/energy/area reductions, accuracy deltas) |
+//! | [`compare`] | Table I generalised to any scenario and algorithm subset |
 //!
 //! Each experiment accepts an [`ExperimentScale`] so the same code path can
 //! run as a quick smoke test, a benchmark-sized regeneration, or a
 //! paper-scale run.
 
+pub mod compare;
 pub mod fig1;
 pub mod fig6;
 pub mod headline;

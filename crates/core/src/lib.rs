@@ -51,6 +51,7 @@ pub mod experiments;
 pub mod log;
 pub mod penalty;
 pub mod reward;
+pub mod scenario;
 pub mod search;
 pub mod selector;
 pub mod spec;
@@ -66,6 +67,8 @@ pub mod prelude {
     pub use crate::log::{ExploredSolution, SearchOutcome};
     pub use crate::penalty::Penalty;
     pub use crate::reward::Reward;
+    pub use crate::scenario::report::RunReport;
+    pub use crate::scenario::{registry, Algorithm, Scenario};
     pub use crate::search::{Nasaic, NasaicConfig};
     pub use crate::spec::{DesignSpecs, WorkloadId};
     pub use crate::workload::{Task, Workload};

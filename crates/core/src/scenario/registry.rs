@@ -1,0 +1,282 @@
+//! The built-in scenario registry: the paper's three workloads plus
+//! mixed-task scenarios beyond its tables, resolvable by name.
+//!
+//! ```
+//! use nasaic_core::scenario::registry;
+//!
+//! // Paper scenarios and the beyond-paper mixes are both built in.
+//! assert!(registry::names().contains(&"w1"));
+//! assert!(registry::names().contains(&"quad-mix"));
+//! let w1 = registry::get("w1").unwrap();
+//! assert_eq!(w1.tasks.len(), 2);
+//! ```
+
+use super::{ConfigError, HardwareSpec, Scenario, SearchSpec, TaskSpec};
+use crate::spec::{DesignSpecs, WorkloadId};
+use nasaic_accel::Dataflow;
+use nasaic_nn::backbone::Backbone;
+use std::path::Path;
+
+/// Default seed of the built-in scenarios (the repo-wide experiment seed).
+pub const DEFAULT_SEED: u64 = 2020;
+
+/// Names of every built-in scenario, in listing order.
+pub fn names() -> Vec<&'static str> {
+    vec![
+        "w1",
+        "w2",
+        "w3",
+        "quad-mix",
+        "area-constrained",
+        "edge-single",
+        "dla-homogeneous",
+    ]
+}
+
+/// Every built-in scenario, in listing order.
+pub fn all() -> Vec<Scenario> {
+    names()
+        .into_iter()
+        .map(|name| get(name).expect("listed names are built in"))
+        .collect()
+}
+
+/// Look a built-in scenario up by name (case-insensitive).
+pub fn get(name: &str) -> Option<Scenario> {
+    match name.trim().to_ascii_lowercase().as_str() {
+        "w1" => Some(paper_scenario(WorkloadId::W1)),
+        "w2" => Some(paper_scenario(WorkloadId::W2)),
+        "w3" => Some(paper_scenario(WorkloadId::W3)),
+        "quad-mix" => Some(quad_mix()),
+        "area-constrained" => Some(area_constrained()),
+        "edge-single" => Some(edge_single()),
+        "dla-homogeneous" => Some(dla_homogeneous()),
+        _ => None,
+    }
+}
+
+/// Resolve a scenario reference: a built-in name first, then a config file
+/// path (`.toml` / `.json`).
+///
+/// # Errors
+///
+/// Returns a [`ConfigError`] when the reference is neither a known name
+/// nor a readable, valid config file.
+pub fn resolve(reference: &str) -> Result<Scenario, ConfigError> {
+    if let Some(scenario) = get(reference) {
+        return Ok(scenario);
+    }
+    let path = Path::new(reference);
+    if path.exists() {
+        return Scenario::load(path);
+    }
+    Err(ConfigError::schema(format!(
+        "`{reference}` is neither a built-in scenario ({}) nor an existing config file",
+        names().join(", ")
+    )))
+}
+
+/// The paper workload `id` as a scenario (Table I / Table II setup:
+/// paper specs, two sub-accelerators, full budget, NASAIC at `beta = 500`).
+fn paper_scenario(id: WorkloadId) -> Scenario {
+    let (name, description, tasks) = match id {
+        WorkloadId::W1 => (
+            "w1",
+            "Paper W1: CIFAR-10 classification + Nuclei segmentation, equal weights (Table I)",
+            vec![
+                TaskSpec::new("classification-cifar10", Backbone::ResNet9Cifar10, 0.5),
+                TaskSpec::new("segmentation-nuclei", Backbone::UNetNuclei, 0.5),
+            ],
+        ),
+        WorkloadId::W2 => (
+            "w2",
+            "Paper W2: CIFAR-10 + STL-10 classification, equal weights (Table I)",
+            vec![
+                TaskSpec::new("classification-cifar10", Backbone::ResNet9Cifar10, 0.5),
+                TaskSpec::new("classification-stl10", Backbone::ResNet9Stl10, 0.5),
+            ],
+        ),
+        WorkloadId::W3 => (
+            "w3",
+            "Paper W3: two CIFAR-10 classification tasks, equal weights (Table II)",
+            vec![
+                TaskSpec::new("classification-cifar10-a", Backbone::ResNet9Cifar10, 0.5),
+                TaskSpec::new("classification-cifar10-b", Backbone::ResNet9Cifar10, 0.5),
+            ],
+        ),
+    };
+    Scenario {
+        name: name.to_string(),
+        description: description.to_string(),
+        seed: DEFAULT_SEED,
+        tasks,
+        specs: DesignSpecs::for_workload(id),
+        hardware: HardwareSpec::paper(2),
+        search: SearchSpec::paper(),
+    }
+}
+
+/// Beyond the paper: a four-task heterogeneous mix (two classification
+/// datasets, one segmentation dataset, one auxiliary classifier) on three
+/// sub-accelerators under proportionally relaxed specs.
+fn quad_mix() -> Scenario {
+    Scenario {
+        name: "quad-mix".to_string(),
+        description: "Beyond-paper: 4-task heterogeneous mix (CIFAR-10 + STL-10 + Nuclei + \
+                      auxiliary CIFAR-10) on 3 sub-accelerators"
+            .to_string(),
+        seed: DEFAULT_SEED,
+        tasks: vec![
+            TaskSpec::new("classification-cifar10", Backbone::ResNet9Cifar10, 0.3),
+            TaskSpec::new("classification-stl10", Backbone::ResNet9Stl10, 0.3),
+            TaskSpec::new("segmentation-nuclei", Backbone::UNetNuclei, 0.2),
+            TaskSpec::new("classification-cifar10-aux", Backbone::ResNet9Cifar10, 0.2),
+        ],
+        specs: DesignSpecs::new(1.8e6, 6.0e9, 6.0e9),
+        hardware: HardwareSpec::paper(3),
+        search: SearchSpec::paper(),
+    }
+}
+
+/// Beyond the paper: the W1 task mix under a halved area spec — the axis
+/// the paper's Table II varies for W3, applied to the mixed-task workload.
+fn area_constrained() -> Scenario {
+    Scenario {
+        name: "area-constrained".to_string(),
+        description: "Beyond-paper: W1 task mix with the area spec halved to 2e9 um^2".to_string(),
+        seed: DEFAULT_SEED,
+        tasks: vec![
+            TaskSpec::new("classification-cifar10", Backbone::ResNet9Cifar10, 0.5),
+            TaskSpec::new("segmentation-nuclei", Backbone::UNetNuclei, 0.5),
+        ],
+        specs: DesignSpecs::new(8.0e5, 2.0e9, 2.0e9),
+        hardware: HardwareSpec::paper(2),
+        search: SearchSpec::paper(),
+    }
+}
+
+/// Beyond the paper: a single-task, single-sub-accelerator edge deployment
+/// with half the PE / bandwidth budget.
+fn edge_single() -> Scenario {
+    Scenario {
+        name: "edge-single".to_string(),
+        description: "Beyond-paper: single CIFAR-10 task on one sub-accelerator with a \
+                      halved 2048-PE / 32-GB/s budget"
+            .to_string(),
+        seed: DEFAULT_SEED,
+        tasks: vec![TaskSpec::new(
+            "classification-cifar10",
+            Backbone::ResNet9Cifar10,
+            1.0,
+        )],
+        specs: DesignSpecs::new(4.0e5, 1.0e9, 2.0e9),
+        hardware: HardwareSpec {
+            sub_accelerators: 1,
+            max_pes: 2048,
+            max_bandwidth_gbps: 32,
+            dataflows: Dataflow::all().to_vec(),
+        },
+        search: SearchSpec::paper(),
+    }
+}
+
+/// Beyond the paper: the W2 task mix on a homogeneous NVDLA-only die —
+/// Table II's homogeneous study transplanted to a multi-dataset workload.
+fn dla_homogeneous() -> Scenario {
+    Scenario {
+        name: "dla-homogeneous".to_string(),
+        description: "Beyond-paper: W2 task mix on two identical NVDLA-style sub-accelerators \
+                      (homogeneous controller mode)"
+            .to_string(),
+        seed: DEFAULT_SEED,
+        tasks: vec![
+            TaskSpec::new("classification-cifar10", Backbone::ResNet9Cifar10, 0.5),
+            TaskSpec::new("classification-stl10", Backbone::ResNet9Stl10, 0.5),
+        ],
+        specs: DesignSpecs::for_workload(WorkloadId::W2),
+        hardware: HardwareSpec {
+            dataflows: vec![Dataflow::Nvdla],
+            ..HardwareSpec::paper(2)
+        },
+        search: SearchSpec {
+            homogeneous: true,
+            ..SearchSpec::paper()
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::Workload;
+
+    #[test]
+    fn every_builtin_is_resolvable_and_valid() {
+        for name in names() {
+            let scenario = get(name).unwrap_or_else(|| panic!("{name} missing"));
+            assert_eq!(scenario.name, name);
+            assert!(!scenario.description.is_empty(), "{name}");
+            // The derived run inputs must construct without panicking.
+            let workload = scenario.workload();
+            assert_eq!(workload.num_tasks(), scenario.tasks.len());
+            let hardware = scenario.hardware_space();
+            assert_eq!(
+                hardware.num_sub_accelerators(),
+                scenario.hardware.sub_accelerators
+            );
+            // Controller segments exist for every task and sub-accelerator.
+            let segments = workload.controller_segments(&hardware);
+            assert_eq!(
+                segments.len(),
+                scenario.tasks.len() + scenario.hardware.sub_accelerators
+            );
+        }
+    }
+
+    #[test]
+    fn paper_scenarios_match_hardcoded_workloads() {
+        assert_eq!(get("w1").unwrap().workload(), Workload::w1());
+        assert_eq!(get("w2").unwrap().workload(), Workload::w2());
+        assert_eq!(get("w3").unwrap().workload(), Workload::w3());
+        assert_eq!(
+            get("W2").unwrap().specs,
+            DesignSpecs::for_workload(WorkloadId::W2)
+        );
+    }
+
+    #[test]
+    fn at_least_three_beyond_paper_scenarios_ship() {
+        let beyond: Vec<_> = names()
+            .into_iter()
+            .filter(|n| !matches!(*n, "w1" | "w2" | "w3"))
+            .collect();
+        assert!(beyond.len() >= 3, "{beyond:?}");
+    }
+
+    #[test]
+    fn resolve_prefers_names_and_falls_back_to_paths() {
+        assert_eq!(resolve("w3").unwrap().name, "w3");
+        let err = resolve("no-such-scenario").unwrap_err();
+        assert!(err.message.contains("neither"), "{err}");
+
+        let dir = std::env::temp_dir().join("nasaic-registry-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("custom.toml");
+        let mut custom = get("edge-single").unwrap();
+        custom.name = "custom-edge".to_string();
+        std::fs::write(&path, custom.to_toml_string()).unwrap();
+        let loaded = resolve(path.to_str().unwrap()).unwrap();
+        assert_eq!(loaded, custom);
+    }
+
+    #[test]
+    fn homogeneous_and_restricted_dataflow_mixes_are_represented() {
+        let dla = get("dla-homogeneous").unwrap();
+        assert!(dla.search.homogeneous);
+        assert_eq!(dla.hardware.dataflows, vec![Dataflow::Nvdla]);
+        let quad = get("quad-mix").unwrap();
+        assert_eq!(quad.tasks.len(), 4);
+        let total: f64 = quad.tasks.iter().map(|t| t.weight).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+}

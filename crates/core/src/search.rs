@@ -124,8 +124,8 @@ impl Nasaic {
     /// fewer sub-accelerators — used by the Table II studies).
     ///
     /// The evaluator is untouched — it does not depend on the hardware
-    /// space — so this builder composes with [`with_evaluator`]
-    /// (Self::with_evaluator) in either order.
+    /// space — so this builder composes with
+    /// [`with_evaluator`](Self::with_evaluator) in either order.
     pub fn with_hardware_space(mut self, hardware: HardwareSpace) -> Self {
         self.hardware = hardware;
         self
@@ -210,11 +210,21 @@ impl Nasaic {
     /// episodes); controller feedback stays strictly sequential, so a run
     /// is bit-deterministic for a seed regardless of thread count.
     pub fn run(&self) -> SearchOutcome {
+        self.run_with_engine(&self.engine)
+    }
+
+    /// [`run`](Self::run) through an external shared engine, so several
+    /// searches (e.g. the algorithms of a `nasaic compare` run) reuse one
+    /// warm cache.  The engine is observationally invisible: the outcome
+    /// is bit-identical to [`run`](Self::run) regardless of what the
+    /// caches already hold, as long as the engine wraps an evaluator for
+    /// the same workload, specs and oracle.
+    pub fn run_with_engine(&self, engine: &EvalEngine) -> SearchOutcome {
         let mut rng = StdRng::seed_from_u64(self.config.seed ^ 0x00c0_ffee);
         let bounds = PenaltyBounds::estimate_with_engine(
             &self.workload,
             &self.hardware,
-            &self.engine,
+            engine,
             &self.specs,
             self.config.bound_samples,
             self.config.seed,
@@ -264,7 +274,7 @@ impl Nasaic {
                 .map(|c| c.architectures.clone());
             // All of the episode's hardware designs are independent:
             // evaluate them as one parallel, cached batch.
-            let hardware_evaluations = self.engine.evaluate_hardware_batch(&candidates);
+            let hardware_evaluations = engine.evaluate_hardware_batch(&candidates);
             let any_meets_specs = hardware_evaluations
                 .iter()
                 .flatten()
@@ -273,18 +283,14 @@ impl Nasaic {
             // Early pruning: skip the accuracy evaluation when no hardware
             // design of the episode can satisfy the specs.
             let accuracies = if selector.should_train(any_meets_specs) {
-                architectures
-                    .as_ref()
-                    .map(|archs| self.engine.accuracies(archs))
+                architectures.as_ref().map(|archs| engine.accuracies(archs))
             } else {
                 None
             };
             if accuracies.is_none() {
                 outcome.pruned_episodes += 1;
             }
-            let weighted = accuracies
-                .as_ref()
-                .map(|a| self.engine.weighted_accuracy(a));
+            let weighted = accuracies.as_ref().map(|a| engine.weighted_accuracy(a));
 
             for (step, (sample, candidate)) in episode_samples.iter().zip(candidates).enumerate() {
                 let Some(candidate) = candidate else {

@@ -25,6 +25,20 @@ impl fmt::Display for WorkloadId {
     }
 }
 
+impl WorkloadId {
+    /// Parse a paper workload identifier from a (case-insensitive) name.
+    /// Returns `None` for anything that is not `w1`/`w2`/`w3` — custom
+    /// workloads and scenarios have no paper identifier.
+    pub fn from_name(name: &str) -> Option<WorkloadId> {
+        match name.trim().to_ascii_lowercase().as_str() {
+            "w1" => Some(WorkloadId::W1),
+            "w2" => Some(WorkloadId::W2),
+            "w3" => Some(WorkloadId::W3),
+            _ => None,
+        }
+    }
+}
+
 /// User-given design specs: upper bounds on latency `LS`, energy `ES` and
 /// area `AS`.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]

@@ -52,56 +52,75 @@ impl fmt::Display for Task {
 }
 
 /// A multi-task workload `W = <T_1, ..., T_m>`.
+///
+/// A workload is identified by a free-form `name` — the paper's `W1`–`W3`
+/// tables are just three well-known names — so arbitrary task vectors flow
+/// through the controller, evaluator, baselines and experiments without a
+/// closed enum in the way.  [`Workload::paper_id`] recovers the paper
+/// identifier when the name happens to be one of the paper's.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Workload {
-    /// Optional paper workload identifier (`W1`/`W2`/`W3`).
-    pub id: Option<WorkloadId>,
+    /// Workload name (`"W1"`..`"W3"` for the paper's tables, a scenario
+    /// name, or `"custom"`).
+    pub name: String,
     /// The tasks, in order.
     pub tasks: Vec<Task>,
 }
 
 impl Workload {
-    /// Create a workload from tasks.
+    /// Create an anonymous (`"custom"`) workload from tasks.
     ///
     /// # Panics
     ///
     /// Panics if `tasks` is empty.
     pub fn new(tasks: Vec<Task>) -> Self {
+        Self::named("custom", tasks)
+    }
+
+    /// Create a named workload from tasks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tasks` is empty.
+    pub fn named(name: &str, tasks: Vec<Task>) -> Self {
         assert!(!tasks.is_empty(), "workload needs at least one task");
-        Self { id: None, tasks }
+        Self {
+            name: name.to_string(),
+            tasks,
+        }
     }
 
     /// W1: CIFAR-10 classification + Nuclei segmentation, equal weights.
     pub fn w1() -> Self {
-        Self {
-            id: Some(WorkloadId::W1),
-            tasks: vec![
+        Self::named(
+            "W1",
+            vec![
                 Task::new("classification-cifar10", Backbone::ResNet9Cifar10, 0.5),
                 Task::new("segmentation-nuclei", Backbone::UNetNuclei, 0.5),
             ],
-        }
+        )
     }
 
     /// W2: CIFAR-10 + STL-10 classification, equal weights.
     pub fn w2() -> Self {
-        Self {
-            id: Some(WorkloadId::W2),
-            tasks: vec![
+        Self::named(
+            "W2",
+            vec![
                 Task::new("classification-cifar10", Backbone::ResNet9Cifar10, 0.5),
                 Task::new("classification-stl10", Backbone::ResNet9Stl10, 0.5),
             ],
-        }
+        )
     }
 
     /// W3: two CIFAR-10 classification tasks, equal weights.
     pub fn w3() -> Self {
-        Self {
-            id: Some(WorkloadId::W3),
-            tasks: vec![
+        Self::named(
+            "W3",
+            vec![
                 Task::new("classification-cifar10-a", Backbone::ResNet9Cifar10, 0.5),
                 Task::new("classification-cifar10-b", Backbone::ResNet9Cifar10, 0.5),
             ],
-        }
+        )
     }
 
     /// The workload for a paper identifier.
@@ -111,6 +130,44 @@ impl Workload {
             WorkloadId::W2 => Self::w2(),
             WorkloadId::W3 => Self::w3(),
         }
+    }
+
+    /// The workload a scenario declares: one [`Task`] per scenario task,
+    /// named after the scenario (canonicalised to the paper's `W1`–`W3`
+    /// spelling when the scenario is one of the paper workloads).
+    ///
+    /// ```
+    /// use nasaic_core::scenario::registry;
+    /// use nasaic_core::workload::Workload;
+    ///
+    /// let scenario = registry::get("w1").expect("w1 is a built-in");
+    /// // The declarative path reproduces the hardcoded constructor exactly.
+    /// assert_eq!(Workload::from_scenario(&scenario), Workload::w1());
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scenario declares no tasks (a parsed scenario is
+    /// validated before this point).
+    pub fn from_scenario(scenario: &crate::scenario::Scenario) -> Self {
+        let name = match WorkloadId::from_name(&scenario.name) {
+            Some(id) => id.to_string(),
+            None => scenario.name.clone(),
+        };
+        Self::named(
+            &name,
+            scenario
+                .tasks
+                .iter()
+                .map(|t| Task::new(&t.name, t.backbone, t.weight))
+                .collect(),
+        )
+    }
+
+    /// The paper identifier of this workload, when its name is one of the
+    /// paper's three (`W1`/`W2`/`W3`, case-insensitive).
+    pub fn paper_id(&self) -> Option<WorkloadId> {
+        WorkloadId::from_name(&self.name)
     }
 
     /// Number of tasks `m`.
@@ -151,10 +208,7 @@ impl Workload {
 
 impl fmt::Display for Workload {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self.id {
-            Some(id) => write!(f, "{id} ({} tasks)", self.num_tasks()),
-            None => write!(f, "custom workload ({} tasks)", self.num_tasks()),
-        }
+        write!(f, "{} ({} tasks)", self.name, self.num_tasks())
     }
 }
 
@@ -174,7 +228,7 @@ mod tests {
         let w1 = Workload::w1();
         assert_eq!(w1.tasks[0].backbone, Backbone::ResNet9Cifar10);
         assert_eq!(w1.tasks[1].backbone, Backbone::UNetNuclei);
-        assert_eq!(w1.id, Some(WorkloadId::W1));
+        assert_eq!(w1.paper_id(), Some(WorkloadId::W1));
     }
 
     #[test]
@@ -202,8 +256,15 @@ mod tests {
     #[test]
     fn for_id_round_trips() {
         for id in [WorkloadId::W1, WorkloadId::W2, WorkloadId::W3] {
-            assert_eq!(Workload::for_id(id).id, Some(id));
+            assert_eq!(Workload::for_id(id).paper_id(), Some(id));
         }
+    }
+
+    #[test]
+    fn custom_names_have_no_paper_id() {
+        let custom = Workload::named("quad-mix", vec![Task::new("x", Backbone::UNetNuclei, 1.0)]);
+        assert_eq!(custom.paper_id(), None);
+        assert!(custom.to_string().contains("quad-mix"));
     }
 
     #[test]

@@ -22,6 +22,36 @@ pub enum Backbone {
 }
 
 impl Backbone {
+    /// The stable machine-readable name of this backbone, used by scenario
+    /// configs and round-tripped by [`Backbone::from_name`].
+    pub fn name(&self) -> &'static str {
+        match self {
+            Backbone::ResNet9Cifar10 => "resnet9-cifar10",
+            Backbone::ResNet9Stl10 => "resnet9-stl10",
+            Backbone::UNetNuclei => "unet-nuclei",
+        }
+    }
+
+    /// Look a backbone up by its stable name (case-insensitive; `_` and `/`
+    /// are accepted in place of `-`).  Inverse of [`Backbone::name`].
+    ///
+    /// ```
+    /// use nasaic_nn::backbone::Backbone;
+    ///
+    /// assert_eq!(Backbone::from_name("unet-nuclei"), Some(Backbone::UNetNuclei));
+    /// assert_eq!(Backbone::from_name("ResNet9_CIFAR10"), Some(Backbone::ResNet9Cifar10));
+    /// assert_eq!(Backbone::from_name("vgg16"), None);
+    /// ```
+    pub fn from_name(name: &str) -> Option<Backbone> {
+        let canonical: String = name
+            .trim()
+            .to_ascii_lowercase()
+            .chars()
+            .map(|c| if c == '_' || c == '/' { '-' } else { c })
+            .collect();
+        Backbone::all().into_iter().find(|b| b.name() == canonical)
+    }
+
     /// The dataset this backbone is evaluated on.
     pub fn dataset(&self) -> Dataset {
         match self {
@@ -155,6 +185,18 @@ mod tests {
     #[test]
     fn display_is_informative() {
         assert_eq!(Backbone::UNetNuclei.to_string(), "U-Net/Nuclei");
+    }
+
+    #[test]
+    fn name_round_trips_through_from_name() {
+        for backbone in Backbone::all() {
+            assert_eq!(Backbone::from_name(backbone.name()), Some(backbone));
+        }
+        assert_eq!(
+            Backbone::from_name(" RESNET9_STL10 "),
+            Some(Backbone::ResNet9Stl10)
+        );
+        assert_eq!(Backbone::from_name("unknown-backbone"), None);
     }
 
     #[test]

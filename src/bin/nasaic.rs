@@ -1,0 +1,19 @@
+//! The `nasaic` binary: a thin wrapper over [`nasaic::cli`].
+
+use std::io::Write;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match nasaic::cli::run_command(&args) {
+        Ok(output) => {
+            // A consumer like `head` may close the pipe early; that is not
+            // an error worth panicking over.
+            let mut stdout = std::io::stdout().lock();
+            let _ = writeln!(stdout, "{output}");
+        }
+        Err(error) => {
+            eprintln!("error: {error}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,492 @@
+//! The `nasaic` command-line runner: scenarios from the registry or from
+//! TOML/JSON config files, executed through the shared evaluation engine.
+//!
+//! The parsing and execution live in this library module (the
+//! `src/bin/nasaic.rs` binary is a three-line wrapper) so the whole CLI is
+//! exercisable from integration tests without spawning processes.
+//!
+//! ```text
+//! nasaic run --scenario <name|path> [--budget-episodes N] [--seed N]
+//!            [--algorithm NAME] [--format text|json|csv] [--output FILE]
+//! nasaic compare --scenario <name|path> [--algorithms a,b,c] [...]
+//! nasaic list-scenarios [--format text|json]
+//! nasaic show --scenario <name|path> [--format toml|json]
+//! ```
+
+use nasaic_core::experiments::compare;
+use nasaic_core::scenario::report::RunReport;
+use nasaic_core::scenario::value::{self, ConfigValue};
+use nasaic_core::scenario::{registry, Algorithm, ConfigError, Scenario};
+use std::fmt;
+use std::str::FromStr;
+
+/// A CLI failure: bad usage or a scenario/config error.  [`fmt::Display`]
+/// renders the message shown on stderr.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CliError {
+    message: String,
+}
+
+impl CliError {
+    fn new(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<ConfigError> for CliError {
+    fn from(e: ConfigError) -> Self {
+        CliError::new(e.to_string())
+    }
+}
+
+/// Top-level usage text (also the output of `nasaic help`); the built-in
+/// list comes from the registry so it never goes stale.
+pub fn usage() -> String {
+    format!(
+        "\
+nasaic — neural architecture / ASIC accelerator co-exploration (DAC 2020)
+
+USAGE:
+    nasaic <COMMAND> [OPTIONS]
+
+COMMANDS:
+    run             Run one scenario's declared search algorithm
+    compare         Run several algorithms on one scenario over a shared engine
+    list-scenarios  List the built-in scenario registry
+    show            Print a scenario's config (authoring starting point)
+    help            Show this message
+
+OPTIONS:
+    --scenario <name|path>   Registry name or path to a .toml/.json config
+    --budget-episodes <N>    Override the scenario's episode budget
+    --seed <N>               Override the scenario's RNG seed
+    --algorithm <name>       Override the scenario's algorithm (run/show)
+    --algorithms <a,b,..>    Comma-separated algorithm list (compare; default all)
+    --format <fmt>           text|json|csv (run/compare), text|json (list), toml|json (show)
+    --output <file>          Write the result there instead of stdout
+
+Scenario schema: docs/scenarios.md.  Built-ins: {}.",
+        registry::names().join(" ")
+    )
+}
+
+/// Output format of `run` / `compare` / `list-scenarios` / `show`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Format {
+    Text,
+    Json,
+    Csv,
+    Toml,
+}
+
+impl Format {
+    fn parse(text: &str, allowed: &[Format], ctx: &str) -> Result<Format, CliError> {
+        let format = match text.trim().to_ascii_lowercase().as_str() {
+            "text" => Format::Text,
+            "json" => Format::Json,
+            "csv" => Format::Csv,
+            "toml" => Format::Toml,
+            other => return Err(CliError::new(format!("unknown format `{other}`"))),
+        };
+        if !allowed.contains(&format) {
+            return Err(CliError::new(format!(
+                "format `{text}` is not valid for {ctx}"
+            )));
+        }
+        Ok(format)
+    }
+}
+
+/// Parsed command-line options (shared by all subcommands; each declares
+/// the subset that applies via [`Options::ensure_only`]).
+#[derive(Debug, Default)]
+struct Options {
+    scenario: Option<String>,
+    budget_episodes: Option<usize>,
+    seed: Option<u64>,
+    algorithm: Option<String>,
+    algorithms: Option<String>,
+    format: Option<String>,
+    output: Option<String>,
+    /// The flag names actually given, for applicability checks.
+    provided: Vec<String>,
+}
+
+impl Options {
+    fn parse(args: &[String]) -> Result<Self, CliError> {
+        let mut options = Options::default();
+        let mut iter = args.iter();
+        while let Some(flag) = iter.next() {
+            let mut take = || {
+                iter.next()
+                    .cloned()
+                    .ok_or_else(|| CliError::new(format!("`{flag}` needs a value")))
+            };
+            match flag.as_str() {
+                "--scenario" => options.scenario = Some(take()?),
+                "--budget-episodes" => {
+                    let text = take()?;
+                    options.budget_episodes = Some(text.parse().map_err(|_| {
+                        CliError::new(format!(
+                            "--budget-episodes needs a positive integer, got `{text}`"
+                        ))
+                    })?)
+                }
+                "--seed" => {
+                    let text = take()?;
+                    let seed: u64 = text.parse().map_err(|_| {
+                        CliError::new(format!("--seed needs a non-negative integer, got `{text}`"))
+                    })?;
+                    // The config format stores integers as i64, so larger
+                    // seeds could not round-trip through `show`/config
+                    // files; reject them up front.
+                    if seed > i64::MAX as u64 {
+                        return Err(CliError::new(format!(
+                            "--seed must be at most {} so scenario configs round-trip",
+                            i64::MAX
+                        )));
+                    }
+                    options.seed = Some(seed);
+                }
+                "--algorithm" => options.algorithm = Some(take()?),
+                "--algorithms" => options.algorithms = Some(take()?),
+                "--format" => options.format = Some(take()?),
+                "--output" => options.output = Some(take()?),
+                other => {
+                    return Err(CliError::new(format!(
+                        "unknown option `{other}` (see `nasaic help`)"
+                    )))
+                }
+            }
+            options.provided.push(flag.clone());
+        }
+        Ok(options)
+    }
+
+    /// Error out on flags the subcommand does not use, instead of silently
+    /// ignoring them (e.g. `compare --algorithm` — a typo for
+    /// `--algorithms` — must not run all six algorithms).
+    fn ensure_only(&self, command: &str, allowed: &[&str]) -> Result<(), CliError> {
+        for flag in &self.provided {
+            if !allowed.contains(&flag.as_str()) {
+                return Err(CliError::new(format!(
+                    "`{flag}` does not apply to `nasaic {command}` (allowed: {})",
+                    allowed.join(", ")
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Resolve the scenario reference and apply the override flags.
+    fn scenario(&self) -> Result<Scenario, CliError> {
+        let reference = self
+            .scenario
+            .as_deref()
+            .ok_or_else(|| CliError::new("missing `--scenario <name|path>`"))?;
+        let mut scenario = registry::resolve(reference)?;
+        if let Some(episodes) = self.budget_episodes {
+            if episodes == 0 {
+                return Err(CliError::new("--budget-episodes must be at least 1"));
+            }
+            scenario.search.episodes = episodes;
+        }
+        if let Some(seed) = self.seed {
+            scenario.seed = seed;
+        }
+        if let Some(name) = &self.algorithm {
+            scenario.search.algorithm = Algorithm::from_str(name)?;
+        }
+        Ok(scenario)
+    }
+}
+
+/// Run the CLI on already-split arguments (everything after the program
+/// name) and return the output text the binary prints to stdout.
+///
+/// # Errors
+///
+/// Returns a [`CliError`] with the message the binary prints to stderr
+/// (exit code 2).
+pub fn run_command(args: &[String]) -> Result<String, CliError> {
+    let (command, rest) = match args.split_first() {
+        None => return Ok(usage()),
+        Some((first, rest)) => (first.as_str(), rest),
+    };
+    let options = Options::parse(rest)?;
+    let output = match command {
+        "run" => cmd_run(&options)?,
+        "compare" => cmd_compare(&options)?,
+        "list-scenarios" => cmd_list(&options)?,
+        "show" => cmd_show(&options)?,
+        "help" | "--help" | "-h" => usage(),
+        other => {
+            return Err(CliError::new(format!(
+                "unknown command `{other}` (see `nasaic help`)"
+            )))
+        }
+    };
+    match &options.output {
+        None => Ok(output),
+        Some(path) => {
+            std::fs::write(path, format!("{output}\n"))
+                .map_err(|e| CliError::new(format!("cannot write {path}: {e}")))?;
+            Ok(format!("wrote {path}"))
+        }
+    }
+}
+
+fn cmd_run(options: &Options) -> Result<String, CliError> {
+    options.ensure_only(
+        "run",
+        &[
+            "--scenario",
+            "--budget-episodes",
+            "--seed",
+            "--algorithm",
+            "--format",
+            "--output",
+        ],
+    )?;
+    let scenario = options.scenario()?;
+    let format = Format::parse(
+        options.format.as_deref().unwrap_or("text"),
+        &[Format::Text, Format::Json, Format::Csv],
+        "run",
+    )?;
+    let report = scenario.run_report();
+    Ok(match format {
+        Format::Text => report.to_string(),
+        Format::Json => report.to_json(),
+        Format::Csv => format!("{}\n{}", RunReport::CSV_HEADER, report.to_csv_row()),
+        Format::Toml => unreachable!("rejected by Format::parse"),
+    })
+}
+
+fn cmd_compare(options: &Options) -> Result<String, CliError> {
+    options.ensure_only(
+        "compare",
+        &[
+            "--scenario",
+            "--budget-episodes",
+            "--seed",
+            "--algorithms",
+            "--format",
+            "--output",
+        ],
+    )?;
+    let scenario = options.scenario()?;
+    let algorithms: Vec<Algorithm> = match &options.algorithms {
+        None => Algorithm::all().to_vec(),
+        Some(list) => list
+            .split(',')
+            .filter(|s| !s.trim().is_empty())
+            .map(Algorithm::from_str)
+            .collect::<Result<_, _>>()?,
+    };
+    if algorithms.is_empty() {
+        return Err(CliError::new("--algorithms needs at least one name"));
+    }
+    let format = Format::parse(
+        options.format.as_deref().unwrap_or("text"),
+        &[Format::Text, Format::Json, Format::Csv],
+        "compare",
+    )?;
+    let comparison = compare::run(&scenario, &algorithms);
+    Ok(match format {
+        Format::Text => comparison.to_string(),
+        Format::Json => comparison.to_json(),
+        Format::Csv => comparison.to_csv(),
+        Format::Toml => unreachable!("rejected by Format::parse"),
+    })
+}
+
+fn cmd_list(options: &Options) -> Result<String, CliError> {
+    options.ensure_only("list-scenarios", &["--format", "--output"])?;
+    let format = Format::parse(
+        options.format.as_deref().unwrap_or("text"),
+        &[Format::Text, Format::Json],
+        "list-scenarios",
+    )?;
+    let scenarios = registry::all();
+    Ok(match format {
+        Format::Text => {
+            let mut out = String::from("built-in scenarios:\n");
+            for scenario in &scenarios {
+                out.push_str(&format!(
+                    "  {:<18} {}\n      {}\n",
+                    scenario.name,
+                    scenario.description,
+                    scenario.summary()
+                ));
+            }
+            out.push_str("\nrun one with: nasaic run --scenario <name>");
+            out
+        }
+        Format::Json => {
+            let mut root = ConfigValue::table();
+            root.insert(
+                "scenarios",
+                ConfigValue::Array(scenarios.iter().map(Scenario::to_value).collect()),
+            );
+            value::to_json(&root)
+        }
+        _ => unreachable!("rejected by Format::parse"),
+    })
+}
+
+fn cmd_show(options: &Options) -> Result<String, CliError> {
+    options.ensure_only(
+        "show",
+        &[
+            "--scenario",
+            "--budget-episodes",
+            "--seed",
+            "--algorithm",
+            "--format",
+            "--output",
+        ],
+    )?;
+    let scenario = options.scenario()?;
+    let format = Format::parse(
+        options.format.as_deref().unwrap_or("toml"),
+        &[Format::Toml, Format::Json],
+        "show",
+    )?;
+    Ok(match format {
+        Format::Toml => scenario.to_toml_string(),
+        Format::Json => scenario.to_json_string(),
+        _ => unreachable!("rejected by Format::parse"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(args: &[&str]) -> Result<String, CliError> {
+        run_command(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn no_args_and_help_print_usage() {
+        assert_eq!(run(&[]).unwrap(), usage());
+        assert_eq!(run(&["help"]).unwrap(), usage());
+        // The help text lists every registry entry.
+        for name in registry::names() {
+            assert!(usage().contains(name), "{name} missing from usage");
+        }
+    }
+
+    #[test]
+    fn unknown_commands_and_flags_error() {
+        assert!(run(&["frobnicate"]).is_err());
+        assert!(run(&["run", "--wat"]).is_err());
+        assert!(run(&["run"])
+            .unwrap_err()
+            .to_string()
+            .contains("--scenario"));
+        assert!(run(&["run", "--scenario"]).is_err());
+        assert!(run(&["run", "--scenario", "w1", "--budget-episodes", "zero"]).is_err());
+    }
+
+    #[test]
+    fn inapplicable_flags_error_instead_of_being_ignored() {
+        // `--algorithm` on compare is almost certainly a typo for
+        // `--algorithms`; dropping it silently would run all six
+        // algorithms at full budget.
+        let err = run(&["compare", "--scenario", "w3", "--algorithm", "monte-carlo"]).unwrap_err();
+        assert!(err.to_string().contains("does not apply"), "{err}");
+        assert!(err.to_string().contains("--algorithms"), "{err}");
+        let err = run(&["list-scenarios", "--seed", "4"]).unwrap_err();
+        assert!(err.to_string().contains("does not apply"), "{err}");
+        let err = run(&["run", "--scenario", "w3", "--algorithms", "nasaic"]).unwrap_err();
+        assert!(err.to_string().contains("does not apply"), "{err}");
+    }
+
+    #[test]
+    fn seeds_beyond_i64_are_rejected_so_configs_round_trip() {
+        let err = run(&["show", "--scenario", "w1", "--seed", "9223372036854775808"]).unwrap_err();
+        assert!(err.to_string().contains("round-trip"), "{err}");
+        // The boundary value itself is fine.
+        let toml = run(&["show", "--scenario", "w1", "--seed", "9223372036854775807"]).unwrap();
+        assert!(toml.contains("seed = 9223372036854775807"), "{toml}");
+    }
+
+    #[test]
+    fn list_scenarios_mentions_every_builtin() {
+        let text = run(&["list-scenarios"]).unwrap();
+        for name in registry::names() {
+            assert!(text.contains(name), "{name} missing from listing");
+        }
+        let json = run(&["list-scenarios", "--format", "json"]).unwrap();
+        let parsed = value::parse_json(&json).unwrap();
+        assert_eq!(
+            parsed.get("scenarios").unwrap().as_array().unwrap().len(),
+            registry::names().len()
+        );
+    }
+
+    #[test]
+    fn show_round_trips_through_the_parser() {
+        let toml = run(&["show", "--scenario", "quad-mix"]).unwrap();
+        let reparsed = Scenario::from_toml_str(&toml).unwrap();
+        assert_eq!(reparsed, registry::get("quad-mix").unwrap());
+        let json = run(&["show", "--scenario", "quad-mix", "--format", "json"]).unwrap();
+        assert_eq!(Scenario::from_json_str(&json).unwrap(), reparsed);
+    }
+
+    #[test]
+    fn run_overrides_budget_seed_and_algorithm() {
+        let json = run(&[
+            "run",
+            "--scenario",
+            "w3",
+            "--budget-episodes",
+            "3",
+            "--seed",
+            "5",
+            "--algorithm",
+            "monte-carlo",
+            "--format",
+            "json",
+        ])
+        .unwrap();
+        let parsed = value::parse_json(&json).unwrap();
+        // Monte-Carlo maps the 3-episode budget to 3 * (1 + phi) samples.
+        assert_eq!(parsed.get("episodes").unwrap().as_integer(), Some(33));
+        assert_eq!(parsed.get("seed").unwrap().as_integer(), Some(5));
+        assert_eq!(
+            parsed.get("algorithm").unwrap().as_str(),
+            Some("monte-carlo")
+        );
+    }
+
+    #[test]
+    fn output_flag_writes_the_file() {
+        let dir = std::env::temp_dir().join("nasaic-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("listing.json");
+        let message = run(&[
+            "list-scenarios",
+            "--format",
+            "json",
+            "--output",
+            path.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(message.contains("wrote"));
+        let written = std::fs::read_to_string(&path).unwrap();
+        assert!(value::parse_json(written.trim()).is_ok());
+    }
+}

@@ -15,7 +15,8 @@
 //! | [`accuracy`] | `nasaic-accuracy` | calibrated accuracy surrogates and proxy training |
 //! | [`sched`] | `nasaic-sched` | layer-to-sub-accelerator mapping and HAP scheduling |
 //! | [`rl`] | `nasaic-rl` | LSTM policy network and REINFORCE machinery |
-//! | [`core`] | `nasaic-core` | the NASAIC framework, baselines and experiment harness |
+//! | [`core`] | `nasaic-core` | the NASAIC framework, scenario registry, baselines and experiment harness |
+//! | [`cli`] | (this crate) | the `nasaic` binary's argument parsing and subcommands |
 //!
 //! # Quickstart
 //!
@@ -31,6 +32,25 @@
 //! # let best = outcome.best.unwrap();
 //! # assert!(best.evaluation.meets_specs());
 //! ```
+//!
+//! The same run, declaratively through the scenario layer (what the
+//! `nasaic` CLI binary does — see `docs/scenarios.md`):
+//!
+//! ```
+//! use nasaic::core::scenario::registry;
+//!
+//! let mut scenario = registry::get("w3").expect("built-in scenario");
+//! scenario.seed = 7;
+//! scenario.search.episodes = 40;
+//! scenario.search.hardware_trials = 4;
+//! scenario.search.bound_samples = 10;
+//! let report = scenario.run_report();
+//! assert!(report.best.is_some());
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod cli;
 
 pub use nasaic_accel as accel;
 pub use nasaic_accuracy as accuracy;

@@ -1,0 +1,92 @@
+//! End-to-end smoke tests of the `nasaic` CLI through its library entry
+//! point (`nasaic::cli::run_command`), covering every subcommand at tiny
+//! budgets plus the file-config path.
+
+use nasaic::cli::run_command;
+use nasaic::core::scenario::{registry, value, Scenario};
+
+fn cli(args: &[&str]) -> String {
+    run_command(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+        .unwrap_or_else(|e| panic!("{args:?}: {e}"))
+}
+
+#[test]
+fn run_w1_smoke_emits_a_parsable_json_report() {
+    let json = cli(&[
+        "run",
+        "--scenario",
+        "w1",
+        "--budget-episodes",
+        "2",
+        "--format",
+        "json",
+    ]);
+    let report = value::parse_json(&json).unwrap();
+    assert_eq!(report.get("scenario").unwrap().as_str(), Some("w1"));
+    assert_eq!(report.get("episodes").unwrap().as_integer(), Some(2));
+    assert_eq!(report.get("explored").unwrap().as_integer(), Some(22));
+}
+
+#[test]
+fn run_accepts_a_config_file_path() {
+    let dir = std::env::temp_dir().join("nasaic-cli-e2e");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("edge.toml");
+    let mut scenario = registry::get("edge-single").unwrap();
+    scenario.name = "edge-from-file".to_string();
+    scenario.search.episodes = 2;
+    scenario.search.bound_samples = 4;
+    std::fs::write(&path, scenario.to_toml_string()).unwrap();
+
+    let csv = cli(&[
+        "run",
+        "--scenario",
+        path.to_str().unwrap(),
+        "--format",
+        "csv",
+    ]);
+    let mut lines = csv.lines();
+    assert!(lines.next().unwrap().starts_with("scenario,algorithm"));
+    assert!(lines.next().unwrap().starts_with("edge-from-file,nasaic,"));
+}
+
+#[test]
+fn compare_runs_selected_algorithms_as_csv() {
+    let csv = cli(&[
+        "compare",
+        "--scenario",
+        "w3",
+        "--budget-episodes",
+        "2",
+        "--algorithms",
+        "nasaic,monte-carlo,hill-climb",
+        "--format",
+        "csv",
+    ]);
+    let lines: Vec<&str> = csv.lines().collect();
+    assert_eq!(lines.len(), 4, "header + 3 algorithm rows:\n{csv}");
+    assert!(lines[1].starts_with("w3,nasaic,"));
+    assert!(lines[2].starts_with("w3,monte-carlo,"));
+    assert!(lines[3].starts_with("w3,hill-climb,"));
+}
+
+#[test]
+fn show_output_is_a_loadable_config() {
+    for name in registry::names() {
+        let toml = cli(&["show", "--scenario", name]);
+        let reparsed =
+            Scenario::from_toml_str(&toml).unwrap_or_else(|e| panic!("show {name}: {e}"));
+        assert_eq!(reparsed, registry::get(name).unwrap());
+    }
+}
+
+#[test]
+fn errors_are_reported_not_panicked() {
+    let err = run_command(&[
+        "run".to_string(),
+        "--scenario".to_string(),
+        "nope".to_string(),
+    ])
+    .unwrap_err();
+    assert!(err.to_string().contains("neither"), "{err}");
+}

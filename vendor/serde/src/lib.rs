@@ -1,11 +1,14 @@
 //! Offline stand-in for the `serde` crate.
 //!
 //! The NASAIC workspace only uses `#[derive(Serialize, Deserialize)]` as a
-//! forward-compatibility marker — nothing in the tree serializes data yet
-//! (there is no `serde_json` and no `T: Serialize` bound anywhere).  The
-//! build environment has no network access, so this crate provides the two
-//! marker traits and re-exports no-op derive macros with the same names.
-//! Swapping in the real `serde` later is a one-line `Cargo.toml` change.
+//! forward-compatibility marker (there is no `T: Serialize` bound
+//! anywhere); actual config (de)serialization — the scenario TOML/JSON
+//! layer — lives in `nasaic_core::scenario::value`, which hand-rolls the
+//! small format subset it needs.  The build environment has no network
+//! access, so this crate provides the two marker traits and re-exports
+//! no-op derive macros with the same names.  Swapping in the real `serde`
+//! later is a one-line `Cargo.toml` change (plus porting
+//! `scenario::value` onto `toml`/`serde_json`).
 
 /// Marker trait mirroring `serde::Serialize`.
 ///
