@@ -1,0 +1,216 @@
+//! Scheduling hot-path perf snapshot: measures the incremental HAP solver
+//! against the retained naive reference, verifies solver consistency, and
+//! appends the result to a `BENCH_sched.json` trajectory file.
+//!
+//! ```text
+//! sched_baseline [--quick] [--label <label>] [--output <path>]
+//! ```
+//!
+//! * `--quick` — short measurement budget (CI); default is a longer run
+//!   for committed trajectory points.
+//! * `--label` — entry label (default `local`).
+//! * `--output` — trajectory file to append to (default `BENCH_sched.json`
+//!   in the current directory).  The file holds
+//!   `{"schema": 1, "bench": "micro_sched", "entries": [...]}`; an
+//!   existing file is parsed and extended so the perf trajectory grows one
+//!   entry per recorded run.
+//!
+//! The process exits non-zero when the consistency suite fails — the
+//! incremental solver must be bit-identical to the reference, and the
+//! heuristic must never beat the exact solver — so CI can gate on it.
+
+use nasaic_bench::sched_instances::{realistic_problem, tiny_problem, w1_problem};
+use nasaic_core::scenario::value::{self, ConfigValue};
+use nasaic_sched::schedule::simulate;
+use nasaic_sched::{
+    solve_exact, solve_exact_unseeded, solve_heuristic, solve_heuristic_reference, Assignment,
+    HapProblem, Simulator,
+};
+use std::time::{Duration, Instant};
+
+struct Args {
+    quick: bool,
+    label: String,
+    output: String,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        quick: false,
+        label: "local".to_string(),
+        output: "BENCH_sched.json".to_string(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => args.quick = true,
+            "--label" => args.label = it.next().expect("--label needs a value"),
+            "--output" => args.output = it.next().expect("--output needs a value"),
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+/// Mean nanoseconds per iteration of `routine` over a time budget
+/// (small warm-up, then timed batches).
+fn measure<T>(budget: Duration, mut routine: impl FnMut() -> T) -> f64 {
+    let warmup = budget / 8;
+    let start = Instant::now();
+    let mut warmup_iters: u64 = 0;
+    while start.elapsed() < warmup {
+        std::hint::black_box(routine());
+        warmup_iters += 1;
+    }
+    let per_iter = start.elapsed().as_secs_f64() / warmup_iters.max(1) as f64;
+    let batch = ((0.02 / per_iter.max(1e-9)) as u64).clamp(1, 1 << 16);
+    let mut total = Duration::ZERO;
+    let mut iterations: u64 = 0;
+    while total < budget {
+        let t = Instant::now();
+        for _ in 0..batch {
+            std::hint::black_box(routine());
+        }
+        total += t.elapsed();
+        iterations += batch;
+    }
+    total.as_secs_f64() * 1e9 / iterations as f64
+}
+
+/// The consistency suite the CI step gates on: incremental == reference on
+/// every benchmark instance across constraints, and the heuristic never
+/// beats the exact solver.  Returns the failures (empty = pass).
+fn consistency_failures() -> Vec<String> {
+    let mut failures = Vec::new();
+    let instances: Vec<(&str, HapProblem)> = vec![
+        ("w1", w1_problem()),
+        ("realistic", realistic_problem()),
+        ("tiny", tiny_problem()),
+    ];
+    for (name, base) in &instances {
+        for factor in [0.5, 1.0, 4.0, 1e4] {
+            let problem = HapProblem::new(base.costs.clone(), base.latency_constraint * factor);
+            let incremental = solve_heuristic(&problem);
+            let reference = solve_heuristic_reference(&problem);
+            if incremental != reference {
+                failures.push(format!(
+                    "{name} x{factor}: incremental solver diverged from reference"
+                ));
+            }
+        }
+    }
+    for (name, problem) in &instances[1..] {
+        // The unseeded branch and bound never sees the heuristic's
+        // solution, so this optimality check is independent.
+        if let Some(exact) = solve_exact_unseeded(problem) {
+            let heuristic = solve_heuristic(problem);
+            if exact.feasible && heuristic.feasible && heuristic.energy_nj + 1e-6 < exact.energy_nj
+            {
+                failures.push(format!("{name}: heuristic beat the exact solver"));
+            }
+            if exact.feasible && exact.latency_cycles > problem.latency_constraint {
+                failures.push(format!("{name}: exact solution violates the constraint"));
+            }
+        }
+    }
+    failures
+}
+
+fn main() {
+    let args = parse_args();
+    let budget = if args.quick {
+        Duration::from_millis(150)
+    } else {
+        Duration::from_millis(1500)
+    };
+
+    println!("== consistency suite ==");
+    let failures = consistency_failures();
+    if failures.is_empty() {
+        println!("ok: incremental == reference, heuristic never beats exact");
+    } else {
+        for failure in &failures {
+            eprintln!("FAIL: {failure}");
+        }
+        std::process::exit(1);
+    }
+
+    println!("== measurements (budget {:?} per item) ==", budget);
+    let w1 = w1_problem();
+    let reference_ns = measure(budget, || solve_heuristic_reference(&w1));
+    let incremental_ns = measure(budget, || solve_heuristic(&w1));
+    let speedup = reference_ns / incremental_ns;
+
+    let assignment = Assignment::uniform(&w1.costs, 0);
+    let simulate_ns = measure(budget / 2, || simulate(&w1, &assignment));
+    let mut sim = Simulator::new(&w1);
+    let simulator_makespan_ns = measure(budget / 2, || sim.makespan(&assignment));
+
+    let realistic = realistic_problem();
+    let exact_realistic_ns = measure(budget, || solve_exact(&realistic));
+
+    println!("heuristic w1: reference {reference_ns:.0} ns, incremental {incremental_ns:.0} ns, speedup {speedup:.2}x");
+    println!(
+        "simulate w1: naive {simulate_ns:.0} ns, reused scratch {simulator_makespan_ns:.0} ns"
+    );
+    println!("exact (18 layers, bounded B&B): {exact_realistic_ns:.0} ns");
+
+    let mut entry = ConfigValue::table();
+    entry.insert("label", ConfigValue::Str(args.label.clone()));
+    entry.insert(
+        "mode",
+        ConfigValue::Str(if args.quick { "quick" } else { "full" }.to_string()),
+    );
+    entry.insert("instance", ConfigValue::Str("w1-39-layers".to_string()));
+    entry.insert(
+        "heuristic_reference_ns",
+        ConfigValue::Float(reference_ns.round()),
+    );
+    entry.insert(
+        "heuristic_incremental_ns",
+        ConfigValue::Float(incremental_ns.round()),
+    );
+    entry.insert(
+        "speedup",
+        ConfigValue::Float((speedup * 100.0).round() / 100.0),
+    );
+    entry.insert("simulate_ns", ConfigValue::Float(simulate_ns.round()));
+    entry.insert(
+        "simulator_makespan_ns",
+        ConfigValue::Float(simulator_makespan_ns.round()),
+    );
+    entry.insert(
+        "exact_realistic_ns",
+        ConfigValue::Float(exact_realistic_ns.round()),
+    );
+    entry.insert("consistency", ConfigValue::Str("ok".to_string()));
+
+    let mut root = match std::fs::read_to_string(&args.output) {
+        Ok(existing) => value::parse_json(&existing).unwrap_or_else(|e| {
+            eprintln!("cannot parse existing {}: {e}", args.output);
+            std::process::exit(1);
+        }),
+        Err(_) => {
+            let mut fresh = ConfigValue::table();
+            fresh.insert("schema", ConfigValue::Integer(1));
+            fresh.insert("bench", ConfigValue::Str("micro_sched".to_string()));
+            fresh.insert("entries", ConfigValue::Array(Vec::new()));
+            fresh
+        }
+    };
+    let mut entries = root
+        .get("entries")
+        .and_then(|e| e.as_array())
+        .map(<[ConfigValue]>::to_vec)
+        .unwrap_or_default();
+    entries.push(entry);
+    root.insert("entries", ConfigValue::Array(entries));
+    std::fs::write(&args.output, value::to_json(&root) + "\n").unwrap_or_else(|e| {
+        eprintln!("cannot write {}: {e}", args.output);
+        std::process::exit(1);
+    });
+    println!("wrote {}", args.output);
+}

@@ -34,6 +34,58 @@ pub fn seed_from_env() -> u64 {
         .unwrap_or(2020)
 }
 
+pub mod sched_instances {
+    //! Canonical HAP instances shared by the `micro_sched` benchmark and
+    //! the `sched_baseline` snapshot binary, so every measurement runs
+    //! the same workload.
+
+    use nasaic_accel::{Accelerator, Dataflow, SubAccelerator};
+    use nasaic_cost::{CostModel, WorkloadCosts};
+    use nasaic_nn::backbone::Backbone;
+    use nasaic_sched::HapProblem;
+
+    /// W1-sized instance: ResNet-9 + U-Net (39 layers) on a two-dataflow
+    /// accelerator under a tight latency constraint — the shape of the HAP
+    /// solve inside every NASAIC episode.
+    pub fn w1_problem() -> HapProblem {
+        let model = CostModel::paper_calibrated();
+        let archs = vec![
+            Backbone::ResNet9Cifar10.materialize_values(&[32, 128, 2, 256, 2, 256, 2]),
+            Backbone::UNetNuclei.materialize_values(&[4, 16, 32, 64, 128, 256]),
+        ];
+        let acc = Accelerator::new(vec![
+            SubAccelerator::new(Dataflow::Nvdla, 2048, 32),
+            SubAccelerator::new(Dataflow::Shidiannao, 2048, 32),
+        ]);
+        HapProblem::new(WorkloadCosts::build(&model, &archs, &acc), 8.0e5)
+    }
+
+    /// Paper-sized single network (18 layers) — within the raised
+    /// `EXACT_LAYER_LIMIT`, used for optimality-gap measurements.
+    pub fn realistic_problem() -> HapProblem {
+        let model = CostModel::paper_calibrated();
+        let archs =
+            vec![Backbone::ResNet9Cifar10.materialize_values(&[32, 128, 2, 256, 2, 256, 2])];
+        let acc = Accelerator::new(vec![
+            SubAccelerator::new(Dataflow::Nvdla, 2048, 32),
+            SubAccelerator::new(Dataflow::Shidiannao, 2048, 32),
+        ]);
+        HapProblem::new(WorkloadCosts::build(&model, &archs, &acc), 2.0e6)
+    }
+
+    /// The smallest ResNet-9 (9 layers) on a small two-dataflow design —
+    /// the historical exact-solver benchmark instance.
+    pub fn tiny_problem() -> HapProblem {
+        let model = CostModel::paper_calibrated();
+        let archs = vec![Backbone::ResNet9Cifar10.materialize_values(&[8, 32, 0, 32, 0, 32, 0])];
+        let acc = Accelerator::new(vec![
+            SubAccelerator::new(Dataflow::Nvdla, 1024, 16),
+            SubAccelerator::new(Dataflow::Shidiannao, 1024, 16),
+        ]);
+        HapProblem::new(WorkloadCosts::build(&model, &archs, &acc), 1.0e6)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -47,9 +47,21 @@ pub use pool::parallel_map;
 /// which fully determine the generated network).
 type AccuracyKey = (usize, String, Vec<usize>);
 
-/// Cache key for the hardware path: every architecture's identity plus the
-/// accelerator design (which is `Hash + Eq` by construction).
-type HardwareKey = (Vec<(String, Vec<usize>)>, Accelerator);
+/// Cache key for the hardware path: the latency spec the HAP solve runs
+/// under, every architecture's identity, and the accelerator design (which
+/// is `Hash + Eq` by construction).
+///
+/// The latency spec is constant for one engine (it comes from the wrapped
+/// evaluator), but keying on it protects the *latency-spec* dimension even
+/// if cache state is ever shared or serialized across engines: hardware
+/// metrics depend on `specs.latency_cycles` through `solve_heuristic`'s
+/// constraint, so two engines built for scenarios with different latency
+/// specs can never be confused.  The evaluator's cost model — the other
+/// input `hardware_metrics` depends on — is *not* part of the key (it has
+/// no cheap hashable identity); per-engine caches make that safe today,
+/// and `Scenario::run_algorithm_with_engine` rejects engines whose cost
+/// model differs from the scenario's.
+type HardwareKey = (u64, Vec<(String, Vec<usize>)>, Accelerator);
 
 fn architectures_key(architectures: &[Architecture]) -> Vec<(String, Vec<usize>)> {
     architectures
@@ -282,7 +294,11 @@ impl EvalEngine {
         if !self.config.caching {
             return self.evaluator.hardware_metrics(architectures, accelerator);
         }
-        let key: HardwareKey = (architectures_key(architectures), accelerator.clone());
+        let key: HardwareKey = (
+            self.evaluator.specs().latency_cycles.to_bits(),
+            architectures_key(architectures),
+            accelerator.clone(),
+        );
         if let Some(&cached) = self
             .hardware_cache
             .read()
@@ -541,6 +557,54 @@ mod tests {
         let cloned = engine.clone();
         assert_eq!(cloned.stats().hardware_misses, 0);
         assert_eq!(cloned.evaluate_batch(&candidates), original);
+    }
+
+    #[test]
+    fn hardware_metrics_depend_on_the_latency_spec() {
+        // Hardware metrics solve the HAP under the evaluator's latency
+        // spec, which is why the hardware cache key carries the spec: two
+        // engines differing only in `latency_cycles` must each serve their
+        // own evaluator's mapping for the same (architectures, accelerator)
+        // query.
+        let workload = Workload::w1();
+        let tight_specs = DesignSpecs::for_workload(WorkloadId::W1);
+        let mut loose_specs = tight_specs;
+        loose_specs.latency_cycles *= 100.0;
+        let tight = EvalEngine::new(Evaluator::new(
+            &workload,
+            tight_specs,
+            AccuracyOracle::default(),
+        ));
+        let loose = EvalEngine::new(Evaluator::new(
+            &workload,
+            loose_specs,
+            AccuracyOracle::default(),
+        ));
+        let mut some_metrics_differ = false;
+        for candidate in random_candidates(8, 41) {
+            let from_tight =
+                tight.hardware_metrics(&candidate.architectures, &candidate.accelerator);
+            let from_loose =
+                loose.hardware_metrics(&candidate.architectures, &candidate.accelerator);
+            // Every engine serves exactly its own evaluator's result.
+            assert_eq!(
+                from_tight,
+                tight
+                    .evaluator()
+                    .hardware_metrics(&candidate.architectures, &candidate.accelerator)
+            );
+            assert_eq!(
+                from_loose,
+                loose
+                    .evaluator()
+                    .hardware_metrics(&candidate.architectures, &candidate.accelerator)
+            );
+            some_metrics_differ |= from_tight != from_loose;
+        }
+        assert!(
+            some_metrics_differ,
+            "a 100x latency spec change should alter at least one mapping"
+        );
     }
 
     #[test]

@@ -52,6 +52,7 @@ use crate::search::{Nasaic, NasaicConfig};
 use crate::spec::DesignSpecs;
 use crate::workload::Workload;
 use nasaic_accel::{Dataflow, HardwareSpace, ResourceBudget};
+use nasaic_cost::CostModel;
 use nasaic_nn::backbone::Backbone;
 use nasaic_rl::ControllerConfig;
 use serde::{Deserialize, Serialize};
@@ -716,12 +717,49 @@ impl Scenario {
     /// `total / 24` generations; the successive baselines split the budget
     /// into `episodes` NAS episodes plus `episodes * phi` hardware
     /// samples/runs.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `engine` was built for different design specs, a
+    /// different workload, or a non-default cost model.  An engine's
+    /// hardware metrics solve the HAP under *its own* latency spec and
+    /// cost model, and its accuracy cache is keyed by task position, so
+    /// reusing an engine across scenarios that disagree on any of these
+    /// would silently evaluate this scenario against the other scenario's
+    /// constraints.  Engines may only be shared across runs of the *same*
+    /// scenario (which is exactly what the `compare` path does) — build
+    /// one with [`Scenario::engine`].
     pub fn run_algorithm_with_engine(
         &self,
         algorithm: Algorithm,
         engine: &EvalEngine,
     ) -> SearchOutcome {
         let workload = self.workload();
+        assert!(
+            engine.evaluator().specs() == &self.specs,
+            "engine/scenario mismatch: the engine was built for specs {:?} but scenario `{}` \
+             declares {:?}; hardware mappings are solved under the engine's latency spec, so a \
+             shared engine must come from this scenario's `Scenario::engine()`",
+            engine.evaluator().specs(),
+            self.name,
+            self.specs,
+        );
+        assert!(
+            engine.evaluator().workload() == &workload,
+            "engine/scenario mismatch: the engine was built for workload `{}` but scenario `{}` \
+             declares workload `{}`; accuracy caches are keyed by task position, so a shared \
+             engine must come from this scenario's `Scenario::engine()`",
+            engine.evaluator().workload().name,
+            self.name,
+            workload.name,
+        );
+        assert!(
+            engine.evaluator().cost_model() == &CostModel::paper_calibrated(),
+            "engine/scenario mismatch: the engine's evaluator carries a non-default cost model; \
+             scenario engines always use the paper-calibrated model and the hardware cache does \
+             not key on the cost model, so a shared engine must come from this scenario's \
+             `Scenario::engine()`",
+        );
         let hardware = self.hardware_space();
         let search = &self.search;
         let hardware_budget = (search.episodes * search.hardware_trials).max(1);
@@ -984,5 +1022,59 @@ area_um2 = 4e9
             scenario.hardware.dataflows,
             vec![Dataflow::Nvdla, Dataflow::Shidiannao]
         );
+    }
+
+    #[test]
+    #[should_panic(expected = "engine/scenario mismatch")]
+    fn engine_with_different_latency_spec_is_rejected() {
+        let mut scenario = Scenario::from_toml_str(minimal_toml()).unwrap();
+        scenario.search.episodes = 1;
+        scenario.search.hardware_trials = 1;
+        scenario.search.bound_samples = 2;
+        let foreign = {
+            let mut other = scenario.clone();
+            other.specs.latency_cycles *= 2.0;
+            other.engine()
+        };
+        // A shared engine must carry this scenario's specs: its hardware
+        // cache solves the HAP under the *engine's* latency constraint.
+        scenario.run_algorithm_with_engine(Algorithm::MonteCarlo, &foreign);
+    }
+
+    #[test]
+    #[should_panic(expected = "engine/scenario mismatch")]
+    fn engine_with_foreign_cost_model_is_rejected() {
+        let mut scenario = Scenario::from_toml_str(minimal_toml()).unwrap();
+        scenario.search.episodes = 1;
+        scenario.search.hardware_trials = 1;
+        scenario.search.bound_samples = 2;
+        let foreign = {
+            let mut config = nasaic_cost::CostConfig::paper_calibrated();
+            config.mac_energy_nj *= 2.0;
+            EvalEngine::new(
+                Evaluator::new(
+                    &scenario.workload(),
+                    scenario.specs,
+                    AccuracyOracle::default(),
+                )
+                .with_cost_model(CostModel::new(config)),
+            )
+        };
+        scenario.run_algorithm_with_engine(Algorithm::MonteCarlo, &foreign);
+    }
+
+    #[test]
+    #[should_panic(expected = "engine/scenario mismatch")]
+    fn engine_with_different_workload_is_rejected() {
+        let mut scenario = Scenario::from_toml_str(minimal_toml()).unwrap();
+        scenario.search.episodes = 1;
+        scenario.search.hardware_trials = 1;
+        scenario.search.bound_samples = 2;
+        let foreign = {
+            let mut other = scenario.clone();
+            other.tasks.push(other.tasks[0].clone());
+            other.engine()
+        };
+        scenario.run_algorithm_with_engine(Algorithm::MonteCarlo, &foreign);
     }
 }

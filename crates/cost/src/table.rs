@@ -45,6 +45,19 @@ impl LayerCostRow {
             .min_by(|a, b| a.1.energy_nj.total_cmp(&b.1.energy_nj))
             .map(|(i, _)| i)
     }
+
+    /// Lowest feasible latency of this layer over all sub-accelerators —
+    /// the per-layer term of every admissible latency lower bound used by
+    /// the branch-and-bound mapper.
+    pub fn min_feasible_latency(&self) -> Option<f64> {
+        self.fastest_sub().map(|i| self.per_sub[i].latency_cycles)
+    }
+
+    /// Lowest feasible energy of this layer over all sub-accelerators —
+    /// the per-layer term of the admissible remaining-energy lower bound.
+    pub fn min_feasible_energy(&self) -> Option<f64> {
+        self.cheapest_sub().map(|i| self.per_sub[i].energy_nj)
+    }
 }
 
 /// Costs of every layer of one network, in execution (dependency) order.
@@ -62,7 +75,7 @@ impl NetworkCosts {
     pub fn serial_latency_lower_bound(&self) -> f64 {
         self.layers
             .iter()
-            .filter_map(|row| row.fastest_sub().map(|i| row.per_sub[i].latency_cycles))
+            .filter_map(LayerCostRow::min_feasible_latency)
             .sum()
     }
 
@@ -71,7 +84,7 @@ impl NetworkCosts {
     pub fn energy_lower_bound(&self) -> f64 {
         self.layers
             .iter()
-            .filter_map(|row| row.cheapest_sub().map(|i| row.per_sub[i].energy_nj))
+            .filter_map(LayerCostRow::min_feasible_energy)
             .sum()
     }
 }
@@ -130,6 +143,25 @@ impl WorkloadCosts {
                 .iter()
                 .all(|row| row.per_sub.iter().any(LayerCost::is_feasible))
         })
+    }
+
+    /// Sum of every layer's cheapest feasible energy — an admissible lower
+    /// bound on the energy of any complete assignment.
+    pub fn energy_lower_bound(&self) -> f64 {
+        self.networks
+            .iter()
+            .map(NetworkCosts::energy_lower_bound)
+            .sum()
+    }
+
+    /// The slowest network chain at best-case per-layer latencies — an
+    /// admissible lower bound on any schedule's makespan (contention and
+    /// switch penalties only increase it).
+    pub fn makespan_lower_bound(&self) -> f64 {
+        self.networks
+            .iter()
+            .map(NetworkCosts::serial_latency_lower_bound)
+            .fold(0.0f64, f64::max)
     }
 }
 

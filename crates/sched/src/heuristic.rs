@@ -8,13 +8,102 @@
 //! 1. start from the **latency-optimal** assignment (every layer on its
 //!    fastest feasible sub-accelerator); if even this violates the latency
 //!    constraint the instance is infeasible;
-//! 2. repeatedly pick the single-layer re-assignment with the best
-//!    *energy-saved per latency-added* ratio that keeps the schedule within
-//!    the latency constraint, and apply it;
-//! 3. stop when no improving move remains.
+//! 2. repeatedly pick the best single-layer re-assignment that keeps the
+//!    schedule within the latency constraint, and apply it.  "Best" means:
+//!    a move that saves energy **without lengthening the schedule** always
+//!    beats one that lengthens it (free moves are ranked by raw energy
+//!    saving); among moves that do lengthen the schedule, the best
+//!    *energy-saved per latency-added* ratio wins;
+//! 3. stop when no energy-saving move remains.
+//!
+//! Candidate moves are **delta-evaluated**: [`solve_heuristic`] keeps one
+//! [`Simulator`] alive, re-assigns the layer in place (set-and-undo, no
+//! [`Assignment`] clone), and re-dispatches only the schedule suffix after
+//! the moved layer from a recorded checkpoint.  The naive
+//! clone-and-resimulate form is retained as
+//! [`solve_heuristic_reference`]; the two are bit-identical (asserted by
+//! the differential tests in `tests/incremental_consistency.rs`).
 
 use crate::problem::{Assignment, HapProblem, MappingSolution};
-use crate::schedule::simulate;
+use crate::schedule::{simulate, Simulator};
+
+/// How a candidate move ranks against the incumbent best move of one
+/// greedy step.  Shared by the incremental and the reference solver so the
+/// two cannot drift.
+#[derive(Debug, Clone, Copy)]
+struct MoveScore {
+    /// `true` when the move increases the makespan.
+    lengthens: bool,
+    /// Raw energy saving for non-lengthening moves; energy-saved per
+    /// latency-added ratio for lengthening ones.
+    key: f64,
+}
+
+impl MoveScore {
+    fn rate(energy_saving: f64, trial_makespan: f64, makespan: f64) -> Self {
+        if trial_makespan <= makespan {
+            Self {
+                lengthens: false,
+                key: energy_saving,
+            }
+        } else {
+            Self {
+                lengthens: true,
+                key: energy_saving / (trial_makespan - makespan),
+            }
+        }
+    }
+
+    /// Strict improvement: ties keep the earlier candidate (deterministic
+    /// scan order).
+    fn improves_on(&self, incumbent: &MoveScore) -> bool {
+        match (self.lengthens, incumbent.lengthens) {
+            (false, true) => true,
+            (true, false) => false,
+            _ => self.key > incumbent.key,
+        }
+    }
+
+    /// Order-independent form of [`improves_on`](Self::improves_on): ties
+    /// on (class, key) fall back to the scan index, so a scan in *any*
+    /// evaluation order selects exactly the move a plain scan-order pass
+    /// with strict `improves_on` would.
+    fn beats(&self, index: usize, incumbent: &MoveScore, incumbent_index: usize) -> bool {
+        match (self.lengthens, incumbent.lengthens) {
+            (false, true) => true,
+            (true, false) => false,
+            _ => match self.key.total_cmp(&incumbent.key) {
+                std::cmp::Ordering::Greater => true,
+                std::cmp::Ordering::Less => false,
+                std::cmp::Ordering::Equal => index < incumbent_index,
+            },
+        }
+    }
+}
+
+/// One candidate re-assignment of the scan, gathered before evaluation so
+/// candidates can be visited in descending-saving order.
+struct CandidateMove {
+    /// Position in the canonical `(network, layer, sub)` scan — the
+    /// tie-break order of the reference solver.
+    index: usize,
+    network: usize,
+    layer: usize,
+    from_sub: usize,
+    to_sub: usize,
+    saving: f64,
+}
+
+/// The best move found in one greedy step.
+struct BestMove {
+    index: usize,
+    network: usize,
+    layer: usize,
+    sub: usize,
+    saving: f64,
+    makespan: f64,
+    score: MoveScore,
+}
 
 /// Solve a HAP instance with the ratio heuristic.
 ///
@@ -24,6 +113,140 @@ use crate::schedule::simulate;
 pub fn solve_heuristic(problem: &HapProblem) -> MappingSolution {
     let Some(mut assignment) = latency_optimal_assignment(problem) else {
         // Some layer has no feasible mapping at all.
+        let fallback = Assignment::uniform(&problem.costs, 0);
+        return MappingSolution::infeasible(fallback);
+    };
+
+    let mut sim = Simulator::new(problem);
+    let mut makespan = sim.prepare(&assignment);
+    let mut energy = problem.energy_of(&assignment);
+    if makespan > problem.latency_constraint {
+        return MappingSolution {
+            assignment,
+            latency_cycles: makespan,
+            energy_nj: energy,
+            feasible: false,
+        };
+    }
+
+    // Greedy energy-reduction moves, delta-evaluated against the prepared
+    // baseline.  The selected move is always the one the reference solver
+    // selects — `MoveScore::beats` breaks every tie by scan index, so the
+    // scan below is free to visit candidates in descending-saving order
+    // and prune:
+    //
+    // * a makespan-non-increasing incumbent ends the scan outright: every
+    //   later candidate saves no more energy (descending order), so it
+    //   either ties-and-loses as a non-lengthening move or loses by class
+    //   as a lengthening one;
+    // * while the incumbent lengthens the schedule with ratio `R`, a
+    //   candidate can only win by staying under
+    //   `makespan + saving / R` — the replay is capped there (and at the
+    //   latency constraint) and aborted as soon as it is exceeded;
+    // * the accepted move's suffix replay doubles as the next baseline
+    //   ([`Simulator::commit_trial`]), re-recording only the checkpoints
+    //   the move invalidated.
+    let mut candidates: Vec<CandidateMove> = Vec::new();
+    loop {
+        candidates.clear();
+        let mut index = 0;
+        for (n, network) in problem.costs.networks.iter().enumerate() {
+            for (l, row) in network.layers.iter().enumerate() {
+                let current_sub = assignment.sub_for(n, l);
+                let current_cost = &row.per_sub[current_sub];
+                for (candidate_sub, candidate_cost) in row.per_sub.iter().enumerate() {
+                    if candidate_sub == current_sub || !candidate_cost.is_feasible() {
+                        continue;
+                    }
+                    let saving = current_cost.energy_nj - candidate_cost.energy_nj;
+                    if saving > 0.0 {
+                        candidates.push(CandidateMove {
+                            index,
+                            network: n,
+                            layer: l,
+                            from_sub: current_sub,
+                            to_sub: candidate_sub,
+                            saving,
+                        });
+                    }
+                    index += 1;
+                }
+            }
+        }
+        candidates
+            .sort_unstable_by(|a, b| b.saving.total_cmp(&a.saving).then(a.index.cmp(&b.index)));
+
+        let mut best: Option<BestMove> = None;
+        for candidate in &candidates {
+            let cap = match &best {
+                // A non-lengthening incumbent beats every remaining
+                // candidate (they save at most as much): done.
+                Some(b) if !b.score.lengthens => break,
+                // Beating a lengthening incumbent takes either a
+                // non-lengthening schedule or a better ratio; both live
+                // below `makespan + saving / R`.  The boundary is widened
+                // by a relative margin dwarfing the rounding of this cap
+                // expression and of the reference's `saving / (trial -
+                // makespan)` ratio (a few ulp each): candidates inside the
+                // margin are fully evaluated and rejected by the *exact*
+                // score comparison below, so the prune can never skip a
+                // move the reference solver would select.
+                Some(b) => ((makespan + candidate.saving / b.score.key) * (1.0 + 1e-12))
+                    .min(problem.latency_constraint),
+                None => problem.latency_constraint,
+            };
+            assignment.set(candidate.network, candidate.layer, candidate.to_sub);
+            let trial_makespan =
+                sim.trial_makespan(&assignment, candidate.network, candidate.layer, cap);
+            assignment.set(candidate.network, candidate.layer, candidate.from_sub);
+            if trial_makespan > cap {
+                continue;
+            }
+            let score = MoveScore::rate(candidate.saving, trial_makespan, makespan);
+            if best
+                .as_ref()
+                .is_none_or(|b| score.beats(candidate.index, &b.score, b.index))
+            {
+                best = Some(BestMove {
+                    index: candidate.index,
+                    network: candidate.network,
+                    layer: candidate.layer,
+                    sub: candidate.to_sub,
+                    saving: candidate.saving,
+                    makespan: trial_makespan,
+                    score,
+                });
+            }
+        }
+        match best {
+            Some(m) => {
+                assignment.set(m.network, m.layer, m.sub);
+                energy -= m.saving;
+                makespan = sim.commit_trial(&assignment, m.network, m.layer);
+                debug_assert!((makespan - m.makespan).abs() < 1e-6);
+            }
+            None => break,
+        }
+    }
+
+    let feasible = makespan <= problem.latency_constraint;
+    MappingSolution {
+        assignment,
+        latency_cycles: makespan,
+        energy_nj: energy,
+        feasible,
+    }
+}
+
+/// The naive form of [`solve_heuristic`]: every trial move clones the
+/// [`Assignment`] and re-simulates the whole workload from scratch.
+///
+/// Retained as the differential-testing oracle (and the benchmark
+/// baseline) for the incremental solver — same scoring, same scan order,
+/// same accumulation arithmetic, so its output is bit-identical to
+/// [`solve_heuristic`] on every instance.
+pub fn solve_heuristic_reference(problem: &HapProblem) -> MappingSolution {
+    let Some(mut assignment) = latency_optimal_assignment(problem) else {
         let fallback = Assignment::uniform(&problem.costs, 0);
         return MappingSolution::infeasible(fallback);
     };
@@ -39,9 +262,9 @@ pub fn solve_heuristic(problem: &HapProblem) -> MappingSolution {
         };
     }
 
-    // Greedy energy-reduction moves.
     loop {
-        let mut best_move: Option<(usize, usize, usize, f64, f64, f64)> = None;
+        let mut best: Option<BestMove> = None;
+        let mut index = 0;
         for (n, network) in problem.costs.networks.iter().enumerate() {
             for (l, row) in network.layers.iter().enumerate() {
                 let current_sub = assignment.sub_for(n, l);
@@ -50,41 +273,40 @@ pub fn solve_heuristic(problem: &HapProblem) -> MappingSolution {
                     if candidate_sub == current_sub || !candidate_cost.is_feasible() {
                         continue;
                     }
+                    index += 1;
                     let energy_saving = current_cost.energy_nj - candidate_cost.energy_nj;
                     if energy_saving <= 0.0 {
                         continue;
                     }
                     let mut trial = assignment.clone();
                     trial.set(n, l, candidate_sub);
-                    let trial_schedule = simulate(problem, &trial);
-                    if trial_schedule.makespan > problem.latency_constraint {
+                    let trial_makespan = simulate(problem, &trial).makespan;
+                    if trial_makespan > problem.latency_constraint {
                         continue;
                     }
-                    let latency_increase = (trial_schedule.makespan - schedule.makespan).max(1e-9);
-                    let ratio = energy_saving / latency_increase;
-                    let better = match best_move {
-                        None => true,
-                        Some((_, _, _, best_ratio, _, _)) => ratio > best_ratio,
-                    };
-                    if better {
-                        best_move = Some((
-                            n,
-                            l,
-                            candidate_sub,
-                            ratio,
-                            energy_saving,
-                            trial_schedule.makespan,
-                        ));
+                    let score = MoveScore::rate(energy_saving, trial_makespan, schedule.makespan);
+                    // Scan order plus strict improvement == the
+                    // index-tie-broken selection of `solve_heuristic`.
+                    if best.as_ref().is_none_or(|b| score.improves_on(&b.score)) {
+                        best = Some(BestMove {
+                            index: index - 1,
+                            network: n,
+                            layer: l,
+                            sub: candidate_sub,
+                            saving: energy_saving,
+                            makespan: trial_makespan,
+                            score,
+                        });
                     }
                 }
             }
         }
-        match best_move {
-            Some((n, l, sub, _, saving, new_makespan)) => {
-                assignment.set(n, l, sub);
-                energy -= saving;
+        match best {
+            Some(m) => {
+                assignment.set(m.network, m.layer, m.sub);
+                energy -= m.saving;
                 schedule = simulate(problem, &assignment);
-                debug_assert!((schedule.makespan - new_makespan).abs() < 1e-6);
+                debug_assert!((schedule.makespan - m.makespan).abs() < 1e-6);
             }
             None => break,
         }
@@ -138,7 +360,8 @@ pub fn latency_optimal_assignment(problem: &HapProblem) -> Option<Assignment> {
 mod tests {
     use super::*;
     use nasaic_accel::{Accelerator, Dataflow, SubAccelerator};
-    use nasaic_cost::{CostModel, WorkloadCosts};
+    use nasaic_cost::{CostModel, LayerCost, WorkloadCosts};
+    use nasaic_cost::{LayerCostRow, NetworkCosts};
     use nasaic_nn::backbone::Backbone;
 
     fn build_problem(latency_constraint: f64) -> HapProblem {
@@ -153,6 +376,105 @@ mod tests {
         ]);
         let costs = WorkloadCosts::build(&model, &archs, &acc);
         HapProblem::new(costs, latency_constraint)
+    }
+
+    /// Hand-built one-network instance where the old
+    /// `(trial - makespan).max(1e-9)` ratio scoring picks the worse move.
+    ///
+    /// Both candidate moves keep the makespan unchanged (the moved layers
+    /// are off the critical path).  Move A saves 1 nJ, move B saves
+    /// 1000 nJ.  The old code divided both savings by the same clamped
+    /// `1e-9` latency increase and then compared ratios — so whichever move
+    /// was scanned first with a positive saving could only be displaced by
+    /// a *ratio* win, and a tiny saving on a zero-latency-delta move
+    /// produced a ~1e9× ratio that beat honestly-rated lengthening moves.
+    /// With per-class scoring, B (the larger raw saving) must win the first
+    /// greedy step.
+    fn ratio_bug_problem() -> HapProblem {
+        let row = |name: &str, fast: LayerCost, slow: LayerCost| LayerCostRow {
+            layer_name: name.to_string(),
+            macs: 1,
+            per_sub: vec![fast, slow],
+        };
+        let cost = |latency_cycles: f64, energy_nj: f64| LayerCost {
+            latency_cycles,
+            energy_nj,
+        };
+        // Layer 0 dominates the makespan and never moves (its alternative
+        // is slower *and* costlier).  Layers 1 and 2 are tiny and can move
+        // to sub 1 without touching the makespan, saving 1 nJ and 1000 nJ
+        // respectively.
+        let costs = WorkloadCosts {
+            networks: vec![NetworkCosts {
+                name: "synthetic".to_string(),
+                layers: vec![
+                    row("anchor", cost(1000.0, 10.0), cost(5000.0, 20.0)),
+                    row("small-saving", cost(10.0, 11.0), cost(10.0, 10.0)),
+                    row("large-saving", cost(10.0, 2000.0), cost(10.0, 1000.0)),
+                ],
+            }],
+            num_subs: 2,
+        };
+        // No switch penalty so the moves truly are makespan-neutral.
+        HapProblem::new(costs, 1.0e5).with_switch_penalty(0.0)
+    }
+
+    #[test]
+    fn makespan_neutral_moves_are_ranked_by_raw_energy_saving() {
+        let problem = ratio_bug_problem();
+        // Replay the first greedy step by hand: the solver must take the
+        // 1000 nJ saving ("large-saving" → sub 1) before the 1 nJ one.
+        let start = latency_optimal_assignment(&problem).unwrap();
+        assert_eq!(start.per_network()[0], vec![0, 0, 0]);
+        let solution = solve_heuristic(&problem);
+        // Both moves are eventually taken (both save energy at no latency
+        // cost), so pin the ordering through the scoring directly.
+        let free_small = MoveScore::rate(1.0, 1000.0, 1000.0);
+        let free_large = MoveScore::rate(1000.0, 1000.0, 1000.0);
+        assert!(free_large.improves_on(&free_small));
+        assert!(!free_small.improves_on(&free_large));
+        assert!(solution.feasible);
+        // Final assignment: both movable layers end on the cheap sub, the
+        // anchor stays put.
+        assert_eq!(solution.assignment.per_network()[0], vec![0, 1, 1]);
+        assert!((solution.energy_nj - (10.0 + 10.0 + 1000.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn old_scoring_would_pick_the_worse_move_first() {
+        // Regression pin for the `(trial - makespan).max(1e-9)` bug: under
+        // the old clamped-ratio scoring, the 1 nJ move and the 1000 nJ move
+        // both rate `saving / 1e-9`, and a genuinely useful lengthening
+        // move rated `saving / latency_increase` could never compete.
+        let old_score =
+            |saving: f64, trial: f64, makespan: f64| saving / (trial - makespan).max(1e-9);
+        let tiny_free = old_score(1.0, 1000.0, 1000.0); // 1e9
+        let big_lengthening = old_score(1.0e6, 1001.0, 1000.0); // 1e6
+        assert!(
+            tiny_free > big_lengthening,
+            "old scoring inflated makespan-neutral moves: {tiny_free} vs {big_lengthening}"
+        );
+        let new_tiny = MoveScore::rate(1.0, 1000.0, 1000.0);
+        let new_big = MoveScore::rate(1.0e6, 1001.0, 1000.0);
+        // New scoring still prefers the free move *class*, but ranks free
+        // moves among themselves by saving — so a 1000 nJ free move beats
+        // the 1 nJ free move, which the old flat 1e9 ratios could not
+        // express (first-scanned won the tie).
+        assert!(new_tiny.improves_on(&new_big));
+        let new_large_free = MoveScore::rate(1000.0, 1000.0, 1000.0);
+        assert!(new_large_free.improves_on(&new_tiny));
+    }
+
+    #[test]
+    fn incremental_and_reference_agree_on_paper_instances() {
+        for constraint in [1.5e6, 2.0e6, 3.0e6, 1.0e7, 1.0e9] {
+            let problem = build_problem(constraint);
+            assert_eq!(
+                solve_heuristic(&problem),
+                solve_heuristic_reference(&problem),
+                "divergence at constraint {constraint}"
+            );
+        }
     }
 
     #[test]

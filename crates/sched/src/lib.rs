@@ -16,11 +16,15 @@
 //! * [`schedule`] — an event-driven list scheduler that turns an assignment
 //!   into a concrete schedule (makespan + per-sub-accelerator timeline),
 //!   modelling both intra-network layer dependencies and contention between
-//!   networks sharing a sub-accelerator;
+//!   networks sharing a sub-accelerator.  The reusable [`Simulator`] keeps
+//!   all dispatch scratch alive and supports checkpointed **delta
+//!   evaluation** of single-layer re-assignments;
 //! * [`heuristic`] — the ratio heuristic in the spirit of Shao et al.
-//!   that the paper uses instead of ILP;
-//! * [`exact`] — an exhaustive/branch-and-bound solver for small instances,
-//!   used to validate the heuristic in tests;
+//!   that the paper uses instead of ILP, delta-evaluated against the
+//!   incremental simulator (the naive clone-and-resimulate form is kept as
+//!   [`solve_heuristic_reference`] for differential tests and benchmarks);
+//! * [`exact`] — a branch-and-bound solver with admissible energy/latency
+//!   lower bounds, used to validate the heuristic's optimality gap;
 //! * [`verify`] — the feasibility theorem (`HAP <= ES`).
 //!
 //! # Example
@@ -51,8 +55,8 @@ pub mod problem;
 pub mod schedule;
 pub mod verify;
 
-pub use exact::solve_exact;
-pub use heuristic::solve_heuristic;
+pub use exact::{solve_exact, solve_exact_unseeded};
+pub use heuristic::{solve_heuristic, solve_heuristic_reference};
 pub use problem::{Assignment, HapProblem, MappingSolution};
-pub use schedule::{Schedule, ScheduledSlot};
+pub use schedule::{Schedule, ScheduledSlot, Simulator};
 pub use verify::meets_design_specs;

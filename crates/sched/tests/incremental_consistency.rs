@@ -1,0 +1,409 @@
+//! Differential tests of the incremental scheduling engine.
+//!
+//! The incremental [`Simulator`] (checkpointed delta evaluation) and the
+//! delta-evaluated [`solve_heuristic`] must be **bit-identical** to the
+//! retained naive forms ([`simulate`] from scratch,
+//! [`solve_heuristic_reference`]) on randomized HAP instances — and the
+//! heuristic must never beat [`solve_exact`] where the exact solver
+//! applies.  A pinned instance regresses the old clamped-ratio scoring
+//! bug, whose greedy ordering ends with strictly worse energy.
+
+use nasaic_cost::{CostModel, LayerCost, LayerCostRow, NetworkCosts, WorkloadCosts};
+use nasaic_nn::backbone::Backbone;
+use nasaic_sched::heuristic::latency_optimal_assignment;
+use nasaic_sched::schedule::simulate;
+use nasaic_sched::{
+    solve_exact, solve_exact_unseeded, solve_heuristic, solve_heuristic_reference, Assignment,
+    HapProblem, MappingSolution, Simulator,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Random HAP instance: 1–3 networks of 2–5 layers on 2–3 sub-accelerators
+/// with continuous costs, near-degenerate latency pairs (tiny makespan
+/// deltas — the regime that exposed the old ratio clamp), an occasional
+/// infeasible entry, and a constraint between tight and loose.
+fn random_problem(rng: &mut StdRng) -> HapProblem {
+    let nets = rng.gen_range(1..=3usize);
+    let subs = rng.gen_range(2..=3usize);
+    let networks = (0..nets)
+        .map(|n| NetworkCosts {
+            name: format!("net{n}"),
+            layers: (0..rng.gen_range(2..=5usize))
+                .map(|l| LayerCostRow {
+                    layer_name: format!("l{l}"),
+                    macs: 1,
+                    per_sub: (0..subs)
+                        .map(|_| {
+                            if rng.gen_bool(0.05) {
+                                LayerCost::infeasible()
+                            } else {
+                                LayerCost {
+                                    latency_cycles: if rng.gen_bool(0.3) {
+                                        10.0 + rng.gen_range(0.0..0.01f64)
+                                    } else {
+                                        rng.gen_range(1.0..100.0f64)
+                                    },
+                                    energy_nj: rng.gen_range(0.1..1000.0f64),
+                                }
+                            }
+                        })
+                        .collect(),
+                })
+                .collect(),
+        })
+        .collect();
+    let costs = WorkloadCosts {
+        networks,
+        num_subs: subs,
+    };
+    let lb = costs.makespan_lower_bound().max(1.0);
+    let lb = if lb.is_finite() { lb } else { 100.0 };
+    let constraint = lb * rng.gen_range(0.8..2.5f64);
+    let penalty = if rng.gen_bool(0.5) {
+        0.0
+    } else {
+        rng.gen_range(0.0..20.0f64)
+    };
+    HapProblem::new(costs, constraint).with_switch_penalty(penalty)
+}
+
+/// A uniformly random (not necessarily feasible) assignment.
+fn random_assignment(problem: &HapProblem, rng: &mut StdRng) -> Assignment {
+    Assignment::new(
+        problem
+            .costs
+            .networks
+            .iter()
+            .map(|n| {
+                (0..n.layers.len())
+                    .map(|_| rng.gen_range(0..problem.num_subs()))
+                    .collect()
+            })
+            .collect(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    /// The reusable simulator reproduces `simulate` bit-for-bit — full
+    /// schedule, makespan-only path, and the checkpointed trial replay
+    /// against every possible single-layer deviation.
+    #[test]
+    fn simulator_matches_naive_simulation(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let problem = random_problem(&mut rng);
+        let mut sim = Simulator::new(&problem);
+        for _ in 0..3 {
+            let assignment = random_assignment(&problem, &mut rng);
+            let naive = simulate(&problem, &assignment);
+            let reused = sim.schedule(&assignment);
+            prop_assert_eq!(&naive, &reused);
+            let makespan = sim.makespan(&assignment);
+            prop_assert!(
+                makespan == naive.makespan || (makespan.is_infinite() && naive.makespan.is_infinite())
+            );
+
+            // Delta evaluation: checkpointed replay of every single-layer
+            // move equals a from-scratch simulation of the moved assignment.
+            if sim.prepare(&assignment).is_finite() {
+                let mut trial = assignment.clone();
+                for (n, layers) in assignment.per_network().iter().enumerate() {
+                    for (l, &current) in layers.iter().enumerate() {
+                        for sub in 0..problem.num_subs() {
+                            if sub == current {
+                                continue;
+                            }
+                            trial.set(n, l, sub);
+                            let replayed = sim.trial_makespan(&trial, n, l, f64::INFINITY);
+                            let from_scratch = simulate(&problem, &trial).makespan;
+                            prop_assert!(
+                                replayed == from_scratch
+                                    || (replayed.is_infinite() && from_scratch.is_infinite()),
+                                "trial ({}, {}) -> {}: replay {} vs scratch {}",
+                                n, l, sub, replayed, from_scratch
+                            );
+                            trial.set(n, l, current);
+                        }
+                    }
+                }
+
+                // Committing a random move re-records exactly the
+                // checkpoints the move invalidated: trials after the
+                // commit must match a freshly prepared simulator on the
+                // committed assignment.
+                let move_n = rng.gen_range(0..problem.num_networks());
+                if !assignment.per_network()[move_n].is_empty() {
+                    let move_l = rng.gen_range(0..assignment.per_network()[move_n].len());
+                    let move_sub = rng.gen_range(0..problem.num_subs());
+                    let mut committed = assignment.clone();
+                    committed.set(move_n, move_l, move_sub);
+                    let committed_makespan = sim.commit_trial(&committed, move_n, move_l);
+                    let scratch_makespan = simulate(&problem, &committed).makespan;
+                    prop_assert!(
+                        committed_makespan == scratch_makespan
+                            || (committed_makespan.is_infinite()
+                                && scratch_makespan.is_infinite())
+                    );
+                    if committed_makespan.is_finite() {
+                        let mut fresh = Simulator::new(&problem);
+                        prop_assert!(fresh.prepare(&committed).is_finite());
+                        let mut trial = committed.clone();
+                        for (n, layers) in committed.per_network().iter().enumerate() {
+                            for (l, &current) in layers.iter().enumerate() {
+                                for sub in 0..problem.num_subs() {
+                                    if sub == current {
+                                        continue;
+                                    }
+                                    trial.set(n, l, sub);
+                                    let after_commit =
+                                        sim.trial_makespan(&trial, n, l, f64::INFINITY);
+                                    let after_prepare =
+                                        fresh.trial_makespan(&trial, n, l, f64::INFINITY);
+                                    prop_assert!(
+                                        after_commit == after_prepare
+                                            || (after_commit.is_infinite()
+                                                && after_prepare.is_infinite()),
+                                        "post-commit trial ({}, {}) -> {}: {} vs {}",
+                                        n, l, sub, after_commit, after_prepare
+                                    );
+                                    trial.set(n, l, current);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// The delta-evaluated heuristic is bit-identical to the retained
+    /// naive reference solver.
+    #[test]
+    fn incremental_heuristic_matches_reference(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let problem = random_problem(&mut rng);
+        let incremental = solve_heuristic(&problem);
+        let reference = solve_heuristic_reference(&problem);
+        prop_assert_eq!(incremental, reference);
+    }
+
+    /// The heuristic never beats the exact solver — checked against the
+    /// **unseeded** branch and bound, which never sees the heuristic's
+    /// solution, so this is a genuinely independent oracle — and the two
+    /// agree on infeasibility (including the shared infeasible-sentinel
+    /// contract).  The seeded production solver must agree with the
+    /// unseeded one on the optimal energy.
+    #[test]
+    fn heuristic_never_beats_exact(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let problem = random_problem(&mut rng);
+        let exact =
+            solve_exact_unseeded(&problem).expect("random instances are within the layer limit");
+        let heuristic = solve_heuristic(&problem);
+        let seeded = solve_exact(&problem).expect("same layer limit");
+        if exact.feasible {
+            prop_assert!(exact.latency_cycles <= problem.latency_constraint);
+            prop_assert!(seeded.feasible);
+            prop_assert!(
+                (seeded.energy_nj - exact.energy_nj).abs() <= 1e-9 * exact.energy_nj.max(1.0),
+                "seeded {} vs unseeded {} optimum",
+                seeded.energy_nj,
+                exact.energy_nj
+            );
+            if heuristic.feasible {
+                prop_assert!(
+                    heuristic.energy_nj + 1e-6 >= exact.energy_nj,
+                    "heuristic {} beats exact {}",
+                    heuristic.energy_nj,
+                    exact.energy_nj
+                );
+            }
+        } else {
+            // No feasible assignment exists, so the heuristic cannot have
+            // found one — and both report the same best-latency sentinel.
+            prop_assert!(!heuristic.feasible);
+            prop_assert_eq!(&exact, &heuristic);
+            prop_assert_eq!(&seeded, &heuristic);
+        }
+    }
+}
+
+/// Re-implementation of the pre-fix move loop: every move is rated
+/// `saving / (trial - makespan).max(1e-9)`, so makespan-non-increasing
+/// moves collapse to a ~1e9× ratio and the cross-class ordering is
+/// meaningless.  Kept here verbatim to pin the bug.
+fn old_clamped_ratio_solver(problem: &HapProblem) -> MappingSolution {
+    let Some(mut assignment) = latency_optimal_assignment(problem) else {
+        return MappingSolution::infeasible(Assignment::uniform(&problem.costs, 0));
+    };
+    let mut schedule = simulate(problem, &assignment);
+    let mut energy = problem.energy_of(&assignment);
+    if schedule.makespan > problem.latency_constraint {
+        return MappingSolution {
+            assignment,
+            latency_cycles: schedule.makespan,
+            energy_nj: energy,
+            feasible: false,
+        };
+    }
+    loop {
+        let mut best_move: Option<(usize, usize, usize, f64, f64)> = None;
+        for (n, network) in problem.costs.networks.iter().enumerate() {
+            for (l, row) in network.layers.iter().enumerate() {
+                let current_sub = assignment.sub_for(n, l);
+                let current_cost = &row.per_sub[current_sub];
+                for (candidate_sub, candidate_cost) in row.per_sub.iter().enumerate() {
+                    if candidate_sub == current_sub || !candidate_cost.is_feasible() {
+                        continue;
+                    }
+                    let energy_saving = current_cost.energy_nj - candidate_cost.energy_nj;
+                    if energy_saving <= 0.0 {
+                        continue;
+                    }
+                    let mut trial = assignment.clone();
+                    trial.set(n, l, candidate_sub);
+                    let trial_schedule = simulate(problem, &trial);
+                    if trial_schedule.makespan > problem.latency_constraint {
+                        continue;
+                    }
+                    let latency_increase = (trial_schedule.makespan - schedule.makespan).max(1e-9);
+                    let ratio = energy_saving / latency_increase;
+                    let better = match best_move {
+                        None => true,
+                        Some((_, _, _, best_ratio, _)) => ratio > best_ratio,
+                    };
+                    if better {
+                        best_move = Some((n, l, candidate_sub, ratio, energy_saving));
+                    }
+                }
+            }
+        }
+        match best_move {
+            Some((n, l, sub, _, saving)) => {
+                assignment.set(n, l, sub);
+                energy -= saving;
+                schedule = simulate(problem, &assignment);
+            }
+            None => break,
+        }
+    }
+    let feasible = schedule.makespan <= problem.latency_constraint;
+    MappingSolution {
+        assignment,
+        latency_cycles: schedule.makespan,
+        energy_nj: energy,
+        feasible,
+    }
+}
+
+/// Instance generator matching the search that found the pinned seeds
+/// (continuous costs, no infeasible entries, tight-ish constraints).
+fn pinned_problem(seed: u64) -> HapProblem {
+    let rng = &mut StdRng::seed_from_u64(seed);
+    let nets = rng.gen_range(1..=3usize);
+    let subs = rng.gen_range(2..=3usize);
+    let networks = (0..nets)
+        .map(|n| NetworkCosts {
+            name: format!("net{n}"),
+            layers: (0..rng.gen_range(2..=5usize))
+                .map(|l| LayerCostRow {
+                    layer_name: format!("l{l}"),
+                    macs: 1,
+                    per_sub: (0..subs)
+                        .map(|_| LayerCost {
+                            latency_cycles: if rng.gen_bool(0.3) {
+                                10.0 + rng.gen_range(0.0..0.01f64)
+                            } else {
+                                rng.gen_range(1.0..100.0f64)
+                            },
+                            energy_nj: rng.gen_range(0.1..1000.0f64),
+                        })
+                        .collect(),
+                })
+                .collect(),
+        })
+        .collect();
+    let costs = WorkloadCosts {
+        networks,
+        num_subs: subs,
+    };
+    let constraint = costs.makespan_lower_bound() * rng.gen_range(1.0..1.6f64);
+    let penalty = if rng.gen_bool(0.5) { 0.0 } else { 5.0 };
+    HapProblem::new(costs, constraint.max(1.0)).with_switch_penalty(penalty)
+}
+
+/// Regression pin (headline bugfix): on these instances the old
+/// clamped-ratio scoring walks a greedy path that ends with strictly
+/// worse energy than the fixed per-class scoring.  Found by randomized
+/// search over `pinned_problem` seeds; the seeds are stable because the
+/// vendored `rand` is stream-compatible with rand 0.8.
+#[test]
+fn old_ratio_scoring_ends_with_worse_energy() {
+    let mut regressed = 0;
+    for seed in [3352u64, 53420, 99441] {
+        let problem = pinned_problem(seed);
+        let old = old_clamped_ratio_solver(&problem);
+        let fixed = solve_heuristic(&problem);
+        assert_eq!(fixed, solve_heuristic_reference(&problem));
+        assert!(
+            old.feasible && fixed.feasible,
+            "seed {seed} must be feasible"
+        );
+        assert!(
+            fixed.energy_nj < old.energy_nj - 1e-6,
+            "seed {seed}: fixed scoring {} should beat old scoring {}",
+            fixed.energy_nj,
+            old.energy_nj
+        );
+        regressed += 1;
+    }
+    assert_eq!(regressed, 3);
+}
+
+/// Paper-workload-sized differential check: W1, W2 and W3 cost tables at
+/// several constraints, incremental vs reference solver.
+#[test]
+fn paper_workloads_bit_identical_between_solvers() {
+    let model = CostModel::paper_calibrated();
+    let workloads: Vec<(&str, Vec<_>)> = vec![
+        (
+            "w1",
+            vec![
+                Backbone::ResNet9Cifar10.materialize_values(&[32, 128, 2, 256, 2, 256, 2]),
+                Backbone::UNetNuclei.materialize_values(&[4, 16, 32, 64, 128, 256]),
+            ],
+        ),
+        (
+            "w2",
+            vec![
+                Backbone::ResNet9Cifar10.materialize_values(&[32, 128, 2, 256, 2, 256, 2]),
+                Backbone::ResNet9Stl10.materialize_values(&[16, 64, 1, 128, 1, 256, 2]),
+            ],
+        ),
+        (
+            "w3",
+            vec![
+                Backbone::ResNet9Cifar10.materialize_values(&[8, 64, 1, 128, 1, 128, 1]),
+                Backbone::ResNet9Cifar10.materialize_values(&[32, 128, 2, 256, 2, 256, 2]),
+            ],
+        ),
+    ];
+    let acc = nasaic_accel::Accelerator::new(vec![
+        nasaic_accel::SubAccelerator::new(nasaic_accel::Dataflow::Nvdla, 2048, 32),
+        nasaic_accel::SubAccelerator::new(nasaic_accel::Dataflow::Shidiannao, 2048, 32),
+    ]);
+    for (name, archs) in &workloads {
+        let costs = WorkloadCosts::build(&model, archs, &acc);
+        for constraint in [8.0e5, 2.0e6, 1.0e7, 1.0e9] {
+            let problem = HapProblem::new(costs.clone(), constraint);
+            assert_eq!(
+                solve_heuristic(&problem),
+                solve_heuristic_reference(&problem),
+                "workload {name} constraint {constraint}"
+            );
+        }
+    }
+}

@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Regenerate the scheduling perf snapshot.
+#
+#   scripts/bench_sched.sh                      # full run, appends to BENCH_sched.json
+#   scripts/bench_sched.sh --quick --label ci   # CI mode: short budget, still gates
+#                                               # on the solver consistency suite
+#
+# All arguments are forwarded to the `sched_baseline` binary
+# (see `crates/bench/src/bin/sched_baseline.rs` for the full flag list).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+cargo run --release -p nasaic-bench --bin sched_baseline -- "$@"
