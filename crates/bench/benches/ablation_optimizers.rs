@@ -36,6 +36,10 @@ fn regenerate_and_bench(c: &mut Criterion) {
     let workload = Workload::w3();
     let specs = DesignSpecs::for_workload(WorkloadId::W3);
     let evaluator = Evaluator::new(&workload, specs, AccuracyOracle::default());
+    // One shared engine across the whole ablation: engine caching is
+    // observationally invisible, so each optimizer's outcome is identical
+    // to an isolated run while revisited candidates are paid for once.
+    let engine = EvalEngine::from(&evaluator);
     let hardware = HardwareSpace::paper_default(2);
 
     println!("\n=== Ablation: optimizers on the NASAIC reward (workload W3) ===");
@@ -80,7 +84,7 @@ fn regenerate_and_bench(c: &mut Criterion) {
         generations: 12,
         ..EvolutionarySearch::fast(seed)
     }
-    .run(&workload, specs, &hardware, &evaluator);
+    .run_with_engine(&workload, specs, &hardware, &engine);
     report_line(
         "evolutionary algorithm",
         evolutionary.best_weighted_accuracy(),
@@ -89,7 +93,8 @@ fn regenerate_and_bench(c: &mut Criterion) {
 
     // Joint Monte-Carlo random search with a matched budget.
     let budget = with_selector.explored.len().max(60);
-    let random = MonteCarloSearch { runs: budget, seed }.run(&workload, &hardware, &evaluator);
+    let random =
+        MonteCarloSearch { runs: budget, seed }.run_with_engine(&workload, &hardware, &engine);
     report_line(
         "random search",
         random.best_weighted_accuracy(),
@@ -97,7 +102,7 @@ fn regenerate_and_bench(c: &mut Criterion) {
     );
 
     // Greedy hill climbing.
-    let climb = HillClimb::new(20).run(&workload, specs, &hardware, &evaluator);
+    let climb = HillClimb::new(20).run_with_engine(&workload, specs, &hardware, &engine);
     report_line(
         "hill climbing",
         climb.best_weighted_accuracy(),
@@ -116,7 +121,7 @@ fn regenerate_and_bench(c: &mut Criterion) {
             };
             black_box(
                 config
-                    .run(&workload, specs, &hardware, &evaluator)
+                    .run_with_engine(&workload, specs, &hardware, &EvalEngine::from(&evaluator))
                     .explored
                     .len(),
             )

@@ -7,11 +7,14 @@
 //! shows this is feasible but leaves accuracy on the table compared to true
 //! co-exploration.
 
+use crate::algorithm::{
+    emit_search_finished, NullObserver, SearchAlgorithm, SearchContext, SearchEvent, SearchObserver,
+};
 use crate::bounds::PenaltyBounds;
 use crate::candidate::Candidate;
 use crate::engine::EvalEngine;
 use crate::evaluator::Evaluator;
-use crate::log::{ExploredSolution, SearchOutcome};
+use crate::log::{ExploredSolution, PhaseSummary, SearchOutcome};
 use crate::spec::DesignSpecs;
 use crate::workload::Workload;
 use nasaic_accel::{Accelerator, HardwareSpace};
@@ -61,6 +64,14 @@ impl AsicThenHwNas {
     /// deviation of each metric from its spec; designs exceeding a spec are
     /// penalised three-fold so "closest" designs are preferentially inside
     /// the spec region.
+    ///
+    /// Every call silently builds a throwaway [`EvalEngine`] whose caches
+    /// start cold and die with the call.
+    #[deprecated(
+        note = "builds a throwaway cold EvalEngine per call; share one engine via \
+                `run_monte_carlo_hardware_with_engine` or run the whole baseline through \
+                `SearchAlgorithm::run`"
+    )]
     pub fn run_monte_carlo_hardware(
         &self,
         workload: &Workload,
@@ -86,6 +97,22 @@ impl AsicThenHwNas {
         specs: &DesignSpecs,
         hardware: &HardwareSpace,
         engine: &EvalEngine,
+    ) -> Accelerator {
+        self.run_monte_carlo_hardware_observed(workload, specs, hardware, engine, &NullObserver)
+    }
+
+    /// The hardware Monte-Carlo loop, shared by
+    /// [`run_monte_carlo_hardware_with_engine`](Self::run_monte_carlo_hardware_with_engine)
+    /// and the trait path.  Each sampled design is one `EpisodeEvaluated`
+    /// event (accuracy-free: `weighted_accuracy` is `None`), so the trace
+    /// covers the phase's engine work.
+    fn run_monte_carlo_hardware_observed(
+        &self,
+        workload: &Workload,
+        specs: &DesignSpecs,
+        hardware: &HardwareSpace,
+        engine: &EvalEngine,
+        observer: &dyn SearchObserver,
     ) -> Accelerator {
         let reference: Vec<Architecture> = workload
             .tasks
@@ -114,8 +141,18 @@ impl AsicThenHwNas {
                 engine.hardware_metrics(&reference, accelerator)
             });
         let mut best: Option<(f64, Accelerator)> = None;
-        for (accelerator, metrics) in accelerators.into_iter().zip(metrics) {
-            if !metrics.is_feasible() {
+        for (run, (accelerator, metrics)) in accelerators.into_iter().zip(metrics).enumerate() {
+            let feasible = metrics.is_feasible();
+            observer.on_event(&SearchEvent::EpisodeEvaluated {
+                episode: run,
+                evaluations: 1,
+                weighted_accuracy: None,
+                any_compliant: feasible && specs.check(&metrics).all(),
+                reward: 0.0,
+                entropy: None,
+                baseline: None,
+            });
+            if !feasible {
                 continue;
             }
             let distance = spec_distance(metrics.latency_cycles, specs.latency_cycles)
@@ -130,6 +167,14 @@ impl AsicThenHwNas {
     }
 
     /// Phase 2: hardware-aware NAS on a fixed accelerator design.
+    ///
+    /// Every call silently builds a throwaway [`EvalEngine`] whose caches
+    /// start cold and die with the call.
+    #[deprecated(
+        note = "builds a throwaway cold EvalEngine per call; share one engine via \
+                `run_hardware_aware_nas_with_engine` or run the whole baseline through \
+                `SearchAlgorithm::run`"
+    )]
     pub fn run_hardware_aware_nas(
         &self,
         workload: &Workload,
@@ -155,6 +200,20 @@ impl AsicThenHwNas {
         specs: DesignSpecs,
         accelerator: &Accelerator,
         engine: &EvalEngine,
+    ) -> SearchOutcome {
+        self.run_hardware_aware_nas_observed(workload, specs, accelerator, engine, &NullObserver)
+    }
+
+    /// The hardware-aware NAS loop, shared by
+    /// [`run_hardware_aware_nas_with_engine`](Self::run_hardware_aware_nas_with_engine)
+    /// and the trait path.
+    fn run_hardware_aware_nas_observed(
+        &self,
+        workload: &Workload,
+        specs: DesignSpecs,
+        accelerator: &Accelerator,
+        engine: &EvalEngine,
+        observer: &dyn SearchObserver,
     ) -> SearchOutcome {
         let segments: Vec<Segment> = workload
             .tasks
@@ -182,16 +241,39 @@ impl AsicThenHwNas {
                 .collect();
             let Ok(architectures) = architectures else {
                 controller.feedback(&sample, -self.rho);
+                observer.on_event(&SearchEvent::EpisodeEvaluated {
+                    episode,
+                    evaluations: 0,
+                    weighted_accuracy: None,
+                    any_compliant: false,
+                    reward: -self.rho,
+                    entropy: Some(sample.mean_entropy),
+                    baseline: controller.baseline(),
+                });
                 continue;
             };
             let candidate = Candidate::from_parts(architectures, accelerator.clone());
             let (evaluation, reward) = scorer.score(&candidate);
             controller.feedback(&sample, reward);
-            outcome.record(ExploredSolution {
+            let weighted_accuracy = evaluation.weighted_accuracy;
+            let any_compliant = evaluation.meets_specs();
+            outcome.record_observed(
+                ExploredSolution {
+                    episode,
+                    candidate,
+                    evaluation,
+                    reward,
+                },
+                observer,
+            );
+            observer.on_event(&SearchEvent::EpisodeEvaluated {
                 episode,
-                candidate,
-                evaluation,
+                evaluations: 1,
+                weighted_accuracy: Some(weighted_accuracy),
+                any_compliant,
                 reward,
+                entropy: Some(sample.mean_entropy),
+                baseline: controller.baseline(),
             });
         }
         outcome.episodes = self.nas_episodes;
@@ -200,6 +282,13 @@ impl AsicThenHwNas {
     }
 
     /// Run both phases; returns the chosen accelerator and the NAS outcome.
+    ///
+    /// Every call silently builds a throwaway [`EvalEngine`] whose caches
+    /// start cold and die with the call.
+    #[deprecated(
+        note = "builds a throwaway cold EvalEngine per call; share one engine via \
+                `run_with_engine` or run through `SearchAlgorithm::run` with a `SearchContext`"
+    )]
     pub fn run(
         &self,
         workload: &Workload,
@@ -210,7 +299,10 @@ impl AsicThenHwNas {
         self.run_with_engine(workload, specs, hardware, &EvalEngine::from(evaluator))
     }
 
-    /// [`run`](Self::run) through a shared engine.
+    /// [`run`](Self::run) through a shared engine.  The outcome carries
+    /// both phases as [`SearchOutcome::phases`] summaries (the chosen
+    /// accelerator is the `asic-monte-carlo` phase's detail), so it
+    /// survives when only the outcome is kept.
     pub fn run_with_engine(
         &self,
         workload: &Workload,
@@ -218,11 +310,81 @@ impl AsicThenHwNas {
         hardware: &HardwareSpace,
         engine: &EvalEngine,
     ) -> (Accelerator, SearchOutcome) {
+        self.run_observed(workload, specs, hardware, engine, &NullObserver)
+    }
+
+    /// Both phases with phase events and summaries; shared by
+    /// [`run_with_engine`](Self::run_with_engine) and the trait path.
+    fn run_observed(
+        &self,
+        workload: &Workload,
+        specs: DesignSpecs,
+        hardware: &HardwareSpace,
+        engine: &EvalEngine,
+        observer: &dyn SearchObserver,
+    ) -> (Accelerator, SearchOutcome) {
+        let stats_start = engine.stats();
+        observer.on_event(&SearchEvent::PhaseStarted {
+            phase: "asic-monte-carlo".to_string(),
+            budget: self.monte_carlo_runs,
+        });
         let accelerator =
-            self.run_monte_carlo_hardware_with_engine(workload, &specs, hardware, engine);
-        let outcome =
-            self.run_hardware_aware_nas_with_engine(workload, specs, &accelerator, engine);
+            self.run_monte_carlo_hardware_observed(workload, &specs, hardware, engine, observer);
+        let hardware_summary = PhaseSummary {
+            name: "asic-monte-carlo".to_string(),
+            episodes: self.monte_carlo_runs,
+            explored: 0,
+            spec_compliant: 0,
+            best_weighted_accuracy: None,
+            detail: format!("selected accelerator: {accelerator}"),
+        };
+        observer.on_event(&SearchEvent::PhaseFinished {
+            phase: "asic-monte-carlo".to_string(),
+            summary: hardware_summary.clone(),
+        });
+
+        observer.on_event(&SearchEvent::PhaseStarted {
+            phase: "hw-nas".to_string(),
+            budget: self.nas_episodes,
+        });
+        let mut outcome =
+            self.run_hardware_aware_nas_observed(workload, specs, &accelerator, engine, observer);
+        let nas_summary = PhaseSummary {
+            name: "hw-nas".to_string(),
+            episodes: self.nas_episodes,
+            explored: outcome.explored.len(),
+            spec_compliant: outcome.spec_compliant.len(),
+            best_weighted_accuracy: outcome.best_weighted_accuracy(),
+            detail: format!("hardware-aware NAS on the fixed design {accelerator}"),
+        };
+        observer.on_event(&SearchEvent::PhaseFinished {
+            phase: "hw-nas".to_string(),
+            summary: nas_summary.clone(),
+        });
+        outcome.phases = vec![hardware_summary, nas_summary];
+        emit_search_finished(observer, &outcome, engine.stats().since(&stats_start));
         (accelerator, outcome)
+    }
+}
+
+impl SearchAlgorithm for AsicThenHwNas {
+    fn name(&self) -> &str {
+        "asic-then-hwnas"
+    }
+
+    /// Run both phases over the context's workload/specs/hardware.  The
+    /// outcome is the hardware-aware NAS exploration log; the chosen
+    /// accelerator survives in [`SearchOutcome::phases`] (and as
+    /// `PhaseFinished` events).
+    fn run(&self, ctx: &SearchContext<'_>) -> SearchOutcome {
+        self.run_observed(
+            ctx.workload,
+            ctx.specs,
+            ctx.hardware,
+            ctx.engine,
+            ctx.observer(),
+        )
+        .1
     }
 }
 
@@ -248,10 +410,11 @@ mod tests {
         let workload = Workload::w1();
         let specs = DesignSpecs::for_workload(WorkloadId::W1);
         let evaluator = Evaluator::new(&workload, specs, AccuracyOracle::default());
+        let engine = EvalEngine::from(&evaluator);
         let hardware = HardwareSpace::paper_default(2);
         let baseline = AsicThenHwNas::fast(5);
         let accelerator =
-            baseline.run_monte_carlo_hardware(&workload, &specs, &hardware, &evaluator);
+            baseline.run_monte_carlo_hardware_with_engine(&workload, &specs, &hardware, &engine);
         // The chosen design must at least fit the area spec (area does not
         // depend on the reference architectures).
         let area = evaluator.cost_model().area_um2(&accelerator);
@@ -263,10 +426,10 @@ mod tests {
     fn hardware_aware_nas_finds_compliant_architectures_on_w1() {
         let workload = Workload::w1();
         let specs = DesignSpecs::for_workload(WorkloadId::W1);
-        let evaluator = Evaluator::new(&workload, specs, AccuracyOracle::default());
+        let engine = EvalEngine::new(Evaluator::new(&workload, specs, AccuracyOracle::default()));
         let hardware = HardwareSpace::paper_default(2);
         let baseline = AsicThenHwNas::fast(7);
-        let (accelerator, outcome) = baseline.run(&workload, specs, &hardware, &evaluator);
+        let (accelerator, outcome) = baseline.run_with_engine(&workload, specs, &hardware, &engine);
         assert!(accelerator.has_capacity());
         let best = outcome
             .best
@@ -274,6 +437,11 @@ mod tests {
         assert!(best.evaluation.meets_specs());
         // Accuracy must exceed the smallest-network lower bound.
         assert!(best.evaluation.weighted_accuracy > 0.715);
+        // The chosen accelerator survives in the phase summaries.
+        assert_eq!(outcome.phases.len(), 2);
+        assert_eq!(outcome.phases[0].name, "asic-monte-carlo");
+        assert!(outcome.phases[0].detail.contains("selected accelerator"));
+        assert_eq!(outcome.phases[1].name, "hw-nas");
     }
 
     #[test]

@@ -8,6 +8,9 @@
 //! indices and the per-sub-accelerator hardware choice indices, and whose
 //! fitness is exactly the Eq. 4 reward.
 
+use crate::algorithm::{
+    emit_search_finished, NullObserver, SearchAlgorithm, SearchContext, SearchEvent, SearchObserver,
+};
 use crate::bounds::PenaltyBounds;
 use crate::candidate::Candidate;
 use crate::engine::EvalEngine;
@@ -64,7 +67,14 @@ impl EvolutionarySearch {
         }
     }
 
-    /// Run the evolutionary co-search.
+    /// Run the evolutionary co-search through a borrowed evaluator.
+    ///
+    /// Every call silently builds a throwaway [`EvalEngine`] whose caches
+    /// start cold and die with the call.
+    #[deprecated(
+        note = "builds a throwaway cold EvalEngine per call; share one engine via \
+                `run_with_engine` or run through `SearchAlgorithm::run` with a `SearchContext`"
+    )]
     pub fn run(
         &self,
         workload: &Workload,
@@ -75,9 +85,9 @@ impl EvolutionarySearch {
         self.run_with_engine(workload, specs, hardware, &EvalEngine::from(evaluator))
     }
 
-    /// [`run`](Self::run) through a shared engine: every generation's
-    /// population is scored as one parallel batch, with elitism's surviving
-    /// individuals re-scored from the caches for free.
+    /// Run through a shared engine: every generation's population is
+    /// scored as one parallel batch, with elitism's surviving individuals
+    /// re-scored from the caches for free.
     pub fn run_with_engine(
         &self,
         workload: &Workload,
@@ -85,6 +95,21 @@ impl EvolutionarySearch {
         hardware: &HardwareSpace,
         engine: &EvalEngine,
     ) -> SearchOutcome {
+        self.run_observed(workload, specs, hardware, engine, &NullObserver)
+    }
+
+    /// The generation loop, shared by
+    /// [`run_with_engine`](Self::run_with_engine) and the
+    /// [`SearchAlgorithm`] trait path.
+    fn run_observed(
+        &self,
+        workload: &Workload,
+        specs: DesignSpecs,
+        hardware: &HardwareSpace,
+        engine: &EvalEngine,
+        observer: &dyn SearchObserver,
+    ) -> SearchOutcome {
+        let stats_start = engine.stats();
         let mut rng = StdRng::seed_from_u64(self.seed ^ 0x5eed_5eed);
         let scorer = engine.scorer(PenaltyBounds::from_specs(&specs, 3.0), self.rho);
         let arch_spaces: Vec<SearchSpace> = workload
@@ -144,16 +169,37 @@ impl EvolutionarySearch {
                     };
                     let (evaluation, reward) =
                         scored.next().expect("one score per decoded candidate");
-                    outcome.record(ExploredSolution {
-                        episode: evaluations,
-                        candidate,
-                        evaluation,
-                        reward,
-                    });
+                    outcome.record_observed(
+                        ExploredSolution {
+                            episode: evaluations,
+                            candidate,
+                            evaluation,
+                            reward,
+                        },
+                        observer,
+                    );
                     evaluations += 1;
                     reward
                 })
                 .collect()
+        };
+
+        // One `EpisodeEvaluated` event per scored generation (the initial
+        // population is generation 0).
+        let generation_event = |generation: usize,
+                                population: usize,
+                                fitness: &[f64],
+                                compliant_before: usize,
+                                outcome: &SearchOutcome| {
+            observer.on_event(&SearchEvent::EpisodeEvaluated {
+                episode: generation,
+                evaluations: population,
+                weighted_accuracy: None,
+                any_compliant: outcome.spec_compliant.len() > compliant_before,
+                reward: fitness[argmax(fitness)],
+                entropy: None,
+                baseline: None,
+            });
         };
 
         // Initial population.
@@ -161,8 +207,9 @@ impl EvolutionarySearch {
             .map(|_| cardinalities.iter().map(|&c| rng.gen_range(0..c)).collect())
             .collect();
         let mut fitness = generation_fitness(&population, &mut outcome);
+        generation_event(0, population.len(), &fitness, 0, &outcome);
 
-        for _generation in 0..self.generations {
+        for generation in 0..self.generations {
             let mut next_population = Vec::with_capacity(population.len());
             // Elitism: carry the best individual over unchanged.
             let best_index = argmax(&fitness);
@@ -183,11 +230,41 @@ impl EvolutionarySearch {
                 next_population.push(child);
             }
             population = next_population;
+            let compliant_before = outcome.spec_compliant.len();
             fitness = generation_fitness(&population, &mut outcome);
+            generation_event(
+                generation + 1,
+                population.len(),
+                &fitness,
+                compliant_before,
+                &outcome,
+            );
         }
 
         outcome.episodes = self.generations;
+        emit_search_finished(observer, &outcome, engine.stats().since(&stats_start));
         outcome
+    }
+}
+
+impl SearchAlgorithm for EvolutionarySearch {
+    fn name(&self) -> &str {
+        "evolutionary"
+    }
+
+    /// Run over the context's workload, specs and hardware space.  The
+    /// genetic hyperparameters (population, tournament, mutation rate) and
+    /// the generation count come from this instance
+    /// ([`Algorithm::instantiate`](crate::scenario::Algorithm::instantiate)
+    /// maps them from the scenario's `SearchSpec`).
+    fn run(&self, ctx: &SearchContext<'_>) -> SearchOutcome {
+        self.run_observed(
+            ctx.workload,
+            ctx.specs,
+            ctx.hardware,
+            ctx.engine,
+            ctx.observer(),
+        )
     }
 }
 
@@ -226,9 +303,10 @@ mod tests {
     fn evolutionary_search_finds_compliant_w3_solutions() {
         let workload = Workload::w3();
         let specs = DesignSpecs::for_workload(WorkloadId::W3);
-        let evaluator = Evaluator::new(&workload, specs, AccuracyOracle::default());
+        let engine = EvalEngine::new(Evaluator::new(&workload, specs, AccuracyOracle::default()));
         let hardware = HardwareSpace::paper_default(2);
-        let outcome = EvolutionarySearch::fast(3).run(&workload, specs, &hardware, &evaluator);
+        let outcome =
+            EvolutionarySearch::fast(3).run_with_engine(&workload, specs, &hardware, &engine);
         assert!(outcome.best.is_some(), "no compliant solution found");
         assert!(outcome.best_weighted_accuracy().unwrap() > 0.80);
         for s in &outcome.spec_compliant {
@@ -240,10 +318,10 @@ mod tests {
     fn later_generations_do_not_regress_the_best_reward() {
         let workload = Workload::w3();
         let specs = DesignSpecs::for_workload(WorkloadId::W3);
-        let evaluator = Evaluator::new(&workload, specs, AccuracyOracle::default());
+        let engine = EvalEngine::new(Evaluator::new(&workload, specs, AccuracyOracle::default()));
         let hardware = HardwareSpace::paper_default(2);
         let config = EvolutionarySearch::fast(7);
-        let outcome = config.run(&workload, specs, &hardware, &evaluator);
+        let outcome = config.run_with_engine(&workload, specs, &hardware, &engine);
         // Best-so-far reward over evaluation order must be non-decreasing by
         // construction (elitism); check the recorded rewards are consistent.
         let mut best = f64::NEG_INFINITY;
@@ -268,8 +346,8 @@ mod tests {
             generations: 3,
             ..EvolutionarySearch::fast(11)
         };
-        let a = config.run(&workload, specs, &hardware, &evaluator);
-        let b = config.run(&workload, specs, &hardware, &evaluator);
+        let a = config.run_with_engine(&workload, specs, &hardware, &EvalEngine::from(&evaluator));
+        let b = config.run_with_engine(&workload, specs, &hardware, &EvalEngine::from(&evaluator));
         assert_eq!(a.best_weighted_accuracy(), b.best_weighted_accuracy());
         assert_eq!(a.explored.len(), b.explored.len());
     }

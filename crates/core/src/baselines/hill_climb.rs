@@ -5,6 +5,9 @@
 //! architectures on a balanced accelerator and greedily accepts single-step
 //! moves that improve the Eq. 4 reward.
 
+use crate::algorithm::{
+    emit_search_finished, NullObserver, SearchAlgorithm, SearchContext, SearchEvent, SearchObserver,
+};
 use crate::bounds::PenaltyBounds;
 use crate::candidate::Candidate;
 use crate::engine::EvalEngine;
@@ -37,7 +40,14 @@ impl HillClimb {
         }
     }
 
-    /// Run the local search.
+    /// Run the local search through a borrowed evaluator.
+    ///
+    /// Every call silently builds a throwaway [`EvalEngine`] whose caches
+    /// start cold and die with the call.
+    #[deprecated(
+        note = "builds a throwaway cold EvalEngine per call; share one engine via \
+                `run_with_engine` or run through `SearchAlgorithm::run` with a `SearchContext`"
+    )]
     pub fn run(
         &self,
         workload: &Workload,
@@ -48,9 +58,9 @@ impl HillClimb {
         self.run_with_engine(workload, specs, hardware, &EvalEngine::from(evaluator))
     }
 
-    /// [`run`](Self::run) through a shared engine: each step's whole
-    /// neighbourhood is scored as one parallel batch, and re-visited
-    /// neighbours (common as the climb slows down) come from the caches.
+    /// Run through a shared engine: each step's whole neighbourhood is
+    /// scored as one parallel batch, and re-visited neighbours (common as
+    /// the climb slows down) come from the caches.
     pub fn run_with_engine(
         &self,
         workload: &Workload,
@@ -58,6 +68,20 @@ impl HillClimb {
         hardware: &HardwareSpace,
         engine: &EvalEngine,
     ) -> SearchOutcome {
+        self.run_observed(workload, specs, hardware, engine, &NullObserver)
+    }
+
+    /// The climb loop, shared by [`run_with_engine`](Self::run_with_engine)
+    /// and the [`SearchAlgorithm`] trait path.
+    fn run_observed(
+        &self,
+        workload: &Workload,
+        specs: DesignSpecs,
+        hardware: &HardwareSpace,
+        engine: &EvalEngine,
+        observer: &dyn SearchObserver,
+    ) -> SearchOutcome {
+        let stats_start = engine.stats();
         let scorer = engine.scorer(PenaltyBounds::from_specs(&specs, 3.0), self.rho);
 
         // Starting point: smallest architectures, balanced mid-size design.
@@ -87,11 +111,25 @@ impl HillClimb {
         let mut outcome = SearchOutcome::empty();
         let mut current = build(&arch_indices, &hw_indices);
         let (mut current_eval, mut current_reward) = scorer.score(&current);
-        outcome.record(ExploredSolution {
+        let start_compliant = current_eval.meets_specs();
+        let start_weighted = current_eval.weighted_accuracy;
+        outcome.record_observed(
+            ExploredSolution {
+                episode: 0,
+                candidate: current.clone(),
+                evaluation: current_eval.clone(),
+                reward: current_reward,
+            },
+            observer,
+        );
+        observer.on_event(&SearchEvent::EpisodeEvaluated {
             episode: 0,
-            candidate: current.clone(),
-            evaluation: current_eval.clone(),
+            evaluations: 1,
+            weighted_accuracy: Some(start_weighted),
+            any_compliant: start_compliant,
             reward: current_reward,
+            entropy: None,
+            baseline: None,
         });
 
         for step in 1..=self.max_steps {
@@ -119,7 +157,9 @@ impl HillClimb {
             let scored = scorer.score_batch(&candidates);
 
             let mut best_move: Option<(Move, f64)> = None;
-            for (move_, (_, reward)) in moves.into_iter().zip(scored) {
+            let mut any_compliant = false;
+            for (move_, (evaluation, reward)) in moves.into_iter().zip(scored) {
+                any_compliant |= evaluation.meets_specs();
                 if best_move.as_ref().is_none_or(|(_, r)| reward > *r) {
                     best_move = Some((move_, reward));
                 }
@@ -128,7 +168,7 @@ impl HillClimb {
                 break;
             };
             if reward <= current_reward {
-                break; // local optimum
+                break; // local optimum; its rejected scan shows up only in the cache stats
             }
             arch_indices = next_arch;
             hw_indices = next_hw;
@@ -136,15 +176,53 @@ impl HillClimb {
             let (evaluation, r) = scorer.score(&current);
             current_eval = evaluation;
             current_reward = r;
-            outcome.record(ExploredSolution {
-                episode: step,
-                candidate: current.clone(),
-                evaluation: current_eval.clone(),
-                reward: current_reward,
-            });
+            outcome.record_observed(
+                ExploredSolution {
+                    episode: step,
+                    candidate: current.clone(),
+                    evaluation: current_eval.clone(),
+                    reward: current_reward,
+                },
+                observer,
+            );
             outcome.episodes = step;
+            // One event per *accepted* step.  Like every driver with an
+            // initial-state evaluation, the starting point is episode 0 and
+            // accepted steps are 1..=episodes, so the trace carries
+            // `SearchFinished.episodes + 1` episode events (rejected
+            // neighbourhood scans show up only in the cache stats).
+            observer.on_event(&SearchEvent::EpisodeEvaluated {
+                episode: step,
+                evaluations: candidates.len(),
+                weighted_accuracy: Some(current_eval.weighted_accuracy),
+                any_compliant,
+                reward,
+                entropy: None,
+                baseline: None,
+            });
         }
+        emit_search_finished(observer, &outcome, engine.stats().since(&stats_start));
         outcome
+    }
+}
+
+impl SearchAlgorithm for HillClimb {
+    fn name(&self) -> &str {
+        "hill-climb"
+    }
+
+    /// Run over the context's workload, specs and hardware space.  The
+    /// step limit and `rho` come from this instance
+    /// ([`Algorithm::instantiate`](crate::scenario::Algorithm::instantiate)
+    /// maps the budget's `episodes` onto `max_steps`).
+    fn run(&self, ctx: &SearchContext<'_>) -> SearchOutcome {
+        self.run_observed(
+            ctx.workload,
+            ctx.specs,
+            ctx.hardware,
+            ctx.engine,
+            ctx.observer(),
+        )
     }
 }
 
@@ -158,9 +236,9 @@ mod tests {
     fn hill_climbing_improves_over_its_starting_point() {
         let workload = Workload::w3();
         let specs = DesignSpecs::for_workload(WorkloadId::W3);
-        let evaluator = Evaluator::new(&workload, specs, AccuracyOracle::default());
+        let engine = EvalEngine::new(Evaluator::new(&workload, specs, AccuracyOracle::default()));
         let hardware = HardwareSpace::paper_default(2);
-        let outcome = HillClimb::new(12).run(&workload, specs, &hardware, &evaluator);
+        let outcome = HillClimb::new(12).run_with_engine(&workload, specs, &hardware, &engine);
         assert!(outcome.explored.len() >= 2, "no move was accepted");
         let first = outcome.explored.first().unwrap().reward;
         let last = outcome.explored.last().unwrap().reward;
@@ -171,9 +249,9 @@ mod tests {
     fn rewards_are_monotonically_non_decreasing() {
         let workload = Workload::w1();
         let specs = DesignSpecs::for_workload(WorkloadId::W1);
-        let evaluator = Evaluator::new(&workload, specs, AccuracyOracle::default());
+        let engine = EvalEngine::new(Evaluator::new(&workload, specs, AccuracyOracle::default()));
         let hardware = HardwareSpace::paper_default(2);
-        let outcome = HillClimb::new(8).run(&workload, specs, &hardware, &evaluator);
+        let outcome = HillClimb::new(8).run_with_engine(&workload, specs, &hardware, &engine);
         for pair in outcome.explored.windows(2) {
             assert!(pair[1].reward >= pair[0].reward);
         }

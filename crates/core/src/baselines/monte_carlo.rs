@@ -7,6 +7,9 @@
 //! spec-compliant solutions, but needs far more evaluations than the
 //! guided search to reach the same accuracy.
 
+use crate::algorithm::{
+    emit_search_finished, NullObserver, SearchAlgorithm, SearchContext, SearchEvent, SearchObserver,
+};
 use crate::candidate::Candidate;
 use crate::engine::EvalEngine;
 use crate::evaluator::Evaluator;
@@ -37,9 +40,15 @@ impl MonteCarloSearch {
         Self { runs: 200, seed }
     }
 
-    /// Run the search through a borrowed evaluator (builds a transient
-    /// [`EvalEngine`]; prefer [`run_with_engine`](Self::run_with_engine)
-    /// when an engine is already available so caches are shared).
+    /// Run the search through a borrowed evaluator.
+    ///
+    /// Every call silently builds a throwaway [`EvalEngine`] whose caches
+    /// start cold and die with the call — repeated runs pay full price for
+    /// every revisited candidate.
+    #[deprecated(
+        note = "builds a throwaway cold EvalEngine per call; share one engine via \
+                `run_with_engine` or run through `SearchAlgorithm::run` with a `SearchContext`"
+    )]
     pub fn run(
         &self,
         workload: &Workload,
@@ -59,6 +68,19 @@ impl MonteCarloSearch {
         hardware: &HardwareSpace,
         engine: &EvalEngine,
     ) -> SearchOutcome {
+        self.run_observed(workload, hardware, engine, &NullObserver)
+    }
+
+    /// The sampling loop, shared by [`run_with_engine`](Self::run_with_engine)
+    /// and the [`SearchAlgorithm`] trait path.
+    fn run_observed(
+        &self,
+        workload: &Workload,
+        hardware: &HardwareSpace,
+        engine: &EvalEngine,
+        observer: &dyn SearchObserver,
+    ) -> SearchOutcome {
+        let stats_start = engine.stats();
         let mut rng = StdRng::seed_from_u64(self.seed ^ 0x1111_2222);
         let mut outcome = SearchOutcome::empty();
         let candidates: Vec<Candidate> = (0..self.runs)
@@ -89,15 +111,46 @@ impl MonteCarloSearch {
         for (episode, (candidate, evaluation)) in
             candidates.into_iter().zip(evaluations).enumerate()
         {
-            outcome.record(ExploredSolution {
+            let weighted_accuracy = evaluation.weighted_accuracy;
+            let any_compliant = evaluation.meets_specs();
+            outcome.record_observed(
+                ExploredSolution {
+                    episode,
+                    candidate,
+                    evaluation,
+                    reward: 0.0,
+                },
+                observer,
+            );
+            observer.on_event(&SearchEvent::EpisodeEvaluated {
                 episode,
-                candidate,
-                evaluation,
+                evaluations: 1,
+                weighted_accuracy: Some(weighted_accuracy),
+                any_compliant,
                 reward: 0.0,
+                entropy: None,
+                baseline: None,
             });
         }
         outcome.episodes = self.runs;
+        emit_search_finished(observer, &outcome, engine.stats().since(&stats_start));
         outcome
+    }
+}
+
+impl SearchAlgorithm for MonteCarloSearch {
+    fn name(&self) -> &str {
+        "monte-carlo"
+    }
+
+    /// Run over the context's workload and hardware space.  The sample
+    /// count and seed come from this instance
+    /// ([`Algorithm::instantiate`](crate::scenario::Algorithm::instantiate)
+    /// maps the budget's
+    /// [`total_evaluations`](crate::algorithm::Budget::total_evaluations)
+    /// onto `runs`).
+    fn run(&self, ctx: &SearchContext<'_>) -> SearchOutcome {
+        self.run_observed(ctx.workload, ctx.hardware, ctx.engine, ctx.observer())
     }
 }
 
@@ -111,9 +164,9 @@ mod tests {
     fn monte_carlo_explores_the_requested_number_of_samples() {
         let workload = Workload::w3();
         let specs = DesignSpecs::for_workload(WorkloadId::W3);
-        let evaluator = Evaluator::new(&workload, specs, AccuracyOracle::default());
+        let engine = EvalEngine::new(Evaluator::new(&workload, specs, AccuracyOracle::default()));
         let hardware = HardwareSpace::paper_default(2);
-        let outcome = MonteCarloSearch::fast(1).run(&workload, &hardware, &evaluator);
+        let outcome = MonteCarloSearch::fast(1).run_with_engine(&workload, &hardware, &engine);
         assert_eq!(outcome.explored.len(), 200);
         assert_eq!(outcome.episodes, 200);
     }
@@ -122,9 +175,9 @@ mod tests {
     fn monte_carlo_finds_compliant_solutions_on_w1() {
         let workload = Workload::w1();
         let specs = DesignSpecs::for_workload(WorkloadId::W1);
-        let evaluator = Evaluator::new(&workload, specs, AccuracyOracle::default());
+        let engine = EvalEngine::new(Evaluator::new(&workload, specs, AccuracyOracle::default()));
         let hardware = HardwareSpace::paper_default(2);
-        let outcome = MonteCarloSearch::fast(3).run(&workload, &hardware, &evaluator);
+        let outcome = MonteCarloSearch::fast(3).run_with_engine(&workload, &hardware, &engine);
         assert!(
             outcome.best.is_some(),
             "random search found no compliant design"
@@ -135,15 +188,15 @@ mod tests {
     }
 
     #[test]
-    fn runs_with_same_seed_are_identical() {
+    #[allow(deprecated)]
+    fn deprecated_cold_engine_wrapper_matches_the_engine_path() {
         let workload = Workload::w3();
         let specs = DesignSpecs::for_workload(WorkloadId::W3);
         let evaluator = Evaluator::new(&workload, specs, AccuracyOracle::default());
         let hardware = HardwareSpace::paper_default(2);
         let mc = MonteCarloSearch { runs: 30, seed: 9 };
         let a = mc.run(&workload, &hardware, &evaluator);
-        let b = mc.run(&workload, &hardware, &evaluator);
-        assert_eq!(a.best_weighted_accuracy(), b.best_weighted_accuracy());
-        assert_eq!(a.spec_compliant.len(), b.spec_compliant.len());
+        let b = mc.run_with_engine(&workload, &hardware, &EvalEngine::from(&evaluator));
+        assert_eq!(a, b);
     }
 }

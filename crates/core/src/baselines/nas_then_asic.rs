@@ -8,10 +8,13 @@
 //! rescue the architectures NAS picks — they violate the specs on every
 //! workload.
 
+use crate::algorithm::{
+    emit_search_finished, NullObserver, SearchAlgorithm, SearchContext, SearchEvent, SearchObserver,
+};
 use crate::candidate::Candidate;
 use crate::engine::EvalEngine;
 use crate::evaluator::Evaluator;
-use crate::log::{ExploredSolution, SearchOutcome};
+use crate::log::{ExploredSolution, PhaseSummary, SearchOutcome};
 use crate::spec::DesignSpecs;
 use crate::workload::Workload;
 use nasaic_accel::HardwareSpace;
@@ -53,6 +56,13 @@ impl NasThenAsic {
 
     /// Phase 1: accuracy-only NAS for every task of the workload.
     /// Returns one architecture per task.
+    ///
+    /// Every call silently builds a throwaway [`EvalEngine`] whose caches
+    /// start cold and die with the call.
+    #[deprecated(
+        note = "builds a throwaway cold EvalEngine per call; share one engine via \
+                `run_nas_with_engine` or run the whole baseline through `SearchAlgorithm::run`"
+    )]
     pub fn run_nas(&self, workload: &Workload, evaluator: &Evaluator) -> Vec<Architecture> {
         self.run_nas_with_engine(workload, &EvalEngine::from(evaluator))
     }
@@ -64,6 +74,18 @@ impl NasThenAsic {
         &self,
         workload: &Workload,
         engine: &EvalEngine,
+    ) -> Vec<Architecture> {
+        self.run_nas_observed(workload, engine, &NullObserver)
+    }
+
+    /// The NAS loop, shared by [`run_nas_with_engine`](Self::run_nas_with_engine)
+    /// and the trait path.  Episode events are numbered
+    /// `task_index * nas_episodes + episode` across the per-task searches.
+    fn run_nas_observed(
+        &self,
+        workload: &Workload,
+        engine: &EvalEngine,
+        observer: &dyn SearchObserver,
     ) -> Vec<Architecture> {
         let mut rng = StdRng::seed_from_u64(self.seed ^ 0xaaaa);
         workload
@@ -79,22 +101,36 @@ impl NasThenAsic {
                     self.seed + task_index as u64,
                 );
                 let mut best: Option<(f64, Architecture)> = None;
-                for _ in 0..self.nas_episodes {
+                for episode in 0..self.nas_episodes {
                     let sample = controller.sample(&mut rng);
-                    let Ok(arch) = task.backbone.materialize(&sample.segments[0]) else {
-                        controller.feedback(&sample, 0.0);
-                        continue;
+                    let (accuracy, evaluated) = match task.backbone.materialize(&sample.segments[0])
+                    {
+                        Ok(arch) => {
+                            // Evaluate against the task whose backbone
+                            // generated the architecture (a one-element
+                            // `accuracies` slice would zip against task 0
+                            // and score e.g. a U-Net with the CIFAR-10
+                            // calibration curve).
+                            let accuracy = engine.accuracy_for_task(task_index, &arch);
+                            if best.as_ref().is_none_or(|(a, _)| accuracy > *a) {
+                                best = Some((accuracy, arch));
+                            }
+                            (accuracy, 1)
+                        }
+                        Err(_) => (0.0, 0),
                     };
-                    // Evaluate against the task whose backbone generated the
-                    // architecture (a one-element `accuracies` slice would
-                    // zip against task 0 and score e.g. a U-Net with the
-                    // CIFAR-10 calibration curve).
-                    let accuracy = engine.accuracy_for_task(task_index, &arch);
-                    // Mono-objective reward: accuracy only (paper's NAS [1]).
+                    // Mono-objective reward: accuracy only (paper's NAS [1]);
+                    // undecodable samples feed a flat zero.
                     controller.feedback(&sample, accuracy);
-                    if best.as_ref().is_none_or(|(a, _)| accuracy > *a) {
-                        best = Some((accuracy, arch));
-                    }
+                    observer.on_event(&SearchEvent::EpisodeEvaluated {
+                        episode: task_index * self.nas_episodes + episode,
+                        evaluations: evaluated,
+                        weighted_accuracy: None,
+                        any_compliant: false,
+                        reward: accuracy,
+                        entropy: Some(sample.mean_entropy),
+                        baseline: controller.baseline(),
+                    });
                 }
                 best.expect("NAS explored at least one architecture").1
             })
@@ -105,6 +141,14 @@ impl NasThenAsic {
     /// Returns the full exploration log; the "result" of the baseline is
     /// the explored design with the smallest spec violation (or the most
     /// accurate compliant design if one exists).
+    ///
+    /// Every call silently builds a throwaway [`EvalEngine`] whose caches
+    /// start cold and die with the call.
+    #[deprecated(
+        note = "builds a throwaway cold EvalEngine per call; share one engine via \
+                `run_asic_sweep_with_engine` or run the whole baseline through \
+                `SearchAlgorithm::run`"
+    )]
     pub fn run_asic_sweep(
         &self,
         architectures: &[Architecture],
@@ -122,6 +166,19 @@ impl NasThenAsic {
         architectures: &[Architecture],
         hardware: &HardwareSpace,
         engine: &EvalEngine,
+    ) -> SearchOutcome {
+        self.run_asic_sweep_observed(architectures, hardware, engine, &NullObserver)
+    }
+
+    /// The sweep loop, shared by
+    /// [`run_asic_sweep_with_engine`](Self::run_asic_sweep_with_engine)
+    /// and the trait path.
+    fn run_asic_sweep_observed(
+        &self,
+        architectures: &[Architecture],
+        hardware: &HardwareSpace,
+        engine: &EvalEngine,
+        observer: &dyn SearchObserver,
     ) -> SearchOutcome {
         // Warm the accuracy cache once up front: every sweep sample shares
         // these fixed architectures, so the parallel batch below can never
@@ -143,11 +200,25 @@ impl NasThenAsic {
         for (episode, (candidate, evaluation)) in
             candidates.into_iter().zip(evaluations).enumerate()
         {
-            outcome.record(ExploredSolution {
+            let weighted_accuracy = evaluation.weighted_accuracy;
+            let any_compliant = evaluation.meets_specs();
+            outcome.record_observed(
+                ExploredSolution {
+                    episode,
+                    candidate,
+                    evaluation,
+                    reward: 0.0,
+                },
+                observer,
+            );
+            observer.on_event(&SearchEvent::EpisodeEvaluated {
                 episode,
-                candidate,
-                evaluation,
+                evaluations: 1,
+                weighted_accuracy: Some(weighted_accuracy),
+                any_compliant,
                 reward: 0.0,
+                entropy: None,
+                baseline: None,
             });
         }
         outcome.episodes = self.hardware_samples;
@@ -157,6 +228,13 @@ impl NasThenAsic {
     /// Run both phases and return the exploration outcome together with the
     /// least-violating design (by number of violated specs, then by
     /// normalised excess), which is what the paper reports in Table I.
+    ///
+    /// Every call silently builds a throwaway [`EvalEngine`] whose caches
+    /// start cold and die with the call.
+    #[deprecated(
+        note = "builds a throwaway cold EvalEngine per call; share one engine via \
+                `run_with_engine` or run through `SearchAlgorithm::run` with a `SearchContext`"
+    )]
     pub fn run(
         &self,
         workload: &Workload,
@@ -167,7 +245,11 @@ impl NasThenAsic {
         self.run_with_engine(workload, specs, hardware, &EvalEngine::from(evaluator))
     }
 
-    /// [`run`](Self::run) through a shared engine.
+    /// [`run`](Self::run) through a shared engine.  The outcome (the ASIC
+    /// sweep's exploration log) carries both phases as
+    /// [`SearchOutcome::phases`] summaries, so the NAS result and the
+    /// representative design are no longer lost when only the outcome is
+    /// kept.
     pub fn run_with_engine(
         &self,
         workload: &Workload,
@@ -175,13 +257,102 @@ impl NasThenAsic {
         hardware: &HardwareSpace,
         engine: &EvalEngine,
     ) -> (SearchOutcome, Option<ExploredSolution>) {
-        let architectures = self.run_nas_with_engine(workload, engine);
-        let outcome = self.run_asic_sweep_with_engine(&architectures, hardware, engine);
+        self.run_observed(workload, specs, hardware, engine, &NullObserver)
+    }
+
+    /// Both phases with phase events and summaries; shared by
+    /// [`run_with_engine`](Self::run_with_engine) and the trait path.
+    fn run_observed(
+        &self,
+        workload: &Workload,
+        specs: DesignSpecs,
+        hardware: &HardwareSpace,
+        engine: &EvalEngine,
+        observer: &dyn SearchObserver,
+    ) -> (SearchOutcome, Option<ExploredSolution>) {
+        let stats_start = engine.stats();
+        let nas_budget = self.nas_episodes * workload.num_tasks();
+        observer.on_event(&SearchEvent::PhaseStarted {
+            phase: "nas".to_string(),
+            budget: nas_budget,
+        });
+        let architectures = self.run_nas_observed(workload, engine, observer);
+        // The chosen architectures' accuracies are cached from the NAS
+        // loop, so summarising them here is free.
+        let nas_summary = PhaseSummary {
+            name: "nas".to_string(),
+            episodes: nas_budget,
+            explored: 0,
+            spec_compliant: 0,
+            best_weighted_accuracy: Some(
+                engine.weighted_accuracy(&engine.accuracies(&architectures)),
+            ),
+            detail: format!(
+                "architectures: {}",
+                architectures
+                    .iter()
+                    .map(Architecture::hyperparameter_string)
+                    .collect::<Vec<_>>()
+                    .join(" & ")
+            ),
+        };
+        observer.on_event(&SearchEvent::PhaseFinished {
+            phase: "nas".to_string(),
+            summary: nas_summary.clone(),
+        });
+
+        observer.on_event(&SearchEvent::PhaseStarted {
+            phase: "asic-sweep".to_string(),
+            budget: self.hardware_samples,
+        });
+        let mut outcome = self.run_asic_sweep_observed(&architectures, hardware, engine, observer);
         let representative = outcome
             .best
             .clone()
             .or_else(|| least_violating(&outcome, &specs));
+        let sweep_summary = PhaseSummary {
+            name: "asic-sweep".to_string(),
+            episodes: self.hardware_samples,
+            explored: outcome.explored.len(),
+            spec_compliant: outcome.spec_compliant.len(),
+            best_weighted_accuracy: outcome.best_weighted_accuracy(),
+            detail: match &representative {
+                Some(solution) => format!(
+                    "representative ({} violation(s)): {}",
+                    solution.evaluation.spec_check.violations(),
+                    solution.candidate.summary()
+                ),
+                None => "no design explored".to_string(),
+            },
+        };
+        observer.on_event(&SearchEvent::PhaseFinished {
+            phase: "asic-sweep".to_string(),
+            summary: sweep_summary.clone(),
+        });
+        outcome.phases = vec![nas_summary, sweep_summary];
+        emit_search_finished(observer, &outcome, engine.stats().since(&stats_start));
         (outcome, representative)
+    }
+}
+
+impl SearchAlgorithm for NasThenAsic {
+    fn name(&self) -> &str {
+        "nas-then-asic"
+    }
+
+    /// Run both phases over the context's workload/specs/hardware.  The
+    /// outcome is the ASIC sweep's exploration log; the NAS result and the
+    /// least-violating representative survive in
+    /// [`SearchOutcome::phases`] (and as `PhaseFinished` events).
+    fn run(&self, ctx: &SearchContext<'_>) -> SearchOutcome {
+        self.run_observed(
+            ctx.workload,
+            ctx.specs,
+            ctx.hardware,
+            ctx.engine,
+            ctx.observer(),
+        )
+        .0
     }
 }
 
@@ -216,8 +387,9 @@ mod tests {
         let workload = Workload::w3();
         let specs = DesignSpecs::for_workload(WorkloadId::W3);
         let evaluator = Evaluator::new(&workload, specs, AccuracyOracle::default());
+        let engine = EvalEngine::from(&evaluator);
         let baseline = NasThenAsic::fast(1);
-        let architectures = baseline.run_nas(&workload, &evaluator);
+        let architectures = baseline.run_nas_with_engine(&workload, &engine);
         assert_eq!(architectures.len(), 2);
         let accuracies = evaluator.accuracies(&architectures);
         // Accuracy-only NAS should land well above the mid-point of the
@@ -233,10 +405,11 @@ mod tests {
         // NAS identifies, no explored accelerator design meets the specs.
         let workload = Workload::w1();
         let specs = DesignSpecs::for_workload(WorkloadId::W1);
-        let evaluator = Evaluator::new(&workload, specs, AccuracyOracle::default());
+        let engine = EvalEngine::new(Evaluator::new(&workload, specs, AccuracyOracle::default()));
         let hardware = HardwareSpace::paper_default(2);
         let baseline = NasThenAsic::fast(2);
-        let (outcome, representative) = baseline.run(&workload, specs, &hardware, &evaluator);
+        let (outcome, representative) =
+            baseline.run_with_engine(&workload, specs, &hardware, &engine);
         assert!(
             outcome.best.is_none(),
             "NAS->ASIC unexpectedly met the specs"
@@ -244,17 +417,22 @@ mod tests {
         let representative = representative.expect("sweep explored designs");
         assert!(!representative.evaluation.meets_specs());
         assert!(representative.evaluation.spec_check.violations() >= 1);
+        // Both phases survive in the outcome instead of being dropped.
+        assert_eq!(outcome.phases.len(), 2);
+        assert_eq!(outcome.phases[0].name, "nas");
+        assert_eq!(outcome.phases[1].name, "asic-sweep");
+        assert!(outcome.phases[1].detail.contains("representative"));
     }
 
     #[test]
     fn least_violating_prefers_fewer_violations() {
         let workload = Workload::w1();
         let specs = DesignSpecs::for_workload(WorkloadId::W1);
-        let evaluator = Evaluator::new(&workload, specs, AccuracyOracle::default());
+        let engine = EvalEngine::new(Evaluator::new(&workload, specs, AccuracyOracle::default()));
         let hardware = HardwareSpace::paper_default(2);
         let baseline = NasThenAsic::fast(3);
-        let architectures = baseline.run_nas(&workload, &evaluator);
-        let outcome = baseline.run_asic_sweep(&architectures, &hardware, &evaluator);
+        let architectures = baseline.run_nas_with_engine(&workload, &engine);
+        let outcome = baseline.run_asic_sweep_with_engine(&architectures, &hardware, &engine);
         let best = least_violating(&outcome, &specs).unwrap();
         let min_violations = outcome
             .explored

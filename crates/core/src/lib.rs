@@ -24,7 +24,10 @@
 //! [`baselines`], and the [`experiments`] harness — does so through the
 //! shared [`engine::EvalEngine`]: memoised accuracy and hardware-metrics
 //! caches plus order-preserving batch parallelism, bit-identical to
-//! direct [`evaluator::Evaluator`] calls.
+//! direct [`evaluator::Evaluator`] calls.  NASAIC and all five baselines
+//! run behind the one object-safe [`algorithm::SearchAlgorithm`] trait
+//! (instantiated via [`scenario::Algorithm::instantiate`]), streaming
+//! per-episode telemetry to an optional [`algorithm::SearchObserver`].
 //!
 //! # Quickstart
 //!
@@ -42,6 +45,7 @@
 
 #![deny(missing_docs)]
 
+pub mod algorithm;
 pub mod baselines;
 pub mod bounds;
 pub mod candidate;
@@ -60,11 +64,16 @@ pub mod workload;
 
 /// Convenience re-exports for downstream users and examples.
 pub mod prelude {
+    pub use crate::algorithm::{
+        emit_search_finished, Budget, MulticastObserver, NullObserver, ProgressObserver,
+        RecordingObserver, SearchAlgorithm, SearchContext, SearchEvent, SearchObserver,
+        TraceObserver,
+    };
     pub use crate::bounds::PenaltyBounds;
     pub use crate::candidate::Candidate;
     pub use crate::engine::{CacheStats, EngineConfig, EvalEngine};
     pub use crate::evaluator::{AccuracyOracle, Evaluation, Evaluator};
-    pub use crate::log::{ExploredSolution, SearchOutcome};
+    pub use crate::log::{ExploredSolution, PhaseSummary, SearchOutcome};
     pub use crate::penalty::Penalty;
     pub use crate::reward::Reward;
     pub use crate::scenario::report::RunReport;

@@ -1,8 +1,11 @@
 //! Exploration logging: every evaluated solution, the spec-compliant
-//! subset, and the best solution found.
+//! subset, the best solution found, and per-phase summaries of the
+//! successive baselines.
 
+use crate::algorithm::{SearchEvent, SearchObserver};
 use crate::candidate::Candidate;
 use crate::evaluator::Evaluation;
+use crate::scenario::value::ConfigValue;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -32,6 +35,47 @@ impl fmt::Display for ExploredSolution {
     }
 }
 
+/// The summary of one named phase of a multi-phase search (the successive
+/// baselines run two: NAS then an ASIC sweep, or a hardware search then
+/// hardware-aware NAS).  Phase summaries keep the intermediate results the
+/// old tuple-returning APIs used to discard.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PhaseSummary {
+    /// Phase name (`nas`, `asic-sweep`, `asic-monte-carlo`, `hw-nas`).
+    pub name: String,
+    /// Episodes (or samples) the phase spent.
+    pub episodes: usize,
+    /// Fully evaluated solutions the phase recorded into the outcome.
+    pub explored: usize,
+    /// Spec-compliant solutions among them.
+    pub spec_compliant: usize,
+    /// The best weighted accuracy the phase saw, if the accuracy path ran.
+    pub best_weighted_accuracy: Option<f64>,
+    /// Free-form phase result: the NAS-chosen architectures, the selected
+    /// accelerator, or the sweep's least-violating representative.
+    pub detail: String,
+}
+
+impl PhaseSummary {
+    /// The summary as a [`ConfigValue`] table (used by the report JSON and
+    /// the trace observer).
+    pub fn to_value(&self) -> ConfigValue {
+        let mut root = ConfigValue::table();
+        root.insert("name", ConfigValue::Str(self.name.clone()));
+        root.insert("episodes", ConfigValue::Integer(self.episodes as i64));
+        root.insert("explored", ConfigValue::Integer(self.explored as i64));
+        root.insert(
+            "spec_compliant",
+            ConfigValue::Integer(self.spec_compliant as i64),
+        );
+        if let Some(acc) = self.best_weighted_accuracy {
+            root.insert("best_weighted_accuracy", ConfigValue::Float(acc));
+        }
+        root.insert("detail", ConfigValue::Str(self.detail.clone()));
+        root
+    }
+}
+
 /// The outcome of one NASAIC (or baseline) search run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SearchOutcome {
@@ -48,6 +92,9 @@ pub struct SearchOutcome {
     /// Number of episodes whose accuracy evaluation was skipped by early
     /// pruning (no feasible hardware design found).
     pub pruned_episodes: usize,
+    /// Per-phase summaries, in execution order (empty for single-phase
+    /// algorithms).
+    pub phases: Vec<PhaseSummary>,
 }
 
 impl SearchOutcome {
@@ -60,12 +107,15 @@ impl SearchOutcome {
             episodes: 0,
             reward_history: Vec::new(),
             pruned_episodes: 0,
+            phases: Vec::new(),
         }
     }
 
     /// Record one evaluated solution, updating the compliant set and the
-    /// incumbent best.
-    pub fn record(&mut self, solution: ExploredSolution) {
+    /// incumbent best.  Returns `true` when the solution became the new
+    /// best spec-compliant solution.
+    pub fn record(&mut self, solution: ExploredSolution) -> bool {
+        let mut improved = false;
         if solution.evaluation.meets_specs() {
             let better = match &self.best {
                 None => true,
@@ -75,10 +125,30 @@ impl SearchOutcome {
             };
             if better {
                 self.best = Some(solution.clone());
+                improved = true;
             }
             self.spec_compliant.push(solution.clone());
         }
         self.explored.push(solution);
+        improved
+    }
+
+    /// [`record`](Self::record) with observation: emits a
+    /// [`SearchEvent::NewIncumbent`] when the solution improves on the
+    /// best spec-compliant solution so far.  Observation is passive — the
+    /// recorded outcome is identical to plain `record`.
+    pub fn record_observed(&mut self, solution: ExploredSolution, observer: &dyn SearchObserver) {
+        if self.record(solution) {
+            let best = self.best.as_ref().expect("record reported a new incumbent");
+            observer.on_event(&SearchEvent::NewIncumbent {
+                episode: best.episode,
+                weighted_accuracy: best.evaluation.weighted_accuracy,
+                latency_cycles: best.evaluation.metrics.latency_cycles,
+                energy_nj: best.evaluation.metrics.energy_nj,
+                area_um2: best.evaluation.metrics.area_um2,
+                candidate: best.candidate.summary(),
+            });
+        }
     }
 
     /// The best weighted accuracy among spec-compliant solutions, if any.

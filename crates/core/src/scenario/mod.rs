@@ -42,13 +42,11 @@ pub mod registry;
 pub mod report;
 pub mod value;
 
-use crate::baselines::{
-    AsicThenHwNas, EvolutionarySearch, HillClimb, MonteCarloSearch, NasThenAsic,
-};
+use crate::algorithm::{NullObserver, SearchContext, SearchObserver};
 use crate::engine::EvalEngine;
 use crate::evaluator::{AccuracyOracle, Evaluator};
 use crate::log::SearchOutcome;
-use crate::search::{Nasaic, NasaicConfig};
+use crate::search::NasaicConfig;
 use crate::spec::DesignSpecs;
 use crate::workload::Workload;
 use nasaic_accel::{Dataflow, HardwareSpace, ResourceBudget};
@@ -211,9 +209,12 @@ impl FromStr for Algorithm {
 /// The search algorithm and its budget.
 ///
 /// The `episodes` / `hardware_trials` pair is the canonical budget unit
-/// (the paper's `beta` and `phi`); baselines other than NASAIC map it onto
-/// their own knobs so every algorithm spends a comparable number of
-/// evaluations — see the budget table in `docs/scenarios.md`.
+/// (the paper's `beta` and `phi`); [`Algorithm::instantiate`] maps it onto
+/// every algorithm's own knobs through [`Budget`] so the whole zoo spends
+/// a comparable number of evaluations — see the budget table in
+/// `docs/scenarios.md`.
+///
+/// [`Budget`]: crate::algorithm::Budget
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct SearchSpec {
     /// Which algorithm to run.
@@ -232,11 +233,19 @@ pub struct SearchSpec {
     /// Keep the episode's weighted accuracy in hardware-only rewards so
     /// both step kinds share one scale (`false` = literal paper).
     pub accuracy_in_hardware_reward: bool,
+    /// Population size of the evolutionary co-search.
+    pub population: usize,
+    /// Tournament size of the evolutionary parent selection.
+    pub tournament: usize,
+    /// Per-gene mutation probability of the evolutionary co-search,
+    /// in `[0, 1]`.
+    pub mutation_rate: f64,
 }
 
 impl SearchSpec {
     /// The paper's search setup: NASAIC with `beta = 500`, `phi = 10`,
-    /// `rho = 10`.
+    /// `rho = 10` (plus the repo's evolutionary defaults: population 24,
+    /// tournament 3, mutation 0.2).
     pub fn paper() -> Self {
         Self {
             algorithm: Algorithm::Nasaic,
@@ -246,13 +255,23 @@ impl SearchSpec {
             rho: 10.0,
             homogeneous: false,
             accuracy_in_hardware_reward: true,
+            population: 24,
+            tournament: 3,
+            mutation_rate: 0.2,
         }
+    }
+
+    /// The spec's `(episodes, hardware_trials)` pair as a
+    /// [`Budget`](crate::algorithm::Budget) — the struct that owns the
+    /// per-algorithm evaluation-count mapping.
+    pub fn budget(&self) -> crate::algorithm::Budget {
+        crate::algorithm::Budget::new(self.episodes, self.hardware_trials)
     }
 
     /// Total candidate evaluations this budget pays for
     /// (`episodes * (1 + hardware_trials)`).
     pub fn total_evaluations(&self) -> usize {
-        self.episodes * (1 + self.hardware_trials)
+        self.budget().total_evaluations()
     }
 }
 
@@ -507,6 +526,9 @@ impl Scenario {
                         "rho",
                         "homogeneous",
                         "accuracy_in_hardware_reward",
+                        "population",
+                        "tournament",
+                        "mutation_rate",
                     ],
                     "search",
                 )?;
@@ -528,6 +550,30 @@ impl Scenario {
                         ))
                     })?,
                 };
+                let population = opt_usize(search_value, "population", defaults.population)?;
+                // The evolutionary driver needs two parents; a population of
+                // 1 would also break the declared-budget arithmetic.
+                if population < 2 {
+                    return Err(ConfigError::schema("search.population must be at least 2"));
+                }
+                let tournament = opt_usize(search_value, "tournament", defaults.tournament)?;
+                if tournament == 0 {
+                    return Err(ConfigError::schema("search.tournament must be at least 1"));
+                }
+                let mutation_rate = match search_value.get("mutation_rate") {
+                    None => defaults.mutation_rate,
+                    Some(v) => v.as_float().ok_or_else(|| {
+                        ConfigError::schema(format!(
+                            "search.mutation_rate must be a number, got {}",
+                            v.kind()
+                        ))
+                    })?,
+                };
+                if !(0.0..=1.0).contains(&mutation_rate) {
+                    return Err(ConfigError::schema(format!(
+                        "search.mutation_rate must be in [0, 1], got {mutation_rate}"
+                    )));
+                }
                 SearchSpec {
                     algorithm,
                     episodes,
@@ -548,6 +594,9 @@ impl Scenario {
                         "accuracy_in_hardware_reward",
                         true,
                     )?,
+                    population,
+                    tournament,
+                    mutation_rate,
                 }
             }
         };
@@ -644,6 +693,18 @@ impl Scenario {
             "accuracy_in_hardware_reward",
             ConfigValue::Bool(self.search.accuracy_in_hardware_reward),
         );
+        search.insert(
+            "population",
+            ConfigValue::Integer(self.search.population as i64),
+        );
+        search.insert(
+            "tournament",
+            ConfigValue::Integer(self.search.tournament as i64),
+        );
+        search.insert(
+            "mutation_rate",
+            ConfigValue::Float(self.search.mutation_rate),
+        );
         root.insert("search", search);
         root
     }
@@ -711,12 +772,28 @@ impl Scenario {
     /// Run a specific algorithm on this scenario through a shared engine
     /// (the `compare` path runs every algorithm over one warm cache).
     ///
-    /// Budget mapping for the baselines (total = `episodes * (1 + phi)`):
-    /// Monte-Carlo spends `total` samples; hill climbing takes `episodes`
-    /// accepted moves; the evolutionary search runs a population of 24 for
-    /// `total / 24` generations; the successive baselines split the budget
-    /// into `episodes` NAS episodes plus `episodes * phi` hardware
-    /// samples/runs.
+    /// Dispatch goes through the [`Algorithm::instantiate`] factory and
+    /// the [`SearchAlgorithm`](crate::algorithm::SearchAlgorithm) trait;
+    /// the per-algorithm budget mapping lives on
+    /// [`Budget`](crate::algorithm::Budget) (full table in
+    /// `docs/scenarios.md`).
+    ///
+    /// # Panics
+    ///
+    /// As [`Scenario::run_algorithm_observed`].
+    pub fn run_algorithm_with_engine(
+        &self,
+        algorithm: Algorithm,
+        engine: &EvalEngine,
+    ) -> SearchOutcome {
+        self.run_algorithm_observed(algorithm, engine, &NullObserver)
+    }
+
+    /// [`run_algorithm_with_engine`](Self::run_algorithm_with_engine) with
+    /// a [`SearchObserver`] receiving the run's event stream (per-episode
+    /// telemetry, incumbents, phase boundaries, the final cache summary).
+    /// Observation is passive: the outcome is bit-identical to the
+    /// unobserved run.
     ///
     /// # Panics
     ///
@@ -729,10 +806,11 @@ impl Scenario {
     /// constraints.  Engines may only be shared across runs of the *same*
     /// scenario (which is exactly what the `compare` path does) — build
     /// one with [`Scenario::engine`].
-    pub fn run_algorithm_with_engine(
+    pub fn run_algorithm_observed(
         &self,
         algorithm: Algorithm,
         engine: &EvalEngine,
+        observer: &dyn SearchObserver,
     ) -> SearchOutcome {
         let workload = self.workload();
         assert!(
@@ -761,51 +839,17 @@ impl Scenario {
              `Scenario::engine()`",
         );
         let hardware = self.hardware_space();
-        let search = &self.search;
-        let hardware_budget = (search.episodes * search.hardware_trials).max(1);
-        match algorithm {
-            Algorithm::Nasaic => Nasaic::new(workload, self.specs, self.nasaic_config())
-                .with_hardware_space(hardware)
-                .run_with_engine(engine),
-            Algorithm::MonteCarlo => MonteCarloSearch {
-                runs: search.total_evaluations(),
-                seed: self.seed,
-            }
-            .run_with_engine(&workload, &hardware, engine),
-            Algorithm::HillClimb => HillClimb {
-                max_steps: search.episodes,
-                rho: search.rho,
-            }
-            .run_with_engine(&workload, self.specs, &hardware, engine),
-            Algorithm::Evolutionary => EvolutionarySearch {
-                population: 24,
-                generations: (search.total_evaluations() / 24).max(1),
-                tournament: 3,
-                mutation_rate: 0.2,
-                rho: search.rho,
-                seed: self.seed,
-            }
-            .run_with_engine(&workload, self.specs, &hardware, engine),
-            Algorithm::NasThenAsic => {
-                NasThenAsic {
-                    nas_episodes: search.episodes,
-                    hardware_samples: hardware_budget,
-                    seed: self.seed,
-                }
-                .run_with_engine(&workload, self.specs, &hardware, engine)
-                .0
-            }
-            Algorithm::AsicThenHwNas => {
-                AsicThenHwNas {
-                    monte_carlo_runs: hardware_budget,
-                    nas_episodes: search.episodes,
-                    rho: search.rho,
-                    seed: self.seed,
-                }
-                .run_with_engine(&workload, self.specs, &hardware, engine)
-                .1
-            }
-        }
+        let driver = algorithm.instantiate(&self.search, self.seed);
+        let ctx = SearchContext::new(
+            &workload,
+            self.specs,
+            &hardware,
+            engine,
+            self.seed,
+            self.search.budget(),
+        )
+        .with_observer(observer);
+        driver.run(&ctx)
     }
 
     /// A one-line summary for listings.
@@ -986,6 +1030,20 @@ area_um2 = 4e9
         // A negative integer is reported by value, not as "got integer".
         let err = Scenario::from_toml_str(&format!("seed = -5\n{}", minimal_toml())).unwrap_err();
         assert!(err.message.contains("got -5"), "{err}");
+
+        // The evolutionary driver needs two parents, and population = 1
+        // would break the declared-budget arithmetic.
+        let err =
+            Scenario::from_toml_str(&format!("{}\n[search]\npopulation = 1\n", minimal_toml()))
+                .unwrap_err();
+        assert!(err.message.contains("population"), "{err}");
+
+        let err = Scenario::from_toml_str(&format!(
+            "{}\n[search]\nmutation_rate = 1.5\n",
+            minimal_toml()
+        ))
+        .unwrap_err();
+        assert!(err.message.contains("mutation_rate"), "{err}");
     }
 
     #[test]

@@ -3,8 +3,9 @@
 
 use super::value::{self, ConfigValue};
 use super::{Algorithm, Scenario};
+use crate::algorithm::{NullObserver, SearchObserver};
 use crate::engine::{CacheStats, EvalEngine};
-use crate::log::SearchOutcome;
+use crate::log::{PhaseSummary, SearchOutcome};
 use std::fmt;
 use std::time::Instant;
 
@@ -49,6 +50,9 @@ pub struct RunReport {
     pub compliance_rate: f64,
     /// The best spec-compliant solution, if any.
     pub best: Option<BestSolution>,
+    /// Per-phase summaries of multi-phase algorithms (the successive
+    /// baselines' intermediate results; empty otherwise).
+    pub phases: Vec<PhaseSummary>,
     /// Fraction of evaluator queries served from the engine caches.
     pub cache_hit_rate: f64,
     /// Wall-clock duration of the run in milliseconds.
@@ -88,6 +92,7 @@ impl RunReport {
             pruned_episodes: outcome.pruned_episodes,
             compliance_rate: outcome.compliance_rate(),
             best,
+            phases: outcome.phases.clone(),
             cache_hit_rate: cache.hit_rate(),
             wall_ms,
         }
@@ -115,6 +120,12 @@ impl RunReport {
         root.insert("compliance_rate", ConfigValue::Float(self.compliance_rate));
         root.insert("cache_hit_rate", ConfigValue::Float(self.cache_hit_rate));
         root.insert("wall_ms", ConfigValue::Integer(self.wall_ms as i64));
+        if !self.phases.is_empty() {
+            root.insert(
+                "phases",
+                ConfigValue::Array(self.phases.iter().map(PhaseSummary::to_value).collect()),
+            );
+        }
         match &self.best {
             None => {}
             Some(best) => {
@@ -212,6 +223,22 @@ impl fmt::Display for RunReport {
             self.cache_hit_rate * 100.0,
             self.wall_ms
         )?;
+        for phase in &self.phases {
+            let best = match phase.best_weighted_accuracy {
+                Some(acc) => format!(", best {acc:.4}"),
+                None => String::new(),
+            };
+            writeln!(
+                f,
+                "  phase {}: {} episode(s), {} explored, {} compliant{} — {}",
+                phase.name,
+                phase.episodes,
+                phase.explored,
+                phase.spec_compliant,
+                best,
+                phase.detail
+            )?;
+        }
         match &self.best {
             Some(best) => write!(
                 f,
@@ -241,9 +268,22 @@ impl Scenario {
     /// (the `nasaic compare` path).  The reported cache hit rate covers
     /// this run only, even when the engine already served earlier runs.
     pub fn run_report_with_engine(&self, algorithm: Algorithm, engine: &EvalEngine) -> RunReport {
+        self.run_report_observed(algorithm, engine, &NullObserver)
+    }
+
+    /// [`run_report_with_engine`](Self::run_report_with_engine) with a
+    /// [`SearchObserver`] streaming the run's events (the CLI's
+    /// `nasaic run --trace` path).  Observation is passive: the report is
+    /// identical (modulo wall time) to the unobserved run.
+    pub fn run_report_observed(
+        &self,
+        algorithm: Algorithm,
+        engine: &EvalEngine,
+        observer: &dyn SearchObserver,
+    ) -> RunReport {
         let stats_before = engine.stats();
         let start = Instant::now();
-        let outcome = self.run_algorithm_with_engine(algorithm, engine);
+        let outcome = self.run_algorithm_observed(algorithm, engine, observer);
         let wall_ms = start.elapsed().as_millis() as u64;
         RunReport::new(
             self,

@@ -705,6 +705,46 @@ pub fn to_json(value: &ConfigValue) -> String {
     out
 }
 
+/// Serialize a value as single-line JSON (no newlines, minimal spacing) —
+/// the JSON-lines form the search trace observer emits.  Parses back with
+/// [`parse_json`] into the same value.
+pub fn to_json_compact(value: &ConfigValue) -> String {
+    let mut out = String::new();
+    emit_json_compact(value, &mut out);
+    out
+}
+
+fn emit_json_compact(value: &ConfigValue, out: &mut String) {
+    match value {
+        ConfigValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        ConfigValue::Integer(i) => out.push_str(&i.to_string()),
+        ConfigValue::Float(x) => out.push_str(&format_float(*x)),
+        ConfigValue::Str(s) => emit_string(s, out),
+        ConfigValue::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                emit_json_compact(item, out);
+            }
+            out.push(']');
+        }
+        ConfigValue::Table(entries) => {
+            out.push('{');
+            for (i, (key, item)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                emit_string(key, out);
+                out.push(':');
+                emit_json_compact(item, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
 fn emit_json(value: &ConfigValue, indent: usize, out: &mut String) {
     let pad = "  ".repeat(indent);
     let pad_inner = "  ".repeat(indent + 1);
@@ -843,6 +883,20 @@ weight = 0.5
                 .unwrap();
         let json = to_json(&value);
         assert_eq!(parse_json(&json).unwrap(), value);
+    }
+
+    #[test]
+    fn compact_json_is_one_line_and_round_trips() {
+        let value =
+            parse_toml("name = \"demo\"\nflag = true\n\n[[tasks]]\nname = \"t\"\nweight = 0.25\n")
+                .unwrap();
+        let compact = to_json_compact(&value);
+        assert!(!compact.contains('\n'), "{compact}");
+        assert!(!compact.contains("  "), "{compact}");
+        assert_eq!(parse_json(&compact).unwrap(), value);
+        // Empty containers stay valid.
+        assert_eq!(to_json_compact(&ConfigValue::table()), "{}");
+        assert_eq!(to_json_compact(&ConfigValue::Array(Vec::new())), "[]");
     }
 
     #[test]

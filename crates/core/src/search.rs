@@ -7,6 +7,9 @@
 //! early pruning, the evaluator produces accuracy and hardware cost, and
 //! the reward of Eq. 4 updates the controller.
 
+use crate::algorithm::{
+    emit_search_finished, NullObserver, SearchAlgorithm, SearchContext, SearchEvent, SearchObserver,
+};
 use crate::bounds::PenaltyBounds;
 use crate::candidate::Candidate;
 use crate::engine::EvalEngine;
@@ -14,6 +17,7 @@ use crate::evaluator::{AccuracyOracle, Evaluator};
 use crate::log::{ExploredSolution, SearchOutcome};
 use crate::penalty::Penalty;
 use crate::reward::Reward;
+use crate::scenario::SearchSpec;
 use crate::selector::OptimizerSelector;
 use crate::spec::DesignSpecs;
 use crate::workload::Workload;
@@ -96,14 +100,22 @@ impl NasaicConfig {
     }
 }
 
+/// The run inputs a [`Nasaic::new`]-built search owns (the legacy direct
+/// API); context-driven instances take them from the [`SearchContext`]
+/// instead.
+#[derive(Debug, Clone)]
+struct BoundInputs {
+    workload: Workload,
+    specs: DesignSpecs,
+    hardware: HardwareSpace,
+    engine: EvalEngine,
+}
+
 /// The NASAIC co-exploration search.
 #[derive(Debug, Clone)]
 pub struct Nasaic {
-    workload: Workload,
-    specs: DesignSpecs,
     config: NasaicConfig,
-    hardware: HardwareSpace,
-    engine: EvalEngine,
+    bound: Option<BoundInputs>,
 }
 
 impl Nasaic {
@@ -112,12 +124,63 @@ impl Nasaic {
         let hardware = HardwareSpace::paper_default(config.num_sub_accelerators);
         let engine = EvalEngine::new(Evaluator::new(&workload, specs, config.oracle));
         Self {
-            workload,
-            specs,
             config,
-            hardware,
-            engine,
+            bound: Some(BoundInputs {
+                workload,
+                specs,
+                hardware,
+                engine,
+            }),
         }
+    }
+
+    /// Create the context-driven form [`Algorithm::instantiate`] returns:
+    /// the search hyperparameters come from the spec and `seed`, while the
+    /// workload, specs, hardware space and engine are taken from the
+    /// [`SearchContext`] at [`SearchAlgorithm::run`] time.  The legacy
+    /// direct entry points ([`run`](Self::run),
+    /// [`run_with_engine`](Self::run_with_engine), the builders and the
+    /// input accessors) panic on an instance built this way.
+    ///
+    /// [`Algorithm::instantiate`]: crate::scenario::Algorithm::instantiate
+    pub fn from_search_spec(spec: &SearchSpec, seed: u64) -> Self {
+        Self {
+            config: NasaicConfig {
+                episodes: spec.episodes,
+                hardware_trials: spec.hardware_trials,
+                rho: spec.rho,
+                // Only consulted by `Nasaic::new` when building the default
+                // hardware space; the context path uses the context's space.
+                num_sub_accelerators: 2,
+                homogeneous: spec.homogeneous,
+                accuracy_in_hardware_reward: spec.accuracy_in_hardware_reward,
+                bound_samples: spec.bound_samples,
+                seed,
+                controller: ControllerConfig::default(),
+                oracle: AccuracyOracle::default(),
+            },
+            bound: None,
+        }
+    }
+
+    fn bound(&self, entry: &str) -> &BoundInputs {
+        self.bound.as_ref().unwrap_or_else(|| {
+            panic!(
+                "`Nasaic::{entry}` needs the owned run inputs of `Nasaic::new`; this instance \
+                 was built with `Nasaic::from_search_spec` and must run through \
+                 `SearchAlgorithm::run` with a `SearchContext`"
+            )
+        })
+    }
+
+    fn bound_mut(&mut self, entry: &str) -> &mut BoundInputs {
+        self.bound.as_mut().unwrap_or_else(|| {
+            panic!(
+                "`Nasaic::{entry}` needs the owned run inputs of `Nasaic::new`; this instance \
+                 was built with `Nasaic::from_search_spec` and must run through \
+                 `SearchAlgorithm::run` with a `SearchContext`"
+            )
+        })
     }
 
     /// Replace the hardware space (restricted dataflows, different budget,
@@ -126,79 +189,127 @@ impl Nasaic {
     /// The evaluator is untouched — it does not depend on the hardware
     /// space — so this builder composes with
     /// [`with_evaluator`](Self::with_evaluator) in either order.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a context-driven instance
+    /// (see [`from_search_spec`](Self::from_search_spec)).
     pub fn with_hardware_space(mut self, hardware: HardwareSpace) -> Self {
-        self.hardware = hardware;
+        self.bound_mut("with_hardware_space").hardware = hardware;
         self
     }
 
     /// Replace the evaluator (custom cost model or combiner).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a context-driven instance
+    /// (see [`from_search_spec`](Self::from_search_spec)).
     pub fn with_evaluator(mut self, evaluator: Evaluator) -> Self {
-        let config = *self.engine.config();
-        self.engine = EvalEngine::with_config(evaluator, config);
+        let bound = self.bound_mut("with_evaluator");
+        let config = *bound.engine.config();
+        bound.engine = EvalEngine::with_config(evaluator, config);
         self
     }
 
     /// Replace the engine configuration (worker-thread ceiling, caching).
     /// Composes with the other builders in any order.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a context-driven instance
+    /// (see [`from_search_spec`](Self::from_search_spec)).
     pub fn with_engine_config(mut self, config: crate::engine::EngineConfig) -> Self {
-        self.engine = EvalEngine::with_config(self.engine.evaluator().clone(), config);
+        let bound = self.bound_mut("with_engine_config");
+        bound.engine = EvalEngine::with_config(bound.engine.evaluator().clone(), config);
         self
     }
 
     /// The workload being searched.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a context-driven instance
+    /// (see [`from_search_spec`](Self::from_search_spec)).
     pub fn workload(&self) -> &Workload {
-        &self.workload
+        &self.bound("workload").workload
     }
 
     /// The design specs.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a context-driven instance
+    /// (see [`from_search_spec`](Self::from_search_spec)).
     pub fn specs(&self) -> &DesignSpecs {
-        &self.specs
+        &self.bound("specs").specs
     }
 
     /// The hardware space.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a context-driven instance
+    /// (see [`from_search_spec`](Self::from_search_spec)).
     pub fn hardware_space(&self) -> &HardwareSpace {
-        &self.hardware
+        &self.bound("hardware_space").hardware
     }
 
     /// The evaluator.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a context-driven instance
+    /// (see [`from_search_spec`](Self::from_search_spec)).
     pub fn evaluator(&self) -> &Evaluator {
-        self.engine.evaluator()
+        self.bound("evaluator").engine.evaluator()
     }
 
     /// The shared evaluation engine (caches + batch parallelism).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a context-driven instance
+    /// (see [`from_search_spec`](Self::from_search_spec)).
     pub fn engine(&self) -> &EvalEngine {
-        &self.engine
+        &self.bound("engine").engine
     }
 
-    fn controller_segments(&self) -> Vec<nasaic_rl::Segment> {
-        if self.config.homogeneous {
+    fn controller_segments(
+        workload: &Workload,
+        hardware: &HardwareSpace,
+        config: &NasaicConfig,
+    ) -> Vec<nasaic_rl::Segment> {
+        if config.homogeneous {
             // One architecture segment per task + a single hardware segment
             // that is replicated over all sub-accelerators at decode time.
             let single_sub = HardwareSpace::paper_default(1)
-                .with_budget(*self.hardware.budget())
-                .with_dataflows(self.hardware.allowed_dataflows().to_vec());
-            self.workload.controller_segments(&single_sub)
+                .with_budget(*hardware.budget())
+                .with_dataflows(hardware.allowed_dataflows().to_vec());
+            workload.controller_segments(&single_sub)
         } else {
-            self.workload.controller_segments(&self.hardware)
+            workload.controller_segments(hardware)
         }
     }
 
     fn decode_candidate(
-        &self,
+        workload: &Workload,
+        hardware: &HardwareSpace,
+        config: &NasaicConfig,
         sample: &ControllerSample,
     ) -> Result<Candidate, nasaic_nn::space::DecodeError> {
-        let m = self.workload.num_tasks();
-        if self.config.homogeneous {
+        let m = workload.num_tasks();
+        if config.homogeneous {
             // Duplicate the single hardware segment across the
             // sub-accelerators.
             let mut segments: Vec<Vec<usize>> = sample.segments[..m].to_vec();
             let hw_segment = sample.segments[m].clone();
-            for _ in 0..self.hardware.num_sub_accelerators() {
+            for _ in 0..hardware.num_sub_accelerators() {
                 segments.push(hw_segment.clone());
             }
-            Candidate::from_segments(&self.workload, &self.hardware, &segments)
+            Candidate::from_segments(workload, hardware, &segments)
         } else {
-            Candidate::from_segments(&self.workload, &self.hardware, &sample.segments)
+            Candidate::from_segments(workload, hardware, &sample.segments)
         }
     }
 
@@ -209,8 +320,14 @@ impl Nasaic {
     /// memoised across the episode's shared architectures and across
     /// episodes); controller feedback stays strictly sequential, so a run
     /// is bit-deterministic for a seed regardless of thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a context-driven instance
+    /// (see [`from_search_spec`](Self::from_search_spec)).
     pub fn run(&self) -> SearchOutcome {
-        self.run_with_engine(&self.engine)
+        let bound = self.bound("run");
+        self.run_with_engine(&bound.engine)
     }
 
     /// [`run`](Self::run) through an external shared engine, so several
@@ -219,26 +336,54 @@ impl Nasaic {
     /// is bit-identical to [`run`](Self::run) regardless of what the
     /// caches already hold, as long as the engine wraps an evaluator for
     /// the same workload, specs and oracle.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a context-driven instance
+    /// (see [`from_search_spec`](Self::from_search_spec)).
     pub fn run_with_engine(&self, engine: &EvalEngine) -> SearchOutcome {
-        let mut rng = StdRng::seed_from_u64(self.config.seed ^ 0x00c0_ffee);
-        let bounds = PenaltyBounds::estimate_with_engine(
-            &self.workload,
-            &self.hardware,
+        let bound = self.bound("run_with_engine");
+        Self::run_search(
+            &bound.workload,
+            &bound.specs,
+            &bound.hardware,
             engine,
-            &self.specs,
-            self.config.bound_samples,
-            self.config.seed,
+            &self.config,
+            &NullObserver,
+        )
+    }
+
+    /// The NASAIC episode loop, shared by the legacy entry points and the
+    /// [`SearchAlgorithm`] trait path.  Observation is passive: the
+    /// outcome is bit-identical with any observer.
+    fn run_search(
+        workload: &Workload,
+        specs: &DesignSpecs,
+        hardware: &HardwareSpace,
+        engine: &EvalEngine,
+        config: &NasaicConfig,
+        observer: &dyn SearchObserver,
+    ) -> SearchOutcome {
+        let stats_start = engine.stats();
+        let mut rng = StdRng::seed_from_u64(config.seed ^ 0x00c0_ffee);
+        let bounds = PenaltyBounds::estimate_with_engine(
+            workload,
+            hardware,
+            engine,
+            specs,
+            config.bound_samples,
+            config.seed,
         );
-        let selector = OptimizerSelector::new(self.config.hardware_trials);
+        let selector = OptimizerSelector::new(config.hardware_trials);
         let mut controller = Controller::new(
-            self.controller_segments(),
-            self.config.controller,
-            self.config.seed,
+            Self::controller_segments(workload, hardware, config),
+            config.controller,
+            config.seed,
         );
         let mut outcome = SearchOutcome::empty();
-        let m = self.workload.num_tasks();
+        let m = workload.num_tasks();
 
-        for episode in 0..self.config.episodes {
+        for episode in 0..config.episodes {
             // Step 1: joint architecture + hardware prediction.
             let joint_sample = controller.sample(&mut rng);
             // Steps 2..: hardware-only predictions for the same architectures.
@@ -262,7 +407,7 @@ impl Nasaic {
             // Decode and evaluate the hardware of every step.
             let mut candidates = Vec::with_capacity(episode_samples.len());
             for sample in &episode_samples {
-                match self.decode_candidate(sample) {
+                match Self::decode_candidate(workload, hardware, config, sample) {
                     Ok(candidate) => candidates.push(Some(candidate)),
                     Err(_) => candidates.push(None),
                 }
@@ -292,29 +437,36 @@ impl Nasaic {
             }
             let weighted = accuracies.as_ref().map(|a| engine.weighted_accuracy(a));
 
+            let mut joint_reward = 0.0;
             for (step, (sample, candidate)) in episode_samples.iter().zip(candidates).enumerate() {
                 let Some(candidate) = candidate else {
                     // Undecodable sample: strongly discourage it.
-                    controller.feedback(sample, -self.config.rho);
+                    controller.feedback(sample, -config.rho);
+                    if step == 0 {
+                        joint_reward = -config.rho;
+                    }
                     continue;
                 };
                 let (metrics, check) = hardware_evaluations[step]
                     .expect("hardware evaluation exists for decodable candidates");
-                let penalty = Penalty::compute(&metrics, &self.specs, &bounds);
+                let penalty = Penalty::compute(&metrics, specs, &bounds);
                 let reward = match (step, &weighted) {
                     // Joint step with accuracy available: full Eq. 4 reward.
-                    (0, Some(w)) => Reward::new(*w, &penalty, self.config.rho),
+                    (0, Some(w)) => Reward::new(*w, &penalty, config.rho),
                     // Hardware-only steps: the paper ignores accuracy here;
                     // by default we keep the (fixed) architectures' accuracy
                     // in the reward so both step kinds share one scale.
-                    (_, Some(w)) if self.config.accuracy_in_hardware_reward => {
-                        Reward::new(*w, &penalty, self.config.rho)
+                    (_, Some(w)) if config.accuracy_in_hardware_reward => {
+                        Reward::new(*w, &penalty, config.rho)
                     }
-                    (_, Some(_)) => Reward::hardware_only(&penalty, self.config.rho),
+                    (_, Some(_)) => Reward::hardware_only(&penalty, config.rho),
                     // Pruned episode: penalty-only signal for every step.
-                    (_, None) => Reward::hardware_only(&penalty, self.config.rho),
+                    (_, None) => Reward::hardware_only(&penalty, config.rho),
                 };
                 controller.feedback(sample, reward.value());
+                if step == 0 {
+                    joint_reward = reward.value();
+                }
 
                 if let (Some(accs), Some(w)) = (&accuracies, &weighted) {
                     let evaluation = crate::evaluator::Evaluation {
@@ -322,20 +474,55 @@ impl Nasaic {
                         weighted_accuracy: *w,
                         metrics,
                         spec_check: check,
-                        mapping_feasible: metrics.latency_cycles <= self.specs.latency_cycles,
+                        mapping_feasible: metrics.latency_cycles <= specs.latency_cycles,
                     };
-                    outcome.record(ExploredSolution {
-                        episode,
-                        candidate,
-                        evaluation,
-                        reward: reward.value(),
-                    });
+                    outcome.record_observed(
+                        ExploredSolution {
+                            episode,
+                            candidate,
+                            evaluation,
+                            reward: reward.value(),
+                        },
+                        observer,
+                    );
                 }
             }
             outcome.episodes = episode + 1;
+            observer.on_event(&SearchEvent::EpisodeEvaluated {
+                episode,
+                evaluations: episode_samples.len(),
+                weighted_accuracy: weighted,
+                any_compliant: any_meets_specs,
+                reward: joint_reward,
+                entropy: Some(joint_sample.mean_entropy),
+                baseline: controller.baseline(),
+            });
         }
         outcome.reward_history = controller.reward_history().to_vec();
+        emit_search_finished(observer, &outcome, engine.stats().since(&stats_start));
         outcome
+    }
+}
+
+impl SearchAlgorithm for Nasaic {
+    fn name(&self) -> &str {
+        "nasaic"
+    }
+
+    /// Run over the context's workload/specs/hardware through its engine.
+    /// The search hyperparameters (including budget and seed) come from
+    /// this instance's [`NasaicConfig`]; the context's `seed`/`budget`
+    /// fields are descriptive (see
+    /// [`Algorithm::instantiate`](crate::scenario::Algorithm::instantiate)).
+    fn run(&self, ctx: &SearchContext<'_>) -> SearchOutcome {
+        Self::run_search(
+            ctx.workload,
+            &ctx.specs,
+            ctx.hardware,
+            ctx.engine,
+            &self.config,
+            ctx.observer(),
+        )
     }
 }
 

@@ -137,6 +137,13 @@ impl Controller {
         self.trainer.reward_history()
     }
 
+    /// The trainer's current REINFORCE baseline (exponential moving
+    /// average of rewards), or `None` before the first feedback — exposed
+    /// as search telemetry for the episode event stream.
+    pub fn baseline(&self) -> Option<f64> {
+        self.trainer.baseline()
+    }
+
     fn split(&self, actions: &[usize]) -> Vec<Vec<usize>> {
         let mut out = Vec::with_capacity(self.segments.len());
         let mut offset = 0;

@@ -8,16 +8,24 @@
 //! ```text
 //! nasaic run --scenario <name|path> [--budget-episodes N] [--seed N]
 //!            [--algorithm NAME] [--format text|json|csv] [--output FILE]
+//!            [--trace FILE] [--progress]
 //! nasaic compare --scenario <name|path> [--algorithms a,b,c] [...]
 //! nasaic list-scenarios [--format text|json]
 //! nasaic show --scenario <name|path> [--format toml|json]
 //! ```
+//!
+//! `--trace FILE` streams every search event (episodes, incumbents, phase
+//! boundaries, the final cache summary) as JSON lines; `--progress` (also
+//! implied by `--trace`) prints a human-readable progress line to stderr
+//! on each improvement.
 
+use nasaic_core::algorithm::{MulticastObserver, ProgressObserver, TraceObserver};
 use nasaic_core::experiments::compare;
 use nasaic_core::scenario::report::RunReport;
 use nasaic_core::scenario::value::{self, ConfigValue};
 use nasaic_core::scenario::{registry, Algorithm, ConfigError, Scenario};
 use std::fmt;
+use std::path::Path;
 use std::str::FromStr;
 
 /// A CLI failure: bad usage or a scenario/config error.  [`fmt::Display`]
@@ -74,6 +82,8 @@ OPTIONS:
     --algorithms <a,b,..>    Comma-separated algorithm list (compare; default all)
     --format <fmt>           text|json|csv (run/compare), text|json (list), toml|json (show)
     --output <file>          Write the result there instead of stdout
+    --trace <file>           Stream search events as JSON lines (run; implies --progress)
+    --progress               Print search progress lines to stderr (run)
 
 Scenario schema: docs/scenarios.md.  Built-ins: {}.",
         registry::names().join(" ")
@@ -118,6 +128,8 @@ struct Options {
     algorithms: Option<String>,
     format: Option<String>,
     output: Option<String>,
+    trace: Option<String>,
+    progress: bool,
     /// The flag names actually given, for applicability checks.
     provided: Vec<String>,
 }
@@ -162,6 +174,8 @@ impl Options {
                 "--algorithms" => options.algorithms = Some(take()?),
                 "--format" => options.format = Some(take()?),
                 "--output" => options.output = Some(take()?),
+                "--trace" => options.trace = Some(take()?),
+                "--progress" => options.progress = true,
                 other => {
                     return Err(CliError::new(format!(
                         "unknown option `{other}` (see `nasaic help`)"
@@ -256,6 +270,8 @@ fn cmd_run(options: &Options) -> Result<String, CliError> {
             "--algorithm",
             "--format",
             "--output",
+            "--trace",
+            "--progress",
         ],
     )?;
     let scenario = options.scenario()?;
@@ -264,7 +280,34 @@ fn cmd_run(options: &Options) -> Result<String, CliError> {
         &[Format::Text, Format::Json, Format::Csv],
         "run",
     )?;
-    let report = scenario.run_report();
+    let report = if options.trace.is_some() || options.progress {
+        let engine = scenario.engine();
+        let trace = match &options.trace {
+            None => None,
+            Some(path) => Some(
+                TraceObserver::create(Path::new(path))
+                    .map_err(|e| CliError::new(format!("cannot create trace file {path}: {e}")))?,
+            ),
+        };
+        let progress =
+            ProgressObserver::new(format!("{} {}", scenario.name, scenario.search.algorithm));
+        let mut observers = MulticastObserver::new();
+        if let Some(trace) = &trace {
+            observers.push(trace);
+        }
+        observers.push(&progress);
+        let report = scenario.run_report_observed(scenario.search.algorithm, &engine, &observers);
+        if let Some(trace) = trace {
+            let path = options.trace.as_deref().unwrap_or_default();
+            trace
+                .finish()
+                .map_err(|e| CliError::new(format!("cannot write trace file {path}: {e}")))?;
+            eprintln!("trace written to {path}");
+        }
+        report
+    } else {
+        scenario.run_report()
+    };
     Ok(match format {
         Format::Text => report.to_string(),
         Format::Json => report.to_json(),

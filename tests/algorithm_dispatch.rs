@@ -1,0 +1,244 @@
+//! The `SearchAlgorithm` trait + `Algorithm::instantiate` factory must be
+//! a pure refactor: for every builtin scenario and every algorithm, the
+//! seeded outcome through the trait path is bit-identical to constructing
+//! and running the concrete driver directly (the pre-refactor dispatch),
+//! and observation is passive and deterministic.
+
+use nasaic::core::algorithm::Budget;
+use nasaic::core::baselines::{
+    AsicThenHwNas, EvolutionarySearch, HillClimb, MonteCarloSearch, NasThenAsic,
+};
+use nasaic::core::prelude::*;
+
+/// Shrink a scenario to a test-sized budget (same shape, seconds not
+/// minutes).
+fn shrink(mut scenario: Scenario) -> Scenario {
+    scenario.search.episodes = 3;
+    scenario.search.hardware_trials = 2;
+    scenario.search.bound_samples = 3;
+    scenario.seed = 7;
+    scenario
+}
+
+/// The pre-refactor dispatch: construct each concrete driver by hand with
+/// the exact budget mapping `Scenario::run_algorithm_with_engine` used to
+/// inline, and call its direct `run_with_engine` entry point.
+fn direct_construction(scenario: &Scenario, algorithm: Algorithm) -> SearchOutcome {
+    let workload = scenario.workload();
+    let hardware = scenario.hardware_space();
+    let engine = scenario.engine();
+    let search = &scenario.search;
+    let hardware_budget = (search.episodes * search.hardware_trials).max(1);
+    match algorithm {
+        Algorithm::Nasaic => Nasaic::new(workload, scenario.specs, scenario.nasaic_config())
+            .with_hardware_space(hardware)
+            .run_with_engine(&engine),
+        Algorithm::MonteCarlo => MonteCarloSearch {
+            runs: search.total_evaluations(),
+            seed: scenario.seed,
+        }
+        .run_with_engine(&workload, &hardware, &engine),
+        Algorithm::HillClimb => HillClimb {
+            max_steps: search.episodes,
+            rho: search.rho,
+        }
+        .run_with_engine(&workload, scenario.specs, &hardware, &engine),
+        Algorithm::Evolutionary => EvolutionarySearch {
+            population: 24,
+            generations: (search.total_evaluations() / 24).max(1),
+            tournament: 3,
+            mutation_rate: 0.2,
+            rho: search.rho,
+            seed: scenario.seed,
+        }
+        .run_with_engine(&workload, scenario.specs, &hardware, &engine),
+        Algorithm::NasThenAsic => {
+            NasThenAsic {
+                nas_episodes: search.episodes,
+                hardware_samples: hardware_budget,
+                seed: scenario.seed,
+            }
+            .run_with_engine(&workload, scenario.specs, &hardware, &engine)
+            .0
+        }
+        Algorithm::AsicThenHwNas => {
+            AsicThenHwNas {
+                monte_carlo_runs: hardware_budget,
+                nas_episodes: search.episodes,
+                rho: search.rho,
+                seed: scenario.seed,
+            }
+            .run_with_engine(&workload, scenario.specs, &hardware, &engine)
+            .1
+        }
+    }
+}
+
+#[test]
+fn trait_factory_path_is_bit_identical_to_direct_construction_everywhere() {
+    for name in registry::names() {
+        let mut scenario = shrink(registry::get(name).expect("built-in"));
+        for algorithm in Algorithm::all() {
+            scenario.search.algorithm = algorithm;
+            let through_trait = scenario.run_algorithm_with_engine(algorithm, &scenario.engine());
+            let direct = direct_construction(&scenario, algorithm);
+            assert_eq!(
+                through_trait, direct,
+                "trait-factory outcome diverged from direct construction \
+                 on scenario `{name}` with algorithm `{algorithm}`"
+            );
+        }
+    }
+}
+
+#[test]
+fn instantiated_drivers_report_the_algorithm_name() {
+    let scenario = shrink(registry::get("w3").unwrap());
+    for algorithm in Algorithm::all() {
+        let driver = algorithm.instantiate(&scenario.search, scenario.seed);
+        assert_eq!(driver.name(), algorithm.name());
+    }
+}
+
+#[test]
+fn observation_is_passive_for_every_algorithm() {
+    // Running with a RecordingObserver must not change the outcome.
+    let mut scenario = shrink(registry::get("w1").unwrap());
+    for algorithm in Algorithm::all() {
+        scenario.search.algorithm = algorithm;
+        let silent = scenario.run_algorithm_with_engine(algorithm, &scenario.engine());
+        let recorder = RecordingObserver::new();
+        let observed = scenario.run_algorithm_observed(algorithm, &scenario.engine(), &recorder);
+        assert_eq!(
+            silent, observed,
+            "{algorithm}: observer changed the outcome"
+        );
+        assert!(
+            !recorder.events().is_empty(),
+            "{algorithm}: observer saw no events"
+        );
+    }
+}
+
+#[test]
+fn event_streams_are_deterministic_for_a_seed() {
+    let mut scenario = shrink(registry::get("w3").unwrap());
+    for algorithm in [
+        Algorithm::Nasaic,
+        Algorithm::MonteCarlo,
+        Algorithm::NasThenAsic,
+        Algorithm::AsicThenHwNas,
+    ] {
+        scenario.search.algorithm = algorithm;
+        let first = RecordingObserver::new();
+        scenario.run_algorithm_observed(algorithm, &scenario.engine(), &first);
+        let second = RecordingObserver::new();
+        scenario.run_algorithm_observed(algorithm, &scenario.engine(), &second);
+        assert_eq!(
+            first.events(),
+            second.events(),
+            "{algorithm}: same seed produced different event streams"
+        );
+    }
+}
+
+#[test]
+fn nasaic_event_count_matches_the_declared_budget() {
+    let mut scenario = shrink(registry::get("w3").unwrap());
+    scenario.search.algorithm = Algorithm::Nasaic;
+    let recorder = RecordingObserver::new();
+    scenario.run_algorithm_observed(Algorithm::Nasaic, &scenario.engine(), &recorder);
+    // One EpisodeEvaluated per declared episode, one final summary.
+    assert_eq!(
+        recorder.count("episode_evaluated"),
+        scenario.search.episodes
+    );
+    assert_eq!(recorder.count("search_finished"), 1);
+    let events = recorder.events();
+    assert!(matches!(
+        events.last(),
+        Some(SearchEvent::SearchFinished { .. })
+    ));
+    // Each NASAIC episode evaluates 1 + phi candidates.
+    let per_episode = 1 + scenario.search.hardware_trials;
+    for event in &events {
+        if let SearchEvent::EpisodeEvaluated { evaluations, .. } = event {
+            assert_eq!(*evaluations, per_episode);
+        }
+    }
+    // The final summary's explored count matches the outcome bookkeeping.
+    let outcome = scenario.run_algorithm_with_engine(Algorithm::Nasaic, &scenario.engine());
+    if let Some(SearchEvent::SearchFinished { explored, .. }) = events.last() {
+        assert_eq!(*explored, outcome.explored.len());
+    }
+}
+
+#[test]
+fn monte_carlo_event_count_matches_the_total_evaluation_budget() {
+    let mut scenario = shrink(registry::get("w3").unwrap());
+    scenario.search.algorithm = Algorithm::MonteCarlo;
+    let recorder = RecordingObserver::new();
+    scenario.run_algorithm_observed(Algorithm::MonteCarlo, &scenario.engine(), &recorder);
+    assert_eq!(
+        recorder.count("episode_evaluated"),
+        scenario.search.budget().total_evaluations()
+    );
+    assert_eq!(recorder.count("search_finished"), 1);
+}
+
+#[test]
+fn successive_baselines_emit_phase_events_and_keep_phase_summaries() {
+    let mut scenario = shrink(registry::get("w1").unwrap());
+    for (algorithm, expected_phases) in [
+        (Algorithm::NasThenAsic, ["nas", "asic-sweep"]),
+        (Algorithm::AsicThenHwNas, ["asic-monte-carlo", "hw-nas"]),
+    ] {
+        scenario.search.algorithm = algorithm;
+        let recorder = RecordingObserver::new();
+        let outcome = scenario.run_algorithm_observed(algorithm, &scenario.engine(), &recorder);
+        assert_eq!(recorder.count("phase_started"), 2, "{algorithm}");
+        assert_eq!(recorder.count("phase_finished"), 2, "{algorithm}");
+        let phase_names: Vec<&str> = outcome.phases.iter().map(|p| p.name.as_str()).collect();
+        assert_eq!(phase_names, expected_phases, "{algorithm}");
+        // The PhaseFinished events carry the same summaries the outcome keeps.
+        let finished: Vec<PhaseSummary> = recorder
+            .events()
+            .into_iter()
+            .filter_map(|e| match e {
+                SearchEvent::PhaseFinished { summary, .. } => Some(summary),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(finished, outcome.phases, "{algorithm}");
+    }
+}
+
+#[test]
+fn new_incumbent_events_are_strictly_improving() {
+    let mut scenario = shrink(registry::get("w3").unwrap());
+    scenario.search.episodes = 5;
+    scenario.search.algorithm = Algorithm::MonteCarlo;
+    let recorder = RecordingObserver::new();
+    scenario.run_algorithm_observed(Algorithm::MonteCarlo, &scenario.engine(), &recorder);
+    let mut last = f64::NEG_INFINITY;
+    for event in recorder.events() {
+        if let SearchEvent::NewIncumbent {
+            weighted_accuracy, ..
+        } = event
+        {
+            assert!(weighted_accuracy > last);
+            last = weighted_accuracy;
+        }
+    }
+}
+
+#[test]
+fn context_budget_mirrors_the_search_spec() {
+    let scenario = shrink(registry::get("w2").unwrap());
+    let budget = scenario.search.budget();
+    assert_eq!(budget, Budget::new(3, 2));
+    assert_eq!(
+        budget.total_evaluations(),
+        scenario.search.total_evaluations()
+    );
+}

@@ -30,8 +30,12 @@ fn nas_then_asic_never_produces_a_compliant_w2_solution() {
     let specs = DesignSpecs::for_workload(WorkloadId::W2);
     let evaluator = Evaluator::new(&workload, specs, AccuracyOracle::default());
     let hardware = HardwareSpace::paper_default(2);
-    let (outcome, representative) =
-        NasThenAsic::fast(5).run(&workload, specs, &hardware, &evaluator);
+    let (outcome, representative) = NasThenAsic::fast(5).run_with_engine(
+        &workload,
+        specs,
+        &hardware,
+        &EvalEngine::from(&evaluator),
+    );
     assert!(outcome.best.is_none());
     assert!(!representative.expect("sweep ran").evaluation.meets_specs());
 }
@@ -49,7 +53,7 @@ fn guided_search_is_more_sample_efficient_than_random_search_on_w3() {
         runs: nasaic_evaluations,
         seed: 77,
     }
-    .run(&workload, &hardware, &evaluator);
+    .run_with_engine(&workload, &hardware, &EvalEngine::from(&evaluator));
 
     let nasaic_best = nasaic.best_weighted_accuracy();
     let random_best = random.best_weighted_accuracy();
@@ -69,7 +73,12 @@ fn hill_climbing_finds_a_compliant_solution_but_rl_matches_or_beats_it() {
     let evaluator = Evaluator::new(&workload, specs, AccuracyOracle::default());
     let hardware = HardwareSpace::paper_default(2);
 
-    let climb = HillClimb::new(15).run(&workload, specs, &hardware, &evaluator);
+    let climb = HillClimb::new(15).run_with_engine(
+        &workload,
+        specs,
+        &hardware,
+        &EvalEngine::from(&evaluator),
+    );
     let nasaic = Nasaic::new(workload, specs, NasaicConfig::fast_demo(88)).run();
 
     let climb_best = climb.best_weighted_accuracy();

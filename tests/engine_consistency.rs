@@ -132,6 +132,7 @@ fn search_outcome_is_unchanged_by_engine_thread_count() {
 }
 
 #[test]
+#[allow(deprecated)] // the cold-engine wrappers stay pinned to the engine path
 fn baseline_engine_entry_points_match_their_evaluator_wrappers() {
     use nasaic::core::baselines::MonteCarloSearch;
 

@@ -81,6 +81,63 @@ fn show_output_is_a_loadable_config() {
 }
 
 #[test]
+fn run_with_trace_streams_parseable_deterministic_json_lines() {
+    let dir = std::env::temp_dir().join("nasaic-cli-e2e");
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace_path = dir.join("w1-trace.jsonl");
+
+    let run = |path: &std::path::Path| {
+        cli(&[
+            "run",
+            "--scenario",
+            "w1",
+            "--budget-episodes",
+            "2",
+            "--format",
+            "json",
+            "--trace",
+            path.to_str().unwrap(),
+        ]);
+        std::fs::read_to_string(path).unwrap()
+    };
+    let trace = run(&trace_path);
+
+    // Every line is standalone JSON with an event tag.
+    let lines: Vec<&str> = trace.lines().collect();
+    assert!(!lines.is_empty());
+    let mut kinds = Vec::new();
+    for line in &lines {
+        let event = value::parse_json(line).unwrap_or_else(|e| panic!("bad line `{line}`: {e}"));
+        kinds.push(event.get("event").unwrap().as_str().unwrap().to_string());
+    }
+    // Every declared episode is covered and the stream ends with the
+    // final summary.
+    assert_eq!(
+        kinds.iter().filter(|k| *k == "episode_evaluated").count(),
+        2
+    );
+    assert_eq!(kinds.last().map(String::as_str), Some("search_finished"));
+
+    // Same seed, same scenario => byte-identical trace.
+    let second_path = dir.join("w1-trace-2.jsonl");
+    let second = run(&second_path);
+    assert_eq!(trace, second, "trace stream is not deterministic");
+}
+
+#[test]
+fn trace_does_not_apply_to_other_subcommands() {
+    let err = run_command(&[
+        "compare".to_string(),
+        "--scenario".to_string(),
+        "w3".to_string(),
+        "--trace".to_string(),
+        "/tmp/t.jsonl".to_string(),
+    ])
+    .unwrap_err();
+    assert!(err.to_string().contains("does not apply"), "{err}");
+}
+
+#[test]
 fn errors_are_reported_not_panicked() {
     let err = run_command(&[
         "run".to_string(),
