@@ -4,6 +4,7 @@
 use nasaic_nn::backbone::Backbone;
 use nasaic_nn::stats::NetworkStats;
 use serde::{Deserialize, Serialize};
+use std::sync::OnceLock;
 
 /// A diminishing-returns accuracy curve in network capacity.
 ///
@@ -76,60 +77,91 @@ impl CalibrationCurve {
     }
 }
 
-/// The CIFAR-10 ResNet-9 calibration: 78.93 % for the smallest network
-/// (Fig. 6), 94.17 % for the architecture NAS finds with unlimited
-/// resources (Table I/II).
-pub fn cifar10_curve() -> CalibrationCurve {
-    let small = NetworkStats::of(&Backbone::ResNet9Cifar10.smallest_architecture());
-    let large = NetworkStats::of(&Backbone::ResNet9Cifar10.largest_architecture());
-    CalibrationCurve::fitted(
-        0.7893,
-        0.9550,
-        CalibrationCurve::capacity_feature(&small),
-        CalibrationCurve::capacity_feature(&large),
-        0.9425,
-        0.004,
-    )
-}
-
-/// The STL-10 ResNet-9 calibration: 71.57 % lower bound, 76.5 % for the
-/// best NAS architecture (Table I).
-pub fn stl10_curve() -> CalibrationCurve {
-    let small = NetworkStats::of(&Backbone::ResNet9Stl10.smallest_architecture());
-    let large = NetworkStats::of(&Backbone::ResNet9Stl10.largest_architecture());
-    CalibrationCurve::fitted(
-        0.7157,
-        0.7760,
-        CalibrationCurve::capacity_feature(&small),
-        CalibrationCurve::capacity_feature(&large),
-        0.7680,
-        0.004,
-    )
-}
-
-/// The Nuclei U-Net calibration: IOU 0.642 lower bound (the paper reports
-/// 0.6462 in the text and 0.642 in the figure; we use the figure value),
-/// 0.8394 for the best NAS architecture (Table I).
-pub fn nuclei_curve() -> CalibrationCurve {
-    let small = NetworkStats::of(&Backbone::UNetNuclei.smallest_architecture());
-    let large = NetworkStats::of(&Backbone::UNetNuclei.largest_architecture());
-    CalibrationCurve::fitted(
-        0.642,
-        0.8460,
-        CalibrationCurve::capacity_feature(&small),
-        CalibrationCurve::capacity_feature(&large),
-        0.8400,
-        0.003,
-    )
-}
-
-/// The calibration curve for a backbone.
-pub fn curve_for(backbone: Backbone) -> CalibrationCurve {
+/// Fit the calibration curve of one backbone from its search-space
+/// endpoints.  This materialises the smallest and largest architectures
+/// and walks their layer tables — the expensive step the process-wide
+/// [`curve_table`] amortises to exactly once per backbone.
+fn fit_curve(backbone: Backbone) -> CalibrationCurve {
+    let small = NetworkStats::of(&backbone.smallest_architecture());
+    let large = NetworkStats::of(&backbone.largest_architecture());
+    let f_min = CalibrationCurve::capacity_feature(&small);
+    let f_max = CalibrationCurve::capacity_feature(&large);
     match backbone {
-        Backbone::ResNet9Cifar10 => cifar10_curve(),
-        Backbone::ResNet9Stl10 => stl10_curve(),
-        Backbone::UNetNuclei => nuclei_curve(),
+        // CIFAR-10 ResNet-9: 78.93 % for the smallest network (Fig. 6),
+        // 94.17 % for the architecture NAS finds with unlimited resources
+        // (Table I/II).
+        Backbone::ResNet9Cifar10 => {
+            CalibrationCurve::fitted(0.7893, 0.9550, f_min, f_max, 0.9425, 0.004)
+        }
+        // STL-10 ResNet-9: 71.57 % lower bound, 76.5 % for the best NAS
+        // architecture (Table I).
+        Backbone::ResNet9Stl10 => {
+            CalibrationCurve::fitted(0.7157, 0.7760, f_min, f_max, 0.7680, 0.004)
+        }
+        // Nuclei U-Net: IOU 0.642 lower bound (the paper reports 0.6462 in
+        // the text and 0.642 in the figure; we use the figure value),
+        // 0.8394 for the best NAS architecture (Table I).
+        Backbone::UNetNuclei => {
+            CalibrationCurve::fitted(0.642, 0.8460, f_min, f_max, 0.8400, 0.003)
+        }
     }
+}
+
+/// Index of a backbone in the fitted-curve table.
+fn curve_index(backbone: Backbone) -> usize {
+    match backbone {
+        Backbone::ResNet9Cifar10 => 0,
+        Backbone::ResNet9Stl10 => 1,
+        Backbone::UNetNuclei => 2,
+    }
+}
+
+/// The process-wide table of fitted curves, built on first use.
+///
+/// Fitting a curve re-materialises both search-space endpoint
+/// architectures; before this table existed the surrogate paid that cost
+/// on **every** `evaluate` call.  The fit is deterministic, so serving
+/// the memoised [`CalibrationCurve`] (a `Copy` struct) is bit-identical
+/// to refitting.
+fn curve_table() -> &'static [CalibrationCurve; 3] {
+    static CURVES: OnceLock<[CalibrationCurve; 3]> = OnceLock::new();
+    CURVES.get_or_init(|| {
+        [
+            fit_curve(Backbone::ResNet9Cifar10),
+            fit_curve(Backbone::ResNet9Stl10),
+            fit_curve(Backbone::UNetNuclei),
+        ]
+    })
+}
+
+/// The CIFAR-10 ResNet-9 calibration (memoised; see [`curve_for`]).
+pub fn cifar10_curve() -> CalibrationCurve {
+    curve_for(Backbone::ResNet9Cifar10)
+}
+
+/// The STL-10 ResNet-9 calibration (memoised; see [`curve_for`]).
+pub fn stl10_curve() -> CalibrationCurve {
+    curve_for(Backbone::ResNet9Stl10)
+}
+
+/// The Nuclei U-Net calibration (memoised; see [`curve_for`]).
+pub fn nuclei_curve() -> CalibrationCurve {
+    curve_for(Backbone::UNetNuclei)
+}
+
+/// The calibration curve for a backbone — a table lookup after the first
+/// call per process.
+pub fn curve_for(backbone: Backbone) -> CalibrationCurve {
+    curve_table()[curve_index(backbone)]
+}
+
+/// Fit a backbone's curve from scratch, bypassing the memo table.
+///
+/// Retained as the reference for the `eval_baseline` identity gate and
+/// for tests asserting the table serves exactly what a fresh fit
+/// produces.  Not a hot-path API.
+pub fn curve_for_reference(backbone: Backbone) -> CalibrationCurve {
+    fit_curve(backbone)
 }
 
 #[cfg(test)]
@@ -187,5 +219,21 @@ mod tests {
     #[should_panic]
     fn fitted_rejects_target_below_base() {
         CalibrationCurve::fitted(0.8, 0.9, 1.0, 2.0, 0.7, 0.0);
+    }
+
+    #[test]
+    fn memoised_curves_are_bit_identical_to_fresh_fits() {
+        for backbone in Backbone::all() {
+            let cached = curve_for(backbone);
+            let fresh = curve_for_reference(backbone);
+            assert_eq!(cached.q_base.to_bits(), fresh.q_base.to_bits());
+            assert_eq!(cached.q_max.to_bits(), fresh.q_max.to_bits());
+            assert_eq!(cached.f_min.to_bits(), fresh.f_min.to_bits());
+            assert_eq!(cached.alpha.to_bits(), fresh.alpha.to_bits());
+            assert_eq!(
+                cached.noise_amplitude.to_bits(),
+                fresh.noise_amplitude.to_bits()
+            );
+        }
     }
 }

@@ -1,9 +1,51 @@
 //! A small multi-layer perceptron with manual backpropagation, built on
 //! `nasaic-tensor`.
+//!
+//! The forward and backward passes run entirely on caller-provided
+//! [`MlpScratch`] buffers (see the "Evaluator hot path" section of
+//! `docs/performance.md` for the ownership rules): once the buffers have
+//! grown to the topology's sizes, a full train step performs zero heap
+//! allocations.  The convenience methods without a scratch parameter
+//! allocate a fresh scratch per call and exist for tests and one-off use.
 
-use nasaic_tensor::activation::{relu, relu_derivative, softmax};
+use nasaic_tensor::activation::{relu, relu_derivative, softmax_into};
 use nasaic_tensor::{init, Adam, Matrix, Optimizer};
 use rand::Rng;
+
+/// Reusable buffers for [`Mlp`] forward/backward passes.
+///
+/// Every intermediate activation, probability vector and parameter
+/// gradient of a pass lives here instead of being allocated per call.
+/// Ownership rules:
+///
+/// * the caller owns the scratch and may reuse one instance across
+///   examples, epochs and even across different [`Mlp`] instances — each
+///   pass overwrites everything it reads;
+/// * buffer contents between calls are unspecified (borrow results such
+///   as [`Mlp::predict_proba_with`]'s slice before the next pass);
+/// * an empty (`default`) scratch is always valid — buffers grow on
+///   first use and then stay at the high-water mark.
+#[derive(Debug, Clone, Default)]
+pub struct MlpScratch {
+    pre_hidden: Vec<f64>,
+    hidden: Vec<f64>,
+    logits: Vec<f64>,
+    probs: Vec<f64>,
+    dhidden: Vec<f64>,
+    dpre: Vec<f64>,
+    dw1: Matrix,
+    db1: Matrix,
+    dw2: Matrix,
+    db2: Matrix,
+}
+
+impl MlpScratch {
+    /// Create an empty scratch; buffers grow to the topology's sizes on
+    /// first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
 
 /// A two-hidden-layer MLP classifier trained with cross-entropy loss.
 #[derive(Debug, Clone)]
@@ -49,26 +91,45 @@ impl Mlp {
         self.w1.rows()
     }
 
-    fn forward(&self, features: &[f64]) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
-        let x = Matrix::col_vector(features);
-        let pre_hidden = &self.w1.matmul(&x) + &self.b1;
-        let hidden: Vec<f64> = pre_hidden.as_slice().iter().map(|&v| relu(v)).collect();
-        let h = Matrix::col_vector(&hidden);
-        let logits_m = &self.w2.matmul(&h) + &self.b2;
-        let logits = logits_m.as_slice().to_vec();
-        (pre_hidden.into_vec(), hidden, logits)
+    /// Forward pass into the scratch's activation buffers.
+    fn forward_into(&self, features: &[f64], scratch: &mut MlpScratch) {
+        self.w1.matvec_into(features, &mut scratch.pre_hidden);
+        for (v, b) in scratch.pre_hidden.iter_mut().zip(self.b1.as_slice()) {
+            *v += b;
+        }
+        scratch.hidden.clear();
+        scratch
+            .hidden
+            .extend(scratch.pre_hidden.iter().map(|&v| relu(v)));
+        self.w2.matvec_into(&scratch.hidden, &mut scratch.logits);
+        for (v, b) in scratch.logits.iter_mut().zip(self.b2.as_slice()) {
+            *v += b;
+        }
     }
 
-    /// Class probabilities for one example.
+    /// Class probabilities for one example, using caller-provided scratch.
+    ///
+    /// The returned slice borrows the scratch and is valid until the next
+    /// pass through it.
+    pub fn predict_proba_with<'a>(
+        &self,
+        features: &[f64],
+        scratch: &'a mut MlpScratch,
+    ) -> &'a [f64] {
+        self.forward_into(features, scratch);
+        softmax_into(&scratch.logits, &mut scratch.probs);
+        &scratch.probs
+    }
+
+    /// Class probabilities for one example (allocating convenience form).
     pub fn predict_proba(&self, features: &[f64]) -> Vec<f64> {
-        let (_, _, logits) = self.forward(features);
-        softmax(&logits)
+        let mut scratch = MlpScratch::new();
+        self.predict_proba_with(features, &mut scratch).to_vec()
     }
 
-    /// Most likely class for one example.
-    pub fn predict(&self, features: &[f64]) -> usize {
-        let probabilities = self.predict_proba(features);
-        probabilities
+    /// Most likely class for one example, using caller-provided scratch.
+    pub fn predict_with(&self, features: &[f64], scratch: &mut MlpScratch) -> usize {
+        self.predict_proba_with(features, scratch)
             .iter()
             .enumerate()
             .max_by(|a, b| a.1.total_cmp(b.1))
@@ -76,60 +137,93 @@ impl Mlp {
             .unwrap_or(0)
     }
 
-    /// One stochastic-gradient step on a single example; returns the
-    /// cross-entropy loss before the update.
+    /// Most likely class for one example (allocating convenience form).
+    pub fn predict(&self, features: &[f64]) -> usize {
+        let mut scratch = MlpScratch::new();
+        self.predict_with(features, &mut scratch)
+    }
+
+    /// One stochastic-gradient step on a single example, using
+    /// caller-provided scratch; returns the cross-entropy loss before the
+    /// update.  Zero heap allocations once the scratch is warm.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `label` is out of range for the output layer.
+    pub fn train_step_with(
+        &mut self,
+        features: &[f64],
+        label: usize,
+        scratch: &mut MlpScratch,
+    ) -> f64 {
+        assert!(label < self.w2.rows(), "label out of range");
+        self.forward_into(features, scratch);
+        softmax_into(&scratch.logits, &mut scratch.probs);
+        let loss = -(scratch.probs[label].max(1e-300)).ln();
+
+        // dL/dlogits = p - onehot(label); reuses the probability buffer.
+        scratch.probs[label] -= 1.0;
+        scratch.dw2.set_outer(&scratch.probs, &scratch.hidden);
+        scratch.db2.set_col_vector(&scratch.probs);
+
+        // Backprop into the hidden layer.
+        self.w2.matvec_tn_into(&scratch.probs, &mut scratch.dhidden);
+        scratch.dpre.clear();
+        scratch.dpre.extend(
+            scratch
+                .dhidden
+                .iter()
+                .zip(&scratch.pre_hidden)
+                .map(|(&g, &z)| g * relu_derivative(z)),
+        );
+        scratch.dw1.set_outer(&scratch.dpre, features);
+        scratch.db1.set_col_vector(&scratch.dpre);
+
+        self.opt_w2.step(&mut self.w2, &scratch.dw2);
+        self.opt_b2.step(&mut self.b2, &scratch.db2);
+        self.opt_w1.step(&mut self.w1, &scratch.dw1);
+        self.opt_b1.step(&mut self.b1, &scratch.db1);
+        loss
+    }
+
+    /// One stochastic-gradient step (allocating convenience form).
     ///
     /// # Panics
     ///
     /// Panics if `label` is out of range for the output layer.
     pub fn train_step(&mut self, features: &[f64], label: usize) -> f64 {
-        assert!(label < self.w2.rows(), "label out of range");
-        let (pre_hidden, hidden, logits) = self.forward(features);
-        let probabilities = softmax(&logits);
-        let loss = -(probabilities[label].max(1e-300)).ln();
-
-        // dL/dlogits = p - onehot(label)
-        let mut dlogits = probabilities;
-        dlogits[label] -= 1.0;
-        let dlogits_m = Matrix::col_vector(&dlogits);
-        let hidden_m = Matrix::col_vector(&hidden);
-
-        let dw2 = dlogits_m.matmul(&hidden_m.transpose());
-        let db2 = dlogits_m.clone();
-
-        // Backprop into the hidden layer.
-        let dhidden = self.w2.transpose().matmul(&dlogits_m);
-        let dpre: Vec<f64> = dhidden
-            .as_slice()
-            .iter()
-            .zip(pre_hidden.iter())
-            .map(|(&g, &z)| g * relu_derivative(z))
-            .collect();
-        let dpre_m = Matrix::col_vector(&dpre);
-        let x = Matrix::col_vector(features);
-        let dw1 = dpre_m.matmul(&x.transpose());
-        let db1 = dpre_m;
-
-        self.opt_w2.step(&mut self.w2, &dw2);
-        self.opt_b2.step(&mut self.b2, &db2);
-        self.opt_w1.step(&mut self.w1, &dw1);
-        self.opt_b1.step(&mut self.b1, &db1);
-        loss
+        let mut scratch = MlpScratch::new();
+        self.train_step_with(features, label, &mut scratch)
     }
 
-    /// Classification accuracy over a labelled set.
+    /// Classification accuracy over a labelled set, using caller-provided
+    /// scratch.
     ///
     /// Returns 0 for an empty set.
-    pub fn accuracy(&self, features: &[Vec<f64>], labels: &[usize]) -> f64 {
+    pub fn accuracy_with(
+        &self,
+        features: &[Vec<f64>],
+        labels: &[usize],
+        scratch: &mut MlpScratch,
+    ) -> f64 {
         if features.is_empty() {
             return 0.0;
         }
         let correct = features
             .iter()
             .zip(labels)
-            .filter(|(x, &y)| self.predict(x) == y)
+            .filter(|(x, &y)| self.predict_with(x, scratch) == y)
             .count();
         correct as f64 / features.len() as f64
+    }
+
+    /// Classification accuracy over a labelled set (allocating
+    /// convenience form).
+    ///
+    /// Returns 0 for an empty set.
+    pub fn accuracy(&self, features: &[Vec<f64>], labels: &[usize]) -> f64 {
+        let mut scratch = MlpScratch::new();
+        self.accuracy_with(features, labels, &mut scratch)
     }
 }
 
@@ -190,5 +284,75 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         let mut mlp = Mlp::new(&mut rng, 2, 4, 2, 0.01);
         mlp.train_step(&[0.0, 0.0], 5);
+    }
+
+    /// The pre-scratch train step, kept verbatim as the oracle for the
+    /// zero-alloc rewrite: every Matrix op here allocates.
+    fn reference_train_step(mlp: &mut Mlp, features: &[f64], label: usize) -> f64 {
+        use nasaic_tensor::activation::softmax;
+        let x = Matrix::col_vector(features);
+        let pre_hidden = &mlp.w1.matmul(&x) + &mlp.b1;
+        let hidden: Vec<f64> = pre_hidden.as_slice().iter().map(|&v| relu(v)).collect();
+        let h = Matrix::col_vector(&hidden);
+        let logits_m = &mlp.w2.matmul(&h) + &mlp.b2;
+        let probabilities = softmax(logits_m.as_slice());
+        let loss = -(probabilities[label].max(1e-300)).ln();
+
+        let mut dlogits = probabilities;
+        dlogits[label] -= 1.0;
+        let dlogits_m = Matrix::col_vector(&dlogits);
+        let hidden_m = Matrix::col_vector(&hidden);
+        let dw2 = dlogits_m.matmul(&hidden_m.transpose());
+        let db2 = dlogits_m.clone();
+        let dhidden = mlp.w2.transpose().matmul(&dlogits_m);
+        let dpre: Vec<f64> = dhidden
+            .as_slice()
+            .iter()
+            .zip(pre_hidden.as_slice())
+            .map(|(&g, &z)| g * relu_derivative(z))
+            .collect();
+        let dpre_m = Matrix::col_vector(&dpre);
+        let dw1 = dpre_m.matmul(&x.transpose());
+        let db1 = dpre_m;
+
+        mlp.opt_w2.step(&mut mlp.w2, &dw2);
+        mlp.opt_b2.step(&mut mlp.b2, &db2);
+        mlp.opt_w1.step(&mut mlp.w1, &dw1);
+        mlp.opt_b1.step(&mut mlp.b1, &db1);
+        loss
+    }
+
+    fn assert_matrix_bits_equal(a: &Matrix, b: &Matrix) {
+        assert_eq!(a.shape(), b.shape());
+        for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+            assert_eq!(x.to_bits(), y.to_bits(), "parameter mismatch: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn scratch_train_step_is_bit_identical_to_matmul_composition() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let ds = SyntheticDataset::gaussian_clusters(&mut rng, 3, 5, 20, 0.2);
+        // 9 hidden units: not a multiple of the kernel unroll width.
+        let mut fast = Mlp::new(&mut rng, 5, 9, 3, 0.015);
+        let mut reference = fast.clone();
+        let mut scratch = MlpScratch::new();
+        for (x, &y) in ds.train_features.iter().zip(&ds.train_labels) {
+            let loss_fast = fast.train_step_with(x, y, &mut scratch);
+            let loss_reference = reference_train_step(&mut reference, x, y);
+            assert_eq!(loss_fast.to_bits(), loss_reference.to_bits());
+        }
+        assert_matrix_bits_equal(&fast.w1, &reference.w1);
+        assert_matrix_bits_equal(&fast.b1, &reference.b1);
+        assert_matrix_bits_equal(&fast.w2, &reference.w2);
+        assert_matrix_bits_equal(&fast.b2, &reference.b2);
+        // Inference paths agree too, through the same shared scratch.
+        for x in &ds.val_features {
+            let p_fast = fast.predict_proba_with(x, &mut scratch).to_vec();
+            let p_reference = reference.predict_proba(x);
+            for (a, b) in p_fast.iter().zip(&p_reference) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
     }
 }

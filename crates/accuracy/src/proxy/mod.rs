@@ -12,5 +12,5 @@ pub mod mlp;
 pub mod train;
 
 pub use data::SyntheticDataset;
-pub use mlp::Mlp;
+pub use mlp::{Mlp, MlpScratch};
 pub use train::{ProxyAccuracyModel, ProxyTrainer, TrainReport};

@@ -2,7 +2,7 @@
 //! held-out validation accuracy.
 
 use crate::proxy::data::SyntheticDataset;
-use crate::proxy::mlp::Mlp;
+use crate::proxy::mlp::{Mlp, MlpScratch};
 use crate::surrogate::AccuracyModel;
 use nasaic_nn::backbone::Backbone;
 use nasaic_nn::layer::Architecture;
@@ -73,19 +73,31 @@ impl ProxyTrainer {
             self.num_classes,
             self.learning_rate,
         );
+        // One scratch for the whole run: every step and every validation
+        // pass reuses the same buffers, so after the first example the
+        // training loop allocates nothing.
+        let mut scratch = MlpScratch::new();
         let mut final_train_loss = f64::INFINITY;
         for _ in 0..self.epochs {
             let mut epoch_loss = 0.0;
             for (x, &y) in dataset.train_features.iter().zip(&dataset.train_labels) {
-                epoch_loss += mlp.train_step(x, y);
+                epoch_loss += mlp.train_step_with(x, y, &mut scratch);
             }
             final_train_loss = epoch_loss / dataset.train_len() as f64;
         }
         TrainReport {
             hidden_size: hidden,
             train_loss: final_train_loss,
-            train_accuracy: mlp.accuracy(&dataset.train_features, &dataset.train_labels),
-            validation_accuracy: mlp.accuracy(&dataset.val_features, &dataset.val_labels),
+            train_accuracy: mlp.accuracy_with(
+                &dataset.train_features,
+                &dataset.train_labels,
+                &mut scratch,
+            ),
+            validation_accuracy: mlp.accuracy_with(
+                &dataset.val_features,
+                &dataset.val_labels,
+                &mut scratch,
+            ),
         }
     }
 }

@@ -194,10 +194,13 @@ fn main() {
     let wall_ms = start.elapsed().as_secs_f64() * 1e3;
     let events = recorder.events().len();
     println!(
-        "wall {wall_ms:.0} ms, {} explored, {} compliant, cache hit rate {:.1}%, {events} events",
+        "wall {wall_ms:.0} ms, {} explored, {} compliant, cache hit rate {:.1}% \
+         (accuracy {:.1}%, hardware {:.1}%), {events} events",
         report.explored,
         report.spec_compliant,
-        report.cache_hit_rate * 100.0
+        report.cache_hit_rate * 100.0,
+        report.accuracy_hit_rate * 100.0,
+        report.hardware_hit_rate * 100.0
     );
 
     let mut entry = ConfigValue::table();
@@ -226,6 +229,22 @@ fn main() {
     entry.insert(
         "cache_hit_rate",
         ConfigValue::Float((report.cache_hit_rate * 1e4).round() / 1e4),
+    );
+    entry.insert(
+        "accuracy_hit_rate",
+        ConfigValue::Float((report.accuracy_hit_rate * 1e4).round() / 1e4),
+    );
+    entry.insert(
+        "hardware_hit_rate",
+        ConfigValue::Float((report.hardware_hit_rate * 1e4).round() / 1e4),
+    );
+    entry.insert(
+        "accuracy_entries",
+        ConfigValue::Integer(report.accuracy_entries as i64),
+    );
+    entry.insert(
+        "hardware_entries",
+        ConfigValue::Integer(report.hardware_entries as i64),
     );
     match &report.best {
         Some(best) => entry.insert(

@@ -454,6 +454,22 @@ impl SearchEvent {
                     "hardware_misses",
                     ConfigValue::Integer(cache.hardware_misses as i64),
                 );
+                root.insert(
+                    "accuracy_entries",
+                    ConfigValue::Integer(cache.accuracy_entries as i64),
+                );
+                root.insert(
+                    "hardware_entries",
+                    ConfigValue::Integer(cache.hardware_entries as i64),
+                );
+                root.insert(
+                    "accuracy_hit_rate",
+                    ConfigValue::Float(cache.accuracy_hit_rate()),
+                );
+                root.insert(
+                    "hardware_hit_rate",
+                    ConfigValue::Float(cache.hardware_hit_rate()),
+                );
                 root.insert("cache_hit_rate", ConfigValue::Float(cache.hit_rate()));
             }
         }
@@ -650,9 +666,14 @@ impl SearchObserver for ProgressObserver {
                 eprintln!(
                     "[{}] finished: {episodes} episodes, {explored} explored, \
                      {spec_compliant} compliant ({pruned_episodes} pruned), \
-                     cache hit rate {:.1}%",
+                     cache hit rate {:.1}% \
+                     (accuracy {:.1}% over {} entries, hardware {:.1}% over {} entries)",
                     self.label,
-                    cache.hit_rate() * 100.0
+                    cache.hit_rate() * 100.0,
+                    cache.accuracy_hit_rate() * 100.0,
+                    cache.accuracy_entries,
+                    cache.hardware_hit_rate() * 100.0,
+                    cache.hardware_entries,
                 );
             }
             SearchEvent::EpisodeEvaluated { .. } => {}
@@ -752,6 +773,8 @@ mod tests {
                     accuracy_misses: 1,
                     hardware_hits: 0,
                     hardware_misses: 5,
+                    accuracy_entries: 1,
+                    hardware_entries: 5,
                 },
             },
         ]

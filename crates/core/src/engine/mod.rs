@@ -18,7 +18,14 @@
 //!   of an episode (or a baseline generation) out over scoped worker
 //!   threads while keeping results in input order, so the strictly
 //!   sequential controller feedback — and therefore
-//!   `search_is_deterministic_for_a_seed` — is unaffected.
+//!   `search_is_deterministic_for_a_seed` — is unaffected;
+//! * **batch-level de-duplication**: identical candidates inside one batch
+//!   (common in an episode's `1 + φ` designs when the controller resamples
+//!   the same point) are evaluated once and the result is fanned back out
+//!   to every occurrence in input order.  Duplicates are counted as cache
+//!   hits — they would have hit both caches had they been evaluated after
+//!   the first occurrence — so the stats stay honest and independent of
+//!   whether dedup or the cache absorbed the repeat.
 //!
 //! Cached values are produced by the same pure functions the direct
 //! [`Evaluator`] calls use, so engine results are **bit-identical** to
@@ -36,6 +43,7 @@ use crate::spec::SpecCheck;
 use nasaic_accel::Accelerator;
 use nasaic_cost::HardwareMetrics;
 use nasaic_nn::layer::Architecture;
+use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::RwLock;
@@ -70,6 +78,19 @@ fn architectures_key(architectures: &[Architecture]) -> Vec<(String, Vec<usize>)
         .collect()
 }
 
+/// Identity of one candidate inside a batch, for de-duplication.  Two
+/// candidates with equal keys decode to the same architectures and the
+/// same accelerator, so every evaluation path produces identical results
+/// for them.  (No latency-spec component: a batch never crosses engines.)
+type BatchKey = (Vec<(String, Vec<usize>)>, Accelerator);
+
+fn batch_key(candidate: &Candidate) -> BatchKey {
+    (
+        architectures_key(&candidate.architectures),
+        candidate.accelerator.clone(),
+    )
+}
+
 /// Engine tuning knobs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EngineConfig {
@@ -101,6 +122,11 @@ pub struct CacheStats {
     pub hardware_hits: u64,
     /// Hardware-metrics-cache misses.
     pub hardware_misses: u64,
+    /// Accuracy-cache size (a gauge: entries resident when the snapshot
+    /// was taken, not a counter).
+    pub accuracy_entries: u64,
+    /// Hardware-metrics-cache size (a gauge, like `accuracy_entries`).
+    pub hardware_entries: u64,
 }
 
 impl CacheStats {
@@ -115,15 +141,41 @@ impl CacheStats {
         }
     }
 
+    /// Fraction of accuracy queries served from the accuracy cache.
+    pub fn accuracy_hit_rate(&self) -> f64 {
+        let total = self.accuracy_hits + self.accuracy_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.accuracy_hits as f64 / total as f64
+        }
+    }
+
+    /// Fraction of hardware queries served from the hardware cache.
+    pub fn hardware_hit_rate(&self) -> f64 {
+        let total = self.hardware_hits + self.hardware_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hardware_hits as f64 / total as f64
+        }
+    }
+
     /// The counter delta since an earlier snapshot — the cache behaviour
     /// of just the work between the two [`EvalEngine::stats`] calls (used
     /// to report per-run rates on a long-lived shared engine).
+    ///
+    /// The entry gauges are not deltas: the later snapshot's resident
+    /// sizes are kept as-is, since "entries at the end of the run" is the
+    /// meaningful per-run figure.
     pub fn since(&self, earlier: &CacheStats) -> CacheStats {
         CacheStats {
             accuracy_hits: self.accuracy_hits - earlier.accuracy_hits,
             accuracy_misses: self.accuracy_misses - earlier.accuracy_misses,
             hardware_hits: self.hardware_hits - earlier.hardware_hits,
             hardware_misses: self.hardware_misses - earlier.hardware_misses,
+            accuracy_entries: self.accuracy_entries,
+            hardware_entries: self.hardware_entries,
         }
     }
 }
@@ -196,13 +248,23 @@ impl EvalEngine {
         &self.config
     }
 
-    /// Cache behaviour counters so far.
+    /// Cache behaviour counters so far, plus the current cache sizes.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
             accuracy_hits: self.accuracy_hits.load(Ordering::Relaxed),
             accuracy_misses: self.accuracy_misses.load(Ordering::Relaxed),
             hardware_hits: self.hardware_hits.load(Ordering::Relaxed),
             hardware_misses: self.hardware_misses.load(Ordering::Relaxed),
+            accuracy_entries: self
+                .accuracy_cache
+                .read()
+                .expect("accuracy cache lock")
+                .len() as u64,
+            hardware_entries: self
+                .hardware_cache
+                .read()
+                .expect("hardware cache lock")
+                .len() as u64,
         }
     }
 
@@ -294,11 +356,7 @@ impl EvalEngine {
         if !self.config.caching {
             return self.evaluator.hardware_metrics(architectures, accelerator);
         }
-        let key: HardwareKey = (
-            self.evaluator.specs().latency_cycles.to_bits(),
-            architectures_key(architectures),
-            accelerator.clone(),
-        );
+        let key = self.hardware_key(architectures, accelerator);
         if let Some(&cached) = self
             .hardware_cache
             .read()
@@ -328,6 +386,29 @@ impl EvalEngine {
         metrics
     }
 
+    fn hardware_key(
+        &self,
+        architectures: &[Architecture],
+        accelerator: &Accelerator,
+    ) -> HardwareKey {
+        (
+            self.evaluator.specs().latency_cycles.to_bits(),
+            architectures_key(architectures),
+            accelerator.clone(),
+        )
+    }
+
+    /// `true` when the hardware cache already holds this design (a pure
+    /// probe: no counters are touched).  Because the hardware key covers
+    /// the full (architectures, accelerator) identity, a present entry
+    /// implies the accuracy cache was populated by the same evaluation.
+    fn hardware_cached(&self, candidate: &Candidate) -> bool {
+        self.hardware_cache
+            .read()
+            .expect("hardware cache lock")
+            .contains_key(&self.hardware_key(&candidate.architectures, &candidate.accelerator))
+    }
+
     /// Hardware-only evaluation: metrics plus spec check.
     pub fn evaluate_hardware(
         &self,
@@ -349,23 +430,132 @@ impl EvalEngine {
 
     /// Evaluate a batch of independent candidates, fanning out over worker
     /// threads; the result order matches the input order.
+    ///
+    /// Identical candidates inside the batch are evaluated once: the batch
+    /// is de-duplicated up front, only the distinct candidates go to the
+    /// workers, and results fan back out to every occurrence.  Each
+    /// suppressed duplicate is counted as the cache hits it would have
+    /// scored — one hardware hit plus one accuracy hit per evaluated task —
+    /// so the stats match what sequential evaluation through the caches
+    /// would have recorded.  De-duplication is skipped (along with the
+    /// caches) when [`EngineConfig::caching`] is off.
     pub fn evaluate_batch(&self, candidates: &[Candidate]) -> Vec<Evaluation> {
-        parallel_map(candidates, self.config.threads, |candidate| {
-            self.evaluate(candidate)
-        })
+        if !self.config.caching || candidates.len() < 2 {
+            return parallel_map(candidates, self.config.threads, |candidate| {
+                self.evaluate(candidate)
+            });
+        }
+        let num_tasks = self.evaluator.workload().num_tasks();
+        let mut slot_of: HashMap<BatchKey, usize> = HashMap::new();
+        let mut uniques: Vec<&Candidate> = Vec::with_capacity(candidates.len());
+        let mut fan_out: Vec<usize> = Vec::with_capacity(candidates.len());
+        for candidate in candidates {
+            match slot_of.entry(batch_key(candidate)) {
+                Entry::Vacant(slot) => {
+                    slot.insert(uniques.len());
+                    fan_out.push(uniques.len());
+                    uniques.push(candidate);
+                }
+                Entry::Occupied(slot) => {
+                    fan_out.push(*slot.get());
+                    // A duplicate evaluated after its first occurrence
+                    // would have hit the hardware cache once and the
+                    // accuracy cache once per task actually evaluated
+                    // (`accuracies` truncates to the shorter of the
+                    // architecture list and the task list).
+                    let task_queries = candidate.architectures.len().min(num_tasks) as u64;
+                    self.accuracy_hits
+                        .fetch_add(task_queries, Ordering::Relaxed);
+                    self.hardware_hits.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        let unique_results = self.map_uniques(&uniques, |candidate| self.evaluate(candidate));
+        fan_out
+            .into_iter()
+            .map(|slot| unique_results[slot].clone())
+            .collect()
+    }
+
+    /// Evaluate each unique candidate of a batch, fanning only hardware
+    /// cache *misses* out to worker threads: a cached candidate reduces to
+    /// hash-map lookups, for which a thread spawn costs more than the work
+    /// itself.  The partition is a pure scheduling decision — every
+    /// candidate still goes through `eval`, so results and counter totals
+    /// are identical to mapping the whole batch.
+    fn map_uniques<R: Send>(
+        &self,
+        uniques: &[&Candidate],
+        eval: impl Fn(&Candidate) -> R + Sync,
+    ) -> Vec<R> {
+        let misses: Vec<usize> = (0..uniques.len())
+            .filter(|&i| !self.hardware_cached(uniques[i]))
+            .collect();
+        let mut results: Vec<Option<R>> = Vec::with_capacity(uniques.len());
+        results.resize_with(uniques.len(), || None);
+        if misses.len() > 1 {
+            let computed = parallel_map(&misses, self.config.threads, |&i| eval(uniques[i]));
+            for (&i, result) in misses.iter().zip(computed) {
+                results[i] = Some(result);
+            }
+        } else {
+            for &i in &misses {
+                results[i] = Some(eval(uniques[i]));
+            }
+        }
+        results
+            .into_iter()
+            .enumerate()
+            .map(|(i, slot)| slot.unwrap_or_else(|| eval(uniques[i])))
+            .collect()
     }
 
     /// Hardware-evaluate one episode's candidates (`None` marks a sample
     /// that failed to decode), in parallel, preserving order.
+    ///
+    /// Like [`evaluate_batch`](Self::evaluate_batch), identical decodable
+    /// candidates are evaluated once and each suppressed duplicate counts
+    /// as the single hardware-cache hit it would have scored (the hardware
+    /// path never queries the accuracy cache).
     pub fn evaluate_hardware_batch(
         &self,
         candidates: &[Option<Candidate>],
     ) -> Vec<Option<(HardwareMetrics, SpecCheck)>> {
-        parallel_map(candidates, self.config.threads, |candidate| {
-            candidate
-                .as_ref()
-                .map(|c| self.evaluate_hardware(&c.architectures, &c.accelerator))
-        })
+        if !self.config.caching || candidates.len() < 2 {
+            return parallel_map(candidates, self.config.threads, |candidate| {
+                candidate
+                    .as_ref()
+                    .map(|c| self.evaluate_hardware(&c.architectures, &c.accelerator))
+            });
+        }
+        let mut slot_of: HashMap<BatchKey, usize> = HashMap::new();
+        let mut uniques: Vec<&Candidate> = Vec::with_capacity(candidates.len());
+        // `None` fans out an undecodable slot; `Some(i)` the i-th unique.
+        let mut fan_out: Vec<Option<usize>> = Vec::with_capacity(candidates.len());
+        for candidate in candidates {
+            let Some(candidate) = candidate.as_ref() else {
+                fan_out.push(None);
+                continue;
+            };
+            match slot_of.entry(batch_key(candidate)) {
+                Entry::Vacant(slot) => {
+                    slot.insert(uniques.len());
+                    fan_out.push(Some(uniques.len()));
+                    uniques.push(candidate);
+                }
+                Entry::Occupied(slot) => {
+                    fan_out.push(Some(*slot.get()));
+                    self.hardware_hits.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        let unique_results = self.map_uniques(&uniques, |candidate| {
+            self.evaluate_hardware(&candidate.architectures, &candidate.accelerator)
+        });
+        fan_out
+            .into_iter()
+            .map(|slot| slot.map(|i| unique_results[i]))
+            .collect()
     }
 
     /// A scorer binding this engine to penalty bounds and a penalty scale,
@@ -497,6 +687,74 @@ mod tests {
     }
 
     #[test]
+    fn duplicated_batch_matches_undeduped_path_and_counts_hits() {
+        let engine = w1_engine();
+        let distinct = random_candidates(3, 19);
+        // 8 slots over 3 distinct candidates, duplicates interleaved.
+        let batch: Vec<Candidate> = [0, 1, 0, 2, 2, 1, 0, 2]
+            .iter()
+            .map(|&i| distinct[i].clone())
+            .collect();
+        let deduped = engine.evaluate_batch(&batch);
+        // Bit-identical to evaluating every slot directly, in order.
+        let direct: Vec<_> = batch
+            .iter()
+            .map(|c| engine.evaluator().evaluate(c))
+            .collect();
+        assert_eq!(deduped, direct);
+        // 3 unique evaluations, 5 suppressed duplicates; each duplicate
+        // counts one hardware hit and one accuracy hit per task (w1 has
+        // two tasks).
+        let stats = engine.stats();
+        assert_eq!(stats.hardware_misses, 3);
+        assert_eq!(stats.hardware_hits, 5);
+        assert_eq!(stats.accuracy_misses, 6);
+        assert_eq!(stats.accuracy_hits, 10);
+        // The gauges report resident entries, which after one batch equal
+        // the misses.
+        assert_eq!(stats.accuracy_entries, stats.accuracy_misses);
+        assert_eq!(stats.hardware_entries, stats.hardware_misses);
+    }
+
+    #[test]
+    fn duplicated_hardware_batch_matches_undeduped_path() {
+        let engine = w1_engine();
+        let distinct = random_candidates(2, 43);
+        let mut slots: Vec<Option<Candidate>> = vec![
+            Some(distinct[0].clone()),
+            None,
+            Some(distinct[1].clone()),
+            Some(distinct[0].clone()),
+            Some(distinct[0].clone()),
+            None,
+            Some(distinct[1].clone()),
+        ];
+        let deduped = engine.evaluate_hardware_batch(&slots);
+        let direct: Vec<_> = slots
+            .iter()
+            .map(|slot| {
+                slot.as_ref().map(|c| {
+                    let metrics = engine
+                        .evaluator()
+                        .hardware_metrics(&c.architectures, &c.accelerator);
+                    (metrics, engine.evaluator().specs().check(&metrics))
+                })
+            })
+            .collect();
+        assert_eq!(deduped, direct);
+        // 2 unique evaluations, 3 suppressed duplicates; the hardware-only
+        // path never touches the accuracy cache.
+        let stats = engine.stats();
+        assert_eq!(stats.hardware_misses, 2);
+        assert_eq!(stats.hardware_hits, 3);
+        assert_eq!(stats.accuracy_hits + stats.accuracy_misses, 0);
+        // A batch of only undecodable slots is a no-op.
+        slots.retain(|slot| slot.is_none());
+        assert_eq!(engine.evaluate_hardware_batch(&slots), vec![None, None]);
+        assert_eq!(engine.stats(), stats);
+    }
+
+    #[test]
     fn batch_results_preserve_input_order() {
         let engine = w1_engine();
         let candidates = random_candidates(9, 13);
@@ -535,8 +793,16 @@ mod tests {
         for candidate in random_candidates(4, 23) {
             assert_eq!(engine.evaluate(&candidate), evaluator.evaluate(&candidate));
         }
+        // Batch dedup is part of the caching machinery: with caching off a
+        // duplicated batch is evaluated slot by slot and counts nothing.
+        let repeated = vec![random_candidates(1, 47).remove(0); 3];
+        let batch = engine.evaluate_batch(&repeated);
+        assert_eq!(batch[0], evaluator.evaluate(&repeated[0]));
+        assert_eq!(batch[0], batch[1]);
+        assert_eq!(batch[0], batch[2]);
         let stats = engine.stats();
         assert_eq!(stats.hardware_hits + stats.hardware_misses, 0);
+        assert_eq!(stats.accuracy_hits + stats.accuracy_misses, 0);
     }
 
     #[test]

@@ -55,6 +55,14 @@ pub struct RunReport {
     pub phases: Vec<PhaseSummary>,
     /// Fraction of evaluator queries served from the engine caches.
     pub cache_hit_rate: f64,
+    /// Fraction of accuracy queries served from the accuracy cache.
+    pub accuracy_hit_rate: f64,
+    /// Fraction of hardware queries served from the hardware cache.
+    pub hardware_hit_rate: f64,
+    /// Accuracy-cache entries resident at the end of the run.
+    pub accuracy_entries: u64,
+    /// Hardware-cache entries resident at the end of the run.
+    pub hardware_entries: u64,
     /// Wall-clock duration of the run in milliseconds.
     pub wall_ms: u64,
 }
@@ -94,6 +102,10 @@ impl RunReport {
             best,
             phases: outcome.phases.clone(),
             cache_hit_rate: cache.hit_rate(),
+            accuracy_hit_rate: cache.accuracy_hit_rate(),
+            hardware_hit_rate: cache.hardware_hit_rate(),
+            accuracy_entries: cache.accuracy_entries,
+            hardware_entries: cache.hardware_entries,
             wall_ms,
         }
     }
@@ -119,6 +131,22 @@ impl RunReport {
         );
         root.insert("compliance_rate", ConfigValue::Float(self.compliance_rate));
         root.insert("cache_hit_rate", ConfigValue::Float(self.cache_hit_rate));
+        root.insert(
+            "accuracy_hit_rate",
+            ConfigValue::Float(self.accuracy_hit_rate),
+        );
+        root.insert(
+            "hardware_hit_rate",
+            ConfigValue::Float(self.hardware_hit_rate),
+        );
+        root.insert(
+            "accuracy_entries",
+            ConfigValue::Integer(self.accuracy_entries as i64),
+        );
+        root.insert(
+            "hardware_entries",
+            ConfigValue::Integer(self.hardware_entries as i64),
+        );
         root.insert("wall_ms", ConfigValue::Integer(self.wall_ms as i64));
         if !self.phases.is_empty() {
             root.insert(
@@ -162,7 +190,8 @@ impl RunReport {
     /// Header row matching [`RunReport::to_csv_row`].
     pub const CSV_HEADER: &'static str = "scenario,algorithm,seed,episodes,explored,\
         spec_compliant,pruned_episodes,compliance_rate,best_weighted_accuracy,\
-        best_latency_cycles,best_energy_nj,best_area_um2,cache_hit_rate,wall_ms";
+        best_latency_cycles,best_energy_nj,best_area_um2,cache_hit_rate,\
+        accuracy_hit_rate,hardware_hit_rate,accuracy_entries,hardware_entries,wall_ms";
 
     /// The report as one CSV row (best-solution columns are empty when no
     /// spec-compliant solution was found).  The free-form scenario name is
@@ -178,7 +207,7 @@ impl RunReport {
             None => Default::default(),
         };
         format!(
-            "{},{},{},{},{},{},{},{:.4},{},{},{},{},{:.4},{}",
+            "{},{},{},{},{},{},{},{:.4},{},{},{},{},{:.4},{:.4},{:.4},{},{},{}",
             csv_field(&self.scenario),
             self.algorithm.name(),
             self.seed,
@@ -192,6 +221,10 @@ impl RunReport {
             energy,
             area,
             self.cache_hit_rate,
+            self.accuracy_hit_rate,
+            self.hardware_hit_rate,
+            self.accuracy_entries,
+            self.hardware_entries,
             self.wall_ms
         )
     }
@@ -212,7 +245,8 @@ impl fmt::Display for RunReport {
         writeln!(
             f,
             "{} [{}] seed {}: {} episodes, {} explored, {} spec-compliant \
-             ({} pruned), cache hit rate {:.1}%, {} ms",
+             ({} pruned), cache hit rate {:.1}% \
+             (accuracy {:.1}%, hardware {:.1}%), {} ms",
             self.scenario,
             self.algorithm,
             self.seed,
@@ -221,6 +255,8 @@ impl fmt::Display for RunReport {
             self.spec_compliant,
             self.pruned_episodes,
             self.cache_hit_rate * 100.0,
+            self.accuracy_hit_rate * 100.0,
+            self.hardware_hit_rate * 100.0,
             self.wall_ms
         )?;
         for phase in &self.phases {

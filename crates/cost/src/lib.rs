@@ -40,11 +40,13 @@
 #![deny(missing_docs)]
 
 pub mod area;
+pub mod cache;
 pub mod config;
 pub mod mapping;
 pub mod model;
 pub mod table;
 
+pub use cache::LayerCostCache;
 pub use config::CostConfig;
 pub use mapping::MappingAnalysis;
 pub use model::{CostModel, HardwareMetrics, LayerCost};

@@ -286,9 +286,11 @@ impl PolicyNetwork {
                 .collect();
             let dlogits = Matrix::col_vector(&dlogits_data);
             let (u, _) = &self.heads[t];
-            head_grads[t].0 += &dlogits.matmul(&cache.h.transpose());
+            // Rank-1 head gradient and fused-transpose hidden gradient,
+            // bit-identical to the transpose-then-matmul composition.
+            head_grads[t].0.add_outer(&dlogits_data, cache.h.as_slice());
             head_grads[t].1 += &dlogits;
-            let dh = &u.transpose().matmul(&dlogits) + &dh_next;
+            let dh = &u.matmul_tn(&dlogits) + &dh_next;
             dh_next = self.cell.backward(cache, &dh, &mut cell_grads);
         }
 

@@ -103,10 +103,14 @@ impl RnnCell {
             .map(|(&g, &h)| g * (1.0 - h * h))
             .collect();
         let dz = Matrix::from_vec(dh.rows(), 1, dz_data);
-        grads.w_x += &dz.matmul(&cache.x.transpose());
-        grads.w_h += &dz.matmul(&cache.h_prev.transpose());
+        // Rank-1 weight gradients and the fused-transpose product avoid
+        // materialising `x^T`, `h_prev^T` and `w_h^T`; both are
+        // bit-identical to the transpose-then-matmul composition (see the
+        // `nasaic-tensor` kernel identity suite).
+        grads.w_x.add_outer(dz.as_slice(), cache.x.as_slice());
+        grads.w_h.add_outer(dz.as_slice(), cache.h_prev.as_slice());
         grads.b += &dz;
-        self.w_h.transpose().matmul(&dz)
+        self.w_h.matmul_tn(&dz)
     }
 
     /// Zero-valued gradient buffers matching this cell's shapes.

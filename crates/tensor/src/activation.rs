@@ -66,6 +66,24 @@ pub fn softmax(logits: &[f64]) -> Vec<f64> {
     exps.into_iter().map(|v| v / sum).collect()
 }
 
+/// [`softmax`] into a caller-provided buffer — zero allocations once the
+/// buffer's capacity has grown to fit.
+///
+/// Performs exactly the same operations as [`softmax`] (subtract-max,
+/// exponentiate, normalise), so the results are bit-for-bit identical.
+pub fn softmax_into(logits: &[f64], out: &mut Vec<f64>) {
+    out.clear();
+    if logits.is_empty() {
+        return;
+    }
+    let max = logits.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    out.extend(logits.iter().map(|&v| (v - max).exp()));
+    let sum: f64 = out.iter().sum();
+    for v in out.iter_mut() {
+        *v /= sum;
+    }
+}
+
 /// Softmax with a temperature parameter.  Temperatures above 1 flatten the
 /// distribution (more exploration), below 1 sharpen it.
 ///
@@ -190,6 +208,20 @@ mod tests {
         let p = softmax(&[1000.0, 1000.0]);
         assert!((p[0] - 0.5).abs() < 1e-12);
         assert!(p.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn softmax_into_is_bit_identical_to_softmax() {
+        let logits = [0.3, -1.2, 2.5, 0.0, 1000.0];
+        let mut buffer = vec![9.0; 2]; // stale content must be discarded
+        softmax_into(&logits, &mut buffer);
+        let reference = softmax(&logits);
+        assert_eq!(buffer.len(), reference.len());
+        for (a, b) in buffer.iter().zip(&reference) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        softmax_into(&[], &mut buffer);
+        assert!(buffer.is_empty());
     }
 
     #[test]

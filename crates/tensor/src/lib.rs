@@ -25,6 +25,7 @@
 pub mod activation;
 pub mod gradcheck;
 pub mod init;
+pub mod kernel;
 pub mod matrix;
 pub mod optim;
 

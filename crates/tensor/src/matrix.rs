@@ -1,6 +1,13 @@
 //! Dense row-major matrix of `f64` with the handful of operations the
 //! NASAIC controller and proxy trainer need.
+//!
+//! The multiplication entry points (`matmul`, the fused-transpose
+//! variants and the `*_into` scratch-buffer forms) all run on the
+//! blocked, branch-free kernels in [`crate::kernel`], and all of them are
+//! bit-for-bit identical to the retained naive reference
+//! [`Matrix::matmul_reference`] — see the kernel module docs for why.
 
+use crate::kernel;
 use std::fmt;
 use std::ops::{Add, AddAssign, Index, IndexMut, Mul, Sub};
 
@@ -187,13 +194,29 @@ impl Matrix {
 
     /// Matrix transpose.
     pub fn transpose(&self) -> Matrix {
-        let mut out = Matrix::zeros(self.cols, self.rows);
+        let mut out = Matrix::default();
+        self.transpose_into(&mut out);
+        out
+    }
+
+    /// Transpose into a caller-provided matrix, reusing its buffer.
+    pub fn transpose_into(&self, out: &mut Matrix) {
+        out.reset_shape(self.cols, self.rows);
         for r in 0..self.rows {
             for c in 0..self.cols {
-                out[(c, r)] = self[(r, c)];
+                out.data[c * self.rows + r] = self.data[r * self.cols + c];
             }
         }
-        out
+    }
+
+    /// Resize to `rows x cols`, reusing the existing allocation when it is
+    /// large enough.  Contents are unspecified afterwards (callers
+    /// overwrite them).
+    fn reset_shape(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
     }
 
     /// Matrix product `self * rhs`.
@@ -220,18 +243,224 @@ impl Matrix {
             });
         }
         let mut out = Matrix::zeros(self.rows, rhs.cols);
+        kernel::matmul(
+            &self.data,
+            &rhs.data,
+            &mut out.data,
+            self.rows,
+            self.cols,
+            rhs.cols,
+        );
+        Ok(out)
+    }
+
+    /// Retained naive matrix product: the plain `i`-`k`-`j` triple loop,
+    /// with no blocking, unrolling or zero-skip.
+    ///
+    /// This is the oracle the blocked kernels are property-tested against
+    /// (`crates/tensor/tests/kernel_identity.rs` asserts `to_bits`
+    /// equality) and the baseline `eval_baseline` times the optimized
+    /// path against.  It is **not** the hot path — use [`Matrix::matmul`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != rhs.rows()`.
+    pub fn matmul_reference(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols,
+            rhs.rows,
+            "matmul_reference shape mismatch: {:?} vs {:?}",
+            self.shape(),
+            rhs.shape()
+        );
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
         for i in 0..self.rows {
             for k in 0..self.cols {
                 let a = self[(i, k)];
-                if a == 0.0 {
-                    continue;
-                }
                 for j in 0..rhs.cols {
                     out[(i, j)] += a * rhs[(k, j)];
                 }
             }
         }
-        Ok(out)
+        out
+    }
+
+    /// Matrix product into a caller-provided output, reusing its buffer.
+    ///
+    /// After warm-up (once `out`'s capacity has grown to fit), repeated
+    /// calls perform zero heap allocations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != rhs.rows()`.
+    pub fn matmul_into(&self, rhs: &Matrix, out: &mut Matrix) {
+        assert_eq!(
+            self.cols,
+            rhs.rows,
+            "matmul_into shape mismatch: {:?} vs {:?}",
+            self.shape(),
+            rhs.shape()
+        );
+        out.reset_shape(self.rows, rhs.cols);
+        kernel::matmul(
+            &self.data,
+            &rhs.data,
+            &mut out.data,
+            self.rows,
+            self.cols,
+            rhs.cols,
+        );
+    }
+
+    /// Fused product `self^T * rhs` without materialising the transpose.
+    ///
+    /// Bit-identical to `self.transpose().matmul(rhs)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.rows() != rhs.rows()`.
+    pub fn matmul_tn(&self, rhs: &Matrix) -> Matrix {
+        let mut out = Matrix::default();
+        self.matmul_tn_into(rhs, &mut out);
+        out
+    }
+
+    /// [`Matrix::matmul_tn`] into a caller-provided output buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.rows() != rhs.rows()`.
+    pub fn matmul_tn_into(&self, rhs: &Matrix, out: &mut Matrix) {
+        assert_eq!(
+            self.rows,
+            rhs.rows,
+            "matmul_tn shape mismatch: {:?} vs {:?}",
+            self.shape(),
+            rhs.shape()
+        );
+        out.reset_shape(self.cols, rhs.cols);
+        kernel::matmul_tn(
+            &self.data,
+            &rhs.data,
+            &mut out.data,
+            self.cols,
+            self.rows,
+            rhs.cols,
+        );
+    }
+
+    /// Fused product `self * rhs^T` without materialising the transpose.
+    ///
+    /// Bit-identical to `self.matmul(&rhs.transpose())`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != rhs.cols()`.
+    pub fn matmul_nt(&self, rhs: &Matrix) -> Matrix {
+        let mut out = Matrix::default();
+        self.matmul_nt_into(rhs, &mut out);
+        out
+    }
+
+    /// [`Matrix::matmul_nt`] into a caller-provided output buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != rhs.cols()`.
+    pub fn matmul_nt_into(&self, rhs: &Matrix, out: &mut Matrix) {
+        assert_eq!(
+            self.cols,
+            rhs.cols,
+            "matmul_nt shape mismatch: {:?} vs {:?}",
+            self.shape(),
+            rhs.shape()
+        );
+        out.reset_shape(self.rows, rhs.rows);
+        kernel::matmul_nt(
+            &self.data,
+            &rhs.data,
+            &mut out.data,
+            self.rows,
+            self.cols,
+            rhs.rows,
+        );
+    }
+
+    /// Matrix-vector product `self * x` into a caller-provided vector.
+    ///
+    /// Bit-identical to `self.matmul(&Matrix::col_vector(x))` read back as
+    /// a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.cols()`.
+    pub fn matvec_into(&self, x: &[f64], out: &mut Vec<f64>) {
+        assert_eq!(
+            x.len(),
+            self.cols,
+            "matvec shape mismatch: {:?} vs {}x1",
+            self.shape(),
+            x.len()
+        );
+        out.clear();
+        out.resize(self.rows, 0.0);
+        kernel::matvec(&self.data, x, out, self.rows, self.cols);
+    }
+
+    /// Transposed matrix-vector product `self^T * x` into a
+    /// caller-provided vector.
+    ///
+    /// Bit-identical to `self.transpose().matmul(&Matrix::col_vector(x))`
+    /// read back as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.rows()`.
+    pub fn matvec_tn_into(&self, x: &[f64], out: &mut Vec<f64>) {
+        assert_eq!(
+            x.len(),
+            self.rows,
+            "matvec_tn shape mismatch: {:?} vs {}x1",
+            self.shape(),
+            x.len()
+        );
+        out.clear();
+        out.resize(self.cols, 0.0);
+        kernel::matvec_tn(&self.data, x, out, self.rows, self.cols);
+    }
+
+    /// Overwrite `self` with the column vector `values` (`len x 1`),
+    /// reusing the existing buffer.
+    pub fn set_col_vector(&mut self, values: &[f64]) {
+        self.reset_shape(values.len(), 1);
+        self.data.copy_from_slice(values);
+    }
+
+    /// Overwrite `self` with the outer product `col * row^T`
+    /// (`col.len() x row.len()`), reusing the existing buffer.
+    ///
+    /// Bit-identical to
+    /// `Matrix::col_vector(col).matmul(&Matrix::row_vector(row))`.
+    pub fn set_outer(&mut self, col: &[f64], row: &[f64]) {
+        self.reset_shape(col.len(), row.len());
+        kernel::set_outer(&mut self.data, col, row);
+    }
+
+    /// Rank-1 update `self += col * row^T`.
+    ///
+    /// Bit-identical to adding
+    /// `Matrix::col_vector(col).matmul(&Matrix::row_vector(row))`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is not `col.len() x row.len()`.
+    pub fn add_outer(&mut self, col: &[f64], row: &[f64]) {
+        assert_eq!(
+            self.shape(),
+            (col.len(), row.len()),
+            "add_outer shape mismatch"
+        );
+        kernel::add_outer(&mut self.data, col, row);
     }
 
     /// Element-wise (Hadamard) product.
@@ -446,6 +675,67 @@ mod tests {
         assert_eq!(err.lhs, (2, 3));
         assert_eq!(err.rhs, (2, 3));
         assert!(err.to_string().contains("matmul"));
+    }
+
+    #[test]
+    fn matmul_matches_reference_and_into_variant() {
+        let a = Matrix::from_rows(&[&[1.0, -2.0, 0.0][..], &[0.5, 4.0, -1.0][..]]);
+        let b = Matrix::from_rows(&[&[2.0, 1.0][..], &[0.0, -3.0][..], &[1.5, 0.25][..]]);
+        let fast = a.matmul(&b);
+        assert_eq!(fast, a.matmul_reference(&b));
+        let mut out = Matrix::zeros(5, 5); // wrong shape on purpose: must be reset
+        a.matmul_into(&b, &mut out);
+        assert_eq!(out, fast);
+    }
+
+    #[test]
+    fn fused_transpose_products_match_explicit_transpose() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0][..], &[4.0, 5.0, 6.0][..]]);
+        let b = Matrix::from_rows(&[&[0.5, -1.0][..], &[2.0, 0.0][..]]);
+        assert_eq!(a.matmul_tn(&b), a.transpose().matmul(&b));
+        let c = Matrix::from_rows(&[&[1.0, 0.0, -1.0][..], &[2.0, 2.0, 2.0][..]]);
+        assert_eq!(a.matmul_nt(&c), a.matmul(&c.transpose()));
+    }
+
+    #[test]
+    fn matvec_matches_col_vector_matmul() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0][..], &[4.0, 5.0, 6.0][..]]);
+        let x = [1.0, -1.0, 2.0];
+        let mut y = Vec::new();
+        a.matvec_into(&x, &mut y);
+        assert_eq!(y, a.matmul(&Matrix::col_vector(&x)).into_vec());
+        let z = [0.5, -0.25];
+        let mut yt = Vec::new();
+        a.matvec_tn_into(&z, &mut yt);
+        assert_eq!(yt, a.transpose().matmul(&Matrix::col_vector(&z)).into_vec());
+    }
+
+    #[test]
+    fn outer_product_helpers_match_matmul_composition() {
+        let col = [1.0, -2.0];
+        let row = [3.0, 0.5, -1.0];
+        let expected = Matrix::col_vector(&col).matmul(&Matrix::row_vector(&row));
+        let mut m = Matrix::default();
+        m.set_outer(&col, &row);
+        assert_eq!(m, expected);
+        m.add_outer(&col, &row);
+        assert_eq!(m, expected.scale(2.0));
+    }
+
+    #[test]
+    fn set_col_vector_reuses_buffer() {
+        let mut m = Matrix::zeros(4, 4);
+        m.set_col_vector(&[1.0, 2.0]);
+        assert_eq!(m, Matrix::col_vector(&[1.0, 2.0]));
+    }
+
+    #[test]
+    #[should_panic]
+    fn matmul_into_rejects_shape_mismatch() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let mut out = Matrix::default();
+        a.matmul_into(&b, &mut out);
     }
 
     #[test]

@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Regenerate the evaluator hot-path perf snapshot (identity gates + the
+# naive-vs-optimised per-candidate timing on a replayed W1 episode stream).
+#
+#   scripts/bench_eval.sh                      # full run, appends to BENCH_eval.json
+#   scripts/bench_eval.sh --quick --check      # CI mode: identity gates only,
+#                                              # nothing written
+#
+# All arguments are forwarded to the `eval_baseline` binary
+# (see `crates/bench/src/bin/eval_baseline.rs` for the full flag list).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+cargo run --release -p nasaic-bench --bin eval_baseline -- "$@"
