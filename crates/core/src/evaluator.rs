@@ -17,7 +17,7 @@ use nasaic_accuracy::proxy::ProxyAccuracyModel;
 use nasaic_accuracy::{AccuracyCombiner, AccuracyModel, SurrogateModel};
 use nasaic_cost::{CostModel, HardwareMetrics, LayerCostCache, WorkloadCosts};
 use nasaic_nn::layer::Architecture;
-use nasaic_sched::{solve_heuristic, HapProblem};
+use nasaic_sched::{solve_heuristic, solve_with_policy, HapProblem, SchedulerPolicy};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::sync::Arc;
@@ -114,6 +114,7 @@ pub struct Evaluator {
     oracle: AccuracyOracle,
     combiner: AccuracyCombiner,
     layer_cost_cache: Arc<LayerCostCache>,
+    scheduler: SchedulerPolicy,
 }
 
 impl Evaluator {
@@ -127,6 +128,7 @@ impl Evaluator {
             oracle,
             combiner: workload.combiner(),
             layer_cost_cache: Arc::new(LayerCostCache::new()),
+            scheduler: SchedulerPolicy::Heuristic,
         }
     }
 
@@ -144,6 +146,20 @@ impl Evaluator {
     pub fn with_combiner(mut self, combiner: AccuracyCombiner) -> Self {
         self.combiner = combiner;
         self
+    }
+
+    /// Replace the HAP scheduler policy (default:
+    /// [`SchedulerPolicy::Heuristic`], the paper's solver — every other
+    /// policy is opt-in because it changes which mapping the hardware
+    /// path reports).
+    pub fn with_scheduler(mut self, scheduler: SchedulerPolicy) -> Self {
+        self.scheduler = scheduler;
+        self
+    }
+
+    /// The HAP scheduler policy in use.
+    pub fn scheduler(&self) -> SchedulerPolicy {
+        self.scheduler
     }
 
     /// The design specs the evaluator checks against.
@@ -236,7 +252,13 @@ impl Evaluator {
             return HardwareMetrics::infeasible();
         }
         let problem = HapProblem::new(costs, self.specs.latency_cycles);
-        let solution = solve_heuristic(&problem);
+        // The heuristic default stays a direct `solve_heuristic` call so
+        // the paper path is trivially bit-identical to the pre-tier code;
+        // every other policy dispatches through the tier layer.
+        let solution = match self.scheduler {
+            SchedulerPolicy::Heuristic => solve_heuristic(&problem),
+            policy => solve_with_policy(&problem, policy).0,
+        };
         HardwareMetrics::new(
             solution.latency_cycles,
             solution.energy_nj,

@@ -1,0 +1,1217 @@
+//! Seeded scenario generator: parameterized, deterministic, and
+//! feasibility-diagnosed.
+//!
+//! A [`GeneratorSpec`] describes a *family* of scenarios — how many
+//! networks, which backbones to mix, how many total layers the nominal
+//! workload should have, which accelerator pool to search, and how tight
+//! the design specs should be — and [`GeneratorSpec::generate`] turns it
+//! into one concrete [`Scenario`] plus the nominal architectures it was
+//! sized against.  Every generated scenario:
+//!
+//! * round-trips bit-identically through the strict TOML/JSON schema
+//!   (checked at generation time);
+//! * is either **feasible** (a probe solve meets the emitted specs) or
+//!   **diagnosed** with a structured [`InfeasibilityReason`] — never a
+//!   panic;
+//! * is reproducible: the same spec produces the same scenario, bit for
+//!   bit, on every run and thread count.
+//!
+//! Layer-count targeting is exact, not best-effort: the achievable layer
+//! counts of every backbone's search space are enumerated
+//! ([`achievable_layer_counts`]) and a subset-sum table decides whether
+//! the requested `layer_range` is reachable at all — an unreachable range
+//! is a [`GenerateError::UnreachableLayerRange`] naming the closest
+//! achievable total, not a silently off-target workload.
+//!
+//! For property tests, [`shrink_to_minimal`] walks a failing spec down a
+//! deterministic shrink lattice (the vendored `proptest` stand-in does
+//! not shrink) until no strictly-simpler candidate still fails.
+//!
+//! ```
+//! use nasaic_core::scenario::generate::GeneratorSpec;
+//!
+//! let spec = GeneratorSpec::sized(39, 2, 7);
+//! let generated = spec.generate().unwrap();
+//! assert!(generated.feasibility.is_feasible());
+//! // `sized` targets from below: the total never exceeds the request.
+//! assert!(generated.total_layers >= 34 && generated.total_layers <= 39);
+//! ```
+
+use crate::scenario::{HardwareSpec, Scenario, SearchSpec, TaskSpec};
+use crate::spec::DesignSpecs;
+use nasaic_accel::{Accelerator, SubAccelerator};
+use nasaic_cost::{CostModel, WorkloadCosts};
+use nasaic_nn::backbone::Backbone;
+use nasaic_nn::layer::Architecture;
+use nasaic_sched::{select_tier, solve_tiered, HapProblem, SchedulerPolicy, SchedulerTier};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Safety margin applied to the probe's achieved energy and area when
+/// deriving the emitted specs (at tightness 1 the specs sit 25% above
+/// what the probe achieved, so the search has headroom).
+pub const SPEC_MARGIN: f64 = 1.25;
+
+/// Latency constraint of the *relaxed* probe solve that discovers what
+/// the workload can achieve before any spec is imposed.
+const RELAXED_LATENCY: f64 = 1.0e18;
+
+/// Fallback specs emitted when the workload is unmappable and no probe
+/// solve can run (the scenario must still be schema-valid).
+const FALLBACK_SPEC: f64 = 1.0e9;
+
+/// A parameterized, seeded recipe for one generated [`Scenario`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GeneratorSpec {
+    /// RNG seed: drives hyperparameter sampling and the generated
+    /// scenario's own `seed` field.
+    pub seed: u64,
+    /// Inclusive bounds on the nominal workload's **total** layer count.
+    pub layer_range: (usize, usize),
+    /// Number of networks (tasks) in the workload.
+    pub network_count: usize,
+    /// Backbones the tasks cycle through (task `i` uses entry
+    /// `i % len`).
+    pub backbone_mix: Vec<Backbone>,
+    /// The accelerator pool: sub-accelerator count, resource budget and
+    /// dataflow templates of the emitted scenario's hardware space.
+    pub accel_pool: HardwareSpec,
+    /// Spec tightness: the emitted latency spec is the relaxed probe's
+    /// makespan divided by this factor (1.0 = comfortably feasible,
+    /// values past [`SPEC_MARGIN`] also exhaust the energy/area
+    /// headroom).  Must be finite and positive.
+    pub constraint_tightness: f64,
+}
+
+impl Default for GeneratorSpec {
+    fn default() -> Self {
+        Self {
+            seed: 2020,
+            layer_range: (9, 39),
+            network_count: 2,
+            backbone_mix: Backbone::all().to_vec(),
+            accel_pool: HardwareSpec::paper(2),
+            constraint_tightness: 1.0,
+        }
+    }
+}
+
+/// Why a [`GeneratorSpec`] cannot produce any scenario at all (contrast
+/// with [`InfeasibilityReason`], which diagnoses a *successfully
+/// generated* scenario whose specs cannot be met).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum GenerateError {
+    /// `network_count` is zero.
+    NoNetworks,
+    /// `backbone_mix` is empty.
+    EmptyBackboneMix,
+    /// `layer_range` is empty or starts at zero.
+    EmptyLayerRange {
+        /// Requested lower bound.
+        lo: usize,
+        /// Requested upper bound.
+        hi: usize,
+    },
+    /// No combination of per-task architectures hits a total inside
+    /// `layer_range`.
+    UnreachableLayerRange {
+        /// Requested lower bound.
+        lo: usize,
+        /// Requested upper bound.
+        hi: usize,
+        /// Smallest total the task vector can produce.
+        min_total: usize,
+        /// Largest total the task vector can produce.
+        max_total: usize,
+        /// The achievable total closest to the requested range, when one
+        /// exists.
+        closest: Option<usize>,
+    },
+    /// `constraint_tightness` is not a finite positive number.
+    InvalidTightness {
+        /// The offending value.
+        value: f64,
+    },
+    /// The accelerator pool is structurally invalid (zero
+    /// sub-accelerators, empty dataflow list, or a budget too small to
+    /// give every sub-accelerator at least one PE and 1 GB/s).
+    InvalidAccelPool {
+        /// Human-readable description of the violation.
+        reason: String,
+    },
+}
+
+impl fmt::Display for GenerateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GenerateError::NoNetworks => f.write_str("network_count must be at least 1"),
+            GenerateError::EmptyBackboneMix => {
+                f.write_str("backbone_mix must name at least one backbone")
+            }
+            GenerateError::EmptyLayerRange { lo, hi } => {
+                write!(f, "layer_range ({lo}, {hi}) is empty; need 1 <= lo <= hi")
+            }
+            GenerateError::UnreachableLayerRange {
+                lo,
+                hi,
+                min_total,
+                max_total,
+                closest,
+            } => {
+                write!(
+                    f,
+                    "no achievable total layer count in {lo}..={hi} \
+                     (task vector spans {min_total}..={max_total}"
+                )?;
+                match closest {
+                    Some(c) => write!(f, "; closest achievable total is {c})"),
+                    None => f.write_str(")"),
+                }
+            }
+            GenerateError::InvalidTightness { value } => {
+                write!(
+                    f,
+                    "constraint_tightness must be a finite positive number, got {value}"
+                )
+            }
+            GenerateError::InvalidAccelPool { reason } => {
+                write!(f, "invalid accelerator pool: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GenerateError {}
+
+/// A structured diagnosis of why a generated scenario's specs cannot be
+/// met by its own nominal workload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum InfeasibilityReason {
+    /// Some layer has no sub-accelerator that can execute it at all.
+    UnmappableLayer {
+        /// Network (task) containing the layer.
+        network: String,
+        /// Name of the unmappable layer.
+        layer: String,
+    },
+    /// No schedule meeting the emitted latency spec was found by the
+    /// probe solver.
+    LatencyConstraintUnsatisfiable {
+        /// The emitted latency spec in cycles.
+        latency_spec: f64,
+        /// An admissible lower bound on any schedule's makespan.
+        makespan_lower_bound: f64,
+    },
+    /// The probe's minimum energy exceeds the emitted energy spec.
+    EnergyBudgetExceeded {
+        /// Energy the probe solution needs, in nJ.
+        achieved_nj: f64,
+        /// The emitted energy spec in nJ.
+        energy_spec_nj: f64,
+    },
+    /// The probe accelerator's area exceeds the emitted area spec.
+    AreaBudgetExceeded {
+        /// Area of the probe accelerator, in um^2.
+        achieved_um2: f64,
+        /// The emitted area spec in um^2.
+        area_spec_um2: f64,
+    },
+}
+
+impl fmt::Display for InfeasibilityReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InfeasibilityReason::UnmappableLayer { network, layer } => {
+                write!(f, "layer {layer} of {network} has no feasible mapping")
+            }
+            InfeasibilityReason::LatencyConstraintUnsatisfiable {
+                latency_spec,
+                makespan_lower_bound,
+            } => write!(
+                f,
+                "no schedule meets the latency spec {latency_spec:.0} cycles \
+                 (workload makespan lower bound: {makespan_lower_bound:.0})"
+            ),
+            InfeasibilityReason::EnergyBudgetExceeded {
+                achieved_nj,
+                energy_spec_nj,
+            } => write!(
+                f,
+                "probe needs {achieved_nj:.0} nJ but the energy spec is {energy_spec_nj:.0} nJ"
+            ),
+            InfeasibilityReason::AreaBudgetExceeded {
+                achieved_um2,
+                area_spec_um2,
+            } => write!(
+                f,
+                "probe accelerator occupies {achieved_um2:.0} um^2 but the area \
+                 spec is {area_spec_um2:.0} um^2"
+            ),
+        }
+    }
+}
+
+/// Outcome of the generation-time feasibility probe.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Feasibility {
+    /// A probe solve of the nominal workload meets every emitted spec.
+    Feasible {
+        /// Energy of the probe solution, in nJ.
+        energy_nj: f64,
+        /// Makespan of the probe solution, in cycles.
+        makespan_cycles: f64,
+    },
+    /// The emitted specs cannot be met; the reason says why.
+    Diagnosed(InfeasibilityReason),
+}
+
+impl Feasibility {
+    /// `true` for [`Feasibility::Feasible`].
+    pub fn is_feasible(&self) -> bool {
+        matches!(self, Feasibility::Feasible { .. })
+    }
+}
+
+impl fmt::Display for Feasibility {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Feasibility::Feasible {
+                energy_nj,
+                makespan_cycles,
+            } => write!(
+                f,
+                "feasible: probe solution at {energy_nj:.0} nJ, makespan \
+                 {makespan_cycles:.0} cycles"
+            ),
+            Feasibility::Diagnosed(reason) => write!(f, "infeasible: {reason}"),
+        }
+    }
+}
+
+/// A generated scenario with the evidence of how it was produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GeneratedScenario {
+    /// The spec this scenario was generated from.
+    pub spec: GeneratorSpec,
+    /// The schema-valid, round-trip-checked scenario.
+    pub scenario: Scenario,
+    /// The nominal architecture of every task, in task order (the
+    /// concrete networks the probe and the scale ladder evaluate).
+    pub architectures: Vec<Architecture>,
+    /// Total layer count of the nominal workload (always inside the
+    /// spec's `layer_range`).
+    pub total_layers: usize,
+    /// The scheduler tier the probe solve ran under (exact / beam /
+    /// heuristic by instance size).
+    pub probe_tier: SchedulerTier,
+    /// Feasible, or a structured diagnosis.
+    pub feasibility: Feasibility,
+}
+
+impl GeneratedScenario {
+    /// The nominal workload as a HAP problem under the emitted latency
+    /// spec — the exact instance the feasibility probe solved.
+    pub fn hap_problem(&self) -> HapProblem {
+        let model = CostModel::paper_calibrated();
+        let accelerator = probe_accelerator(&self.spec.accel_pool);
+        let costs = WorkloadCosts::build(&model, &self.architectures, &accelerator);
+        HapProblem::new(costs, self.scenario.specs.latency_cycles)
+    }
+}
+
+impl GeneratorSpec {
+    /// A spec sized to produce at most `total_layers` nominal layers on
+    /// `sub_accelerators` sub-accelerators — the constructor the scale
+    /// ladder uses.  Allows a 5-layer slack *below* the target so every
+    /// rung is reachable by some backbone combination while never
+    /// exceeding the requested count (the ladder's tier boundaries sit
+    /// exactly on rung sizes); the task count is the smallest one that
+    /// makes the range reachable.
+    pub fn sized(total_layers: usize, sub_accelerators: usize, seed: u64) -> Self {
+        let mut spec = Self {
+            seed,
+            layer_range: (total_layers.saturating_sub(5).max(1), total_layers.max(1)),
+            network_count: 1,
+            backbone_mix: Backbone::all().to_vec(),
+            accel_pool: HardwareSpec::paper(sub_accelerators),
+            constraint_tightness: 1.0,
+        };
+        spec.fit_network_count();
+        spec
+    }
+
+    /// Re-derive `network_count` as the smallest task count that makes
+    /// `layer_range` reachable with this spec's backbone mix.  Leaves
+    /// the count unchanged when no count works — [`GeneratorSpec::validate`]
+    /// then reports the unreachable range.
+    pub fn fit_network_count(&mut self) {
+        let mut candidate = self.clone();
+        let fits = (1..=self.layer_range.1.max(1)).find(|&n| {
+            candidate.network_count = n;
+            candidate.pick_total_layers().is_ok()
+        });
+        if let Some(n) = fits {
+            self.network_count = n;
+        }
+    }
+
+    /// Validate the spec without generating.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`GenerateError`] the spec violates; reachability
+    /// of `layer_range` is checked exactly (subset-sum over the per-task
+    /// achievable layer counts).
+    pub fn validate(&self) -> Result<(), GenerateError> {
+        if self.network_count == 0 {
+            return Err(GenerateError::NoNetworks);
+        }
+        if self.backbone_mix.is_empty() {
+            return Err(GenerateError::EmptyBackboneMix);
+        }
+        let (lo, hi) = self.layer_range;
+        if lo == 0 || hi < lo {
+            return Err(GenerateError::EmptyLayerRange { lo, hi });
+        }
+        if !(self.constraint_tightness.is_finite() && self.constraint_tightness > 0.0) {
+            return Err(GenerateError::InvalidTightness {
+                value: self.constraint_tightness,
+            });
+        }
+        let pool = &self.accel_pool;
+        if pool.sub_accelerators == 0 {
+            return Err(GenerateError::InvalidAccelPool {
+                reason: "zero sub-accelerators".to_string(),
+            });
+        }
+        if pool.dataflows.is_empty() {
+            return Err(GenerateError::InvalidAccelPool {
+                reason: "empty dataflow list".to_string(),
+            });
+        }
+        if pool.max_pes < pool.sub_accelerators || pool.max_bandwidth_gbps < pool.sub_accelerators {
+            return Err(GenerateError::InvalidAccelPool {
+                reason: format!(
+                    "budget ({} PEs, {} GB/s) cannot give each of the {} \
+                     sub-accelerators at least 1 PE and 1 GB/s",
+                    pool.max_pes, pool.max_bandwidth_gbps, pool.sub_accelerators
+                ),
+            });
+        }
+        self.pick_total_layers()?;
+        Ok(())
+    }
+
+    /// The backbone of each task, cycling through `backbone_mix`.
+    fn task_backbones(&self) -> Vec<Backbone> {
+        (0..self.network_count)
+            .map(|i| self.backbone_mix[i % self.backbone_mix.len()])
+            .collect()
+    }
+
+    /// Choose the total layer count: the achievable total inside
+    /// `layer_range` closest to the range midpoint (ties break low).
+    fn pick_total_layers(&self) -> Result<usize, GenerateError> {
+        let (lo, hi) = self.layer_range;
+        let counts: Vec<Vec<usize>> = self
+            .task_backbones()
+            .iter()
+            .map(|b| achievable_layer_counts(*b))
+            .collect();
+        let reach = reachable_sums(&counts);
+        let last = reach.last().expect("reach has network_count + 1 stages");
+        let mid = lo + (hi - lo) / 2;
+        let distance = |total: usize| total.abs_diff(mid);
+        let in_range = (lo..=hi.min(last.len().saturating_sub(1)))
+            .filter(|&t| last[t])
+            .min_by_key(|&t| (distance(t), t));
+        match in_range {
+            Some(total) => Ok(total),
+            None => {
+                let achievable: Vec<usize> = (0..last.len())
+                    .filter(|&t| last[t])
+                    .filter(|&t| t > 0)
+                    .collect();
+                Err(GenerateError::UnreachableLayerRange {
+                    lo,
+                    hi,
+                    min_total: achievable.first().copied().unwrap_or(0),
+                    max_total: achievable.last().copied().unwrap_or(0),
+                    closest: achievable.iter().copied().min_by_key(|&t| (distance(t), t)),
+                })
+            }
+        }
+    }
+
+    /// Generate the scenario this spec describes.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`GenerateError`] for structurally impossible specs.  A
+    /// spec whose *constraints* cannot be met still generates — the
+    /// result is [`Feasibility::Diagnosed`], never an error or a panic.
+    ///
+    /// # Panics
+    ///
+    /// Panics only on internal invariant violations (a generated
+    /// scenario that fails its own schema round-trip).
+    pub fn generate(&self) -> Result<GeneratedScenario, GenerateError> {
+        self.validate()?;
+        let total_layers = self.pick_total_layers()?;
+        let backbones = self.task_backbones();
+        let mut rng = StdRng::seed_from_u64(self.seed);
+
+        // Exact per-task layer-count allocation, then per-task sampling.
+        let counts: Vec<Vec<usize>> = backbones
+            .iter()
+            .map(|b| achievable_layer_counts(*b))
+            .collect();
+        let allocation = pick_summing(&mut rng, &counts, total_layers)
+            .expect("pick_total_layers returned a reachable total");
+        let architectures: Vec<Architecture> = backbones
+            .iter()
+            .zip(&allocation)
+            .map(|(backbone, &count)| sample_architecture(&mut rng, *backbone, count))
+            .collect();
+        debug_assert_eq!(
+            architectures
+                .iter()
+                .map(Architecture::num_layers)
+                .sum::<usize>(),
+            total_layers
+        );
+
+        let tasks: Vec<TaskSpec> = backbones
+            .iter()
+            .enumerate()
+            .map(|(i, backbone)| TaskSpec {
+                name: format!("t{i}-{}", backbone.name()),
+                backbone: *backbone,
+                weight: 1.0,
+            })
+            .collect();
+
+        // Feasibility probe on the nominal workload.
+        let model = CostModel::paper_calibrated();
+        let accelerator = probe_accelerator(&self.accel_pool);
+        let probe_area = model.area_um2(&accelerator);
+        let costs = WorkloadCosts::build(&model, &architectures, &accelerator);
+        let probe_tier = select_tier(costs.total_layers()).tier;
+        let (specs, feasibility) = self.probe(costs, probe_area);
+
+        let scenario = Scenario {
+            name: format!(
+                "gen-s{}-n{}-l{}",
+                self.seed, self.network_count, total_layers
+            ),
+            description: format!(
+                "generated: {} task(s), {} nominal layers, tightness {}",
+                self.network_count, total_layers, self.constraint_tightness
+            ),
+            // The scenario schema stores seeds as non-negative integers,
+            // so the spec's full-range u64 seed is folded into i64 range.
+            seed: self.seed & (i64::MAX as u64),
+            tasks,
+            specs,
+            hardware: self.accel_pool.clone(),
+            search: SearchSpec {
+                scheduler: SchedulerPolicy::Auto,
+                ..SearchSpec::paper()
+            },
+        };
+
+        // Self-check: the emitted scenario must survive the strict schema
+        // bit-identically in both formats.
+        let from_toml = Scenario::from_toml_str(&scenario.to_toml_string())
+            .expect("generated scenario must parse back from TOML");
+        assert_eq!(
+            from_toml, scenario,
+            "generated scenario does not round-trip through TOML"
+        );
+        let from_json = Scenario::from_json_str(&scenario.to_json_string())
+            .expect("generated scenario must parse back from JSON");
+        assert_eq!(
+            from_json, scenario,
+            "generated scenario does not round-trip through JSON"
+        );
+
+        Ok(GeneratedScenario {
+            spec: self.clone(),
+            scenario,
+            architectures,
+            total_layers,
+            probe_tier,
+            feasibility,
+        })
+    }
+
+    /// Derive the design specs from the probe solves and diagnose
+    /// infeasibility.
+    fn probe(&self, costs: WorkloadCosts, probe_area: f64) -> (DesignSpecs, Feasibility) {
+        if let Some((network, layer)) = first_unmappable_layer(&costs) {
+            // No solve can run; emit schema-valid fallback specs.
+            let specs = DesignSpecs::new(
+                FALLBACK_SPEC,
+                FALLBACK_SPEC,
+                (probe_area * SPEC_MARGIN).max(1.0),
+            );
+            return (
+                specs,
+                Feasibility::Diagnosed(InfeasibilityReason::UnmappableLayer { network, layer }),
+            );
+        }
+
+        let makespan_lower_bound = costs.makespan_lower_bound();
+        // Relaxed solve: what can the workload achieve with no latency
+        // spec at all?
+        let relaxed_problem = HapProblem::new(costs, RELAXED_LATENCY);
+        let (relaxed, _) = solve_tiered(&relaxed_problem);
+        let mut latency_spec = relaxed.latency_cycles / self.constraint_tightness;
+
+        // Probe solve under the actual emitted spec.
+        let mut problem = HapProblem::new(relaxed_problem.costs, latency_spec);
+        let (mut solution, _) = solve_tiered(&problem);
+        // The greedy tiers are not monotone in the constraint: on large
+        // instances the heuristic's latency-optimal start can be slower
+        // than the relaxed end state, so the relaxed makespan may not be
+        // re-achievable under its own value as the spec.  When the spec
+        // is not meant to be tight (tightness <= 1), loosen it to the
+        // makespan the constrained solve actually reached and re-solve;
+        // the spec strictly grows each round, and once it covers the
+        // solver's start state the acceptance rule makes it feasible.
+        if self.constraint_tightness <= 1.0 {
+            for _ in 0..4 {
+                if solution.feasible {
+                    break;
+                }
+                let achieved = solution.latency_cycles / self.constraint_tightness;
+                if !(achieved.is_finite() && achieved > latency_spec) {
+                    break;
+                }
+                latency_spec = achieved;
+                let costs = problem.costs;
+                problem = HapProblem::new(costs, latency_spec);
+                solution = solve_tiered(&problem).0;
+            }
+        }
+        if !solution.feasible {
+            let specs = DesignSpecs::new(
+                latency_spec,
+                relaxed.energy_nj * SPEC_MARGIN,
+                (probe_area * SPEC_MARGIN).max(1.0),
+            );
+            return (
+                specs,
+                Feasibility::Diagnosed(InfeasibilityReason::LatencyConstraintUnsatisfiable {
+                    latency_spec,
+                    makespan_lower_bound,
+                }),
+            );
+        }
+
+        let energy_spec = solution.energy_nj * SPEC_MARGIN / self.constraint_tightness;
+        let area_spec =
+            (probe_area * SPEC_MARGIN / self.constraint_tightness).max(f64::MIN_POSITIVE);
+        let specs = DesignSpecs::new(latency_spec, energy_spec, area_spec);
+        if solution.energy_nj > energy_spec {
+            return (
+                specs,
+                Feasibility::Diagnosed(InfeasibilityReason::EnergyBudgetExceeded {
+                    achieved_nj: solution.energy_nj,
+                    energy_spec_nj: energy_spec,
+                }),
+            );
+        }
+        if probe_area > area_spec {
+            return (
+                specs,
+                Feasibility::Diagnosed(InfeasibilityReason::AreaBudgetExceeded {
+                    achieved_um2: probe_area,
+                    area_spec_um2: area_spec,
+                }),
+            );
+        }
+        (
+            specs,
+            Feasibility::Feasible {
+                energy_nj: solution.energy_nj,
+                makespan_cycles: solution.latency_cycles,
+            },
+        )
+    }
+
+    // -- shrinking --------------------------------------------------------
+
+    /// A scalar complexity measure over specs: every candidate in
+    /// [`GeneratorSpec::shrink_candidates`] has a strictly smaller
+    /// complexity, so shrinking always terminates.
+    pub fn complexity(&self) -> u64 {
+        let seed_bits = 64 - u64::from(self.seed.leading_zeros());
+        seed_bits
+            + self.network_count as u64 * 4
+            + self.layer_range.1.saturating_sub(self.layer_range.0) as u64
+            + self.backbone_mix.len() as u64 * 4
+            + self.accel_pool.sub_accelerators as u64
+            + self.accel_pool.dataflows.len() as u64
+            + tightness_steps(self.constraint_tightness)
+    }
+
+    /// Strictly-simpler variants of this spec, most aggressive first.
+    /// Each candidate changes exactly one dimension and has a strictly
+    /// smaller [`GeneratorSpec::complexity`].
+    pub fn shrink_candidates(&self) -> Vec<GeneratorSpec> {
+        let mut out = Vec::new();
+        let mut push = |candidate: GeneratorSpec| {
+            if candidate.complexity() < self.complexity() {
+                out.push(candidate);
+            }
+        };
+        if self.network_count > 1 {
+            let mut c = self.clone();
+            c.network_count = 1;
+            push(c);
+            let mut c = self.clone();
+            c.network_count = self.network_count / 2;
+            push(c);
+            let mut c = self.clone();
+            c.network_count = self.network_count - 1;
+            push(c);
+        }
+        if self.backbone_mix.len() > 1 {
+            let mut c = self.clone();
+            c.backbone_mix.truncate(1);
+            push(c);
+            let mut c = self.clone();
+            c.backbone_mix.pop();
+            push(c);
+        }
+        let width = self.layer_range.1 - self.layer_range.0;
+        if width > 0 {
+            let mut c = self.clone();
+            c.layer_range = (self.layer_range.0, self.layer_range.0);
+            push(c);
+            if width >= 2 {
+                let mut c = self.clone();
+                c.layer_range = (self.layer_range.0, self.layer_range.0 + width / 2);
+                push(c);
+            }
+        }
+        if tightness_steps(self.constraint_tightness) > 0 {
+            let mut c = self.clone();
+            c.constraint_tightness = 1.0;
+            push(c);
+            let mut c = self.clone();
+            c.constraint_tightness = 1.0 + (self.constraint_tightness - 1.0) / 2.0;
+            push(c);
+        }
+        if self.seed != 0 {
+            let mut c = self.clone();
+            c.seed = 0;
+            push(c);
+            let mut c = self.clone();
+            c.seed = self.seed / 2;
+            push(c);
+        }
+        if self.accel_pool.sub_accelerators > 1 {
+            let mut c = self.clone();
+            c.accel_pool.sub_accelerators = 1;
+            push(c);
+            let mut c = self.clone();
+            c.accel_pool.sub_accelerators = self.accel_pool.sub_accelerators / 2;
+            push(c);
+        }
+        if self.accel_pool.dataflows.len() > 1 {
+            let mut c = self.clone();
+            c.accel_pool.dataflows.truncate(1);
+            push(c);
+        }
+        out
+    }
+}
+
+/// Walk a failing spec down the shrink lattice until no strictly-simpler
+/// candidate still fails, and return that 1-minimal spec.
+///
+/// `fails` returns `true` when a spec still exhibits the failure being
+/// shrunk.  The walk is deterministic (candidate order is fixed) and
+/// always terminates because every accepted candidate strictly reduces
+/// [`GeneratorSpec::complexity`].  `start` is returned unchanged when it
+/// does not fail at all.
+pub fn shrink_to_minimal<F>(start: &GeneratorSpec, mut fails: F) -> GeneratorSpec
+where
+    F: FnMut(&GeneratorSpec) -> bool,
+{
+    let mut current = start.clone();
+    if !fails(&current) {
+        return current;
+    }
+    loop {
+        let mut advanced = false;
+        for candidate in current.shrink_candidates() {
+            if fails(&candidate) {
+                current = candidate;
+                advanced = true;
+                break;
+            }
+        }
+        if !advanced {
+            return current;
+        }
+    }
+}
+
+/// Number of halvings needed to bring `|t - 1|` below 0.01 — the
+/// integer "distance from neutral" term of the complexity measure.
+fn tightness_steps(tightness: f64) -> u64 {
+    let mut distance = (tightness - 1.0).abs();
+    if !distance.is_finite() {
+        return 64;
+    }
+    let mut steps = 0;
+    while distance >= 0.01 && steps < 64 {
+        distance /= 2.0;
+        steps += 1;
+    }
+    steps
+}
+
+// -- layer-count arithmetic -------------------------------------------------
+
+/// Every total layer count some architecture in the backbone's search
+/// space can have, ascending.
+///
+/// Derived from the search space itself, not hardcoded: a ResNet block
+/// with `SK` extra convolutions contributes `2 + SK + 1` layers when
+/// `SK > 0` (the element-wise add joins the residual branch) and `2`
+/// when `SK = 0`; a U-Net of height `H` has `6H - 3` layers.
+pub fn achievable_layer_counts(backbone: Backbone) -> Vec<usize> {
+    let space = backbone.search_space();
+    let choices = space.choices();
+    match backbone {
+        Backbone::ResNet9Cifar10 | Backbone::ResNet9Stl10 => {
+            let blocks = (choices.len() - 1) / 2;
+            // Base: stem + per-block (conv + pool) + head pool + classifier.
+            let base = 1 + 2 * blocks + 2;
+            let extras_per_block: Vec<Vec<usize>> = (0..blocks)
+                .map(|b| {
+                    choices[2 * (b + 1)]
+                        .options
+                        .iter()
+                        .map(|&sk| layer_extra_of_sk(sk))
+                        .collect()
+                })
+                .collect();
+            let reach = reachable_sums(&extras_per_block);
+            let last = reach.last().expect("at least one block");
+            (0..last.len())
+                .filter(|&s| last[s])
+                .map(|s| base + s)
+                .collect()
+        }
+        Backbone::UNetNuclei => {
+            let mut counts: Vec<usize> = choices[0].options.iter().map(|&h| 6 * h - 3).collect();
+            counts.sort_unstable();
+            counts
+        }
+    }
+}
+
+/// Layers a ResNet block's residual branch adds beyond its fixed
+/// conv + pool pair: `SK` convolutions plus the element-wise add when
+/// the branch is non-empty.
+fn layer_extra_of_sk(sk: usize) -> usize {
+    if sk == 0 {
+        0
+    } else {
+        sk + 1
+    }
+}
+
+/// Stage-by-stage subset-sum reachability: `result[t][s]` is `true` when
+/// the first `t` slots can sum to `s` picking one option per slot.
+fn reachable_sums(options_per_slot: &[Vec<usize>]) -> Vec<Vec<bool>> {
+    let max_total: usize = options_per_slot
+        .iter()
+        .map(|opts| opts.iter().copied().max().unwrap_or(0))
+        .sum();
+    let mut reach = Vec::with_capacity(options_per_slot.len() + 1);
+    let mut stage = vec![false; max_total + 1];
+    stage[0] = true;
+    reach.push(stage);
+    for opts in options_per_slot {
+        let prev = reach.last().expect("seeded with stage 0");
+        let mut next = vec![false; max_total + 1];
+        for s in 0..prev.len() {
+            if prev[s] {
+                for &c in opts {
+                    next[s + c] = true;
+                }
+            }
+        }
+        reach.push(next);
+    }
+    reach
+}
+
+/// Pick one option per slot summing exactly to `target`, choosing
+/// uniformly at random among the options that keep the target reachable.
+/// Returns `None` when `target` is unreachable.
+fn pick_summing(
+    rng: &mut StdRng,
+    options_per_slot: &[Vec<usize>],
+    target: usize,
+) -> Option<Vec<usize>> {
+    let reach = reachable_sums(options_per_slot);
+    let last = reach.last()?;
+    if target >= last.len() || !last[target] {
+        return None;
+    }
+    let mut picks = vec![0usize; options_per_slot.len()];
+    let mut remaining = target;
+    for t in (1..=options_per_slot.len()).rev() {
+        let valid: Vec<usize> = options_per_slot[t - 1]
+            .iter()
+            .copied()
+            .filter(|&c| c <= remaining && reach[t - 1][remaining - c])
+            .collect();
+        debug_assert!(!valid.is_empty(), "reachable target must backtrack");
+        let choice = valid[rng.gen_range(0..valid.len())];
+        picks[t - 1] = choice;
+        remaining -= choice;
+    }
+    debug_assert_eq!(remaining, 0);
+    Some(picks)
+}
+
+/// Sample a concrete architecture of exactly `num_layers` layers from
+/// the backbone's search space (filter counts free, depth knobs chosen
+/// to hit the count).
+///
+/// # Panics
+///
+/// Panics when `num_layers` is not in [`achievable_layer_counts`].
+fn sample_architecture(rng: &mut StdRng, backbone: Backbone, num_layers: usize) -> Architecture {
+    let space = backbone.search_space();
+    let choices = space.choices();
+    let values = match backbone {
+        Backbone::ResNet9Cifar10 | Backbone::ResNet9Stl10 => {
+            let blocks = (choices.len() - 1) / 2;
+            let base = 1 + 2 * blocks + 2;
+            assert!(
+                num_layers >= base,
+                "{num_layers} layers below the {base}-layer minimum of {backbone}"
+            );
+            let extras_per_block: Vec<Vec<usize>> = (0..blocks)
+                .map(|b| {
+                    choices[2 * (b + 1)]
+                        .options
+                        .iter()
+                        .map(|&sk| layer_extra_of_sk(sk))
+                        .collect()
+                })
+                .collect();
+            let extras = pick_summing(rng, &extras_per_block, num_layers - base)
+                .unwrap_or_else(|| panic!("{num_layers} layers unreachable for {backbone}"));
+            let mut values = vec![pick(rng, &choices[0].options)];
+            for (b, &extra) in extras.iter().enumerate() {
+                values.push(pick(rng, &choices[2 * b + 1].options));
+                let sk = if extra == 0 { 0 } else { extra - 1 };
+                values.push(sk);
+            }
+            values
+        }
+        Backbone::UNetNuclei => {
+            assert!(
+                num_layers >= 3 && (num_layers + 3).is_multiple_of(6),
+                "{num_layers} layers is not a U-Net height (counts are 6H - 3)"
+            );
+            let height = (num_layers + 3) / 6;
+            assert!(
+                choices[0].options.contains(&height),
+                "U-Net height {height} outside the search space"
+            );
+            let mut values = vec![height];
+            for level in &choices[1..] {
+                values.push(pick(rng, &level.options));
+            }
+            values
+        }
+    };
+    let arch = backbone.materialize_values(&values);
+    assert_eq!(
+        arch.num_layers(),
+        num_layers,
+        "sampled {backbone} architecture missed its layer target"
+    );
+    arch
+}
+
+/// One uniformly random element of a non-empty option list.
+fn pick(rng: &mut StdRng, options: &[usize]) -> usize {
+    options[rng.gen_range(0..options.len())]
+}
+
+/// The balanced probe accelerator of a pool: the budget split evenly
+/// across the sub-accelerators, dataflows assigned round-robin.
+fn probe_accelerator(pool: &HardwareSpec) -> Accelerator {
+    let subs = (0..pool.sub_accelerators)
+        .map(|i| {
+            SubAccelerator::new(
+                pool.dataflows[i % pool.dataflows.len()],
+                pool.max_pes / pool.sub_accelerators,
+                pool.max_bandwidth_gbps / pool.sub_accelerators,
+            )
+        })
+        .collect();
+    Accelerator::new(subs)
+}
+
+/// The first layer with no feasible mapping, as `(network, layer)`.
+fn first_unmappable_layer(costs: &WorkloadCosts) -> Option<(String, String)> {
+    for network in &costs.networks {
+        for row in &network.layers {
+            if !row.per_sub.iter().any(nasaic_cost::LayerCost::is_feasible) {
+                return Some((network.name.clone(), row.layer_name.clone()));
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn achievable_counts_match_the_closed_forms() {
+        assert_eq!(
+            achievable_layer_counts(Backbone::ResNet9Cifar10),
+            vec![9, 11, 12, 13, 14, 15, 16, 17, 18]
+        );
+        let stl: Vec<usize> = std::iter::once(13).chain(15..=33).collect();
+        assert_eq!(achievable_layer_counts(Backbone::ResNet9Stl10), stl);
+        assert_eq!(
+            achievable_layer_counts(Backbone::UNetNuclei),
+            vec![3, 9, 15, 21, 27]
+        );
+    }
+
+    #[test]
+    fn default_spec_generates_a_feasible_round_tripping_scenario() {
+        let spec = GeneratorSpec::default();
+        let generated = spec.generate().unwrap();
+        let (lo, hi) = spec.layer_range;
+        assert!((lo..=hi).contains(&generated.total_layers));
+        assert_eq!(generated.scenario.search.scheduler, SchedulerPolicy::Auto);
+        match &generated.feasibility {
+            Feasibility::Feasible {
+                energy_nj,
+                makespan_cycles,
+            } => {
+                assert!(*makespan_cycles <= generated.scenario.specs.latency_cycles);
+                assert!(*energy_nj <= generated.scenario.specs.energy_nj);
+            }
+            other => panic!("default spec should be feasible, got {other}"),
+        }
+        // The generator already self-checks the round-trip; re-assert the
+        // nominal architectures sum to the reported total.
+        let layers: usize = generated
+            .architectures
+            .iter()
+            .map(Architecture::num_layers)
+            .sum();
+        assert_eq!(layers, generated.total_layers);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec = GeneratorSpec::sized(39, 2, 17);
+        let a = spec.generate().unwrap();
+        let b = spec.generate().unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.scenario.to_toml_string(), b.scenario.to_toml_string());
+    }
+
+    #[test]
+    fn different_seeds_vary_the_sampled_filters() {
+        let a = GeneratorSpec::sized(39, 2, 1).generate().unwrap();
+        let b = GeneratorSpec::sized(39, 2, 2).generate().unwrap();
+        // Layer totals agree (both target the same range) but the
+        // hyperparameters should differ for at least one task.
+        assert!(
+            a.architectures != b.architectures,
+            "two seeds produced identical workloads"
+        );
+    }
+
+    #[test]
+    fn over_tight_constraints_are_diagnosed_not_panicked() {
+        let mut spec = GeneratorSpec::sized(20, 2, 5);
+        spec.constraint_tightness = 4.0;
+        let generated = spec.generate().unwrap();
+        match &generated.feasibility {
+            Feasibility::Diagnosed(reason) => {
+                // The latency spec is a quarter of the relaxed makespan, so
+                // the latency diagnosis fires first.
+                assert!(
+                    matches!(
+                        reason,
+                        InfeasibilityReason::LatencyConstraintUnsatisfiable { .. }
+                            | InfeasibilityReason::EnergyBudgetExceeded { .. }
+                    ),
+                    "unexpected diagnosis {reason}"
+                );
+            }
+            other => panic!("tightness 4.0 should be diagnosed, got {other}"),
+        }
+        // The diagnosed scenario is still schema-valid and loadable.
+        let reparsed = Scenario::from_toml_str(&generated.scenario.to_toml_string()).unwrap();
+        assert_eq!(reparsed, generated.scenario);
+    }
+
+    #[test]
+    fn structural_errors_are_reported() {
+        let spec = GeneratorSpec {
+            network_count: 0,
+            ..GeneratorSpec::default()
+        };
+        assert_eq!(spec.validate(), Err(GenerateError::NoNetworks));
+
+        let spec = GeneratorSpec {
+            backbone_mix: Vec::new(),
+            ..GeneratorSpec::default()
+        };
+        assert_eq!(spec.validate(), Err(GenerateError::EmptyBackboneMix));
+
+        let spec = GeneratorSpec {
+            layer_range: (20, 10),
+            ..GeneratorSpec::default()
+        };
+        assert!(matches!(
+            spec.validate(),
+            Err(GenerateError::EmptyLayerRange { lo: 20, hi: 10 })
+        ));
+
+        let mut spec = GeneratorSpec {
+            constraint_tightness: 0.0,
+            ..GeneratorSpec::default()
+        };
+        assert!(matches!(
+            spec.validate(),
+            Err(GenerateError::InvalidTightness { .. })
+        ));
+        spec.constraint_tightness = f64::NAN;
+        assert!(matches!(
+            spec.validate(),
+            Err(GenerateError::InvalidTightness { .. })
+        ));
+
+        let mut spec = GeneratorSpec::default();
+        spec.accel_pool.sub_accelerators = 64;
+        spec.accel_pool.max_pes = 32;
+        assert!(matches!(
+            spec.validate(),
+            Err(GenerateError::InvalidAccelPool { .. })
+        ));
+    }
+
+    #[test]
+    fn unreachable_layer_range_names_the_closest_total() {
+        // A single U-Net task can only have 3, 9, 15, 21 or 27 layers.
+        let spec = GeneratorSpec {
+            layer_range: (10, 12),
+            network_count: 1,
+            backbone_mix: vec![Backbone::UNetNuclei],
+            ..GeneratorSpec::default()
+        };
+        match spec.validate() {
+            Err(GenerateError::UnreachableLayerRange {
+                min_total,
+                max_total,
+                closest,
+                ..
+            }) => {
+                assert_eq!(min_total, 3);
+                assert_eq!(max_total, 27);
+                assert_eq!(closest, Some(9));
+            }
+            other => panic!("expected UnreachableLayerRange, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn hap_problem_reproduces_the_probe_instance() {
+        let generated = GeneratorSpec::sized(20, 2, 3).generate().unwrap();
+        let problem = generated.hap_problem();
+        assert_eq!(problem.costs.total_layers(), generated.total_layers);
+        assert_eq!(
+            problem.latency_constraint,
+            generated.scenario.specs.latency_cycles
+        );
+    }
+
+    #[test]
+    fn probe_tier_follows_the_instance_size() {
+        let small = GeneratorSpec::sized(20, 2, 1).generate().unwrap();
+        assert_eq!(small.probe_tier, SchedulerTier::Exact);
+        let medium = GeneratorSpec::sized(60, 2, 1).generate().unwrap();
+        assert_eq!(medium.probe_tier, SchedulerTier::Beam);
+    }
+
+    #[test]
+    fn shrinker_reaches_a_one_minimal_failing_spec() {
+        // Planted failure: specs with at least 2 networks and tightness
+        // beyond 1.5 "fail".
+        let fails = |s: &GeneratorSpec| s.network_count >= 2 && s.constraint_tightness > 1.5;
+        let start = GeneratorSpec {
+            seed: 0xDEAD_BEEF,
+            layer_range: (20, 60),
+            network_count: 16,
+            backbone_mix: Backbone::all().to_vec(),
+            accel_pool: HardwareSpec::paper(8),
+            constraint_tightness: 3.0,
+        };
+        let minimal = shrink_to_minimal(&start, fails);
+        assert!(fails(&minimal), "shrinking must preserve the failure");
+        // 1-minimality: no strictly-simpler candidate still fails.
+        for candidate in minimal.shrink_candidates() {
+            assert!(
+                !fails(&candidate),
+                "candidate {candidate:?} still fails — not minimal"
+            );
+        }
+        // The planted failure pins the load-bearing dimensions exactly.
+        assert_eq!(minimal.network_count, 2);
+        assert!(minimal.constraint_tightness > 1.5);
+        assert_eq!(minimal.seed, 0);
+        assert_eq!(minimal.backbone_mix.len(), 1);
+        assert_eq!(minimal.accel_pool.sub_accelerators, 1);
+        assert_eq!(minimal.layer_range.0, minimal.layer_range.1);
+    }
+
+    #[test]
+    fn shrink_candidates_strictly_reduce_complexity() {
+        let spec = GeneratorSpec {
+            seed: 1234,
+            layer_range: (15, 45),
+            network_count: 6,
+            constraint_tightness: 2.5,
+            ..GeneratorSpec::default()
+        };
+        for candidate in spec.shrink_candidates() {
+            assert!(
+                candidate.complexity() < spec.complexity(),
+                "{candidate:?} does not reduce complexity"
+            );
+        }
+    }
+
+    #[test]
+    fn non_failing_start_is_returned_unchanged() {
+        let spec = GeneratorSpec::default();
+        let result = shrink_to_minimal(&spec, |_| false);
+        assert_eq!(result, spec);
+    }
+}

@@ -38,6 +38,7 @@
 //! assert_eq!(reparsed, scenario);
 //! ```
 
+pub mod generate;
 pub mod registry;
 pub mod report;
 pub mod value;
@@ -53,6 +54,7 @@ use nasaic_accel::{Dataflow, HardwareSpace, ResourceBudget};
 use nasaic_cost::CostModel;
 use nasaic_nn::backbone::Backbone;
 use nasaic_rl::ControllerConfig;
+use nasaic_sched::{select_tier, SchedulerPolicy, TierDecision};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::path::Path;
@@ -240,6 +242,10 @@ pub struct SearchSpec {
     /// Per-gene mutation probability of the evolutionary co-search,
     /// in `[0, 1]`.
     pub mutation_rate: f64,
+    /// Which HAP solver evaluates hardware candidates: `heuristic` (the
+    /// paper's solver, the default), `auto` (tier by instance size),
+    /// `beam` or `exact`.
+    pub scheduler: SchedulerPolicy,
 }
 
 impl SearchSpec {
@@ -258,6 +264,7 @@ impl SearchSpec {
             population: 24,
             tournament: 3,
             mutation_rate: 0.2,
+            scheduler: SchedulerPolicy::Heuristic,
         }
     }
 
@@ -529,6 +536,7 @@ impl Scenario {
                         "population",
                         "tournament",
                         "mutation_rate",
+                        "scheduler",
                     ],
                     "search",
                 )?;
@@ -574,6 +582,12 @@ impl Scenario {
                         "search.mutation_rate must be in [0, 1], got {mutation_rate}"
                     )));
                 }
+                let scheduler = match value_str(search_value, "scheduler")? {
+                    None => defaults.scheduler,
+                    Some(name) => name
+                        .parse::<SchedulerPolicy>()
+                        .map_err(|e| ConfigError::schema(format!("search.scheduler: {e}")))?,
+                };
                 SearchSpec {
                     algorithm,
                     episodes,
@@ -597,6 +611,7 @@ impl Scenario {
                     population,
                     tournament,
                     mutation_rate,
+                    scheduler,
                 }
             }
         };
@@ -705,6 +720,10 @@ impl Scenario {
             "mutation_rate",
             ConfigValue::Float(self.search.mutation_rate),
         );
+        search.insert(
+            "scheduler",
+            ConfigValue::Str(self.search.scheduler.name().to_string()),
+        );
         root.insert("search", search);
         root
     }
@@ -751,13 +770,80 @@ impl Scenario {
     }
 
     /// A fresh [`EvalEngine`] for this scenario (evaluator over the
-    /// declared workload, specs and the default oracle).
+    /// declared workload, specs, the default oracle and the scenario's
+    /// scheduler policy).
     pub fn engine(&self) -> EvalEngine {
-        EvalEngine::new(Evaluator::new(
-            &self.workload(),
-            self.specs,
-            AccuracyOracle::default(),
-        ))
+        EvalEngine::new(
+            Evaluator::new(&self.workload(), self.specs, AccuracyOracle::default())
+                .with_scheduler(self.search.scheduler),
+        )
+    }
+
+    /// Total layer count of the scenario's workload when every task picks
+    /// its smallest (resp. largest) architecture — the bounds of the HAP
+    /// instances the search will solve.
+    pub fn layer_bounds(&self) -> (usize, usize) {
+        let mut min_layers = 0;
+        let mut max_layers = 0;
+        for task in &self.tasks {
+            min_layers += task.backbone.smallest_architecture().num_layers();
+            max_layers += task.backbone.largest_architecture().num_layers();
+        }
+        (min_layers, max_layers)
+    }
+
+    /// Which scheduler tier this scenario's hardware evaluations run, and
+    /// why.  Size-dependent policies (`auto`, the `exact` fallback) are
+    /// decided per candidate inside the evaluator; the decision reported
+    /// here is taken on the **largest** instance the task vector can
+    /// produce, so the reported tier covers every candidate of the search
+    /// (smaller candidates may individually get a stronger tier).
+    pub fn scheduler_decision(&self) -> TierDecision {
+        use nasaic_sched::{SchedulerTier, DEFAULT_BEAM_WIDTH, EXACT_LAYER_LIMIT};
+        let (min_layers, max_layers) = self.layer_bounds();
+        match self.search.scheduler {
+            SchedulerPolicy::Heuristic => TierDecision {
+                tier: SchedulerTier::Heuristic,
+                width: None,
+                total_layers: max_layers,
+                reason: "policy heuristic pins the paper's ratio heuristic".to_string(),
+            },
+            SchedulerPolicy::Beam => TierDecision {
+                tier: SchedulerTier::Beam,
+                width: Some(DEFAULT_BEAM_WIDTH),
+                total_layers: max_layers,
+                reason: format!("policy beam pins beam search at width {DEFAULT_BEAM_WIDTH}"),
+            },
+            SchedulerPolicy::Auto => {
+                let mut decision = select_tier(max_layers);
+                decision.reason = format!(
+                    "policy auto over instances of {min_layers}..{max_layers} layers: {}",
+                    decision.reason
+                );
+                decision
+            }
+            SchedulerPolicy::Exact => {
+                if max_layers <= EXACT_LAYER_LIMIT {
+                    TierDecision {
+                        tier: SchedulerTier::Exact,
+                        width: None,
+                        total_layers: max_layers,
+                        reason: format!(
+                            "policy exact: at most {max_layers} layers within \
+                             EXACT_LAYER_LIMIT {EXACT_LAYER_LIMIT}"
+                        ),
+                    }
+                } else {
+                    let mut decision = select_tier(max_layers);
+                    decision.reason = format!(
+                        "policy exact overruled: instances up to {max_layers} layers exceed \
+                         EXACT_LAYER_LIMIT {EXACT_LAYER_LIMIT}; falls back to {}",
+                        decision.tier
+                    );
+                    decision
+                }
+            }
+        }
     }
 
     // -- execution --------------------------------------------------------
@@ -830,6 +916,16 @@ impl Scenario {
             engine.evaluator().workload().name,
             self.name,
             workload.name,
+        );
+        assert!(
+            engine.evaluator().scheduler() == self.search.scheduler,
+            "engine/scenario mismatch: the engine's evaluator solves hardware mappings with the \
+             `{}` scheduler but scenario `{}` declares `{}`; the hardware cache does not key on \
+             the scheduler policy, so a shared engine must come from this scenario's \
+             `Scenario::engine()`",
+            engine.evaluator().scheduler(),
+            self.name,
+            self.search.scheduler,
         );
         assert!(
             engine.evaluator().cost_model() == &CostModel::paper_calibrated(),

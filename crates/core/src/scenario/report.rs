@@ -65,6 +65,16 @@ pub struct RunReport {
     pub hardware_entries: u64,
     /// Wall-clock duration of the run in milliseconds.
     pub wall_ms: u64,
+    /// The scenario's scheduler policy (`heuristic`, `auto`, `beam`,
+    /// `exact`).
+    pub sched_policy: String,
+    /// The solver tier that covers this scenario's hardware evaluations
+    /// (decided on the largest instance the task vector can produce).
+    pub sched_tier: String,
+    /// Why that tier was selected — names the crossed layer limit, so an
+    /// instance past `EXACT_LAYER_LIMIT` is diagnosed instead of silently
+    /// downgraded.
+    pub sched_tier_reason: String,
 }
 
 impl RunReport {
@@ -90,6 +100,7 @@ impl RunReport {
             area_um2: solution.evaluation.metrics.area_um2,
             candidate: solution.candidate.summary(),
         });
+        let decision = scenario.scheduler_decision();
         Self {
             scenario: scenario.name.clone(),
             algorithm,
@@ -107,6 +118,9 @@ impl RunReport {
             accuracy_entries: cache.accuracy_entries,
             hardware_entries: cache.hardware_entries,
             wall_ms,
+            sched_policy: scenario.search.scheduler.name().to_string(),
+            sched_tier: decision.tier.name().to_string(),
+            sched_tier_reason: decision.reason,
         }
     }
 
@@ -148,6 +162,12 @@ impl RunReport {
             ConfigValue::Integer(self.hardware_entries as i64),
         );
         root.insert("wall_ms", ConfigValue::Integer(self.wall_ms as i64));
+        root.insert("sched_policy", ConfigValue::Str(self.sched_policy.clone()));
+        root.insert("sched_tier", ConfigValue::Str(self.sched_tier.clone()));
+        root.insert(
+            "sched_tier_reason",
+            ConfigValue::Str(self.sched_tier_reason.clone()),
+        );
         if !self.phases.is_empty() {
             root.insert(
                 "phases",
@@ -191,7 +211,8 @@ impl RunReport {
     pub const CSV_HEADER: &'static str = "scenario,algorithm,seed,episodes,explored,\
         spec_compliant,pruned_episodes,compliance_rate,best_weighted_accuracy,\
         best_latency_cycles,best_energy_nj,best_area_um2,cache_hit_rate,\
-        accuracy_hit_rate,hardware_hit_rate,accuracy_entries,hardware_entries,wall_ms";
+        accuracy_hit_rate,hardware_hit_rate,accuracy_entries,hardware_entries,wall_ms,\
+        sched_policy,sched_tier,sched_tier_reason";
 
     /// The report as one CSV row (best-solution columns are empty when no
     /// spec-compliant solution was found).  The free-form scenario name is
@@ -207,7 +228,7 @@ impl RunReport {
             None => Default::default(),
         };
         format!(
-            "{},{},{},{},{},{},{},{:.4},{},{},{},{},{:.4},{:.4},{:.4},{},{},{}",
+            "{},{},{},{},{},{},{},{:.4},{},{},{},{},{:.4},{:.4},{:.4},{},{},{},{},{},{}",
             csv_field(&self.scenario),
             self.algorithm.name(),
             self.seed,
@@ -225,7 +246,10 @@ impl RunReport {
             self.hardware_hit_rate,
             self.accuracy_entries,
             self.hardware_entries,
-            self.wall_ms
+            self.wall_ms,
+            csv_field(&self.sched_policy),
+            csv_field(&self.sched_tier),
+            csv_field(&self.sched_tier_reason)
         )
     }
 }
@@ -258,6 +282,11 @@ impl fmt::Display for RunReport {
             self.accuracy_hit_rate * 100.0,
             self.hardware_hit_rate * 100.0,
             self.wall_ms
+        )?;
+        writeln!(
+            f,
+            "scheduler: {} tier under policy {} — {}",
+            self.sched_tier, self.sched_policy, self.sched_tier_reason
         )?;
         for phase in &self.phases {
             let best = match phase.best_weighted_accuracy {

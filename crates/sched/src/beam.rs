@@ -1,0 +1,408 @@
+//! Width-budgeted beam search over layer assignments — the middle solver
+//! tier between the ratio heuristic and the exact branch and bound.
+//!
+//! The scale ladder (see `docs/performance.md`) produces instances well
+//! past [`crate::exact::EXACT_LAYER_LIMIT`] where the heuristic's local
+//! moves are the only answer and nothing certifies their quality.  This
+//! module fills the gap: a breadth-first enumeration over the same
+//! flattened network-major position order as the branch and bound, sharing
+//! its admissible bound tables (`crate::exact::SearchBounds`) and its
+//! verified-incumbent discipline, but keeping at most `width` partial
+//! assignments per depth.
+//!
+//! Properties the differential tests pin:
+//!
+//! * **unbounded width ⇒ exact** — with no truncation the frontier is the
+//!   branch and bound's non-pruned node set, so the returned energy matches
+//!   [`crate::solve_exact_unseeded`] on every instance within the exact
+//!   layer limit (up to the same float dust as the seeded/unseeded
+//!   comparison);
+//! * **never worse than the heuristic** — the incumbent is seeded with the
+//!   re-verified [`solve_heuristic`] solution (the same discipline as
+//!   [`crate::solve_exact`]), so the beam result is feasible whenever the
+//!   heuristic's is and its energy never exceeds it;
+//! * **deterministic** — ranking sorts stably by accumulated energy with
+//!   parent-order/cheapest-sub-first insertion as the tie-break, so a given
+//!   instance and width always return bit-identical solutions.
+//!
+//! Complete assignments are evaluated with the reusable PR 3
+//! [`Simulator`] (zero-alloc dispatch), and the surviving best leaf is
+//! polished by the simulator's checkpointed delta evaluation
+//! (`prepare`/`trial_makespan`/`commit_trial`): single-layer moves with a
+//! strict energy saving are applied greedily while the replayed makespan
+//! stays within the constraint.  Polish cannot push the energy below the
+//! optimum (any strictly-saving feasible move would contradict optimality),
+//! so the unbounded-width identity above survives it.
+
+use crate::exact::{infeasible_solution, SearchBounds};
+use crate::heuristic::solve_heuristic;
+use crate::problem::{Assignment, HapProblem, MappingSolution};
+use crate::schedule::Simulator;
+
+/// Beam width used by the automatic tier selection
+/// ([`crate::tier::solve_tiered`]).  Chosen on the scale ladder: width 32
+/// closes most of the width-1 energy gap on 39–300-layer rungs while
+/// keeping the rung wall time within the search loop's budget.
+pub const DEFAULT_BEAM_WIDTH: usize = 32;
+
+/// One partial assignment on the beam frontier: the sub-accelerator chosen
+/// for each position expanded so far, the accumulated per-network chain
+/// latency, and the accumulated energy (network-major position order — the
+/// same order as [`HapProblem::energy_of`], so leaf sums are
+/// bit-identical).
+struct BeamState {
+    subs: Vec<usize>,
+    chain_acc: Vec<f64>,
+    energy_nj: f64,
+}
+
+/// Solve a HAP instance with a width-`width` beam search.
+///
+/// Always returns a solution, matching [`solve_heuristic`]'s contract:
+/// `solution.feasible` is `false` when no enumerated assignment (and not
+/// the heuristic seed either) meets the latency constraint, in which case
+/// the latency-optimal sentinel shared with the other solvers is returned.
+///
+/// # Panics
+///
+/// Panics when `width` is zero.  Pass [`usize::MAX`] (or call
+/// [`solve_beam_unbounded`]) for an untruncated beam.
+pub fn solve_beam(problem: &HapProblem, width: usize) -> MappingSolution {
+    assert!(width >= 1, "beam width must be at least 1");
+    let bounds = SearchBounds::new(problem);
+    if bounds.provably_infeasible(problem) {
+        return infeasible_solution(problem);
+    }
+    let mut sim = Simulator::new(problem);
+
+    // Incumbent seeding with the same independent re-verification as the
+    // exact solver: a wrong bound would silently truncate genuinely better
+    // prefixes, so the heuristic solution is trusted only after its
+    // makespan re-simulates within the constraint and its energy matches a
+    // recomputation from the assignment.
+    let mut best: Option<MappingSolution> = None;
+    let seed = solve_heuristic(problem);
+    if seed.feasible {
+        let makespan = sim.makespan(&seed.assignment);
+        let energy = problem.energy_of(&seed.assignment);
+        if makespan <= problem.latency_constraint
+            && (energy - seed.energy_nj).abs() <= 1e-9 * energy.max(1.0)
+        {
+            best = Some(seed);
+        }
+    }
+
+    let mut frontier = vec![BeamState {
+        subs: Vec::new(),
+        chain_acc: vec![0.0; problem.num_networks()],
+        energy_nj: 0.0,
+    }];
+    for depth in 0..bounds.positions.len() {
+        let (n, l) = bounds.positions[depth];
+        let row = &problem.costs.networks[n].layers[l];
+        let mut next =
+            Vec::with_capacity(frontier.len().min(width) * bounds.sub_order[depth].len());
+        for state in &frontier {
+            for &sub in &bounds.sub_order[depth] {
+                let cost = &row.per_sub[sub];
+                let new_chain = state.chain_acc[n] + cost.latency_cycles;
+                if new_chain + bounds.chain_suffix_lb[n][l + 1] > problem.latency_constraint {
+                    continue;
+                }
+                let energy = state.energy_nj + cost.energy_nj;
+                if let Some(incumbent) = &best {
+                    if energy + bounds.energy_suffix_lb[depth + 1] >= incumbent.energy_nj {
+                        continue;
+                    }
+                }
+                let mut subs = Vec::with_capacity(depth + 1);
+                subs.extend_from_slice(&state.subs);
+                subs.push(sub);
+                let mut chain_acc = state.chain_acc.clone();
+                chain_acc[n] = new_chain;
+                next.push(BeamState {
+                    subs,
+                    chain_acc,
+                    energy_nj: energy,
+                });
+            }
+        }
+        // Keep the `width` most promising states.  The remaining-energy
+        // suffix bound is a constant at one depth, so ranking by
+        // accumulated energy *is* ranking by (energy + suffix bound).  The
+        // sort is stable: ties keep parent-order × cheapest-sub-first
+        // insertion order, making the beam deterministic.
+        if next.len() > width {
+            next.sort_by(|a, b| a.energy_nj.total_cmp(&b.energy_nj));
+            next.truncate(width);
+        }
+        frontier = next;
+        if frontier.is_empty() {
+            break;
+        }
+    }
+
+    // Evaluate the surviving complete assignments with the real list
+    // scheduler; chain bounds are admissible, not exact, so a leaf can
+    // still miss the constraint once contention and switch penalties bite.
+    let mut assignment = Assignment::new(
+        problem
+            .costs
+            .networks
+            .iter()
+            .map(|network| vec![0usize; network.layers.len()])
+            .collect(),
+    );
+    for state in &frontier {
+        if state.subs.len() != bounds.positions.len() {
+            continue;
+        }
+        for (depth, &(n, l)) in bounds.positions.iter().enumerate() {
+            assignment.set(n, l, state.subs[depth]);
+        }
+        let makespan = sim.makespan(&assignment);
+        if makespan > problem.latency_constraint {
+            continue;
+        }
+        if best
+            .as_ref()
+            .is_none_or(|incumbent| state.energy_nj < incumbent.energy_nj)
+        {
+            best = Some(MappingSolution {
+                assignment: assignment.clone(),
+                latency_cycles: makespan,
+                energy_nj: state.energy_nj,
+                feasible: true,
+            });
+        }
+    }
+
+    match best {
+        Some(mut solution) => {
+            polish(problem, &mut sim, &mut solution);
+            solution
+        }
+        None => infeasible_solution(problem),
+    }
+}
+
+/// [`solve_beam`] with no width truncation: enumerates every prefix the
+/// branch and bound would keep, so the returned energy is exact for
+/// instances the exact solver covers.  Used by the differential tests; the
+/// frontier is only bounded by pruning, so do not call this on instances
+/// far past [`crate::exact::EXACT_LAYER_LIMIT`].
+pub fn solve_beam_unbounded(problem: &HapProblem) -> MappingSolution {
+    solve_beam(problem, usize::MAX)
+}
+
+/// Greedy delta-evaluated improvement of a feasible solution: repeatedly
+/// take the largest-saving single-layer move whose checkpoint-replayed
+/// makespan stays within the constraint.  Width-truncated beams land on
+/// good-but-improvable leaves; this recovers the cheap moves the
+/// truncation dropped while reusing the already-warm [`Simulator`].
+fn polish(problem: &HapProblem, sim: &mut Simulator, solution: &mut MappingSolution) {
+    if !solution.feasible {
+        return;
+    }
+    let makespan = sim.prepare(&solution.assignment);
+    debug_assert!(makespan <= problem.latency_constraint);
+    // Each accepted move strictly reduces energy; the pass cap only guards
+    // against pathological cost tables with unboundedly many tiny savings.
+    let max_moves = 4 * problem.costs.total_layers().max(1);
+    let mut candidates: Vec<(usize, usize, usize, usize, f64)> = Vec::new();
+    for _ in 0..max_moves {
+        candidates.clear();
+        for (n, network) in problem.costs.networks.iter().enumerate() {
+            for (l, row) in network.layers.iter().enumerate() {
+                let current_sub = solution.assignment.sub_for(n, l);
+                let current_cost = &row.per_sub[current_sub];
+                for (sub, cost) in row.per_sub.iter().enumerate() {
+                    if sub == current_sub || !cost.is_feasible() {
+                        continue;
+                    }
+                    let saving = current_cost.energy_nj - cost.energy_nj;
+                    if saving > 0.0 {
+                        candidates.push((candidates.len(), n, l, sub, saving));
+                    }
+                }
+            }
+        }
+        candidates.sort_unstable_by(|a, b| b.4.total_cmp(&a.4).then(a.0.cmp(&b.0)));
+        let mut accepted = false;
+        for &(_, n, l, sub, saving) in &candidates {
+            let from_sub = solution.assignment.sub_for(n, l);
+            solution.assignment.set(n, l, sub);
+            let trial = sim.trial_makespan(&solution.assignment, n, l, problem.latency_constraint);
+            if trial <= problem.latency_constraint {
+                solution.latency_cycles = sim.commit_trial(&solution.assignment, n, l);
+                solution.energy_nj -= saving;
+                accepted = true;
+                break;
+            }
+            solution.assignment.set(n, l, from_sub);
+        }
+        if !accepted {
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::{solve_exact_unseeded, EXACT_LAYER_LIMIT};
+    use nasaic_accel::{Accelerator, Dataflow, SubAccelerator};
+    use nasaic_cost::{CostModel, WorkloadCosts};
+    use nasaic_nn::backbone::Backbone;
+
+    fn tiny_problem(latency_constraint: f64) -> HapProblem {
+        let model = CostModel::paper_calibrated();
+        let archs = vec![Backbone::ResNet9Cifar10.materialize_values(&[8, 32, 0, 32, 0, 32, 0])];
+        let acc = Accelerator::new(vec![
+            SubAccelerator::new(Dataflow::Nvdla, 1024, 16),
+            SubAccelerator::new(Dataflow::Shidiannao, 1024, 16),
+        ]);
+        let costs = WorkloadCosts::build(&model, &archs, &acc);
+        HapProblem::new(costs, latency_constraint)
+    }
+
+    fn realistic_problem(latency_constraint: f64) -> HapProblem {
+        let model = CostModel::paper_calibrated();
+        let archs =
+            vec![Backbone::ResNet9Cifar10.materialize_values(&[32, 128, 2, 256, 2, 256, 2])];
+        let acc = Accelerator::new(vec![
+            SubAccelerator::new(Dataflow::Nvdla, 2048, 32),
+            SubAccelerator::new(Dataflow::Shidiannao, 2048, 32),
+        ]);
+        let costs = WorkloadCosts::build(&model, &archs, &acc);
+        HapProblem::new(costs, latency_constraint)
+    }
+
+    #[test]
+    fn unbounded_beam_matches_unseeded_exact_energy() {
+        for constraint in [2.0e6_f64, 5.0e6, 1.0e9] {
+            let problem = tiny_problem(constraint);
+            assert!(problem.costs.total_layers() <= EXACT_LAYER_LIMIT);
+            let exact = solve_exact_unseeded(&problem).unwrap();
+            let beam = solve_beam_unbounded(&problem);
+            assert_eq!(beam.feasible, exact.feasible, "at constraint {constraint}");
+            if exact.feasible {
+                assert!(
+                    (beam.energy_nj - exact.energy_nj).abs() <= 1e-9 * exact.energy_nj.max(1.0),
+                    "beam {} vs exact {} at constraint {constraint}",
+                    beam.energy_nj,
+                    exact.energy_nj
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unbounded_beam_matches_exact_on_paper_sized_instances() {
+        for constraint in [8.0e5_f64, 2.0e6, 1.0e9] {
+            let problem = realistic_problem(constraint);
+            let exact = solve_exact_unseeded(&problem).unwrap();
+            let beam = solve_beam_unbounded(&problem);
+            assert_eq!(beam.feasible, exact.feasible, "at constraint {constraint}");
+            if exact.feasible {
+                assert!(
+                    (beam.energy_nj - exact.energy_nj).abs() <= 1e-9 * exact.energy_nj.max(1.0),
+                    "beam {} vs exact {} at constraint {constraint}",
+                    beam.energy_nj,
+                    exact.energy_nj
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn beam_is_never_worse_than_the_heuristic() {
+        for width in [1usize, 4, DEFAULT_BEAM_WIDTH] {
+            for constraint in [8.0e5_f64, 2.0e6, 5.0e6, 1.0e9] {
+                let problem = realistic_problem(constraint);
+                let heuristic = solve_heuristic(&problem);
+                let beam = solve_beam(&problem, width);
+                if heuristic.feasible {
+                    assert!(beam.feasible, "width {width}, constraint {constraint}");
+                    assert!(
+                        beam.energy_nj <= heuristic.energy_nj + 1e-9 * heuristic.energy_nj,
+                        "width {width} beam {} worse than heuristic {} at {constraint}",
+                        beam.energy_nj,
+                        heuristic.energy_nj
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn beam_is_deterministic() {
+        let problem = realistic_problem(2.0e6);
+        let a = solve_beam(&problem, 8);
+        let b = solve_beam(&problem, 8);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn widening_the_beam_never_increases_energy() {
+        let problem = realistic_problem(2.0e6);
+        let mut previous = f64::INFINITY;
+        for width in [1usize, 2, 8, 64] {
+            let solution = solve_beam(&problem, width);
+            assert!(solution.feasible);
+            assert!(
+                solution.energy_nj <= previous + 1e-9 * previous.min(1e18),
+                "width {width} regressed: {} vs {previous}",
+                solution.energy_nj
+            );
+            previous = solution.energy_nj;
+        }
+    }
+
+    #[test]
+    fn infeasible_constraint_returns_the_shared_sentinel() {
+        let problem = tiny_problem(1.0);
+        let beam = solve_beam(&problem, DEFAULT_BEAM_WIDTH);
+        let heuristic = solve_heuristic(&problem);
+        assert_eq!(beam, heuristic);
+        assert!(!beam.feasible);
+        assert!(beam.latency_cycles.is_finite());
+    }
+
+    #[test]
+    fn unschedulable_instance_keeps_the_uniform_sentinel() {
+        let model = CostModel::paper_calibrated();
+        let archs = vec![Backbone::ResNet9Cifar10.materialize_values(&[8, 32, 0, 32, 0, 32, 0])];
+        let acc = Accelerator::new(vec![
+            SubAccelerator::inactive(Dataflow::Nvdla),
+            SubAccelerator::inactive(Dataflow::Shidiannao),
+        ]);
+        let costs = WorkloadCosts::build(&model, &archs, &acc);
+        let solution = solve_beam(&HapProblem::new(costs, 1e9), 4);
+        assert!(!solution.feasible);
+        assert!(solution.latency_cycles.is_infinite());
+    }
+
+    #[test]
+    fn beam_solution_respects_latency_constraint_when_feasible() {
+        for constraint in [8.0e5_f64, 2.0e6, 1.0e9] {
+            let problem = realistic_problem(constraint);
+            let solution = solve_beam(&problem, DEFAULT_BEAM_WIDTH);
+            if solution.feasible {
+                assert!(solution.latency_cycles <= constraint);
+                let recomputed = problem.energy_of(&solution.assignment);
+                assert!(
+                    (recomputed - solution.energy_nj).abs() <= 1e-9 * recomputed.max(1.0),
+                    "energy bookkeeping drifted: {} vs {recomputed}",
+                    solution.energy_nj
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_width_is_rejected() {
+        solve_beam(&tiny_problem(1e9), 0);
+    }
+}

@@ -67,8 +67,9 @@ pub fn solve_exact_unseeded(problem: &HapProblem) -> Option<MappingSolution> {
 
 /// The infeasible result shared with the heuristic: report the
 /// latency-optimal assignment (the best-latency schedule the solvers
-/// know), not a meaningless uniform mapping.
-fn infeasible_solution(problem: &HapProblem) -> MappingSolution {
+/// know), not a meaningless uniform mapping.  Shared with the beam tier
+/// (`crate::beam`) so every solver reports infeasibility identically.
+pub(crate) fn infeasible_solution(problem: &HapProblem) -> MappingSolution {
     match latency_optimal_assignment(problem) {
         Some(assignment) => {
             let schedule = simulate(problem, &assignment);
@@ -84,27 +85,25 @@ fn infeasible_solution(problem: &HapProblem) -> MappingSolution {
     }
 }
 
-struct BranchAndBound<'a> {
-    problem: &'a HapProblem,
+/// Admissible-bound tables shared by the branch and bound and the beam
+/// tier (`crate::beam`): both enumerate the same flattened network-major
+/// position order with the same pruning arithmetic, so the two solvers
+/// cannot drift on what "provably infeasible" or "remaining cost" means.
+pub(crate) struct SearchBounds {
     /// Flattened (network, layer) pairs in depth order.
-    positions: Vec<(usize, usize)>,
+    pub positions: Vec<(usize, usize)>,
     /// Feasible sub-accelerators of each position, cheapest energy first.
-    sub_order: Vec<Vec<usize>>,
+    pub sub_order: Vec<Vec<usize>>,
     /// `energy_suffix_lb[d]`: sum of minimum feasible energies of
     /// `positions[d..]` (admissible remaining-energy bound).
-    energy_suffix_lb: Vec<f64>,
+    pub energy_suffix_lb: Vec<f64>,
     /// `chain_suffix_lb[n][l]`: sum of minimum feasible latencies of
     /// layers `l..` of network `n` (admissible chain-latency bound).
-    chain_suffix_lb: Vec<Vec<f64>>,
-    /// Latency of the layers of each network assigned so far.
-    chain_acc: Vec<f64>,
-    assignment: Assignment,
-    sim: Simulator,
-    best: Option<MappingSolution>,
+    pub chain_suffix_lb: Vec<Vec<f64>>,
 }
 
-impl<'a> BranchAndBound<'a> {
-    fn new(problem: &'a HapProblem) -> Self {
+impl SearchBounds {
+    pub(crate) fn new(problem: &HapProblem) -> Self {
         let mut positions = Vec::with_capacity(problem.costs.total_layers());
         let mut sub_order = Vec::with_capacity(problem.costs.total_layers());
         let mut chain_suffix_lb = Vec::with_capacity(problem.num_networks());
@@ -134,11 +133,42 @@ impl<'a> BranchAndBound<'a> {
                 energy_suffix_lb[d + 1] + row.min_feasible_energy().unwrap_or(f64::INFINITY);
         }
         Self {
-            problem,
             positions,
             sub_order,
             energy_suffix_lb,
             chain_suffix_lb,
+        }
+    }
+
+    /// Unschedulable instance (some layer feasible nowhere) or a chain
+    /// that cannot meet the constraint even alone: no enumeration can
+    /// succeed.
+    pub(crate) fn provably_infeasible(&self, problem: &HapProblem) -> bool {
+        self.energy_suffix_lb
+            .first()
+            .is_some_and(|lb| !lb.is_finite())
+            || self
+                .chain_suffix_lb
+                .iter()
+                .any(|suffix| suffix[0] > problem.latency_constraint)
+    }
+}
+
+struct BranchAndBound<'a> {
+    problem: &'a HapProblem,
+    bounds: SearchBounds,
+    /// Latency of the layers of each network assigned so far.
+    chain_acc: Vec<f64>,
+    assignment: Assignment,
+    sim: Simulator,
+    best: Option<MappingSolution>,
+}
+
+impl<'a> BranchAndBound<'a> {
+    fn new(problem: &'a HapProblem) -> Self {
+        Self {
+            problem,
+            bounds: SearchBounds::new(problem),
             chain_acc: vec![0.0; problem.num_networks()],
             assignment: Assignment::new(
                 problem
@@ -154,18 +184,7 @@ impl<'a> BranchAndBound<'a> {
     }
 
     fn solve(mut self, seed_incumbent: bool) -> MappingSolution {
-        // Unschedulable instance (some layer feasible nowhere) or a chain
-        // that cannot meet the constraint even alone: no enumeration can
-        // succeed.
-        if self
-            .energy_suffix_lb
-            .first()
-            .is_some_and(|lb| !lb.is_finite())
-            || self
-                .chain_suffix_lb
-                .iter()
-                .any(|suffix| suffix[0] > self.problem.latency_constraint)
-        {
+        if self.bounds.provably_infeasible(self.problem) {
             return infeasible_solution(self.problem);
         }
 
@@ -209,11 +228,11 @@ impl<'a> BranchAndBound<'a> {
         if let Some(incumbent) = &self.best {
             // Only feasible solutions are stored, so the incumbent's energy
             // is always the bound to beat.
-            if partial_energy + self.energy_suffix_lb[depth] >= incumbent.energy_nj {
+            if partial_energy + self.bounds.energy_suffix_lb[depth] >= incumbent.energy_nj {
                 return;
             }
         }
-        if depth == self.positions.len() {
+        if depth == self.bounds.positions.len() {
             let makespan = self.sim.makespan(&self.assignment);
             if makespan <= self.problem.latency_constraint {
                 // `partial_energy` accumulated in the same network-major
@@ -229,13 +248,13 @@ impl<'a> BranchAndBound<'a> {
             }
             return;
         }
-        let (n, l) = self.positions[depth];
-        for i in 0..self.sub_order[depth].len() {
-            let sub = self.sub_order[depth][i];
+        let (n, l) = self.bounds.positions[depth];
+        for i in 0..self.bounds.sub_order[depth].len() {
+            let sub = self.bounds.sub_order[depth][i];
             let cost = &self.problem.costs.networks[n].layers[l].per_sub[sub];
             let saved_chain = self.chain_acc[n];
             let new_chain = saved_chain + cost.latency_cycles;
-            if new_chain + self.chain_suffix_lb[n][l + 1] > self.problem.latency_constraint {
+            if new_chain + self.bounds.chain_suffix_lb[n][l + 1] > self.problem.latency_constraint {
                 continue;
             }
             self.assignment.set(n, l, sub);

@@ -25,6 +25,13 @@
 //!   [`solve_heuristic_reference`] for differential tests and benchmarks);
 //! * [`exact`] — a branch-and-bound solver with admissible energy/latency
 //!   lower bounds, used to validate the heuristic's optimality gap;
+//! * [`beam`] — a width-budgeted beam search sharing the branch and
+//!   bound's admissible bounds: the middle tier for instances past
+//!   [`exact::EXACT_LAYER_LIMIT`] (unbounded width reproduces the exact
+//!   optimum; any width is never worse than the heuristic);
+//! * [`tier`] — automatic solver selection by instance size
+//!   ([`solve_tiered`] never returns `None`) plus the user-facing
+//!   [`SchedulerPolicy`] knob and the reportable [`TierDecision`];
 //! * [`verify`] — the feasibility theorem (`HAP <= ES`).
 //!
 //! # Example
@@ -49,14 +56,21 @@
 
 #![deny(missing_docs)]
 
+pub mod beam;
 pub mod exact;
 pub mod heuristic;
 pub mod problem;
 pub mod schedule;
+pub mod tier;
 pub mod verify;
 
-pub use exact::{solve_exact, solve_exact_unseeded};
+pub use beam::{solve_beam, solve_beam_unbounded, DEFAULT_BEAM_WIDTH};
+pub use exact::{solve_exact, solve_exact_unseeded, EXACT_LAYER_LIMIT};
 pub use heuristic::{solve_heuristic, solve_heuristic_reference};
 pub use problem::{Assignment, HapProblem, MappingSolution};
 pub use schedule::{Schedule, ScheduledSlot, Simulator};
+pub use tier::{
+    select_tier, solve_tiered, solve_with_policy, SchedulerPolicy, SchedulerTier, TierDecision,
+    BEAM_LAYER_LIMIT,
+};
 pub use verify::meets_design_specs;

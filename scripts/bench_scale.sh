@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Regenerate the scale-ladder snapshot: seeded generated instances from 10
+# to 1000 layers solved through the tiered scheduler (exact / beam /
+# heuristic), with per-rung consistency gates.
+#
+#   scripts/bench_scale.sh                     # full ladder, appends to BENCH_scale.json
+#   scripts/bench_scale.sh --quick --check     # CI mode: 10- and 39-layer rungs,
+#                                              # gates only, nothing written
+#
+# All arguments are forwarded to the `scale_baseline` binary
+# (see `crates/bench/src/bin/scale_baseline.rs` for the full flag list).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+cargo run --release -p nasaic-bench --bin scale_baseline -- "$@"

@@ -21,6 +21,7 @@
 
 use nasaic_core::algorithm::{MulticastObserver, ProgressObserver, TraceObserver};
 use nasaic_core::experiments::compare;
+use nasaic_core::scenario::generate::GeneratorSpec;
 use nasaic_core::scenario::report::RunReport;
 use nasaic_core::scenario::value::{self, ConfigValue};
 use nasaic_core::scenario::{registry, Algorithm, ConfigError, Scenario};
@@ -72,15 +73,21 @@ COMMANDS:
     compare         Run several algorithms on one scenario over a shared engine
     list-scenarios  List the built-in scenario registry
     show            Print a scenario's config (authoring starting point)
+    gen             Generate a seeded scenario (always feasible or diagnosed)
     help            Show this message
 
 OPTIONS:
     --scenario <name|path>   Registry name or path to a .toml/.json config
     --budget-episodes <N>    Override the scenario's episode budget
-    --seed <N>               Override the scenario's RNG seed
+    --seed <N>               Override the scenario's RNG seed (run/show/gen)
     --algorithm <name>       Override the scenario's algorithm (run/show)
     --algorithms <a,b,..>    Comma-separated algorithm list (compare; default all)
-    --format <fmt>           text|json|csv (run/compare), text|json (list), toml|json (show)
+    --networks <N>           Task count of the generated workload (gen)
+    --layers <LO..HI|N>      Total nominal layer range (gen; `N` means N-5..N)
+    --subs <N>               Sub-accelerator count of the generated pool (gen)
+    --tightness <X>          Spec tightness of the generated scenario (gen; default 1.0)
+    --format <fmt>           text|json|csv (run/compare), text|json (list),
+                             toml|json (show), toml|json|text (gen)
     --output <file>          Write the result there instead of stdout
     --trace <file>           Stream search events as JSON lines (run; implies --progress)
     --progress               Print search progress lines to stderr (run)
@@ -126,6 +133,10 @@ struct Options {
     seed: Option<u64>,
     algorithm: Option<String>,
     algorithms: Option<String>,
+    networks: Option<usize>,
+    layers: Option<String>,
+    subs: Option<usize>,
+    tightness: Option<f64>,
     format: Option<String>,
     output: Option<String>,
     trace: Option<String>,
@@ -172,6 +183,25 @@ impl Options {
                 }
                 "--algorithm" => options.algorithm = Some(take()?),
                 "--algorithms" => options.algorithms = Some(take()?),
+                "--networks" => {
+                    let text = take()?;
+                    options.networks = Some(text.parse().map_err(|_| {
+                        CliError::new(format!("--networks needs a positive integer, got `{text}`"))
+                    })?)
+                }
+                "--layers" => options.layers = Some(take()?),
+                "--subs" => {
+                    let text = take()?;
+                    options.subs = Some(text.parse().map_err(|_| {
+                        CliError::new(format!("--subs needs a positive integer, got `{text}`"))
+                    })?)
+                }
+                "--tightness" => {
+                    let text = take()?;
+                    options.tightness = Some(text.parse().map_err(|_| {
+                        CliError::new(format!("--tightness needs a number, got `{text}`"))
+                    })?)
+                }
                 "--format" => options.format = Some(take()?),
                 "--output" => options.output = Some(take()?),
                 "--trace" => options.trace = Some(take()?),
@@ -243,6 +273,7 @@ pub fn run_command(args: &[String]) -> Result<String, CliError> {
         "compare" => cmd_compare(&options)?,
         "list-scenarios" => cmd_list(&options)?,
         "show" => cmd_show(&options)?,
+        "gen" => cmd_gen(&options)?,
         "help" | "--help" | "-h" => usage(),
         other => {
             return Err(CliError::new(format!(
@@ -413,6 +444,104 @@ fn cmd_show(options: &Options) -> Result<String, CliError> {
     })
 }
 
+/// Parse the `--layers` value: `LO..HI` (inclusive) or a single `N`
+/// shorthand for `N-5..N` (the slack [`GeneratorSpec::sized`] uses, so
+/// every rung is reachable by some backbone combination without ever
+/// exceeding the requested count).
+fn parse_layer_range(text: &str) -> Result<(usize, usize), CliError> {
+    let bad = || {
+        CliError::new(format!(
+            "--layers needs `LO..HI` or a single count, got `{text}`"
+        ))
+    };
+    match text.split_once("..") {
+        Some((lo, hi)) => {
+            let lo: usize = lo.trim().parse().map_err(|_| bad())?;
+            let hi: usize = hi.trim().parse().map_err(|_| bad())?;
+            Ok((lo, hi))
+        }
+        None => {
+            let n: usize = text.trim().parse().map_err(|_| bad())?;
+            Ok((n.saturating_sub(5).max(1), n.max(1)))
+        }
+    }
+}
+
+fn cmd_gen(options: &Options) -> Result<String, CliError> {
+    options.ensure_only(
+        "gen",
+        &[
+            "--seed",
+            "--networks",
+            "--layers",
+            "--subs",
+            "--tightness",
+            "--format",
+            "--output",
+        ],
+    )?;
+    let format = Format::parse(
+        options.format.as_deref().unwrap_or("toml"),
+        &[Format::Toml, Format::Json, Format::Text],
+        "gen",
+    )?;
+    let range = options
+        .layers
+        .as_deref()
+        .map(parse_layer_range)
+        .transpose()?;
+    let mut spec = GeneratorSpec::sized(
+        range
+            .map(|(_, hi)| hi)
+            .unwrap_or(GeneratorSpec::default().layer_range.1),
+        options.subs.unwrap_or(2),
+        options.seed.unwrap_or(GeneratorSpec::default().seed),
+    );
+    if let Some(range) = range {
+        spec.layer_range = range;
+        spec.fit_network_count();
+    }
+    if let Some(networks) = options.networks {
+        spec.network_count = networks;
+    }
+    if let Some(tightness) = options.tightness {
+        spec.constraint_tightness = tightness;
+    }
+    let generated = spec.generate().map_err(|e| CliError::new(e.to_string()))?;
+    Ok(match format {
+        Format::Toml => generated.scenario.to_toml_string(),
+        Format::Json => generated.scenario.to_json_string(),
+        Format::Text => {
+            let backbones: Vec<&str> = generated
+                .scenario
+                .tasks
+                .iter()
+                .map(|t| t.backbone.name())
+                .collect();
+            format!(
+                "generated scenario {}\n\
+                 tasks: {} [{}]\n\
+                 nominal layers: {} (requested {}..{})\n\
+                 probe tier: {}\n\
+                 feasibility: {}\n\
+                 specs: latency {} cycles, energy {} nJ, area {} um^2",
+                generated.scenario.name,
+                generated.scenario.tasks.len(),
+                backbones.join(", "),
+                generated.total_layers,
+                spec.layer_range.0,
+                spec.layer_range.1,
+                generated.probe_tier,
+                generated.feasibility,
+                generated.scenario.specs.latency_cycles,
+                generated.scenario.specs.energy_nj,
+                generated.scenario.specs.area_um2,
+            )
+        }
+        Format::Csv => unreachable!("rejected by Format::parse"),
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -513,6 +642,61 @@ mod tests {
             parsed.get("algorithm").unwrap().as_str(),
             Some("monte-carlo")
         );
+    }
+
+    #[test]
+    fn gen_emits_a_loadable_deterministic_scenario() {
+        let toml = run(&["gen", "--seed", "7", "--layers", "39", "--subs", "2"]).unwrap();
+        let scenario = Scenario::from_toml_str(&toml).unwrap();
+        assert_eq!(scenario.seed, 7);
+        assert_eq!(scenario.hardware.sub_accelerators, 2);
+        assert_eq!(scenario.search.scheduler.name(), "auto");
+        // Same flags, same output, bit for bit.
+        let again = run(&["gen", "--seed", "7", "--layers", "39", "--subs", "2"]).unwrap();
+        assert_eq!(toml, again);
+        // JSON agrees with TOML.
+        let json = run(&[
+            "gen", "--seed", "7", "--layers", "39", "--subs", "2", "--format", "json",
+        ])
+        .unwrap();
+        assert_eq!(Scenario::from_json_str(&json).unwrap(), scenario);
+    }
+
+    #[test]
+    fn gen_text_summary_reports_tier_and_feasibility() {
+        let text = run(&[
+            "gen", "--seed", "3", "--layers", "20..25", "--format", "text",
+        ])
+        .unwrap();
+        assert!(text.contains("probe tier: exact"), "{text}");
+        assert!(text.contains("feasibility: feasible"), "{text}");
+        // Over-tight specs are diagnosed, not a panic or an error.
+        let text = run(&[
+            "gen",
+            "--seed",
+            "3",
+            "--layers",
+            "20..25",
+            "--tightness",
+            "4.0",
+            "--format",
+            "text",
+        ])
+        .unwrap();
+        assert!(text.contains("feasibility: infeasible"), "{text}");
+    }
+
+    #[test]
+    fn gen_rejects_bad_and_inapplicable_flags() {
+        let err = run(&["gen", "--layers", "ten"]).unwrap_err();
+        assert!(err.to_string().contains("--layers"), "{err}");
+        let err = run(&["gen", "--scenario", "w1"]).unwrap_err();
+        assert!(err.to_string().contains("does not apply"), "{err}");
+        let err = run(&["run", "--scenario", "w1", "--layers", "10"]).unwrap_err();
+        assert!(err.to_string().contains("does not apply"), "{err}");
+        // An impossible generator spec surfaces the structured reason.
+        let err = run(&["gen", "--layers", "10..12", "--networks", "50"]).unwrap_err();
+        assert!(err.to_string().contains("achievable"), "{err}");
     }
 
     #[test]

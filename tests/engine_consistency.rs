@@ -132,6 +132,53 @@ fn search_outcome_is_unchanged_by_engine_thread_count() {
 }
 
 #[test]
+fn generated_scenarios_are_bit_identical_across_engine_thread_counts() {
+    use nasaic::core::scenario::generate::GeneratorSpec;
+
+    // Same GeneratorSpec seed => bit-identical scenario bytes.
+    let spec = GeneratorSpec::sized(24, 2, 11);
+    let first = spec.generate().unwrap();
+    let second = spec.generate().unwrap();
+    assert_eq!(first.scenario, second.scenario);
+    assert_eq!(
+        first.scenario.to_toml_string(),
+        second.scenario.to_toml_string()
+    );
+
+    // ...and a bit-identical seeded search outcome no matter how the
+    // engine schedules its evaluation batches (generated scenarios run
+    // the auto scheduler policy, so this also covers the tiered solver).
+    let mut scenario = first.scenario;
+    scenario.search.episodes = 2;
+    scenario.search.hardware_trials = 2;
+    scenario.search.bound_samples = 4;
+    let run = |threads: usize| {
+        let evaluator = Evaluator::new(
+            &scenario.workload(),
+            scenario.specs,
+            AccuracyOracle::default(),
+        )
+        .with_scheduler(scenario.search.scheduler);
+        let engine = EvalEngine::with_config(
+            evaluator,
+            EngineConfig {
+                threads,
+                ..EngineConfig::default()
+            },
+        );
+        scenario.run_algorithm_with_engine(scenario.search.algorithm, &engine)
+    };
+    let serial = run(1);
+    let parallel = run(8);
+    assert_eq!(serial.reward_history, parallel.reward_history);
+    assert_eq!(
+        serial.best_weighted_accuracy(),
+        parallel.best_weighted_accuracy()
+    );
+    assert_eq!(serial.explored.len(), parallel.explored.len());
+}
+
+#[test]
 #[allow(deprecated)] // the cold-engine wrappers stay pinned to the engine path
 fn baseline_engine_entry_points_match_their_evaluator_wrappers() {
     use nasaic::core::baselines::MonteCarloSearch;

@@ -1,0 +1,198 @@
+//! Property-test net over the seeded scenario generator: every generated
+//! scenario must round-trip TOML+JSON bit-identically through the strict
+//! schema and be feasible-or-diagnosed (structured errors, never a panic);
+//! the hand-written shrinker must produce 1-minimal failing
+//! [`GeneratorSpec`]s; and the beam middle tier is pinned against the
+//! exact optimum on *generated* instances, not just the hand-built W1–W3
+//! workloads.
+
+use nasaic::core::scenario::generate::{shrink_to_minimal, Feasibility, GeneratorSpec};
+use nasaic::core::scenario::{HardwareSpec, Scenario};
+use nasaic::nn::backbone::Backbone;
+use nasaic::sched::{
+    solve_beam, solve_beam_unbounded, solve_exact_unseeded, solve_heuristic, EXACT_LAYER_LIMIT,
+};
+use proptest::prelude::*;
+use proptest::test_runner::TestRng;
+use rand::{Rng, RngCore};
+
+/// Strategy over the whole [`GeneratorSpec`] parameter space — including
+/// unreachable layer ranges and over-tight constraints.  Generation must
+/// handle every drawn spec with a structured error or a diagnosed
+/// scenario, never a panic.
+struct ArbSpec;
+
+impl Strategy for ArbSpec {
+    type Value = GeneratorSpec;
+
+    fn generate(&self, rng: &mut TestRng) -> GeneratorSpec {
+        const TIGHTNESS: [f64; 5] = [0.5, 0.9, 1.0, 1.4, 3.0];
+        let backbones = Backbone::all();
+        let mix_len = rng.gen_range(1..4usize);
+        let backbone_mix = (0..mix_len)
+            .map(|_| backbones[rng.gen_range(0..backbones.len())])
+            .collect();
+        let lo = rng.gen_range(1..45usize);
+        let width = rng.gen_range(0..12usize);
+        GeneratorSpec {
+            seed: rng.next_u64(),
+            layer_range: (lo, lo + width),
+            network_count: rng.gen_range(1..4usize),
+            backbone_mix,
+            accel_pool: HardwareSpec::paper(rng.gen_range(1..5usize)),
+            constraint_tightness: TIGHTNESS[rng.gen_range(0..TIGHTNESS.len())],
+        }
+    }
+}
+
+fn arb_spec() -> ArbSpec {
+    ArbSpec
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The generator's full contract on arbitrary specs: a structured
+    /// [`GenerateError`] for impossible recipes, otherwise a scenario that
+    /// survives the strict schema bit-identically in both formats, lands
+    /// inside the requested layer range, and is feasible-or-diagnosed.
+    /// Re-generating from the same spec reproduces the same bytes.
+    #[test]
+    fn generated_scenarios_round_trip_and_are_feasible_or_diagnosed(spec in arb_spec()) {
+        match spec.generate() {
+            Err(e) => prop_assert!(!e.to_string().is_empty()),
+            Ok(generated) => {
+                let toml = generated.scenario.to_toml_string();
+                let from_toml = Scenario::from_toml_str(&toml).unwrap();
+                prop_assert_eq!(&from_toml, &generated.scenario);
+                prop_assert_eq!(from_toml.to_toml_string(), toml.clone());
+                let json = generated.scenario.to_json_string();
+                let from_json = Scenario::from_json_str(&json).unwrap();
+                prop_assert_eq!(&from_json, &generated.scenario);
+                prop_assert_eq!(from_json.to_json_string(), json);
+
+                let (lo, hi) = spec.layer_range;
+                prop_assert!((lo..=hi).contains(&generated.total_layers));
+                match &generated.feasibility {
+                    Feasibility::Feasible { energy_nj, makespan_cycles } => {
+                        prop_assert!(*makespan_cycles <= generated.scenario.specs.latency_cycles);
+                        prop_assert!(*energy_nj <= generated.scenario.specs.energy_nj);
+                    }
+                    Feasibility::Diagnosed(reason) => {
+                        prop_assert!(!reason.to_string().is_empty());
+                    }
+                }
+
+                let again = spec.generate().unwrap();
+                prop_assert_eq!(again.scenario.to_toml_string(), toml);
+                prop_assert_eq!(again.total_layers, generated.total_layers);
+            }
+        }
+    }
+
+    /// [`GeneratorSpec::sized`] always produces a generatable spec whose
+    /// nominal workload never exceeds the requested rung size — the
+    /// invariant the scale ladder's tier expectations rest on.
+    #[test]
+    fn sized_specs_generate_at_or_under_the_requested_rung(
+        total in 9usize..70,
+        subs in 1usize..5,
+        seed in any::<u64>(),
+    ) {
+        let generated = GeneratorSpec::sized(total, subs, seed)
+            .generate()
+            .unwrap_or_else(|e| panic!("sized({total}, {subs}) must generate: {e}"));
+        prop_assert!(generated.total_layers <= total);
+        prop_assert!(generated.total_layers >= total.saturating_sub(5).max(1));
+        // Tightness 1.0 leaves headroom on every spec axis.
+        prop_assert!(generated.feasibility.is_feasible(), "{}", generated.feasibility);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Every shrink candidate is strictly simpler, so shrinking always
+    /// terminates.
+    #[test]
+    fn shrink_candidates_strictly_reduce_complexity(spec in arb_spec()) {
+        for candidate in spec.shrink_candidates() {
+            prop_assert!(candidate.complexity() < spec.complexity());
+        }
+    }
+
+    /// [`shrink_to_minimal`] lands on a 1-minimal failing spec: it still
+    /// fails, and no candidate one shrink step below it does.  Non-failing
+    /// starts are returned unchanged.
+    #[test]
+    fn shrinking_reaches_a_one_minimal_failing_spec(
+        spec in arb_spec(),
+        min_networks in 1usize..4,
+        min_subs in 1usize..4,
+    ) {
+        let fails = |s: &GeneratorSpec| {
+            s.network_count >= min_networks && s.accel_pool.sub_accelerators >= min_subs
+        };
+        let minimal = shrink_to_minimal(&spec, fails);
+        if fails(&spec) {
+            prop_assert!(fails(&minimal));
+            prop_assert!(minimal.complexity() <= spec.complexity());
+            for candidate in minimal.shrink_candidates() {
+                prop_assert!(
+                    !fails(&candidate),
+                    "not 1-minimal: a strictly simpler spec still fails"
+                );
+            }
+        } else {
+            prop_assert_eq!(minimal, spec);
+        }
+    }
+}
+
+/// Satellite pin: on seeded *generated* instances within the exact layer
+/// limit, the unbounded beam reproduces the exact optimum energy bit for
+/// bit, and the width-1 beam never loses to the heuristic — it is
+/// feasible whenever the heuristic is, never claims a makespan the
+/// constraint does not certify, and never returns more energy.
+#[test]
+fn beam_tier_is_pinned_against_exact_on_generated_instances() {
+    for seed in 0..12u64 {
+        let generated = GeneratorSpec::sized(24, 2, seed)
+            .generate()
+            .expect("sized specs generate");
+        let problem = generated.hap_problem();
+        assert!(
+            problem.costs.total_layers() <= EXACT_LAYER_LIMIT,
+            "seed {seed}: instance must stay within the exact tier"
+        );
+
+        let exact = solve_exact_unseeded(&problem).expect("within EXACT_LAYER_LIMIT");
+        let beam = solve_beam_unbounded(&problem);
+        assert_eq!(beam.feasible, exact.feasible, "seed {seed}");
+        assert_eq!(
+            beam.energy_nj.to_bits(),
+            exact.energy_nj.to_bits(),
+            "seed {seed}: unbounded beam {} != exact optimum {}",
+            beam.energy_nj,
+            exact.energy_nj
+        );
+
+        let heuristic = solve_heuristic(&problem);
+        let narrow = solve_beam(&problem, 1);
+        if heuristic.feasible {
+            assert!(narrow.feasible, "seed {seed}: width-1 lost feasibility");
+            assert!(
+                narrow.energy_nj <= heuristic.energy_nj + 1e-9 * heuristic.energy_nj,
+                "seed {seed}: width-1 beam {} worse than heuristic {}",
+                narrow.energy_nj,
+                heuristic.energy_nj
+            );
+        }
+        if narrow.feasible {
+            assert!(
+                narrow.latency_cycles <= problem.latency_constraint,
+                "seed {seed}: width-1 claims feasibility past the constraint"
+            );
+        }
+    }
+}

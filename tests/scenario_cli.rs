@@ -125,6 +125,79 @@ fn run_with_trace_streams_parseable_deterministic_json_lines() {
 }
 
 #[test]
+fn run_reports_the_scheduler_tier_in_every_format() {
+    // Default policy: the paper's ratio heuristic, reported as such.
+    let json = cli(&[
+        "run",
+        "--scenario",
+        "w1",
+        "--budget-episodes",
+        "2",
+        "--format",
+        "json",
+    ]);
+    let report = value::parse_json(&json).unwrap();
+    assert_eq!(
+        report.get("sched_policy").unwrap().as_str(),
+        Some("heuristic")
+    );
+    assert_eq!(
+        report.get("sched_tier").unwrap().as_str(),
+        Some("heuristic")
+    );
+
+    // A generated scenario whose instances cross EXACT_LAYER_LIMIT runs
+    // policy auto and must report the beam tier with a reason naming the
+    // crossed limit — the silent `None` tier edge this PR closes.
+    let dir = std::env::temp_dir().join("nasaic-cli-e2e");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("gen-beam.toml");
+    let toml = cli(&["gen", "--seed", "5", "--layers", "40", "--subs", "2"]);
+    std::fs::write(&path, &toml).unwrap();
+    let path = path.to_str().unwrap();
+
+    let json = cli(&[
+        "run",
+        "--scenario",
+        path,
+        "--budget-episodes",
+        "2",
+        "--format",
+        "json",
+    ]);
+    let report = value::parse_json(&json).unwrap();
+    assert_eq!(report.get("sched_policy").unwrap().as_str(), Some("auto"));
+    assert_eq!(report.get("sched_tier").unwrap().as_str(), Some("beam"));
+    let reason = report.get("sched_tier_reason").unwrap().as_str().unwrap();
+    assert!(reason.contains("EXACT_LAYER_LIMIT"), "{reason}");
+
+    // The same three columns close every CSV row...
+    let csv = cli(&[
+        "run",
+        "--scenario",
+        path,
+        "--budget-episodes",
+        "2",
+        "--format",
+        "csv",
+    ]);
+    let mut lines = csv.lines();
+    let header = lines.next().unwrap();
+    assert!(
+        header.ends_with("sched_policy,sched_tier,sched_tier_reason"),
+        "{header}"
+    );
+    assert!(lines.next().unwrap().contains(",auto,beam,"), "{csv}");
+
+    // ...and the text summary names tier and policy on one line.
+    let text = cli(&["run", "--scenario", path, "--budget-episodes", "2"]);
+    assert!(
+        text.contains("scheduler: beam tier under policy auto"),
+        "{text}"
+    );
+}
+
+#[test]
 fn trace_does_not_apply_to_other_subcommands() {
     let err = run_command(&[
         "compare".to_string(),
