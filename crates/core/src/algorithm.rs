@@ -10,7 +10,10 @@
 //! construction details by hand.  Now:
 //!
 //! * [`SearchAlgorithm`] is the object-safe trait every driver implements:
-//!   `run(&self, ctx) -> SearchOutcome`.
+//!   `run_checkpointed(&self, ctx, resume, sink) -> SearchOutcome`, with
+//!   `run(&self, ctx)` as the plain no-resume case, plus shard-plan /
+//!   run-shard / merge-shards hooks for deterministic multi-process
+//!   execution (see [`crate::checkpoint`]).
 //! * [`SearchContext`] bundles what the old signatures passed piecemeal —
 //!   workload, design specs, hardware space, shared [`EvalEngine`], seed,
 //!   a [`Budget`], and an optional [`SearchObserver`].
@@ -65,6 +68,9 @@
 //! ));
 //! ```
 
+use crate::checkpoint::{
+    merge_replay, CheckpointSink, NullCheckpointSink, SearchCheckpoint, ShardPartial, ShardPlan,
+};
 use crate::engine::{CacheStats, EvalEngine};
 use crate::log::{PhaseSummary, SearchOutcome};
 use crate::scenario::value::ConfigValue;
@@ -202,14 +208,122 @@ impl std::fmt::Debug for SearchContext<'_> {
 /// [`EvalEngine`] so shared-cache runs stay bit-identical to isolated
 /// ones.  See `docs/architecture.md` for a worked "add your own
 /// algorithm" example.
+///
+/// # Checkpoint / resume
+///
+/// The one required entry point is
+/// [`run_checkpointed`](Self::run_checkpointed): a run that can start
+/// from a [`SearchCheckpoint`] and offers new checkpoints to a
+/// [`CheckpointSink`] as it progresses.  [`run`](Self::run) is the plain
+/// case (no resume, no sink).  The contract, gated by the resume-identity
+/// tests in `tests/algorithm_dispatch.rs` and the resume proptest, is
+/// *bit-identity*: resuming any checkpoint and running to the full budget
+/// must produce exactly the outcome of the uninterrupted run.
+///
+/// # Sharding
+///
+/// [`shard_plan`](Self::shard_plan) partitions a run across `N`
+/// deterministic workers, [`run_shard`](Self::run_shard) executes one
+/// worker's share, and [`merge_shards`](Self::merge_shards) folds the
+/// partials back into the single-process outcome — again bit-identically.
+/// The defaults implement the *sequential fallback* (shard 0 runs
+/// everything) used by the inherently serial drivers, where every unit of
+/// work depends on the previous one's feedback: NASAIC and hardware-aware
+/// NAS (the controller updates after every episode), hill climbing (each
+/// step moves from the accepted neighbour) and the evolutionary search
+/// (each generation breeds from the previous population).  Drivers whose
+/// trials are independent (Monte-Carlo sampling, the successive
+/// baselines' sweep phase) override all three with strided plans.
 pub trait SearchAlgorithm {
     /// The algorithm's stable machine-readable name (matches
     /// [`Algorithm::name`] for the built-ins).
     fn name(&self) -> &str;
 
+    /// Run the search, optionally resuming from a checkpoint, offering
+    /// new checkpoints to `sink` at the driver's snapshot points.
+    ///
+    /// `resume` must come from the same algorithm, seed, workload and
+    /// budget (drivers assert the first two).  With `resume == None` and
+    /// a [`NullCheckpointSink`] this is exactly the plain run.
+    fn run_checkpointed(
+        &self,
+        ctx: &SearchContext<'_>,
+        resume: Option<&SearchCheckpoint>,
+        sink: &dyn CheckpointSink,
+    ) -> SearchOutcome;
+
     /// Run the search over the context's workload/specs/hardware through
     /// its engine, reporting progress to the context's observer.
-    fn run(&self, ctx: &SearchContext<'_>) -> SearchOutcome;
+    fn run(&self, ctx: &SearchContext<'_>) -> SearchOutcome {
+        self.run_checkpointed(ctx, None, &NullCheckpointSink)
+    }
+
+    /// Resume a checkpointed run to completion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the checkpoint belongs to a different algorithm; the
+    /// drivers additionally assert their own seed inside
+    /// [`run_checkpointed`](Self::run_checkpointed).
+    fn resume(
+        &self,
+        ctx: &SearchContext<'_>,
+        checkpoint: &SearchCheckpoint,
+        sink: &dyn CheckpointSink,
+    ) -> SearchOutcome {
+        assert_eq!(
+            checkpoint.algorithm,
+            self.name(),
+            "checkpoint belongs to algorithm `{}`, not `{}`",
+            checkpoint.algorithm,
+            self.name()
+        );
+        self.run_checkpointed(ctx, Some(checkpoint), sink)
+    }
+
+    /// How this driver splits one run across `shards` workers.  The
+    /// default is the sequential fallback: shard 0 runs the whole search.
+    fn shard_plan(&self, _ctx: &SearchContext<'_>, shards: usize) -> ShardPlan {
+        ShardPlan::sequential(self.name(), shards)
+    }
+
+    /// Execute one shard of `plan`.  The default implements the
+    /// sequential fallback; drivers that return strided plans from
+    /// [`shard_plan`](Self::shard_plan) must override this accordingly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard_index` is out of range for the plan.
+    fn run_shard(
+        &self,
+        ctx: &SearchContext<'_>,
+        plan: &ShardPlan,
+        shard_index: usize,
+    ) -> ShardPartial {
+        assert!(
+            shard_index < plan.shards,
+            "shard index {shard_index} out of range for {} shards",
+            plan.shards
+        );
+        if shard_index == 0 {
+            ShardPartial::completed(self.name(), plan.shards, self.run(ctx))
+        } else {
+            ShardPartial::empty(self.name(), plan.shards, shard_index)
+        }
+    }
+
+    /// Merge every shard's partial back into the single-process outcome.
+    /// The default replays keyed solutions in global order (strided
+    /// plans) or short-circuits to shard 0's complete outcome
+    /// (sequential plans); see [`merge_replay`].
+    fn merge_shards(
+        &self,
+        _ctx: &SearchContext<'_>,
+        plan: &ShardPlan,
+        partials: Vec<ShardPartial>,
+    ) -> SearchOutcome {
+        merge_replay(plan, partials)
+    }
 }
 
 impl Algorithm {
@@ -340,6 +454,14 @@ pub enum SearchEvent {
         /// The candidate in the paper's notation.
         candidate: String,
     },
+    /// A checkpoint of the search state was handed to the run's
+    /// [`CheckpointSink`] (only emitted when a sink wants checkpoints;
+    /// plain runs never see this event).
+    CheckpointSaved {
+        /// Progress units completed when the snapshot was taken (the
+        /// driver's own unit: samples, episodes, steps, generations).
+        progress: usize,
+    },
     /// The search finished (always the final event of a run).
     SearchFinished {
         /// Episodes executed.
@@ -365,6 +487,7 @@ impl SearchEvent {
             SearchEvent::PhaseFinished { .. } => "phase_finished",
             SearchEvent::EpisodeEvaluated { .. } => "episode_evaluated",
             SearchEvent::NewIncumbent { .. } => "new_incumbent",
+            SearchEvent::CheckpointSaved { .. } => "checkpoint_saved",
             SearchEvent::SearchFinished { .. } => "search_finished",
         }
     }
@@ -420,6 +543,9 @@ impl SearchEvent {
                 root.insert("energy_nj", ConfigValue::Float(*energy_nj));
                 root.insert("area_um2", ConfigValue::Float(*area_um2));
                 root.insert("candidate", ConfigValue::Str(candidate.clone()));
+            }
+            SearchEvent::CheckpointSaved { progress } => {
+                root.insert("progress", ConfigValue::Integer(*progress as i64));
             }
             SearchEvent::SearchFinished {
                 episodes,
@@ -565,9 +691,11 @@ impl SearchObserver for RecordingObserver {
 /// An observer that writes each event as one line of JSON (JSON lines):
 /// the CLI's `nasaic run --trace <file>` sink.
 ///
-/// Write errors after construction are swallowed (the trace is telemetry,
-/// not the result); call [`finish`](Self::finish) to flush and surface
-/// the first I/O error, if any.
+/// Each line is flushed as it is written, so a run that dies mid-search
+/// (crash, OOM-kill, ^C) leaves a parseable prefix of complete lines
+/// rather than a truncated buffer.  Write errors after construction are
+/// swallowed (the trace is telemetry, not the result); call
+/// [`finish`](Self::finish) to surface the first I/O error, if any.
 #[derive(Debug)]
 pub struct TraceObserver<W: Write> {
     sink: Mutex<W>,
@@ -611,6 +739,10 @@ impl<W: Write> SearchObserver for TraceObserver<W> {
         let line = crate::scenario::value::to_json_compact(&event.to_value());
         let mut sink = self.sink.lock().expect("trace observer lock");
         let _ = writeln!(sink, "{line}");
+        // Flush per event: a run killed mid-search must leave a parseable
+        // JSON-lines prefix behind, not a truncated buffer (the same
+        // crash-safety contract checkpoints rely on).
+        let _ = sink.flush();
     }
 }
 
@@ -676,7 +808,7 @@ impl SearchObserver for ProgressObserver {
                     cache.hardware_entries,
                 );
             }
-            SearchEvent::EpisodeEvaluated { .. } => {}
+            SearchEvent::EpisodeEvaluated { .. } | SearchEvent::CheckpointSaved { .. } => {}
         }
     }
 }

@@ -12,17 +12,22 @@ use crate::algorithm::{
 };
 use crate::bounds::PenaltyBounds;
 use crate::candidate::Candidate;
+use crate::checkpoint::{self, CheckpointSink, NullCheckpointSink, SearchCheckpoint};
 use crate::engine::EvalEngine;
-use crate::evaluator::Evaluator;
 use crate::log::{ExploredSolution, PhaseSummary, SearchOutcome};
+use crate::scenario::value::ConfigValue;
 use crate::spec::DesignSpecs;
 use crate::workload::Workload;
-use nasaic_accel::{Accelerator, HardwareSpace};
+use nasaic_accel::{Accelerator, Dataflow, HardwareSpace, SubAccelerator};
 use nasaic_nn::layer::Architecture;
-use nasaic_rl::{Controller, ControllerConfig, Segment};
+use nasaic_rl::{Controller, ControllerConfig, ControllerState, Segment};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
+
+/// Pre-decoded phase-1 resume state: the Monte-Carlo RNG, the incumbent
+/// `(distance, accelerator)` if any, and the samples completed.
+type McResume = (StdRng, Option<(f64, Accelerator)>, usize);
 
 /// Configuration of the ASIC→HW-NAS baseline.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -58,39 +63,15 @@ impl AsicThenHwNas {
         }
     }
 
-    /// Phase 1: Monte-Carlo hardware search for the design closest to the
-    /// specs.  Distance is measured with mid-sized reference architectures
-    /// (hardware cannot be judged without *some* network), as the relative
-    /// deviation of each metric from its spec; designs exceeding a spec are
-    /// penalised three-fold so "closest" designs are preferentially inside
-    /// the spec region.
-    ///
-    /// Every call silently builds a throwaway [`EvalEngine`] whose caches
-    /// start cold and die with the call.
-    #[deprecated(
-        note = "builds a throwaway cold EvalEngine per call; share one engine via \
-                `run_monte_carlo_hardware_with_engine` or run the whole baseline through \
-                `SearchAlgorithm::run`"
-    )]
-    pub fn run_monte_carlo_hardware(
-        &self,
-        workload: &Workload,
-        specs: &DesignSpecs,
-        hardware: &HardwareSpace,
-        evaluator: &Evaluator,
-    ) -> Accelerator {
-        self.run_monte_carlo_hardware_with_engine(
-            workload,
-            specs,
-            hardware,
-            &EvalEngine::from(evaluator),
-        )
-    }
-
-    /// [`run_monte_carlo_hardware`](Self::run_monte_carlo_hardware) through
-    /// a shared engine: the sampled designs are evaluated as one parallel
-    /// batch against the fixed reference architectures, and the distance
-    /// scan stays sequential in sample order.
+    /// Phase 1 through a shared engine: Monte-Carlo hardware search for
+    /// the design closest to the specs.  Distance is measured with
+    /// mid-sized reference architectures (hardware cannot be judged
+    /// without *some* network), as the relative deviation of each metric
+    /// from its spec; designs exceeding a spec are penalised three-fold so
+    /// "closest" designs are preferentially inside the spec region.  The
+    /// sampled designs are evaluated as one parallel batch against the
+    /// fixed reference architectures, and the distance scan stays
+    /// sequential in sample order.
     pub fn run_monte_carlo_hardware_with_engine(
         &self,
         workload: &Workload,
@@ -98,7 +79,15 @@ impl AsicThenHwNas {
         hardware: &HardwareSpace,
         engine: &EvalEngine,
     ) -> Accelerator {
-        self.run_monte_carlo_hardware_observed(workload, specs, hardware, engine, &NullObserver)
+        self.run_monte_carlo_hardware_observed(
+            workload,
+            specs,
+            hardware,
+            engine,
+            &NullObserver,
+            None,
+            &NullCheckpointSink,
+        )
     }
 
     /// The hardware Monte-Carlo loop, shared by
@@ -106,6 +95,13 @@ impl AsicThenHwNas {
     /// and the trait path.  Each sampled design is one `EpisodeEvaluated`
     /// event (accuracy-free: `weighted_accuracy` is `None`), so the trace
     /// covers the phase's engine work.
+    ///
+    /// Checkpoints fire between samples at `progress` = samples completed
+    /// with state `{rng, best}`; the loop draws and evaluates in chunks
+    /// delimited by the sink's next snapshot point, so the one-batch
+    /// evaluation survives when no sink wants checkpoints.  `resume` is
+    /// the pre-decoded `(rng, incumbent, samples completed)` triple.
+    #[allow(clippy::too_many_arguments)]
     fn run_monte_carlo_hardware_observed(
         &self,
         workload: &Workload,
@@ -113,6 +109,8 @@ impl AsicThenHwNas {
         hardware: &HardwareSpace,
         engine: &EvalEngine,
         observer: &dyn SearchObserver,
+        resume: Option<McResume>,
+        sink: &dyn CheckpointSink,
     ) -> Accelerator {
         let reference: Vec<Architecture> = workload
             .tasks
@@ -126,72 +124,72 @@ impl AsicThenHwNas {
                     .expect("mid-point candidate is always valid")
             })
             .collect();
-        let mut rng = StdRng::seed_from_u64(self.seed ^ 0xcccc);
-        let accelerators: Vec<Accelerator> = (0..self.monte_carlo_runs.max(1))
-            .map(|run| {
-                if run % 2 == 0 {
-                    hardware.sample(&mut rng)
-                } else {
-                    hardware.sample_fully_allocated(&mut rng)
+        let runs = self.monte_carlo_runs.max(1);
+        let (mut rng, mut best, mut run) =
+            resume.unwrap_or_else(|| (StdRng::seed_from_u64(self.seed ^ 0xcccc), None, 0));
+        assert!(
+            run <= runs,
+            "monte-carlo checkpoint has {run} samples, budget is {runs}"
+        );
+        while run < runs {
+            let chunk_end = (run + 1..runs).find(|&r| sink.wants(r)).unwrap_or(runs);
+            let accelerators: Vec<Accelerator> = (run..chunk_end)
+                .map(|r| {
+                    if r % 2 == 0 {
+                        hardware.sample(&mut rng)
+                    } else {
+                        hardware.sample_fully_allocated(&mut rng)
+                    }
+                })
+                .collect();
+            let metrics = crate::engine::parallel_map(
+                &accelerators,
+                engine.config().threads,
+                |accelerator| engine.hardware_metrics(&reference, accelerator),
+            );
+            for (r, (accelerator, metrics)) in
+                (run..chunk_end).zip(accelerators.into_iter().zip(metrics))
+            {
+                let feasible = metrics.is_feasible();
+                observer.on_event(&SearchEvent::EpisodeEvaluated {
+                    episode: r,
+                    evaluations: 1,
+                    weighted_accuracy: None,
+                    any_compliant: feasible && specs.check(&metrics).all(),
+                    reward: 0.0,
+                    entropy: None,
+                    baseline: None,
+                });
+                if !feasible {
+                    continue;
                 }
-            })
-            .collect();
-        let metrics =
-            crate::engine::parallel_map(&accelerators, engine.config().threads, |accelerator| {
-                engine.hardware_metrics(&reference, accelerator)
-            });
-        let mut best: Option<(f64, Accelerator)> = None;
-        for (run, (accelerator, metrics)) in accelerators.into_iter().zip(metrics).enumerate() {
-            let feasible = metrics.is_feasible();
-            observer.on_event(&SearchEvent::EpisodeEvaluated {
-                episode: run,
-                evaluations: 1,
-                weighted_accuracy: None,
-                any_compliant: feasible && specs.check(&metrics).all(),
-                reward: 0.0,
-                entropy: None,
-                baseline: None,
-            });
-            if !feasible {
-                continue;
+                let distance = spec_distance(metrics.latency_cycles, specs.latency_cycles)
+                    + spec_distance(metrics.energy_nj, specs.energy_nj)
+                    + spec_distance(metrics.area_um2, specs.area_um2);
+                if best.as_ref().is_none_or(|(d, _)| distance < *d) {
+                    best = Some((distance, accelerator));
+                }
             }
-            let distance = spec_distance(metrics.latency_cycles, specs.latency_cycles)
-                + spec_distance(metrics.energy_nj, specs.energy_nj)
-                + spec_distance(metrics.area_um2, specs.area_um2);
-            if best.as_ref().is_none_or(|(d, _)| distance < *d) {
-                best = Some((distance, accelerator));
-            }
+            run = chunk_end;
+            checkpoint::offer_checkpoint(sink, observer, self.name(), self.seed, run, || {
+                let mut state = ConfigValue::table();
+                state.insert("phase", ConfigValue::Str("mc".to_string()));
+                state.insert("rng", checkpoint::rng_state_to_value(&rng.state()));
+                if let Some((distance, accelerator)) = &best {
+                    let mut incumbent = ConfigValue::table();
+                    incumbent.insert("distance", checkpoint::float_to_value(*distance));
+                    incumbent.insert("accelerator", encode_accelerator(accelerator));
+                    state.insert("best", incumbent);
+                }
+                state
+            });
         }
         best.map(|(_, acc)| acc)
             .unwrap_or_else(|| hardware.sample_fully_allocated(&mut rng))
     }
 
-    /// Phase 2: hardware-aware NAS on a fixed accelerator design.
-    ///
-    /// Every call silently builds a throwaway [`EvalEngine`] whose caches
-    /// start cold and die with the call.
-    #[deprecated(
-        note = "builds a throwaway cold EvalEngine per call; share one engine via \
-                `run_hardware_aware_nas_with_engine` or run the whole baseline through \
-                `SearchAlgorithm::run`"
-    )]
-    pub fn run_hardware_aware_nas(
-        &self,
-        workload: &Workload,
-        specs: DesignSpecs,
-        accelerator: &Accelerator,
-        evaluator: &Evaluator,
-    ) -> SearchOutcome {
-        self.run_hardware_aware_nas_with_engine(
-            workload,
-            specs,
-            accelerator,
-            &EvalEngine::from(evaluator),
-        )
-    }
-
-    /// [`run_hardware_aware_nas`](Self::run_hardware_aware_nas) through a
-    /// shared engine; revisited architectures hit both caches (the
+    /// Phase 2 through a shared engine: hardware-aware NAS on a fixed
+    /// accelerator design.  Revisited architectures hit both caches (the
     /// accelerator is fixed, so the hardware key only varies with the
     /// architectures).
     pub fn run_hardware_aware_nas_with_engine(
@@ -201,12 +199,29 @@ impl AsicThenHwNas {
         accelerator: &Accelerator,
         engine: &EvalEngine,
     ) -> SearchOutcome {
-        self.run_hardware_aware_nas_observed(workload, specs, accelerator, engine, &NullObserver)
+        self.run_hardware_aware_nas_observed(
+            workload,
+            specs,
+            accelerator,
+            engine,
+            &NullObserver,
+            None,
+            &NullCheckpointSink,
+            0,
+        )
     }
 
     /// The hardware-aware NAS loop, shared by
     /// [`run_hardware_aware_nas_with_engine`](Self::run_hardware_aware_nas_with_engine)
     /// and the trait path.
+    ///
+    /// Checkpoints fire per episode at `progress = progress_offset +
+    /// episodes completed` (the trait path passes the Monte-Carlo run
+    /// count as the offset so both phases share one progress axis) with
+    /// state `{rng, controller, outcome, accelerator}`.  `resume` is the
+    /// pre-decoded `(rng, controller state, outcome, episodes completed)`
+    /// tuple.
+    #[allow(clippy::too_many_arguments)]
     fn run_hardware_aware_nas_observed(
         &self,
         workload: &Workload,
@@ -214,6 +229,9 @@ impl AsicThenHwNas {
         accelerator: &Accelerator,
         engine: &EvalEngine,
         observer: &dyn SearchObserver,
+        resume: Option<(StdRng, ControllerState, SearchOutcome, usize)>,
+        sink: &dyn CheckpointSink,
+        progress_offset: usize,
     ) -> SearchOutcome {
         let segments: Vec<Segment> = workload
             .tasks
@@ -228,10 +246,24 @@ impl AsicThenHwNas {
             .collect();
         let mut controller =
             Controller::new(segments, ControllerConfig::default(), self.seed ^ 0xdddd);
-        let mut rng = StdRng::seed_from_u64(self.seed ^ 0xeeee);
+        let (mut rng, mut outcome, start_episode) = match resume {
+            Some((rng, state, outcome, episode)) => {
+                controller.restore_state(&state);
+                (rng, outcome, episode)
+            }
+            None => (
+                StdRng::seed_from_u64(self.seed ^ 0xeeee),
+                SearchOutcome::empty(),
+                0,
+            ),
+        };
+        assert!(
+            start_episode <= self.nas_episodes,
+            "hw-nas checkpoint has {start_episode} episodes, budget is {}",
+            self.nas_episodes
+        );
         let scorer = engine.scorer(PenaltyBounds::from_specs(&specs, 3.0), self.rho);
-        let mut outcome = SearchOutcome::empty();
-        for episode in 0..self.nas_episodes {
+        for episode in start_episode..self.nas_episodes {
             let sample = controller.sample(&mut rng);
             let architectures: Result<Vec<Architecture>, _> = workload
                 .tasks
@@ -250,6 +282,15 @@ impl AsicThenHwNas {
                     entropy: Some(sample.mean_entropy),
                     baseline: controller.baseline(),
                 });
+                self.offer_nas(
+                    sink,
+                    observer,
+                    progress_offset + episode + 1,
+                    &rng,
+                    &controller,
+                    &outcome,
+                    accelerator,
+                );
                 continue;
             };
             let candidate = Candidate::from_parts(architectures, accelerator.clone());
@@ -275,34 +316,54 @@ impl AsicThenHwNas {
                 entropy: Some(sample.mean_entropy),
                 baseline: controller.baseline(),
             });
+            self.offer_nas(
+                sink,
+                observer,
+                progress_offset + episode + 1,
+                &rng,
+                &controller,
+                &outcome,
+                accelerator,
+            );
         }
         outcome.episodes = self.nas_episodes;
         outcome.reward_history = controller.reward_history().to_vec();
         outcome
     }
 
-    /// Run both phases; returns the chosen accelerator and the NAS outcome.
-    ///
-    /// Every call silently builds a throwaway [`EvalEngine`] whose caches
-    /// start cold and die with the call.
-    #[deprecated(
-        note = "builds a throwaway cold EvalEngine per call; share one engine via \
-                `run_with_engine` or run through `SearchAlgorithm::run` with a `SearchContext`"
-    )]
-    pub fn run(
+    /// Offer a NAS-phase checkpoint (see
+    /// [`run_hardware_aware_nas_observed`](Self::run_hardware_aware_nas_observed)
+    /// for the progress and state conventions).
+    #[allow(clippy::too_many_arguments)]
+    fn offer_nas(
         &self,
-        workload: &Workload,
-        specs: DesignSpecs,
-        hardware: &HardwareSpace,
-        evaluator: &Evaluator,
-    ) -> (Accelerator, SearchOutcome) {
-        self.run_with_engine(workload, specs, hardware, &EvalEngine::from(evaluator))
+        sink: &dyn CheckpointSink,
+        observer: &dyn SearchObserver,
+        progress: usize,
+        rng: &StdRng,
+        controller: &Controller,
+        outcome: &SearchOutcome,
+        accelerator: &Accelerator,
+    ) {
+        checkpoint::offer_checkpoint(sink, observer, self.name(), self.seed, progress, || {
+            let mut state = ConfigValue::table();
+            state.insert("phase", ConfigValue::Str("nas".to_string()));
+            state.insert("rng", checkpoint::rng_state_to_value(&rng.state()));
+            state.insert(
+                "controller",
+                checkpoint::controller_state_to_value(&controller.export_state()),
+            );
+            state.insert("outcome", checkpoint::outcome_to_value(outcome));
+            state.insert("accelerator", encode_accelerator(accelerator));
+            state
+        });
     }
 
-    /// [`run`](Self::run) through a shared engine.  The outcome carries
-    /// both phases as [`SearchOutcome::phases`] summaries (the chosen
-    /// accelerator is the `asic-monte-carlo` phase's detail), so it
-    /// survives when only the outcome is kept.
+    /// Run both phases through a shared engine; returns the chosen
+    /// accelerator and the NAS outcome.  The outcome carries both phases
+    /// as [`SearchOutcome::phases`] summaries (the chosen accelerator is
+    /// the `asic-monte-carlo` phase's detail), so it survives when only
+    /// the outcome is kept.
     pub fn run_with_engine(
         &self,
         workload: &Workload,
@@ -310,11 +371,26 @@ impl AsicThenHwNas {
         hardware: &HardwareSpace,
         engine: &EvalEngine,
     ) -> (Accelerator, SearchOutcome) {
-        self.run_observed(workload, specs, hardware, engine, &NullObserver)
+        self.run_observed(
+            workload,
+            specs,
+            hardware,
+            engine,
+            &NullObserver,
+            None,
+            &NullCheckpointSink,
+        )
     }
 
     /// Both phases with phase events and summaries; shared by
     /// [`run_with_engine`](Self::run_with_engine) and the trait path.
+    ///
+    /// One progress axis spans both phases: `1..=max(monte_carlo_runs, 1)`
+    /// are hardware samples, the rest are NAS episodes (the checkpoint's
+    /// `phase` field disambiguates).  A run resumed mid-NAS skips the
+    /// Monte-Carlo loop entirely — the chosen accelerator is rebuilt from
+    /// the checkpoint.
+    #[allow(clippy::too_many_arguments)]
     fn run_observed(
         &self,
         workload: &Workload,
@@ -322,14 +398,95 @@ impl AsicThenHwNas {
         hardware: &HardwareSpace,
         engine: &EvalEngine,
         observer: &dyn SearchObserver,
+        resume: Option<&SearchCheckpoint>,
+        sink: &dyn CheckpointSink,
     ) -> (Accelerator, SearchOutcome) {
         let stats_start = engine.stats();
-        observer.on_event(&SearchEvent::PhaseStarted {
-            phase: "asic-monte-carlo".to_string(),
-            budget: self.monte_carlo_runs,
-        });
-        let accelerator =
-            self.run_monte_carlo_hardware_observed(workload, &specs, hardware, engine, observer);
+        let runs = self.monte_carlo_runs.max(1);
+        let (mc_resume, nas_resume) = match resume {
+            Some(cp) => {
+                cp.expect_run(self.name(), self.seed);
+                assert!(
+                    cp.progress <= runs + self.nas_episodes,
+                    "asic-then-hwnas checkpoint progress {} exceeds the total budget {}",
+                    cp.progress,
+                    runs + self.nas_episodes
+                );
+                if cp.progress <= runs {
+                    (Some(cp), None)
+                } else {
+                    (None, Some(cp))
+                }
+            }
+            None => (None, None),
+        };
+
+        let (accelerator, nas_state) = match nas_resume {
+            Some(cp) => {
+                let accelerator = decode_accelerator(
+                    cp.state
+                        .get("accelerator")
+                        .expect("asic-then-hwnas checkpoint: accelerator"),
+                );
+                let rng = StdRng::from_state(
+                    checkpoint::rng_state_from_value(
+                        cp.state
+                            .get("rng")
+                            .expect("asic-then-hwnas checkpoint: rng"),
+                    )
+                    .expect("asic-then-hwnas checkpoint: valid rng state"),
+                );
+                let state = checkpoint::controller_state_from_value(
+                    cp.state
+                        .get("controller")
+                        .expect("asic-then-hwnas checkpoint: controller"),
+                )
+                .expect("asic-then-hwnas checkpoint: valid controller state");
+                let outcome = checkpoint::outcome_from_value(
+                    cp.state
+                        .get("outcome")
+                        .expect("asic-then-hwnas checkpoint: outcome"),
+                    workload,
+                )
+                .expect("asic-then-hwnas checkpoint: valid outcome");
+                (accelerator, Some((rng, state, outcome, cp.progress - runs)))
+            }
+            None => {
+                observer.on_event(&SearchEvent::PhaseStarted {
+                    phase: "asic-monte-carlo".to_string(),
+                    budget: self.monte_carlo_runs,
+                });
+                let mc_state = mc_resume.map(|cp| {
+                    let rng = StdRng::from_state(
+                        checkpoint::rng_state_from_value(
+                            cp.state
+                                .get("rng")
+                                .expect("asic-then-hwnas checkpoint: rng"),
+                        )
+                        .expect("asic-then-hwnas checkpoint: valid rng state"),
+                    );
+                    let best = cp.state.get("best").map(|incumbent| {
+                        let distance = checkpoint::float_from_value(
+                            incumbent
+                                .get("distance")
+                                .expect("asic-then-hwnas checkpoint: incumbent distance"),
+                        )
+                        .expect("asic-then-hwnas checkpoint: valid incumbent distance");
+                        let accelerator = decode_accelerator(
+                            incumbent
+                                .get("accelerator")
+                                .expect("asic-then-hwnas checkpoint: incumbent accelerator"),
+                        );
+                        (distance, accelerator)
+                    });
+                    (rng, best, cp.progress)
+                });
+                let accelerator = self.run_monte_carlo_hardware_observed(
+                    workload, &specs, hardware, engine, observer, mc_state, sink,
+                );
+                (accelerator, None)
+            }
+        };
         let hardware_summary = PhaseSummary {
             name: "asic-monte-carlo".to_string(),
             episodes: self.monte_carlo_runs,
@@ -338,17 +495,26 @@ impl AsicThenHwNas {
             best_weighted_accuracy: None,
             detail: format!("selected accelerator: {accelerator}"),
         };
-        observer.on_event(&SearchEvent::PhaseFinished {
-            phase: "asic-monte-carlo".to_string(),
-            summary: hardware_summary.clone(),
-        });
-
-        observer.on_event(&SearchEvent::PhaseStarted {
-            phase: "hw-nas".to_string(),
-            budget: self.nas_episodes,
-        });
-        let mut outcome =
-            self.run_hardware_aware_nas_observed(workload, specs, &accelerator, engine, observer);
+        if nas_resume.is_none() {
+            observer.on_event(&SearchEvent::PhaseFinished {
+                phase: "asic-monte-carlo".to_string(),
+                summary: hardware_summary.clone(),
+            });
+            observer.on_event(&SearchEvent::PhaseStarted {
+                phase: "hw-nas".to_string(),
+                budget: self.nas_episodes,
+            });
+        }
+        let mut outcome = self.run_hardware_aware_nas_observed(
+            workload,
+            specs,
+            &accelerator,
+            engine,
+            observer,
+            nas_state,
+            sink,
+            runs,
+        );
         let nas_summary = PhaseSummary {
             name: "hw-nas".to_string(),
             episodes: self.nas_episodes,
@@ -376,16 +542,68 @@ impl SearchAlgorithm for AsicThenHwNas {
     /// outcome is the hardware-aware NAS exploration log; the chosen
     /// accelerator survives in [`SearchOutcome::phases`] (and as
     /// `PhaseFinished` events).
-    fn run(&self, ctx: &SearchContext<'_>) -> SearchOutcome {
+    ///
+    /// The baseline stays on the sequential shard fallback: the NAS phase
+    /// is serial (the controller learns from every episode), and the
+    /// Monte-Carlo phase's output is a single accelerator whose selection
+    /// scan is cheap next to the batched hardware evaluations it follows.
+    fn run_checkpointed(
+        &self,
+        ctx: &SearchContext<'_>,
+        resume: Option<&SearchCheckpoint>,
+        sink: &dyn CheckpointSink,
+    ) -> SearchOutcome {
         self.run_observed(
             ctx.workload,
             ctx.specs,
             ctx.hardware,
             ctx.engine,
             ctx.observer(),
+            resume,
+            sink,
         )
         .1
     }
+}
+
+/// Encode an accelerator as its sub-accelerator `(dataflow, PEs,
+/// bandwidth)` triples.
+fn encode_accelerator(accelerator: &Accelerator) -> ConfigValue {
+    ConfigValue::Array(
+        accelerator
+            .sub_accelerators()
+            .iter()
+            .map(|sub| {
+                ConfigValue::Array(vec![
+                    ConfigValue::Integer(sub.dataflow.index() as i64),
+                    ConfigValue::Integer(sub.num_pes as i64),
+                    ConfigValue::Integer(sub.bandwidth_gbps as i64),
+                ])
+            })
+            .collect(),
+    )
+}
+
+/// Decode an accelerator written by [`encode_accelerator`].
+fn decode_accelerator(value: &ConfigValue) -> Accelerator {
+    let subs = value
+        .as_array()
+        .expect("asic-then-hwnas checkpoint: accelerator is an array")
+        .iter()
+        .map(|sub| {
+            let triple = checkpoint::usizes_from_value(sub)
+                .expect("asic-then-hwnas checkpoint: valid sub-accelerator triple");
+            assert_eq!(
+                triple.len(),
+                3,
+                "asic-then-hwnas checkpoint: sub-accelerator triple must have 3 entries"
+            );
+            let dataflow = Dataflow::from_index(triple[0])
+                .expect("asic-then-hwnas checkpoint: known dataflow index");
+            SubAccelerator::new(dataflow, triple[1], triple[2])
+        })
+        .collect();
+    Accelerator::new(subs)
 }
 
 fn spec_distance(value: f64, spec: f64) -> f64 {
@@ -402,7 +620,7 @@ fn spec_distance(value: f64, spec: f64) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::evaluator::AccuracyOracle;
+    use crate::evaluator::{AccuracyOracle, Evaluator};
     use crate::spec::WorkloadId;
 
     #[test]

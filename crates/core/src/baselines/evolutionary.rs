@@ -13,9 +13,10 @@ use crate::algorithm::{
 };
 use crate::bounds::PenaltyBounds;
 use crate::candidate::Candidate;
+use crate::checkpoint::{self, CheckpointSink, NullCheckpointSink, SearchCheckpoint};
 use crate::engine::EvalEngine;
-use crate::evaluator::Evaluator;
 use crate::log::{ExploredSolution, SearchOutcome};
+use crate::scenario::value::ConfigValue;
 use crate::spec::DesignSpecs;
 use crate::workload::Workload;
 use nasaic_accel::HardwareSpace;
@@ -67,24 +68,6 @@ impl EvolutionarySearch {
         }
     }
 
-    /// Run the evolutionary co-search through a borrowed evaluator.
-    ///
-    /// Every call silently builds a throwaway [`EvalEngine`] whose caches
-    /// start cold and die with the call.
-    #[deprecated(
-        note = "builds a throwaway cold EvalEngine per call; share one engine via \
-                `run_with_engine` or run through `SearchAlgorithm::run` with a `SearchContext`"
-    )]
-    pub fn run(
-        &self,
-        workload: &Workload,
-        specs: DesignSpecs,
-        hardware: &HardwareSpace,
-        evaluator: &Evaluator,
-    ) -> SearchOutcome {
-        self.run_with_engine(workload, specs, hardware, &EvalEngine::from(evaluator))
-    }
-
     /// Run through a shared engine: every generation's population is
     /// scored as one parallel batch, with elitism's surviving individuals
     /// re-scored from the caches for free.
@@ -95,12 +78,28 @@ impl EvolutionarySearch {
         hardware: &HardwareSpace,
         engine: &EvalEngine,
     ) -> SearchOutcome {
-        self.run_observed(workload, specs, hardware, engine, &NullObserver)
+        self.run_observed(
+            workload,
+            specs,
+            hardware,
+            engine,
+            &NullObserver,
+            None,
+            &NullCheckpointSink,
+        )
     }
 
     /// The generation loop, shared by
     /// [`run_with_engine`](Self::run_with_engine) and the
     /// [`SearchAlgorithm`] trait path.
+    ///
+    /// Checkpoints fire after each scored generation: `progress` counts
+    /// completed generations (the initial population is progress 0), and
+    /// the state carries `{rng, population, fitness, outcome}` — enough to
+    /// re-enter the loop at `progress` with the RNG stream, the live
+    /// population and the full exploration record bit-identical to the
+    /// uninterrupted run.
+    #[allow(clippy::too_many_arguments)]
     fn run_observed(
         &self,
         workload: &Workload,
@@ -108,9 +107,10 @@ impl EvolutionarySearch {
         hardware: &HardwareSpace,
         engine: &EvalEngine,
         observer: &dyn SearchObserver,
+        resume: Option<&SearchCheckpoint>,
+        sink: &dyn CheckpointSink,
     ) -> SearchOutcome {
         let stats_start = engine.stats();
-        let mut rng = StdRng::seed_from_u64(self.seed ^ 0x5eed_5eed);
         let scorer = engine.scorer(PenaltyBounds::from_specs(&specs, 3.0), self.rho);
         let arch_spaces: Vec<SearchSpace> = workload
             .tasks
@@ -150,8 +150,61 @@ impl EvolutionarySearch {
             Candidate::from_segments(workload, hardware, &segments).ok()
         };
 
-        let mut outcome = SearchOutcome::empty();
-        let mut evaluations = 0usize;
+        let (mut rng, mut population, mut fitness, mut outcome, start_generation) = match resume {
+            Some(cp) => {
+                cp.expect_run(self.name(), self.seed);
+                assert!(
+                    cp.progress <= self.generations,
+                    "evolutionary checkpoint progress {} exceeds the configured {} generations",
+                    cp.progress,
+                    self.generations
+                );
+                let rng = StdRng::from_state(
+                    checkpoint::rng_state_from_value(
+                        cp.state.get("rng").expect("evolutionary checkpoint: rng"),
+                    )
+                    .expect("evolutionary checkpoint: valid rng state"),
+                );
+                let population: Vec<Vec<usize>> = cp
+                    .state
+                    .get("population")
+                    .and_then(ConfigValue::as_array)
+                    .expect("evolutionary checkpoint: population")
+                    .iter()
+                    .map(|genome| {
+                        checkpoint::usizes_from_value(genome)
+                            .expect("evolutionary checkpoint: valid genome")
+                    })
+                    .collect();
+                let fitness = checkpoint::floats_from_value(
+                    cp.state
+                        .get("fitness")
+                        .expect("evolutionary checkpoint: fitness"),
+                )
+                .expect("evolutionary checkpoint: valid fitness");
+                assert_eq!(
+                    population.len(),
+                    fitness.len(),
+                    "evolutionary checkpoint: population and fitness lengths disagree"
+                );
+                let outcome = checkpoint::outcome_from_value(
+                    cp.state
+                        .get("outcome")
+                        .expect("evolutionary checkpoint: outcome"),
+                    workload,
+                )
+                .expect("evolutionary checkpoint: valid outcome");
+                (rng, population, fitness, outcome, cp.progress)
+            }
+            None => (
+                StdRng::seed_from_u64(self.seed ^ 0x5eed_5eed),
+                Vec::new(),
+                Vec::new(),
+                SearchOutcome::empty(),
+                0,
+            ),
+        };
+        let mut evaluations = outcome.explored.len();
         // Score one whole generation: decode every genome, evaluate the
         // decodable ones as a parallel batch, and record them in genome
         // order (identical bookkeeping to the old one-at-a-time loop).
@@ -202,14 +255,17 @@ impl EvolutionarySearch {
             });
         };
 
-        // Initial population.
-        let mut population: Vec<Vec<usize>> = (0..self.population.max(2))
-            .map(|_| cardinalities.iter().map(|&c| rng.gen_range(0..c)).collect())
-            .collect();
-        let mut fitness = generation_fitness(&population, &mut outcome);
-        generation_event(0, population.len(), &fitness, 0, &outcome);
+        if resume.is_none() {
+            // Initial population.
+            population = (0..self.population.max(2))
+                .map(|_| cardinalities.iter().map(|&c| rng.gen_range(0..c)).collect())
+                .collect();
+            fitness = generation_fitness(&population, &mut outcome);
+            generation_event(0, population.len(), &fitness, 0, &outcome);
+            self.offer(sink, observer, 0, &rng, &population, &fitness, &outcome);
+        }
 
-        for generation in 0..self.generations {
+        for generation in start_generation..self.generations {
             let mut next_population = Vec::with_capacity(population.len());
             // Elitism: carry the best individual over unchanged.
             let best_index = argmax(&fitness);
@@ -239,11 +295,50 @@ impl EvolutionarySearch {
                 compliant_before,
                 &outcome,
             );
+            self.offer(
+                sink,
+                observer,
+                generation + 1,
+                &rng,
+                &population,
+                &fitness,
+                &outcome,
+            );
         }
 
         outcome.episodes = self.generations;
         emit_search_finished(observer, &outcome, engine.stats().since(&stats_start));
         outcome
+    }
+
+    /// Offer a checkpoint after `generation` scored generations.
+    #[allow(clippy::too_many_arguments)]
+    fn offer(
+        &self,
+        sink: &dyn CheckpointSink,
+        observer: &dyn SearchObserver,
+        generation: usize,
+        rng: &StdRng,
+        population: &[Vec<usize>],
+        fitness: &[f64],
+        outcome: &SearchOutcome,
+    ) {
+        checkpoint::offer_checkpoint(sink, observer, self.name(), self.seed, generation, || {
+            let mut state = ConfigValue::table();
+            state.insert("rng", checkpoint::rng_state_to_value(&rng.state()));
+            state.insert(
+                "population",
+                ConfigValue::Array(
+                    population
+                        .iter()
+                        .map(|genome| checkpoint::usizes_to_value(genome))
+                        .collect(),
+                ),
+            );
+            state.insert("fitness", checkpoint::floats_to_value(fitness));
+            state.insert("outcome", checkpoint::outcome_to_value(outcome));
+            state
+        });
     }
 }
 
@@ -257,13 +352,24 @@ impl SearchAlgorithm for EvolutionarySearch {
     /// the generation count come from this instance
     /// ([`Algorithm::instantiate`](crate::scenario::Algorithm::instantiate)
     /// maps them from the scenario's `SearchSpec`).
-    fn run(&self, ctx: &SearchContext<'_>) -> SearchOutcome {
+    ///
+    /// The search stays on the sequential shard fallback: every generation
+    /// is bred from the previous one's fitness, so generations cannot be
+    /// strided across workers without changing the evolutionary trajectory.
+    fn run_checkpointed(
+        &self,
+        ctx: &SearchContext<'_>,
+        resume: Option<&SearchCheckpoint>,
+        sink: &dyn CheckpointSink,
+    ) -> SearchOutcome {
         self.run_observed(
             ctx.workload,
             ctx.specs,
             ctx.hardware,
             ctx.engine,
             ctx.observer(),
+            resume,
+            sink,
         )
     }
 }
@@ -296,7 +402,7 @@ fn tournament_select<'a, R: Rng>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::evaluator::AccuracyOracle;
+    use crate::evaluator::{AccuracyOracle, Evaluator};
     use crate::spec::WorkloadId;
 
     #[test]

@@ -10,9 +10,10 @@ use crate::algorithm::{
 };
 use crate::bounds::PenaltyBounds;
 use crate::candidate::Candidate;
+use crate::checkpoint::{self, CheckpointSink, NullCheckpointSink, SearchCheckpoint};
 use crate::engine::EvalEngine;
-use crate::evaluator::Evaluator;
 use crate::log::{ExploredSolution, SearchOutcome};
+use crate::scenario::value::ConfigValue;
 use crate::spec::DesignSpecs;
 use crate::workload::Workload;
 use nasaic_accel::HardwareSpace;
@@ -40,24 +41,6 @@ impl HillClimb {
         }
     }
 
-    /// Run the local search through a borrowed evaluator.
-    ///
-    /// Every call silently builds a throwaway [`EvalEngine`] whose caches
-    /// start cold and die with the call.
-    #[deprecated(
-        note = "builds a throwaway cold EvalEngine per call; share one engine via \
-                `run_with_engine` or run through `SearchAlgorithm::run` with a `SearchContext`"
-    )]
-    pub fn run(
-        &self,
-        workload: &Workload,
-        specs: DesignSpecs,
-        hardware: &HardwareSpace,
-        evaluator: &Evaluator,
-    ) -> SearchOutcome {
-        self.run_with_engine(workload, specs, hardware, &EvalEngine::from(evaluator))
-    }
-
     /// Run through a shared engine: each step's whole neighbourhood is
     /// scored as one parallel batch, and re-visited neighbours (common as
     /// the climb slows down) come from the caches.
@@ -68,11 +51,25 @@ impl HillClimb {
         hardware: &HardwareSpace,
         engine: &EvalEngine,
     ) -> SearchOutcome {
-        self.run_observed(workload, specs, hardware, engine, &NullObserver)
+        self.run_observed(
+            workload,
+            specs,
+            hardware,
+            engine,
+            &NullObserver,
+            None,
+            &NullCheckpointSink,
+        )
     }
 
     /// The climb loop, shared by [`run_with_engine`](Self::run_with_engine)
     /// and the [`SearchAlgorithm`] trait path.
+    ///
+    /// The climb has no RNG, so the checkpoint state is minimal:
+    /// `{arch_indices, hw_indices, outcome}` at `progress` = accepted
+    /// steps.  The current evaluation and reward are re-derived by
+    /// re-scoring the current position on resume (the scorer is pure).
+    #[allow(clippy::too_many_arguments)]
     fn run_observed(
         &self,
         workload: &Workload,
@@ -80,23 +77,13 @@ impl HillClimb {
         hardware: &HardwareSpace,
         engine: &EvalEngine,
         observer: &dyn SearchObserver,
+        resume: Option<&SearchCheckpoint>,
+        sink: &dyn CheckpointSink,
     ) -> SearchOutcome {
         let stats_start = engine.stats();
         let scorer = engine.scorer(PenaltyBounds::from_specs(&specs, 3.0), self.rho);
 
-        // Starting point: smallest architectures, balanced mid-size design.
-        let mut arch_indices: Vec<Vec<usize>> = workload
-            .tasks
-            .iter()
-            .map(|t| t.backbone.search_space().smallest())
-            .collect();
         let hw_space_search = hardware.search_space();
-        let mut hw_indices: Vec<usize> = hw_space_search
-            .cardinalities()
-            .iter()
-            .map(|&c| c / 2)
-            .collect();
-
         let build = |arch_indices: &[Vec<usize>], hw_indices: &[usize]| -> Candidate {
             let architectures = workload
                 .tasks
@@ -108,31 +95,79 @@ impl HillClimb {
             Candidate::from_parts(architectures, accelerator)
         };
 
-        let mut outcome = SearchOutcome::empty();
+        let (mut arch_indices, mut hw_indices, mut outcome, start_step) = match resume {
+            Some(cp) => {
+                cp.expect_run(self.name(), 0);
+                let arch_indices: Vec<Vec<usize>> = cp
+                    .state
+                    .get("arch_indices")
+                    .and_then(ConfigValue::as_array)
+                    .expect("hill-climb checkpoint: arch_indices")
+                    .iter()
+                    .map(|indices| {
+                        checkpoint::usizes_from_value(indices)
+                            .expect("hill-climb checkpoint: valid arch indices")
+                    })
+                    .collect();
+                let hw_indices = checkpoint::usizes_from_value(
+                    cp.state
+                        .get("hw_indices")
+                        .expect("hill-climb checkpoint: hw_indices"),
+                )
+                .expect("hill-climb checkpoint: valid hw indices");
+                let outcome = checkpoint::outcome_from_value(
+                    cp.state
+                        .get("outcome")
+                        .expect("hill-climb checkpoint: outcome"),
+                    workload,
+                )
+                .expect("hill-climb checkpoint: valid outcome");
+                (arch_indices, hw_indices, outcome, cp.progress + 1)
+            }
+            None => {
+                // Starting point: smallest architectures, balanced
+                // mid-size design.
+                let arch_indices: Vec<Vec<usize>> = workload
+                    .tasks
+                    .iter()
+                    .map(|t| t.backbone.search_space().smallest())
+                    .collect();
+                let hw_indices: Vec<usize> = hw_space_search
+                    .cardinalities()
+                    .iter()
+                    .map(|&c| c / 2)
+                    .collect();
+                (arch_indices, hw_indices, SearchOutcome::empty(), 1)
+            }
+        };
+
         let mut current = build(&arch_indices, &hw_indices);
         let (mut current_eval, mut current_reward) = scorer.score(&current);
-        let start_compliant = current_eval.meets_specs();
-        let start_weighted = current_eval.weighted_accuracy;
-        outcome.record_observed(
-            ExploredSolution {
+        if resume.is_none() {
+            let start_compliant = current_eval.meets_specs();
+            let start_weighted = current_eval.weighted_accuracy;
+            outcome.record_observed(
+                ExploredSolution {
+                    episode: 0,
+                    candidate: current.clone(),
+                    evaluation: current_eval.clone(),
+                    reward: current_reward,
+                },
+                observer,
+            );
+            observer.on_event(&SearchEvent::EpisodeEvaluated {
                 episode: 0,
-                candidate: current.clone(),
-                evaluation: current_eval.clone(),
+                evaluations: 1,
+                weighted_accuracy: Some(start_weighted),
+                any_compliant: start_compliant,
                 reward: current_reward,
-            },
-            observer,
-        );
-        observer.on_event(&SearchEvent::EpisodeEvaluated {
-            episode: 0,
-            evaluations: 1,
-            weighted_accuracy: Some(start_weighted),
-            any_compliant: start_compliant,
-            reward: current_reward,
-            entropy: None,
-            baseline: None,
-        });
+                entropy: None,
+                baseline: None,
+            });
+            self.offer(sink, observer, 0, &arch_indices, &hw_indices, &outcome);
+        }
 
-        for step in 1..=self.max_steps {
+        for step in start_step..=self.max_steps {
             // Enumerate the whole neighbourhood (architecture moves per
             // task, then hardware moves — the scan order is the tie-break,
             // so it must stay fixed), then score it as one batch.
@@ -200,9 +235,38 @@ impl HillClimb {
                 entropy: None,
                 baseline: None,
             });
+            self.offer(sink, observer, step, &arch_indices, &hw_indices, &outcome);
         }
         emit_search_finished(observer, &outcome, engine.stats().since(&stats_start));
         outcome
+    }
+
+    /// Offer a checkpoint after `step` accepted steps (the climb is
+    /// seedless, so the envelope's seed is fixed at 0).
+    fn offer(
+        &self,
+        sink: &dyn CheckpointSink,
+        observer: &dyn SearchObserver,
+        step: usize,
+        arch_indices: &[Vec<usize>],
+        hw_indices: &[usize],
+        outcome: &SearchOutcome,
+    ) {
+        checkpoint::offer_checkpoint(sink, observer, self.name(), 0, step, || {
+            let mut state = ConfigValue::table();
+            state.insert(
+                "arch_indices",
+                ConfigValue::Array(
+                    arch_indices
+                        .iter()
+                        .map(|indices| checkpoint::usizes_to_value(indices))
+                        .collect(),
+                ),
+            );
+            state.insert("hw_indices", checkpoint::usizes_to_value(hw_indices));
+            state.insert("outcome", checkpoint::outcome_to_value(outcome));
+            state
+        });
     }
 }
 
@@ -215,13 +279,24 @@ impl SearchAlgorithm for HillClimb {
     /// step limit and `rho` come from this instance
     /// ([`Algorithm::instantiate`](crate::scenario::Algorithm::instantiate)
     /// maps the budget's `episodes` onto `max_steps`).
-    fn run(&self, ctx: &SearchContext<'_>) -> SearchOutcome {
+    ///
+    /// The climb stays on the sequential shard fallback: each step moves
+    /// from the previously accepted neighbour, so there is nothing
+    /// independent to stride across workers.
+    fn run_checkpointed(
+        &self,
+        ctx: &SearchContext<'_>,
+        resume: Option<&SearchCheckpoint>,
+        sink: &dyn CheckpointSink,
+    ) -> SearchOutcome {
         self.run_observed(
             ctx.workload,
             ctx.specs,
             ctx.hardware,
             ctx.engine,
             ctx.observer(),
+            resume,
+            sink,
         )
     }
 }
@@ -229,7 +304,7 @@ impl SearchAlgorithm for HillClimb {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::evaluator::AccuracyOracle;
+    use crate::evaluator::{AccuracyOracle, Evaluator};
     use crate::spec::WorkloadId;
 
     #[test]

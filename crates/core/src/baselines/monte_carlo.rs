@@ -6,14 +6,31 @@
 //! sanity check for NASAIC: with enough samples, random search finds
 //! spec-compliant solutions, but needs far more evaluations than the
 //! guided search to reach the same accuracy.
+//!
+//! # Checkpointing and sharding
+//!
+//! Samples are independent, so this is the fully externalizable driver:
+//!
+//! * **Checkpoints** are taken between samples.  The state is just the
+//!   RNG position and the outcome so far; the loop draws and evaluates in
+//!   chunks delimited by the sink's next snapshot point (one chunk — the
+//!   whole run — when no sink wants checkpoints), so batching survives.
+//! * **Shards** redraw the *entire* sample stream (keeping the one RNG
+//!   stream identical to the single-process run) but evaluate only the
+//!   samples assigned by the strided plan; the merge replays all shards'
+//!   solutions in draw order, reconstructing the exact single-process
+//!   outcome.
 
 use crate::algorithm::{
     emit_search_finished, NullObserver, SearchAlgorithm, SearchContext, SearchEvent, SearchObserver,
 };
 use crate::candidate::Candidate;
+use crate::checkpoint::{
+    self, CheckpointSink, NullCheckpointSink, SearchCheckpoint, ShardMode, ShardPartial, ShardPlan,
+};
 use crate::engine::EvalEngine;
-use crate::evaluator::Evaluator;
 use crate::log::{ExploredSolution, SearchOutcome};
+use crate::scenario::value::ConfigValue;
 use crate::workload::Workload;
 use nasaic_accel::HardwareSpace;
 use rand::rngs::StdRng;
@@ -40,24 +57,6 @@ impl MonteCarloSearch {
         Self { runs: 200, seed }
     }
 
-    /// Run the search through a borrowed evaluator.
-    ///
-    /// Every call silently builds a throwaway [`EvalEngine`] whose caches
-    /// start cold and die with the call — repeated runs pay full price for
-    /// every revisited candidate.
-    #[deprecated(
-        note = "builds a throwaway cold EvalEngine per call; share one engine via \
-                `run_with_engine` or run through `SearchAlgorithm::run` with a `SearchContext`"
-    )]
-    pub fn run(
-        &self,
-        workload: &Workload,
-        hardware: &HardwareSpace,
-        evaluator: &Evaluator,
-    ) -> SearchOutcome {
-        self.run_with_engine(workload, hardware, &EvalEngine::from(evaluator))
-    }
-
     /// Run the search through a shared evaluation engine: candidates are
     /// drawn sequentially (one RNG stream), evaluated as parallel cached
     /// batches, and recorded in draw order, so the outcome is identical to
@@ -68,68 +67,131 @@ impl MonteCarloSearch {
         hardware: &HardwareSpace,
         engine: &EvalEngine,
     ) -> SearchOutcome {
-        self.run_observed(workload, hardware, engine, &NullObserver)
+        self.run_observed(
+            workload,
+            hardware,
+            engine,
+            &NullObserver,
+            None,
+            &NullCheckpointSink,
+        )
+    }
+
+    /// Draw the `episode`-th sample of the run's one RNG stream.
+    fn draw(
+        &self,
+        workload: &Workload,
+        hardware: &HardwareSpace,
+        rng: &mut StdRng,
+        episode: usize,
+    ) -> Candidate {
+        let architectures: Vec<_> = workload
+            .tasks
+            .iter()
+            .map(|task| {
+                let space = task.backbone.search_space();
+                let indices = space.sample(rng);
+                task.backbone
+                    .materialize(&indices)
+                    .expect("sampled indices are always valid")
+            })
+            .collect();
+        // Alternate between arbitrary allocations and fully allocated
+        // designs so the sweep covers both the interior and the boundary
+        // of the hardware space.
+        let accelerator = if episode.is_multiple_of(2) {
+            hardware.sample(rng)
+        } else {
+            hardware.sample_fully_allocated(rng)
+        };
+        Candidate::from_parts(architectures, accelerator)
     }
 
     /// The sampling loop, shared by [`run_with_engine`](Self::run_with_engine)
     /// and the [`SearchAlgorithm`] trait path.
+    ///
+    /// Checkpoint state: `{rng, outcome}` at `progress` = samples
+    /// completed.
     fn run_observed(
         &self,
         workload: &Workload,
         hardware: &HardwareSpace,
         engine: &EvalEngine,
         observer: &dyn SearchObserver,
+        resume: Option<&SearchCheckpoint>,
+        sink: &dyn CheckpointSink,
     ) -> SearchOutcome {
         let stats_start = engine.stats();
-        let mut rng = StdRng::seed_from_u64(self.seed ^ 0x1111_2222);
-        let mut outcome = SearchOutcome::empty();
-        let candidates: Vec<Candidate> = (0..self.runs)
-            .map(|episode| {
-                let architectures: Vec<_> = workload
-                    .tasks
-                    .iter()
-                    .map(|task| {
-                        let space = task.backbone.search_space();
-                        let indices = space.sample(&mut rng);
-                        task.backbone
-                            .materialize(&indices)
-                            .expect("sampled indices are always valid")
-                    })
-                    .collect();
-                // Alternate between arbitrary allocations and fully
-                // allocated designs so the sweep covers both the interior
-                // and the boundary of the hardware space.
-                let accelerator = if episode % 2 == 0 {
-                    hardware.sample(&mut rng)
-                } else {
-                    hardware.sample_fully_allocated(&mut rng)
-                };
-                Candidate::from_parts(architectures, accelerator)
-            })
-            .collect();
-        let evaluations = engine.evaluate_batch(&candidates);
-        for (episode, (candidate, evaluation)) in
-            candidates.into_iter().zip(evaluations).enumerate()
-        {
-            let weighted_accuracy = evaluation.weighted_accuracy;
-            let any_compliant = evaluation.meets_specs();
-            outcome.record_observed(
-                ExploredSolution {
-                    episode,
-                    candidate,
-                    evaluation,
+        let (mut rng, mut outcome, mut episode) = match resume {
+            Some(cp) => {
+                cp.expect_run(self.name(), self.seed);
+                assert!(
+                    cp.progress <= self.runs,
+                    "checkpoint progress {} exceeds the {}-sample budget",
+                    cp.progress,
+                    self.runs
+                );
+                let rng = checkpoint::rng_state_from_value(
+                    cp.state.get("rng").expect("monte-carlo checkpoint: rng"),
+                )
+                .map(StdRng::from_state)
+                .expect("monte-carlo checkpoint: valid rng state");
+                let outcome = checkpoint::outcome_from_value(
+                    cp.state
+                        .get("outcome")
+                        .expect("monte-carlo checkpoint: outcome"),
+                    workload,
+                )
+                .expect("monte-carlo checkpoint: valid outcome");
+                (rng, outcome, cp.progress)
+            }
+            None => (
+                StdRng::seed_from_u64(self.seed ^ 0x1111_2222),
+                SearchOutcome::empty(),
+                0,
+            ),
+        };
+        while episode < self.runs {
+            // Evaluate up to the sink's next snapshot point as one batch;
+            // with no snapshot points wanted, this is the whole run.
+            let chunk_end = (episode + 1..self.runs)
+                .find(|&progress| sink.wants(progress))
+                .unwrap_or(self.runs);
+            let candidates: Vec<Candidate> = (episode..chunk_end)
+                .map(|e| self.draw(workload, hardware, &mut rng, e))
+                .collect();
+            let evaluations = engine.evaluate_batch(&candidates);
+            for (e, (candidate, evaluation)) in
+                (episode..chunk_end).zip(candidates.into_iter().zip(evaluations))
+            {
+                let weighted_accuracy = evaluation.weighted_accuracy;
+                let any_compliant = evaluation.meets_specs();
+                outcome.record_observed(
+                    ExploredSolution {
+                        episode: e,
+                        candidate,
+                        evaluation,
+                        reward: 0.0,
+                    },
+                    observer,
+                );
+                observer.on_event(&SearchEvent::EpisodeEvaluated {
+                    episode: e,
+                    evaluations: 1,
+                    weighted_accuracy: Some(weighted_accuracy),
+                    any_compliant,
                     reward: 0.0,
-                },
-                observer,
-            );
-            observer.on_event(&SearchEvent::EpisodeEvaluated {
-                episode,
-                evaluations: 1,
-                weighted_accuracy: Some(weighted_accuracy),
-                any_compliant,
-                reward: 0.0,
-                entropy: None,
-                baseline: None,
+                    entropy: None,
+                    baseline: None,
+                });
+            }
+            episode = chunk_end;
+            outcome.episodes = episode;
+            checkpoint::offer_checkpoint(sink, observer, self.name(), self.seed, episode, || {
+                let mut state = ConfigValue::table();
+                state.insert("rng", checkpoint::rng_state_to_value(&rng.state()));
+                state.insert("outcome", checkpoint::outcome_to_value(&outcome));
+                state
             });
         }
         outcome.episodes = self.runs;
@@ -149,15 +211,98 @@ impl SearchAlgorithm for MonteCarloSearch {
     /// maps the budget's
     /// [`total_evaluations`](crate::algorithm::Budget::total_evaluations)
     /// onto `runs`).
-    fn run(&self, ctx: &SearchContext<'_>) -> SearchOutcome {
-        self.run_observed(ctx.workload, ctx.hardware, ctx.engine, ctx.observer())
+    fn run_checkpointed(
+        &self,
+        ctx: &SearchContext<'_>,
+        resume: Option<&SearchCheckpoint>,
+        sink: &dyn CheckpointSink,
+    ) -> SearchOutcome {
+        self.run_observed(
+            ctx.workload,
+            ctx.hardware,
+            ctx.engine,
+            ctx.observer(),
+            resume,
+            sink,
+        )
+    }
+
+    /// Every sample is independent: stride them across the shards.
+    fn shard_plan(&self, _ctx: &SearchContext<'_>, shards: usize) -> ShardPlan {
+        ShardPlan::strided(self.name(), shards, self.runs)
+    }
+
+    /// Redraw the full sample stream (keeping the RNG identical to the
+    /// single-process run), evaluate only this shard's stride, and key
+    /// the solutions by draw index for the replay merge.
+    fn run_shard(
+        &self,
+        ctx: &SearchContext<'_>,
+        plan: &ShardPlan,
+        shard_index: usize,
+    ) -> ShardPartial {
+        assert!(
+            shard_index < plan.shards,
+            "shard index {shard_index} out of range for {} shards",
+            plan.shards
+        );
+        assert_eq!(
+            plan.mode,
+            ShardMode::Strided,
+            "monte-carlo plans are strided"
+        );
+        let observer = ctx.observer();
+        let stats_start = ctx.engine.stats();
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0x1111_2222);
+        let mut assigned_episodes = Vec::new();
+        let mut assigned = Vec::new();
+        for episode in 0..self.runs {
+            let candidate = self.draw(ctx.workload, ctx.hardware, &mut rng, episode);
+            if plan.assigns(episode, shard_index) {
+                assigned_episodes.push(episode);
+                assigned.push(candidate);
+            }
+        }
+        let evaluations = ctx.engine.evaluate_batch(&assigned);
+        let mut partial = ShardPartial::empty(self.name(), plan.shards, shard_index);
+        partial.episodes = self.runs;
+        // Shard-local telemetry mirrors the plain run over the assigned
+        // stride (incumbents are relative to this shard only).
+        let mut local = SearchOutcome::empty();
+        for ((episode, candidate), evaluation) in
+            assigned_episodes.into_iter().zip(assigned).zip(evaluations)
+        {
+            let solution = ExploredSolution {
+                episode,
+                candidate,
+                evaluation,
+                reward: 0.0,
+            };
+            partial.solutions.push((episode, solution.clone()));
+            let weighted_accuracy = solution.evaluation.weighted_accuracy;
+            let any_compliant = solution.evaluation.meets_specs();
+            local.record_observed(solution, observer);
+            observer.on_event(&SearchEvent::EpisodeEvaluated {
+                episode,
+                evaluations: 1,
+                weighted_accuracy: Some(weighted_accuracy),
+                any_compliant,
+                reward: 0.0,
+                entropy: None,
+                baseline: None,
+            });
+        }
+        local.episodes = self.runs;
+        emit_search_finished(observer, &local, ctx.engine.stats().since(&stats_start));
+        partial
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::evaluator::AccuracyOracle;
+    use crate::algorithm::Budget;
+    use crate::evaluator::{AccuracyOracle, Evaluator};
     use crate::spec::{DesignSpecs, WorkloadId};
 
     #[test]
@@ -188,15 +333,23 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_cold_engine_wrapper_matches_the_engine_path() {
+    fn trait_run_matches_the_engine_entry_point() {
         let workload = Workload::w3();
         let specs = DesignSpecs::for_workload(WorkloadId::W3);
-        let evaluator = Evaluator::new(&workload, specs, AccuracyOracle::default());
         let hardware = HardwareSpace::paper_default(2);
         let mc = MonteCarloSearch { runs: 30, seed: 9 };
-        let a = mc.run(&workload, &hardware, &evaluator);
-        let b = mc.run_with_engine(&workload, &hardware, &EvalEngine::from(&evaluator));
+        let engine_a = EvalEngine::new(Evaluator::new(&workload, specs, AccuracyOracle::default()));
+        let a = mc.run_with_engine(&workload, &hardware, &engine_a);
+        let engine_b = EvalEngine::new(Evaluator::new(&workload, specs, AccuracyOracle::default()));
+        let ctx = SearchContext::new(
+            &workload,
+            specs,
+            &hardware,
+            &engine_b,
+            9,
+            Budget::new(30, 0),
+        );
+        let b = mc.run(&ctx);
         assert_eq!(a, b);
     }
 }

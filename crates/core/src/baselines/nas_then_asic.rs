@@ -12,9 +12,12 @@ use crate::algorithm::{
     emit_search_finished, NullObserver, SearchAlgorithm, SearchContext, SearchEvent, SearchObserver,
 };
 use crate::candidate::Candidate;
+use crate::checkpoint::{
+    self, CheckpointSink, NullCheckpointSink, SearchCheckpoint, ShardMode, ShardPartial, ShardPlan,
+};
 use crate::engine::EvalEngine;
-use crate::evaluator::Evaluator;
 use crate::log::{ExploredSolution, PhaseSummary, SearchOutcome};
+use crate::scenario::value::ConfigValue;
 use crate::spec::DesignSpecs;
 use crate::workload::Workload;
 use nasaic_accel::HardwareSpace;
@@ -54,202 +57,336 @@ impl NasThenAsic {
         }
     }
 
-    /// Phase 1: accuracy-only NAS for every task of the workload.
-    /// Returns one architecture per task.
-    ///
-    /// Every call silently builds a throwaway [`EvalEngine`] whose caches
-    /// start cold and die with the call.
-    #[deprecated(
-        note = "builds a throwaway cold EvalEngine per call; share one engine via \
-                `run_nas_with_engine` or run the whole baseline through `SearchAlgorithm::run`"
-    )]
-    pub fn run_nas(&self, workload: &Workload, evaluator: &Evaluator) -> Vec<Architecture> {
-        self.run_nas_with_engine(workload, &EvalEngine::from(evaluator))
-    }
-
-    /// [`run_nas`](Self::run_nas) through a shared engine: repeat visits to
-    /// an architecture (common late in NAS convergence) hit the accuracy
-    /// cache instead of re-querying the oracle.
+    /// Phase 1 through a shared engine: repeat visits to an architecture
+    /// (common late in NAS convergence) hit the accuracy cache instead of
+    /// re-querying the oracle.  Returns one architecture per task.
     pub fn run_nas_with_engine(
         &self,
         workload: &Workload,
         engine: &EvalEngine,
     ) -> Vec<Architecture> {
-        self.run_nas_observed(workload, engine, &NullObserver)
+        self.run_nas_observed(workload, engine, &NullObserver, None, &NullCheckpointSink)
     }
 
     /// The NAS loop, shared by [`run_nas_with_engine`](Self::run_nas_with_engine)
     /// and the trait path.  Episode events are numbered
     /// `task_index * nas_episodes + episode` across the per-task searches.
+    ///
+    /// Checkpoints fire per NAS episode at `progress = task_index *
+    /// nas_episodes + episode + 1` carrying the shared RNG, the finished
+    /// tasks' architectures (`done`), and — mid-task — the live
+    /// controller state and the incumbent; at a task boundary
+    /// (`progress % nas_episodes == 0`) the controller and incumbent are
+    /// dropped, and resume builds a fresh controller for the next task.
     fn run_nas_observed(
         &self,
         workload: &Workload,
         engine: &EvalEngine,
         observer: &dyn SearchObserver,
+        resume: Option<&SearchCheckpoint>,
+        sink: &dyn CheckpointSink,
     ) -> Vec<Architecture> {
-        let mut rng = StdRng::seed_from_u64(self.seed ^ 0xaaaa);
-        workload
-            .tasks
-            .iter()
-            .enumerate()
-            .map(|(task_index, task)| {
-                let space = task.backbone.search_space();
-                let segments = vec![Segment::new(&task.name, space.cardinalities())];
-                let mut controller = Controller::new(
-                    segments,
-                    ControllerConfig::default(),
-                    self.seed + task_index as u64,
-                );
-                let mut best: Option<(f64, Architecture)> = None;
-                for episode in 0..self.nas_episodes {
-                    let sample = controller.sample(&mut rng);
-                    let (accuracy, evaluated) = match task.backbone.materialize(&sample.segments[0])
-                    {
-                        Ok(arch) => {
-                            // Evaluate against the task whose backbone
-                            // generated the architecture (a one-element
-                            // `accuracies` slice would zip against task 0
-                            // and score e.g. a U-Net with the CIFAR-10
-                            // calibration curve).
-                            let accuracy = engine.accuracy_for_task(task_index, &arch);
-                            if best.as_ref().is_none_or(|(a, _)| accuracy > *a) {
-                                best = Some((accuracy, arch));
-                            }
-                            (accuracy, 1)
-                        }
-                        Err(_) => (0.0, 0),
-                    };
-                    // Mono-objective reward: accuracy only (paper's NAS [1]);
-                    // undecodable samples feed a flat zero.
-                    controller.feedback(&sample, accuracy);
-                    observer.on_event(&SearchEvent::EpisodeEvaluated {
-                        episode: task_index * self.nas_episodes + episode,
-                        evaluations: evaluated,
-                        weighted_accuracy: None,
-                        any_compliant: false,
-                        reward: accuracy,
-                        entropy: Some(sample.mean_entropy),
-                        baseline: controller.baseline(),
+        let (mut rng, mut architectures, start_task, start_episode, mut resume_controller) =
+            match resume {
+                Some(cp) => {
+                    let nas_budget = self.nas_episodes * workload.num_tasks();
+                    assert!(
+                        cp.progress <= nas_budget,
+                        "NAS checkpoint progress {} exceeds the {}-episode NAS budget",
+                        cp.progress,
+                        nas_budget
+                    );
+                    let rng = StdRng::from_state(
+                        checkpoint::rng_state_from_value(
+                            cp.state.get("rng").expect("nas-then-asic checkpoint: rng"),
+                        )
+                        .expect("nas-then-asic checkpoint: valid rng state"),
+                    );
+                    let task_index = cp.progress / self.nas_episodes.max(1);
+                    let architectures = decode_architectures(
+                        cp.state
+                            .get("done")
+                            .expect("nas-then-asic checkpoint: done architectures"),
+                        workload,
+                        task_index,
+                    );
+                    let controller = cp.state.get("controller").map(|value| {
+                        checkpoint::controller_state_from_value(value)
+                            .expect("nas-then-asic checkpoint: valid controller state")
                     });
+                    let episode = cp.progress % self.nas_episodes.max(1);
+                    (rng, architectures, task_index, episode, controller)
                 }
-                best.expect("NAS explored at least one architecture").1
+                None => (
+                    StdRng::seed_from_u64(self.seed ^ 0xaaaa),
+                    Vec::new(),
+                    0,
+                    0,
+                    None,
+                ),
+            };
+        let mut resume_best = resume.and_then(|cp| {
+            cp.state.get("best").map(|incumbent| {
+                let accuracy = checkpoint::float_from_value(
+                    incumbent
+                        .get("accuracy")
+                        .expect("nas-then-asic checkpoint: incumbent accuracy"),
+                )
+                .expect("nas-then-asic checkpoint: valid incumbent accuracy");
+                let values = checkpoint::usizes_from_value(
+                    incumbent
+                        .get("values")
+                        .expect("nas-then-asic checkpoint: incumbent values"),
+                )
+                .expect("nas-then-asic checkpoint: valid incumbent values");
+                let arch = workload.tasks[start_task]
+                    .backbone
+                    .materialize_values(&values);
+                (accuracy, arch)
             })
-            .collect()
+        });
+
+        for task_index in start_task..workload.num_tasks() {
+            let task = &workload.tasks[task_index];
+            let space = task.backbone.search_space();
+            let segments = vec![Segment::new(&task.name, space.cardinalities())];
+            let mut controller = Controller::new(
+                segments,
+                ControllerConfig::default(),
+                self.seed + task_index as u64,
+            );
+            let mut best: Option<(f64, Architecture)> = None;
+            let mut first_episode = 0;
+            if task_index == start_task {
+                if let Some(state) = resume_controller.take() {
+                    controller.restore_state(&state);
+                }
+                best = resume_best.take();
+                first_episode = start_episode;
+            }
+            for episode in first_episode..self.nas_episodes {
+                let sample = controller.sample(&mut rng);
+                let (accuracy, evaluated) = match task.backbone.materialize(&sample.segments[0]) {
+                    Ok(arch) => {
+                        // Evaluate against the task whose backbone
+                        // generated the architecture (a one-element
+                        // `accuracies` slice would zip against task 0
+                        // and score e.g. a U-Net with the CIFAR-10
+                        // calibration curve).
+                        let accuracy = engine.accuracy_for_task(task_index, &arch);
+                        if best.as_ref().is_none_or(|(a, _)| accuracy > *a) {
+                            best = Some((accuracy, arch));
+                        }
+                        (accuracy, 1)
+                    }
+                    Err(_) => (0.0, 0),
+                };
+                // Mono-objective reward: accuracy only (paper's NAS [1]);
+                // undecodable samples feed a flat zero.
+                controller.feedback(&sample, accuracy);
+                observer.on_event(&SearchEvent::EpisodeEvaluated {
+                    episode: task_index * self.nas_episodes + episode,
+                    evaluations: evaluated,
+                    weighted_accuracy: None,
+                    any_compliant: false,
+                    reward: accuracy,
+                    entropy: Some(sample.mean_entropy),
+                    baseline: controller.baseline(),
+                });
+                if episode + 1 < self.nas_episodes {
+                    self.offer_nas(
+                        sink,
+                        observer,
+                        task_index * self.nas_episodes + episode + 1,
+                        &rng,
+                        &architectures,
+                        Some(&controller),
+                        best.as_ref(),
+                    );
+                }
+            }
+            architectures.push(best.expect("NAS explored at least one architecture").1);
+            self.offer_nas(
+                sink,
+                observer,
+                (task_index + 1) * self.nas_episodes,
+                &rng,
+                &architectures,
+                None,
+                None,
+            );
+        }
+        architectures
     }
 
-    /// Phase 2: brute-force hardware exploration for fixed architectures.
-    /// Returns the full exploration log; the "result" of the baseline is
-    /// the explored design with the smallest spec violation (or the most
-    /// accurate compliant design if one exists).
-    ///
-    /// Every call silently builds a throwaway [`EvalEngine`] whose caches
-    /// start cold and die with the call.
-    #[deprecated(
-        note = "builds a throwaway cold EvalEngine per call; share one engine via \
-                `run_asic_sweep_with_engine` or run the whole baseline through \
-                `SearchAlgorithm::run`"
-    )]
-    pub fn run_asic_sweep(
+    /// Offer a NAS-phase checkpoint (see
+    /// [`run_nas_observed`](Self::run_nas_observed) for the progress and
+    /// state conventions).
+    #[allow(clippy::too_many_arguments)]
+    fn offer_nas(
         &self,
+        sink: &dyn CheckpointSink,
+        observer: &dyn SearchObserver,
+        progress: usize,
+        rng: &StdRng,
         architectures: &[Architecture],
-        hardware: &HardwareSpace,
-        evaluator: &Evaluator,
-    ) -> SearchOutcome {
-        self.run_asic_sweep_with_engine(architectures, hardware, &EvalEngine::from(evaluator))
+        controller: Option<&Controller>,
+        best: Option<&(f64, Architecture)>,
+    ) {
+        checkpoint::offer_checkpoint(sink, observer, self.name(), self.seed, progress, || {
+            let mut state = ConfigValue::table();
+            state.insert("phase", ConfigValue::Str("nas".to_string()));
+            state.insert("rng", checkpoint::rng_state_to_value(&rng.state()));
+            state.insert("done", encode_architectures(architectures));
+            if let Some(controller) = controller {
+                state.insert(
+                    "controller",
+                    checkpoint::controller_state_to_value(&controller.export_state()),
+                );
+            }
+            if let Some((accuracy, arch)) = best {
+                let mut incumbent = ConfigValue::table();
+                incumbent.insert("accuracy", checkpoint::float_to_value(*accuracy));
+                incumbent.insert("values", checkpoint::usizes_to_value(&arch.hyperparameters));
+                state.insert("best", incumbent);
+            }
+            state
+        });
     }
 
-    /// [`run_asic_sweep`](Self::run_asic_sweep) through a shared engine:
-    /// the fixed architectures make every sweep sample share one accuracy
-    /// query, and the hardware designs evaluate as one parallel batch.
+    /// Phase 2 through a shared engine: brute-force hardware exploration
+    /// for fixed architectures.  The fixed architectures make every sweep
+    /// sample share one accuracy query, and the hardware designs evaluate
+    /// as one parallel batch.  Returns the full exploration log; the
+    /// "result" of the baseline is the explored design with the smallest
+    /// spec violation (or the most accurate compliant design if one
+    /// exists).
     pub fn run_asic_sweep_with_engine(
         &self,
         architectures: &[Architecture],
         hardware: &HardwareSpace,
         engine: &EvalEngine,
     ) -> SearchOutcome {
-        self.run_asic_sweep_observed(architectures, hardware, engine, &NullObserver)
+        self.run_asic_sweep_observed(
+            architectures,
+            hardware,
+            engine,
+            &NullObserver,
+            None,
+            &NullCheckpointSink,
+            0,
+        )
     }
 
     /// The sweep loop, shared by
     /// [`run_asic_sweep_with_engine`](Self::run_asic_sweep_with_engine)
     /// and the trait path.
+    ///
+    /// Checkpoints fire between samples at `progress = progress_offset +
+    /// samples completed` (the trait path passes the NAS budget as the
+    /// offset so both phases share one progress axis) with state `{rng,
+    /// done, outcome}`; the loop draws and evaluates in chunks delimited
+    /// by the sink's next snapshot point, so the one-batch evaluation
+    /// survives when no sink wants checkpoints.  `resume` is the
+    /// pre-decoded `(rng, outcome, samples completed)` triple — the
+    /// caller owns the workload needed to rebuild the outcome's
+    /// candidates.
+    #[allow(clippy::too_many_arguments)]
     fn run_asic_sweep_observed(
         &self,
         architectures: &[Architecture],
         hardware: &HardwareSpace,
         engine: &EvalEngine,
         observer: &dyn SearchObserver,
+        resume: Option<(StdRng, SearchOutcome, usize)>,
+        sink: &dyn CheckpointSink,
+        progress_offset: usize,
     ) -> SearchOutcome {
         // Warm the accuracy cache once up front: every sweep sample shares
         // these fixed architectures, so the parallel batch below can never
         // race duplicate oracle queries for them.
         engine.accuracies(architectures);
-        let mut rng = StdRng::seed_from_u64(self.seed ^ 0xbbbb);
-        let mut outcome = SearchOutcome::empty();
-        let candidates: Vec<Candidate> = (0..self.hardware_samples)
-            .map(|episode| {
-                let accelerator = if episode % 2 == 0 {
-                    hardware.sample_fully_allocated(&mut rng)
-                } else {
-                    hardware.sample(&mut rng)
-                };
-                Candidate::from_parts(architectures.to_vec(), accelerator)
-            })
-            .collect();
-        let evaluations = engine.evaluate_batch(&candidates);
-        for (episode, (candidate, evaluation)) in
-            candidates.into_iter().zip(evaluations).enumerate()
-        {
-            let weighted_accuracy = evaluation.weighted_accuracy;
-            let any_compliant = evaluation.meets_specs();
-            outcome.record_observed(
-                ExploredSolution {
+        let (mut rng, mut outcome, mut sample) = resume.unwrap_or_else(|| {
+            (
+                StdRng::seed_from_u64(self.seed ^ 0xbbbb),
+                SearchOutcome::empty(),
+                0,
+            )
+        });
+        assert!(
+            sample <= self.hardware_samples,
+            "sweep checkpoint has {} samples, budget is {}",
+            sample,
+            self.hardware_samples
+        );
+        while sample < self.hardware_samples {
+            let chunk_end = (sample + 1..self.hardware_samples)
+                .find(|&s| sink.wants(progress_offset + s))
+                .unwrap_or(self.hardware_samples);
+            let candidates: Vec<Candidate> = (sample..chunk_end)
+                .map(|episode| {
+                    let accelerator = if episode % 2 == 0 {
+                        hardware.sample_fully_allocated(&mut rng)
+                    } else {
+                        hardware.sample(&mut rng)
+                    };
+                    Candidate::from_parts(architectures.to_vec(), accelerator)
+                })
+                .collect();
+            let evaluations = engine.evaluate_batch(&candidates);
+            for (episode, (candidate, evaluation)) in
+                (sample..chunk_end).zip(candidates.into_iter().zip(evaluations))
+            {
+                let weighted_accuracy = evaluation.weighted_accuracy;
+                let any_compliant = evaluation.meets_specs();
+                outcome.record_observed(
+                    ExploredSolution {
+                        episode,
+                        candidate,
+                        evaluation,
+                        reward: 0.0,
+                    },
+                    observer,
+                );
+                observer.on_event(&SearchEvent::EpisodeEvaluated {
                     episode,
-                    candidate,
-                    evaluation,
+                    evaluations: 1,
+                    weighted_accuracy: Some(weighted_accuracy),
+                    any_compliant,
                     reward: 0.0,
-                },
+                    entropy: None,
+                    baseline: None,
+                });
+            }
+            sample = chunk_end;
+            outcome.episodes = sample;
+            checkpoint::offer_checkpoint(
+                sink,
                 observer,
+                self.name(),
+                self.seed,
+                progress_offset + sample,
+                || {
+                    let mut state = ConfigValue::table();
+                    state.insert("phase", ConfigValue::Str("sweep".to_string()));
+                    state.insert("rng", checkpoint::rng_state_to_value(&rng.state()));
+                    state.insert("done", encode_architectures(architectures));
+                    state.insert("outcome", checkpoint::outcome_to_value(&outcome));
+                    state
+                },
             );
-            observer.on_event(&SearchEvent::EpisodeEvaluated {
-                episode,
-                evaluations: 1,
-                weighted_accuracy: Some(weighted_accuracy),
-                any_compliant,
-                reward: 0.0,
-                entropy: None,
-                baseline: None,
-            });
         }
         outcome.episodes = self.hardware_samples;
         outcome
     }
 
-    /// Run both phases and return the exploration outcome together with the
-    /// least-violating design (by number of violated specs, then by
-    /// normalised excess), which is what the paper reports in Table I.
-    ///
-    /// Every call silently builds a throwaway [`EvalEngine`] whose caches
-    /// start cold and die with the call.
-    #[deprecated(
-        note = "builds a throwaway cold EvalEngine per call; share one engine via \
-                `run_with_engine` or run through `SearchAlgorithm::run` with a `SearchContext`"
-    )]
-    pub fn run(
-        &self,
-        workload: &Workload,
-        specs: DesignSpecs,
-        hardware: &HardwareSpace,
-        evaluator: &Evaluator,
-    ) -> (SearchOutcome, Option<ExploredSolution>) {
-        self.run_with_engine(workload, specs, hardware, &EvalEngine::from(evaluator))
-    }
-
-    /// [`run`](Self::run) through a shared engine.  The outcome (the ASIC
+    /// Run both phases through a shared engine.  The outcome (the ASIC
     /// sweep's exploration log) carries both phases as
     /// [`SearchOutcome::phases`] summaries, so the NAS result and the
     /// representative design are no longer lost when only the outcome is
-    /// kept.
+    /// kept; the returned solution is the least-violating design (by
+    /// number of violated specs, then by normalised excess), which is what
+    /// the paper reports in Table I.
     pub fn run_with_engine(
         &self,
         workload: &Workload,
@@ -257,11 +394,27 @@ impl NasThenAsic {
         hardware: &HardwareSpace,
         engine: &EvalEngine,
     ) -> (SearchOutcome, Option<ExploredSolution>) {
-        self.run_observed(workload, specs, hardware, engine, &NullObserver)
+        self.run_observed(
+            workload,
+            specs,
+            hardware,
+            engine,
+            &NullObserver,
+            None,
+            &NullCheckpointSink,
+        )
     }
 
     /// Both phases with phase events and summaries; shared by
     /// [`run_with_engine`](Self::run_with_engine) and the trait path.
+    ///
+    /// One progress axis spans both phases: `1..=nas_budget` are NAS
+    /// episodes, `nas_budget+1..=nas_budget+hardware_samples` are sweep
+    /// samples (the checkpoint's `phase` field disambiguates).  A run
+    /// resumed mid-sweep skips the NAS loop entirely — the architectures
+    /// are rebuilt from the checkpoint and the NAS phase summary is
+    /// recomputed from them (a pure function of the engine's caches).
+    #[allow(clippy::too_many_arguments)]
     fn run_observed(
         &self,
         workload: &Workload,
@@ -269,23 +422,118 @@ impl NasThenAsic {
         hardware: &HardwareSpace,
         engine: &EvalEngine,
         observer: &dyn SearchObserver,
+        resume: Option<&SearchCheckpoint>,
+        sink: &dyn CheckpointSink,
     ) -> (SearchOutcome, Option<ExploredSolution>) {
         let stats_start = engine.stats();
         let nas_budget = self.nas_episodes * workload.num_tasks();
-        observer.on_event(&SearchEvent::PhaseStarted {
-            phase: "nas".to_string(),
-            budget: nas_budget,
-        });
-        let architectures = self.run_nas_observed(workload, engine, observer);
+        let (nas_resume, sweep_resume) = match resume {
+            Some(cp) => {
+                cp.expect_run(self.name(), self.seed);
+                assert!(
+                    cp.progress <= nas_budget + self.hardware_samples,
+                    "nas-then-asic checkpoint progress {} exceeds the total budget {}",
+                    cp.progress,
+                    nas_budget + self.hardware_samples
+                );
+                if cp.progress <= nas_budget {
+                    (Some(cp), None)
+                } else {
+                    (None, Some(cp))
+                }
+            }
+            None => (None, None),
+        };
+
+        let (architectures, sweep_state) = match sweep_resume {
+            Some(cp) => {
+                let architectures = decode_architectures(
+                    cp.state
+                        .get("done")
+                        .expect("nas-then-asic checkpoint: done architectures"),
+                    workload,
+                    workload.num_tasks(),
+                );
+                let rng = StdRng::from_state(
+                    checkpoint::rng_state_from_value(
+                        cp.state.get("rng").expect("nas-then-asic checkpoint: rng"),
+                    )
+                    .expect("nas-then-asic checkpoint: valid rng state"),
+                );
+                let outcome = checkpoint::outcome_from_value(
+                    cp.state
+                        .get("outcome")
+                        .expect("nas-then-asic checkpoint: outcome"),
+                    workload,
+                )
+                .expect("nas-then-asic checkpoint: valid outcome");
+                (
+                    architectures,
+                    Some((rng, outcome, cp.progress - nas_budget)),
+                )
+            }
+            None => {
+                observer.on_event(&SearchEvent::PhaseStarted {
+                    phase: "nas".to_string(),
+                    budget: nas_budget,
+                });
+                let architectures =
+                    self.run_nas_observed(workload, engine, observer, nas_resume, sink);
+                (architectures, None)
+            }
+        };
         // The chosen architectures' accuracies are cached from the NAS
         // loop, so summarising them here is free.
-        let nas_summary = PhaseSummary {
+        let nas_summary = self.nas_summary(engine, nas_budget, &architectures);
+        if sweep_resume.is_none() {
+            observer.on_event(&SearchEvent::PhaseFinished {
+                phase: "nas".to_string(),
+                summary: nas_summary.clone(),
+            });
+            observer.on_event(&SearchEvent::PhaseStarted {
+                phase: "asic-sweep".to_string(),
+                budget: self.hardware_samples,
+            });
+        }
+        let mut outcome = self.run_asic_sweep_observed(
+            &architectures,
+            hardware,
+            engine,
+            observer,
+            sweep_state,
+            sink,
+            nas_budget,
+        );
+        let representative = outcome
+            .best
+            .clone()
+            .or_else(|| least_violating(&outcome, &specs));
+        let sweep_summary = self.sweep_summary(&outcome, representative.as_ref());
+        observer.on_event(&SearchEvent::PhaseFinished {
+            phase: "asic-sweep".to_string(),
+            summary: sweep_summary.clone(),
+        });
+        outcome.phases = vec![nas_summary, sweep_summary];
+        emit_search_finished(observer, &outcome, engine.stats().since(&stats_start));
+        (outcome, representative)
+    }
+
+    /// The NAS phase summary — a pure function of the chosen architectures
+    /// and the engine, so both the plain run and the shard merge compute
+    /// the same one.
+    fn nas_summary(
+        &self,
+        engine: &EvalEngine,
+        nas_budget: usize,
+        architectures: &[Architecture],
+    ) -> PhaseSummary {
+        PhaseSummary {
             name: "nas".to_string(),
             episodes: nas_budget,
             explored: 0,
             spec_compliant: 0,
             best_weighted_accuracy: Some(
-                engine.weighted_accuracy(&engine.accuracies(&architectures)),
+                engine.weighted_accuracy(&engine.accuracies(architectures)),
             ),
             detail: format!(
                 "architectures: {}",
@@ -295,28 +543,24 @@ impl NasThenAsic {
                     .collect::<Vec<_>>()
                     .join(" & ")
             ),
-        };
-        observer.on_event(&SearchEvent::PhaseFinished {
-            phase: "nas".to_string(),
-            summary: nas_summary.clone(),
-        });
+        }
+    }
 
-        observer.on_event(&SearchEvent::PhaseStarted {
-            phase: "asic-sweep".to_string(),
-            budget: self.hardware_samples,
-        });
-        let mut outcome = self.run_asic_sweep_observed(&architectures, hardware, engine, observer);
-        let representative = outcome
-            .best
-            .clone()
-            .or_else(|| least_violating(&outcome, &specs));
-        let sweep_summary = PhaseSummary {
+    /// The sweep phase summary — a pure function of the (full) sweep
+    /// outcome and its representative, shared by the plain run and
+    /// [`SearchAlgorithm::merge_shards`].
+    fn sweep_summary(
+        &self,
+        outcome: &SearchOutcome,
+        representative: Option<&ExploredSolution>,
+    ) -> PhaseSummary {
+        PhaseSummary {
             name: "asic-sweep".to_string(),
             episodes: self.hardware_samples,
             explored: outcome.explored.len(),
             spec_compliant: outcome.spec_compliant.len(),
             best_weighted_accuracy: outcome.best_weighted_accuracy(),
-            detail: match &representative {
+            detail: match representative {
                 Some(solution) => format!(
                     "representative ({} violation(s)): {}",
                     solution.evaluation.spec_check.violations(),
@@ -324,14 +568,7 @@ impl NasThenAsic {
                 ),
                 None => "no design explored".to_string(),
             },
-        };
-        observer.on_event(&SearchEvent::PhaseFinished {
-            phase: "asic-sweep".to_string(),
-            summary: sweep_summary.clone(),
-        });
-        outcome.phases = vec![nas_summary, sweep_summary];
-        emit_search_finished(observer, &outcome, engine.stats().since(&stats_start));
-        (outcome, representative)
+        }
     }
 }
 
@@ -344,16 +581,187 @@ impl SearchAlgorithm for NasThenAsic {
     /// outcome is the ASIC sweep's exploration log; the NAS result and the
     /// least-violating representative survive in
     /// [`SearchOutcome::phases`] (and as `PhaseFinished` events).
-    fn run(&self, ctx: &SearchContext<'_>) -> SearchOutcome {
+    fn run_checkpointed(
+        &self,
+        ctx: &SearchContext<'_>,
+        resume: Option<&SearchCheckpoint>,
+        sink: &dyn CheckpointSink,
+    ) -> SearchOutcome {
         self.run_observed(
             ctx.workload,
             ctx.specs,
             ctx.hardware,
             ctx.engine,
             ctx.observer(),
+            resume,
+            sink,
         )
         .0
     }
+
+    /// The sweep's samples are independent: stride them across the
+    /// shards.  The NAS phase is *redundant* — every shard re-runs it
+    /// (it is deterministic and cheap next to the sweep), so each worker
+    /// holds the architectures without any cross-shard handoff.
+    fn shard_plan(&self, _ctx: &SearchContext<'_>, shards: usize) -> ShardPlan {
+        ShardPlan::strided(self.name(), shards, self.hardware_samples)
+    }
+
+    /// Re-run NAS, redraw the full sweep stream (keeping the RNG identical
+    /// to the single-process run), evaluate only this shard's stride, and
+    /// key the solutions by draw index for the replay merge.  Shard 0's
+    /// partial carries the NAS phase summary; the sweep summary is
+    /// rebuilt at merge time from the merged outcome.
+    fn run_shard(
+        &self,
+        ctx: &SearchContext<'_>,
+        plan: &ShardPlan,
+        shard_index: usize,
+    ) -> ShardPartial {
+        assert!(
+            shard_index < plan.shards,
+            "shard index {shard_index} out of range for {} shards",
+            plan.shards
+        );
+        assert_eq!(
+            plan.mode,
+            ShardMode::Strided,
+            "nas-then-asic plans are strided"
+        );
+        let observer = ctx.observer();
+        let stats_start = ctx.engine.stats();
+        let nas_budget = self.nas_episodes * ctx.workload.num_tasks();
+        observer.on_event(&SearchEvent::PhaseStarted {
+            phase: "nas".to_string(),
+            budget: nas_budget,
+        });
+        let architectures = self.run_nas_observed(
+            ctx.workload,
+            ctx.engine,
+            observer,
+            None,
+            &NullCheckpointSink,
+        );
+        let nas_summary = self.nas_summary(ctx.engine, nas_budget, &architectures);
+        observer.on_event(&SearchEvent::PhaseFinished {
+            phase: "nas".to_string(),
+            summary: nas_summary.clone(),
+        });
+
+        observer.on_event(&SearchEvent::PhaseStarted {
+            phase: "asic-sweep".to_string(),
+            budget: self.hardware_samples,
+        });
+        ctx.engine.accuracies(&architectures);
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0xbbbb);
+        let mut assigned_episodes = Vec::new();
+        let mut assigned = Vec::new();
+        for episode in 0..self.hardware_samples {
+            let accelerator = if episode % 2 == 0 {
+                ctx.hardware.sample_fully_allocated(&mut rng)
+            } else {
+                ctx.hardware.sample(&mut rng)
+            };
+            if plan.assigns(episode, shard_index) {
+                assigned_episodes.push(episode);
+                assigned.push(Candidate::from_parts(architectures.to_vec(), accelerator));
+            }
+        }
+        let evaluations = ctx.engine.evaluate_batch(&assigned);
+        let mut partial = ShardPartial::empty(self.name(), plan.shards, shard_index);
+        partial.episodes = self.hardware_samples;
+        partial.phases = vec![nas_summary];
+        // Shard-local telemetry mirrors the plain run over the assigned
+        // stride (incumbents are relative to this shard only).
+        let mut local = SearchOutcome::empty();
+        for ((episode, candidate), evaluation) in
+            assigned_episodes.into_iter().zip(assigned).zip(evaluations)
+        {
+            let solution = ExploredSolution {
+                episode,
+                candidate,
+                evaluation,
+                reward: 0.0,
+            };
+            partial.solutions.push((episode, solution.clone()));
+            let weighted_accuracy = solution.evaluation.weighted_accuracy;
+            let any_compliant = solution.evaluation.meets_specs();
+            local.record_observed(solution, observer);
+            observer.on_event(&SearchEvent::EpisodeEvaluated {
+                episode,
+                evaluations: 1,
+                weighted_accuracy: Some(weighted_accuracy),
+                any_compliant,
+                reward: 0.0,
+                entropy: None,
+                baseline: None,
+            });
+        }
+        local.episodes = self.hardware_samples;
+        emit_search_finished(observer, &local, ctx.engine.stats().since(&stats_start));
+        partial
+    }
+
+    /// Replay-merge the sweep strides, then rebuild the sweep summary
+    /// (explored counts, incumbent, representative) from the merged
+    /// outcome — shard 0 only contributed the (shard-independent) NAS
+    /// summary.
+    fn merge_shards(
+        &self,
+        ctx: &SearchContext<'_>,
+        plan: &ShardPlan,
+        partials: Vec<ShardPartial>,
+    ) -> SearchOutcome {
+        let mut outcome = checkpoint::merge_replay(plan, partials);
+        if plan.mode == ShardMode::Strided {
+            let representative = outcome
+                .best
+                .clone()
+                .or_else(|| least_violating(&outcome, &ctx.specs));
+            let sweep_summary = self.sweep_summary(&outcome, representative.as_ref());
+            outcome.phases.push(sweep_summary);
+        }
+        outcome
+    }
+}
+
+/// Encode architectures as their hyperparameter-value arrays (rebuilt
+/// against the workload's backbones by [`decode_architectures`]).
+fn encode_architectures(architectures: &[Architecture]) -> ConfigValue {
+    ConfigValue::Array(
+        architectures
+            .iter()
+            .map(|arch| checkpoint::usizes_to_value(&arch.hyperparameters))
+            .collect(),
+    )
+}
+
+/// Decode `expected` architectures (one per leading workload task) from
+/// their checkpointed hyperparameter values.
+fn decode_architectures(
+    value: &ConfigValue,
+    workload: &Workload,
+    expected: usize,
+) -> Vec<Architecture> {
+    let done = value
+        .as_array()
+        .expect("nas-then-asic checkpoint: done is an array");
+    assert_eq!(
+        done.len(),
+        expected,
+        "nas-then-asic checkpoint: {} finished architectures, expected {}",
+        done.len(),
+        expected
+    );
+    done.iter()
+        .zip(&workload.tasks)
+        .map(|(values, task)| {
+            task.backbone.materialize_values(
+                &checkpoint::usizes_from_value(values)
+                    .expect("nas-then-asic checkpoint: valid architecture values"),
+            )
+        })
+        .collect()
 }
 
 /// The explored solution with the fewest violated specs, ties broken by the
@@ -379,7 +787,7 @@ pub fn least_violating(outcome: &SearchOutcome, specs: &DesignSpecs) -> Option<E
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::evaluator::AccuracyOracle;
+    use crate::evaluator::{AccuracyOracle, Evaluator};
     use crate::spec::WorkloadId;
 
     #[test]

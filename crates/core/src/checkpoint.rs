@@ -1,0 +1,1381 @@
+//! Externalized search state: versioned checkpoints, checkpoint sinks,
+//! and deterministic shard plans.
+//!
+//! Every [`SearchAlgorithm`](crate::algorithm::SearchAlgorithm) keeps its
+//! mutable state — RNG stream positions, controller weights and optimizer
+//! accumulators, incumbents, populations, budget spent — externalizable
+//! through this module:
+//!
+//! * [`SearchCheckpoint`] is the versioned envelope: algorithm name, seed,
+//!   a monotonic `progress` counter (the driver's own unit: samples,
+//!   episodes, accepted steps, generations) and an opaque driver-specific
+//!   `state` tree.  It round-trips through the scenario JSON codec, so a
+//!   checkpoint written by `nasaic run --checkpoint` is plain JSON.
+//! * [`CheckpointSink`] decides *when* checkpoints are taken
+//!   ([`CheckpointSink::wants`]) and receives them.  Drivers build the
+//!   state tree lazily, so a [`NullCheckpointSink`] run pays nothing.
+//! * [`ShardPlan`] / [`ShardPartial`] split one run across `N`
+//!   deterministic workers.  A *strided* plan assigns partitionable unit
+//!   `i` to shard `i % N`; [`merge_replay`] re-plays every shard's keyed
+//!   solutions in global draw order through [`SearchOutcome::record`], so
+//!   the merged outcome is bit-identical to the single-process run.  A
+//!   *sequential* plan is the fallback for inherently serial drivers
+//!   (shard 0 runs the whole search, the rest return empty partials).
+//!
+//! The invariant the whole module leans on: [`SearchOutcome`] is fully
+//! determined by its `explored` record sequence plus a handful of scalar
+//! counters — `best` and `spec_compliant` are derived by `record`.  Both
+//! the outcome codec and shard merging therefore serialize only the
+//! record sequence and replay it on the way back in.
+//!
+//! Floats are serialized with the shortest-round-trip formatter, so every
+//! finite `f64` survives exactly.  Non-finite metrics (infeasible mappings
+//! carry `INFINITY` costs) are encoded as the strings `"inf"`, `"-inf"`
+//! and `"nan"` because the JSON grammar has no literal for them.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use crate::candidate::Candidate;
+use crate::evaluator::Evaluation;
+use crate::log::{ExploredSolution, PhaseSummary, SearchOutcome};
+use crate::scenario::value::{self, ConfigError, ConfigValue};
+use crate::spec::SpecCheck;
+use crate::workload::Workload;
+use nasaic_accel::{Accelerator, Dataflow, SubAccelerator};
+use nasaic_cost::HardwareMetrics;
+use nasaic_rl::{ControllerState, PolicyState, TrainerState};
+use nasaic_tensor::Matrix;
+use rand::rngs::StdRngState;
+
+/// The checkpoint format version this build writes (and the only one it
+/// accepts).
+pub const CHECKPOINT_VERSION: u32 = 1;
+
+// ---------------------------------------------------------------------------
+// The checkpoint envelope
+// ---------------------------------------------------------------------------
+
+/// A versioned, serializable snapshot of a search driver's mutable state.
+///
+/// The envelope is driver-agnostic; `state` is the driver's own table (see
+/// each driver's `run_checkpointed` for its layout).  Checkpoints are only
+/// valid for the same algorithm, seed, workload and budget they were taken
+/// from — drivers assert the first two and trust the caller for the rest.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchCheckpoint {
+    /// Format version ([`CHECKPOINT_VERSION`]).
+    pub version: u32,
+    /// The driver's stable name ([`SearchAlgorithm::name`](crate::algorithm::SearchAlgorithm::name)).
+    pub algorithm: String,
+    /// The seed the run was started with.
+    pub seed: u64,
+    /// Progress units completed when the snapshot was taken (the driver's
+    /// own unit: samples, episodes, accepted steps, generations).
+    pub progress: usize,
+    /// The driver-specific state tree.
+    pub state: ConfigValue,
+}
+
+impl SearchCheckpoint {
+    /// Wrap a driver state tree in a version-1 envelope.
+    pub fn new(algorithm: &str, seed: u64, progress: usize, state: ConfigValue) -> Self {
+        Self {
+            version: CHECKPOINT_VERSION,
+            algorithm: algorithm.to_string(),
+            seed,
+            progress,
+            state,
+        }
+    }
+
+    /// The checkpoint as a [`ConfigValue`] table.
+    pub fn to_value(&self) -> ConfigValue {
+        let mut root = ConfigValue::table();
+        root.insert("version", ConfigValue::Integer(self.version as i64));
+        root.insert("algorithm", ConfigValue::Str(self.algorithm.clone()));
+        root.insert("seed", ConfigValue::Integer(self.seed as i64));
+        root.insert("progress", ConfigValue::Integer(self.progress as i64));
+        root.insert("state", self.state.clone());
+        root
+    }
+
+    /// Parse a checkpoint from its [`ConfigValue`] form.
+    ///
+    /// # Errors
+    ///
+    /// Returns a schema error for missing/ill-typed fields or an
+    /// unsupported version.
+    pub fn from_value(value: &ConfigValue) -> Result<Self, ConfigError> {
+        let version = usize_field(value, "version")? as u32;
+        if version != CHECKPOINT_VERSION {
+            return Err(ConfigError::schema(format!(
+                "unsupported checkpoint version {version} (this build reads {CHECKPOINT_VERSION})"
+            )));
+        }
+        Ok(Self {
+            version,
+            algorithm: str_field(value, "algorithm")?.to_string(),
+            seed: int_field(value, "seed")? as u64,
+            progress: usize_field(value, "progress")?,
+            state: field(value, "state")?.clone(),
+        })
+    }
+
+    /// Serialize to pretty JSON (the on-disk format).
+    pub fn to_json(&self) -> String {
+        value::to_json(&self.to_value())
+    }
+
+    /// Parse from JSON text.
+    ///
+    /// # Errors
+    ///
+    /// Returns the JSON parse error or the schema error of
+    /// [`from_value`](Self::from_value).
+    pub fn parse_json(text: &str) -> Result<Self, ConfigError> {
+        Self::from_value(&value::parse_json(text)?)
+    }
+
+    /// Assert that this checkpoint belongs to the given driver and seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a descriptive message on a mismatch — resuming a
+    /// checkpoint under a different algorithm or seed would silently
+    /// diverge, which is strictly worse than failing.
+    pub fn expect_run(&self, algorithm: &str, seed: u64) {
+        assert_eq!(
+            self.algorithm, algorithm,
+            "checkpoint belongs to algorithm `{}`, not `{algorithm}`",
+            self.algorithm
+        );
+        assert_eq!(
+            self.seed, seed,
+            "checkpoint was taken at seed {}, not {seed}",
+            self.seed
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint sinks
+// ---------------------------------------------------------------------------
+
+/// A consumer of checkpoints, queried by the drivers at every potential
+/// snapshot point.
+///
+/// Drivers call [`wants`](Self::wants) *before* building the (possibly
+/// expensive) state tree; a sink that always answers `false` makes
+/// checkpointing free.  `on_checkpoint` is called at most once per
+/// progress value, in increasing progress order.
+pub trait CheckpointSink {
+    /// Should a checkpoint be taken after `progress` units of work?
+    fn wants(&self, progress: usize) -> bool;
+
+    /// Receive a checkpoint the driver just built.
+    fn on_checkpoint(&self, checkpoint: &SearchCheckpoint);
+}
+
+/// The sink that never wants a checkpoint (the default for plain runs).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullCheckpointSink;
+
+impl CheckpointSink for NullCheckpointSink {
+    fn wants(&self, _progress: usize) -> bool {
+        false
+    }
+
+    fn on_checkpoint(&self, _checkpoint: &SearchCheckpoint) {}
+}
+
+/// A sink that keeps every checkpoint in memory — the test harness for
+/// resume-identity gates.
+#[derive(Debug)]
+pub struct RecordingCheckpointSink {
+    every: usize,
+    checkpoints: Mutex<Vec<SearchCheckpoint>>,
+}
+
+impl RecordingCheckpointSink {
+    /// Record a checkpoint every `every` progress units (`every == 1`
+    /// records at every snapshot point).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `every` is zero.
+    pub fn every(every: usize) -> Self {
+        assert!(every > 0, "checkpoint interval must be positive");
+        Self {
+            every,
+            checkpoints: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The recorded checkpoints, in capture order.
+    pub fn checkpoints(&self) -> Vec<SearchCheckpoint> {
+        self.checkpoints
+            .lock()
+            .expect("recording checkpoint sink lock")
+            .clone()
+    }
+}
+
+impl CheckpointSink for RecordingCheckpointSink {
+    fn wants(&self, progress: usize) -> bool {
+        progress > 0 && progress.is_multiple_of(self.every)
+    }
+
+    fn on_checkpoint(&self, checkpoint: &SearchCheckpoint) {
+        self.checkpoints
+            .lock()
+            .expect("recording checkpoint sink lock")
+            .push(checkpoint.clone());
+    }
+}
+
+/// A sink that writes the latest checkpoint to a file — the CLI's
+/// `nasaic run --checkpoint <file> --checkpoint-every <n>` sink.
+///
+/// Each write goes to `<file>.tmp` first and is renamed over the target,
+/// so a crash mid-write leaves the previous checkpoint intact.  Write
+/// errors are swallowed (the checkpoint is a safety net, not the result);
+/// the last error, if any, is kept for the caller to surface.
+#[derive(Debug)]
+pub struct FileCheckpointSink {
+    path: PathBuf,
+    every: usize,
+    last_error: Mutex<Option<std::io::Error>>,
+}
+
+impl FileCheckpointSink {
+    /// Write to `path` every `every` progress units.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `every` is zero.
+    pub fn new(path: &Path, every: usize) -> Self {
+        assert!(every > 0, "checkpoint interval must be positive");
+        Self {
+            path: path.to_path_buf(),
+            every,
+            last_error: Mutex::new(None),
+        }
+    }
+
+    /// The first/last swallowed I/O error, if any (taking it clears it).
+    pub fn take_error(&self) -> Option<std::io::Error> {
+        self.last_error
+            .lock()
+            .expect("file checkpoint sink lock")
+            .take()
+    }
+}
+
+impl CheckpointSink for FileCheckpointSink {
+    fn wants(&self, progress: usize) -> bool {
+        progress > 0 && progress.is_multiple_of(self.every)
+    }
+
+    fn on_checkpoint(&self, checkpoint: &SearchCheckpoint) {
+        let tmp = self.path.with_extension("tmp");
+        let result =
+            fs::write(&tmp, checkpoint.to_json()).and_then(|()| fs::rename(&tmp, &self.path));
+        if let Err(error) = result {
+            *self.last_error.lock().expect("file checkpoint sink lock") = Some(error);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shard plans and partial outcomes
+// ---------------------------------------------------------------------------
+
+/// How a driver's work is split across shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardMode {
+    /// The driver is inherently serial: shard 0 runs the whole search and
+    /// carries the complete outcome; the other shards are empty.
+    Sequential,
+    /// Partitionable unit `i` runs on shard `i % shards`; the merge
+    /// replays all shards' solutions in unit order.
+    Strided,
+}
+
+/// A deterministic partition of one search run across `shards` workers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardPlan {
+    /// The driver the plan belongs to.
+    pub algorithm: String,
+    /// Number of workers.
+    pub shards: usize,
+    /// Partitioning strategy.
+    pub mode: ShardMode,
+    /// Number of partitionable units (`0` for sequential plans).
+    pub items: usize,
+}
+
+impl ShardPlan {
+    /// A sequential (fallback) plan: shard 0 does everything.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    pub fn sequential(algorithm: &str, shards: usize) -> Self {
+        assert!(shards > 0, "a shard plan needs at least one shard");
+        Self {
+            algorithm: algorithm.to_string(),
+            shards,
+            mode: ShardMode::Sequential,
+            items: 0,
+        }
+    }
+
+    /// A strided plan over `items` partitionable units.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    pub fn strided(algorithm: &str, shards: usize, items: usize) -> Self {
+        assert!(shards > 0, "a shard plan needs at least one shard");
+        Self {
+            algorithm: algorithm.to_string(),
+            shards,
+            mode: ShardMode::Strided,
+            items,
+        }
+    }
+
+    /// Does unit `index` run on shard `shard_index` under this plan?
+    pub fn assigns(&self, index: usize, shard_index: usize) -> bool {
+        match self.mode {
+            ShardMode::Sequential => shard_index == 0,
+            ShardMode::Strided => index % self.shards == shard_index,
+        }
+    }
+}
+
+/// One shard's contribution to a sharded run.
+///
+/// Strided shards carry their assigned solutions keyed by the *global*
+/// unit index, so [`merge_replay`] can reconstruct the single-process
+/// record order.  Sequential shard 0 carries the whole outcome in
+/// `complete` instead.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardPartial {
+    /// The driver that produced the partial.
+    pub algorithm: String,
+    /// Total number of shards in the plan.
+    pub shards: usize,
+    /// This shard's index in `0..shards`.
+    pub shard_index: usize,
+    /// Solutions evaluated by this shard, keyed by global unit index.
+    pub solutions: Vec<(usize, ExploredSolution)>,
+    /// The episode count the full run would report (each shard knows the
+    /// plan's total; the merge takes the maximum).
+    pub episodes: usize,
+    /// Phase summaries contributed by this shard (redundant phases — every
+    /// shard re-runs them — are taken from shard 0 at merge time).
+    pub phases: Vec<PhaseSummary>,
+    /// The full outcome, for sequential plans (shard 0 only).
+    pub complete: Option<SearchOutcome>,
+}
+
+impl ShardPartial {
+    /// An empty partial (a sequential shard other than 0).
+    pub fn empty(algorithm: &str, shards: usize, shard_index: usize) -> Self {
+        Self {
+            algorithm: algorithm.to_string(),
+            shards,
+            shard_index,
+            solutions: Vec::new(),
+            episodes: 0,
+            phases: Vec::new(),
+            complete: None,
+        }
+    }
+
+    /// A partial carrying the complete outcome (sequential shard 0).
+    pub fn completed(algorithm: &str, shards: usize, outcome: SearchOutcome) -> Self {
+        Self {
+            algorithm: algorithm.to_string(),
+            shards,
+            shard_index: 0,
+            solutions: Vec::new(),
+            episodes: outcome.episodes,
+            phases: Vec::new(),
+            complete: Some(outcome),
+        }
+    }
+
+    /// The partial as a [`ConfigValue`] table.
+    pub fn to_value(&self) -> ConfigValue {
+        let mut root = ConfigValue::table();
+        root.insert("algorithm", ConfigValue::Str(self.algorithm.clone()));
+        root.insert("shards", ConfigValue::Integer(self.shards as i64));
+        root.insert("shard_index", ConfigValue::Integer(self.shard_index as i64));
+        root.insert(
+            "solutions",
+            ConfigValue::Array(
+                self.solutions
+                    .iter()
+                    .map(|(key, solution)| {
+                        let mut entry = ConfigValue::table();
+                        entry.insert("key", ConfigValue::Integer(*key as i64));
+                        entry.insert("solution", solution_to_value(solution));
+                        entry
+                    })
+                    .collect(),
+            ),
+        );
+        root.insert("episodes", ConfigValue::Integer(self.episodes as i64));
+        root.insert(
+            "phases",
+            ConfigValue::Array(self.phases.iter().map(PhaseSummary::to_value).collect()),
+        );
+        if let Some(outcome) = &self.complete {
+            root.insert("complete", outcome_to_value(outcome));
+        }
+        root
+    }
+
+    /// Parse a partial from its [`ConfigValue`] form (candidates are
+    /// rebuilt against `workload`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a schema error for missing/ill-typed fields or candidates
+    /// that do not fit the workload.
+    pub fn from_value(value: &ConfigValue, workload: &Workload) -> Result<Self, ConfigError> {
+        let mut solutions = Vec::new();
+        for entry in array_field(value, "solutions")? {
+            let key = usize_field(entry, "key")?;
+            let solution = solution_from_value(field(entry, "solution")?, workload)?;
+            solutions.push((key, solution));
+        }
+        let mut phases = Vec::new();
+        for phase in array_field(value, "phases")? {
+            phases.push(phase_summary_from_value(phase)?);
+        }
+        let complete = match value.get("complete") {
+            Some(outcome) => Some(outcome_from_value(outcome, workload)?),
+            None => None,
+        };
+        Ok(Self {
+            algorithm: str_field(value, "algorithm")?.to_string(),
+            shards: usize_field(value, "shards")?,
+            shard_index: usize_field(value, "shard_index")?,
+            solutions,
+            episodes: usize_field(value, "episodes")?,
+            phases,
+            complete,
+        })
+    }
+
+    /// Serialize to pretty JSON (the `--shard-out` format).
+    pub fn to_json(&self) -> String {
+        value::to_json(&self.to_value())
+    }
+
+    /// Parse from JSON text.
+    ///
+    /// # Errors
+    ///
+    /// Returns the JSON parse error or the schema error of
+    /// [`from_value`](Self::from_value).
+    pub fn parse_json(text: &str, workload: &Workload) -> Result<Self, ConfigError> {
+        Self::from_value(&value::parse_json(text)?, workload)
+    }
+}
+
+/// Merge shard partials by replaying their solutions in global unit order
+/// — the pure merge behind
+/// [`SearchAlgorithm::merge_shards`](crate::algorithm::SearchAlgorithm::merge_shards).
+///
+/// Sequential plans short-circuit to shard 0's complete outcome.  Strided
+/// plans sort all keyed solutions and feed them through
+/// [`SearchOutcome::record`], reconstructing `best` and `spec_compliant`
+/// exactly as the single-process run did; `episodes` is the maximum the
+/// shards report, and phases are taken from shard 0.
+///
+/// # Panics
+///
+/// Panics when the partials do not form exactly one complete, consistent
+/// set for the plan (wrong count, duplicate/missing shard indices, a
+/// different algorithm, or a sequential shard 0 without an outcome).
+pub fn merge_replay(plan: &ShardPlan, mut partials: Vec<ShardPartial>) -> SearchOutcome {
+    assert_eq!(
+        partials.len(),
+        plan.shards,
+        "merge needs exactly one partial per shard"
+    );
+    partials.sort_by_key(|partial| partial.shard_index);
+    for (index, partial) in partials.iter().enumerate() {
+        assert_eq!(
+            partial.shard_index, index,
+            "duplicate or missing shard index {index}"
+        );
+        assert_eq!(
+            partial.algorithm, plan.algorithm,
+            "shard {index} belongs to algorithm `{}`, not `{}`",
+            partial.algorithm, plan.algorithm
+        );
+        assert_eq!(
+            partial.shards, plan.shards,
+            "shard {index} was produced for a {}-shard plan, not {}",
+            partial.shards, plan.shards
+        );
+    }
+    if plan.mode == ShardMode::Sequential {
+        let shard0 = partials.into_iter().next().expect("at least one shard");
+        return shard0
+            .complete
+            .expect("sequential shard 0 must carry the complete outcome");
+    }
+    let mut keyed: Vec<(usize, ExploredSolution)> = Vec::new();
+    let mut episodes = 0;
+    let mut phases = Vec::new();
+    for (index, partial) in partials.into_iter().enumerate() {
+        assert!(
+            partial.complete.is_none(),
+            "strided shard {index} must not carry a complete outcome"
+        );
+        keyed.extend(partial.solutions);
+        episodes = episodes.max(partial.episodes);
+        if index == 0 {
+            phases = partial.phases;
+        }
+    }
+    keyed.sort_by_key(|(key, _)| *key);
+    let mut outcome = SearchOutcome::empty();
+    for (_, solution) in keyed {
+        outcome.record(solution);
+    }
+    outcome.episodes = episodes;
+    outcome.phases = phases;
+    outcome
+}
+
+/// Offer a checkpoint to `sink` at `progress`, building the state tree
+/// only if the sink wants it, and announcing the save on the observer
+/// stream — the one snapshot-point helper all drivers share.
+pub fn offer_checkpoint(
+    sink: &dyn CheckpointSink,
+    observer: &dyn crate::algorithm::SearchObserver,
+    algorithm: &str,
+    seed: u64,
+    progress: usize,
+    state: impl FnOnce() -> ConfigValue,
+) {
+    if sink.wants(progress) {
+        let checkpoint = SearchCheckpoint::new(algorithm, seed, progress, state());
+        sink.on_checkpoint(&checkpoint);
+        observer.on_event(&crate::algorithm::SearchEvent::CheckpointSaved { progress });
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Value codecs
+// ---------------------------------------------------------------------------
+
+fn field<'a>(table: &'a ConfigValue, key: &str) -> Result<&'a ConfigValue, ConfigError> {
+    table
+        .get(key)
+        .ok_or_else(|| ConfigError::schema(format!("checkpoint: missing field `{key}`")))
+}
+
+fn str_field<'a>(table: &'a ConfigValue, key: &str) -> Result<&'a str, ConfigError> {
+    field(table, key)?
+        .as_str()
+        .ok_or_else(|| ConfigError::schema(format!("checkpoint: field `{key}` is not a string")))
+}
+
+fn int_field(table: &ConfigValue, key: &str) -> Result<i64, ConfigError> {
+    field(table, key)?
+        .as_integer()
+        .ok_or_else(|| ConfigError::schema(format!("checkpoint: field `{key}` is not an integer")))
+}
+
+fn usize_field(table: &ConfigValue, key: &str) -> Result<usize, ConfigError> {
+    let raw = int_field(table, key)?;
+    usize::try_from(raw)
+        .map_err(|_| ConfigError::schema(format!("checkpoint: field `{key}` is negative ({raw})")))
+}
+
+fn bool_field(table: &ConfigValue, key: &str) -> Result<bool, ConfigError> {
+    field(table, key)?
+        .as_bool()
+        .ok_or_else(|| ConfigError::schema(format!("checkpoint: field `{key}` is not a boolean")))
+}
+
+fn float_field(table: &ConfigValue, key: &str) -> Result<f64, ConfigError> {
+    float_from_value(field(table, key)?)
+        .map_err(|_| ConfigError::schema(format!("checkpoint: field `{key}` is not a float")))
+}
+
+fn array_field<'a>(table: &'a ConfigValue, key: &str) -> Result<&'a [ConfigValue], ConfigError> {
+    field(table, key)?
+        .as_array()
+        .ok_or_else(|| ConfigError::schema(format!("checkpoint: field `{key}` is not an array")))
+}
+
+/// Encode one `f64` exactly: finite values as floats (the emitter uses the
+/// shortest round-trip formatting), non-finite ones as the strings
+/// `"inf"` / `"-inf"` / `"nan"` (JSON has no literal for them, and
+/// infeasible mappings legitimately carry `INFINITY` metrics).
+pub fn float_to_value(x: f64) -> ConfigValue {
+    if x.is_finite() {
+        ConfigValue::Float(x)
+    } else if x.is_nan() {
+        ConfigValue::Str("nan".to_string())
+    } else if x > 0.0 {
+        ConfigValue::Str("inf".to_string())
+    } else {
+        ConfigValue::Str("-inf".to_string())
+    }
+}
+
+/// Decode a float written by [`float_to_value`].
+///
+/// # Errors
+///
+/// Returns a schema error for values that are neither numeric nor one of
+/// the non-finite marker strings.
+pub fn float_from_value(value: &ConfigValue) -> Result<f64, ConfigError> {
+    if let Some(x) = value.as_float() {
+        return Ok(x);
+    }
+    match value.as_str() {
+        Some("inf") => Ok(f64::INFINITY),
+        Some("-inf") => Ok(f64::NEG_INFINITY),
+        Some("nan") => Ok(f64::NAN),
+        _ => Err(ConfigError::schema(format!(
+            "checkpoint: expected a float, found {}",
+            value.kind()
+        ))),
+    }
+}
+
+pub(crate) fn floats_to_value(xs: &[f64]) -> ConfigValue {
+    ConfigValue::Array(xs.iter().copied().map(float_to_value).collect())
+}
+
+pub(crate) fn floats_from_value(value: &ConfigValue) -> Result<Vec<f64>, ConfigError> {
+    value
+        .as_array()
+        .ok_or_else(|| ConfigError::schema("checkpoint: expected a float array"))?
+        .iter()
+        .map(float_from_value)
+        .collect()
+}
+
+pub(crate) fn usizes_to_value(xs: &[usize]) -> ConfigValue {
+    ConfigValue::Array(xs.iter().map(|&x| ConfigValue::Integer(x as i64)).collect())
+}
+
+pub(crate) fn usizes_from_value(value: &ConfigValue) -> Result<Vec<usize>, ConfigError> {
+    value
+        .as_array()
+        .ok_or_else(|| ConfigError::schema("checkpoint: expected an integer array"))?
+        .iter()
+        .map(|item| {
+            item.as_integer()
+                .and_then(|raw| usize::try_from(raw).ok())
+                .ok_or_else(|| ConfigError::schema("checkpoint: expected a non-negative integer"))
+        })
+        .collect()
+}
+
+/// Encode a [`StdRngState`] (ChaCha12 key + block counter + buffer index).
+pub fn rng_state_to_value(state: &StdRngState) -> ConfigValue {
+    let mut root = ConfigValue::table();
+    root.insert(
+        "key",
+        ConfigValue::Array(
+            state
+                .key
+                .iter()
+                .map(|&word| ConfigValue::Integer(word as i64))
+                .collect(),
+        ),
+    );
+    root.insert("counter", ConfigValue::Integer(state.counter as i64));
+    root.insert("index", ConfigValue::Integer(state.index as i64));
+    root
+}
+
+/// Decode a [`StdRngState`] written by [`rng_state_to_value`].
+///
+/// # Errors
+///
+/// Returns a schema error for missing/ill-typed fields or a key that is
+/// not exactly 8 words.
+pub fn rng_state_from_value(value: &ConfigValue) -> Result<StdRngState, ConfigError> {
+    let words = array_field(value, "key")?;
+    if words.len() != 8 {
+        return Err(ConfigError::schema(format!(
+            "checkpoint: rng key has {} words, expected 8",
+            words.len()
+        )));
+    }
+    let mut key = [0u32; 8];
+    for (slot, word) in key.iter_mut().zip(words) {
+        *slot = word
+            .as_integer()
+            .and_then(|raw| u32::try_from(raw).ok())
+            .ok_or_else(|| ConfigError::schema("checkpoint: rng key word out of range"))?;
+    }
+    Ok(StdRngState {
+        key,
+        counter: int_field(value, "counter")? as u64,
+        index: usize_field(value, "index")?,
+    })
+}
+
+/// Encode a matrix as `{rows, cols, data}`.
+pub fn matrix_to_value(matrix: &Matrix) -> ConfigValue {
+    let mut root = ConfigValue::table();
+    root.insert("rows", ConfigValue::Integer(matrix.rows() as i64));
+    root.insert("cols", ConfigValue::Integer(matrix.cols() as i64));
+    root.insert("data", floats_to_value(matrix.as_slice()));
+    root
+}
+
+/// Decode a matrix written by [`matrix_to_value`].
+///
+/// # Errors
+///
+/// Returns a schema error for missing fields or a data length that does
+/// not match `rows * cols`.
+pub fn matrix_from_value(value: &ConfigValue) -> Result<Matrix, ConfigError> {
+    let rows = usize_field(value, "rows")?;
+    let cols = usize_field(value, "cols")?;
+    let data = floats_from_value(field(value, "data")?)?;
+    if data.len() != rows * cols {
+        return Err(ConfigError::schema(format!(
+            "checkpoint: matrix data has {} elements, expected {rows}x{cols}",
+            data.len()
+        )));
+    }
+    Ok(Matrix::from_vec(rows, cols, data))
+}
+
+fn opt_matrix_to_value(matrix: Option<&Matrix>) -> ConfigValue {
+    match matrix {
+        Some(matrix) => matrix_to_value(matrix),
+        None => ConfigValue::Bool(false),
+    }
+}
+
+fn opt_matrix_from_value(value: &ConfigValue) -> Result<Option<Matrix>, ConfigError> {
+    match value {
+        ConfigValue::Bool(false) => Ok(None),
+        other => Ok(Some(matrix_from_value(other)?)),
+    }
+}
+
+/// Encode a controller snapshot (policy weights, RMSProp accumulators,
+/// trainer baseline/counters).
+pub fn controller_state_to_value(state: &ControllerState) -> ConfigValue {
+    let policy = &state.policy;
+    let mut policy_table = ConfigValue::table();
+    policy_table.insert("w_x", matrix_to_value(&policy.w_x));
+    policy_table.insert("w_h", matrix_to_value(&policy.w_h));
+    policy_table.insert("b", matrix_to_value(&policy.b));
+    policy_table.insert(
+        "heads",
+        ConfigValue::Array(
+            policy
+                .heads
+                .iter()
+                .map(|(weights, bias)| {
+                    ConfigValue::Array(vec![matrix_to_value(weights), matrix_to_value(bias)])
+                })
+                .collect(),
+        ),
+    );
+    policy_table.insert(
+        "opt_cell",
+        ConfigValue::Array(
+            policy
+                .opt_cell
+                .iter()
+                .map(|slot| opt_matrix_to_value(slot.as_ref()))
+                .collect(),
+        ),
+    );
+    policy_table.insert(
+        "opt_heads",
+        ConfigValue::Array(
+            policy
+                .opt_heads
+                .iter()
+                .map(|(weights, bias)| {
+                    ConfigValue::Array(vec![
+                        opt_matrix_to_value(weights.as_ref()),
+                        opt_matrix_to_value(bias.as_ref()),
+                    ])
+                })
+                .collect(),
+        ),
+    );
+    let trainer = &state.trainer;
+    let mut trainer_table = ConfigValue::table();
+    if let Some(baseline) = trainer.baseline {
+        trainer_table.insert("baseline", float_to_value(baseline));
+    }
+    trainer_table.insert("updates", ConfigValue::Integer(trainer.updates as i64));
+    trainer_table.insert("reward_history", floats_to_value(&trainer.reward_history));
+    let mut root = ConfigValue::table();
+    root.insert("policy", policy_table);
+    root.insert("trainer", trainer_table);
+    root
+}
+
+fn matrix_pair_from_value(value: &ConfigValue) -> Result<(Matrix, Matrix), ConfigError> {
+    let pair = value
+        .as_array()
+        .ok_or_else(|| ConfigError::schema("checkpoint: expected a matrix pair"))?;
+    if pair.len() != 2 {
+        return Err(ConfigError::schema(
+            "checkpoint: matrix pair must have 2 entries",
+        ));
+    }
+    Ok((matrix_from_value(&pair[0])?, matrix_from_value(&pair[1])?))
+}
+
+fn opt_matrix_pair_from_value(
+    value: &ConfigValue,
+) -> Result<(Option<Matrix>, Option<Matrix>), ConfigError> {
+    let pair = value
+        .as_array()
+        .ok_or_else(|| ConfigError::schema("checkpoint: expected an accumulator pair"))?;
+    if pair.len() != 2 {
+        return Err(ConfigError::schema(
+            "checkpoint: accumulator pair must have 2 entries",
+        ));
+    }
+    Ok((
+        opt_matrix_from_value(&pair[0])?,
+        opt_matrix_from_value(&pair[1])?,
+    ))
+}
+
+/// Decode a controller snapshot written by [`controller_state_to_value`].
+///
+/// # Errors
+///
+/// Returns a schema error for missing/ill-typed fields.
+pub fn controller_state_from_value(value: &ConfigValue) -> Result<ControllerState, ConfigError> {
+    let policy_value = field(value, "policy")?;
+    let mut heads = Vec::new();
+    for head in array_field(policy_value, "heads")? {
+        heads.push(matrix_pair_from_value(head)?);
+    }
+    let cell_slots = array_field(policy_value, "opt_cell")?;
+    if cell_slots.len() != 3 {
+        return Err(ConfigError::schema(
+            "checkpoint: opt_cell must have 3 entries",
+        ));
+    }
+    let opt_cell = [
+        opt_matrix_from_value(&cell_slots[0])?,
+        opt_matrix_from_value(&cell_slots[1])?,
+        opt_matrix_from_value(&cell_slots[2])?,
+    ];
+    let mut opt_heads = Vec::new();
+    for head in array_field(policy_value, "opt_heads")? {
+        opt_heads.push(opt_matrix_pair_from_value(head)?);
+    }
+    let policy = PolicyState {
+        w_x: matrix_from_value(field(policy_value, "w_x")?)?,
+        w_h: matrix_from_value(field(policy_value, "w_h")?)?,
+        b: matrix_from_value(field(policy_value, "b")?)?,
+        heads,
+        opt_cell,
+        opt_heads,
+    };
+    let trainer_value = field(value, "trainer")?;
+    let baseline = match trainer_value.get("baseline") {
+        Some(raw) => Some(float_from_value(raw)?),
+        None => None,
+    };
+    let trainer = TrainerState {
+        baseline,
+        updates: int_field(trainer_value, "updates")? as u64,
+        reward_history: floats_from_value(field(trainer_value, "reward_history")?)?,
+    };
+    Ok(ControllerState { policy, trainer })
+}
+
+/// Encode a candidate: per-task architecture hyperparameter values (the
+/// architectures are rebuilt from the workload's backbones), the
+/// controller index vectors, and the accelerator's sub-accelerator
+/// triples.
+pub fn candidate_to_value(candidate: &Candidate) -> ConfigValue {
+    let mut root = ConfigValue::table();
+    root.insert(
+        "arch_values",
+        ConfigValue::Array(
+            candidate
+                .architectures
+                .iter()
+                .map(|arch| usizes_to_value(&arch.hyperparameters))
+                .collect(),
+        ),
+    );
+    root.insert(
+        "arch_indices",
+        ConfigValue::Array(
+            candidate
+                .architecture_indices
+                .iter()
+                .map(|indices| usizes_to_value(indices))
+                .collect(),
+        ),
+    );
+    root.insert(
+        "hardware_indices",
+        usizes_to_value(&candidate.hardware_indices),
+    );
+    root.insert(
+        "subs",
+        ConfigValue::Array(
+            candidate
+                .accelerator
+                .sub_accelerators()
+                .iter()
+                .map(|sub| {
+                    ConfigValue::Array(vec![
+                        ConfigValue::Integer(sub.dataflow.index() as i64),
+                        ConfigValue::Integer(sub.num_pes as i64),
+                        ConfigValue::Integer(sub.bandwidth_gbps as i64),
+                    ])
+                })
+                .collect(),
+        ),
+    );
+    root
+}
+
+/// Decode a candidate written by [`candidate_to_value`], rebuilding the
+/// architectures from `workload`'s backbones.
+///
+/// # Errors
+///
+/// Returns a schema error for missing fields, a task-count mismatch, or an
+/// unknown dataflow index.
+pub fn candidate_from_value(
+    value: &ConfigValue,
+    workload: &Workload,
+) -> Result<Candidate, ConfigError> {
+    let arch_values = array_field(value, "arch_values")?;
+    if arch_values.len() != workload.tasks.len() {
+        return Err(ConfigError::schema(format!(
+            "checkpoint: candidate has {} architectures, workload has {} tasks",
+            arch_values.len(),
+            workload.tasks.len()
+        )));
+    }
+    let mut architectures = Vec::with_capacity(arch_values.len());
+    for (task, values) in workload.tasks.iter().zip(arch_values) {
+        architectures.push(
+            task.backbone
+                .materialize_values(&usizes_from_value(values)?),
+        );
+    }
+    let mut architecture_indices = Vec::new();
+    for indices in array_field(value, "arch_indices")? {
+        architecture_indices.push(usizes_from_value(indices)?);
+    }
+    let mut subs = Vec::new();
+    for sub in array_field(value, "subs")? {
+        let triple = usizes_from_value(sub)?;
+        if triple.len() != 3 {
+            return Err(ConfigError::schema(
+                "checkpoint: sub-accelerator triple must have 3 entries",
+            ));
+        }
+        let dataflow = Dataflow::from_index(triple[0]).ok_or_else(|| {
+            ConfigError::schema(format!("checkpoint: unknown dataflow index {}", triple[0]))
+        })?;
+        subs.push(SubAccelerator::new(dataflow, triple[1], triple[2]));
+    }
+    Ok(Candidate {
+        architectures,
+        accelerator: Accelerator::new(subs),
+        architecture_indices,
+        hardware_indices: usizes_from_value(field(value, "hardware_indices")?)?,
+    })
+}
+
+/// Encode an evaluation (accuracies, weighted accuracy, hardware metrics
+/// — possibly `INFINITY` — spec check, mapping feasibility).
+pub fn evaluation_to_value(evaluation: &Evaluation) -> ConfigValue {
+    let mut root = ConfigValue::table();
+    root.insert("accuracies", floats_to_value(&evaluation.accuracies));
+    root.insert(
+        "weighted_accuracy",
+        float_to_value(evaluation.weighted_accuracy),
+    );
+    root.insert(
+        "latency_cycles",
+        float_to_value(evaluation.metrics.latency_cycles),
+    );
+    root.insert("energy_nj", float_to_value(evaluation.metrics.energy_nj));
+    root.insert("area_um2", float_to_value(evaluation.metrics.area_um2));
+    root.insert(
+        "spec_latency",
+        ConfigValue::Bool(evaluation.spec_check.latency),
+    );
+    root.insert(
+        "spec_energy",
+        ConfigValue::Bool(evaluation.spec_check.energy),
+    );
+    root.insert("spec_area", ConfigValue::Bool(evaluation.spec_check.area));
+    root.insert(
+        "mapping_feasible",
+        ConfigValue::Bool(evaluation.mapping_feasible),
+    );
+    root
+}
+
+/// Decode an evaluation written by [`evaluation_to_value`].
+///
+/// # Errors
+///
+/// Returns a schema error for missing/ill-typed fields.
+pub fn evaluation_from_value(value: &ConfigValue) -> Result<Evaluation, ConfigError> {
+    Ok(Evaluation {
+        accuracies: floats_from_value(field(value, "accuracies")?)?,
+        weighted_accuracy: float_field(value, "weighted_accuracy")?,
+        metrics: HardwareMetrics {
+            latency_cycles: float_field(value, "latency_cycles")?,
+            energy_nj: float_field(value, "energy_nj")?,
+            area_um2: float_field(value, "area_um2")?,
+        },
+        spec_check: SpecCheck {
+            latency: bool_field(value, "spec_latency")?,
+            energy: bool_field(value, "spec_energy")?,
+            area: bool_field(value, "spec_area")?,
+        },
+        mapping_feasible: bool_field(value, "mapping_feasible")?,
+    })
+}
+
+/// Encode one explored solution.
+pub fn solution_to_value(solution: &ExploredSolution) -> ConfigValue {
+    let mut root = ConfigValue::table();
+    root.insert("episode", ConfigValue::Integer(solution.episode as i64));
+    root.insert("candidate", candidate_to_value(&solution.candidate));
+    root.insert("evaluation", evaluation_to_value(&solution.evaluation));
+    root.insert("reward", float_to_value(solution.reward));
+    root
+}
+
+/// Decode a solution written by [`solution_to_value`].
+///
+/// # Errors
+///
+/// Returns a schema error for missing/ill-typed fields.
+pub fn solution_from_value(
+    value: &ConfigValue,
+    workload: &Workload,
+) -> Result<ExploredSolution, ConfigError> {
+    Ok(ExploredSolution {
+        episode: usize_field(value, "episode")?,
+        candidate: candidate_from_value(field(value, "candidate")?, workload)?,
+        evaluation: evaluation_from_value(field(value, "evaluation")?)?,
+        reward: float_field(value, "reward")?,
+    })
+}
+
+/// Decode a phase summary written by [`PhaseSummary::to_value`].
+///
+/// # Errors
+///
+/// Returns a schema error for missing/ill-typed fields.
+pub fn phase_summary_from_value(value: &ConfigValue) -> Result<PhaseSummary, ConfigError> {
+    let best_weighted_accuracy = match value.get("best_weighted_accuracy") {
+        Some(raw) => Some(float_from_value(raw)?),
+        None => None,
+    };
+    Ok(PhaseSummary {
+        name: str_field(value, "name")?.to_string(),
+        episodes: usize_field(value, "episodes")?,
+        explored: usize_field(value, "explored")?,
+        spec_compliant: usize_field(value, "spec_compliant")?,
+        best_weighted_accuracy,
+        detail: str_field(value, "detail")?.to_string(),
+    })
+}
+
+/// Encode a full search outcome.
+///
+/// Only the `explored` record sequence and the scalar counters are
+/// written: `best` and `spec_compliant` are reconstructed by replaying the
+/// records through [`SearchOutcome::record`], which is exactly how every
+/// driver built them in the first place.
+pub fn outcome_to_value(outcome: &SearchOutcome) -> ConfigValue {
+    let mut root = ConfigValue::table();
+    root.insert(
+        "explored",
+        ConfigValue::Array(outcome.explored.iter().map(solution_to_value).collect()),
+    );
+    root.insert("episodes", ConfigValue::Integer(outcome.episodes as i64));
+    root.insert(
+        "pruned_episodes",
+        ConfigValue::Integer(outcome.pruned_episodes as i64),
+    );
+    root.insert("reward_history", floats_to_value(&outcome.reward_history));
+    root.insert(
+        "phases",
+        ConfigValue::Array(outcome.phases.iter().map(PhaseSummary::to_value).collect()),
+    );
+    root
+}
+
+/// Decode an outcome written by [`outcome_to_value`] by replaying its
+/// record sequence.
+///
+/// # Errors
+///
+/// Returns a schema error for missing/ill-typed fields.
+pub fn outcome_from_value(
+    value: &ConfigValue,
+    workload: &Workload,
+) -> Result<SearchOutcome, ConfigError> {
+    let mut outcome = SearchOutcome::empty();
+    for solution in array_field(value, "explored")? {
+        outcome.record(solution_from_value(solution, workload)?);
+    }
+    outcome.episodes = usize_field(value, "episodes")?;
+    outcome.pruned_episodes = usize_field(value, "pruned_episodes")?;
+    outcome.reward_history = floats_from_value(field(value, "reward_history")?)?;
+    for phase in array_field(value, "phases")? {
+        outcome.phases.push(phase_summary_from_value(phase)?);
+    }
+    Ok(outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluator::{AccuracyOracle, Evaluator};
+    use crate::spec::{DesignSpecs, WorkloadId};
+    use nasaic_rl::{Controller, ControllerConfig, Segment};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn sample_solution(episode: usize, compliant: bool) -> ExploredSolution {
+        let workload = Workload::w1();
+        let specs = DesignSpecs::for_workload(WorkloadId::W1);
+        let evaluator = Evaluator::new(&workload, specs, AccuracyOracle::default());
+        let architectures: Vec<_> = workload
+            .tasks
+            .iter()
+            .map(|t| {
+                if compliant {
+                    t.backbone.smallest_architecture()
+                } else {
+                    t.backbone.largest_architecture()
+                }
+            })
+            .collect();
+        let accelerator = Accelerator::new(vec![
+            SubAccelerator::new(Dataflow::Nvdla, 1760, 40),
+            SubAccelerator::new(Dataflow::Shidiannao, 1152, 24),
+        ]);
+        let candidate = Candidate::from_parts(architectures, accelerator);
+        let evaluation = evaluator.evaluate(&candidate);
+        ExploredSolution {
+            episode,
+            candidate,
+            evaluation,
+            reward: 0.25,
+        }
+    }
+
+    #[test]
+    fn checkpoint_envelope_round_trips_through_json() {
+        let mut state = ConfigValue::table();
+        state.insert("counter", ConfigValue::Integer(42));
+        let checkpoint = SearchCheckpoint::new("monte-carlo", 7, 13, state);
+        let parsed = SearchCheckpoint::parse_json(&checkpoint.to_json()).unwrap();
+        assert_eq!(parsed, checkpoint);
+    }
+
+    #[test]
+    fn unsupported_version_is_rejected() {
+        let mut checkpoint = SearchCheckpoint::new("nasaic", 1, 0, ConfigValue::table());
+        checkpoint.version = 99;
+        let error = SearchCheckpoint::parse_json(&checkpoint.to_json()).unwrap_err();
+        assert!(error.message.contains("version"), "{error}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_algorithm_is_rejected() {
+        SearchCheckpoint::new("nasaic", 1, 0, ConfigValue::table()).expect_run("monte-carlo", 1);
+    }
+
+    #[test]
+    fn non_finite_floats_round_trip() {
+        for x in [1.5, -0.0, f64::INFINITY, f64::NEG_INFINITY, 1e308, 5e-324] {
+            let decoded = float_from_value(&float_to_value(x)).unwrap();
+            assert_eq!(decoded.to_bits(), x.to_bits(), "{x}");
+        }
+        let nan = float_from_value(&float_to_value(f64::NAN)).unwrap();
+        assert!(nan.is_nan());
+    }
+
+    #[test]
+    fn rng_state_round_trips_mid_buffer() {
+        let mut rng = StdRng::seed_from_u64(99);
+        for _ in 0..37 {
+            let _: u32 = rng.gen_range(0..1000);
+        }
+        let state = rng.state();
+        let decoded = rng_state_from_value(&rng_state_to_value(&state)).unwrap();
+        assert_eq!(decoded, state);
+        let mut restored = StdRng::from_state(decoded);
+        for _ in 0..100 {
+            assert_eq!(rng.gen_range(0..17usize), restored.gen_range(0..17usize));
+        }
+    }
+
+    #[test]
+    fn controller_state_round_trips_through_values() {
+        let segments = vec![
+            Segment::new("dnn0", vec![4, 3, 4]),
+            Segment::new("aic0", vec![3, 17, 9]),
+        ];
+        let mut controller = Controller::new(segments.clone(), ControllerConfig::default(), 5);
+        let mut rng = StdRng::seed_from_u64(2);
+        for i in 0..10 {
+            let sample = controller.sample(&mut rng);
+            controller.feedback(&sample, 0.1 * i as f64);
+        }
+        let state = controller.export_state();
+        let decoded = controller_state_from_value(&controller_state_to_value(&state)).unwrap();
+        assert_eq!(decoded, state);
+        // And a fresh (pre-update) state with its `None` accumulators.
+        let fresh = Controller::new(segments, ControllerConfig::default(), 5).export_state();
+        let decoded = controller_state_from_value(&controller_state_to_value(&fresh)).unwrap();
+        assert_eq!(decoded, fresh);
+    }
+
+    #[test]
+    fn solution_round_trips_including_infinite_metrics() {
+        let workload = Workload::w1();
+        let mut solution = sample_solution(3, true);
+        let decoded = solution_from_value(&solution_to_value(&solution), &workload).unwrap();
+        assert_eq!(decoded, solution);
+        // Infeasible mappings carry INFINITY metrics; they must survive.
+        solution.evaluation.metrics = HardwareMetrics::infeasible();
+        solution.evaluation.mapping_feasible = false;
+        let decoded = solution_from_value(&solution_to_value(&solution), &workload).unwrap();
+        assert_eq!(decoded, solution);
+    }
+
+    #[test]
+    fn outcome_round_trips_by_replaying_records() {
+        let workload = Workload::w1();
+        let mut outcome = SearchOutcome::empty();
+        outcome.record(sample_solution(0, false));
+        outcome.record(sample_solution(1, true));
+        outcome.record(sample_solution(2, true));
+        outcome.episodes = 3;
+        outcome.pruned_episodes = 1;
+        outcome.reward_history = vec![0.1, 0.2, 0.3];
+        outcome.phases.push(PhaseSummary {
+            name: "nas".to_string(),
+            episodes: 3,
+            explored: 3,
+            spec_compliant: 2,
+            best_weighted_accuracy: Some(0.9),
+            detail: "details".to_string(),
+        });
+        let decoded = outcome_from_value(&outcome_to_value(&outcome), &workload).unwrap();
+        assert_eq!(decoded, outcome);
+    }
+
+    #[test]
+    fn file_sink_writes_parseable_checkpoints() {
+        let dir = std::env::temp_dir().join("nasaic-checkpoint-test");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cp.json");
+        let sink = FileCheckpointSink::new(&path, 2);
+        assert!(!sink.wants(1));
+        assert!(sink.wants(2));
+        let checkpoint = SearchCheckpoint::new("hill-climb", 3, 2, ConfigValue::table());
+        sink.on_checkpoint(&checkpoint);
+        assert!(sink.take_error().is_none());
+        let read = SearchCheckpoint::parse_json(&fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(read, checkpoint);
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn strided_merge_replays_solutions_in_global_order() {
+        let plan = ShardPlan::strided("monte-carlo", 2, 4);
+        assert!(plan.assigns(0, 0) && plan.assigns(2, 0));
+        assert!(plan.assigns(1, 1) && plan.assigns(3, 1));
+        let solutions: Vec<_> = (0..4).map(|i| sample_solution(i, i % 2 == 1)).collect();
+        let mut reference = SearchOutcome::empty();
+        for solution in &solutions {
+            reference.record(solution.clone());
+        }
+        reference.episodes = 4;
+        let mut shard0 = ShardPartial::empty("monte-carlo", 2, 0);
+        let mut shard1 = ShardPartial::empty("monte-carlo", 2, 1);
+        for (i, solution) in solutions.into_iter().enumerate() {
+            let target = if i % 2 == 0 { &mut shard0 } else { &mut shard1 };
+            target.solutions.push((i, solution));
+        }
+        shard0.episodes = 4;
+        shard1.episodes = 4;
+        // Merge accepts partials in any order.
+        let merged = merge_replay(&plan, vec![shard1, shard0]);
+        assert_eq!(merged, reference);
+    }
+
+    #[test]
+    fn sequential_merge_short_circuits_to_shard_zero() {
+        let plan = ShardPlan::sequential("nasaic", 3);
+        let mut outcome = SearchOutcome::empty();
+        outcome.record(sample_solution(0, true));
+        outcome.episodes = 1;
+        let partials = vec![
+            ShardPartial::completed("nasaic", 3, outcome.clone()),
+            ShardPartial::empty("nasaic", 3, 1),
+            ShardPartial::empty("nasaic", 3, 2),
+        ];
+        assert_eq!(merge_replay(&plan, partials), outcome);
+    }
+
+    #[test]
+    fn shard_partial_round_trips_through_json() {
+        let workload = Workload::w1();
+        let mut partial = ShardPartial::empty("nas-then-asic", 2, 1);
+        partial.solutions.push((3, sample_solution(3, true)));
+        partial.episodes = 6;
+        partial.phases.push(PhaseSummary {
+            name: "nas".to_string(),
+            episodes: 2,
+            explored: 2,
+            spec_compliant: 0,
+            best_weighted_accuracy: None,
+            detail: "archs".to_string(),
+        });
+        let parsed = ShardPartial::parse_json(&partial.to_json(), &workload).unwrap();
+        assert_eq!(parsed, partial);
+        // And the complete-outcome form.
+        let mut outcome = SearchOutcome::empty();
+        outcome.record(sample_solution(0, false));
+        let complete = ShardPartial::completed("nasaic", 2, outcome);
+        let parsed = ShardPartial::parse_json(&complete.to_json(), &workload).unwrap();
+        assert_eq!(parsed, complete);
+    }
+}

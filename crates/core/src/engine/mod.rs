@@ -36,11 +36,13 @@ pub mod pool;
 
 use crate::bounds::PenaltyBounds;
 use crate::candidate::Candidate;
+use crate::checkpoint;
 use crate::evaluator::{Evaluation, Evaluator};
 use crate::penalty::Penalty;
 use crate::reward::Reward;
+use crate::scenario::value::{ConfigError, ConfigValue};
 use crate::spec::SpecCheck;
-use nasaic_accel::Accelerator;
+use nasaic_accel::{Accelerator, Dataflow, SubAccelerator};
 use nasaic_cost::HardwareMetrics;
 use nasaic_nn::layer::Architecture;
 use std::collections::hash_map::Entry;
@@ -70,6 +72,11 @@ type AccuracyKey = (usize, String, Vec<usize>);
 /// and `Scenario::run_algorithm_with_engine` rejects engines whose cost
 /// model differs from the scenario's.
 type HardwareKey = (u64, Vec<(String, Vec<usize>)>, Accelerator);
+
+/// One row of the hardware-cache export: the cache key, the accelerator's
+/// `(dataflow index, PEs, bandwidth)` triples (the sortable stand-in for
+/// `Accelerator`, which has no `Ord`), and the cached metrics.
+type HardwareExportRow = (HardwareKey, Vec<(usize, usize, usize)>, HardwareMetrics);
 
 fn architectures_key(architectures: &[Architecture]) -> Vec<(String, Vec<usize>)> {
     architectures
@@ -278,6 +285,220 @@ impl EvalEngine {
             .write()
             .expect("hardware cache lock")
             .clear();
+    }
+
+    /// Export both memo caches as a serializable value, for warm-shard
+    /// handoff: a shard (or a resumed run) can start from another engine's
+    /// cache instead of cold.  Entries are sorted by key, so the export is
+    /// deterministic regardless of hash-map iteration order.
+    ///
+    /// Because cached values are bit-identical to what the evaluator would
+    /// recompute, importing a cache can never change a search outcome —
+    /// only how much of it is served warm.
+    pub fn export_caches(&self) -> ConfigValue {
+        let mut accuracy: Vec<(AccuracyKey, f64)> = self
+            .accuracy_cache
+            .read()
+            .expect("accuracy cache lock")
+            .iter()
+            .map(|(key, &value)| (key.clone(), value))
+            .collect();
+        accuracy.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut hardware: Vec<HardwareExportRow> = self
+            .hardware_cache
+            .read()
+            .expect("hardware cache lock")
+            .iter()
+            .map(|(key, &metrics)| {
+                let subs: Vec<(usize, usize, usize)> = key
+                    .2
+                    .sub_accelerators()
+                    .iter()
+                    .map(|sub| (sub.dataflow.index(), sub.num_pes, sub.bandwidth_gbps))
+                    .collect();
+                (key.clone(), subs, metrics)
+            })
+            .collect();
+        hardware.sort_by(|a, b| (a.0 .0, &a.0 .1, &a.1).cmp(&(b.0 .0, &b.0 .1, &b.1)));
+
+        let mut root = ConfigValue::table();
+        root.insert("version", ConfigValue::Integer(1));
+        root.insert(
+            "accuracy",
+            ConfigValue::Array(
+                accuracy
+                    .into_iter()
+                    .map(|((task, name, values), acc)| {
+                        let mut entry = ConfigValue::table();
+                        entry.insert("task", ConfigValue::Integer(task as i64));
+                        entry.insert("name", ConfigValue::Str(name));
+                        entry.insert("values", checkpoint::usizes_to_value(&values));
+                        entry.insert("accuracy", checkpoint::float_to_value(acc));
+                        entry
+                    })
+                    .collect(),
+            ),
+        );
+        root.insert(
+            "hardware",
+            ConfigValue::Array(
+                hardware
+                    .into_iter()
+                    .map(|((latency_bits, archs, _), subs, metrics)| {
+                        let mut entry = ConfigValue::table();
+                        entry.insert("latency_bits", ConfigValue::Integer(latency_bits as i64));
+                        entry.insert(
+                            "archs",
+                            ConfigValue::Array(
+                                archs
+                                    .into_iter()
+                                    .map(|(name, values)| {
+                                        let mut arch = ConfigValue::table();
+                                        arch.insert("name", ConfigValue::Str(name));
+                                        arch.insert("values", checkpoint::usizes_to_value(&values));
+                                        arch
+                                    })
+                                    .collect(),
+                            ),
+                        );
+                        entry.insert(
+                            "subs",
+                            ConfigValue::Array(
+                                subs.into_iter()
+                                    .map(|(dataflow, pes, bandwidth)| {
+                                        checkpoint::usizes_to_value(&[dataflow, pes, bandwidth])
+                                    })
+                                    .collect(),
+                            ),
+                        );
+                        entry.insert(
+                            "latency_cycles",
+                            checkpoint::float_to_value(metrics.latency_cycles),
+                        );
+                        entry.insert("energy_nj", checkpoint::float_to_value(metrics.energy_nj));
+                        entry.insert("area_um2", checkpoint::float_to_value(metrics.area_um2));
+                        entry
+                    })
+                    .collect(),
+            ),
+        );
+        root
+    }
+
+    /// Import cache entries written by [`export_caches`](Self::export_caches)
+    /// into this engine's caches (existing entries are kept; imported keys
+    /// overwrite on collision, which is harmless because values are pure
+    /// functions of their keys).  Counters are untouched: imported entries
+    /// count as neither hits nor misses until they are queried.
+    ///
+    /// # Errors
+    ///
+    /// Returns a schema error for an unknown version or a malformed entry.
+    pub fn import_caches(&self, value: &ConfigValue) -> Result<(), ConfigError> {
+        let version = value
+            .get("version")
+            .and_then(ConfigValue::as_integer)
+            .ok_or_else(|| ConfigError::schema("cache export: missing version"))?;
+        if version != 1 {
+            return Err(ConfigError::schema(format!(
+                "cache export: unsupported version {version}"
+            )));
+        }
+        let entry_array = |key: &str| -> Result<&[ConfigValue], ConfigError> {
+            value
+                .get(key)
+                .and_then(ConfigValue::as_array)
+                .ok_or_else(|| ConfigError::schema(format!("cache export: missing {key} array")))
+        };
+        let entry_str = |entry: &ConfigValue, key: &str| -> Result<String, ConfigError> {
+            entry
+                .get(key)
+                .and_then(ConfigValue::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| ConfigError::schema(format!("cache export: missing {key}")))
+        };
+        let entry_float = |entry: &ConfigValue, key: &str| -> Result<f64, ConfigError> {
+            checkpoint::float_from_value(
+                entry
+                    .get(key)
+                    .ok_or_else(|| ConfigError::schema(format!("cache export: missing {key}")))?,
+            )
+        };
+
+        let mut accuracy_entries: Vec<(AccuracyKey, f64)> = Vec::new();
+        for entry in entry_array("accuracy")? {
+            let task = entry
+                .get("task")
+                .and_then(ConfigValue::as_integer)
+                .ok_or_else(|| ConfigError::schema("cache export: missing task"))?
+                as usize;
+            let name = entry_str(entry, "name")?;
+            let values = checkpoint::usizes_from_value(
+                entry
+                    .get("values")
+                    .ok_or_else(|| ConfigError::schema("cache export: missing values"))?,
+            )?;
+            accuracy_entries.push(((task, name, values), entry_float(entry, "accuracy")?));
+        }
+
+        let mut hardware_entries: Vec<(HardwareKey, HardwareMetrics)> = Vec::new();
+        for entry in entry_array("hardware")? {
+            let latency_bits = entry
+                .get("latency_bits")
+                .and_then(ConfigValue::as_integer)
+                .ok_or_else(|| ConfigError::schema("cache export: missing latency_bits"))?
+                as u64;
+            let mut archs = Vec::new();
+            for arch in entry
+                .get("archs")
+                .and_then(ConfigValue::as_array)
+                .ok_or_else(|| ConfigError::schema("cache export: missing archs"))?
+            {
+                archs.push((
+                    entry_str(arch, "name")?,
+                    checkpoint::usizes_from_value(
+                        arch.get("values")
+                            .ok_or_else(|| ConfigError::schema("cache export: missing values"))?,
+                    )?,
+                ));
+            }
+            let mut subs = Vec::new();
+            for sub in entry
+                .get("subs")
+                .and_then(ConfigValue::as_array)
+                .ok_or_else(|| ConfigError::schema("cache export: missing subs"))?
+            {
+                let triple = checkpoint::usizes_from_value(sub)?;
+                if triple.len() != 3 {
+                    return Err(ConfigError::schema(
+                        "cache export: sub-accelerator triple must have 3 entries",
+                    ));
+                }
+                let dataflow = Dataflow::from_index(triple[0]).ok_or_else(|| {
+                    ConfigError::schema(format!(
+                        "cache export: unknown dataflow index {}",
+                        triple[0]
+                    ))
+                })?;
+                subs.push(SubAccelerator::new(dataflow, triple[1], triple[2]));
+            }
+            let metrics = HardwareMetrics::new(
+                entry_float(entry, "latency_cycles")?,
+                entry_float(entry, "energy_nj")?,
+                entry_float(entry, "area_um2")?,
+            );
+            hardware_entries.push(((latency_bits, archs, Accelerator::new(subs)), metrics));
+        }
+
+        self.accuracy_cache
+            .write()
+            .expect("accuracy cache lock")
+            .extend(accuracy_entries);
+        self.hardware_cache
+            .write()
+            .expect("hardware cache lock")
+            .extend(hardware_entries);
+        Ok(())
     }
 
     /// Accuracy of every architecture (training/validation path), memoised
@@ -684,6 +905,61 @@ mod tests {
         assert_eq!(warm.hardware_misses, 6);
         assert_eq!(warm.accuracy_hits, 12);
         assert!(warm.hit_rate() > 0.4);
+    }
+
+    #[test]
+    fn exported_caches_warm_a_fresh_engine() {
+        let warm = w1_engine();
+        let candidates = random_candidates(8, 23);
+        let expected = warm.evaluate_batch(&candidates);
+
+        // Export is deterministic (entries are sorted, not hash-ordered)
+        // and survives the JSON round trip.
+        let export = warm.export_caches();
+        assert_eq!(export, warm.export_caches());
+        let text = crate::scenario::value::to_json(&export);
+        let parsed = crate::scenario::value::parse_json(&text).expect("exported cache parses");
+        assert_eq!(export, parsed);
+
+        // A fresh engine with the import serves the whole stream from the
+        // caches, bit-identically.
+        let fresh = w1_engine();
+        fresh.import_caches(&parsed).expect("import succeeds");
+        let stats = fresh.stats();
+        assert_eq!(stats.accuracy_entries, warm.stats().accuracy_entries);
+        assert_eq!(stats.hardware_entries, warm.stats().hardware_entries);
+        let served = fresh.evaluate_batch(&candidates);
+        assert_eq!(expected, served);
+        let stats = fresh.stats();
+        assert_eq!(stats.hardware_misses, 0, "imported cache missed");
+        assert_eq!(stats.accuracy_misses, 0, "imported cache missed");
+        assert_eq!(stats.hardware_hits, 8);
+    }
+
+    #[test]
+    fn importing_a_cache_never_changes_results() {
+        // Import into an engine that then sees *different* candidates: the
+        // foreign entries must be inert for them.
+        let donor = w1_engine();
+        donor.evaluate_batch(&random_candidates(5, 31));
+        let export = donor.export_caches();
+
+        let engine = w1_engine();
+        engine.import_caches(&export).expect("import succeeds");
+        for candidate in random_candidates(6, 37) {
+            assert_eq!(
+                engine.evaluate(&candidate),
+                engine.evaluator().evaluate(&candidate)
+            );
+        }
+    }
+
+    #[test]
+    fn import_rejects_unknown_versions() {
+        let engine = w1_engine();
+        let mut bad = engine.export_caches();
+        bad.insert("version", ConfigValue::Integer(99));
+        assert!(engine.import_caches(&bad).is_err());
     }
 
     #[test]

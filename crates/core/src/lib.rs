@@ -49,6 +49,7 @@ pub mod algorithm;
 pub mod baselines;
 pub mod bounds;
 pub mod candidate;
+pub mod checkpoint;
 pub mod engine;
 pub mod evaluator;
 pub mod experiments;
@@ -71,6 +72,10 @@ pub mod prelude {
     };
     pub use crate::bounds::PenaltyBounds;
     pub use crate::candidate::Candidate;
+    pub use crate::checkpoint::{
+        merge_replay, CheckpointSink, FileCheckpointSink, NullCheckpointSink,
+        RecordingCheckpointSink, SearchCheckpoint, ShardMode, ShardPartial, ShardPlan,
+    };
     pub use crate::engine::{CacheStats, EngineConfig, EvalEngine};
     pub use crate::evaluator::{AccuracyOracle, Evaluation, Evaluator};
     pub use crate::log::{ExploredSolution, PhaseSummary, SearchOutcome};

@@ -44,6 +44,9 @@ pub mod report;
 pub mod value;
 
 use crate::algorithm::{NullObserver, SearchContext, SearchObserver};
+use crate::checkpoint::{
+    CheckpointSink, NullCheckpointSink, SearchCheckpoint, ShardPartial, ShardPlan,
+};
 use crate::engine::EvalEngine;
 use crate::evaluator::{AccuracyOracle, Evaluator};
 use crate::log::SearchOutcome;
@@ -898,6 +901,133 @@ impl Scenario {
         engine: &EvalEngine,
         observer: &dyn SearchObserver,
     ) -> SearchOutcome {
+        self.run_algorithm_checkpointed(algorithm, engine, observer, None, &NullCheckpointSink)
+    }
+
+    /// [`run_algorithm_observed`](Self::run_algorithm_observed) with
+    /// checkpoint plumbing: `resume` continues a run from a saved
+    /// [`SearchCheckpoint`] and `sink` receives new checkpoints as the run
+    /// progresses.  A resumed run continued to the full budget is
+    /// bit-identical to the uninterrupted run.
+    ///
+    /// # Panics
+    ///
+    /// As [`Scenario::run_algorithm_observed`], plus when `resume` was
+    /// written by a different algorithm or seed.
+    pub fn run_algorithm_checkpointed(
+        &self,
+        algorithm: Algorithm,
+        engine: &EvalEngine,
+        observer: &dyn SearchObserver,
+        resume: Option<&SearchCheckpoint>,
+        sink: &dyn CheckpointSink,
+    ) -> SearchOutcome {
+        self.check_engine(engine);
+        let workload = self.workload();
+        let hardware = self.hardware_space();
+        let driver = algorithm.instantiate(&self.search, self.seed);
+        let ctx = SearchContext::new(
+            &workload,
+            self.specs,
+            &hardware,
+            engine,
+            self.seed,
+            self.search.budget(),
+        )
+        .with_observer(observer);
+        driver.run_checkpointed(&ctx, resume, sink)
+    }
+
+    /// The algorithm's shard plan for splitting this scenario's run over
+    /// `shards` workers (see
+    /// [`SearchAlgorithm::shard_plan`](crate::algorithm::SearchAlgorithm::shard_plan)).
+    pub fn algorithm_shard_plan(
+        &self,
+        algorithm: Algorithm,
+        engine: &EvalEngine,
+        shards: usize,
+    ) -> ShardPlan {
+        self.check_engine(engine);
+        let workload = self.workload();
+        let hardware = self.hardware_space();
+        let driver = algorithm.instantiate(&self.search, self.seed);
+        let ctx = SearchContext::new(
+            &workload,
+            self.specs,
+            &hardware,
+            engine,
+            self.seed,
+            self.search.budget(),
+        );
+        driver.shard_plan(&ctx, shards)
+    }
+
+    /// Run one shard of this scenario's search under `plan`; the returned
+    /// [`ShardPartial`] merges with the other shards' partials through
+    /// [`merge_algorithm_shards`](Self::merge_algorithm_shards) into the
+    /// exact single-process outcome.
+    ///
+    /// # Panics
+    ///
+    /// As [`Scenario::run_algorithm_observed`], plus when `plan` names a
+    /// different algorithm or `shard_index >= plan.shards`.
+    pub fn run_algorithm_shard(
+        &self,
+        algorithm: Algorithm,
+        engine: &EvalEngine,
+        observer: &dyn SearchObserver,
+        plan: &ShardPlan,
+        shard_index: usize,
+    ) -> ShardPartial {
+        self.check_engine(engine);
+        let workload = self.workload();
+        let hardware = self.hardware_space();
+        let driver = algorithm.instantiate(&self.search, self.seed);
+        let ctx = SearchContext::new(
+            &workload,
+            self.specs,
+            &hardware,
+            engine,
+            self.seed,
+            self.search.budget(),
+        )
+        .with_observer(observer);
+        driver.run_shard(&ctx, plan, shard_index)
+    }
+
+    /// Merge the partials of every shard of `plan` into the single-process
+    /// [`SearchOutcome`].
+    ///
+    /// # Panics
+    ///
+    /// As [`Scenario::run_algorithm_observed`], plus when partials are
+    /// missing, duplicated, or from a different plan.
+    pub fn merge_algorithm_shards(
+        &self,
+        algorithm: Algorithm,
+        engine: &EvalEngine,
+        plan: &ShardPlan,
+        partials: Vec<ShardPartial>,
+    ) -> SearchOutcome {
+        self.check_engine(engine);
+        let workload = self.workload();
+        let hardware = self.hardware_space();
+        let driver = algorithm.instantiate(&self.search, self.seed);
+        let ctx = SearchContext::new(
+            &workload,
+            self.specs,
+            &hardware,
+            engine,
+            self.seed,
+            self.search.budget(),
+        );
+        driver.merge_shards(&ctx, plan, partials)
+    }
+
+    /// The engine/scenario compatibility gate shared by every run entry
+    /// point (see [`run_algorithm_observed`](Self::run_algorithm_observed)
+    /// for why each dimension is checked).
+    fn check_engine(&self, engine: &EvalEngine) {
         let workload = self.workload();
         assert!(
             engine.evaluator().specs() == &self.specs,
@@ -934,18 +1064,6 @@ impl Scenario {
              not key on the cost model, so a shared engine must come from this scenario's \
              `Scenario::engine()`",
         );
-        let hardware = self.hardware_space();
-        let driver = algorithm.instantiate(&self.search, self.seed);
-        let ctx = SearchContext::new(
-            &workload,
-            self.specs,
-            &hardware,
-            engine,
-            self.seed,
-            self.search.budget(),
-        )
-        .with_observer(observer);
-        driver.run(&ctx)
     }
 
     /// A one-line summary for listings.

@@ -4,6 +4,7 @@
 use super::value::{self, ConfigValue};
 use super::{Algorithm, Scenario};
 use crate::algorithm::{NullObserver, SearchObserver};
+use crate::checkpoint::{CheckpointSink, NullCheckpointSink, SearchCheckpoint};
 use crate::engine::{CacheStats, EvalEngine};
 use crate::log::{PhaseSummary, SearchOutcome};
 use std::fmt;
@@ -346,9 +347,23 @@ impl Scenario {
         engine: &EvalEngine,
         observer: &dyn SearchObserver,
     ) -> RunReport {
+        self.run_report_checkpointed(algorithm, engine, observer, None, &NullCheckpointSink)
+    }
+
+    /// [`run_report_observed`](Self::run_report_observed) with checkpoint
+    /// plumbing (the CLI's `--checkpoint`/`--resume` path): `resume`
+    /// continues from a saved checkpoint, `sink` receives new ones.
+    pub fn run_report_checkpointed(
+        &self,
+        algorithm: Algorithm,
+        engine: &EvalEngine,
+        observer: &dyn SearchObserver,
+        resume: Option<&SearchCheckpoint>,
+        sink: &dyn CheckpointSink,
+    ) -> RunReport {
         let stats_before = engine.stats();
         let start = Instant::now();
-        let outcome = self.run_algorithm_observed(algorithm, engine, observer);
+        let outcome = self.run_algorithm_checkpointed(algorithm, engine, observer, resume, sink);
         let wall_ms = start.elapsed().as_millis() as u64;
         RunReport::new(
             self,
@@ -357,6 +372,12 @@ impl Scenario {
             engine.stats().since(&stats_before),
             wall_ms,
         )
+    }
+
+    /// Summarise an already-computed outcome (the `nasaic merge` path,
+    /// where the merge itself does no evaluation worth timing).
+    pub fn report_for_outcome(&self, algorithm: Algorithm, outcome: &SearchOutcome) -> RunReport {
+        RunReport::new(self, algorithm, outcome, CacheStats::default(), 0)
     }
 }
 

@@ -12,11 +12,13 @@ use crate::algorithm::{
 };
 use crate::bounds::PenaltyBounds;
 use crate::candidate::Candidate;
+use crate::checkpoint::{self, CheckpointSink, NullCheckpointSink, SearchCheckpoint};
 use crate::engine::EvalEngine;
 use crate::evaluator::{AccuracyOracle, Evaluator};
 use crate::log::{ExploredSolution, SearchOutcome};
 use crate::penalty::Penalty;
 use crate::reward::Reward;
+use crate::scenario::value::ConfigValue;
 use crate::scenario::SearchSpec;
 use crate::selector::OptimizerSelector;
 use crate::spec::DesignSpecs;
@@ -350,12 +352,22 @@ impl Nasaic {
             engine,
             &self.config,
             &NullObserver,
+            None,
+            &NullCheckpointSink,
         )
     }
 
     /// The NASAIC episode loop, shared by the legacy entry points and the
     /// [`SearchAlgorithm`] trait path.  Observation is passive: the
     /// outcome is bit-identical with any observer.
+    ///
+    /// Checkpoints fire per completed episode with state `{rng,
+    /// controller, outcome}`; the penalty bounds and the optimizer
+    /// selector are re-derived on resume (both are deterministic functions
+    /// of the configuration and the engine's pure evaluations), and the
+    /// controller is rebuilt from its configuration before its weights,
+    /// optimizer accumulators and trainer counters are restored.
+    #[allow(clippy::too_many_arguments)]
     fn run_search(
         workload: &Workload,
         specs: &DesignSpecs,
@@ -363,9 +375,10 @@ impl Nasaic {
         engine: &EvalEngine,
         config: &NasaicConfig,
         observer: &dyn SearchObserver,
+        resume: Option<&SearchCheckpoint>,
+        sink: &dyn CheckpointSink,
     ) -> SearchOutcome {
         let stats_start = engine.stats();
-        let mut rng = StdRng::seed_from_u64(config.seed ^ 0x00c0_ffee);
         let bounds = PenaltyBounds::estimate_with_engine(
             workload,
             hardware,
@@ -380,10 +393,44 @@ impl Nasaic {
             config.controller,
             config.seed,
         );
-        let mut outcome = SearchOutcome::empty();
+        let (mut rng, mut outcome, start_episode) = match resume {
+            Some(cp) => {
+                cp.expect_run("nasaic", config.seed);
+                assert!(
+                    cp.progress <= config.episodes,
+                    "nasaic checkpoint progress {} exceeds the configured {} episodes",
+                    cp.progress,
+                    config.episodes
+                );
+                let rng = StdRng::from_state(
+                    checkpoint::rng_state_from_value(
+                        cp.state.get("rng").expect("nasaic checkpoint: rng"),
+                    )
+                    .expect("nasaic checkpoint: valid rng state"),
+                );
+                let state = checkpoint::controller_state_from_value(
+                    cp.state
+                        .get("controller")
+                        .expect("nasaic checkpoint: controller"),
+                )
+                .expect("nasaic checkpoint: valid controller state");
+                controller.restore_state(&state);
+                let outcome = checkpoint::outcome_from_value(
+                    cp.state.get("outcome").expect("nasaic checkpoint: outcome"),
+                    workload,
+                )
+                .expect("nasaic checkpoint: valid outcome");
+                (rng, outcome, cp.progress)
+            }
+            None => (
+                StdRng::seed_from_u64(config.seed ^ 0x00c0_ffee),
+                SearchOutcome::empty(),
+                0,
+            ),
+        };
         let m = workload.num_tasks();
 
-        for episode in 0..config.episodes {
+        for episode in start_episode..config.episodes {
             // Step 1: joint architecture + hardware prediction.
             let joint_sample = controller.sample(&mut rng);
             // Steps 2..: hardware-only predictions for the same architectures.
@@ -497,6 +544,23 @@ impl Nasaic {
                 entropy: Some(joint_sample.mean_entropy),
                 baseline: controller.baseline(),
             });
+            checkpoint::offer_checkpoint(
+                sink,
+                observer,
+                "nasaic",
+                config.seed,
+                episode + 1,
+                || {
+                    let mut state = ConfigValue::table();
+                    state.insert("rng", checkpoint::rng_state_to_value(&rng.state()));
+                    state.insert(
+                        "controller",
+                        checkpoint::controller_state_to_value(&controller.export_state()),
+                    );
+                    state.insert("outcome", checkpoint::outcome_to_value(&outcome));
+                    state
+                },
+            );
         }
         outcome.reward_history = controller.reward_history().to_vec();
         emit_search_finished(observer, &outcome, engine.stats().since(&stats_start));
@@ -514,7 +578,17 @@ impl SearchAlgorithm for Nasaic {
     /// this instance's [`NasaicConfig`]; the context's `seed`/`budget`
     /// fields are descriptive (see
     /// [`Algorithm::instantiate`](crate::scenario::Algorithm::instantiate)).
-    fn run(&self, ctx: &SearchContext<'_>) -> SearchOutcome {
+    ///
+    /// The search stays on the sequential shard fallback: the controller
+    /// learns from every episode's reward before sampling the next one, so
+    /// episodes cannot be strided across workers without changing the
+    /// policy trajectory.
+    fn run_checkpointed(
+        &self,
+        ctx: &SearchContext<'_>,
+        resume: Option<&SearchCheckpoint>,
+        sink: &dyn CheckpointSink,
+    ) -> SearchOutcome {
         Self::run_search(
             ctx.workload,
             &ctx.specs,
@@ -522,6 +596,8 @@ impl SearchAlgorithm for Nasaic {
             ctx.engine,
             &self.config,
             ctx.observer(),
+            resume,
+            sink,
         )
     }
 }

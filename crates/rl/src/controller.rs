@@ -144,6 +144,22 @@ impl Controller {
         self.trainer.baseline()
     }
 
+    pub(crate) fn policy_ref(&self) -> &PolicyNetwork {
+        &self.policy
+    }
+
+    pub(crate) fn policy_mut(&mut self) -> &mut PolicyNetwork {
+        &mut self.policy
+    }
+
+    pub(crate) fn trainer_ref(&self) -> &ReinforceTrainer {
+        &self.trainer
+    }
+
+    pub(crate) fn trainer_mut(&mut self) -> &mut ReinforceTrainer {
+        &mut self.trainer
+    }
+
     fn split(&self, actions: &[usize]) -> Vec<Vec<usize>> {
         let mut out = Vec::with_capacity(self.segments.len());
         let mut offset = 0;

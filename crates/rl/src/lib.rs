@@ -48,8 +48,10 @@ pub mod controller;
 pub mod policy;
 pub mod reinforce;
 pub mod rnn;
+pub mod state;
 
 pub use controller::{Controller, ControllerConfig, ControllerSample, Segment};
 pub use policy::{EpisodeSample, PolicyNetwork};
 pub use reinforce::ReinforceTrainer;
 pub use rnn::RnnCell;
+pub use state::{ControllerState, PolicyState, TrainerState};

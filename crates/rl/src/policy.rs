@@ -355,6 +355,63 @@ impl PolicyNetwork {
         }
     }
 
+    /// Snapshot weights + optimizer accumulators (see
+    /// [`crate::state::PolicyState`]).
+    pub(crate) fn state_snapshot(&self) -> crate::state::PolicyState {
+        crate::state::PolicyState {
+            w_x: self.cell.w_x.clone(),
+            w_h: self.cell.w_h.clone(),
+            b: self.cell.b.clone(),
+            heads: self.heads.clone(),
+            opt_cell: [
+                self.opt_w_x.cache().cloned(),
+                self.opt_w_h.cache().cloned(),
+                self.opt_b.cache().cloned(),
+            ],
+            opt_heads: self
+                .opt_heads
+                .iter()
+                .map(|(u, c)| (u.cache().cloned(), c.cache().cloned()))
+                .collect(),
+        }
+    }
+
+    /// Restore a snapshot taken by
+    /// [`state_snapshot`](Self::state_snapshot); panics on any shape
+    /// mismatch.
+    pub(crate) fn state_restore(&mut self, state: &crate::state::PolicyState) {
+        assert_eq!(
+            state.heads.len(),
+            self.heads.len(),
+            "policy snapshot has {} heads, network has {}",
+            state.heads.len(),
+            self.heads.len()
+        );
+        assert_eq!(state.w_x.shape(), self.cell.w_x.shape(), "w_x shape");
+        assert_eq!(state.w_h.shape(), self.cell.w_h.shape(), "w_h shape");
+        assert_eq!(state.b.shape(), self.cell.b.shape(), "b shape");
+        for ((u, c), (su, sc)) in self.heads.iter().zip(&state.heads) {
+            assert_eq!(su.shape(), u.shape(), "head weight shape");
+            assert_eq!(sc.shape(), c.shape(), "head bias shape");
+        }
+        self.cell.w_x = state.w_x.clone();
+        self.cell.w_h = state.w_h.clone();
+        self.cell.b = state.b.clone();
+        self.heads = state.heads.clone();
+        self.opt_w_x.set_cache(state.opt_cell[0].clone());
+        self.opt_w_h.set_cache(state.opt_cell[1].clone());
+        self.opt_b.set_cache(state.opt_cell[2].clone());
+        assert_eq!(
+            state.opt_heads.len(),
+            self.opt_heads.len(),
+            "optimizer snapshot head count"
+        );
+        for ((opt_u, opt_c), (su, sc)) in self.opt_heads.iter_mut().zip(&state.opt_heads) {
+            opt_u.set_cache(su.clone());
+            opt_c.set_cache(sc.clone());
+        }
+    }
+
     /// Direct access to a head's weight matrix (used by gradient-check
     /// tests).
     #[doc(hidden)]

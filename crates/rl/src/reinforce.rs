@@ -160,6 +160,14 @@ impl ReinforceTrainer {
         (reward - baseline) * mean_discount
     }
 
+    /// Restore baseline/counters from a snapshot (the schedule and config
+    /// are reconstructed from [`ReinforceConfig`], not carried).
+    pub(crate) fn restore_trainer_state(&mut self, state: &crate::state::TrainerState) {
+        self.baseline = state.baseline;
+        self.updates = state.updates;
+        self.reward_history = state.reward_history.clone();
+    }
+
     /// Apply one REINFORCE update for a sampled trajectory and its terminal
     /// reward.  Returns the advantage that was used.
     pub fn update(&mut self, policy: &mut PolicyNetwork, actions: &[usize], reward: f64) -> f64 {

@@ -1,0 +1,186 @@
+//! Plain-data snapshots of the controller's mutable training state.
+//!
+//! A search checkpoint has to carry the controller across process
+//! boundaries: the policy weights, the per-parameter RMSProp accumulators
+//! and the trainer's baseline/step counters.  This module exposes that
+//! state as plain `Matrix`/`f64`/`u64` structs so the core crate can
+//! serialize it with its own codec without `nasaic-rl` depending on it.
+//!
+//! Everything *not* in these structs is either reconstructed from the
+//! controller's configuration (segment layout, schedule, temperature) or
+//! transient within a single update (gradients, the RNN hidden state,
+//! which is re-initialised per episode).
+
+use crate::controller::Controller;
+use crate::policy::PolicyNetwork;
+use crate::reinforce::ReinforceTrainer;
+use nasaic_tensor::Matrix;
+
+/// Mutable state of a [`PolicyNetwork`]: every weight matrix plus the
+/// RMSProp squared-gradient accumulators (in the network's parameter
+/// order: recurrent cell, then one `(weights, bias)` pair per head).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PolicyState {
+    /// Input-to-hidden weights of the recurrent cell.
+    pub w_x: Matrix,
+    /// Hidden-to-hidden weights of the recurrent cell.
+    pub w_h: Matrix,
+    /// Hidden bias of the recurrent cell.
+    pub b: Matrix,
+    /// Per-head `(weights, bias)` pairs, one per decision step.
+    pub heads: Vec<(Matrix, Matrix)>,
+    /// RMSProp accumulators of `w_x`/`w_h`/`b` (`None` before the first
+    /// update).
+    pub opt_cell: [Option<Matrix>; 3],
+    /// RMSProp accumulators of each head's `(weights, bias)`.
+    pub opt_heads: Vec<(Option<Matrix>, Option<Matrix>)>,
+}
+
+/// Mutable state of a [`ReinforceTrainer`]: the EMA baseline, the update
+/// counter driving the learning-rate schedule, and the reward history
+/// surfaced in search outcomes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainerState {
+    /// EMA reward baseline (`None` before the first update).
+    pub baseline: Option<f64>,
+    /// Number of updates applied so far.
+    pub updates: u64,
+    /// Rewards observed so far.
+    pub reward_history: Vec<f64>,
+}
+
+/// Mutable state of a whole [`Controller`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ControllerState {
+    /// Policy weights + optimizer accumulators.
+    pub policy: PolicyState,
+    /// Trainer baseline/counters.
+    pub trainer: TrainerState,
+}
+
+impl PolicyNetwork {
+    /// Snapshot the network's mutable state (weights + optimizer
+    /// accumulators).
+    pub fn export_state(&self) -> PolicyState {
+        self.state_snapshot()
+    }
+
+    /// Restore a previously exported snapshot.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the snapshot's shapes do not match this network (the
+    /// checkpoint belongs to a different controller layout).
+    pub fn restore_state(&mut self, state: &PolicyState) {
+        self.state_restore(state);
+    }
+}
+
+impl ReinforceTrainer {
+    /// Snapshot the trainer's mutable state.
+    pub fn export_state(&self) -> TrainerState {
+        TrainerState {
+            baseline: self.baseline(),
+            updates: self.updates(),
+            reward_history: self.reward_history().to_vec(),
+        }
+    }
+}
+
+impl Controller {
+    /// Snapshot the controller's mutable state (policy weights, optimizer
+    /// accumulators, trainer baseline/counters).  Restoring the snapshot
+    /// into a freshly constructed controller with the same segments and
+    /// configuration reproduces the original bit-for-bit: subsequent
+    /// `sample`/`feedback` calls yield identical results.
+    pub fn export_state(&self) -> ControllerState {
+        ControllerState {
+            policy: self.policy_ref().export_state(),
+            trainer: self.trainer_ref().export_state(),
+        }
+    }
+
+    /// Restore a previously exported snapshot.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the snapshot's policy shapes do not match this
+    /// controller's segment layout.
+    pub fn restore_state(&mut self, state: &ControllerState) {
+        self.policy_mut().restore_state(&state.policy);
+        self.trainer_mut().restore_trainer_state(&state.trainer);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::controller::{ControllerConfig, Segment};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn segments() -> Vec<Segment> {
+        vec![
+            Segment::new("dnn0", vec![4, 4, 3]),
+            Segment::new("aic0", vec![3, 17, 9]),
+        ]
+    }
+
+    #[test]
+    fn controller_state_round_trip_is_bit_identical() {
+        // Train a controller for a while, snapshot, keep training both the
+        // original and a restored clone in lockstep: samples, feedback
+        // advantages and reward history must agree exactly.
+        let mut original = Controller::new(segments(), ControllerConfig::default(), 42);
+        let mut rng = StdRng::seed_from_u64(7);
+        for i in 0..25 {
+            let sample = original.sample(&mut rng);
+            original.feedback(&sample, 0.1 * (i % 7) as f64);
+        }
+        let state = original.export_state();
+        let rng_state = rng.state();
+
+        let mut restored = Controller::new(segments(), ControllerConfig::default(), 999);
+        restored.restore_state(&state);
+        let mut restored_rng = StdRng::from_state(rng_state);
+
+        assert_eq!(original.baseline(), restored.baseline());
+        assert_eq!(original.updates(), restored.updates());
+        assert_eq!(original.reward_history(), restored.reward_history());
+        for i in 0..25 {
+            let a = original.sample(&mut rng);
+            let b = restored.sample(&mut restored_rng);
+            assert_eq!(a, b, "sample diverged at step {i}");
+            let reward = 0.05 * (i % 5) as f64;
+            let adv_a = original.feedback(&a, reward);
+            let adv_b = restored.feedback(&b, reward);
+            assert_eq!(adv_a, adv_b, "advantage diverged at step {i}");
+        }
+        assert_eq!(original.greedy(), restored.greedy());
+    }
+
+    #[test]
+    fn fresh_controller_state_round_trips_before_any_update() {
+        let original = Controller::new(segments(), ControllerConfig::default(), 3);
+        let state = original.export_state();
+        assert!(state.trainer.baseline.is_none());
+        assert_eq!(state.trainer.updates, 0);
+        assert!(state.policy.opt_cell.iter().all(Option::is_none));
+        let mut restored = Controller::new(segments(), ControllerConfig::default(), 3);
+        restored.restore_state(&state);
+        assert_eq!(original.greedy(), restored.greedy());
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_layout_is_rejected() {
+        let original = Controller::new(segments(), ControllerConfig::default(), 1);
+        let state = original.export_state();
+        let mut other = Controller::new(
+            vec![Segment::new("dnn0", vec![2, 2])],
+            ControllerConfig::default(),
+            1,
+        );
+        other.restore_state(&state);
+    }
+}

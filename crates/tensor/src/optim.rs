@@ -119,6 +119,25 @@ impl RmsProp {
     pub fn paper_defaults() -> Self {
         Self::new(0.99, 0.9)
     }
+
+    /// The squared-gradient accumulator (`None` until the first step).
+    /// Together with the learning rate this is the optimizer's entire
+    /// mutable state, exposed so checkpoints can serialize it.
+    pub fn cache(&self) -> Option<&Matrix> {
+        self.cache.as_ref()
+    }
+
+    /// Restore a previously exported accumulator (see
+    /// [`RmsProp::cache`]).  Passing `None` resets the optimizer to its
+    /// pre-first-step state.
+    pub fn set_cache(&mut self, cache: Option<Matrix>) {
+        self.cache = cache;
+    }
+
+    /// The decay constant the optimizer was built with.
+    pub fn decay(&self) -> f64 {
+        self.decay
+    }
 }
 
 impl Optimizer for RmsProp {

@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Regenerate the checkpoint/resume + sharded-execution perf snapshot.
+#
+#   scripts/bench_resume.sh                  # full run, appends to BENCH_resume.json
+#   scripts/bench_resume.sh --quick --check  # CI mode: identity gates only
+#                                            # (resume and merge must be
+#                                            # bit-identical), no timing write
+#
+# All arguments are forwarded to the `resume_baseline` binary
+# (see `crates/bench/src/bin/resume_baseline.rs` for the full flag list).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+cargo run --release -p nasaic-bench --bin resume_baseline -- "$@"

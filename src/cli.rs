@@ -9,6 +9,10 @@
 //! nasaic run --scenario <name|path> [--budget-episodes N] [--seed N]
 //!            [--algorithm NAME] [--format text|json|csv] [--output FILE]
 //!            [--trace FILE] [--progress]
+//!            [--checkpoint FILE] [--checkpoint-every N] [--resume FILE]
+//!            [--shards N --shard-index I --shard-out FILE]
+//! nasaic merge --scenario <name|path> [--algorithm NAME]
+//!              --partials a.json,b.json,... [--format text|json|csv]
 //! nasaic compare --scenario <name|path> [--algorithms a,b,c] [...]
 //! nasaic list-scenarios [--format text|json]
 //! nasaic show --scenario <name|path> [--format toml|json]
@@ -18,8 +22,19 @@
 //! boundaries, the final cache summary) as JSON lines; `--progress` (also
 //! implied by `--trace`) prints a human-readable progress line to stderr
 //! on each improvement.
+//!
+//! `--checkpoint FILE` snapshots the live search state to `FILE` (atomic
+//! rename) every `--checkpoint-every N` progress units; `--resume FILE`
+//! continues an interrupted run from such a snapshot, bit-identically to
+//! the uninterrupted run.  `--shards N --shard-index I` runs the `I`-th
+//! shard of a deterministic `N`-way split and writes a partial result to
+//! `--shard-out FILE`; `nasaic merge --partials ...` folds the partials
+//! into the exact single-process report.
 
 use nasaic_core::algorithm::{MulticastObserver, ProgressObserver, TraceObserver};
+use nasaic_core::checkpoint::{
+    CheckpointSink, FileCheckpointSink, NullCheckpointSink, SearchCheckpoint, ShardPartial,
+};
 use nasaic_core::experiments::compare;
 use nasaic_core::scenario::generate::GeneratorSpec;
 use nasaic_core::scenario::report::RunReport;
@@ -70,6 +85,7 @@ USAGE:
 
 COMMANDS:
     run             Run one scenario's declared search algorithm
+    merge           Merge shard partials into the single-process result
     compare         Run several algorithms on one scenario over a shared engine
     list-scenarios  List the built-in scenario registry
     show            Print a scenario's config (authoring starting point)
@@ -91,6 +107,13 @@ OPTIONS:
     --output <file>          Write the result there instead of stdout
     --trace <file>           Stream search events as JSON lines (run; implies --progress)
     --progress               Print search progress lines to stderr (run)
+    --checkpoint <file>      Snapshot the search state to this file (run)
+    --checkpoint-every <N>   Checkpoint every N progress units (run; default 1)
+    --resume <file>          Continue from a checkpoint file (run)
+    --shards <N>             Split the run into N deterministic shards (run)
+    --shard-index <I>        Which shard this process runs, 0-based (run)
+    --shard-out <file>       Where the shard writes its partial result (run)
+    --partials <a,b,..>      Comma-separated shard partial files (merge)
 
 Scenario schema: docs/scenarios.md.  Built-ins: {}.",
         registry::names().join(" ")
@@ -141,6 +164,13 @@ struct Options {
     output: Option<String>,
     trace: Option<String>,
     progress: bool,
+    checkpoint: Option<String>,
+    checkpoint_every: Option<usize>,
+    resume: Option<String>,
+    shards: Option<usize>,
+    shard_index: Option<usize>,
+    shard_out: Option<String>,
+    partials: Option<String>,
     /// The flag names actually given, for applicability checks.
     provided: Vec<String>,
 }
@@ -206,6 +236,40 @@ impl Options {
                 "--output" => options.output = Some(take()?),
                 "--trace" => options.trace = Some(take()?),
                 "--progress" => options.progress = true,
+                "--checkpoint" => options.checkpoint = Some(take()?),
+                "--checkpoint-every" => {
+                    let text = take()?;
+                    let every: usize = text.parse().map_err(|_| {
+                        CliError::new(format!(
+                            "--checkpoint-every needs a positive integer, got `{text}`"
+                        ))
+                    })?;
+                    if every == 0 {
+                        return Err(CliError::new("--checkpoint-every must be at least 1"));
+                    }
+                    options.checkpoint_every = Some(every);
+                }
+                "--resume" => options.resume = Some(take()?),
+                "--shards" => {
+                    let text = take()?;
+                    let shards: usize = text.parse().map_err(|_| {
+                        CliError::new(format!("--shards needs a positive integer, got `{text}`"))
+                    })?;
+                    if shards == 0 {
+                        return Err(CliError::new("--shards must be at least 1"));
+                    }
+                    options.shards = Some(shards);
+                }
+                "--shard-index" => {
+                    let text = take()?;
+                    options.shard_index = Some(text.parse().map_err(|_| {
+                        CliError::new(format!(
+                            "--shard-index needs a non-negative integer, got `{text}`"
+                        ))
+                    })?)
+                }
+                "--shard-out" => options.shard_out = Some(take()?),
+                "--partials" => options.partials = Some(take()?),
                 other => {
                     return Err(CliError::new(format!(
                         "unknown option `{other}` (see `nasaic help`)"
@@ -270,6 +334,7 @@ pub fn run_command(args: &[String]) -> Result<String, CliError> {
     let options = Options::parse(rest)?;
     let output = match command {
         "run" => cmd_run(&options)?,
+        "merge" => cmd_merge(&options)?,
         "compare" => cmd_compare(&options)?,
         "list-scenarios" => cmd_list(&options)?,
         "show" => cmd_show(&options)?,
@@ -303,42 +368,211 @@ fn cmd_run(options: &Options) -> Result<String, CliError> {
             "--output",
             "--trace",
             "--progress",
+            "--checkpoint",
+            "--checkpoint-every",
+            "--resume",
+            "--shards",
+            "--shard-index",
+            "--shard-out",
+        ],
+    )?;
+    let scenario = options.scenario()?;
+    if options.shards.is_some() || options.shard_index.is_some() || options.shard_out.is_some() {
+        return cmd_run_shard(options, &scenario);
+    }
+    let format = Format::parse(
+        options.format.as_deref().unwrap_or("text"),
+        &[Format::Text, Format::Json, Format::Csv],
+        "run",
+    )?;
+    let resume = options
+        .resume
+        .as_deref()
+        .map(|path| {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| CliError::new(format!("cannot read checkpoint {path}: {e}")))?;
+            SearchCheckpoint::parse_json(&text)
+                .map_err(|e| CliError::new(format!("bad checkpoint {path}: {e}")))
+        })
+        .transpose()?;
+    let file_sink = match (&options.checkpoint, options.checkpoint_every) {
+        (Some(path), every) => Some(FileCheckpointSink::new(Path::new(path), every.unwrap_or(1))),
+        (None, Some(_)) => {
+            return Err(CliError::new(
+                "--checkpoint-every needs `--checkpoint <file>`",
+            ))
+        }
+        (None, None) => None,
+    };
+    let sink: &dyn CheckpointSink = match &file_sink {
+        Some(sink) => sink,
+        None => &NullCheckpointSink,
+    };
+    let report =
+        if options.trace.is_some() || options.progress || resume.is_some() || file_sink.is_some() {
+            let engine = scenario.engine();
+            let trace =
+                match &options.trace {
+                    None => None,
+                    Some(path) => Some(TraceObserver::create(Path::new(path)).map_err(|e| {
+                        CliError::new(format!("cannot create trace file {path}: {e}"))
+                    })?),
+                };
+            let progress =
+                ProgressObserver::new(format!("{} {}", scenario.name, scenario.search.algorithm));
+            let mut observers = MulticastObserver::new();
+            if let Some(trace) = &trace {
+                observers.push(trace);
+            }
+            if options.trace.is_some() || options.progress {
+                observers.push(&progress);
+            }
+            let report = scenario.run_report_checkpointed(
+                scenario.search.algorithm,
+                &engine,
+                &observers,
+                resume.as_ref(),
+                sink,
+            );
+            if let Some(trace) = trace {
+                let path = options.trace.as_deref().unwrap_or_default();
+                trace
+                    .finish()
+                    .map_err(|e| CliError::new(format!("cannot write trace file {path}: {e}")))?;
+                eprintln!("trace written to {path}");
+            }
+            report
+        } else {
+            scenario.run_report()
+        };
+    if let Some(sink) = &file_sink {
+        if let Some(error) = sink.take_error() {
+            let path = options.checkpoint.as_deref().unwrap_or_default();
+            return Err(CliError::new(format!(
+                "cannot write checkpoint {path}: {error}"
+            )));
+        }
+    }
+    Ok(match format {
+        Format::Text => report.to_string(),
+        Format::Json => report.to_json(),
+        Format::Csv => format!("{}\n{}", RunReport::CSV_HEADER, report.to_csv_row()),
+        Format::Toml => unreachable!("rejected by Format::parse"),
+    })
+}
+
+/// The `run --shards N --shard-index I` path: run one shard of the
+/// deterministic N-way split and write its partial to `--shard-out`.
+fn cmd_run_shard(options: &Options, scenario: &Scenario) -> Result<String, CliError> {
+    let shards = options
+        .shards
+        .ok_or_else(|| CliError::new("sharded runs need `--shards <N>`"))?;
+    let shard_index = options
+        .shard_index
+        .ok_or_else(|| CliError::new("sharded runs need `--shard-index <I>`"))?;
+    if shard_index >= shards {
+        return Err(CliError::new(format!(
+            "--shard-index {shard_index} is out of range for {shards} shard(s)"
+        )));
+    }
+    if options.resume.is_some() || options.checkpoint.is_some() {
+        return Err(CliError::new(
+            "`--shards` does not combine with `--checkpoint`/`--resume` (checkpoint the \
+             single-process run, or re-run the cheap shard from scratch)",
+        ));
+    }
+    let out = options
+        .shard_out
+        .as_deref()
+        .ok_or_else(|| CliError::new("sharded runs need `--shard-out <file>`"))?;
+    let engine = scenario.engine();
+    let algorithm = scenario.search.algorithm;
+    let plan = scenario.algorithm_shard_plan(algorithm, &engine, shards);
+    let progress = ProgressObserver::new(format!(
+        "{} {} shard {shard_index}/{shards}",
+        scenario.name, scenario.search.algorithm
+    ));
+    let partial = if options.progress {
+        scenario.run_algorithm_shard(algorithm, &engine, &progress, &plan, shard_index)
+    } else {
+        let observer = nasaic_core::algorithm::NullObserver;
+        scenario.run_algorithm_shard(algorithm, &engine, &observer, &plan, shard_index)
+    };
+    std::fs::write(out, format!("{}\n", partial.to_json()))
+        .map_err(|e| CliError::new(format!("cannot write shard partial {out}: {e}")))?;
+    Ok(format!(
+        "wrote shard {shard_index}/{shards} partial ({} solution(s)) to {out}",
+        partial.solutions.len()
+            + partial
+                .complete
+                .as_ref()
+                .map_or(0, |outcome| outcome.explored.len())
+    ))
+}
+
+/// The `merge` subcommand: fold shard partials back into the exact
+/// single-process outcome and report it.
+fn cmd_merge(options: &Options) -> Result<String, CliError> {
+    options.ensure_only(
+        "merge",
+        &[
+            "--scenario",
+            "--budget-episodes",
+            "--seed",
+            "--algorithm",
+            "--partials",
+            "--format",
+            "--output",
         ],
     )?;
     let scenario = options.scenario()?;
     let format = Format::parse(
         options.format.as_deref().unwrap_or("text"),
         &[Format::Text, Format::Json, Format::Csv],
-        "run",
+        "merge",
     )?;
-    let report = if options.trace.is_some() || options.progress {
-        let engine = scenario.engine();
-        let trace = match &options.trace {
-            None => None,
-            Some(path) => Some(
-                TraceObserver::create(Path::new(path))
-                    .map_err(|e| CliError::new(format!("cannot create trace file {path}: {e}")))?,
-            ),
-        };
-        let progress =
-            ProgressObserver::new(format!("{} {}", scenario.name, scenario.search.algorithm));
-        let mut observers = MulticastObserver::new();
-        if let Some(trace) = &trace {
-            observers.push(trace);
+    let paths: Vec<&str> = options
+        .partials
+        .as_deref()
+        .ok_or_else(|| CliError::new("missing `--partials <a.json,b.json,...>`"))?
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .collect();
+    if paths.is_empty() {
+        return Err(CliError::new("--partials needs at least one file"));
+    }
+    let workload = scenario.workload();
+    let mut partials = Vec::with_capacity(paths.len());
+    for path in &paths {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| CliError::new(format!("cannot read shard partial {path}: {e}")))?;
+        partials.push(
+            ShardPartial::parse_json(&text, &workload)
+                .map_err(|e| CliError::new(format!("bad shard partial {path}: {e}")))?,
+        );
+    }
+    let algorithm = scenario.search.algorithm;
+    for (path, partial) in paths.iter().zip(&partials) {
+        if partial.algorithm != algorithm.name() {
+            return Err(CliError::new(format!(
+                "shard partial {path} was produced by `{}`, but the scenario declares `{}`",
+                partial.algorithm,
+                algorithm.name()
+            )));
         }
-        observers.push(&progress);
-        let report = scenario.run_report_observed(scenario.search.algorithm, &engine, &observers);
-        if let Some(trace) = trace {
-            let path = options.trace.as_deref().unwrap_or_default();
-            trace
-                .finish()
-                .map_err(|e| CliError::new(format!("cannot write trace file {path}: {e}")))?;
-            eprintln!("trace written to {path}");
+        if partial.shards != partials.len() {
+            return Err(CliError::new(format!(
+                "shard partial {path} belongs to a {}-shard run, but {} partial(s) were given",
+                partial.shards,
+                partials.len()
+            )));
         }
-        report
-    } else {
-        scenario.run_report()
-    };
+    }
+    let engine = scenario.engine();
+    let plan = scenario.algorithm_shard_plan(algorithm, &engine, partials.len());
+    let outcome = scenario.merge_algorithm_shards(algorithm, &engine, &plan, partials);
+    let report = scenario.report_for_outcome(algorithm, &outcome);
     Ok(match format {
         Format::Text => report.to_string(),
         Format::Json => report.to_json(),

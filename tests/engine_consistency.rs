@@ -179,29 +179,31 @@ fn generated_scenarios_are_bit_identical_across_engine_thread_counts() {
 }
 
 #[test]
-#[allow(deprecated)] // the cold-engine wrappers stay pinned to the engine path
-fn baseline_engine_entry_points_match_their_evaluator_wrappers() {
+fn baseline_engine_entry_points_match_the_trait_path() {
     use nasaic::core::baselines::MonteCarloSearch;
 
     let workload = Workload::w3();
     let specs = DesignSpecs::for_workload(WorkloadId::W3);
-    let evaluator = Evaluator::new(&workload, specs, AccuracyOracle::default());
     let hardware = HardwareSpace::paper_default(2);
     let mc = MonteCarloSearch { runs: 40, seed: 9 };
 
-    let through_wrapper = mc.run(&workload, &hardware, &evaluator);
-    let engine = EvalEngine::new(evaluator);
+    let engine = EvalEngine::new(Evaluator::new(&workload, specs, AccuracyOracle::default()));
     let through_engine = mc.run_with_engine(&workload, &hardware, &engine);
-    assert_eq!(
-        through_wrapper.explored.len(),
-        through_engine.explored.len()
+
+    let trait_engine = EvalEngine::new(Evaluator::new(&workload, specs, AccuracyOracle::default()));
+    let ctx = SearchContext::new(
+        &workload,
+        specs,
+        &hardware,
+        &trait_engine,
+        9,
+        Budget::new(40, 0),
     );
+    let through_trait = mc.run(&ctx);
+    assert_eq!(through_engine, through_trait);
+    assert_eq!(through_engine.explored.len(), through_trait.explored.len());
     assert_eq!(
-        through_wrapper.best_weighted_accuracy(),
-        through_engine.best_weighted_accuracy()
-    );
-    assert_eq!(
-        through_wrapper.spec_compliant.len(),
-        through_engine.spec_compliant.len()
+        through_engine.best_weighted_accuracy(),
+        through_trait.best_weighted_accuracy()
     );
 }

@@ -24,6 +24,19 @@ fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) 
 }
 
 impl ChaCha12Core {
+    /// Rebuild a core from exported `(key, counter)` state
+    /// (see [`ChaCha12Core::state`]).
+    pub fn from_state(key: [u32; 8], counter: u64) -> Self {
+        Self { key, counter }
+    }
+
+    /// The core's full state: the 256-bit key as little-endian words and
+    /// the 64-bit block counter.  `from_state(key, counter)` reproduces the
+    /// keystream from this point exactly.
+    pub fn state(&self) -> ([u32; 8], u64) {
+        (self.key, self.counter)
+    }
+
     /// Build the core from a 32-byte seed (key words little-endian).
     pub fn from_seed(seed: [u8; 32]) -> Self {
         let mut key = [0u32; 8];
