@@ -1,0 +1,331 @@
+//! `nasaic serve` perf snapshot: what the long-lived daemon's shared warm
+//! engine buys over one-shot runs, and how job throughput scales with
+//! concurrent clients —
+//!
+//! * warm payoff: wall-time of the first (cold) job on a fresh daemon
+//!   versus repeat submissions of the same scenario against the
+//!   now-warm shared engine;
+//! * client fan-in: the same 8-job batch submitted by 1 sequential
+//!   client versus 8 concurrent clients, as jobs/sec.
+//!
+//! ```text
+//! serve_baseline [--quick] [--check] [--label <label>] [--output <path>]
+//! ```
+//!
+//! * `--quick` — short budget (CI); default is the full budget used for
+//!   committed trajectory points.
+//! * `--check` — run the identity gate only and skip the timing write
+//!   (the gate is deterministic; CI runners are too noisy for the timing
+//!   numbers to be meaningful).
+//! * `--label` — entry label (default `local`).
+//! * `--output` — trajectory file to append to (default
+//!   `BENCH_serve.json`), holding
+//!   `{"schema": 1, "bench": "serve", "entries": [...]}`.
+//!
+//! The process exits non-zero when the identity gate fails: a job
+//! submitted over the socket must produce the same search outcome as
+//! `nasaic run` on the same scenario and seed, and a warm resubmission
+//! must change wall time only, never the outcome.
+
+use nasaic_core::prelude::*;
+use nasaic_core::scenario::value::{self, ConfigValue};
+use nasaic_serve::{Client, Daemon, DaemonHandle, ServeConfig};
+use std::time::Instant;
+
+struct Args {
+    quick: bool,
+    check: bool,
+    label: String,
+    output: String,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        quick: false,
+        check: false,
+        label: "local".to_string(),
+        output: "BENCH_serve.json".to_string(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => args.quick = true,
+            "--check" => args.check = true,
+            "--label" => args.label = it.next().expect("--label needs a value"),
+            "--output" => args.output = it.next().expect("--output needs a value"),
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+/// The scenario the snapshot measures: W1 at a fixed seed with a fixed
+/// mid-sized budget (`--quick` shrinks it for CI).
+fn snapshot_scenario(quick: bool) -> Scenario {
+    let mut scenario = registry::get("w1").expect("w1 is built in");
+    scenario.seed = 2020;
+    if quick {
+        scenario.search.episodes = 6;
+        scenario.search.hardware_trials = 3;
+        scenario.search.bound_samples = 5;
+    } else {
+        scenario.search.episodes = 40;
+        scenario.search.hardware_trials = 5;
+        scenario.search.bound_samples = 20;
+    }
+    scenario
+}
+
+/// Fields that legitimately differ between a daemon job and a direct run:
+/// wall time always, cache statistics whenever the shared engine is warm.
+const NONDETERMINISTIC_FIELDS: &[&str] = &[
+    "wall_ms",
+    "cache_hit_rate",
+    "accuracy_hit_rate",
+    "hardware_hit_rate",
+    "accuracy_entries",
+    "hardware_entries",
+    "accuracy_evictions",
+    "hardware_evictions",
+    "accuracy_capacity",
+    "hardware_capacity",
+];
+
+fn outcome_only(report: &ConfigValue) -> ConfigValue {
+    let mut stripped = report.clone();
+    for field in NONDETERMINISTIC_FIELDS {
+        stripped.remove(field);
+    }
+    stripped
+}
+
+fn start_daemon(workers: usize) -> (DaemonHandle, String) {
+    let handle = Daemon::start(ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers,
+        ..ServeConfig::default()
+    })
+    .expect("daemon starts");
+    let addr = handle.addr().to_string();
+    (handle, addr)
+}
+
+/// Submit one scenario over the socket (watching) and return its report.
+fn submit(addr: &str, scenario: &Scenario) -> ConfigValue {
+    let mut client = Client::connect(addr).expect("connect");
+    let response = client
+        .submit_watch(scenario.to_value(), |_| {})
+        .expect("watched submit");
+    assert_eq!(
+        response.get("state").and_then(ConfigValue::as_str),
+        Some("finished"),
+        "job did not finish: {response:?}"
+    );
+    response.get("report").expect("report").clone()
+}
+
+fn shutdown(addr: &str, handle: DaemonHandle) {
+    let mut client = Client::connect(addr).expect("connect for shutdown");
+    client
+        .request(&nasaic_serve::Request::Shutdown)
+        .expect("shutdown request");
+    handle.join().expect("clean shutdown");
+}
+
+/// The identity gate on a shrunk W1: the socket round trip and a warm
+/// resubmission must both match the direct in-process run bit for bit.
+/// Returns the failures (empty = pass).
+fn identity_failures() -> Vec<String> {
+    let mut scenario = registry::get("w1").expect("w1 is built in");
+    scenario.seed = 11;
+    scenario.search.episodes = 3;
+    scenario.search.hardware_trials = 2;
+    scenario.search.bound_samples = 3;
+    let mut failures = Vec::new();
+
+    let direct = outcome_only(&scenario.run_report().to_value());
+    let (handle, addr) = start_daemon(1);
+    let over_socket = outcome_only(&submit(&addr, &scenario));
+    if over_socket != direct {
+        failures.push("socket round trip changed the search outcome".to_string());
+    }
+    let warm = outcome_only(&submit(&addr, &scenario));
+    if warm != direct {
+        failures.push("warm resubmission changed the search outcome".to_string());
+    }
+    shutdown(&addr, handle);
+    failures
+}
+
+fn main() {
+    let args = parse_args();
+
+    println!("== serve identity gate ==");
+    let failures = identity_failures();
+    if failures.is_empty() {
+        println!(
+            "ok: the socket round trip and a warm resubmission are bit-identical \
+             to the direct run"
+        );
+    } else {
+        for failure in &failures {
+            eprintln!("FAIL: {failure}");
+        }
+        std::process::exit(1);
+    }
+    if args.check {
+        return;
+    }
+
+    let scenario = snapshot_scenario(args.quick);
+    println!(
+        "== warm-engine measurement (w1, seed {}, {} episodes x (1 + {}) designs) ==",
+        scenario.seed, scenario.search.episodes, scenario.search.hardware_trials
+    );
+
+    // Cold: the first job on a fresh daemon builds every value.  Warm:
+    // repeat submissions of the same scenario are served from the shared
+    // engine's caches.
+    let warm_jobs = 4usize;
+    let (handle, addr) = start_daemon(1);
+    let start = Instant::now();
+    let cold_report = submit(&addr, &scenario);
+    let cold_ms = start.elapsed().as_secs_f64() * 1e3;
+    let start = Instant::now();
+    for _ in 0..warm_jobs {
+        let warm_report = submit(&addr, &scenario);
+        assert_eq!(
+            outcome_only(&warm_report),
+            outcome_only(&cold_report),
+            "a warm job diverged from the cold one"
+        );
+    }
+    let warm_ms = start.elapsed().as_secs_f64() * 1e3 / warm_jobs as f64;
+    shutdown(&addr, handle);
+    println!(
+        "cold job {cold_ms:.0} ms; warm job {warm_ms:.1} ms averaged over {warm_jobs} \
+         ({:.1}x)",
+        cold_ms / warm_ms.max(f64::MIN_POSITIVE)
+    );
+
+    // Client fan-in: the same 8-job batch, 1 sequential client versus 8
+    // concurrent clients against a daemon with 8 workers.  Each batch runs
+    // on a fresh daemon so both start cold.
+    let batch = 8usize;
+    let seeds: Vec<u64> = (0..batch as u64).map(|i| 3000 + i).collect();
+    let batch_scenarios: Vec<Scenario> = seeds
+        .iter()
+        .map(|&seed| {
+            let mut s = snapshot_scenario(args.quick);
+            s.seed = seed;
+            s
+        })
+        .collect();
+
+    let (handle, addr) = start_daemon(8);
+    let start = Instant::now();
+    for s in &batch_scenarios {
+        submit(&addr, s);
+    }
+    let seq_wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    shutdown(&addr, handle);
+
+    let (handle, addr) = start_daemon(8);
+    let start = Instant::now();
+    let threads: Vec<_> = batch_scenarios
+        .iter()
+        .map(|s| {
+            let addr = addr.clone();
+            let s = s.clone();
+            std::thread::spawn(move || submit(&addr, &s))
+        })
+        .collect();
+    for thread in threads {
+        thread.join().expect("client thread");
+    }
+    let conc_wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    shutdown(&addr, handle);
+
+    let seq_jobs_per_s = batch as f64 / (seq_wall_ms / 1e3).max(f64::MIN_POSITIVE);
+    let conc_jobs_per_s = batch as f64 / (conc_wall_ms / 1e3).max(f64::MIN_POSITIVE);
+    println!(
+        "{batch} jobs: 1 client {seq_wall_ms:.0} ms ({seq_jobs_per_s:.2} jobs/s) vs \
+         {batch} clients {conc_wall_ms:.0} ms ({conc_jobs_per_s:.2} jobs/s, {:.2}x)",
+        seq_wall_ms / conc_wall_ms.max(f64::MIN_POSITIVE)
+    );
+
+    let mut entry = ConfigValue::table();
+    entry.insert("label", ConfigValue::Str(args.label.clone()));
+    entry.insert(
+        "mode",
+        ConfigValue::Str(if args.quick { "quick" } else { "full" }.to_string()),
+    );
+    entry.insert("scenario", ConfigValue::Str(scenario.name.clone()));
+    entry.insert("seed", ConfigValue::Integer(scenario.seed as i64));
+    entry.insert(
+        "episodes",
+        ConfigValue::Integer(scenario.search.episodes as i64),
+    );
+    entry.insert(
+        "hardware_trials",
+        ConfigValue::Integer(scenario.search.hardware_trials as i64),
+    );
+    entry.insert("cold_job_ms", ConfigValue::Float(cold_ms.round()));
+    entry.insert(
+        "warm_job_ms",
+        ConfigValue::Float((warm_ms * 1e1).round() / 1e1),
+    );
+    entry.insert("warm_jobs", ConfigValue::Integer(warm_jobs as i64));
+    entry.insert(
+        "warm_speedup",
+        ConfigValue::Float(((cold_ms / warm_ms.max(f64::MIN_POSITIVE)) * 1e1).round() / 1e1),
+    );
+    entry.insert("batch_jobs", ConfigValue::Integer(batch as i64));
+    entry.insert("seq_wall_ms", ConfigValue::Float(seq_wall_ms.round()));
+    entry.insert(
+        "seq_jobs_per_s",
+        ConfigValue::Float((seq_jobs_per_s * 1e2).round() / 1e2),
+    );
+    entry.insert("conc_clients", ConfigValue::Integer(batch as i64));
+    entry.insert("conc_wall_ms", ConfigValue::Float(conc_wall_ms.round()));
+    entry.insert(
+        "conc_jobs_per_s",
+        ConfigValue::Float((conc_jobs_per_s * 1e2).round() / 1e2),
+    );
+    entry.insert(
+        "conc_speedup",
+        ConfigValue::Float(
+            ((seq_wall_ms / conc_wall_ms.max(f64::MIN_POSITIVE)) * 1e2).round() / 1e2,
+        ),
+    );
+    entry.insert("identity_gate", ConfigValue::Str("ok".to_string()));
+
+    let mut root = match std::fs::read_to_string(&args.output) {
+        Ok(existing) => value::parse_json(&existing).unwrap_or_else(|e| {
+            eprintln!("cannot parse existing {}: {e}", args.output);
+            std::process::exit(1);
+        }),
+        Err(_) => {
+            let mut fresh = ConfigValue::table();
+            fresh.insert("schema", ConfigValue::Integer(1));
+            fresh.insert("bench", ConfigValue::Str("serve".to_string()));
+            fresh.insert("entries", ConfigValue::Array(Vec::new()));
+            fresh
+        }
+    };
+    let mut entries = root
+        .get("entries")
+        .and_then(|e| e.as_array())
+        .map(<[ConfigValue]>::to_vec)
+        .unwrap_or_default();
+    entries.push(entry);
+    root.insert("entries", ConfigValue::Array(entries));
+    std::fs::write(&args.output, value::to_json(&root) + "\n").unwrap_or_else(|e| {
+        eprintln!("cannot write {}: {e}", args.output);
+        std::process::exit(1);
+    });
+    println!("wrote {}", args.output);
+}

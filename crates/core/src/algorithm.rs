@@ -589,6 +589,22 @@ impl SearchEvent {
                     ConfigValue::Integer(cache.hardware_entries as i64),
                 );
                 root.insert(
+                    "accuracy_evictions",
+                    ConfigValue::Integer(cache.accuracy_evictions as i64),
+                );
+                root.insert(
+                    "hardware_evictions",
+                    ConfigValue::Integer(cache.hardware_evictions as i64),
+                );
+                root.insert(
+                    "accuracy_capacity",
+                    ConfigValue::Integer(cache.accuracy_capacity as i64),
+                );
+                root.insert(
+                    "hardware_capacity",
+                    ConfigValue::Integer(cache.hardware_capacity as i64),
+                );
+                root.insert(
                     "accuracy_hit_rate",
                     ConfigValue::Float(cache.accuracy_hit_rate()),
                 );
@@ -799,13 +815,15 @@ impl SearchObserver for ProgressObserver {
                     "[{}] finished: {episodes} episodes, {explored} explored, \
                      {spec_compliant} compliant ({pruned_episodes} pruned), \
                      cache hit rate {:.1}% \
-                     (accuracy {:.1}% over {} entries, hardware {:.1}% over {} entries)",
+                     (accuracy {:.1}% over {} entries, hardware {:.1}% over {} entries, \
+                     {} evicted)",
                     self.label,
                     cache.hit_rate() * 100.0,
                     cache.accuracy_hit_rate() * 100.0,
                     cache.accuracy_entries,
                     cache.hardware_hit_rate() * 100.0,
                     cache.hardware_entries,
+                    cache.evictions(),
                 );
             }
             SearchEvent::EpisodeEvaluated { .. } | SearchEvent::CheckpointSaved { .. } => {}
@@ -907,6 +925,10 @@ mod tests {
                     hardware_misses: 5,
                     accuracy_entries: 1,
                     hardware_entries: 5,
+                    accuracy_evictions: 0,
+                    hardware_evictions: 2,
+                    accuracy_capacity: 0,
+                    hardware_capacity: 7,
                 },
             },
         ]

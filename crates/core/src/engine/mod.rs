@@ -46,7 +46,8 @@ use nasaic_accel::{Accelerator, Dataflow, SubAccelerator};
 use nasaic_cost::HardwareMetrics;
 use nasaic_nn::layer::Architecture;
 use std::collections::hash_map::Entry;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
+use std::hash::Hash;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::RwLock;
 
@@ -107,6 +108,14 @@ pub struct EngineConfig {
     /// When `false`, every call recomputes (useful for measuring the cache
     /// itself; the default is `true`).
     pub caching: bool,
+    /// Accuracy-cache capacity in entries; `0` (the default) keeps the
+    /// cache unbounded.  A full cache evicts its oldest entry (FIFO), which
+    /// can only cost recomputation — cached values are pure, so eviction
+    /// never changes a result.
+    pub accuracy_capacity: usize,
+    /// Hardware-metrics-cache capacity in entries; `0` (the default) keeps
+    /// the cache unbounded.  Same FIFO eviction as `accuracy_capacity`.
+    pub hardware_capacity: usize,
 }
 
 impl Default for EngineConfig {
@@ -114,7 +123,101 @@ impl Default for EngineConfig {
         Self {
             threads: 0,
             caching: true,
+            accuracy_capacity: 0,
+            hardware_capacity: 0,
         }
+    }
+}
+
+/// A FIFO-bounded hash map: at most `capacity` resident entries (`0` =
+/// unbounded), evicting the oldest insertion when full.
+///
+/// FIFO — rather than LRU — keeps the hot read path lock-friendly: a hit
+/// needs only the [`RwLock`] read guard the unbounded map already used,
+/// because hits never reorder anything.  Eviction is an optimisation
+/// trade-off, never a correctness concern: cached values are pure functions
+/// of their keys, so an evicted entry is recomputed bit-identically on the
+/// next query (it just counts as a fresh miss).
+#[derive(Debug)]
+struct BoundedCache<K, V> {
+    map: HashMap<K, V>,
+    /// Insertion order of the resident keys; front = oldest.
+    order: VecDeque<K>,
+    /// `0` = unbounded.
+    capacity: usize,
+    evictions: u64,
+}
+
+impl<K: Clone + Eq + Hash, V> BoundedCache<K, V> {
+    fn new(capacity: usize) -> Self {
+        Self {
+            map: HashMap::new(),
+            order: VecDeque::new(),
+            capacity,
+            evictions: 0,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    fn get(&self, key: &K) -> Option<&V> {
+        self.map.get(key)
+    }
+
+    fn contains_key(&self, key: &K) -> bool {
+        self.map.contains_key(key)
+    }
+
+    fn iter(&self) -> impl Iterator<Item = (&K, &V)> {
+        self.map.iter()
+    }
+
+    fn clear(&mut self) {
+        self.map.clear();
+        self.order.clear();
+    }
+
+    fn evict_to_fit(&mut self) {
+        if self.capacity == 0 {
+            return;
+        }
+        while self.map.len() >= self.capacity {
+            let Some(oldest) = self.order.pop_front() else {
+                return;
+            };
+            if self.map.remove(&oldest).is_some() {
+                self.evictions += 1;
+            }
+        }
+    }
+
+    /// Insert unless the key is already resident; returns `true` when the
+    /// insert landed (the caller's miss) and `false` on an existing entry
+    /// (the caller's hit).  Evicts the oldest entry first when at capacity.
+    fn insert_if_absent(&mut self, key: K, value: V) -> bool {
+        if self.map.contains_key(&key) {
+            return false;
+        }
+        self.evict_to_fit();
+        self.order.push_back(key.clone());
+        self.map.insert(key, value);
+        true
+    }
+
+    /// Insert unconditionally: an existing entry's value is replaced in
+    /// place (keeping its age); a new key evicts to fit like
+    /// [`insert_if_absent`](Self::insert_if_absent).  Used by cache import,
+    /// where colliding keys are guaranteed to carry equal values.
+    fn force_insert(&mut self, key: K, value: V) {
+        if let Some(slot) = self.map.get_mut(&key) {
+            *slot = value;
+            return;
+        }
+        self.evict_to_fit();
+        self.order.push_back(key.clone());
+        self.map.insert(key, value);
     }
 }
 
@@ -134,6 +237,17 @@ pub struct CacheStats {
     pub accuracy_entries: u64,
     /// Hardware-metrics-cache size (a gauge, like `accuracy_entries`).
     pub hardware_entries: u64,
+    /// Accuracy-cache evictions (a counter: entries dropped to respect
+    /// [`EngineConfig::accuracy_capacity`]; always `0` when unbounded).
+    pub accuracy_evictions: u64,
+    /// Hardware-metrics-cache evictions (a counter, like
+    /// `accuracy_evictions`).
+    pub hardware_evictions: u64,
+    /// Configured accuracy-cache capacity (a gauge; `0` = unbounded).
+    pub accuracy_capacity: u64,
+    /// Configured hardware-metrics-cache capacity (a gauge; `0` =
+    /// unbounded).
+    pub hardware_capacity: u64,
 }
 
 impl CacheStats {
@@ -168,13 +282,18 @@ impl CacheStats {
         }
     }
 
+    /// Total entries evicted from both caches.
+    pub fn evictions(&self) -> u64 {
+        self.accuracy_evictions + self.hardware_evictions
+    }
+
     /// The counter delta since an earlier snapshot — the cache behaviour
     /// of just the work between the two [`EvalEngine::stats`] calls (used
     /// to report per-run rates on a long-lived shared engine).
     ///
-    /// The entry gauges are not deltas: the later snapshot's resident
-    /// sizes are kept as-is, since "entries at the end of the run" is the
-    /// meaningful per-run figure.
+    /// The entry and capacity gauges are not deltas: the later snapshot's
+    /// values are kept as-is, since "entries at the end of the run" (and
+    /// the configured bound) are the meaningful per-run figures.
     pub fn since(&self, earlier: &CacheStats) -> CacheStats {
         CacheStats {
             accuracy_hits: self.accuracy_hits - earlier.accuracy_hits,
@@ -183,6 +302,10 @@ impl CacheStats {
             hardware_misses: self.hardware_misses - earlier.hardware_misses,
             accuracy_entries: self.accuracy_entries,
             hardware_entries: self.hardware_entries,
+            accuracy_evictions: self.accuracy_evictions - earlier.accuracy_evictions,
+            hardware_evictions: self.hardware_evictions - earlier.hardware_evictions,
+            accuracy_capacity: self.accuracy_capacity,
+            hardware_capacity: self.hardware_capacity,
         }
     }
 }
@@ -217,8 +340,8 @@ impl CacheStats {
 pub struct EvalEngine {
     evaluator: Evaluator,
     config: EngineConfig,
-    accuracy_cache: RwLock<HashMap<AccuracyKey, f64>>,
-    hardware_cache: RwLock<HashMap<HardwareKey, HardwareMetrics>>,
+    accuracy_cache: RwLock<BoundedCache<AccuracyKey, f64>>,
+    hardware_cache: RwLock<BoundedCache<HardwareKey, HardwareMetrics>>,
     accuracy_hits: AtomicU64,
     accuracy_misses: AtomicU64,
     hardware_hits: AtomicU64,
@@ -236,8 +359,8 @@ impl EvalEngine {
         Self {
             evaluator,
             config,
-            accuracy_cache: RwLock::new(HashMap::new()),
-            hardware_cache: RwLock::new(HashMap::new()),
+            accuracy_cache: RwLock::new(BoundedCache::new(config.accuracy_capacity)),
+            hardware_cache: RwLock::new(BoundedCache::new(config.hardware_capacity)),
             accuracy_hits: AtomicU64::new(0),
             accuracy_misses: AtomicU64::new(0),
             hardware_hits: AtomicU64::new(0),
@@ -255,23 +378,22 @@ impl EvalEngine {
         &self.config
     }
 
-    /// Cache behaviour counters so far, plus the current cache sizes.
+    /// Cache behaviour counters so far, plus the current cache sizes and
+    /// configured capacities.
     pub fn stats(&self) -> CacheStats {
+        let accuracy = self.accuracy_cache.read().expect("accuracy cache lock");
+        let hardware = self.hardware_cache.read().expect("hardware cache lock");
         CacheStats {
             accuracy_hits: self.accuracy_hits.load(Ordering::Relaxed),
             accuracy_misses: self.accuracy_misses.load(Ordering::Relaxed),
             hardware_hits: self.hardware_hits.load(Ordering::Relaxed),
             hardware_misses: self.hardware_misses.load(Ordering::Relaxed),
-            accuracy_entries: self
-                .accuracy_cache
-                .read()
-                .expect("accuracy cache lock")
-                .len() as u64,
-            hardware_entries: self
-                .hardware_cache
-                .read()
-                .expect("hardware cache lock")
-                .len() as u64,
+            accuracy_entries: accuracy.len() as u64,
+            hardware_entries: hardware.len() as u64,
+            accuracy_evictions: accuracy.evictions,
+            hardware_evictions: hardware.evictions,
+            accuracy_capacity: self.config.accuracy_capacity as u64,
+            hardware_capacity: self.config.hardware_capacity as u64,
         }
     }
 
@@ -323,6 +445,8 @@ impl EvalEngine {
 
         let mut root = ConfigValue::table();
         root.insert("version", ConfigValue::Integer(1));
+        root.insert("accuracy_len", ConfigValue::Integer(accuracy.len() as i64));
+        root.insert("hardware_len", ConfigValue::Integer(hardware.len() as i64));
         root.insert(
             "accuracy",
             ConfigValue::Array(
@@ -389,11 +513,21 @@ impl EvalEngine {
     /// into this engine's caches (existing entries are kept; imported keys
     /// overwrite on collision, which is harmless because values are pure
     /// functions of their keys).  Counters are untouched: imported entries
-    /// count as neither hits nor misses until they are queried.
+    /// count as neither hits nor misses until they are queried.  On a
+    /// bounded cache the import respects the capacity — oldest entries are
+    /// evicted like any other insert.
+    ///
+    /// The whole file is validated *before* anything is imported, so a
+    /// failed import leaves the caches untouched.
     ///
     /// # Errors
     ///
-    /// Returns a schema error for an unknown version or a malformed entry.
+    /// Returns a schema error naming the offending entry (e.g.
+    /// `accuracy[3]`) for an unknown version, a declared length that does
+    /// not match the actual array (a truncated or corrupted file), a task
+    /// index out of range for this engine's workload (a stale export from
+    /// another scenario), or an out-of-range value (accuracies outside
+    /// `[0, 1]`, non-finite or negative hardware metrics).
     pub fn import_caches(&self, value: &ConfigValue) -> Result<(), ConfigError> {
         let version = value
             .get("version")
@@ -405,99 +539,148 @@ impl EvalEngine {
             )));
         }
         let entry_array = |key: &str| -> Result<&[ConfigValue], ConfigError> {
-            value
+            let array = value
                 .get(key)
                 .and_then(ConfigValue::as_array)
-                .ok_or_else(|| ConfigError::schema(format!("cache export: missing {key} array")))
+                .ok_or_else(|| ConfigError::schema(format!("cache export: missing {key} array")))?;
+            // `*_len` is written by every export; tolerate its absence (a
+            // hand-built value) but when present it must match, so a
+            // truncated file fails loudly instead of importing a prefix.
+            if let Some(declared) = value
+                .get(&format!("{key}_len"))
+                .and_then(ConfigValue::as_integer)
+            {
+                if declared != array.len() as i64 {
+                    return Err(ConfigError::schema(format!(
+                        "cache export: {key} declares {declared} entries but holds {} \
+                         (truncated or corrupted file?)",
+                        array.len()
+                    )));
+                }
+            }
+            Ok(array)
         };
-        let entry_str = |entry: &ConfigValue, key: &str| -> Result<String, ConfigError> {
+        let entry_str = |entry: &ConfigValue, at: &str, key: &str| -> Result<String, ConfigError> {
             entry
                 .get(key)
                 .and_then(ConfigValue::as_str)
                 .map(str::to_string)
-                .ok_or_else(|| ConfigError::schema(format!("cache export: missing {key}")))
+                .ok_or_else(|| ConfigError::schema(format!("cache export: {at}: missing {key}")))
         };
-        let entry_float = |entry: &ConfigValue, key: &str| -> Result<f64, ConfigError> {
-            checkpoint::float_from_value(
-                entry
-                    .get(key)
-                    .ok_or_else(|| ConfigError::schema(format!("cache export: missing {key}")))?,
-            )
-        };
+        let entry_float =
+            |entry: &ConfigValue, at: &str, key: &str| -> Result<f64, ConfigError> {
+                checkpoint::float_from_value(entry.get(key).ok_or_else(|| {
+                    ConfigError::schema(format!("cache export: {at}: missing {key}"))
+                })?)
+                .map_err(|err| ConfigError::schema(format!("cache export: {at}: {key}: {err}")))
+            };
 
+        let num_tasks = self.evaluator.workload().num_tasks();
         let mut accuracy_entries: Vec<(AccuracyKey, f64)> = Vec::new();
-        for entry in entry_array("accuracy")? {
+        for (index, entry) in entry_array("accuracy")?.iter().enumerate() {
+            let at = format!("accuracy[{index}]");
             let task = entry
                 .get("task")
                 .and_then(ConfigValue::as_integer)
-                .ok_or_else(|| ConfigError::schema("cache export: missing task"))?
-                as usize;
-            let name = entry_str(entry, "name")?;
-            let values = checkpoint::usizes_from_value(
-                entry
-                    .get("values")
-                    .ok_or_else(|| ConfigError::schema("cache export: missing values"))?,
-            )?;
-            accuracy_entries.push(((task, name, values), entry_float(entry, "accuracy")?));
+                .ok_or_else(|| ConfigError::schema(format!("cache export: {at}: missing task")))?;
+            if task < 0 || task as usize >= num_tasks {
+                return Err(ConfigError::schema(format!(
+                    "cache export: {at}: task index {task} out of range for a \
+                     {num_tasks}-task workload (stale export from another scenario?)"
+                )));
+            }
+            let name = entry_str(entry, &at, "name")?;
+            let values = checkpoint::usizes_from_value(entry.get("values").ok_or_else(|| {
+                ConfigError::schema(format!("cache export: {at}: missing values"))
+            })?)
+            .map_err(|err| ConfigError::schema(format!("cache export: {at}: values: {err}")))?;
+            let accuracy = entry_float(entry, &at, "accuracy")?;
+            if !accuracy.is_finite() || !(0.0..=1.0).contains(&accuracy) {
+                return Err(ConfigError::schema(format!(
+                    "cache export: {at}: accuracy {accuracy} outside [0, 1]"
+                )));
+            }
+            accuracy_entries.push(((task as usize, name, values), accuracy));
         }
 
         let mut hardware_entries: Vec<(HardwareKey, HardwareMetrics)> = Vec::new();
-        for entry in entry_array("hardware")? {
+        for (index, entry) in entry_array("hardware")?.iter().enumerate() {
+            let at = format!("hardware[{index}]");
             let latency_bits = entry
                 .get("latency_bits")
                 .and_then(ConfigValue::as_integer)
-                .ok_or_else(|| ConfigError::schema("cache export: missing latency_bits"))?
-                as u64;
+                .ok_or_else(|| {
+                    ConfigError::schema(format!("cache export: {at}: missing latency_bits"))
+                })? as u64;
             let mut archs = Vec::new();
             for arch in entry
                 .get("archs")
                 .and_then(ConfigValue::as_array)
-                .ok_or_else(|| ConfigError::schema("cache export: missing archs"))?
+                .ok_or_else(|| ConfigError::schema(format!("cache export: {at}: missing archs")))?
             {
                 archs.push((
-                    entry_str(arch, "name")?,
-                    checkpoint::usizes_from_value(
-                        arch.get("values")
-                            .ok_or_else(|| ConfigError::schema("cache export: missing values"))?,
-                    )?,
+                    entry_str(arch, &at, "name")?,
+                    checkpoint::usizes_from_value(arch.get("values").ok_or_else(|| {
+                        ConfigError::schema(format!("cache export: {at}: missing values"))
+                    })?)
+                    .map_err(|err| {
+                        ConfigError::schema(format!("cache export: {at}: values: {err}"))
+                    })?,
                 ));
             }
             let mut subs = Vec::new();
             for sub in entry
                 .get("subs")
                 .and_then(ConfigValue::as_array)
-                .ok_or_else(|| ConfigError::schema("cache export: missing subs"))?
+                .ok_or_else(|| ConfigError::schema(format!("cache export: {at}: missing subs")))?
             {
-                let triple = checkpoint::usizes_from_value(sub)?;
+                let triple = checkpoint::usizes_from_value(sub).map_err(|err| {
+                    ConfigError::schema(format!("cache export: {at}: subs: {err}"))
+                })?;
                 if triple.len() != 3 {
-                    return Err(ConfigError::schema(
-                        "cache export: sub-accelerator triple must have 3 entries",
-                    ));
+                    return Err(ConfigError::schema(format!(
+                        "cache export: {at}: sub-accelerator triple must have 3 entries, \
+                         found {}",
+                        triple.len()
+                    )));
                 }
                 let dataflow = Dataflow::from_index(triple[0]).ok_or_else(|| {
                     ConfigError::schema(format!(
-                        "cache export: unknown dataflow index {}",
+                        "cache export: {at}: unknown dataflow index {}",
                         triple[0]
                     ))
                 })?;
                 subs.push(SubAccelerator::new(dataflow, triple[1], triple[2]));
             }
-            let metrics = HardwareMetrics::new(
-                entry_float(entry, "latency_cycles")?,
-                entry_float(entry, "energy_nj")?,
-                entry_float(entry, "area_um2")?,
-            );
+            let latency_cycles = entry_float(entry, &at, "latency_cycles")?;
+            let energy_nj = entry_float(entry, &at, "energy_nj")?;
+            let area_um2 = entry_float(entry, &at, "area_um2")?;
+            // Metrics are non-negative; `+inf` is legitimate (the solver's
+            // sentinel for an infeasible mapping), NaN never is.
+            for (field, value) in [
+                ("latency_cycles", latency_cycles),
+                ("energy_nj", energy_nj),
+                ("area_um2", area_um2),
+            ] {
+                if value.is_nan() || value < 0.0 {
+                    return Err(ConfigError::schema(format!(
+                        "cache export: {at}: {field} {value} is not a non-negative metric"
+                    )));
+                }
+            }
+            let metrics = HardwareMetrics::new(latency_cycles, energy_nj, area_um2);
             hardware_entries.push(((latency_bits, archs, Accelerator::new(subs)), metrics));
         }
 
-        self.accuracy_cache
-            .write()
-            .expect("accuracy cache lock")
-            .extend(accuracy_entries);
-        self.hardware_cache
-            .write()
-            .expect("hardware cache lock")
-            .extend(hardware_entries);
+        let mut accuracy_cache = self.accuracy_cache.write().expect("accuracy cache lock");
+        for (key, value) in accuracy_entries {
+            accuracy_cache.force_insert(key, value);
+        }
+        drop(accuracy_cache);
+        let mut hardware_cache = self.hardware_cache.write().expect("hardware cache lock");
+        for (key, value) in hardware_entries {
+            hardware_cache.force_insert(key, value);
+        }
         Ok(())
     }
 
@@ -542,22 +725,19 @@ impl EvalEngine {
         }
         // Compute outside the lock; concurrent workers racing on the same
         // key all produce the identical pure value.  Only the worker whose
-        // insert lands counts as the miss, so the stats stay independent of
-        // thread scheduling (misses == distinct keys).
+        // insert lands counts as the miss, so with an unbounded cache the
+        // stats stay independent of thread scheduling (misses == distinct
+        // keys; a bounded cache can re-miss evicted keys).
         let accuracy = self.evaluator.accuracy_for_task(task_index, arch);
-        match self
+        if self
             .accuracy_cache
             .write()
             .expect("accuracy cache lock")
-            .entry(key)
+            .insert_if_absent(key, accuracy)
         {
-            std::collections::hash_map::Entry::Occupied(_) => {
-                self.accuracy_hits.fetch_add(1, Ordering::Relaxed);
-            }
-            std::collections::hash_map::Entry::Vacant(slot) => {
-                slot.insert(accuracy);
-                self.accuracy_misses.fetch_add(1, Ordering::Relaxed);
-            }
+            self.accuracy_misses.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.accuracy_hits.fetch_add(1, Ordering::Relaxed);
         }
         accuracy
     }
@@ -590,19 +770,15 @@ impl EvalEngine {
         // See `accuracy_for_task`: racers compute the same pure value and
         // only the landing insert counts as the miss.
         let metrics = self.evaluator.hardware_metrics(architectures, accelerator);
-        match self
+        if self
             .hardware_cache
             .write()
             .expect("hardware cache lock")
-            .entry(key)
+            .insert_if_absent(key, metrics)
         {
-            std::collections::hash_map::Entry::Occupied(_) => {
-                self.hardware_hits.fetch_add(1, Ordering::Relaxed);
-            }
-            std::collections::hash_map::Entry::Vacant(slot) => {
-                slot.insert(metrics);
-                self.hardware_misses.fetch_add(1, Ordering::Relaxed);
-            }
+            self.hardware_misses.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.hardware_hits.fetch_add(1, Ordering::Relaxed);
         }
         metrics
     }
@@ -960,6 +1136,136 @@ mod tests {
         let mut bad = engine.export_caches();
         bad.insert("version", ConfigValue::Integer(99));
         assert!(engine.import_caches(&bad).is_err());
+    }
+
+    #[test]
+    fn bounded_caches_evict_and_stay_bit_identical() {
+        let workload = Workload::w1();
+        let specs = DesignSpecs::for_workload(WorkloadId::W1);
+        let evaluator = Evaluator::new(&workload, specs, AccuracyOracle::default());
+        let bounded = EvalEngine::with_config(
+            evaluator.clone(),
+            EngineConfig {
+                threads: 1,
+                accuracy_capacity: 2,
+                hardware_capacity: 2,
+                ..EngineConfig::default()
+            },
+        );
+        let candidates = random_candidates(8, 53);
+        for candidate in &candidates {
+            assert_eq!(bounded.evaluate(candidate), evaluator.evaluate(candidate));
+        }
+        let stats = bounded.stats();
+        assert!(stats.accuracy_evictions > 0, "tiny bound must evict");
+        assert!(stats.hardware_evictions > 0, "tiny bound must evict");
+        assert!(stats.accuracy_entries <= 2);
+        assert!(stats.hardware_entries <= 2);
+        assert_eq!(stats.accuracy_capacity, 2);
+        assert_eq!(stats.hardware_capacity, 2);
+        assert!(stats.evictions() >= stats.accuracy_evictions);
+        // Evicted keys simply re-miss and recompute bit-identically.
+        for candidate in &candidates {
+            assert_eq!(bounded.evaluate(candidate), evaluator.evaluate(candidate));
+        }
+        // An unbounded engine never evicts.
+        let unbounded = w1_engine();
+        unbounded.evaluate_batch(&candidates);
+        assert_eq!(unbounded.stats().evictions(), 0);
+    }
+
+    #[test]
+    fn import_respects_cache_bounds() {
+        let donor = w1_engine();
+        donor.evaluate_batch(&random_candidates(8, 59));
+        let export = donor.export_caches();
+
+        let workload = Workload::w1();
+        let specs = DesignSpecs::for_workload(WorkloadId::W1);
+        let bounded = EvalEngine::with_config(
+            Evaluator::new(&workload, specs, AccuracyOracle::default()),
+            EngineConfig {
+                accuracy_capacity: 3,
+                hardware_capacity: 3,
+                ..EngineConfig::default()
+            },
+        );
+        bounded.import_caches(&export).expect("import succeeds");
+        let stats = bounded.stats();
+        assert!(stats.accuracy_entries <= 3);
+        assert!(stats.hardware_entries <= 3);
+    }
+
+    #[test]
+    fn import_rejects_truncated_files() {
+        let engine = w1_engine();
+        engine.evaluate_batch(&random_candidates(4, 61));
+        let mut bad = engine.export_caches();
+        // Claim more entries than the array holds, as a truncated write
+        // would.
+        bad.insert("accuracy_len", ConfigValue::Integer(9999));
+        let err = engine.import_caches(&bad).expect_err("must reject");
+        let message = err.to_string();
+        assert!(
+            message.contains("9999") && message.contains("truncated"),
+            "unhelpful error: {message}"
+        );
+    }
+
+    fn export_with_accuracy_entry(entry: ConfigValue) -> ConfigValue {
+        let mut root = ConfigValue::table();
+        root.insert("version", ConfigValue::Integer(1));
+        root.insert("accuracy", ConfigValue::Array(vec![entry]));
+        root.insert("hardware", ConfigValue::Array(Vec::new()));
+        root
+    }
+
+    fn bad_accuracy_entry(task: i64, accuracy: f64) -> ConfigValue {
+        let mut entry = ConfigValue::table();
+        entry.insert("task", ConfigValue::Integer(task));
+        entry.insert("name", ConfigValue::Str("resnet".to_string()));
+        entry.insert("values", checkpoint::usizes_to_value(&[1, 2]));
+        entry.insert("accuracy", checkpoint::float_to_value(accuracy));
+        entry
+    }
+
+    #[test]
+    fn import_names_the_offending_entry() {
+        let engine = w1_engine();
+
+        // Task index beyond the workload: a stale export from some other
+        // scenario must not import silently-inert (or worse, wrapping)
+        // keys.
+        let stale = export_with_accuracy_entry(bad_accuracy_entry(7, 0.5));
+        let message = engine
+            .import_caches(&stale)
+            .expect_err("must reject")
+            .to_string();
+        assert!(
+            message.contains("accuracy[0]") && message.contains("out of range"),
+            "unhelpful error: {message}"
+        );
+
+        // A negative task index used to wrap through `as usize`.
+        let negative = export_with_accuracy_entry(bad_accuracy_entry(-1, 0.5));
+        assert!(engine.import_caches(&negative).is_err());
+
+        // Garbage values are named, not imported.
+        let garbage = export_with_accuracy_entry(bad_accuracy_entry(0, f64::NAN));
+        let message = engine
+            .import_caches(&garbage)
+            .expect_err("must reject")
+            .to_string();
+        assert!(
+            message.contains("accuracy[0]"),
+            "unhelpful error: {message}"
+        );
+        let oversized = export_with_accuracy_entry(bad_accuracy_entry(0, 1.5));
+        assert!(engine.import_caches(&oversized).is_err());
+
+        // A failed import leaves the engine untouched.
+        assert_eq!(engine.stats().accuracy_entries, 0);
+        assert_eq!(engine.stats().hardware_entries, 0);
     }
 
     #[test]

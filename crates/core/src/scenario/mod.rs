@@ -776,9 +776,17 @@ impl Scenario {
     /// declared workload, specs, the default oracle and the scenario's
     /// scheduler policy).
     pub fn engine(&self) -> EvalEngine {
-        EvalEngine::new(
+        self.engine_with_config(crate::engine::EngineConfig::default())
+    }
+
+    /// [`engine`](Self::engine) with explicit tuning knobs (thread ceiling,
+    /// cache bounds) — the daemon path, where a long-lived engine needs
+    /// bounded caches and a per-job thread budget.
+    pub fn engine_with_config(&self, config: crate::engine::EngineConfig) -> EvalEngine {
+        EvalEngine::with_config(
             Evaluator::new(&self.workload(), self.specs, AccuracyOracle::default())
                 .with_scheduler(self.search.scheduler),
+            config,
         )
     }
 

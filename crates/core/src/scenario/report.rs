@@ -64,6 +64,16 @@ pub struct RunReport {
     pub accuracy_entries: u64,
     /// Hardware-cache entries resident at the end of the run.
     pub hardware_entries: u64,
+    /// Accuracy-cache entries evicted during the run (0 on an unbounded
+    /// cache).
+    pub accuracy_evictions: u64,
+    /// Hardware-cache entries evicted during the run (0 on an unbounded
+    /// cache).
+    pub hardware_evictions: u64,
+    /// Configured accuracy-cache capacity (0 = unbounded).
+    pub accuracy_capacity: u64,
+    /// Configured hardware-cache capacity (0 = unbounded).
+    pub hardware_capacity: u64,
     /// Wall-clock duration of the run in milliseconds.
     pub wall_ms: u64,
     /// The scenario's scheduler policy (`heuristic`, `auto`, `beam`,
@@ -118,6 +128,10 @@ impl RunReport {
             hardware_hit_rate: cache.hardware_hit_rate(),
             accuracy_entries: cache.accuracy_entries,
             hardware_entries: cache.hardware_entries,
+            accuracy_evictions: cache.accuracy_evictions,
+            hardware_evictions: cache.hardware_evictions,
+            accuracy_capacity: cache.accuracy_capacity,
+            hardware_capacity: cache.hardware_capacity,
             wall_ms,
             sched_policy: scenario.search.scheduler.name().to_string(),
             sched_tier: decision.tier.name().to_string(),
@@ -161,6 +175,22 @@ impl RunReport {
         root.insert(
             "hardware_entries",
             ConfigValue::Integer(self.hardware_entries as i64),
+        );
+        root.insert(
+            "accuracy_evictions",
+            ConfigValue::Integer(self.accuracy_evictions as i64),
+        );
+        root.insert(
+            "hardware_evictions",
+            ConfigValue::Integer(self.hardware_evictions as i64),
+        );
+        root.insert(
+            "accuracy_capacity",
+            ConfigValue::Integer(self.accuracy_capacity as i64),
+        );
+        root.insert(
+            "hardware_capacity",
+            ConfigValue::Integer(self.hardware_capacity as i64),
         );
         root.insert("wall_ms", ConfigValue::Integer(self.wall_ms as i64));
         root.insert("sched_policy", ConfigValue::Str(self.sched_policy.clone()));
@@ -212,8 +242,9 @@ impl RunReport {
     pub const CSV_HEADER: &'static str = "scenario,algorithm,seed,episodes,explored,\
         spec_compliant,pruned_episodes,compliance_rate,best_weighted_accuracy,\
         best_latency_cycles,best_energy_nj,best_area_um2,cache_hit_rate,\
-        accuracy_hit_rate,hardware_hit_rate,accuracy_entries,hardware_entries,wall_ms,\
-        sched_policy,sched_tier,sched_tier_reason";
+        accuracy_hit_rate,hardware_hit_rate,accuracy_entries,hardware_entries,\
+        accuracy_evictions,hardware_evictions,accuracy_capacity,hardware_capacity,\
+        wall_ms,sched_policy,sched_tier,sched_tier_reason";
 
     /// The report as one CSV row (best-solution columns are empty when no
     /// spec-compliant solution was found).  The free-form scenario name is
@@ -229,7 +260,7 @@ impl RunReport {
             None => Default::default(),
         };
         format!(
-            "{},{},{},{},{},{},{},{:.4},{},{},{},{},{:.4},{:.4},{:.4},{},{},{},{},{},{}",
+            "{},{},{},{},{},{},{},{:.4},{},{},{},{},{:.4},{:.4},{:.4},{},{},{},{},{},{},{},{},{},{}",
             csv_field(&self.scenario),
             self.algorithm.name(),
             self.seed,
@@ -247,6 +278,10 @@ impl RunReport {
             self.hardware_hit_rate,
             self.accuracy_entries,
             self.hardware_entries,
+            self.accuracy_evictions,
+            self.hardware_evictions,
+            self.accuracy_capacity,
+            self.hardware_capacity,
             self.wall_ms,
             csv_field(&self.sched_policy),
             csv_field(&self.sched_tier),
@@ -271,7 +306,7 @@ impl fmt::Display for RunReport {
             f,
             "{} [{}] seed {}: {} episodes, {} explored, {} spec-compliant \
              ({} pruned), cache hit rate {:.1}% \
-             (accuracy {:.1}%, hardware {:.1}%), {} ms",
+             (accuracy {:.1}%, hardware {:.1}%, {} evicted), {} ms",
             self.scenario,
             self.algorithm,
             self.seed,
@@ -282,8 +317,22 @@ impl fmt::Display for RunReport {
             self.cache_hit_rate * 100.0,
             self.accuracy_hit_rate * 100.0,
             self.hardware_hit_rate * 100.0,
+            self.accuracy_evictions + self.hardware_evictions,
             self.wall_ms
         )?;
+        if self.accuracy_capacity > 0 || self.hardware_capacity > 0 {
+            writeln!(
+                f,
+                "cache bounds: accuracy {} / {}, hardware {} / {} \
+                 (evicted {} + {})",
+                self.accuracy_entries,
+                self.accuracy_capacity,
+                self.hardware_entries,
+                self.hardware_capacity,
+                self.accuracy_evictions,
+                self.hardware_evictions
+            )?;
+        }
         writeln!(
             f,
             "scheduler: {} tier under policy {} — {}",

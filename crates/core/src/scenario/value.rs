@@ -96,6 +96,16 @@ impl ConfigValue {
         }
     }
 
+    /// Remove a key from a table value, returning its value if present
+    /// (no-op `None` for non-tables and missing keys).
+    pub fn remove(&mut self, key: &str) -> Option<ConfigValue> {
+        let ConfigValue::Table(entries) = self else {
+            return None;
+        };
+        let index = entries.iter().position(|(k, _)| k == key)?;
+        Some(entries.remove(index).1)
+    }
+
     /// The string content, if this is a string.
     pub fn as_str(&self) -> Option<&str> {
         match self {

@@ -1,0 +1,268 @@
+//! The wire protocol of `nasaic serve`: line-delimited JSON over TCP.
+//!
+//! Every request and response is one JSON object on one line (`\n`
+//! terminated), serialized through the same hand-rolled
+//! [`ConfigValue`] JSON codec the scenario configs use.  Requests carry a
+//! `cmd` discriminator; responses always carry `ok` (`true`/`false`, with
+//! an `error` message when `false`).  A `submit` with `"watch": true`
+//! additionally streams one line per incumbent improvement before the
+//! final `"done": true` response — the model-driven `show <leaf>` shape:
+//! the daemon's live state is exactly the search's observer event stream.
+//!
+//! ```text
+//! -> {"cmd":"ping"}
+//! <- {"ok":true,"pong":true,"protocol":1}
+//! -> {"cmd":"submit","watch":true,"scenario":{...}}
+//! <- {"ok":true,"job":3,"state":"queued"}
+//! <- {"job":3,"event":"new_incumbent","episode":0,...}
+//! <- {"ok":true,"job":3,"done":true,"state":"finished","report":{...}}
+//! -> {"cmd":"show","what":"jobs"}
+//! <- {"ok":true,"jobs":[{"job":3,"scenario":"w1","state":"finished",...}]}
+//! ```
+
+use nasaic_core::scenario::{ConfigError, ConfigValue};
+use std::io::{BufRead, Write};
+
+/// Protocol revision carried in `ping` responses; bumped on breaking wire
+/// changes.
+pub const PROTOCOL_VERSION: i64 = 1;
+
+/// One client request, the typed form of a `{"cmd": ...}` line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Liveness / version probe.
+    Ping,
+    /// Submit a scenario (the full PR 2 config value, already resolved
+    /// client-side) as a job; `watch` streams incumbent events and blocks
+    /// the reply until the job finishes.
+    Submit {
+        /// The scenario config value (as produced by `Scenario::to_value`).
+        scenario: ConfigValue,
+        /// Stream events and the final report instead of just the job id.
+        watch: bool,
+    },
+    /// Cancel a queued or running job.
+    Cancel {
+        /// The job id to cancel.
+        job: u64,
+    },
+    /// List all jobs the daemon knows about.
+    ShowJobs,
+    /// Per-engine cache statistics (hits, misses, entries, evictions,
+    /// capacities).
+    ShowCache,
+    /// The latest incumbent of one job, if any.
+    ShowIncumbent {
+        /// The job id to query.
+        job: u64,
+    },
+    /// Stop accepting work, finish running jobs, persist caches and exit.
+    Shutdown,
+}
+
+impl Request {
+    /// Serialize to the wire value.
+    pub fn to_value(&self) -> ConfigValue {
+        let mut root = ConfigValue::table();
+        match self {
+            Request::Ping => root.insert("cmd", ConfigValue::Str("ping".into())),
+            Request::Submit { scenario, watch } => {
+                root.insert("cmd", ConfigValue::Str("submit".into()));
+                root.insert("scenario", scenario.clone());
+                root.insert("watch", ConfigValue::Bool(*watch));
+            }
+            Request::Cancel { job } => {
+                root.insert("cmd", ConfigValue::Str("cancel".into()));
+                root.insert("job", ConfigValue::Integer(*job as i64));
+            }
+            Request::ShowJobs => {
+                root.insert("cmd", ConfigValue::Str("show".into()));
+                root.insert("what", ConfigValue::Str("jobs".into()));
+            }
+            Request::ShowCache => {
+                root.insert("cmd", ConfigValue::Str("show".into()));
+                root.insert("what", ConfigValue::Str("cache".into()));
+            }
+            Request::ShowIncumbent { job } => {
+                root.insert("cmd", ConfigValue::Str("show".into()));
+                root.insert("what", ConfigValue::Str("incumbent".into()));
+                root.insert("job", ConfigValue::Integer(*job as i64));
+            }
+            Request::Shutdown => root.insert("cmd", ConfigValue::Str("shutdown".into())),
+        }
+        root
+    }
+
+    /// Parse the wire value back into a typed request.
+    ///
+    /// # Errors
+    ///
+    /// Returns a schema error for a missing/unknown `cmd`, a missing
+    /// operand (`job`, `scenario`, `what`) or a malformed field.
+    pub fn from_value(value: &ConfigValue) -> Result<Self, ConfigError> {
+        let cmd = value
+            .get("cmd")
+            .and_then(ConfigValue::as_str)
+            .ok_or_else(|| ConfigError::schema("request: missing cmd"))?;
+        let job = |value: &ConfigValue| -> Result<u64, ConfigError> {
+            let id = value
+                .get("job")
+                .and_then(ConfigValue::as_integer)
+                .ok_or_else(|| ConfigError::schema(format!("request: {cmd} needs a job id")))?;
+            u64::try_from(id).map_err(|_| ConfigError::schema(format!("request: bad job id {id}")))
+        };
+        match cmd {
+            "ping" => Ok(Request::Ping),
+            "submit" => {
+                let scenario = value
+                    .get("scenario")
+                    .ok_or_else(|| ConfigError::schema("request: submit needs a scenario"))?
+                    .clone();
+                let watch = value
+                    .get("watch")
+                    .and_then(ConfigValue::as_bool)
+                    .unwrap_or(false);
+                Ok(Request::Submit { scenario, watch })
+            }
+            "cancel" => Ok(Request::Cancel { job: job(value)? }),
+            "show" => {
+                let what = value
+                    .get("what")
+                    .and_then(ConfigValue::as_str)
+                    .ok_or_else(|| ConfigError::schema("request: show needs `what`"))?;
+                match what {
+                    "jobs" => Ok(Request::ShowJobs),
+                    "cache" => Ok(Request::ShowCache),
+                    "incumbent" => Ok(Request::ShowIncumbent { job: job(value)? }),
+                    other => Err(ConfigError::schema(format!(
+                        "request: unknown show leaf `{other}` (jobs, cache, incumbent)"
+                    ))),
+                }
+            }
+            "shutdown" => Ok(Request::Shutdown),
+            other => Err(ConfigError::schema(format!(
+                "request: unknown cmd `{other}` \
+                 (ping, submit, cancel, show, shutdown)"
+            ))),
+        }
+    }
+
+    /// Parse one wire line.
+    ///
+    /// # Errors
+    ///
+    /// Returns a schema error for invalid JSON or an invalid request.
+    pub fn parse_line(line: &str) -> Result<Self, ConfigError> {
+        Self::from_value(&nasaic_core::scenario::value::parse_json(line)?)
+    }
+}
+
+/// A successful response skeleton: `{"ok": true}`, extended by the caller.
+pub fn ok_response() -> ConfigValue {
+    let mut root = ConfigValue::table();
+    root.insert("ok", ConfigValue::Bool(true));
+    root
+}
+
+/// An error response: `{"ok": false, "error": message}`.
+pub fn error_response(message: impl Into<String>) -> ConfigValue {
+    let mut root = ConfigValue::table();
+    root.insert("ok", ConfigValue::Bool(false));
+    root.insert("error", ConfigValue::Str(message.into()));
+    root
+}
+
+/// Write one value as a compact single JSON line and flush, so the peer
+/// sees it immediately (the daemon streams events as they happen).
+///
+/// # Errors
+///
+/// Propagates the underlying I/O error.
+pub fn write_line(writer: &mut impl Write, value: &ConfigValue) -> std::io::Result<()> {
+    let line = nasaic_core::scenario::value::to_json_compact(value);
+    writer.write_all(line.as_bytes())?;
+    writer.write_all(b"\n")?;
+    writer.flush()
+}
+
+/// Read one line (without the terminator); `None` at end of stream.
+///
+/// # Errors
+///
+/// Propagates the underlying I/O error.
+pub fn read_line(reader: &mut impl BufRead) -> std::io::Result<Option<String>> {
+    let mut line = String::new();
+    let read = reader.read_line(&mut line)?;
+    if read == 0 {
+        return Ok(None);
+    }
+    while line.ends_with('\n') || line.ends_with('\r') {
+        line.pop();
+    }
+    Ok(Some(line))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nasaic_core::scenario::registry;
+    use nasaic_core::scenario::value::{parse_json, to_json_compact};
+
+    #[test]
+    fn requests_round_trip_through_the_wire_form() {
+        let scenario = registry::get("w1").expect("built-in").to_value();
+        let requests = vec![
+            Request::Ping,
+            Request::Submit {
+                scenario,
+                watch: true,
+            },
+            Request::Cancel { job: 7 },
+            Request::ShowJobs,
+            Request::ShowCache,
+            Request::ShowIncumbent { job: 3 },
+            Request::Shutdown,
+        ];
+        for request in requests {
+            let line = to_json_compact(&request.to_value());
+            assert!(!line.contains('\n'), "{line}");
+            assert_eq!(Request::parse_line(&line).expect("parses"), request);
+        }
+    }
+
+    #[test]
+    fn malformed_requests_are_rejected_with_a_reason() {
+        for (line, needle) in [
+            (r#"{"nope":1}"#, "missing cmd"),
+            (r#"{"cmd":"fly"}"#, "unknown cmd"),
+            (r#"{"cmd":"cancel"}"#, "needs a job id"),
+            (r#"{"cmd":"cancel","job":-4}"#, "bad job id"),
+            (r#"{"cmd":"show","what":"weather"}"#, "unknown show leaf"),
+            (r#"{"cmd":"submit"}"#, "needs a scenario"),
+        ] {
+            let err = Request::parse_line(line).expect_err(line).to_string();
+            assert!(err.contains(needle), "{line} -> {err}");
+        }
+    }
+
+    #[test]
+    fn responses_carry_the_ok_flag() {
+        assert_eq!(ok_response().get("ok").unwrap().as_bool(), Some(true));
+        let error = error_response("queue full");
+        assert_eq!(error.get("ok").unwrap().as_bool(), Some(false));
+        assert_eq!(error.get("error").unwrap().as_str(), Some("queue full"));
+    }
+
+    #[test]
+    fn line_framing_round_trips() {
+        let mut buffer = Vec::new();
+        write_line(&mut buffer, &ok_response()).unwrap();
+        write_line(&mut buffer, &error_response("x")).unwrap();
+        let mut reader = std::io::BufReader::new(buffer.as_slice());
+        let first = read_line(&mut reader).unwrap().expect("first line");
+        assert_eq!(parse_json(&first).unwrap(), ok_response());
+        let second = read_line(&mut reader).unwrap().expect("second line");
+        assert_eq!(parse_json(&second).unwrap(), error_response("x"));
+        assert_eq!(read_line(&mut reader).unwrap(), None);
+    }
+}

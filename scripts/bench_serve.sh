@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Regenerate the `nasaic serve` warm-engine perf snapshot.
+#
+#   scripts/bench_serve.sh                  # full run, appends to BENCH_serve.json
+#   scripts/bench_serve.sh --quick --check  # CI mode: identity gate only
+#                                           # (socket round trip and warm
+#                                           # resubmission must be
+#                                           # bit-identical), no timing write
+#
+# All arguments are forwarded to the `serve_baseline` binary
+# (see `crates/bench/src/bin/serve_baseline.rs` for the full flag list).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+cargo run --release -p nasaic-bench --bin serve_baseline -- "$@"

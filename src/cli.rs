@@ -16,6 +16,8 @@
 //! nasaic compare --scenario <name|path> [--algorithms a,b,c] [...]
 //! nasaic list-scenarios [--format text|json]
 //! nasaic show --scenario <name|path> [--format toml|json]
+//! nasaic serve [--addr HOST:PORT] [--state-dir DIR] [--workers N] [...]
+//! nasaic client --request <name> [--addr HOST:PORT] [--scenario ...] [--watch]
 //! ```
 //!
 //! `--trace FILE` streams every search event (episodes, incumbents, phase
@@ -40,6 +42,7 @@ use nasaic_core::scenario::generate::GeneratorSpec;
 use nasaic_core::scenario::report::RunReport;
 use nasaic_core::scenario::value::{self, ConfigValue};
 use nasaic_core::scenario::{registry, Algorithm, ConfigError, Scenario};
+use nasaic_serve::{Client, Daemon, Request, ServeConfig};
 use std::fmt;
 use std::path::Path;
 use std::str::FromStr;
@@ -90,6 +93,8 @@ COMMANDS:
     list-scenarios  List the built-in scenario registry
     show            Print a scenario's config (authoring starting point)
     gen             Generate a seeded scenario (always feasible or diagnosed)
+    serve           Run the long-lived search daemon (shared warm engines)
+    client          Talk to a running daemon (submit/cancel/show/shutdown)
     help            Show this message
 
 OPTIONS:
@@ -114,7 +119,23 @@ OPTIONS:
     --shard-index <I>        Which shard this process runs, 0-based (run)
     --shard-out <file>       Where the shard writes its partial result (run)
     --partials <a,b,..>      Comma-separated shard partial files (merge)
+    --addr <host:port>       Daemon listen/connect address (serve/client;
+                             default 127.0.0.1:7764, port 0 = ephemeral)
+    --addr-file <file>       Write the actually bound address there (serve)
+    --state-dir <dir>        Durability root: job journal, checkpoints and
+                             persisted caches (serve; default: no persistence)
+    --queue-capacity <N>     Max queued jobs before submits are rejected (serve)
+    --workers <N>            Concurrently running jobs (serve; default 2)
+    --job-threads <N>        Engine threads per job (serve; 0 = all cores)
+    --accuracy-capacity <N>  Accuracy-cache bound per engine, entries (serve; 0 = unbounded)
+    --hardware-capacity <N>  Hardware-cache bound per engine, entries (serve; 0 = unbounded)
+    --request <name>         ping|submit|cancel|show-jobs|show-cache|
+                             show-incumbent|shutdown (client)
+    --job <N>                Job id for cancel/show-incumbent (client)
+    --watch                  Stream incumbent events to stderr and wait for
+                             the final report (client --request submit)
 
+Protocol and ops runbook: docs/serve.md.
 Scenario schema: docs/scenarios.md.  Built-ins: {}.",
         registry::names().join(" ")
     )
@@ -171,6 +192,17 @@ struct Options {
     shard_index: Option<usize>,
     shard_out: Option<String>,
     partials: Option<String>,
+    addr: Option<String>,
+    addr_file: Option<String>,
+    state_dir: Option<String>,
+    queue_capacity: Option<usize>,
+    workers: Option<usize>,
+    job_threads: Option<usize>,
+    accuracy_capacity: Option<usize>,
+    hardware_capacity: Option<usize>,
+    request: Option<String>,
+    job: Option<u64>,
+    watch: bool,
     /// The flag names actually given, for applicability checks.
     provided: Vec<String>,
 }
@@ -270,6 +302,59 @@ impl Options {
                 }
                 "--shard-out" => options.shard_out = Some(take()?),
                 "--partials" => options.partials = Some(take()?),
+                "--addr" => options.addr = Some(take()?),
+                "--addr-file" => options.addr_file = Some(take()?),
+                "--state-dir" => options.state_dir = Some(take()?),
+                "--queue-capacity" => {
+                    let text = take()?;
+                    options.queue_capacity = Some(text.parse().map_err(|_| {
+                        CliError::new(format!(
+                            "--queue-capacity needs a non-negative integer, got `{text}`"
+                        ))
+                    })?)
+                }
+                "--workers" => {
+                    let text = take()?;
+                    let workers: usize = text.parse().map_err(|_| {
+                        CliError::new(format!("--workers needs a positive integer, got `{text}`"))
+                    })?;
+                    if workers == 0 {
+                        return Err(CliError::new("--workers must be at least 1"));
+                    }
+                    options.workers = Some(workers);
+                }
+                "--job-threads" => {
+                    let text = take()?;
+                    options.job_threads = Some(text.parse().map_err(|_| {
+                        CliError::new(format!(
+                            "--job-threads needs a non-negative integer, got `{text}`"
+                        ))
+                    })?)
+                }
+                "--accuracy-capacity" => {
+                    let text = take()?;
+                    options.accuracy_capacity = Some(text.parse().map_err(|_| {
+                        CliError::new(format!(
+                            "--accuracy-capacity needs a non-negative integer, got `{text}`"
+                        ))
+                    })?)
+                }
+                "--hardware-capacity" => {
+                    let text = take()?;
+                    options.hardware_capacity = Some(text.parse().map_err(|_| {
+                        CliError::new(format!(
+                            "--hardware-capacity needs a non-negative integer, got `{text}`"
+                        ))
+                    })?)
+                }
+                "--request" => options.request = Some(take()?),
+                "--job" => {
+                    let text = take()?;
+                    options.job = Some(text.parse().map_err(|_| {
+                        CliError::new(format!("--job needs a non-negative integer, got `{text}`"))
+                    })?)
+                }
+                "--watch" => options.watch = true,
                 other => {
                     return Err(CliError::new(format!(
                         "unknown option `{other}` (see `nasaic help`)"
@@ -339,6 +424,8 @@ pub fn run_command(args: &[String]) -> Result<String, CliError> {
         "list-scenarios" => cmd_list(&options)?,
         "show" => cmd_show(&options)?,
         "gen" => cmd_gen(&options)?,
+        "serve" => cmd_serve(&options)?,
+        "client" => cmd_client(&options)?,
         "help" | "--help" | "-h" => usage(),
         other => {
             return Err(CliError::new(format!(
@@ -774,6 +861,121 @@ fn cmd_gen(options: &Options) -> Result<String, CliError> {
         }
         Format::Csv => unreachable!("rejected by Format::parse"),
     })
+}
+
+fn cmd_serve(options: &Options) -> Result<String, CliError> {
+    options.ensure_only(
+        "serve",
+        &[
+            "--addr",
+            "--addr-file",
+            "--state-dir",
+            "--queue-capacity",
+            "--workers",
+            "--job-threads",
+            "--accuracy-capacity",
+            "--hardware-capacity",
+            "--checkpoint-every",
+            "--output",
+        ],
+    )?;
+    let mut config = ServeConfig::default();
+    if let Some(addr) = &options.addr {
+        config.addr = addr.clone();
+    }
+    config.state_dir = options.state_dir.as_ref().map(std::path::PathBuf::from);
+    if let Some(capacity) = options.queue_capacity {
+        config.queue_capacity = capacity;
+    }
+    if let Some(workers) = options.workers {
+        config.workers = workers;
+    }
+    if let Some(threads) = options.job_threads {
+        config.job_threads = threads;
+    }
+    if let Some(capacity) = options.accuracy_capacity {
+        config.accuracy_capacity = capacity;
+    }
+    if let Some(capacity) = options.hardware_capacity {
+        config.hardware_capacity = capacity;
+    }
+    if let Some(every) = options.checkpoint_every {
+        config.checkpoint_every = every;
+    }
+    let handle = Daemon::start(config).map_err(|e| CliError::new(e.to_string()))?;
+    let addr = handle.addr();
+    // stderr, so scripts capturing stdout see only the final summary; the
+    // addr file resolves ephemeral ports (`--addr 127.0.0.1:0`) for them.
+    eprintln!("nasaic serve: listening on {addr}");
+    if let Some(path) = &options.addr_file {
+        std::fs::write(path, format!("{addr}\n"))
+            .map_err(|e| CliError::new(format!("cannot write {path}: {e}")))?;
+    }
+    handle.join().map_err(|e| CliError::new(e.to_string()))
+}
+
+fn cmd_client(options: &Options) -> Result<String, CliError> {
+    options.ensure_only(
+        "client",
+        &[
+            "--addr",
+            "--request",
+            "--job",
+            "--watch",
+            "--scenario",
+            "--budget-episodes",
+            "--seed",
+            "--algorithm",
+            "--output",
+        ],
+    )?;
+    const REQUESTS: &str = "ping, submit, cancel, show-jobs, show-cache, show-incumbent, shutdown";
+    let addr = options.addr.as_deref().unwrap_or("127.0.0.1:7764");
+    let request_name = options
+        .request
+        .as_deref()
+        .ok_or_else(|| CliError::new(format!("missing `--request <name>` ({REQUESTS})")))?;
+    let job = || {
+        options
+            .job
+            .ok_or_else(|| CliError::new(format!("`--request {request_name}` needs `--job <N>`")))
+    };
+    let mut client = Client::connect(addr).map_err(|e| CliError::new(e.to_string()))?;
+    let response = match request_name {
+        "ping" => client.request(&Request::Ping),
+        "submit" => {
+            let scenario = options.scenario()?;
+            if options.watch {
+                client.submit_watch(scenario.to_value(), |event| {
+                    eprintln!("{}", value::to_json_compact(event));
+                })
+            } else {
+                client.request(&Request::Submit {
+                    scenario: scenario.to_value(),
+                    watch: false,
+                })
+            }
+        }
+        "cancel" => client.request(&Request::Cancel { job: job()? }),
+        "show-jobs" => client.request(&Request::ShowJobs),
+        "show-cache" => client.request(&Request::ShowCache),
+        "show-incumbent" => client.request(&Request::ShowIncumbent { job: job()? }),
+        "shutdown" => client.request(&Request::Shutdown),
+        other => {
+            return Err(CliError::new(format!(
+                "unknown request `{other}` ({REQUESTS})"
+            )))
+        }
+    }
+    .map_err(|e| CliError::new(e.to_string()))?;
+    if response.get("ok").and_then(ConfigValue::as_bool) == Some(false) {
+        let message = response
+            .get("error")
+            .and_then(ConfigValue::as_str)
+            .unwrap_or("daemon reported an error");
+        return Err(CliError::new(format!("daemon: {message}")));
+    }
+    Ok(value::to_json(&response))
 }
 
 #[cfg(test)]

@@ -16,6 +16,7 @@
 //! | [`sched`] | `nasaic-sched` | layer-to-sub-accelerator mapping and HAP scheduling |
 //! | [`rl`] | `nasaic-rl` | LSTM policy network and REINFORCE machinery |
 //! | [`core`] | `nasaic-core` | the NASAIC framework, scenario registry, baselines and experiment harness |
+//! | [`serve`] | `nasaic-serve` | the `nasaic serve` daemon: shared warm engines, job queue, wire protocol |
 //! | [`cli`] | (this crate) | the `nasaic` binary's argument parsing and subcommands |
 //!
 //! # Quickstart
@@ -59,4 +60,5 @@ pub use nasaic_cost as cost;
 pub use nasaic_nn as nn;
 pub use nasaic_rl as rl;
 pub use nasaic_sched as sched;
+pub use nasaic_serve as serve;
 pub use nasaic_tensor as tensor;

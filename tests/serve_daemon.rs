@@ -1,0 +1,540 @@
+//! Integration tests of `nasaic serve`: end-to-end socket round trips,
+//! shared warm engines under concurrent clients, backpressure,
+//! cancellation, cache bounds, warm restarts and crash durability.
+//!
+//! Most tests run the daemon in-process ([`Daemon::start`] on an ephemeral
+//! port); the crash-durability test spawns the real binary and SIGKILLs it
+//! mid-job to prove the journal + checkpoint machinery resumes
+//! bit-identically.
+
+use nasaic::serve::{Client, Daemon, Request, ServeConfig};
+use nasaic_core::scenario::value::ConfigValue;
+use nasaic_core::scenario::{registry, Scenario};
+use std::path::{Path, PathBuf};
+
+/// A fast scenario: small budgets so each job takes well under a second.
+fn quick_scenario(seed: u64) -> Scenario {
+    let mut scenario = registry::get("w1").expect("built-in scenario");
+    scenario.search.episodes = 6;
+    scenario.search.hardware_trials = 2;
+    scenario.search.bound_samples = 6;
+    scenario.seed = seed;
+    scenario
+}
+
+fn ephemeral_config() -> ServeConfig {
+    ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        ..ServeConfig::default()
+    }
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("nasaic-serve-it-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+fn shutdown(addr: &str) -> String {
+    let mut client = Client::connect(addr).expect("connect for shutdown");
+    let response = client.request(&Request::Shutdown).expect("shutdown");
+    assert_eq!(
+        response.get("ok").and_then(ConfigValue::as_bool),
+        Some(true)
+    );
+    String::new()
+}
+
+/// Fields of a report that legitimately differ between a daemon job and a
+/// direct run: wall time always; cache hit/miss/entry/eviction statistics
+/// whenever the engine was warm (shared) rather than cold.
+const NONDETERMINISTIC_FIELDS: &[&str] = &[
+    "wall_ms",
+    "cache_hit_rate",
+    "accuracy_hit_rate",
+    "hardware_hit_rate",
+    "accuracy_hits",
+    "accuracy_misses",
+    "hardware_hits",
+    "hardware_misses",
+    "accuracy_entries",
+    "hardware_entries",
+    "accuracy_evictions",
+    "hardware_evictions",
+    "accuracy_capacity",
+    "hardware_capacity",
+];
+
+/// Strip the timing/cache fields, keeping the search outcome itself.
+fn outcome_only(report: &ConfigValue) -> ConfigValue {
+    let mut stripped = report.clone();
+    for field in NONDETERMINISTIC_FIELDS {
+        stripped.remove(field);
+    }
+    stripped
+}
+
+#[test]
+fn submitted_job_matches_a_direct_run_bit_for_bit() {
+    let handle = Daemon::start(ephemeral_config()).expect("daemon starts");
+    let addr = handle.addr().to_string();
+    let scenario = quick_scenario(41);
+
+    let mut events = Vec::new();
+    let mut client = Client::connect(&addr).expect("connect");
+    let response = client
+        .submit_watch(scenario.to_value(), |event| events.push(event.clone()))
+        .expect("watched submit");
+    assert_eq!(
+        response.get("ok").and_then(ConfigValue::as_bool),
+        Some(true),
+        "{response:?}"
+    );
+    assert_eq!(
+        response.get("state").and_then(ConfigValue::as_str),
+        Some("finished")
+    );
+    let report = response.get("report").expect("report in response");
+
+    // The stream: first the queued ack, then incumbent events tagged with
+    // the job id.
+    assert!(!events.is_empty(), "expected at least the submit ack");
+    assert_eq!(
+        events[0].get("state").and_then(ConfigValue::as_str),
+        Some("queued")
+    );
+    let incumbents: Vec<_> = events
+        .iter()
+        .filter(|e| e.get("event").and_then(ConfigValue::as_str) == Some("new_incumbent"))
+        .collect();
+    assert!(
+        !incumbents.is_empty(),
+        "a fresh search must improve its incumbent at least once"
+    );
+    for event in &incumbents {
+        assert_eq!(
+            event.get("job").and_then(ConfigValue::as_integer),
+            response.get("job").and_then(ConfigValue::as_integer)
+        );
+    }
+
+    // Bit-identical to the same scenario run directly, engine and all.
+    let direct = scenario.run_report().to_value();
+    assert_eq!(outcome_only(report), outcome_only(&direct));
+
+    shutdown(&addr);
+    handle.join().expect("clean shutdown");
+}
+
+#[test]
+fn concurrent_clients_share_one_warm_engine_and_get_their_own_results() {
+    let handle = Daemon::start(ephemeral_config()).expect("daemon starts");
+    let addr = handle.addr().to_string();
+
+    // Four clients, same scenario identity (same engine), different seeds.
+    let seeds: Vec<u64> = vec![11, 22, 33, 44];
+    let threads: Vec<_> = seeds
+        .iter()
+        .map(|&seed| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(&addr).expect("connect");
+                let response = client
+                    .submit_watch(quick_scenario(seed).to_value(), |_| {})
+                    .expect("watched submit");
+                (seed, response)
+            })
+        })
+        .collect();
+    let results: Vec<(u64, ConfigValue)> = threads
+        .into_iter()
+        .map(|t| t.join().expect("client thread"))
+        .collect();
+
+    // Every client got a finished report, and each matches the direct run
+    // of ITS OWN seed — no cross-talk between interleaved jobs.
+    for (seed, response) in &results {
+        assert_eq!(
+            response.get("state").and_then(ConfigValue::as_str),
+            Some("finished"),
+            "seed {seed}: {response:?}"
+        );
+        let report = response.get("report").expect("report");
+        let direct = quick_scenario(*seed).run_report().to_value();
+        assert_eq!(
+            outcome_only(report),
+            outcome_only(&direct),
+            "seed {seed} diverged from its direct run"
+        );
+    }
+
+    // One engine served all four jobs (same scenario identity), and the
+    // repeated seeds hit its warm caches.
+    let mut client = Client::connect(&addr).expect("connect");
+    let cache = client.request(&Request::ShowCache).expect("show cache");
+    let engines = cache
+        .get("engines")
+        .and_then(ConfigValue::as_array)
+        .expect("engines array");
+    assert_eq!(engines.len(), 1, "one scenario identity, one engine");
+    let stats = engines[0].get("stats").expect("stats");
+    let hits = stats
+        .get("accuracy_hits")
+        .and_then(ConfigValue::as_integer)
+        .unwrap_or(0)
+        + stats
+            .get("hardware_hits")
+            .and_then(ConfigValue::as_integer)
+            .unwrap_or(0);
+    assert!(hits > 0, "shared engine saw no cache hits: {stats:?}");
+
+    shutdown(&addr);
+    handle.join().expect("clean shutdown");
+}
+
+#[test]
+fn full_queue_rejects_submits_with_a_reason() {
+    // One worker and a zero-length queue: the first job occupies the
+    // worker, any further submit while it is queued/running is rejected.
+    let config = ServeConfig {
+        queue_capacity: 0,
+        workers: 1,
+        ..ephemeral_config()
+    };
+    let handle = Daemon::start(config).expect("daemon starts");
+    let addr = handle.addr().to_string();
+
+    let mut client = Client::connect(&addr).expect("connect");
+    let response = client
+        .request(&Request::Submit {
+            scenario: quick_scenario(1).to_value(),
+            watch: false,
+        })
+        .expect("submit");
+    assert_eq!(
+        response.get("ok").and_then(ConfigValue::as_bool),
+        Some(false)
+    );
+    let reason = response
+        .get("error")
+        .and_then(ConfigValue::as_str)
+        .expect("reject reason");
+    assert!(reason.contains("queue full"), "{reason}");
+    assert!(reason.contains("--queue-capacity"), "{reason}");
+
+    shutdown(&addr);
+    handle.join().expect("clean shutdown");
+}
+
+#[test]
+fn cancel_stops_a_running_job_and_reports_cancelled() {
+    let handle = Daemon::start(ephemeral_config()).expect("daemon starts");
+    let addr = handle.addr().to_string();
+
+    // A long job (many episodes) so the cancel lands while it runs.
+    let mut scenario = quick_scenario(7);
+    scenario.search.episodes = 500;
+
+    let watcher = {
+        let addr = addr.clone();
+        let value = scenario.to_value();
+        std::thread::spawn(move || {
+            let mut client = Client::connect(&addr).expect("connect");
+            client.submit_watch(value, |_| {}).expect("watched submit")
+        })
+    };
+
+    // Wait until the daemon reports the job running, then cancel it.
+    let mut client = Client::connect(&addr).expect("connect");
+    let job_id = loop {
+        let jobs = client.request(&Request::ShowJobs).expect("show jobs");
+        let rows = jobs
+            .get("jobs")
+            .and_then(ConfigValue::as_array)
+            .expect("jobs array");
+        if let Some(row) = rows.iter().find(|row| {
+            matches!(
+                row.get("state").and_then(ConfigValue::as_str),
+                Some("running") | Some("queued")
+            )
+        }) {
+            break row.get("job").and_then(ConfigValue::as_integer).unwrap() as u64;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    };
+    let response = client
+        .request(&Request::Cancel { job: job_id })
+        .expect("cancel");
+    assert_eq!(
+        response.get("ok").and_then(ConfigValue::as_bool),
+        Some(true)
+    );
+
+    let final_response = watcher.join().expect("watcher thread");
+    assert_eq!(
+        final_response.get("state").and_then(ConfigValue::as_str),
+        Some("cancelled"),
+        "{final_response:?}"
+    );
+
+    // The terminal state is queryable and a second cancel is rejected.
+    let incumbent = client
+        .request(&Request::ShowIncumbent { job: job_id })
+        .expect("show incumbent");
+    assert_eq!(
+        incumbent.get("state").and_then(ConfigValue::as_str),
+        Some("cancelled")
+    );
+    let again = client
+        .request(&Request::Cancel { job: job_id })
+        .expect("cancel again");
+    assert_eq!(again.get("ok").and_then(ConfigValue::as_bool), Some(false));
+
+    shutdown(&addr);
+    handle.join().expect("clean shutdown");
+}
+
+#[test]
+fn forced_small_cache_bounds_evict_without_changing_outcomes() {
+    let config = ServeConfig {
+        accuracy_capacity: 2,
+        hardware_capacity: 2,
+        ..ephemeral_config()
+    };
+    let handle = Daemon::start(config).expect("daemon starts");
+    let addr = handle.addr().to_string();
+
+    let scenario = quick_scenario(17);
+    let mut client = Client::connect(&addr).expect("connect");
+    let response = client
+        .submit_watch(scenario.to_value(), |_| {})
+        .expect("watched submit");
+    let report = response.get("report").expect("report");
+
+    // Outcome identical to an unbounded direct run…
+    let direct = scenario.run_report().to_value();
+    assert_eq!(outcome_only(report), outcome_only(&direct));
+
+    // …while the bound actually evicted (visible in the report and in
+    // `show cache`).
+    let evictions = report
+        .get("accuracy_evictions")
+        .and_then(ConfigValue::as_integer)
+        .unwrap_or(0)
+        + report
+            .get("hardware_evictions")
+            .and_then(ConfigValue::as_integer)
+            .unwrap_or(0);
+    assert!(evictions > 0, "capacity 2 must evict: {report:?}");
+    let cache = client.request(&Request::ShowCache).expect("show cache");
+    let stats = cache
+        .get("engines")
+        .and_then(ConfigValue::as_array)
+        .unwrap()[0]
+        .get("stats")
+        .expect("stats");
+    assert_eq!(
+        stats
+            .get("accuracy_capacity")
+            .and_then(ConfigValue::as_integer),
+        Some(2)
+    );
+    assert!(
+        stats
+            .get("accuracy_entries")
+            .and_then(ConfigValue::as_integer)
+            .unwrap()
+            <= 2
+    );
+
+    shutdown(&addr);
+    handle.join().expect("clean shutdown");
+}
+
+#[test]
+fn warm_restart_imports_caches_and_changes_wall_time_only() {
+    let state_dir = temp_dir("warm-restart");
+    let scenario = quick_scenario(29);
+
+    // First daemon: run the job cold, shut down gracefully (persists the
+    // caches to state_dir/caches.json).
+    let config = ServeConfig {
+        state_dir: Some(state_dir.clone()),
+        ..ephemeral_config()
+    };
+    let handle = Daemon::start(config.clone()).expect("first daemon");
+    let addr = handle.addr().to_string();
+    let mut client = Client::connect(&addr).expect("connect");
+    let first = client
+        .submit_watch(scenario.to_value(), |_| {})
+        .expect("first run");
+    shutdown(&addr);
+    handle.join().expect("clean shutdown");
+    assert!(
+        state_dir.join("caches.json").exists(),
+        "graceful shutdown must persist caches"
+    );
+
+    // Second daemon over the same state dir: the re-submitted job hits the
+    // imported caches (recompute nothing) and produces the same outcome.
+    let handle = Daemon::start(config).expect("second daemon");
+    let addr = handle.addr().to_string();
+    let mut client = Client::connect(&addr).expect("connect");
+    let second = client
+        .submit_watch(scenario.to_value(), |_| {})
+        .expect("second run");
+    let first_report = first.get("report").expect("first report");
+    let second_report = second.get("report").expect("second report");
+    assert_eq!(
+        outcome_only(first_report),
+        outcome_only(&second_report.clone()),
+        "warm restart changed the outcome"
+    );
+    let hit_rate = match second_report.get("accuracy_hit_rate") {
+        Some(ConfigValue::Float(rate)) => *rate,
+        Some(ConfigValue::Integer(rate)) => *rate as f64,
+        other => panic!("report lacks accuracy_hit_rate: {other:?}"),
+    };
+    assert_eq!(hit_rate, 1.0, "warm accuracy cache must serve every query");
+
+    shutdown(&addr);
+    handle.join().expect("clean shutdown");
+    let _ = std::fs::remove_dir_all(&state_dir);
+}
+
+// ---------------------------------------------------------------------------
+// Crash durability: the real binary, SIGKILLed mid-job.
+// ---------------------------------------------------------------------------
+
+/// Start the real `nasaic serve` binary on an ephemeral port, wait for the
+/// addr file, and return (child, addr).
+fn spawn_daemon(state_dir: &Path, extra: &[&str]) -> (std::process::Child, String) {
+    let addr_file = state_dir.join("addr");
+    let _ = std::fs::remove_file(&addr_file);
+    let mut command = std::process::Command::new(env!("CARGO_BIN_EXE_nasaic"));
+    command
+        .args([
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--addr-file",
+            addr_file.to_str().unwrap(),
+            "--state-dir",
+            state_dir.to_str().unwrap(),
+        ])
+        .args(extra)
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null());
+    let child = command.spawn().expect("spawn nasaic serve");
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+    let addr = loop {
+        if let Ok(text) = std::fs::read_to_string(&addr_file) {
+            let text = text.trim().to_string();
+            if !text.is_empty() {
+                break text;
+            }
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "daemon never wrote its addr file"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    };
+    (child, addr)
+}
+
+#[test]
+fn killed_daemon_resumes_its_job_bit_identically_on_restart() {
+    let state_dir = temp_dir("crash");
+
+    // A job big enough to survive until the kill, checkpointing every
+    // progress unit.
+    let mut scenario = quick_scenario(53);
+    scenario.search.episodes = 300;
+    let expected = scenario.run_report().to_value();
+
+    let (mut child, addr) =
+        spawn_daemon(&state_dir, &["--checkpoint-every", "1", "--workers", "1"]);
+
+    // Submit without watching (the reply returns immediately), then wait
+    // until the job has checkpointed at least once.
+    let mut client = Client::connect(&addr).expect("connect");
+    let submitted = client
+        .request(&Request::Submit {
+            scenario: scenario.to_value(),
+            watch: false,
+        })
+        .expect("submit");
+    let job_id = submitted
+        .get("job")
+        .and_then(ConfigValue::as_integer)
+        .expect("job id") as u64;
+    let ckpt = state_dir.join("jobs").join(format!("{job_id}.ckpt.json"));
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(60);
+    while !ckpt.exists() {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "job never checkpointed"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+
+    // SIGKILL: no graceful shutdown, no cache export, checkpoint mid-job.
+    child.kill().expect("kill daemon");
+    child.wait().expect("reap daemon");
+    assert!(
+        !state_dir
+            .join("jobs")
+            .join(format!("{job_id}.result.json"))
+            .exists(),
+        "the job must not have finished before the kill"
+    );
+
+    // Restart over the same state dir: the journaled job is re-queued and
+    // resumed from its checkpoint.
+    let (mut child, addr) = spawn_daemon(&state_dir, &["--workers", "1"]);
+    let mut client = Client::connect(&addr).expect("reconnect");
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(120);
+    let report = loop {
+        let jobs = client.request(&Request::ShowJobs).expect("show jobs");
+        let rows = jobs
+            .get("jobs")
+            .and_then(ConfigValue::as_array)
+            .expect("jobs array");
+        let row = rows
+            .iter()
+            .find(|row| row.get("job").and_then(ConfigValue::as_integer) == Some(job_id as i64))
+            .expect("restarted daemon must remember the journaled job");
+        match row.get("state").and_then(ConfigValue::as_str) {
+            Some("finished") => {
+                let text = std::fs::read_to_string(
+                    state_dir.join("jobs").join(format!("{job_id}.result.json")),
+                )
+                .expect("persisted result");
+                let result =
+                    nasaic_core::scenario::value::parse_json(&text).expect("result parses");
+                break result.get("report").expect("report").clone();
+            }
+            Some("failed") => panic!("resumed job failed: {row:?}"),
+            _ => std::thread::sleep(std::time::Duration::from_millis(50)),
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "resumed job never finished"
+        );
+    };
+
+    // Bit-identical to the uninterrupted run.
+    assert_eq!(
+        outcome_only(&report),
+        outcome_only(&expected),
+        "kill + resume diverged from the uninterrupted run"
+    );
+
+    // Graceful shutdown of the second daemon.
+    let _ = client.request(&Request::Shutdown);
+    child.wait().expect("daemon exits after shutdown");
+    let _ = std::fs::remove_dir_all(&state_dir);
+}
