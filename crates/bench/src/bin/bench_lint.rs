@@ -1,0 +1,167 @@
+//! Validate every `BENCH_*.json` trajectory file against the shared
+//! schema, so drift in one baseline binary can't silently produce a file
+//! the others (and the plotting scripts) can't read.
+//!
+//! ```text
+//! bench_lint [<dir>]
+//! ```
+//!
+//! Scans `<dir>` (default `.`) non-recursively for `BENCH_*.json` and
+//! requires, for each file:
+//!
+//! * top level: `schema == 1`, a non-empty `bench` string, a non-empty
+//!   `entries` array;
+//! * per entry: `label` (string), `mode` (string), `date`
+//!   (`YYYY-MM-DD`), and at least one gate field — `identity_gate`,
+//!   `consistency_gate`, `consistency`, or `dispatch_gate`.
+//!
+//! Exits non-zero listing every violation; exits non-zero too when no
+//! trajectory files are found at all (a lint that lints nothing is a
+//! misconfigured lint).
+
+use nasaic_core::scenario::value::{self, ConfigValue};
+
+/// Fields any one of which marks an entry as carrying a pass/fail gate.
+const GATE_FIELDS: [&str; 4] = [
+    "identity_gate",
+    "consistency_gate",
+    "consistency",
+    "dispatch_gate",
+];
+
+fn is_iso_date(s: &str) -> bool {
+    let bytes = s.as_bytes();
+    bytes.len() == 10
+        && bytes[4] == b'-'
+        && bytes[7] == b'-'
+        && [0, 1, 2, 3, 5, 6, 8, 9]
+            .iter()
+            .all(|&i| bytes[i].is_ascii_digit())
+}
+
+fn lint_entry(entry: &ConfigValue, errors: &mut Vec<String>, at: &str) {
+    if entry.as_table().is_none() {
+        errors.push(format!("{at}: entry is not a table"));
+        return;
+    }
+    for field in ["label", "mode"] {
+        match entry.get(field).and_then(|v| v.as_str()) {
+            Some(s) if !s.is_empty() => {}
+            _ => errors.push(format!("{at}: missing or empty `{field}` string")),
+        }
+    }
+    match entry.get("date").and_then(|v| v.as_str()) {
+        Some(date) if is_iso_date(date) => {}
+        Some(date) => errors.push(format!("{at}: `date` \"{date}\" is not YYYY-MM-DD")),
+        None => errors.push(format!("{at}: missing `date` field")),
+    }
+    if !GATE_FIELDS.iter().any(|f| entry.get(f).is_some()) {
+        errors.push(format!(
+            "{at}: no gate field (expected one of {})",
+            GATE_FIELDS.join(", ")
+        ));
+    }
+}
+
+fn lint_file(path: &std::path::Path, errors: &mut Vec<String>) {
+    let name = path.file_name().unwrap_or_default().to_string_lossy();
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) => {
+            errors.push(format!("{name}: unreadable: {e}"));
+            return;
+        }
+    };
+    let root = match value::parse_json(&text) {
+        Ok(root) => root,
+        Err(e) => {
+            errors.push(format!("{name}: invalid JSON: {e}"));
+            return;
+        }
+    };
+    match root.get("schema").and_then(|v| v.as_integer()) {
+        Some(1) => {}
+        Some(other) => errors.push(format!("{name}: unknown schema {other} (expected 1)")),
+        None => errors.push(format!("{name}: missing integer `schema`")),
+    }
+    match root.get("bench").and_then(|v| v.as_str()) {
+        Some(bench) if !bench.is_empty() => {}
+        _ => errors.push(format!("{name}: missing or empty `bench` string")),
+    }
+    match root.get("entries").and_then(|v| v.as_array()) {
+        Some(entries) if !entries.is_empty() => {
+            for (i, entry) in entries.iter().enumerate() {
+                lint_entry(entry, errors, &format!("{name} entries[{i}]"));
+            }
+        }
+        Some(_) => errors.push(format!("{name}: `entries` is empty")),
+        None => errors.push(format!("{name}: missing `entries` array")),
+    }
+}
+
+fn main() {
+    let dir = std::env::args().nth(1).unwrap_or_else(|| ".".to_string());
+    let mut paths: Vec<std::path::PathBuf> = std::fs::read_dir(&dir)
+        .unwrap_or_else(|e| {
+            eprintln!("cannot read {dir}: {e}");
+            std::process::exit(2);
+        })
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+        })
+        .collect();
+    paths.sort();
+    if paths.is_empty() {
+        eprintln!("bench_lint: no BENCH_*.json files found in {dir}");
+        std::process::exit(1);
+    }
+
+    let mut errors = Vec::new();
+    for path in &paths {
+        lint_file(path, &mut errors);
+    }
+    if errors.is_empty() {
+        println!("bench_lint: {} trajectory files ok", paths.len());
+    } else {
+        for error in &errors {
+            eprintln!("bench_lint: {error}");
+        }
+        std::process::exit(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iso_date_validation() {
+        assert!(is_iso_date("2026-08-08"));
+        assert!(!is_iso_date("2026-8-8"));
+        assert!(!is_iso_date("08-08-2026"));
+        assert!(!is_iso_date("2026-08-08T00:00"));
+    }
+
+    #[test]
+    fn entry_lint_catches_each_violation() {
+        let mut good = ConfigValue::table();
+        good.insert("label", ConfigValue::Str("seed".to_string()));
+        good.insert("mode", ConfigValue::Str("full".to_string()));
+        good.insert("date", ConfigValue::Str("2026-08-08".to_string()));
+        good.insert("identity_gate", ConfigValue::Str("ok".to_string()));
+        let mut errors = Vec::new();
+        lint_entry(&good, &mut errors, "t");
+        assert!(errors.is_empty(), "{errors:?}");
+
+        let mut bad = good.clone();
+        bad.remove("date");
+        bad.remove("identity_gate");
+        let mut errors = Vec::new();
+        lint_entry(&bad, &mut errors, "t");
+        assert_eq!(errors.len(), 2, "{errors:?}");
+    }
+}

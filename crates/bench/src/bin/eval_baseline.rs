@@ -348,6 +348,7 @@ fn main() {
         "mode",
         ConfigValue::Str(if args.quick { "quick" } else { "full" }.to_string()),
     );
+    entry.insert("date", ConfigValue::Str(nasaic_bench::today_utc()));
     entry.insert("scenario", ConfigValue::Str("w1".to_string()));
     entry.insert("episodes", ConfigValue::Integer(episodes as i64));
     entry.insert("evaluations", ConfigValue::Integer(evaluations as i64));

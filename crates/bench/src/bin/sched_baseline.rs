@@ -164,6 +164,7 @@ fn main() {
         "mode",
         ConfigValue::Str(if args.quick { "quick" } else { "full" }.to_string()),
     );
+    entry.insert("date", ConfigValue::Str(nasaic_bench::today_utc()));
     entry.insert("instance", ConfigValue::Str("w1-39-layers".to_string()));
     entry.insert(
         "heuristic_reference_ns",

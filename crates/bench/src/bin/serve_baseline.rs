@@ -263,6 +263,7 @@ fn main() {
         "mode",
         ConfigValue::Str(if args.quick { "quick" } else { "full" }.to_string()),
     );
+    entry.insert("date", ConfigValue::Str(nasaic_bench::today_utc()));
     entry.insert("scenario", ConfigValue::Str(scenario.name.clone()));
     entry.insert("seed", ConfigValue::Integer(scenario.seed as i64));
     entry.insert(

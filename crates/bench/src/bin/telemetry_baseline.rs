@@ -1,0 +1,249 @@
+//! Telemetry overhead snapshot: what metrics collection costs, and the
+//! proof that it costs nothing *semantically* —
+//!
+//! * identity gate: seeded w1/w2/w3 runs must produce bit-identical
+//!   outcomes with telemetry enabled (registry + `MetricsObserver`) and
+//!   disabled;
+//! * overhead: interleaved enabled/disabled repetitions of the full w1
+//!   run; the min-wall overhead of the enabled runs must stay under the
+//!   2% gate.
+//!
+//! ```text
+//! telemetry_baseline [--quick] [--check] [--label <label>] [--output <path>]
+//! ```
+//!
+//! * `--quick` — short budget (CI); default is the full budget used for
+//!   committed trajectory points.
+//! * `--check` — run the identity gate only and skip the timing write
+//!   (the gate is deterministic; CI runners are too noisy for the timing
+//!   numbers to be meaningful).
+//! * `--label` — entry label (default `local`).
+//! * `--output` — trajectory file to append to (default
+//!   `BENCH_telemetry.json`), holding
+//!   `{"schema": 1, "bench": "telemetry", "entries": [...]}`.
+//!
+//! The process exits non-zero when the identity gate fails, or (in full
+//! mode) when the measured overhead exceeds the gate.
+
+use nasaic_core::prelude::*;
+use nasaic_core::scenario::value::{self, ConfigValue};
+use std::time::Instant;
+
+/// Wall-time overhead the enabled runs must stay under, as a fraction.
+const OVERHEAD_GATE: f64 = 0.02;
+
+struct Args {
+    quick: bool,
+    check: bool,
+    label: String,
+    output: String,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        quick: false,
+        check: false,
+        label: "local".to_string(),
+        output: "BENCH_telemetry.json".to_string(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => args.quick = true,
+            "--check" => args.check = true,
+            "--label" => args.label = it.next().expect("--label needs a value"),
+            "--output" => args.output = it.next().expect("--output needs a value"),
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+/// The scenario the overhead measurement runs: W1 at a fixed seed with a
+/// fixed mid-sized budget (`--quick` shrinks it for CI).
+fn snapshot_scenario(quick: bool) -> Scenario {
+    let mut scenario = registry::get("w1").expect("w1 is built in");
+    scenario.seed = 2020;
+    if quick {
+        scenario.search.episodes = 6;
+        scenario.search.hardware_trials = 3;
+        scenario.search.bound_samples = 5;
+    } else {
+        scenario.search.episodes = 80;
+        scenario.search.hardware_trials = 5;
+        scenario.search.bound_samples = 20;
+    }
+    scenario
+}
+
+/// One run of the scenario on a fresh engine, through the same code path
+/// either way (the `MetricsObserver` early-returns while disabled); only
+/// the telemetry flag differs between the compared runs.
+fn run_once(scenario: &Scenario, telemetry: bool) -> RunReport {
+    nasaic_telemetry::set_enabled(telemetry);
+    if telemetry {
+        nasaic_telemetry::global().reset();
+    }
+    let observer = MetricsObserver::new();
+    let engine = scenario.engine();
+    let report = scenario.run_report_checkpointed(
+        scenario.search.algorithm,
+        &engine,
+        &observer,
+        None,
+        &NullCheckpointSink,
+    );
+    nasaic_telemetry::set_enabled(false);
+    report
+}
+
+/// Strip the only field that legitimately differs between repetitions.
+fn outcome_only(report: &RunReport) -> ConfigValue {
+    let mut stripped = report.to_value();
+    stripped.remove("wall_ms");
+    stripped
+}
+
+/// The identity gate: for every builtin scenario at a shrunk seeded
+/// budget, the outcome must be bit-identical with telemetry on and off.
+/// Returns the failures (empty = pass).
+fn identity_failures() -> Vec<String> {
+    let mut failures = Vec::new();
+    for name in registry::names() {
+        let mut scenario = registry::get(name).expect("built-in");
+        scenario.seed = 11;
+        scenario.search.episodes = 3;
+        scenario.search.hardware_trials = 2;
+        scenario.search.bound_samples = 3;
+        let disabled = outcome_only(&run_once(&scenario, false));
+        let enabled = outcome_only(&run_once(&scenario, true));
+        if disabled != enabled {
+            failures.push(format!("telemetry changed the `{name}` search outcome"));
+        }
+    }
+    failures
+}
+
+fn main() {
+    let args = parse_args();
+
+    println!("== telemetry identity gate ==");
+    let failures = identity_failures();
+    if failures.is_empty() {
+        println!(
+            "ok: every builtin scenario's outcome is bit-identical with telemetry \
+             enabled and disabled"
+        );
+    } else {
+        for failure in &failures {
+            eprintln!("FAIL: {failure}");
+        }
+        std::process::exit(1);
+    }
+    if args.check {
+        return;
+    }
+
+    let scenario = snapshot_scenario(args.quick);
+    println!(
+        "== overhead measurement (w1, seed {}, {} episodes x (1 + {}) designs) ==",
+        scenario.seed, scenario.search.episodes, scenario.search.hardware_trials
+    );
+
+    // Interleave enabled/disabled repetitions so thermal and cache drift
+    // hits both sides evenly; the min of each side is the honest estimate
+    // of its cost floor.  The full mode needs many reps: each run is only
+    // tens of milliseconds, so the min converges slowly on shared runners.
+    let reps = if args.quick { 3 } else { 20 };
+    let mut disabled_ms = f64::INFINITY;
+    let mut enabled_ms = f64::INFINITY;
+    // Warm-up run so neither side pays first-touch costs.
+    run_once(&scenario, false);
+    for _ in 0..reps {
+        let start = Instant::now();
+        run_once(&scenario, false);
+        disabled_ms = disabled_ms.min(start.elapsed().as_secs_f64() * 1e3);
+        let start = Instant::now();
+        run_once(&scenario, true);
+        enabled_ms = enabled_ms.min(start.elapsed().as_secs_f64() * 1e3);
+    }
+    let overhead = (enabled_ms - disabled_ms) / disabled_ms.max(f64::MIN_POSITIVE);
+    println!(
+        "disabled {disabled_ms:.1} ms, enabled {enabled_ms:.1} ms (min of {reps}): \
+         overhead {:.2}%",
+        overhead * 100.0
+    );
+    if !args.quick && overhead > OVERHEAD_GATE {
+        eprintln!(
+            "FAIL: telemetry overhead {:.2}% exceeds the {:.0}% gate",
+            overhead * 100.0,
+            OVERHEAD_GATE * 100.0
+        );
+        std::process::exit(1);
+    }
+
+    let mut entry = ConfigValue::table();
+    entry.insert("label", ConfigValue::Str(args.label.clone()));
+    entry.insert(
+        "mode",
+        ConfigValue::Str(if args.quick { "quick" } else { "full" }.to_string()),
+    );
+    entry.insert("date", ConfigValue::Str(nasaic_bench::today_utc()));
+    entry.insert("scenario", ConfigValue::Str(scenario.name.clone()));
+    entry.insert("seed", ConfigValue::Integer(scenario.seed as i64));
+    entry.insert(
+        "episodes",
+        ConfigValue::Integer(scenario.search.episodes as i64),
+    );
+    entry.insert(
+        "hardware_trials",
+        ConfigValue::Integer(scenario.search.hardware_trials as i64),
+    );
+    entry.insert("reps", ConfigValue::Integer(reps as i64));
+    entry.insert(
+        "disabled_ms",
+        ConfigValue::Float((disabled_ms * 1e1).round() / 1e1),
+    );
+    entry.insert(
+        "enabled_ms",
+        ConfigValue::Float((enabled_ms * 1e1).round() / 1e1),
+    );
+    entry.insert(
+        "overhead_pct",
+        ConfigValue::Float((overhead * 1e4).round() / 1e2),
+    );
+    entry.insert(
+        "overhead_gate_pct",
+        ConfigValue::Float(OVERHEAD_GATE * 100.0),
+    );
+    entry.insert("identity_gate", ConfigValue::Str("ok".to_string()));
+
+    let mut root = match std::fs::read_to_string(&args.output) {
+        Ok(existing) => value::parse_json(&existing).unwrap_or_else(|e| {
+            eprintln!("cannot parse existing {}: {e}", args.output);
+            std::process::exit(1);
+        }),
+        Err(_) => {
+            let mut fresh = ConfigValue::table();
+            fresh.insert("schema", ConfigValue::Integer(1));
+            fresh.insert("bench", ConfigValue::Str("telemetry".to_string()));
+            fresh.insert("entries", ConfigValue::Array(Vec::new()));
+            fresh
+        }
+    };
+    let mut entries = root
+        .get("entries")
+        .and_then(|e| e.as_array())
+        .map(<[ConfigValue]>::to_vec)
+        .unwrap_or_default();
+    entries.push(entry);
+    root.insert("entries", ConfigValue::Array(entries));
+    std::fs::write(&args.output, value::to_json(&root) + "\n").unwrap_or_else(|e| {
+        eprintln!("cannot write {}: {e}", args.output);
+        std::process::exit(1);
+    });
+    println!("wrote {}", args.output);
+}

@@ -34,6 +34,31 @@ pub fn seed_from_env() -> u64 {
         .unwrap_or(2020)
 }
 
+/// Today's UTC date as `YYYY-MM-DD`, for the `date` field every
+/// `BENCH_*.json` entry carries (`scripts/lint_bench.sh` enforces it).
+/// Pure `std`: days-since-epoch to civil date via the usual era/day-of-era
+/// arithmetic.
+pub fn today_utc() -> String {
+    let secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .expect("system clock before 1970")
+        .as_secs();
+    let days = (secs / 86_400) as i64;
+    // Howard Hinnant's civil-from-days: shift the epoch to 0000-03-01 so
+    // leap days land at the end of the (shifted) year.
+    let z = days + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let year = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let day = doy - (153 * mp + 2) / 5 + 1;
+    let month = if mp < 10 { mp + 3 } else { mp - 9 };
+    let year = if month <= 2 { year + 1 } else { year };
+    format!("{year:04}-{month:02}-{day:02}")
+}
+
 pub mod sched_instances {
     //! Canonical HAP instances shared by the `micro_sched` benchmark and
     //! the `sched_baseline` snapshot binary, so every measurement runs

@@ -704,17 +704,31 @@ impl SearchObserver for RecordingObserver {
     }
 }
 
+/// Version of the JSON-lines trace schema written by [`TraceObserver`].
+///
+/// History:
+/// - **1** — one [`SearchEvent::to_value`] table per line.
+/// - **2** — every line additionally carries `elapsed_ms`: whole
+///   milliseconds on the observer's monotonic clock since it was
+///   constructed.  The field is injected at the write layer —
+///   `to_value()` itself stays deterministic, which is what the trace
+///   determinism tests compare after stripping `elapsed_ms`.
+pub const TRACE_SCHEMA_VERSION: u32 = 2;
+
 /// An observer that writes each event as one line of JSON (JSON lines):
 /// the CLI's `nasaic run --trace <file>` sink.
 ///
-/// Each line is flushed as it is written, so a run that dies mid-search
-/// (crash, OOM-kill, ^C) leaves a parseable prefix of complete lines
-/// rather than a truncated buffer.  Write errors after construction are
-/// swallowed (the trace is telemetry, not the result); call
+/// Each line is the event's [`SearchEvent::to_value`] table plus an
+/// `elapsed_ms` timestamp (see [`TRACE_SCHEMA_VERSION`]).  Each line is
+/// flushed as it is written, so a run that dies mid-search (crash,
+/// OOM-kill, ^C) leaves a parseable prefix of complete lines rather than
+/// a truncated buffer.  Write errors after construction are swallowed
+/// (the trace is telemetry, not the result); call
 /// [`finish`](Self::finish) to surface the first I/O error, if any.
 #[derive(Debug)]
 pub struct TraceObserver<W: Write> {
     sink: Mutex<W>,
+    started: std::time::Instant,
 }
 
 impl<W: Write> TraceObserver<W> {
@@ -722,6 +736,7 @@ impl<W: Write> TraceObserver<W> {
     pub fn new(sink: W) -> Self {
         Self {
             sink: Mutex::new(sink),
+            started: std::time::Instant::now(),
         }
     }
 
@@ -752,7 +767,12 @@ impl TraceObserver<std::io::BufWriter<std::fs::File>> {
 
 impl<W: Write> SearchObserver for TraceObserver<W> {
     fn on_event(&self, event: &SearchEvent) {
-        let line = crate::scenario::value::to_json_compact(&event.to_value());
+        let mut value = event.to_value();
+        value.insert(
+            "elapsed_ms",
+            ConfigValue::Integer(self.started.elapsed().as_millis() as i64),
+        );
+        let line = crate::scenario::value::to_json_compact(&value);
         let mut sink = self.sink.lock().expect("trace observer lock");
         let _ = writeln!(sink, "{line}");
         // Flush per event: a run killed mid-search must leave a parseable
@@ -970,6 +990,8 @@ mod tests {
         for (line, event) in lines.iter().zip(&events) {
             let parsed = value::parse_json(line).unwrap();
             assert_eq!(parsed.get("event").unwrap().as_str(), Some(event.kind()));
+            // Schema v2: every line carries a monotonic timestamp.
+            assert!(parsed.get("elapsed_ms").unwrap().as_integer().unwrap() >= 0);
         }
     }
 

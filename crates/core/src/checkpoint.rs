@@ -569,6 +569,9 @@ pub fn offer_checkpoint(
     state: impl FnOnce() -> ConfigValue,
 ) {
     if sink.wants(progress) {
+        // The span covers building the state tree and handing it to the
+        // sink (for a file sink: JSON encode + write).
+        let _span = crate::metrics::maybe_time(crate::metrics::checkpoint_encode_wall);
         let checkpoint = SearchCheckpoint::new(algorithm, seed, progress, state());
         sink.on_checkpoint(&checkpoint);
         observer.on_event(&crate::algorithm::SearchEvent::CheckpointSaved { progress });

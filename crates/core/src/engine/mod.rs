@@ -397,6 +397,56 @@ impl EvalEngine {
         }
     }
 
+    /// Publish the engine's cache counters as labelled gauges on the
+    /// global telemetry registry
+    /// (`nasaic_engine_cache_{hits,misses,entries,evictions,hit_ratio}`
+    /// with `engine` and `cache` labels).  Call it at natural sampling
+    /// points — the serve daemon does after every job — and each scrape of
+    /// the sampled gauges becomes one point of the per-engine time series.
+    /// No-op while telemetry is disabled.
+    pub fn publish_metrics(&self, engine_label: &str) {
+        if !nasaic_telemetry::enabled() {
+            return;
+        }
+        let stats = self.stats();
+        let registry = nasaic_telemetry::global();
+        for (cache, hits, misses, entries, evictions, ratio) in [
+            (
+                "accuracy",
+                stats.accuracy_hits,
+                stats.accuracy_misses,
+                stats.accuracy_entries,
+                stats.accuracy_evictions,
+                stats.accuracy_hit_rate(),
+            ),
+            (
+                "hardware",
+                stats.hardware_hits,
+                stats.hardware_misses,
+                stats.hardware_entries,
+                stats.hardware_evictions,
+                stats.hardware_hit_rate(),
+            ),
+        ] {
+            let labels: [(&str, &str); 2] = [("engine", engine_label), ("cache", cache)];
+            registry
+                .gauge("nasaic_engine_cache_hits", &labels)
+                .set(hits as f64);
+            registry
+                .gauge("nasaic_engine_cache_misses", &labels)
+                .set(misses as f64);
+            registry
+                .gauge("nasaic_engine_cache_entries", &labels)
+                .set(entries as f64);
+            registry
+                .gauge("nasaic_engine_cache_evictions", &labels)
+                .set(evictions as f64);
+            registry
+                .gauge("nasaic_engine_cache_hit_ratio", &labels)
+                .set(ratio);
+        }
+    }
+
     /// Drop all cached values (counters are kept).
     pub fn clear_caches(&self) {
         self.accuracy_cache
@@ -812,6 +862,7 @@ impl EvalEngine {
         architectures: &[Architecture],
         accelerator: &Accelerator,
     ) -> (HardwareMetrics, SpecCheck) {
+        let _span = crate::metrics::maybe_time(crate::metrics::eval_candidate_wall);
         let metrics = self.hardware_metrics(architectures, accelerator);
         (metrics, self.evaluator.specs().check(&metrics))
     }
@@ -820,6 +871,7 @@ impl EvalEngine {
     /// to [`Evaluator::evaluate`] (both paths assemble the record through
     /// [`Evaluator::assemble_evaluation`]).
     pub fn evaluate(&self, candidate: &Candidate) -> Evaluation {
+        let _span = crate::metrics::maybe_time(crate::metrics::eval_candidate_wall);
         let accuracies = self.accuracies(&candidate.architectures);
         let metrics = self.hardware_metrics(&candidate.architectures, &candidate.accelerator);
         self.evaluator.assemble_evaluation(accuracies, metrics)
@@ -866,6 +918,10 @@ impl EvalEngine {
                     self.hardware_hits.fetch_add(1, Ordering::Relaxed);
                 }
             }
+        }
+        if nasaic_telemetry::enabled() {
+            crate::metrics::eval_batch_size().record(candidates.len() as u64);
+            crate::metrics::eval_dedup_saved().add((candidates.len() - uniques.len()) as u64);
         }
         let unique_results = self.map_uniques(&uniques, |candidate| self.evaluate(candidate));
         fan_out
@@ -945,6 +1001,11 @@ impl EvalEngine {
                     self.hardware_hits.fetch_add(1, Ordering::Relaxed);
                 }
             }
+        }
+        if nasaic_telemetry::enabled() {
+            crate::metrics::eval_batch_size().record(candidates.len() as u64);
+            let decodable = fan_out.iter().filter(|slot| slot.is_some()).count();
+            crate::metrics::eval_dedup_saved().add((decodable - uniques.len()) as u64);
         }
         let unique_results = self.map_uniques(&uniques, |candidate| {
             self.evaluate_hardware(&candidate.architectures, &candidate.accelerator)

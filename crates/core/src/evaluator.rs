@@ -183,7 +183,10 @@ impl Evaluator {
             .tasks
             .iter()
             .zip(architectures)
-            .map(|(task, arch)| self.oracle.evaluate(task.backbone, arch))
+            .map(|(task, arch)| {
+                let _span = crate::metrics::maybe_time(crate::metrics::eval_accuracy_wall);
+                self.oracle.evaluate(task.backbone, arch)
+            })
             .collect()
     }
 
@@ -195,6 +198,7 @@ impl Evaluator {
     ///
     /// Panics if `task_index` is out of range for the workload.
     pub fn accuracy_for_task(&self, task_index: usize, arch: &Architecture) -> f64 {
+        let _span = crate::metrics::maybe_time(crate::metrics::eval_accuracy_wall);
         self.oracle
             .evaluate(self.workload.tasks[task_index].backbone, arch)
     }
@@ -220,9 +224,11 @@ impl Evaluator {
         if !accelerator.has_capacity() {
             return HardwareMetrics::infeasible();
         }
-        let costs =
+        let costs = {
+            let _span = crate::metrics::maybe_time(crate::metrics::eval_cost_model_wall);
             self.layer_cost_cache
-                .workload_costs(&self.cost_model, architectures, accelerator);
+                .workload_costs(&self.cost_model, architectures, accelerator)
+        };
         self.metrics_from_costs(costs, accelerator)
     }
 
@@ -237,7 +243,10 @@ impl Evaluator {
         if !accelerator.has_capacity() {
             return HardwareMetrics::infeasible();
         }
-        let costs = WorkloadCosts::build(&self.cost_model, architectures, accelerator);
+        let costs = {
+            let _span = crate::metrics::maybe_time(crate::metrics::eval_cost_model_wall);
+            WorkloadCosts::build(&self.cost_model, architectures, accelerator)
+        };
         self.metrics_from_costs(costs, accelerator)
     }
 
@@ -255,9 +264,12 @@ impl Evaluator {
         // The heuristic default stays a direct `solve_heuristic` call so
         // the paper path is trivially bit-identical to the pre-tier code;
         // every other policy dispatches through the tier layer.
-        let solution = match self.scheduler {
-            SchedulerPolicy::Heuristic => solve_heuristic(&problem),
-            policy => solve_with_policy(&problem, policy).0,
+        let solution = {
+            let _span = crate::metrics::maybe_time(crate::metrics::eval_sched_solve_wall);
+            match self.scheduler {
+                SchedulerPolicy::Heuristic => solve_heuristic(&problem),
+                policy => solve_with_policy(&problem, policy).0,
+            }
         };
         HardwareMetrics::new(
             solution.latency_cycles,

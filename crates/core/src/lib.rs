@@ -54,6 +54,7 @@ pub mod engine;
 pub mod evaluator;
 pub mod experiments;
 pub mod log;
+pub mod metrics;
 pub mod penalty;
 pub mod reward;
 pub mod scenario;
@@ -68,7 +69,7 @@ pub mod prelude {
     pub use crate::algorithm::{
         emit_search_finished, Budget, MulticastObserver, NullObserver, ProgressObserver,
         RecordingObserver, SearchAlgorithm, SearchContext, SearchEvent, SearchObserver,
-        TraceObserver,
+        TraceObserver, TRACE_SCHEMA_VERSION,
     };
     pub use crate::bounds::PenaltyBounds;
     pub use crate::candidate::Candidate;
@@ -79,6 +80,7 @@ pub mod prelude {
     pub use crate::engine::{CacheStats, EngineConfig, EvalEngine};
     pub use crate::evaluator::{AccuracyOracle, Evaluation, Evaluator};
     pub use crate::log::{ExploredSolution, PhaseSummary, SearchOutcome};
+    pub use crate::metrics::{MetricsObserver, ProfileBreakdown};
     pub use crate::penalty::Penalty;
     pub use crate::reward::Reward;
     pub use crate::scenario::report::RunReport;

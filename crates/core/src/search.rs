@@ -432,12 +432,18 @@ impl Nasaic {
 
         for episode in start_episode..config.episodes {
             // Step 1: joint architecture + hardware prediction.
-            let joint_sample = controller.sample(&mut rng);
+            let joint_sample = {
+                let _span = crate::metrics::maybe_time(crate::metrics::controller_wall);
+                controller.sample(&mut rng)
+            };
             // Steps 2..: hardware-only predictions for the same architectures.
             let plan = selector.plan_episode();
             let mut episode_samples: Vec<ControllerSample> = vec![joint_sample.clone()];
             for _ in 1..plan.len() {
-                let mut hw_sample = controller.sample(&mut rng);
+                let mut hw_sample = {
+                    let _span = crate::metrics::maybe_time(crate::metrics::controller_wall);
+                    controller.sample(&mut rng)
+                };
                 // Architecture switch open: reuse the joint step's
                 // architecture decisions.
                 let arch_len: usize = joint_sample.segments[..m].iter().map(Vec::len).sum();
@@ -488,6 +494,7 @@ impl Nasaic {
             for (step, (sample, candidate)) in episode_samples.iter().zip(candidates).enumerate() {
                 let Some(candidate) = candidate else {
                     // Undecodable sample: strongly discourage it.
+                    let _span = crate::metrics::maybe_time(crate::metrics::controller_wall);
                     controller.feedback(sample, -config.rho);
                     if step == 0 {
                         joint_reward = -config.rho;
@@ -510,7 +517,10 @@ impl Nasaic {
                     // Pruned episode: penalty-only signal for every step.
                     (_, None) => Reward::hardware_only(&penalty, config.rho),
                 };
-                controller.feedback(sample, reward.value());
+                {
+                    let _span = crate::metrics::maybe_time(crate::metrics::controller_wall);
+                    controller.feedback(sample, reward.value());
+                }
                 if step == 0 {
                     joint_reward = reward.value();
                 }

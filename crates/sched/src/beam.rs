@@ -69,6 +69,13 @@ struct BeamState {
 /// [`solve_beam_unbounded`]) for an untruncated beam.
 pub fn solve_beam(problem: &HapProblem, width: usize) -> MappingSolution {
     assert!(width >= 1, "beam width must be at least 1");
+    if nasaic_telemetry::enabled() {
+        use std::sync::{Arc, OnceLock};
+        static WIDTH: OnceLock<Arc<nasaic_telemetry::Histogram>> = OnceLock::new();
+        WIDTH
+            .get_or_init(|| nasaic_telemetry::global().histogram("nasaic_sched_beam_width", &[]))
+            .record(width as u64);
+    }
     let bounds = SearchBounds::new(problem);
     if bounds.provably_infeasible(problem) {
         return infeasible_solution(problem);

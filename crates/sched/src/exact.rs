@@ -162,6 +162,9 @@ struct BranchAndBound<'a> {
     assignment: Assignment,
     sim: Simulator,
     best: Option<MappingSolution>,
+    /// Search-tree nodes expanded (recursion entries); a plain field so
+    /// counting costs nothing, flushed to telemetry once per solve.
+    nodes: u64,
 }
 
 impl<'a> BranchAndBound<'a> {
@@ -180,10 +183,31 @@ impl<'a> BranchAndBound<'a> {
             ),
             sim: Simulator::new(problem),
             best: None,
+            nodes: 0,
         }
     }
 
     fn solve(mut self, seed_incumbent: bool) -> MappingSolution {
+        let solution = self.solve_inner(seed_incumbent);
+        if nasaic_telemetry::enabled() {
+            use std::sync::{Arc, OnceLock};
+            static TOTAL: OnceLock<Arc<nasaic_telemetry::Counter>> = OnceLock::new();
+            static PER_SOLVE: OnceLock<Arc<nasaic_telemetry::Histogram>> = OnceLock::new();
+            TOTAL
+                .get_or_init(|| {
+                    nasaic_telemetry::global().counter("nasaic_sched_bb_nodes_expanded_total", &[])
+                })
+                .add(self.nodes);
+            PER_SOLVE
+                .get_or_init(|| {
+                    nasaic_telemetry::global().histogram("nasaic_sched_bb_nodes_per_solve", &[])
+                })
+                .record(self.nodes);
+        }
+        solution
+    }
+
+    fn solve_inner(&mut self, seed_incumbent: bool) -> MappingSolution {
         if self.bounds.provably_infeasible(self.problem) {
             return infeasible_solution(self.problem);
         }
@@ -202,11 +226,11 @@ impl<'a> BranchAndBound<'a> {
             if seed.feasible && self.verify_seed(&seed) {
                 self.best = Some(seed);
                 self.recurse(0, 0.0);
-                return self.best.expect("incumbent was seeded");
+                return self.best.take().expect("incumbent was seeded");
             }
         }
         self.recurse(0, 0.0);
-        match self.best {
+        match self.best.take() {
             Some(best) => best,
             // Nothing fits; report the same best-latency sentinel as the
             // heuristic.
@@ -225,6 +249,7 @@ impl<'a> BranchAndBound<'a> {
     }
 
     fn recurse(&mut self, depth: usize, partial_energy: f64) {
+        self.nodes += 1;
         if let Some(incumbent) = &self.best {
             // Only feasible solutions are stored, so the incumbent's energy
             // is always the bound to beat.

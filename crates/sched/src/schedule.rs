@@ -386,6 +386,17 @@ impl Simulator {
         );
         let position = self.offsets[network] + layer;
         self.restore_checkpoint(position);
+        if nasaic_telemetry::enabled() {
+            // How much of the workload the checkpoint actually saved: the
+            // replayed suffix length, in layers (see docs/observability.md).
+            use std::sync::{Arc, OnceLock};
+            static REPLAY: OnceLock<Arc<nasaic_telemetry::Histogram>> = OnceLock::new();
+            REPLAY
+                .get_or_init(|| {
+                    nasaic_telemetry::global().histogram("nasaic_sched_trial_replay_layers", &[])
+                })
+                .record((self.total_layers - self.dispatched) as u64);
+        }
         for _ in self.dispatched..self.total_layers {
             match self.dispatch_step(assignment) {
                 Some(slot) => {

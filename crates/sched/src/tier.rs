@@ -200,6 +200,24 @@ pub fn solve_with_policy(
     problem: &HapProblem,
     policy: SchedulerPolicy,
 ) -> (MappingSolution, TierDecision) {
+    let (solution, decision) = solve_with_policy_inner(problem, policy);
+    if nasaic_telemetry::enabled() {
+        // One labelled series per tier that actually ran (not merely was
+        // requested), so fallbacks show up in the counts.
+        nasaic_telemetry::global()
+            .counter(
+                "nasaic_sched_tier_selections_total",
+                &[("tier", decision.tier.name())],
+            )
+            .inc();
+    }
+    (solution, decision)
+}
+
+fn solve_with_policy_inner(
+    problem: &HapProblem,
+    policy: SchedulerPolicy,
+) -> (MappingSolution, TierDecision) {
     let total_layers = problem.costs.total_layers();
     match policy {
         SchedulerPolicy::Auto => solve_tiered(problem),

@@ -32,9 +32,50 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex, Once};
+use std::sync::{Arc, Condvar, Mutex, Once, OnceLock};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+// ---------------------------------------------------------------------------
+// Daemon telemetry (see docs/observability.md for the catalogue)
+// ---------------------------------------------------------------------------
+
+/// Cached handles into the global registry for the daemon's hot-ish paths
+/// (labels are fixed, so one lookup per process suffices).
+fn queue_depth_gauge() -> &'static Arc<nasaic_telemetry::Gauge> {
+    static HANDLE: OnceLock<Arc<nasaic_telemetry::Gauge>> = OnceLock::new();
+    HANDLE.get_or_init(|| nasaic_telemetry::global().gauge("nasaic_serve_queue_depth", &[]))
+}
+
+fn queue_wait_histogram() -> &'static Arc<nasaic_telemetry::Histogram> {
+    static HANDLE: OnceLock<Arc<nasaic_telemetry::Histogram>> = OnceLock::new();
+    HANDLE.get_or_init(|| nasaic_telemetry::global().histogram("nasaic_serve_queue_wait_ms", &[]))
+}
+
+fn job_wall_histogram() -> &'static Arc<nasaic_telemetry::Histogram> {
+    static HANDLE: OnceLock<Arc<nasaic_telemetry::Histogram>> = OnceLock::new();
+    HANDLE.get_or_init(|| nasaic_telemetry::global().histogram("nasaic_serve_job_wall_ms", &[]))
+}
+
+fn submits_counter() -> &'static Arc<nasaic_telemetry::Counter> {
+    static HANDLE: OnceLock<Arc<nasaic_telemetry::Counter>> = OnceLock::new();
+    HANDLE.get_or_init(|| nasaic_telemetry::global().counter("nasaic_serve_submits_total", &[]))
+}
+
+fn rejects_counter() -> &'static Arc<nasaic_telemetry::Counter> {
+    static HANDLE: OnceLock<Arc<nasaic_telemetry::Counter>> = OnceLock::new();
+    HANDLE.get_or_init(|| nasaic_telemetry::global().counter("nasaic_serve_rejects_total", &[]))
+}
+
+fn cancels_counter() -> &'static Arc<nasaic_telemetry::Counter> {
+    static HANDLE: OnceLock<Arc<nasaic_telemetry::Counter>> = OnceLock::new();
+    HANDLE.get_or_init(|| nasaic_telemetry::global().counter("nasaic_serve_cancels_total", &[]))
+}
+
+fn resumes_counter() -> &'static Arc<nasaic_telemetry::Counter> {
+    static HANDLE: OnceLock<Arc<nasaic_telemetry::Counter>> = OnceLock::new();
+    HANDLE.get_or_init(|| nasaic_telemetry::global().counter("nasaic_serve_resumes_total", &[]))
+}
 
 /// Daemon tuning knobs.
 #[derive(Debug, Clone)]
@@ -61,6 +102,11 @@ pub struct ServeConfig {
     /// Checkpoint running jobs every N progress units (only with a
     /// `state_dir`).
     pub checkpoint_every: usize,
+    /// Optional Prometheus text-format exposition address (`host:port`;
+    /// port `0` binds an ephemeral port, reported via
+    /// [`DaemonHandle::metrics_addr`]).  `None` disables the endpoint;
+    /// `show metrics` over the control plane works either way.
+    pub metrics_addr: Option<String>,
 }
 
 impl Default for ServeConfig {
@@ -77,6 +123,7 @@ impl Default for ServeConfig {
             accuracy_capacity: 1 << 16,
             hardware_capacity: 1 << 16,
             checkpoint_every: 1,
+            metrics_addr: None,
         }
     }
 }
@@ -185,6 +232,14 @@ struct Job {
     /// Streams of clients watching this job; incumbent events are written
     /// to each as they happen, broken pipes are dropped.
     watchers: Mutex<Vec<TcpStream>>,
+    /// When the job entered the queue (for restored jobs: when it was
+    /// re-queued, not its original submission — monotonic clocks don't
+    /// survive restarts).
+    enqueued: Instant,
+    /// When a worker picked the job up; `None` while queued.
+    started: Mutex<Option<Instant>>,
+    /// When the job reached a terminal state; `None` before that.
+    finished: Mutex<Option<Instant>>,
 }
 
 impl Job {
@@ -197,7 +252,26 @@ impl Job {
             cancel: AtomicBool::new(false),
             incumbent: Mutex::new(None),
             watchers: Mutex::new(Vec::new()),
+            enqueued: Instant::now(),
+            started: Mutex::new(None),
+            finished: Mutex::new(None),
         }
+    }
+
+    /// Mark the instant a worker picked the job up and return the queue
+    /// wait it accrued.
+    fn mark_started(&self) -> Duration {
+        let now = Instant::now();
+        *self.started.lock().expect("job started lock") = Some(now);
+        now - self.enqueued
+    }
+
+    /// Mark the instant the job reached a terminal state and return its
+    /// end-to-end (enqueue -> terminal) duration.
+    fn mark_finished(&self) -> Duration {
+        let now = Instant::now();
+        *self.finished.lock().expect("job finished lock") = Some(now);
+        now - self.enqueued
     }
 
     fn set_state(&self, state: JobState) {
@@ -232,6 +306,24 @@ impl Job {
         row.insert("state", ConfigValue::Str(state.label().to_string()));
         if let JobState::Failed(error) = &state {
             row.insert("error", ConfigValue::Str(error.clone()));
+        }
+        // Timing: queue wait once a worker picked the job up, run time
+        // live while running and frozen once terminal.
+        let started = *self.started.lock().expect("job started lock");
+        if let Some(started) = started {
+            row.insert(
+                "queue_wait_ms",
+                ConfigValue::Integer((started - self.enqueued).as_millis() as i64),
+            );
+            let end = self
+                .finished
+                .lock()
+                .expect("job finished lock")
+                .unwrap_or_else(Instant::now);
+            row.insert(
+                "run_ms",
+                ConfigValue::Integer((end - started).as_millis() as i64),
+            );
         }
         row
     }
@@ -367,7 +459,12 @@ impl Shared {
             .lock()
             .expect("jobs lock")
             .insert(job.id, job.clone());
-        self.queue.lock().expect("queue lock").push_back(job);
+        let mut queue = self.queue.lock().expect("queue lock");
+        queue.push_back(job);
+        if nasaic_telemetry::enabled() {
+            queue_depth_gauge().set(queue.len() as f64);
+        }
+        drop(queue);
         self.queue_cv.notify_one();
     }
 
@@ -402,12 +499,31 @@ impl Shared {
         }
     }
 
+    /// Record a job's terminal telemetry (latency histogram, cancel
+    /// counter, the owning engine's cache gauges) and set its state.
+    fn finish_job(&self, job: &Arc<Job>, state: JobState, engine: Option<&EvalEngine>) {
+        let wall = job.mark_finished();
+        if nasaic_telemetry::enabled() {
+            job_wall_histogram().record(wall.as_millis() as u64);
+            if matches!(state, JobState::Cancelled) {
+                cancels_counter().inc();
+            }
+            if let Some(engine) = engine {
+                engine.publish_metrics(&job.scenario.workload().name);
+            }
+        }
+        self.persist_result(job, &state);
+        job.set_state(state);
+    }
+
     /// Run one job to a terminal state (worker thread).
     fn run_job(&self, job: &Arc<Job>) {
+        let queue_wait = job.mark_started();
+        if nasaic_telemetry::enabled() {
+            queue_wait_histogram().record(queue_wait.as_millis() as u64);
+        }
         if job.cancel.load(Ordering::Relaxed) {
-            let state = JobState::Cancelled;
-            self.persist_result(job, &state);
-            job.set_state(state);
+            self.finish_job(job, JobState::Cancelled, None);
             return;
         }
         job.set_state(JobState::Running);
@@ -427,6 +543,9 @@ impl Shared {
                     }
                 }
             });
+        if resume.is_some() && nasaic_telemetry::enabled() {
+            resumes_counter().inc();
+        }
         let engine = self.engines.engine_for(&job.scenario);
         let file_sink = self
             .job_path(job.id, "ckpt.json")
@@ -461,8 +580,7 @@ impl Shared {
                 }
             }
         };
-        self.persist_result(job, &state);
-        job.set_state(state);
+        self.finish_job(job, state, Some(engine.as_ref()));
     }
 
     fn worker_loop(&self) {
@@ -476,7 +594,12 @@ impl Shared {
                         return;
                     }
                     match queue.pop_front() {
-                        Some(job) => break job,
+                        Some(job) => {
+                            if nasaic_telemetry::enabled() {
+                                queue_depth_gauge().set(queue.len() as f64);
+                            }
+                            break job;
+                        }
                         None => {
                             let (guard, _) = self
                                 .queue_cv
@@ -533,6 +656,7 @@ pub struct Daemon;
 /// A started daemon: its bound address plus the serve thread to join.
 pub struct DaemonHandle {
     addr: SocketAddr,
+    metrics_addr: Option<SocketAddr>,
     thread: JoinHandle<Result<String, ServeError>>,
 }
 
@@ -540,6 +664,12 @@ impl DaemonHandle {
     /// The actually bound listen address (resolves port `0`).
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The bound Prometheus exposition address, when
+    /// [`ServeConfig::metrics_addr`] was set (resolves port `0`).
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.metrics_addr
     }
 
     /// Block until the daemon shuts down; returns its summary line.
@@ -566,9 +696,32 @@ impl Daemon {
     /// directory cannot be created.
     pub fn start(config: ServeConfig) -> Result<DaemonHandle, ServeError> {
         install_cancel_hook();
+        // The daemon is observability's primary consumer: its metrics are
+        // the whole point of the exposition surfaces, so collection is on
+        // for the process.  Collection is passive — job outcomes stay
+        // bit-identical (the `telemetry_baseline` identity gate).
+        nasaic_telemetry::set_enabled(true);
         let listener = TcpListener::bind(&config.addr)
             .map_err(|e| ServeError::new(format!("cannot bind {}: {e}", config.addr)))?;
         let addr = listener.local_addr()?;
+        let metrics_listener = match &config.metrics_addr {
+            Some(metrics_addr) => {
+                let listener = TcpListener::bind(metrics_addr).map_err(|e| {
+                    ServeError::new(format!("cannot bind metrics addr {metrics_addr}: {e}"))
+                })?;
+                // Non-blocking, so the exposition thread can poll the
+                // shutdown flag between accepts.
+                listener
+                    .set_nonblocking(true)
+                    .map_err(|e| ServeError::new(format!("metrics listener: {e}")))?;
+                Some(listener)
+            }
+            None => None,
+        };
+        let metrics_addr = match &metrics_listener {
+            Some(listener) => Some(listener.local_addr()?),
+            None => None,
+        };
 
         let mut preloaded = HashMap::new();
         let mut restored: Vec<Arc<Job>> = Vec::new();
@@ -613,9 +766,13 @@ impl Daemon {
         let serve_shared = shared.clone();
         let thread = std::thread::Builder::new()
             .name("nasaic-serve".to_string())
-            .spawn(move || serve(listener, serve_shared))
+            .spawn(move || serve(listener, metrics_listener, serve_shared))
             .map_err(|e| ServeError::new(format!("cannot spawn serve thread: {e}")))?;
-        Ok(DaemonHandle { addr, thread })
+        Ok(DaemonHandle {
+            addr,
+            metrics_addr,
+            thread,
+        })
     }
 }
 
@@ -727,8 +884,70 @@ fn load_job_journal(jobs_dir: &Path) -> (Vec<Arc<Job>>, u64) {
     (jobs, max_id)
 }
 
+/// Serve Prometheus text-format scrapes on `listener` until shutdown.
+///
+/// Deliberately minimal HTTP: read the request head, answer every request
+/// with the full registry rendering, close.  That is all a scraper needs
+/// and it keeps the daemon free of an HTTP dependency.
+fn metrics_exposition_loop(listener: TcpListener, shared: &Shared) {
+    use std::io::{Read, Write};
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        let mut stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(error) if error.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(25));
+                continue;
+            }
+            Err(_) => continue,
+        };
+        // The listener is non-blocking, so the accepted stream starts
+        // non-blocking too; scrape handling is trivial, so block with a
+        // short deadline instead of polling.
+        let _ = stream.set_nonblocking(false);
+        let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+        // Drain the request head (until the blank line or EOF); the
+        // response doesn't depend on it.
+        let mut head = [0u8; 4096];
+        let mut seen = Vec::new();
+        loop {
+            match stream.read(&mut head) {
+                Ok(0) | Err(_) => break,
+                Ok(n) => {
+                    seen.extend_from_slice(&head[..n]);
+                    if seen.windows(4).any(|w| w == b"\r\n\r\n")
+                        || seen.windows(2).any(|w| w == b"\n\n")
+                    {
+                        break;
+                    }
+                }
+            }
+        }
+        let body = nasaic_telemetry::global().render_prometheus();
+        let response = format!(
+            "HTTP/1.1 200 OK\r\n\
+             Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
+             Content-Length: {}\r\n\
+             Connection: close\r\n\r\n{}",
+            body.len(),
+            body
+        );
+        let _ = stream.write_all(response.as_bytes());
+    }
+}
+
 /// The serve loop: workers, accept loop, graceful shutdown, cache export.
-fn serve(listener: TcpListener, shared: Arc<Shared>) -> Result<String, ServeError> {
+fn serve(
+    listener: TcpListener,
+    metrics_listener: Option<TcpListener>,
+    shared: Arc<Shared>,
+) -> Result<String, ServeError> {
+    let metrics_thread = metrics_listener.map(|metrics_listener| {
+        let shared = shared.clone();
+        std::thread::Builder::new()
+            .name("nasaic-serve-metrics".to_string())
+            .spawn(move || metrics_exposition_loop(metrics_listener, &shared))
+            .expect("spawn metrics thread")
+    });
     let workers: Vec<JoinHandle<()>> = (0..shared.config.workers.max(1))
         .map(|index| {
             let shared = shared.clone();
@@ -782,6 +1001,9 @@ fn serve(listener: TcpListener, shared: Arc<Shared>) -> Result<String, ServeErro
     }
     for handler in handlers.into_inner().expect("handlers lock") {
         let _ = handler.join();
+    }
+    if let Some(thread) = metrics_thread {
+        let _ = thread.join();
     }
 
     if let Some(state_dir) = &shared.config.state_dir {
@@ -901,6 +1123,14 @@ fn handle_request(request: Request, shared: &Arc<Shared>, writer: &mut TcpStream
                 response
             }
         },
+        Request::ShowMetrics => {
+            let mut response = protocol::ok_response();
+            response.insert(
+                "metrics",
+                nasaic_core::metrics::snapshot_to_value(&nasaic_telemetry::global().snapshot()),
+            );
+            response
+        }
         Request::Shutdown => {
             shared.shutdown.store(true, Ordering::SeqCst);
             shared.queue_cv.notify_all();
@@ -932,6 +1162,9 @@ fn handle_submit(
         // occupy workers, not queue slots.
         let queue = shared.queue.lock().expect("queue lock");
         if queue.len() >= shared.config.queue_capacity {
+            if nasaic_telemetry::enabled() {
+                rejects_counter().inc();
+            }
             return protocol::error_response(format!(
                 "queue full: {} queued job(s) at capacity {}; retry later or raise \
                  --queue-capacity",
@@ -951,6 +1184,9 @@ fn handle_submit(
         if let Err(error) = write_atomic(&path, &to_json(&root)) {
             return protocol::error_response(format!("cannot journal job: {error}"));
         }
+    }
+    if nasaic_telemetry::enabled() {
+        submits_counter().inc();
     }
     let job = Arc::new(Job::new(id, scenario));
     if watch {

@@ -56,6 +56,9 @@ pub enum Request {
         /// The job id to query.
         job: u64,
     },
+    /// A snapshot of the daemon's telemetry registry (counters, gauges,
+    /// histogram quantiles).
+    ShowMetrics,
     /// Stop accepting work, finish running jobs, persist caches and exit.
     Shutdown,
 }
@@ -87,6 +90,10 @@ impl Request {
                 root.insert("cmd", ConfigValue::Str("show".into()));
                 root.insert("what", ConfigValue::Str("incumbent".into()));
                 root.insert("job", ConfigValue::Integer(*job as i64));
+            }
+            Request::ShowMetrics => {
+                root.insert("cmd", ConfigValue::Str("show".into()));
+                root.insert("what", ConfigValue::Str("metrics".into()));
             }
             Request::Shutdown => root.insert("cmd", ConfigValue::Str("shutdown".into())),
         }
@@ -134,8 +141,9 @@ impl Request {
                     "jobs" => Ok(Request::ShowJobs),
                     "cache" => Ok(Request::ShowCache),
                     "incumbent" => Ok(Request::ShowIncumbent { job: job(value)? }),
+                    "metrics" => Ok(Request::ShowMetrics),
                     other => Err(ConfigError::schema(format!(
-                        "request: unknown show leaf `{other}` (jobs, cache, incumbent)"
+                        "request: unknown show leaf `{other}` (jobs, cache, incumbent, metrics)"
                     ))),
                 }
             }
@@ -221,6 +229,7 @@ mod tests {
             Request::ShowJobs,
             Request::ShowCache,
             Request::ShowIncumbent { job: 3 },
+            Request::ShowMetrics,
             Request::Shutdown,
         ];
         for request in requests {

@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Regenerate the telemetry overhead snapshot.
+#
+#   scripts/bench_telemetry.sh                  # full run, appends to BENCH_telemetry.json
+#   scripts/bench_telemetry.sh --quick --check  # CI mode: identity gate only
+#                                               # (seeded outcomes must be
+#                                               # bit-identical with telemetry
+#                                               # on and off), no timing write
+#
+# All arguments are forwarded to the `telemetry_baseline` binary
+# (see `crates/bench/src/bin/telemetry_baseline.rs` for the full flag list).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+cargo run --release -p nasaic-bench --bin telemetry_baseline -- "$@"

@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# Validate every BENCH_*.json trajectory file against the shared schema
+# (top-level schema/bench/entries; per-entry label, mode, YYYY-MM-DD
+# date, and a gate field).  See `crates/bench/src/bin/bench_lint.rs`.
+#
+#   scripts/lint_bench.sh           # lint the repo root
+#   scripts/lint_bench.sh <dir>     # lint another directory
+set -euo pipefail
+cd "$(dirname "$0")/.."
+cargo run --release -p nasaic-bench --bin bench_lint -- "${1:-.}"

@@ -93,6 +93,7 @@ COMMANDS:
     list-scenarios  List the built-in scenario registry
     show            Print a scenario's config (authoring starting point)
     gen             Generate a seeded scenario (always feasible or diagnosed)
+    profile         Run a scenario and print its wall-time breakdown
     serve           Run the long-lived search daemon (shared warm engines)
     client          Talk to a running daemon (submit/cancel/show/shutdown)
     help            Show this message
@@ -119,9 +120,14 @@ OPTIONS:
     --shard-index <I>        Which shard this process runs, 0-based (run)
     --shard-out <file>       Where the shard writes its partial result (run)
     --partials <a,b,..>      Comma-separated shard partial files (merge)
+    --min-coverage <X>       Fail `profile` when attributed time covers less
+                             than this fraction of the wall (0..1; default: report only)
     --addr <host:port>       Daemon listen/connect address (serve/client;
                              default 127.0.0.1:7764, port 0 = ephemeral)
     --addr-file <file>       Write the actually bound address there (serve)
+    --metrics-addr <h:p>     Also expose Prometheus text-format metrics over
+                             HTTP there (serve; port 0 = ephemeral)
+    --metrics-addr-file <f>  Write the bound metrics address there (serve)
     --state-dir <dir>        Durability root: job journal, checkpoints and
                              persisted caches (serve; default: no persistence)
     --queue-capacity <N>     Max queued jobs before submits are rejected (serve)
@@ -130,7 +136,7 @@ OPTIONS:
     --accuracy-capacity <N>  Accuracy-cache bound per engine, entries (serve; 0 = unbounded)
     --hardware-capacity <N>  Hardware-cache bound per engine, entries (serve; 0 = unbounded)
     --request <name>         ping|submit|cancel|show-jobs|show-cache|
-                             show-incumbent|shutdown (client)
+                             show-incumbent|show-metrics|shutdown (client)
     --job <N>                Job id for cancel/show-incumbent (client)
     --watch                  Stream incumbent events to stderr and wait for
                              the final report (client --request submit)
@@ -194,6 +200,9 @@ struct Options {
     partials: Option<String>,
     addr: Option<String>,
     addr_file: Option<String>,
+    metrics_addr: Option<String>,
+    metrics_addr_file: Option<String>,
+    min_coverage: Option<f64>,
     state_dir: Option<String>,
     queue_capacity: Option<usize>,
     workers: Option<usize>,
@@ -304,6 +313,22 @@ impl Options {
                 "--partials" => options.partials = Some(take()?),
                 "--addr" => options.addr = Some(take()?),
                 "--addr-file" => options.addr_file = Some(take()?),
+                "--metrics-addr" => options.metrics_addr = Some(take()?),
+                "--metrics-addr-file" => options.metrics_addr_file = Some(take()?),
+                "--min-coverage" => {
+                    let text = take()?;
+                    let coverage: f64 = text.parse().map_err(|_| {
+                        CliError::new(format!(
+                            "--min-coverage needs a fraction in 0..1, got `{text}`"
+                        ))
+                    })?;
+                    if !(0.0..=1.0).contains(&coverage) {
+                        return Err(CliError::new(format!(
+                            "--min-coverage needs a fraction in 0..1, got `{text}`"
+                        )));
+                    }
+                    options.min_coverage = Some(coverage);
+                }
                 "--state-dir" => options.state_dir = Some(take()?),
                 "--queue-capacity" => {
                     let text = take()?;
@@ -424,6 +449,7 @@ pub fn run_command(args: &[String]) -> Result<String, CliError> {
         "list-scenarios" => cmd_list(&options)?,
         "show" => cmd_show(&options)?,
         "gen" => cmd_gen(&options)?,
+        "profile" => cmd_profile(&options)?,
         "serve" => cmd_serve(&options)?,
         "client" => cmd_client(&options)?,
         "help" | "--help" | "-h" => usage(),
@@ -863,12 +889,91 @@ fn cmd_gen(options: &Options) -> Result<String, CliError> {
     })
 }
 
+/// The `profile` subcommand: run the scenario once with telemetry on and
+/// report where the wall time went (accuracy proxy vs cost model vs
+/// scheduler vs controller vs checkpointing).
+fn cmd_profile(options: &Options) -> Result<String, CliError> {
+    options.ensure_only(
+        "profile",
+        &[
+            "--scenario",
+            "--budget-episodes",
+            "--seed",
+            "--algorithm",
+            "--format",
+            "--output",
+            "--min-coverage",
+        ],
+    )?;
+    let scenario = options.scenario()?;
+    let format = Format::parse(
+        options.format.as_deref().unwrap_or("text"),
+        &[Format::Text, Format::Json],
+        "profile",
+    )?;
+    // Attribution needs a single-threaded engine: with parallel evaluation
+    // the per-component spans overlap and would sum past the wall.
+    let engine = scenario.engine_with_config(nasaic_core::engine::EngineConfig {
+        threads: 1,
+        ..nasaic_core::engine::EngineConfig::default()
+    });
+    let was_enabled = nasaic_telemetry::enabled();
+    nasaic_telemetry::set_enabled(true);
+    nasaic_telemetry::global().reset();
+    let observer = nasaic_core::metrics::MetricsObserver::new();
+    let started = std::time::Instant::now();
+    let report = scenario.run_report_checkpointed(
+        scenario.search.algorithm,
+        &engine,
+        &observer,
+        None,
+        &NullCheckpointSink,
+    );
+    let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+    let breakdown = nasaic_core::metrics::ProfileBreakdown::collect(wall_ms);
+    nasaic_telemetry::set_enabled(was_enabled);
+    if let Some(min) = options.min_coverage {
+        if breakdown.coverage < min {
+            return Err(CliError::new(format!(
+                "profile coverage {:.1}% is below the required {:.1}% — instrumented spans \
+                 miss too much of the wall",
+                breakdown.coverage * 100.0,
+                min * 100.0
+            )));
+        }
+    }
+    Ok(match format {
+        Format::Text => format!(
+            "profile: {} {} (seed {}, {} episode(s))\n{}",
+            scenario.name,
+            scenario.search.algorithm,
+            scenario.seed,
+            report.episodes,
+            breakdown.render_text()
+        ),
+        Format::Json => {
+            let mut root = breakdown.to_value();
+            root.insert("scenario", ConfigValue::Str(scenario.name.clone()));
+            root.insert(
+                "algorithm",
+                ConfigValue::Str(scenario.search.algorithm.name().to_string()),
+            );
+            root.insert("seed", ConfigValue::Integer(scenario.seed as i64));
+            root.insert("episodes", ConfigValue::Integer(report.episodes as i64));
+            value::to_json(&root)
+        }
+        _ => unreachable!("rejected by Format::parse"),
+    })
+}
+
 fn cmd_serve(options: &Options) -> Result<String, CliError> {
     options.ensure_only(
         "serve",
         &[
             "--addr",
             "--addr-file",
+            "--metrics-addr",
+            "--metrics-addr-file",
             "--state-dir",
             "--queue-capacity",
             "--workers",
@@ -879,10 +984,16 @@ fn cmd_serve(options: &Options) -> Result<String, CliError> {
             "--output",
         ],
     )?;
+    if options.metrics_addr_file.is_some() && options.metrics_addr.is_none() {
+        return Err(CliError::new(
+            "--metrics-addr-file needs `--metrics-addr <host:port>`",
+        ));
+    }
     let mut config = ServeConfig::default();
     if let Some(addr) = &options.addr {
         config.addr = addr.clone();
     }
+    config.metrics_addr = options.metrics_addr.clone();
     config.state_dir = options.state_dir.as_ref().map(std::path::PathBuf::from);
     if let Some(capacity) = options.queue_capacity {
         config.queue_capacity = capacity;
@@ -911,6 +1022,13 @@ fn cmd_serve(options: &Options) -> Result<String, CliError> {
         std::fs::write(path, format!("{addr}\n"))
             .map_err(|e| CliError::new(format!("cannot write {path}: {e}")))?;
     }
+    if let Some(metrics_addr) = handle.metrics_addr() {
+        eprintln!("nasaic serve: metrics on http://{metrics_addr}/metrics");
+        if let Some(path) = &options.metrics_addr_file {
+            std::fs::write(path, format!("{metrics_addr}\n"))
+                .map_err(|e| CliError::new(format!("cannot write {path}: {e}")))?;
+        }
+    }
     handle.join().map_err(|e| CliError::new(e.to_string()))
 }
 
@@ -929,7 +1047,8 @@ fn cmd_client(options: &Options) -> Result<String, CliError> {
             "--output",
         ],
     )?;
-    const REQUESTS: &str = "ping, submit, cancel, show-jobs, show-cache, show-incumbent, shutdown";
+    const REQUESTS: &str =
+        "ping, submit, cancel, show-jobs, show-cache, show-incumbent, show-metrics, shutdown";
     let addr = options.addr.as_deref().unwrap_or("127.0.0.1:7764");
     let request_name = options
         .request
@@ -960,6 +1079,7 @@ fn cmd_client(options: &Options) -> Result<String, CliError> {
         "show-jobs" => client.request(&Request::ShowJobs),
         "show-cache" => client.request(&Request::ShowCache),
         "show-incumbent" => client.request(&Request::ShowIncumbent { job: job()? }),
+        "show-metrics" => client.request(&Request::ShowMetrics),
         "shutdown" => client.request(&Request::Shutdown),
         other => {
             return Err(CliError::new(format!(

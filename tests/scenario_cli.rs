@@ -102,13 +102,22 @@ fn run_with_trace_streams_parseable_deterministic_json_lines() {
     };
     let trace = run(&trace_path);
 
-    // Every line is standalone JSON with an event tag.
+    // Every line is standalone JSON with an event tag and a monotonic
+    // timestamp (trace schema v2).
     let lines: Vec<&str> = trace.lines().collect();
     assert!(!lines.is_empty());
     let mut kinds = Vec::new();
+    let mut last_elapsed = 0i64;
     for line in &lines {
         let event = value::parse_json(line).unwrap_or_else(|e| panic!("bad line `{line}`: {e}"));
         kinds.push(event.get("event").unwrap().as_str().unwrap().to_string());
+        let elapsed = event
+            .get("elapsed_ms")
+            .unwrap_or_else(|| panic!("line lacks elapsed_ms: `{line}`"))
+            .as_integer()
+            .unwrap();
+        assert!(elapsed >= last_elapsed, "elapsed_ms went backwards");
+        last_elapsed = elapsed;
     }
     // Every declared episode is covered and the stream ends with the
     // final summary.
@@ -118,10 +127,24 @@ fn run_with_trace_streams_parseable_deterministic_json_lines() {
     );
     assert_eq!(kinds.last().map(String::as_str), Some("search_finished"));
 
-    // Same seed, same scenario => byte-identical trace.
+    // Same seed, same scenario => identical trace, modulo the wall-clock
+    // `elapsed_ms` timestamps (the only non-deterministic field).
+    let strip_timestamps = |text: &str| -> Vec<String> {
+        text.lines()
+            .map(|line| {
+                let mut event = value::parse_json(line).unwrap();
+                event.remove("elapsed_ms").expect("schema v2 timestamp");
+                value::to_json_compact(&event)
+            })
+            .collect()
+    };
     let second_path = dir.join("w1-trace-2.jsonl");
     let second = run(&second_path);
-    assert_eq!(trace, second, "trace stream is not deterministic");
+    assert_eq!(
+        strip_timestamps(&trace),
+        strip_timestamps(&second),
+        "trace stream is not deterministic"
+    );
 }
 
 #[test]

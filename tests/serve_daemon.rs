@@ -404,6 +404,84 @@ fn warm_restart_imports_caches_and_changes_wall_time_only() {
     let _ = std::fs::remove_dir_all(&state_dir);
 }
 
+#[test]
+fn metrics_endpoint_serves_prometheus_families_after_a_job() {
+    let config = ServeConfig {
+        metrics_addr: Some("127.0.0.1:0".to_string()),
+        ..ephemeral_config()
+    };
+    let handle = Daemon::start(config).expect("daemon starts");
+    let addr = handle.addr().to_string();
+    let metrics_addr = handle.metrics_addr().expect("metrics listener bound");
+
+    let mut client = Client::connect(&addr).expect("connect");
+    let response = client
+        .submit_watch(quick_scenario(61).to_value(), |_| {})
+        .expect("watched submit");
+    assert_eq!(
+        response.get("state").and_then(ConfigValue::as_str),
+        Some("finished")
+    );
+
+    // Scrape over plain TCP, exactly as Prometheus would.
+    let body = {
+        use std::io::{Read, Write};
+        let mut stream = std::net::TcpStream::connect(metrics_addr).expect("connect metrics");
+        stream
+            .write_all(b"GET /metrics HTTP/1.1\r\nHost: test\r\n\r\n")
+            .expect("send scrape");
+        let mut raw = String::new();
+        stream.read_to_string(&mut raw).expect("read scrape");
+        assert!(raw.starts_with("HTTP/1.1 200 OK\r\n"), "{raw}");
+        let (head, body) = raw.split_once("\r\n\r\n").expect("header/body split");
+        assert!(
+            head.contains("text/plain; version=0.0.4"),
+            "exposition content type missing: {head}"
+        );
+        body.to_string()
+    };
+    for family in [
+        "# TYPE nasaic_serve_queue_depth gauge",
+        "# TYPE nasaic_serve_queue_wait_ms summary",
+        "# TYPE nasaic_serve_job_wall_ms summary",
+        // Counter value is not asserted: every daemon test in this binary
+        // shares the process-global registry.
+        "# TYPE nasaic_serve_submits_total counter",
+        "nasaic_engine_cache_hit_ratio{cache=\"accuracy\",engine=\"W1\"}",
+    ] {
+        assert!(body.contains(family), "scrape lacks `{family}`:\n{body}");
+    }
+
+    // The same registry is queryable over the control socket…
+    let metrics = client.request(&Request::ShowMetrics).expect("show metrics");
+    let names: Vec<&str> = metrics
+        .get("metrics")
+        .and_then(ConfigValue::as_array)
+        .expect("metrics array")
+        .iter()
+        .filter_map(|m| m.get("name").and_then(ConfigValue::as_str))
+        .collect();
+    assert!(names.contains(&"nasaic_serve_job_wall_ms"), "{names:?}");
+    assert!(names.contains(&"nasaic_serve_queue_depth"), "{names:?}");
+
+    // …and `show jobs` surfaces the same instants as per-job durations.
+    let jobs = client.request(&Request::ShowJobs).expect("show jobs");
+    let row = &jobs.get("jobs").and_then(ConfigValue::as_array).unwrap()[0];
+    assert!(
+        row.get("queue_wait_ms")
+            .and_then(ConfigValue::as_integer)
+            .is_some(),
+        "{row:?}"
+    );
+    assert!(
+        row.get("run_ms").and_then(ConfigValue::as_integer).unwrap() >= 0,
+        "{row:?}"
+    );
+
+    shutdown(&addr);
+    handle.join().expect("clean shutdown");
+}
+
 // ---------------------------------------------------------------------------
 // Crash durability: the real binary, SIGKILLed mid-job.
 // ---------------------------------------------------------------------------

@@ -1,0 +1,215 @@
+//! Golden-file gate on the JSON-lines trace schema: every [`SearchEvent`]
+//! variant must serialise with exactly its documented field set, in the
+//! documented order.  The golden file is the schema contract — changing
+//! what an event serialises to requires a deliberate edit here *and* a
+//! `TRACE_SCHEMA_VERSION` bump in `crates/core/src/algorithm.rs`.
+//!
+//! Regenerate after an intentional change with:
+//!
+//! ```text
+//! NASAIC_UPDATE_GOLDEN=1 cargo test --test trace_schema
+//! ```
+
+use nasaic::core::prelude::*;
+use nasaic::core::scenario::value;
+
+const GOLDEN_PATH: &str = "tests/golden/search_events.jsonl";
+
+/// One fixture per variant, optional fields populated, plus one extra
+/// `episode_evaluated` with every optional field absent (pinning that
+/// `None` fields are *omitted*, not serialised as null).
+fn fixtures() -> Vec<SearchEvent> {
+    vec![
+        SearchEvent::PhaseStarted {
+            phase: "nas".to_string(),
+            budget: 500,
+        },
+        SearchEvent::PhaseFinished {
+            phase: "nas".to_string(),
+            summary: PhaseSummary {
+                name: "nas".to_string(),
+                episodes: 500,
+                explored: 420,
+                spec_compliant: 17,
+                best_weighted_accuracy: Some(0.9125),
+                detail: "chose 2 architectures".to_string(),
+            },
+        },
+        SearchEvent::EpisodeEvaluated {
+            episode: 42,
+            evaluations: 6,
+            weighted_accuracy: Some(0.875),
+            any_compliant: true,
+            reward: 0.625,
+            entropy: Some(1.5),
+            baseline: Some(0.25),
+        },
+        SearchEvent::EpisodeEvaluated {
+            episode: 43,
+            evaluations: 1,
+            weighted_accuracy: None,
+            any_compliant: false,
+            reward: -1.0,
+            entropy: None,
+            baseline: None,
+        },
+        SearchEvent::NewIncumbent {
+            episode: 42,
+            weighted_accuracy: 0.875,
+            latency_cycles: 100000.0,
+            energy_nj: 250000000.0,
+            area_um2: 3000000000.0,
+            candidate: "(64, 4, 2) | (2, 8, 16)".to_string(),
+        },
+        SearchEvent::CheckpointSaved { progress: 50 },
+        SearchEvent::SearchFinished {
+            episodes: 500,
+            explored: 420,
+            spec_compliant: 17,
+            pruned_episodes: 80,
+            cache: CacheStats {
+                accuracy_hits: 320,
+                accuracy_misses: 100,
+                hardware_hits: 1200,
+                hardware_misses: 800,
+                accuracy_entries: 100,
+                hardware_entries: 512,
+                accuracy_evictions: 0,
+                hardware_evictions: 288,
+                accuracy_capacity: 0,
+                hardware_capacity: 512,
+            },
+        },
+    ]
+}
+
+/// Exhaustive match — adding a `SearchEvent` variant fails to compile
+/// here until the new variant gets a fixture and a golden line.
+fn variant_tag(event: &SearchEvent) -> &'static str {
+    match event {
+        SearchEvent::PhaseStarted { .. } => "phase_started",
+        SearchEvent::PhaseFinished { .. } => "phase_finished",
+        SearchEvent::EpisodeEvaluated { .. } => "episode_evaluated",
+        SearchEvent::NewIncumbent { .. } => "new_incumbent",
+        SearchEvent::CheckpointSaved { .. } => "checkpoint_saved",
+        SearchEvent::SearchFinished { .. } => "search_finished",
+    }
+}
+
+#[test]
+fn every_event_variant_serializes_its_documented_field_set() {
+    let fixtures = fixtures();
+
+    // Every variant is represented (and the exhaustive match above makes
+    // an unrepresented new variant a compile error, not a silent gap).
+    let mut tags: Vec<&str> = fixtures.iter().map(variant_tag).collect();
+    tags.sort_unstable();
+    tags.dedup();
+    assert_eq!(tags.len(), 6, "a variant has no fixture");
+
+    let actual: Vec<String> = fixtures
+        .iter()
+        .map(|event| value::to_json_compact(&event.to_value()))
+        .collect();
+    let actual_text = actual.join("\n") + "\n";
+
+    if std::env::var_os("NASAIC_UPDATE_GOLDEN").is_some() {
+        std::fs::write(GOLDEN_PATH, &actual_text).expect("write golden file");
+        return;
+    }
+
+    let golden = std::fs::read_to_string(GOLDEN_PATH).expect("golden file exists");
+    let golden_lines: Vec<&str> = golden.lines().collect();
+    assert_eq!(
+        golden_lines.len(),
+        actual.len(),
+        "golden file has {} lines, fixtures produce {} — regenerate with \
+         NASAIC_UPDATE_GOLDEN=1 and bump TRACE_SCHEMA_VERSION if the \
+         schema changed",
+        golden_lines.len(),
+        actual.len()
+    );
+    for (i, (got, want)) in actual.iter().zip(&golden_lines).enumerate() {
+        assert_eq!(
+            got,
+            want,
+            "trace schema drifted at golden line {} — if intentional, \
+             regenerate with NASAIC_UPDATE_GOLDEN=1 and bump \
+             TRACE_SCHEMA_VERSION",
+            i + 1
+        );
+    }
+}
+
+#[test]
+fn event_field_names_match_the_golden_catalogue() {
+    // Field *names and order* per variant, independent of values: the
+    // machine-readable contract consumers key on.
+    let expected: &[(&str, &[&str])] = &[
+        ("phase_started", &["event", "phase", "budget"]),
+        ("phase_finished", &["event", "phase", "summary"]),
+        (
+            "episode_evaluated",
+            &[
+                "event",
+                "episode",
+                "evaluations",
+                "weighted_accuracy",
+                "any_compliant",
+                "reward",
+                "entropy",
+                "baseline",
+            ],
+        ),
+        (
+            "episode_evaluated",
+            &["event", "episode", "evaluations", "any_compliant", "reward"],
+        ),
+        (
+            "new_incumbent",
+            &[
+                "event",
+                "episode",
+                "weighted_accuracy",
+                "latency_cycles",
+                "energy_nj",
+                "area_um2",
+                "candidate",
+            ],
+        ),
+        ("checkpoint_saved", &["event", "progress"]),
+        (
+            "search_finished",
+            &[
+                "event",
+                "episodes",
+                "explored",
+                "spec_compliant",
+                "pruned_episodes",
+                "accuracy_hits",
+                "accuracy_misses",
+                "hardware_hits",
+                "hardware_misses",
+                "accuracy_entries",
+                "hardware_entries",
+                "accuracy_evictions",
+                "hardware_evictions",
+                "accuracy_capacity",
+                "hardware_capacity",
+                "accuracy_hit_rate",
+                "hardware_hit_rate",
+                "cache_hit_rate",
+            ],
+        ),
+    ];
+
+    let fixtures = fixtures();
+    assert_eq!(fixtures.len(), expected.len());
+    for (event, (tag, fields)) in fixtures.iter().zip(expected) {
+        assert_eq!(event.kind(), *tag);
+        let table = event.to_value();
+        let entries = table.as_table().expect("events serialise as tables");
+        let got: Vec<&str> = entries.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(&got, fields, "field set of `{tag}` drifted");
+    }
+}
